@@ -1,0 +1,47 @@
+// Figure 10 — HCN overheads for complex queries.
+//
+// Median runtime of each workload query uninstrumented vs. hcn-instrumented
+// (audit = one market segment). Paper claim: ~1% overhead across the TPC-H
+// workload, including the cost of carrying partition-by IDs up the plan.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "tpch/queries.h"
+
+namespace seltrig::bench {
+namespace {
+
+constexpr const char* kAuditName = "audit_segment";
+
+int Main() {
+  double sf = ScaleFactorFromEnv(0.02);
+  int reps = RepetitionsFromEnv(11);
+  auto db = LoadTpchDatabase(sf);
+  Status status =
+      db->Execute(tpch::SegmentAuditExpressionSql(kAuditName, "BUILDING")).status();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("# Figure 10: hcn overheads on the TPC-H workload (median of %d)\n\n",
+              reps);
+  PrintTableHeader({"query", "base ms", "hcn ms", "overhead"});
+
+  for (const tpch::TpchQuery& q : tpch::WorkloadQueries()) {
+    std::vector<double> ms = InterleavedMediansMs(
+        {QueryRunner(db.get(), q.sql, false,
+                     PlacementHeuristic::kHighestCommutativeNode),
+         QueryRunner(db.get(), q.sql, true,
+                     PlacementHeuristic::kHighestCommutativeNode)},
+        reps);
+    PrintTableRow({q.name.substr(0, 16), FormatDouble(ms[0]), FormatDouble(ms[1]),
+                   FormatPercent(ms[1] / ms[0] - 1.0)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace seltrig::bench
+
+int main() { return seltrig::bench::Main(); }

@@ -1,0 +1,75 @@
+// Table E10 (extension) — scaling with simultaneous audit expressions.
+//
+// Section III-C notes the framework "is generalizable to multiple audit
+// expressions that are tested simultaneously" but does not measure it. Each
+// registered expression adds one audit operator per sensitive-table scan, so
+// instrumented-plan cost should grow roughly linearly in the number of
+// expressions with a small slope (one extra hash probe per operator per
+// row). This benchmark sweeps the expression count on the micro-benchmark
+// join and on TPC-H Q5.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "tpch/queries.h"
+
+namespace seltrig::bench {
+namespace {
+
+int Main() {
+  double sf = ScaleFactorFromEnv(0.02);
+  int reps = RepetitionsFromEnv(11);
+  auto db = LoadTpchDatabase(sf);
+
+  const std::string micro =
+      tpch::MicroBenchmarkQuery(4500.0, OrderdateCutoffForSelectivity(0.4));
+  const std::string q5 = tpch::WorkloadQueries()[1].sql;
+
+  std::printf("# Simultaneous audit expressions: per-query overhead vs count\n");
+  std::printf("# (each expression covers one market segment or a custkey range;\n");
+  std::printf("#  overhead is vs an uninstrumented run interleaved in the same row)\n\n");
+  PrintTableHeader({"expressions", "micro ms", "micro ovh", "Q5 ms", "Q5 ovh"});
+
+  int64_t customers = tpch::CardinalitiesFor(sf).customers;
+  int created = 0;
+  auto add_expression = [&](int i) {
+    std::string sql;
+    if (i < 5) {
+      sql = tpch::SegmentAuditExpressionSql("seg" + std::to_string(i),
+                                            tpch::kMarketSegments[i]);
+    } else {
+      sql = tpch::CustkeyRangeAuditExpressionSql(
+          "range" + std::to_string(i), customers / (i - 3));
+    }
+    Status status = db->Execute(sql).status();
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::abort();
+    }
+    ++created;
+  };
+
+  for (int target : {1, 2, 4, 8}) {
+    while (created < target) add_expression(created);
+    std::vector<double> ms = InterleavedMediansMs(
+        {QueryRunner(db.get(), micro, false,
+                     PlacementHeuristic::kHighestCommutativeNode),
+         QueryRunner(db.get(), micro, true,
+                     PlacementHeuristic::kHighestCommutativeNode),
+         QueryRunner(db.get(), q5, false,
+                     PlacementHeuristic::kHighestCommutativeNode),
+         QueryRunner(db.get(), q5, true,
+                     PlacementHeuristic::kHighestCommutativeNode)},
+        reps);
+    PrintTableRow({std::to_string(target), FormatDouble(ms[1]),
+                   FormatPercent(ms[1] / ms[0] - 1.0), FormatDouble(ms[3]),
+                   FormatPercent(ms[3] / ms[2] - 1.0)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace seltrig::bench
+
+int main() { return seltrig::bench::Main(); }

@@ -1,0 +1,54 @@
+// Figure 7 — Micro-benchmark: instrumentation overheads vs. predicate
+// selectivity.
+//
+// Relative runtime overhead of leaf-node and hcn instrumented plans over the
+// uninstrumented plan for the Section V-A join query. Paper shape: leaf-node
+// overhead is significant (up to ~10%) and sensitive to the orders-predicate
+// selectivity; hcn stays low and robust.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "tpch/queries.h"
+
+namespace seltrig::bench {
+namespace {
+
+constexpr double kAcctbalThreshold = 4500.0;
+constexpr const char* kAuditName = "audit_segment";
+
+int Main() {
+  double sf = ScaleFactorFromEnv(0.02);
+  int reps = RepetitionsFromEnv(15);
+  auto db = LoadTpchDatabase(sf);
+  Status status =
+      db->Execute(tpch::SegmentAuditExpressionSql(kAuditName, "BUILDING")).status();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("# Figure 7: micro-benchmark overheads (median of %d reps)\n\n", reps);
+  PrintTableHeader({"selectivity", "base ms", "leaf ms", "hcn ms",
+                    "leaf overhead", "hcn overhead"});
+
+  for (double sel : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::string sql =
+        tpch::MicroBenchmarkQuery(kAcctbalThreshold, OrderdateCutoffForSelectivity(sel));
+    std::vector<double> ms = InterleavedMediansMs(
+        {QueryRunner(db.get(), sql, false, PlacementHeuristic::kHighestCommutativeNode),
+         QueryRunner(db.get(), sql, true, PlacementHeuristic::kLeafNode),
+         QueryRunner(db.get(), sql, true,
+                     PlacementHeuristic::kHighestCommutativeNode)},
+        reps);
+    PrintTableRow({FormatPercent(sel, 0), FormatDouble(ms[0]), FormatDouble(ms[1]),
+                   FormatDouble(ms[2]), FormatPercent(ms[1] / ms[0] - 1.0),
+                   FormatPercent(ms[2] / ms[0] - 1.0)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace seltrig::bench
+
+int main() { return seltrig::bench::Main(); }

@@ -1,0 +1,92 @@
+// Figure 9 — False positives on complex TPC-H queries.
+//
+// For each workload query (Q3, Q5, Q7, Q8, Q10, Q18, Q22; audit = one market
+// segment), reports offline accessedIDs (Definition 2.5), hcn auditIDs, and
+// leaf-node auditIDs. Paper shape:
+//   * leaf-node audits essentially the whole segment (most TPC-H queries have
+//     no customer predicate) -- high false-positive rates;
+//   * hcn is close to offline for most queries;
+//   * Q10's top-k inflates hcn (audit operator stuck below the LIMIT).
+//
+// Offline evaluation prunes candidates with the hcn audit set, which is sound
+// because hcn has no false negatives (Claim 3.6).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "audit/offline_auditor.h"
+#include "bench_util.h"
+#include "tpch/queries.h"
+
+namespace seltrig::bench {
+namespace {
+
+constexpr const char* kAuditName = "audit_segment";
+
+int Main() {
+  double sf = ScaleFactorFromEnv(0.01);
+  auto db = LoadTpchDatabase(sf);
+  Status status =
+      db->Execute(tpch::SegmentAuditExpressionSql(kAuditName, "BUILDING")).status();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const AuditExpressionDef* def = db->audit_manager()->Find(kAuditName);
+  std::printf("# Figure 9: false positives on the TPC-H workload "
+              "(audit = BUILDING segment, %zu sensitive customers)\n\n",
+              def->view().size());
+  PrintTableHeader({"query", "offline", "hcn", "leaf", "hcn FP rate",
+                    "leaf FP rate"});
+
+  for (const tpch::TpchQuery& q : tpch::WorkloadQueries()) {
+    // Audit cardinalities per heuristic.
+    ExecOptions options;
+    options.instrument_all_audit_expressions = true;
+    options.heuristic = PlacementHeuristic::kHighestCommutativeNode;
+    auto hcn_run = db->ExecuteWithOptions(q.sql, options);
+    if (!hcn_run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", q.name.c_str(),
+                   hcn_run.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<Value> hcn_ids = hcn_run->accessed[kAuditName];
+
+    size_t leaf = AuditCardinality(db.get(), q.sql, PlacementHeuristic::kLeafNode,
+                                   kAuditName);
+
+    // Offline ground truth (Definition 2.5), candidates = hcn audit set.
+    auto plan = db->PlanSelect(q.sql);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s plan failed\n", q.name.c_str());
+      return 1;
+    }
+    OfflineAuditor auditor(db->catalog(), db->session());
+    OfflineAuditOptions oopts;
+    oopts.candidates = &hcn_ids;
+    auto report = auditor.Audit(**plan, *def, oopts);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s offline audit failed: %s\n", q.name.c_str(),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    size_t offline = report->accessed_ids.size();
+    size_t hcn = hcn_ids.size();
+
+    auto fp_rate = [offline](size_t audited) {
+      return audited == 0 ? 0.0
+                          : static_cast<double>(audited - offline) /
+                                static_cast<double>(audited);
+    };
+    PrintTableRow({q.name.substr(0, 16), std::to_string(offline),
+                   std::to_string(hcn), std::to_string(leaf),
+                   FormatPercent(fp_rate(hcn)), FormatPercent(fp_rate(leaf))});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace seltrig::bench
+
+int main() { return seltrig::bench::Main(); }

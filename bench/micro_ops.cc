@@ -1,0 +1,146 @@
+// Micro-operation benchmarks (google-benchmark): the audit operator's
+// per-row probe, placement algorithm latency, end-to-end query paths.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "audit/placement.h"
+#include "engine/database.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace seltrig {
+namespace {
+
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.01;
+    Status status = tpch::LoadTpch(d, config);
+    if (!status.ok()) std::abort();
+    status = d->Execute(tpch::SegmentAuditExpressionSql("seg", "BUILDING")).status();
+    if (!status.ok()) std::abort();
+    return d;
+  }();
+  return db;
+}
+
+void BM_SensitiveIdViewProbe(benchmark::State& state) {
+  Database* db = SharedDb();
+  const SensitiveIdView& view = db->audit_manager()->Find("seg")->view();
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.Contains(Value::Int(key)));
+    key = (key + 1) % 2000;
+  }
+}
+BENCHMARK(BM_SensitiveIdViewProbe);
+
+void BM_BloomFilterProbe(benchmark::State& state) {
+  Database* db = SharedDb();
+  auto bloom = db->audit_manager()->Find("seg")->view().BuildBloomFilter(0.01);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom->MayContain(key));
+    key = (key + 1) % 4096;
+  }
+}
+BENCHMARK(BM_BloomFilterProbe);
+
+void BM_JoinReorderPass(benchmark::State& state) {
+  Database* db = SharedDb();
+  OptimizerOptions no_reorder;
+  no_reorder.enable_join_reordering = false;
+  auto plan = db->PlanSelect(tpch::WorkloadQueries()[1].sql, no_reorder);  // Q5
+  if (!plan.ok()) {
+    state.SkipWithError("plan failed");
+    return;
+  }
+  for (auto _ : state) {
+    PlanPtr copy = ClonePlanDeep(**plan);
+    auto reordered = ReorderJoins(std::move(copy), db->catalog());
+    benchmark::DoNotOptimize(reordered);
+  }
+}
+BENCHMARK(BM_JoinReorderPass);
+
+void BM_MicroQueryUninstrumented(benchmark::State& state) {
+  Database* db = SharedDb();
+  std::string sql = tpch::MicroBenchmarkQuery(4500.0, "1996-01-01");
+  ExecOptions options;
+  options.enable_select_triggers = false;
+  for (auto _ : state) {
+    auto r = db->ExecuteWithOptions(sql, options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_MicroQueryUninstrumented);
+
+void BM_MicroQueryInstrumentedHcn(benchmark::State& state) {
+  Database* db = SharedDb();
+  std::string sql = tpch::MicroBenchmarkQuery(4500.0, "1996-01-01");
+  ExecOptions options;
+  options.enable_select_triggers = false;
+  options.instrument_all_audit_expressions = true;
+  for (auto _ : state) {
+    auto r = db->ExecuteWithOptions(sql, options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_MicroQueryInstrumentedHcn);
+
+void BM_PlacementAlgorithm(benchmark::State& state) {
+  Database* db = SharedDb();
+  auto plan = db->PlanSelect(tpch::WorkloadQueries()[1].sql);  // Q5, 6-way join
+  if (!plan.ok()) {
+    state.SkipWithError("plan failed");
+    return;
+  }
+  const AuditExpressionDef* def = db->audit_manager()->Find("seg");
+  PlacementOptions popts;
+  for (auto _ : state) {
+    auto instrumented = InstrumentPlan(**plan, *def, popts);
+    benchmark::DoNotOptimize(instrumented);
+  }
+}
+BENCHMARK(BM_PlacementAlgorithm);
+
+void BM_ParseBindOptimize(benchmark::State& state) {
+  Database* db = SharedDb();
+  const std::string sql = tpch::WorkloadQueries()[0].sql;  // Q3
+  for (auto _ : state) {
+    auto plan = db->PlanSelect(sql);
+    if (!plan.ok()) state.SkipWithError("plan failed");
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ParseBindOptimize);
+
+void BM_SelectTriggerFiring(benchmark::State& state) {
+  Database db;
+  Status status = db.ExecuteScript(R"sql(
+    CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR);
+    CREATE TABLE log (ts VARCHAR, pid INT);
+    INSERT INTO patients VALUES (1, 'Alice'), (2, 'Bob');
+    CREATE AUDIT EXPRESSION a AS SELECT * FROM patients WHERE name = 'Alice'
+      FOR SENSITIVE TABLE patients PARTITION BY patientid;
+    CREATE TRIGGER t ON ACCESS TO a AS
+      INSERT INTO log SELECT now(), patientid FROM accessed
+  )sql");
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = db.Execute("SELECT * FROM patients WHERE patientid = 1");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_SelectTriggerFiring);
+
+}  // namespace
+}  // namespace seltrig
+
+BENCHMARK_MAIN();

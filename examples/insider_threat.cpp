@@ -1,0 +1,93 @@
+// Insider-threat detection (Section I's real-time scenarios): find users who
+// accessed more than N records of patients with a particular disease, and
+// rank doctors by the number of distinct patients accessed -- all computed
+// online from SELECT-trigger state, no offline log replay.
+
+#include <cstdio>
+
+#include "seltrig/seltrig.h"
+
+using seltrig::Database;
+using seltrig::Status;
+
+namespace {
+
+void Must(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void RunAs(Database* db, const std::string& user, const std::string& sql) {
+  db->session()->user = user;
+  auto r = db->Execute(sql);
+  Must(r.status());
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  db.session()->now = "2026-07-07 03:12:00";
+  Must(db.ExecuteScript(R"sql(
+    CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, ward INT);
+    CREATE TABLE disease (patientid INT, disease VARCHAR);
+    CREATE TABLE access_log (ts VARCHAR, userid VARCHAR, patientid INT);
+    INSERT INTO patients VALUES
+      (1, 'Alice', 1), (2, 'Bob', 1), (3, 'Carol', 2), (4, 'Dave', 2),
+      (5, 'Eve', 3), (6, 'Frank', 3), (7, 'Grace', 1), (8, 'Heidi', 2);
+    INSERT INTO disease VALUES
+      (1, 'hiv'), (3, 'hiv'), (5, 'hiv'), (2, 'flu'), (4, 'flu'),
+      (6, 'cardiac'), (7, 'hiv'), (8, 'flu');
+  )sql"));
+
+  // Sensitive data: the records of HIV patients (a key/foreign-key join audit
+  // expression, Example 2.2's shape).
+  Must(db.Execute(R"sql(
+    CREATE AUDIT EXPRESSION audit_hiv AS
+      SELECT p.* FROM patients p, disease d
+      WHERE p.patientid = d.patientid AND disease = 'hiv'
+      FOR SENSITIVE TABLE patients PARTITION BY patientid)sql").status());
+
+  Must(db.Execute(R"sql(
+    CREATE TRIGGER log_hiv ON ACCESS TO audit_hiv AS
+      INSERT INTO access_log SELECT now(), user_id(), patientid FROM accessed)sql")
+           .status());
+
+  // Workload: a night-shift nurse browsing far beyond her ward.
+  RunAs(&db, "nurse_a", "SELECT * FROM patients WHERE ward = 1");
+  RunAs(&db, "nurse_a", "SELECT * FROM patients WHERE ward = 2");
+  RunAs(&db, "nurse_a", "SELECT * FROM patients WHERE ward = 3");
+  RunAs(&db, "dr_lee",
+        "SELECT name FROM patients p, disease d "
+        "WHERE p.patientid = d.patientid AND disease = 'hiv' AND ward = 1");
+  RunAs(&db, "dr_kim", "SELECT COUNT(*) FROM patients WHERE ward = 2");
+
+  db.session()->user = "security_admin";
+
+  // Scenario 1 (Section I): users that accessed more than 2 HIV-patient
+  // records.
+  auto suspects = db.Execute(R"sql(
+    SELECT userid, COUNT(DISTINCT patientid) AS n
+    FROM access_log GROUP BY userid HAVING COUNT(DISTINCT patientid) > 2
+    ORDER BY n DESC)sql");
+  Must(suspects.status());
+  std::printf("Users accessing > 2 HIV patient records:\n%s\n",
+              suspects->ToString().c_str());
+
+  // Scenario 2 (Section I): all patients accessed per user, ranked.
+  auto ranking = db.Execute(R"sql(
+    SELECT userid, COUNT(DISTINCT patientid) AS patients
+    FROM access_log GROUP BY userid ORDER BY patients DESC, userid)sql");
+  Must(ranking.status());
+  std::printf("Access ranking:\n%s\n", ranking->ToString().c_str());
+
+  // Which HIV patients were touched by whom (per-record accounting).
+  auto detail = db.Execute(R"sql(
+    SELECT p.name, l.userid FROM access_log l, patients p
+    WHERE l.patientid = p.patientid ORDER BY p.name, l.userid)sql");
+  Must(detail.status());
+  std::printf("Per-record accesses:\n%s", detail->ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+-- Run with:  ./build/tools/seltrig_shell examples/sql/healthcare_demo.sql
+-- The paper's healthcare walkthrough as a plain SQL script.
+
+CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age INT, zip INT);
+CREATE TABLE disease (patientid INT, disease VARCHAR);
+CREATE TABLE log (ts VARCHAR, userid VARCHAR, sql VARCHAR, patientid INT);
+
+INSERT INTO patients VALUES
+  (1, 'Alice', 34, 98101), (2, 'Bob', 27, 98102), (3, 'Carol', 45, 98101);
+INSERT INTO disease VALUES (1, 'cancer'), (2, 'flu'), (3, 'cancer');
+
+-- Example 2.2: everyone suffering from cancer is sensitive.
+CREATE AUDIT EXPRESSION audit_cancer AS
+  SELECT p.* FROM patients p, disease d
+  WHERE p.patientid = d.patientid AND disease = 'cancer'
+  FOR SENSITIVE TABLE patients PARTITION BY patientid;
+
+-- Section II-C: log every access.
+CREATE TRIGGER log_cancer ON ACCESS TO audit_cancer AS
+  INSERT INTO log SELECT now(), user_id(), sql_text(), patientid FROM accessed;
+
+-- A workload...
+SELECT name FROM patients WHERE zip = 98101;
+SELECT COUNT(*) FROM patients WHERE age > 30;
+SELECT 1 FROM patients WHERE EXISTS
+  (SELECT * FROM patients p, disease d
+   WHERE p.patientid = d.patientid AND name = 'Alice' AND disease = 'cancer');
+
+-- ...and the audit trail it left.
+SELECT userid, sql, patientid FROM log ORDER BY patientid, sql;
+
+-- What would the optimizer do with this query? (note the AuditOp)
+EXPLAIN SELECT name FROM patients WHERE age > 30;

@@ -1,0 +1,80 @@
+// TPC-H market-segment auditing (the paper's evaluation scenario): audit all
+// customers of one segment, run the workload queries under each placement
+// heuristic, and compare audit cardinalities against the offline auditor.
+
+#include <cstdio>
+
+#include "seltrig/seltrig.h"
+
+using seltrig::AuditExpressionDef;
+using seltrig::Database;
+using seltrig::ExecOptions;
+using seltrig::OfflineAuditOptions;
+using seltrig::OfflineAuditor;
+using seltrig::PlacementHeuristic;
+using seltrig::Status;
+using seltrig::Value;
+
+namespace {
+
+void Must(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+size_t Audited(Database* db, const std::string& sql, PlacementHeuristic h) {
+  ExecOptions options;
+  options.heuristic = h;
+  options.instrument_all_audit_expressions = true;
+  auto r = db->ExecuteWithOptions(sql, options);
+  Must(r.status());
+  return r->accessed["audit_segment"].size();
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  seltrig::tpch::TpchConfig config;
+  config.scale_factor = 0.005;  // keep the example snappy
+  Must(seltrig::tpch::LoadTpch(&db, config));
+  Must(db.Execute(seltrig::tpch::SegmentAuditExpressionSql("audit_segment",
+                                                           "BUILDING")).status());
+  const AuditExpressionDef* def = db.audit_manager()->Find("audit_segment");
+  std::printf("Auditing %zu BUILDING-segment customers (of %lld total)\n\n",
+              def->view().size(),
+              static_cast<long long>(
+                  seltrig::tpch::CardinalitiesFor(config.scale_factor).customers));
+
+  std::printf("%-22s%10s%10s%10s%12s\n", "query", "offline", "hcn", "leaf",
+              "hcn exact?");
+  for (const auto& q : seltrig::tpch::WorkloadQueries()) {
+    ExecOptions options;
+    options.instrument_all_audit_expressions = true;
+    auto hcn_run = db.ExecuteWithOptions(q.sql, options);
+    Must(hcn_run.status());
+    std::vector<Value> hcn_ids = hcn_run->accessed["audit_segment"];
+
+    size_t leaf = Audited(&db, q.sql, PlacementHeuristic::kLeafNode);
+
+    auto plan = db.PlanSelect(q.sql);
+    Must(plan.status());
+    OfflineAuditor auditor(db.catalog(), db.session());
+    OfflineAuditOptions oopts;
+    oopts.candidates = &hcn_ids;  // sound: hcn has no false negatives
+    auto report = auditor.Audit(**plan, *def, oopts);
+    Must(report.status());
+
+    std::printf("%-22s%10zu%10zu%10zu%12s\n", q.name.substr(0, 21).c_str(),
+                report->accessed_ids.size(), hcn_ids.size(), leaf,
+                report->accessed_ids.size() == hcn_ids.size() ? "yes" : "no");
+  }
+
+  std::printf(
+      "\nReading: leaf-node audits nearly the whole segment (false positives);\n"
+      "hcn tracks the offline ground truth except where a top-k/group-by stops\n"
+      "the pull-up (Q10's LIMIT 20, Section V-C).\n");
+  return 0;
+}

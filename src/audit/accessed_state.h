@@ -1,0 +1,62 @@
+// The ACCESSED internal state (Section II): a per-query, in-memory relation
+// of partition-by IDs recorded by audit operators, consumed by SELECT-trigger
+// actions after the query completes.
+
+#ifndef SELTRIG_AUDIT_ACCESSED_STATE_H_
+#define SELTRIG_AUDIT_ACCESSED_STATE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "types/value.h"
+
+namespace seltrig {
+
+// The set of audited partition-by IDs for one audit expression. When a plan
+// contains multiple audit operators for the same expression (e.g. one inside
+// a subquery), the state is their union (Section III-C).
+class AccessedState {
+ public:
+  void Record(const Value& id) { ids_.insert(id); }
+
+  bool Contains(const Value& id) const { return ids_.count(id) > 0; }
+  size_t size() const { return ids_.size(); }
+  const std::unordered_set<Value, ValueHash, ValueEq>& ids() const { return ids_; }
+
+  // Materializes as a single-column relation, sorted for determinism, for
+  // binding as the ACCESSED virtual table in trigger actions.
+  std::vector<Row> ToRows() const;
+
+  // Sorted ID list (tests, benchmarks).
+  std::vector<Value> SortedIds() const;
+
+ private:
+  std::unordered_set<Value, ValueHash, ValueEq> ids_;
+};
+
+// All ACCESSED states of one query execution, keyed by audit expression name
+// (lower-case). Owned by the Database per statement; referenced by the
+// ExecContext so physical audit operators can record into it.
+class AccessedStateRegistry {
+ public:
+  AccessedState& GetOrCreate(const std::string& audit_name) {
+    return states_[audit_name];
+  }
+  const AccessedState* Find(const std::string& audit_name) const {
+    auto it = states_.find(audit_name);
+    return it == states_.end() ? nullptr : &it->second;
+  }
+  const std::unordered_map<std::string, AccessedState>& states() const {
+    return states_;
+  }
+  void Clear() { states_.clear(); }
+
+ private:
+  std::unordered_map<std::string, AccessedState> states_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_AUDIT_ACCESSED_STATE_H_

@@ -1,0 +1,189 @@
+#include "audit/audit_expression.h"
+
+#include <utility>
+
+#include "binder/binder.h"
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "expr/evaluator.h"
+
+namespace seltrig {
+
+Status AuditManager::CreateAuditExpression(ast::CreateAuditExpressionStatement stmt) {
+  std::string key = ToLower(stmt.name);
+  if (defs_.count(key) > 0) {
+    return Status::AlreadyExists("audit expression already exists: " + stmt.name);
+  }
+  auto def = std::make_unique<AuditExpressionDef>();
+  def->name_ = key;
+  def->sensitive_table_ = ToLower(stmt.sensitive_table);
+  def->partition_by_ = ToLower(stmt.partition_by);
+
+  Result<Table*> table = catalog_->GetTable(def->sensitive_table_);
+  SELTRIG_RETURN_IF_ERROR(table.status());
+  Result<int> pcol = (*table)->schema().Resolve("", def->partition_by_);
+  SELTRIG_RETURN_IF_ERROR(pcol.status());
+  def->partition_column_ = *pcol;
+
+  // Collect referenced tables and detect the single-table case.
+  bool sensitive_in_from = false;
+  for (const ast::FromClause& fc : stmt.select->from) {
+    def->referenced_tables_.push_back(fc.base.table);
+    if (fc.base.table == def->sensitive_table_) sensitive_in_from = true;
+    for (const ast::JoinClause& jc : fc.joins) {
+      def->referenced_tables_.push_back(jc.table.table);
+      if (jc.table.table == def->sensitive_table_) sensitive_in_from = true;
+    }
+  }
+  if (!sensitive_in_from) {
+    return Status::BindError("sensitive table " + def->sensitive_table_ +
+                             " is not referenced by the audit expression");
+  }
+
+  // Single-table audit expression: bind the WHERE clause against the
+  // sensitive table for per-row incremental maintenance and static analysis.
+  bool single_table = def->referenced_tables_.size() == 1 &&
+                      stmt.select->from.size() == 1 &&
+                      stmt.select->from[0].joins.empty();
+  if (single_table && stmt.select->where != nullptr) {
+    Schema schema = (*table)->schema();
+    const std::string alias = stmt.select->from[0].base.alias.empty()
+                                  ? stmt.select->from[0].base.table
+                                  : stmt.select->from[0].base.alias;
+    for (size_t i = 0; i < schema.size(); ++i) schema.column(i).qualifier = alias;
+    Binder binder(catalog_);
+    Result<ExprPtr> pred = binder.BindStandaloneExpr(*stmt.select->where, schema);
+    SELTRIG_RETURN_IF_ERROR(pred.status());
+    def->single_table_predicate_ = std::move(pred).value();
+  } else if (single_table && stmt.select->where == nullptr) {
+    def->single_table_predicate_ = MakeLiteral(Value::Bool(true));
+  }
+
+  // Rewrite the defining SELECT to produce only the partition-by key
+  // (Section IV-A1: audit expressions are compiled to ID sets).
+  def->id_select_ = std::move(stmt.select);
+  def->id_select_->items.clear();
+  ast::SelectItem item;
+  item.expr = std::make_unique<ast::Expression>(ast::ExprType::kColumnRef);
+  item.expr->name = def->partition_by_;
+  // Qualify with the sensitive table's binding alias to disambiguate joins.
+  for (const ast::FromClause& fc : def->id_select_->from) {
+    if (fc.base.table == def->sensitive_table_) {
+      item.expr->qualifier = fc.base.alias.empty() ? fc.base.table : fc.base.alias;
+    }
+    for (const ast::JoinClause& jc : fc.joins) {
+      if (jc.table.table == def->sensitive_table_) {
+        item.expr->qualifier = jc.table.alias.empty() ? jc.table.table : jc.table.alias;
+      }
+    }
+  }
+  def->id_select_->items.push_back(std::move(item));
+  def->id_select_->distinct = true;
+  def->id_select_->order_by.clear();
+
+  AuditExpressionDef* raw = def.get();
+  defs_.emplace(key, std::move(def));
+  Status rebuilt = RebuildView(raw);
+  if (!rebuilt.ok()) {
+    defs_.erase(key);
+    return rebuilt;
+  }
+  return Status::OK();
+}
+
+Status AuditManager::DropAuditExpression(const std::string& name) {
+  if (defs_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("audit expression not found: " + name);
+  }
+  return Status::OK();
+}
+
+const AuditExpressionDef* AuditManager::Find(const std::string& name) const {
+  auto it = defs_.find(ToLower(name));
+  return it == defs_.end() ? nullptr : it->second.get();
+}
+
+AuditExpressionDef* AuditManager::FindMutable(const std::string& name) {
+  auto it = defs_.find(ToLower(name));
+  return it == defs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const AuditExpressionDef*> AuditManager::All() const {
+  std::vector<const AuditExpressionDef*> out;
+  out.reserve(defs_.size());
+  for (const auto& [name, def] : defs_) out.push_back(def.get());
+  return out;
+}
+
+Status AuditManager::RebuildView(AuditExpressionDef* def) {
+  Binder binder(catalog_);
+  Result<PlanPtr> plan = binder.BindSelect(*def->id_select_);
+  SELTRIG_RETURN_IF_ERROR(plan.status());
+
+  ExecContext ctx(catalog_, session_);
+  Executor executor(&ctx);
+  Result<std::vector<Row>> rows = executor.ExecutePlan(**plan, {});
+  SELTRIG_RETURN_IF_ERROR(rows.status());
+
+  def->view_.Clear();
+  for (const Row& row : *rows) {
+    if (!row[0].is_null()) def->view_.Add(row[0]);
+  }
+  return Status::OK();
+}
+
+Status AuditManager::MaintainRow(AuditExpressionDef* def, const std::string& table,
+                                 const Row& row, bool inserted) {
+  if (def->single_table_predicate_ != nullptr && table == def->sensitive_table_) {
+    // Per-row maintenance: the partition key is the primary key of the
+    // sensitive table, so a delete of a satisfying row removes its ID and an
+    // insert adds it.
+    ExecContext ctx(catalog_, session_);
+    EvalContext ec;
+    ec.row = &row;
+    ec.exec = &ctx;
+    Result<bool> satisfies = EvalPredicate(*def->single_table_predicate_, ec);
+    SELTRIG_RETURN_IF_ERROR(satisfies.status());
+    if (*satisfies) {
+      const Value& key = row[def->partition_column_];
+      if (!key.is_null()) {
+        if (inserted) {
+          def->view_.Add(key);
+        } else {
+          def->view_.Remove(key);
+        }
+      }
+    }
+    return Status::OK();
+  }
+  // Join audit expressions: recompute when any referenced table changes.
+  for (const std::string& ref : def->referenced_tables_) {
+    if (ref == table) return RebuildView(def);
+  }
+  return Status::OK();
+}
+
+Status AuditManager::OnInsert(const std::string& table, const Row& row) {
+  for (auto& [name, def] : defs_) {
+    SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, row, /*inserted=*/true));
+  }
+  return Status::OK();
+}
+
+Status AuditManager::OnDelete(const std::string& table, const Row& row) {
+  for (auto& [name, def] : defs_) {
+    SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, row, /*inserted=*/false));
+  }
+  return Status::OK();
+}
+
+Status AuditManager::OnUpdate(const std::string& table, const Row& old_row,
+                              const Row& new_row) {
+  for (auto& [name, def] : defs_) {
+    SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, old_row, /*inserted=*/false));
+    SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, new_row, /*inserted=*/true));
+  }
+  return Status::OK();
+}
+
+}  // namespace seltrig

@@ -1,0 +1,98 @@
+// Audit expressions (Section II-A): declarative specifications of sensitive
+// data, compiled to materialized sensitive-ID views (Section IV-A1) that are
+// maintained incrementally under DML.
+
+#ifndef SELTRIG_AUDIT_AUDIT_EXPRESSION_H_
+#define SELTRIG_AUDIT_AUDIT_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "audit/sensitive_id_view.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "expr/expr.h"
+#include "sql/ast.h"
+
+namespace seltrig {
+
+// A registered audit expression: its defining query, the sensitive table, the
+// partition-by key, and the compiled ID view.
+class AuditExpressionDef {
+ public:
+  const std::string& name() const { return name_; }
+  const std::string& sensitive_table() const { return sensitive_table_; }
+  const std::string& partition_by() const { return partition_by_; }
+  int partition_column() const { return partition_column_; }
+  const SensitiveIdView& view() const { return view_; }
+  SensitiveIdView* mutable_view() { return &view_; }
+
+  // Bound predicate over the sensitive table's schema, or null when the
+  // audit expression joins other tables (then only full rebuild maintenance
+  // applies and the static auditor cannot reason about it).
+  const Expr* single_table_predicate() const { return single_table_predicate_.get(); }
+
+  // Lower-cased names of all tables referenced by the definition.
+  const std::vector<std::string>& referenced_tables() const {
+    return referenced_tables_;
+  }
+
+ private:
+  friend class AuditManager;
+
+  std::string name_;
+  std::string sensitive_table_;
+  std::string partition_by_;
+  int partition_column_ = -1;
+  ExprPtr single_table_predicate_;
+  std::vector<std::string> referenced_tables_;
+  // The defining SELECT, rewritten to produce only the partition-by key.
+  std::unique_ptr<ast::SelectStatement> id_select_;
+  SensitiveIdView view_;
+};
+
+// Registry and maintenance engine for audit expressions.
+class AuditManager {
+ public:
+  AuditManager(Catalog* catalog, SessionContext* session)
+      : catalog_(catalog), session_(session) {}
+
+  AuditManager(const AuditManager&) = delete;
+  AuditManager& operator=(const AuditManager&) = delete;
+
+  // Registers the audit expression and materializes its ID view.
+  Status CreateAuditExpression(ast::CreateAuditExpressionStatement stmt);
+
+  Status DropAuditExpression(const std::string& name);
+
+  const AuditExpressionDef* Find(const std::string& name) const;
+  AuditExpressionDef* FindMutable(const std::string& name);
+
+  std::vector<const AuditExpressionDef*> All() const;
+
+  // Incremental view maintenance, invoked by the Database after DML commits.
+  // Single-table audit expressions are maintained per-row; expressions with
+  // joins fall back to a full recompute when any referenced table changes.
+  Status OnInsert(const std::string& table, const Row& row);
+  Status OnDelete(const std::string& table, const Row& row);
+  Status OnUpdate(const std::string& table, const Row& old_row, const Row& new_row);
+
+  // Recomputes the view from scratch by executing the defining query.
+  // Exposed as the maintenance test oracle.
+  Status RebuildView(AuditExpressionDef* def);
+
+ private:
+  Status MaintainRow(AuditExpressionDef* def, const std::string& table,
+                     const Row& row, bool inserted);
+
+  Catalog* catalog_;
+  SessionContext* session_;
+  std::unordered_map<std::string, std::unique_ptr<AuditExpressionDef>> defs_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_AUDIT_AUDIT_EXPRESSION_H_

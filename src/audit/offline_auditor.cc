@@ -1,0 +1,94 @@
+#include "audit/offline_auditor.h"
+
+#include <algorithm>
+
+#include "audit/accessed_state.h"
+#include "audit/placement.h"
+#include "exec/executor.h"
+
+namespace seltrig {
+
+namespace {
+
+// Canonical bag form: rows sorted lexicographically by total Value order.
+void SortRows(std::vector<Row>* rows) {
+  std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = Value::Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+}
+
+bool SameBag(const std::vector<Row>& sorted_a, std::vector<Row> b) {
+  if (sorted_a.size() != b.size()) return false;
+  SortRows(&b);
+  RowEq eq;
+  for (size_t i = 0; i < sorted_a.size(); ++i) {
+    if (!eq(sorted_a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<OfflineAuditReport> OfflineAuditor::Audit(const LogicalOperator& plan,
+                                                 const AuditExpressionDef& def,
+                                                 const OfflineAuditOptions& options) {
+  OfflineAuditReport report;
+
+  // Baseline: Q(D).
+  std::vector<Row> baseline;
+  {
+    ExecContext ctx(catalog_, session_);
+    Executor executor(&ctx);
+    SELTRIG_ASSIGN_OR_RETURN(baseline, executor.ExecutePlan(plan, {}));
+    report.query_executions++;
+  }
+  SortRows(&baseline);
+
+  // Candidate set.
+  std::vector<Value> candidates;
+  if (options.candidates != nullptr) {
+    candidates = *options.candidates;
+  } else if (options.prune_with_leaf_audit) {
+    PlacementOptions popts;
+    popts.heuristic = PlacementHeuristic::kLeafNode;
+    SELTRIG_ASSIGN_OR_RETURN(PlanPtr leaf_plan, InstrumentPlan(plan, def, popts));
+    ExecContext ctx(catalog_, session_);
+    AccessedStateRegistry registry;
+    ctx.set_accessed(&registry);
+    Executor executor(&ctx);
+    Result<std::vector<Row>> rows = executor.ExecutePlan(*leaf_plan, {});
+    SELTRIG_RETURN_IF_ERROR(rows.status());
+    report.query_executions++;
+    const AccessedState* state = registry.Find(def.name());
+    if (state != nullptr) candidates = state->SortedIds();
+  } else {
+    candidates = def.view().SortedIds();
+  }
+
+  // Definition 2.5: delete, re-run, compare.
+  for (const Value& id : candidates) {
+    ExecContext ctx(catalog_, session_);
+    ScanExclusion exclusion;
+    exclusion.table = def.sensitive_table();
+    exclusion.column = def.partition_column();
+    exclusion.value = id;
+    ctx.AddExclusion(std::move(exclusion));
+    Executor executor(&ctx);
+    SELTRIG_ASSIGN_OR_RETURN(std::vector<Row> without, executor.ExecutePlan(plan, {}));
+    report.query_executions++;
+    report.candidates_tested++;
+    if (!SameBag(baseline, std::move(without))) {
+      report.accessed_ids.push_back(id);
+    }
+  }
+  std::sort(report.accessed_ids.begin(), report.accessed_ids.end(),
+            [](const Value& a, const Value& b) { return Value::Compare(a, b) < 0; });
+  return report;
+}
+
+}  // namespace seltrig

@@ -1,0 +1,59 @@
+// Offline auditor: ground-truth access semantics per Definition 2.5. A
+// sensitive tuple t is accessed by query Q over database D iff the results of
+// Q(D) and Q(D - t) differ (bag semantics). Evaluated non-destructively by
+// re-running the plan with a scan-level exclusion of t.
+//
+// This is the component the paper assumes as the back end of the auditing
+// pipeline (Figure 1): SELECT triggers are an online filter in front of it,
+// guaranteed to produce a superset of these IDs (no false negatives).
+
+#ifndef SELTRIG_AUDIT_OFFLINE_AUDITOR_H_
+#define SELTRIG_AUDIT_OFFLINE_AUDITOR_H_
+
+#include <vector>
+
+#include "audit/audit_expression.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "plan/logical_plan.h"
+
+namespace seltrig {
+
+struct OfflineAuditOptions {
+  // Restrict Definition 2.5 evaluation to the IDs produced by a leaf-node
+  // instrumented run. Sound: the leaf-node heuristic has no false negatives
+  // (Claim 3.5), so tuples outside its audit set cannot be accessed. Cuts
+  // the number of re-executions from |sensitiveIDs| to |leaf auditIDs|.
+  bool prune_with_leaf_audit = true;
+  // When non-null, test exactly these IDs instead (overrides pruning). The
+  // caller must supply a no-false-negative superset of the accessed IDs --
+  // e.g. an hcn audit set (Claim 3.6) -- for the result to stay exact.
+  const std::vector<Value>* candidates = nullptr;
+};
+
+struct OfflineAuditReport {
+  std::vector<Value> accessed_ids;  // sorted
+  size_t candidates_tested = 0;
+  size_t query_executions = 0;  // including the baseline run
+};
+
+class OfflineAuditor {
+ public:
+  OfflineAuditor(Catalog* catalog, SessionContext* session)
+      : catalog_(catalog), session_(session) {}
+
+  // Computes accessedIDs for (plan, def). `plan` must be the uninstrumented
+  // optimized plan of the query.
+  Result<OfflineAuditReport> Audit(const LogicalOperator& plan,
+                                   const AuditExpressionDef& def,
+                                   const OfflineAuditOptions& options = {});
+
+ private:
+  Catalog* catalog_;
+  SessionContext* session_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_AUDIT_OFFLINE_AUDITOR_H_

@@ -1,0 +1,313 @@
+#include "audit/placement.h"
+
+#include <utility>
+
+namespace seltrig {
+
+const char* PlacementHeuristicName(PlacementHeuristic h) {
+  switch (h) {
+    case PlacementHeuristic::kLeafNode:
+      return "leaf-node";
+    case PlacementHeuristic::kHighestNode:
+      return "highest-node";
+    case PlacementHeuristic::kHighestCommutativeNode:
+      return "highest-commutative-node";
+  }
+  return "?";
+}
+
+namespace {
+
+void DeepCloneSubqueryPlans(Expr& e) {
+  if (e.kind == ExprKind::kSubquery && e.subquery_plan != nullptr) {
+    e.subquery_plan = ClonePlanDeep(*e.subquery_plan);
+  }
+  for (auto& c : e.children) DeepCloneSubqueryPlans(*c);
+}
+
+// Applies `fn` to every subquery-plan slot reachable from `plan`'s node
+// expressions (but not recursively into those plans; `fn` decides).
+void ForEachSubqueryPlanSlot(LogicalOperator& plan,
+                             const std::function<void(std::shared_ptr<LogicalOperator>&)>& fn) {
+  VisitNodeExprs(plan, [&fn](ExprPtr& e) {
+    std::function<void(Expr&)> walk = [&fn, &walk](Expr& x) {
+      if (x.kind == ExprKind::kSubquery && x.subquery_plan != nullptr) {
+        fn(x.subquery_plan);
+      }
+      for (auto& c : x.children) walk(*c);
+    };
+    walk(*e);
+  });
+  for (auto& child : plan.children) ForEachSubqueryPlanSlot(*child, fn);
+}
+
+}  // namespace
+
+PlanPtr ClonePlanDeep(const LogicalOperator& plan) {
+  PlanPtr copy = plan.Clone();
+  // Clone() deep-copies children and expressions but shares subquery plans;
+  // replace each shared subquery plan with its own deep clone.
+  std::function<void(LogicalOperator&)> fix = [&fix](LogicalOperator& node) {
+    VisitNodeExprs(node, [](ExprPtr& e) { DeepCloneSubqueryPlans(*e); });
+    for (auto& child : node.children) fix(*child);
+  };
+  fix(*copy);
+  return copy;
+}
+
+bool AuditCommutesWith(const LogicalOperator& parent, int child_index, int key_column,
+                       int* new_key_column) {
+  *new_key_column = key_column;
+  switch (parent.kind()) {
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+      // Filters only remove rows below/above symmetrically; sorts reorder.
+      // Neither changes which rows flow, so no accessed tuple is missed.
+      return true;
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const LogicalJoin&>(parent);
+      // A join behaves as a filter for the preserved side: a sensitive tuple
+      // eliminated by the join predicate cannot influence the result
+      // (Theorem 3.7 reasoning). The null-supplying side of an outer join
+      // does not commute (its tuples can vanish into padding).
+      if (join.join_type == JoinType::kLeft && child_index == 1) return false;
+      if (child_index == 1) {
+        *new_key_column = key_column + static_cast<int>(join.children[0]->schema.size());
+      }
+      return true;
+    }
+    case PlanKind::kProject: {
+      // Commutes only when the projection passes the partition-by key
+      // through unchanged (forced ID propagation, Section IV-A1).
+      const auto& project = static_cast<const LogicalProject&>(parent);
+      for (size_t i = 0; i < project.exprs.size(); ++i) {
+        const Expr& e = *project.exprs[i];
+        if (e.kind == ExprKind::kColumnRef && e.column_index == key_column) {
+          *new_key_column = static_cast<int>(i);
+          return true;
+        }
+      }
+      return false;
+    }
+    case PlanKind::kAggregate:  // IDs do not survive grouping
+    case PlanKind::kLimit:      // top-k consumes rows it does not emit (Ex. 3.2)
+    case PlanKind::kDistinct:   // duplicate elimination can hide accesses
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Inserts an audit operator above every scan of the sensitive table in this
+// plan (not descending into subquery plans; the caller walks those).
+Status InsertAboveLeaves(std::shared_ptr<LogicalOperator>* slot,
+                         const AuditExpressionDef& def,
+                         const PlacementOptions& options) {
+  LogicalOperator& node = **slot;
+  if (node.kind() == PlanKind::kScan) {
+    const auto& scan = static_cast<const LogicalScan&>(node);
+    if (scan.virtual_rows == nullptr && scan.table_name == def.sensitive_table()) {
+      // Locate the partition-by key in the scan's (possibly pruned) output.
+      int key = -1;
+      for (size_t i = 0; i < scan.schema.size(); ++i) {
+        if (scan.BaseColumn(static_cast<int>(i)) == def.partition_column()) {
+          key = static_cast<int>(i);
+          break;
+        }
+      }
+      if (key < 0) {
+        // Column pruning must retain the key at sensitive leaves (leaf
+        // retention, Section IV-A1); a missing key would silently produce
+        // false negatives, so fail loudly instead.
+        return Status::Internal("partition-by key '" + def.partition_by() +
+                                "' pruned from scan of " + def.sensitive_table());
+      }
+      auto audit = std::make_shared<LogicalAudit>();
+      audit->audit_name = def.name();
+      audit->key_column = key;
+      audit->schema = node.schema;
+      if (options.use_id_view && options.use_bloom_filter) {
+        audit->bloom = def.view().BuildBloomFilter(options.bloom_fp_rate);
+      } else if (options.use_id_view) {
+        audit->id_view = &def.view();
+      } else if (def.single_table_predicate() != nullptr) {
+        // The fallback predicate is bound against the base schema; remap it
+        // into the scan's output space. If pruning removed a column the
+        // predicate needs -- the extra-I/O problem the ID-view design avoids
+        // (Section IV-A) -- fall back to the view.
+        ExprPtr pred = def.single_table_predicate()->Clone();
+        bool remappable = true;
+        std::function<void(Expr&)> remap = [&](Expr& e) {
+          if (e.kind == ExprKind::kColumnRef) {
+            int out = -1;
+            for (size_t i = 0; i < scan.schema.size(); ++i) {
+              if (scan.BaseColumn(static_cast<int>(i)) == e.column_index) {
+                out = static_cast<int>(i);
+                break;
+              }
+            }
+            if (out < 0) {
+              remappable = false;
+            } else {
+              e.column_index = out;
+            }
+          }
+          for (auto& c : e.children) remap(*c);
+        };
+        remap(*pred);
+        if (remappable) {
+          audit->fallback_predicate = std::move(pred);
+        } else {
+          audit->id_view = &def.view();
+        }
+      } else {
+        // No single-table predicate available: fall back to the view.
+        audit->id_view = &def.view();
+      }
+      audit->children = {*slot};
+      *slot = std::move(audit);
+    }
+    return Status::OK();
+  }
+  for (auto& child : node.children) {
+    SELTRIG_RETURN_IF_ERROR(InsertAboveLeaves(&child, def, options));
+  }
+  return Status::OK();
+}
+
+// One bottom-up pull-up step of Algorithm 1. Returns true if any audit
+// operator moved.
+bool PullUpOnce(std::shared_ptr<LogicalOperator>* slot) {
+  LogicalOperator& node = **slot;
+  bool moved = false;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (node.children[i]->kind() == PlanKind::kAudit) {
+      auto audit = std::static_pointer_cast<LogicalAudit>(node.children[i]);
+      int new_key = -1;
+      if (AuditCommutesWith(node, static_cast<int>(i), audit->key_column, &new_key)) {
+        // Swap: parent adopts the audit operator's child; the audit operator
+        // moves above the parent.
+        PlanPtr parent = *slot;
+        parent->children[i] = audit->children[0];
+        audit->children[0] = parent;
+        audit->key_column = new_key;
+        audit->schema = parent->schema;
+        *slot = audit;
+        return true;  // restart from this position (the tree changed)
+      }
+    }
+  }
+  for (auto& child : node.children) {
+    moved = moved || PullUpOnce(&child);
+    if (moved) return true;
+  }
+  return false;
+}
+
+// Highest-node heuristic: place at the topmost position whose schema exposes
+// the sensitive table's partition-by key; returns true when placed.
+bool PlaceHighest(std::shared_ptr<LogicalOperator>* slot, const AuditExpressionDef& def,
+                  const PlacementOptions& options) {
+  LogicalOperator& node = **slot;
+  bool ambiguous = false;
+  int idx = node.schema.TryResolve("", def.partition_by(), &ambiguous);
+  if (idx < 0 && !ambiguous) {
+    // Try any qualifier: search by name only across qualified columns.
+    for (size_t i = 0; i < node.schema.size(); ++i) {
+      if (node.schema.column(i).name == def.partition_by()) {
+        idx = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  if (idx >= 0) {
+    auto audit = std::make_shared<LogicalAudit>();
+    audit->audit_name = def.name();
+    audit->key_column = idx;
+    audit->schema = node.schema;
+    if (options.use_id_view && options.use_bloom_filter) {
+      audit->bloom = def.view().BuildBloomFilter(options.bloom_fp_rate);
+    } else if (options.use_id_view || def.single_table_predicate() == nullptr) {
+      audit->id_view = &def.view();
+    } else {
+      audit->fallback_predicate = def.single_table_predicate()->Clone();
+    }
+    audit->children = {*slot};
+    *slot = std::move(audit);
+    return true;
+  }
+  for (auto& child : node.children) {
+    if (PlaceHighest(&child, def, options)) return true;
+  }
+  return false;
+}
+
+bool PlanReferencesSensitiveTable(const LogicalOperator& plan, const std::string& table) {
+  if (plan.kind() == PlanKind::kScan) {
+    const auto& scan = static_cast<const LogicalScan&>(plan);
+    if (scan.virtual_rows == nullptr && scan.table_name == table) return true;
+  }
+  for (const auto& child : plan.children) {
+    if (PlanReferencesSensitiveTable(*child, table)) return true;
+  }
+  return false;
+}
+
+// Instruments one (sub)plan in place.
+Status InstrumentSubplan(std::shared_ptr<LogicalOperator>* root,
+                         const AuditExpressionDef& def,
+                         const PlacementOptions& options) {
+  switch (options.heuristic) {
+    case PlacementHeuristic::kLeafNode:
+      return InsertAboveLeaves(root, def, options);
+    case PlacementHeuristic::kHighestNode:
+      if (PlanReferencesSensitiveTable(**root, def.sensitive_table())) {
+        PlaceHighest(root, def, options);
+      }
+      return Status::OK();
+    case PlacementHeuristic::kHighestCommutativeNode:
+      SELTRIG_RETURN_IF_ERROR(InsertAboveLeaves(root, def, options));
+      while (PullUpOnce(root)) {
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown placement heuristic");
+}
+
+}  // namespace
+
+Result<PlanPtr> InstrumentPlan(const LogicalOperator& plan, const AuditExpressionDef& def,
+                               const PlacementOptions& options) {
+  PlanPtr copy = ClonePlanDeep(plan);
+  // Instrument every nested subquery plan first (audit operators must not
+  // cross subquery boundaries: their data is out of scope above, Fig. 4(c)).
+  Status status = Status::OK();
+  std::function<void(PlanPtr&)> instrument_all = [&](PlanPtr& p) {
+    ForEachSubqueryPlanSlot(*p, [&](std::shared_ptr<LogicalOperator>& sub) {
+      instrument_all(sub);
+    });
+    Status s = InstrumentSubplan(&p, def, options);
+    if (!s.ok()) status = s;
+  };
+  instrument_all(copy);
+  SELTRIG_RETURN_IF_ERROR(status);
+  return copy;
+}
+
+int CountAuditOperators(const LogicalOperator& plan) {
+  int count = plan.kind() == PlanKind::kAudit ? 1 : 0;
+  VisitNodeExprs(plan, [&count](const Expr& e) {
+    std::function<void(const Expr&)> walk = [&count, &walk](const Expr& x) {
+      if (x.kind == ExprKind::kSubquery && x.subquery_plan != nullptr) {
+        count += CountAuditOperators(*x.subquery_plan);
+      }
+      for (const auto& c : x.children) walk(*c);
+    };
+    walk(e);
+  });
+  for (const auto& child : plan.children) count += CountAuditOperators(*child);
+  return count;
+}
+
+}  // namespace seltrig

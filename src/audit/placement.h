@@ -1,0 +1,69 @@
+// Audit-operator placement (Section III-C, Algorithm 1).
+//
+// Three heuristics are implemented:
+//  * kLeafNode — one audit operator directly above each (predicate-pushed)
+//    scan of the sensitive table. No false negatives (Claim 3.5), many false
+//    positives.
+//  * kHighestNode — at the highest edge where the partition-by key is
+//    visible, ignoring operator commutativity. Fewest false positives but
+//    can produce FALSE NEGATIVES (Example 3.2, top-k); included as the
+//    cautionary baseline.
+//  * kHighestCommutativeNode — Algorithm 1: start at the leaves, pull the
+//    audit operator up through commuting operators (filters, joins, sorts,
+//    ID-preserving projections), stop at non-commuting ones (group-by,
+//    limit/top-k, distinct, subquery boundaries). No false negatives
+//    (Claim 3.6); exact for select-join queries (Theorem 3.7).
+
+#ifndef SELTRIG_AUDIT_PLACEMENT_H_
+#define SELTRIG_AUDIT_PLACEMENT_H_
+
+#include "audit/audit_expression.h"
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+namespace seltrig {
+
+enum class PlacementHeuristic {
+  kLeafNode,
+  kHighestNode,
+  kHighestCommutativeNode,
+};
+
+const char* PlacementHeuristicName(PlacementHeuristic h);
+
+struct PlacementOptions {
+  PlacementHeuristic heuristic = PlacementHeuristic::kHighestCommutativeNode;
+  // Probe the materialized ID view (Section IV-A). When false, the audit
+  // operator evaluates the audit expression's single-table predicate per row
+  // instead -- the naive physical design ablated in the evaluation.
+  bool use_id_view = true;
+  // Probe a Bloom summary of the ID view instead of the exact hash set
+  // (Section IV-A2's fallback for sets that do not fit in memory). Collisions
+  // surface as audit false positives; no false negatives are introduced.
+  bool use_bloom_filter = false;
+  double bloom_fp_rate = 0.01;
+};
+
+// Returns a deep copy of `plan` instrumented with audit operators for `def`.
+// Nested subquery plans are copied and instrumented as well (an audit
+// operator never escapes its subquery: Figure 4(c)).
+Result<PlanPtr> InstrumentPlan(const LogicalOperator& plan, const AuditExpressionDef& def,
+                               const PlacementOptions& options);
+
+// Deep-copies a plan *including* the plans nested in subquery expressions
+// (LogicalOperator::Clone alone shares those).
+PlanPtr ClonePlanDeep(const LogicalOperator& plan);
+
+// True when an audit operator sitting at `child_index` of `parent` may be
+// pulled above `parent` without introducing false negatives; on success
+// `*new_key_column` is the key's position in the parent's output. Exposed for
+// tests of the commutativity table.
+bool AuditCommutesWith(const LogicalOperator& parent, int child_index, int key_column,
+                       int* new_key_column);
+
+// Counts audit operators in the plan (including subquery plans).
+int CountAuditOperators(const LogicalOperator& plan);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_AUDIT_PLACEMENT_H_

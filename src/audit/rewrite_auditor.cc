@@ -1,0 +1,109 @@
+#include "audit/rewrite_auditor.h"
+
+#include <functional>
+
+#include "audit/accessed_state.h"
+#include "audit/placement.h"
+#include "exec/executor.h"
+
+namespace seltrig {
+
+namespace {
+
+bool PlanReferencesTable(const LogicalOperator& plan, const std::string& table) {
+  if (plan.kind() == PlanKind::kScan) {
+    const auto& scan = static_cast<const LogicalScan&>(plan);
+    if (scan.virtual_rows == nullptr && scan.table_name == table) return true;
+  }
+  bool found = false;
+  VisitNodeExprs(plan, [&](const Expr& e) {
+    std::function<void(const Expr&)> walk = [&](const Expr& x) {
+      if (x.kind == ExprKind::kSubquery && x.subquery_plan != nullptr &&
+          PlanReferencesTable(*x.subquery_plan, table)) {
+        found = true;
+      }
+      for (const auto& c : x.children) walk(*c);
+    };
+    walk(e);
+  });
+  if (found) return true;
+  for (const auto& child : plan.children) {
+    if (PlanReferencesTable(*child, table)) return true;
+  }
+  return false;
+}
+
+bool NodeInSelectJoinClass(const LogicalOperator& node, const std::string& sensitive) {
+  switch (node.kind()) {
+    case PlanKind::kScan:
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kSort:
+    case PlanKind::kValues:
+      break;
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const LogicalJoin&>(node);
+      if (join.join_type == JoinType::kLeft) return false;
+      break;
+    }
+    // Row-consuming / duplicate-eliminating operators break the
+    // filter-commutativity argument (Examples 3.2 / 3.9).
+    case PlanKind::kAggregate:
+    case PlanKind::kLimit:
+    case PlanKind::kDistinct:
+    case PlanKind::kAudit:
+      return false;
+  }
+  // Subqueries are admissible as opaque predicates only while they do not
+  // read the sensitive table (otherwise deleting a sensitive tuple could
+  // change the predicate itself).
+  bool ok = true;
+  VisitNodeExprs(node, [&](const Expr& e) {
+    std::function<void(const Expr&)> walk = [&](const Expr& x) {
+      if (x.kind == ExprKind::kSubquery && x.subquery_plan != nullptr &&
+          PlanReferencesTable(*x.subquery_plan, sensitive)) {
+        ok = false;
+      }
+      for (const auto& c : x.children) walk(*c);
+    };
+    walk(e);
+  });
+  if (!ok) return false;
+  for (const auto& child : node.children) {
+    if (!NodeInSelectJoinClass(*child, sensitive)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RewriteAuditor::IsApplicable(const LogicalOperator& plan,
+                                  const AuditExpressionDef& def) {
+  return NodeInSelectJoinClass(plan, def.sensitive_table());
+}
+
+Result<RewriteAuditReport> RewriteAuditor::Audit(const LogicalOperator& plan,
+                                                 const AuditExpressionDef& def) {
+  RewriteAuditReport report;
+  if (!IsApplicable(plan, def)) {
+    return report;  // applicable = false
+  }
+  report.applicable = true;
+
+  PlacementOptions popts;
+  popts.heuristic = PlacementHeuristic::kHighestCommutativeNode;
+  SELTRIG_ASSIGN_OR_RETURN(PlanPtr instrumented, InstrumentPlan(plan, def, popts));
+
+  ExecContext ctx(catalog_, session_);
+  AccessedStateRegistry registry;
+  ctx.set_accessed(&registry);
+  Executor executor(&ctx);
+  Result<std::vector<Row>> rows = executor.ExecutePlan(*instrumented, {});
+  SELTRIG_RETURN_IF_ERROR(rows.status());
+
+  const AccessedState* state = registry.Find(def.name());
+  if (state != nullptr) report.accessed_ids = state->SortedIds();
+  return report;
+}
+
+}  // namespace seltrig

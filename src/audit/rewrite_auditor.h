@@ -1,0 +1,57 @@
+// Rewrite-based offline auditing (the approach of Kaushik & Ramamurthy,
+// SIGMOD 2011 -- reference [9] of the paper, which the authors' own offline
+// tool implements). For the class of select-join queries, the accessed IDs
+// are exactly the distinct partition-by keys appearing in the query's
+// pre-projection result (the same fact behind Theorem 3.7), so auditing
+// reduces to rewriting the query to return those keys -- ONE extra query
+// execution instead of Definition 2.5's one-per-candidate re-runs.
+//
+// The rewriter is deliberately conservative: it applies only when the plan
+// provably falls in the supported class (scans, filters, inner joins,
+// ID-preserving projections, sorts -- with no subqueries over the sensitive
+// table); everything else reports NotApplicable and must go through the
+// general OfflineAuditor. The equivalence of the two auditors on the
+// supported class is property-tested.
+
+#ifndef SELTRIG_AUDIT_REWRITE_AUDITOR_H_
+#define SELTRIG_AUDIT_REWRITE_AUDITOR_H_
+
+#include <vector>
+
+#include "audit/audit_expression.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "plan/logical_plan.h"
+
+namespace seltrig {
+
+struct RewriteAuditReport {
+  bool applicable = false;
+  std::vector<Value> accessed_ids;  // sorted; meaningful when applicable
+};
+
+class RewriteAuditor {
+ public:
+  RewriteAuditor(Catalog* catalog, SessionContext* session)
+      : catalog_(catalog), session_(session) {}
+
+  // True when `plan` is in the supported select-join class with respect to
+  // `def` (exactly the precondition of Theorem 3.7 plus "the sensitive table
+  // does not appear inside subqueries").
+  static bool IsApplicable(const LogicalOperator& plan, const AuditExpressionDef& def);
+
+  // Computes accessedIDs by rewriting: instrument the plan with an hcn audit
+  // operator and run it once. On the supported class this equals the
+  // Definition 2.5 result; otherwise returns applicable = false.
+  Result<RewriteAuditReport> Audit(const LogicalOperator& plan,
+                                   const AuditExpressionDef& def);
+
+ private:
+  Catalog* catalog_;
+  SessionContext* session_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_AUDIT_REWRITE_AUDITOR_H_

@@ -1,0 +1,48 @@
+// SensitiveIdView: an audit expression compiled to the materialized set of
+// partition-by IDs it selects (Section IV-A1). The physical audit operator
+// probes this set -- a hash lookup whose cost is independent of the audit
+// expression's complexity -- instead of re-evaluating the expression's
+// predicate per row.
+
+#ifndef SELTRIG_AUDIT_SENSITIVE_ID_VIEW_H_
+#define SELTRIG_AUDIT_SENSITIVE_ID_VIEW_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bloom_filter.h"
+#include "types/value.h"
+
+namespace seltrig {
+
+class SensitiveIdView {
+ public:
+  bool Contains(const Value& id) const { return ids_.count(id) > 0; }
+  size_t size() const { return ids_.size(); }
+  const std::unordered_set<Value, ValueHash, ValueEq>& ids() const { return ids_; }
+
+  std::vector<Value> SortedIds() const;
+
+  // Builds a Bloom filter over the current IDs (Section IV-A2's fallback for
+  // sets too large to probe exactly). The filter is a snapshot: rebuild
+  // after DML when exactness of the summary matters.
+  std::shared_ptr<const BloomFilter> BuildBloomFilter(double target_fp_rate) const {
+    auto bloom = std::make_shared<BloomFilter>(ids_.size(), target_fp_rate);
+    for (const Value& id : ids_) bloom->Add(static_cast<uint64_t>(id.Hash()));
+    return bloom;
+  }
+
+  // Maintenance entry points, driven by the AuditManager's DML hooks
+  // (standard incremental materialized-view maintenance).
+  void Add(const Value& id) { ids_.insert(id); }
+  void Remove(const Value& id) { ids_.erase(id); }
+  void Clear() { ids_.clear(); }
+
+ private:
+  std::unordered_set<Value, ValueHash, ValueEq> ids_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_AUDIT_SENSITIVE_ID_VIEW_H_

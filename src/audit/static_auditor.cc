@@ -1,0 +1,58 @@
+#include "audit/static_auditor.h"
+
+#include <functional>
+
+#include "expr/analysis.h"
+
+namespace seltrig {
+
+StaticAuditResult StaticAnalyzeQuery(const LogicalOperator& plan,
+                                     const AuditExpressionDef& def) {
+  StaticAuditResult result;
+
+  bool references_sensitive = false;
+  bool all_scans_disjoint = true;
+
+  std::function<void(const LogicalOperator&)> walk =
+      [&](const LogicalOperator& node) {
+        if (node.kind() == PlanKind::kScan) {
+          const auto& scan = static_cast<const LogicalScan&>(node);
+          if (scan.virtual_rows == nullptr &&
+              scan.table_name == def.sensitive_table()) {
+            references_sensitive = true;
+            // Provable disjointness requires predicates on both sides.
+            if (def.single_table_predicate() == nullptr || scan.filter == nullptr ||
+                !PredicatesDisjoint(*scan.filter, *def.single_table_predicate())) {
+              all_scans_disjoint = false;
+            }
+          }
+        }
+        VisitNodeExprs(node, [&walk](const Expr& e) {
+          std::function<void(const Expr&)> expr_walk = [&](const Expr& x) {
+            if (x.kind == ExprKind::kSubquery && x.subquery_plan != nullptr) {
+              walk(*x.subquery_plan);
+            }
+            for (const auto& c : x.children) expr_walk(*c);
+          };
+          expr_walk(e);
+        });
+        for (const auto& child : node.children) walk(*child);
+      };
+  walk(plan);
+
+  if (!references_sensitive) {
+    result.flagged = false;
+    result.reason = "query does not reference the sensitive table";
+    return result;
+  }
+  if (all_scans_disjoint) {
+    result.flagged = false;
+    result.reason = "query predicates are provably disjoint from the audit expression";
+    return result;
+  }
+  result.flagged = true;
+  result.reason = "selection conditions may intersect the audit expression";
+  return result;
+}
+
+}  // namespace seltrig

@@ -1,0 +1,31 @@
+// Static-analysis auditor in the style of Oracle Fine-Grained Auditing
+// (Section VI, Example 6.1): without executing anything, flags a query as
+// potentially accessing an audit expression unless the query's single-table
+// predicates on the sensitive table are *provably disjoint* from the audit
+// expression's predicate (instance-independent semantics). Efficient, but
+// produces false positives for almost every realistic query -- the
+// comparison point motivating execution-based audit operators.
+
+#ifndef SELTRIG_AUDIT_STATIC_AUDITOR_H_
+#define SELTRIG_AUDIT_STATIC_AUDITOR_H_
+
+#include <string>
+
+#include "audit/audit_expression.h"
+#include "plan/logical_plan.h"
+
+namespace seltrig {
+
+struct StaticAuditResult {
+  bool flagged = false;
+  std::string reason;
+};
+
+// Analyzes an (optimized, uninstrumented) plan against `def`. The plan should
+// have single-table predicates pushed into scans (the optimizer does this).
+StaticAuditResult StaticAnalyzeQuery(const LogicalOperator& plan,
+                                     const AuditExpressionDef& def);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_AUDIT_STATIC_AUDITOR_H_

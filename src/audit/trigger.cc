@@ -1,0 +1,81 @@
+#include "audit/trigger.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace seltrig {
+
+Status TriggerManager::CreateTrigger(std::unique_ptr<TriggerDef> def) {
+  std::string key = ToLower(def->name);
+  def->name = key;
+  if (triggers_.count(key) > 0) {
+    return Status::AlreadyExists("trigger already exists: " + key);
+  }
+  triggers_.emplace(std::move(key), std::move(def));
+  return Status::OK();
+}
+
+Status TriggerManager::DropTrigger(const std::string& name) {
+  if (triggers_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("trigger not found: " + name);
+  }
+  return Status::OK();
+}
+
+const TriggerDef* TriggerManager::Find(const std::string& name) const {
+  auto it = triggers_.find(ToLower(name));
+  return it == triggers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<TriggerDef*> TriggerManager::SelectTriggersFor(
+    const std::string& audit_expression) {
+  std::vector<TriggerDef*> out;
+  for (auto& [name, def] : triggers_) {
+    if (def->enabled && def->is_select_trigger &&
+        def->audit_expression == audit_expression) {
+      out.push_back(def.get());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TriggerDef* a, const TriggerDef* b) { return a->name < b->name; });
+  return out;
+}
+
+std::vector<TriggerDef*> TriggerManager::DmlTriggersFor(const std::string& table,
+                                                        ast::DmlEvent event) {
+  std::vector<TriggerDef*> out;
+  for (auto& [name, def] : triggers_) {
+    if (def->enabled && !def->is_select_trigger && def->table == table &&
+        def->event == event) {
+      out.push_back(def.get());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TriggerDef* a, const TriggerDef* b) { return a->name < b->name; });
+  return out;
+}
+
+std::vector<const TriggerDef*> TriggerManager::All() const {
+  std::vector<const TriggerDef*> out;
+  out.reserve(triggers_.size());
+  for (const auto& [name, def] : triggers_) out.push_back(def.get());
+  std::sort(out.begin(), out.end(),
+            [](const TriggerDef* a, const TriggerDef* b) { return a->name < b->name; });
+  return out;
+}
+
+std::vector<std::string> TriggerManager::AuditedExpressionNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, def] : triggers_) {
+    if (def->enabled && def->is_select_trigger) {
+      if (std::find(names.begin(), names.end(), def->audit_expression) == names.end()) {
+        names.push_back(def->audit_expression);
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace seltrig

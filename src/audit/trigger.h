@@ -1,0 +1,64 @@
+// Trigger definitions and registry. SELECT triggers (ON ACCESS TO <audit
+// expression>) fire after a query completes, with the ACCESSED internal state
+// bound as a relation; DML triggers (ON <table> AFTER INSERT/UPDATE/DELETE)
+// fire per affected row with NEW/OLD bound. Actions are ordinary statements,
+// so triggers cascade (Section II). Action execution lives in the Database.
+
+#ifndef SELTRIG_AUDIT_TRIGGER_H_
+#define SELTRIG_AUDIT_TRIGGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace seltrig {
+
+struct TriggerDef {
+  std::string name;  // lower-case
+  bool is_select_trigger = false;
+  // SELECT triggers only: fire before the result is returned to the client
+  // (the Section II "warn users" variant); an erroring action (RAISE) then
+  // denies the query.
+  bool before = false;
+  std::string audit_expression;  // SELECT triggers: lower-case expr name
+  std::string table;             // DML triggers: lower-case table name
+  ast::DmlEvent event = ast::DmlEvent::kInsert;
+  std::vector<ast::StatementPtr> actions;  // parsed once at CREATE TRIGGER
+  bool enabled = true;
+};
+
+class TriggerManager {
+ public:
+  TriggerManager() = default;
+  TriggerManager(const TriggerManager&) = delete;
+  TriggerManager& operator=(const TriggerManager&) = delete;
+
+  Status CreateTrigger(std::unique_ptr<TriggerDef> def);
+  Status DropTrigger(const std::string& name);
+
+  const TriggerDef* Find(const std::string& name) const;
+
+  // SELECT triggers registered on `audit_expression`.
+  std::vector<TriggerDef*> SelectTriggersFor(const std::string& audit_expression);
+
+  // DML triggers for (table, event).
+  std::vector<TriggerDef*> DmlTriggersFor(const std::string& table, ast::DmlEvent event);
+
+  // Audit expression names that have at least one enabled SELECT trigger --
+  // the expressions queries must be instrumented for.
+  std::vector<std::string> AuditedExpressionNames() const;
+
+  // Every registered trigger, sorted by name.
+  std::vector<const TriggerDef*> All() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<TriggerDef>> triggers_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_AUDIT_TRIGGER_H_

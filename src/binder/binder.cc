@@ -1,0 +1,771 @@
+#include "binder/binder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "expr/analysis.h"
+
+namespace seltrig {
+
+bool IsAggregateFunctionName(const std::string& name) {
+  return name == "count" || name == "sum" || name == "avg" || name == "min" ||
+         name == "max";
+}
+
+bool AstExprEquals(const ast::Expression& a, const ast::Expression& b) {
+  if (a.type != b.type) return false;
+  if (a.int_value != b.int_value || a.float_value != b.float_value ||
+      a.string_value != b.string_value || a.bool_value != b.bool_value ||
+      a.qualifier != b.qualifier || a.name != b.name || a.op != b.op ||
+      a.negated != b.negated || a.has_else != b.has_else || a.distinct != b.distinct) {
+    return false;
+  }
+  if (a.subquery != nullptr || b.subquery != nullptr) return false;
+  if (a.children.size() != b.children.size()) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!AstExprEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool ContainsAggregateCall(const ast::Expression& e) {
+  if (e.type == ast::ExprType::kFunctionCall && IsAggregateFunctionName(e.name)) {
+    return true;
+  }
+  // Do not descend into subqueries: their aggregates are their own.
+  if (e.subquery != nullptr) return false;
+  for (const auto& c : e.children) {
+    if (ContainsAggregateCall(*c)) return true;
+  }
+  return false;
+}
+
+std::string SelectItemName(const ast::SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr && item.expr->type == ast::ExprType::kColumnRef) {
+    return item.expr->name;
+  }
+  return "col" + std::to_string(index + 1);
+}
+
+}  // namespace
+
+// Aggregation environment active while binding post-aggregate expressions
+// (select list, HAVING, ORDER BY of an aggregated query).
+struct Binder::AggregateEnv {
+  const Schema* input_schema = nullptr;  // pre-aggregation schema
+  std::vector<const ast::Expression*> group_asts;
+  LogicalAggregate* agg = nullptr;  // aggregates appended while binding
+};
+
+void Binder::AddVirtualTable(const std::string& name, VirtualTable table) {
+  virtual_tables_[ToLower(name)] = std::move(table);
+}
+
+Result<PlanPtr> Binder::BindTableRef(const ast::TableRef& ref) {
+  if (ref.derived != nullptr) {
+    // Derived table: bind the subselect; its output columns become visible
+    // under the alias. Hidden helper columns stay hidden (and unresolvable
+    // in practice -- their generated names do not collide).
+    SELTRIG_ASSIGN_OR_RETURN(PlanPtr plan, BindSelect(*ref.derived));
+    for (size_t i = 0; i < plan->schema.size(); ++i) {
+      plan->schema.column(i).qualifier = ref.alias;
+    }
+    return plan;
+  }
+  auto scan = std::make_shared<LogicalScan>();
+  scan->table_name = ref.table;
+  scan->alias = ref.alias.empty() ? ref.table : ref.alias;
+
+  auto vit = virtual_tables_.find(ref.table);
+  if (vit != virtual_tables_.end()) {
+    scan->virtual_rows = vit->second.rows;
+    scan->schema = vit->second.schema;
+  } else {
+    SELTRIG_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ref.table));
+    scan->schema = table->schema();
+  }
+  for (size_t i = 0; i < scan->schema.size(); ++i) {
+    scan->schema.column(i).qualifier = scan->alias;
+  }
+  return PlanPtr(std::move(scan));
+}
+
+Result<PlanPtr> Binder::BindFromClause(const std::vector<ast::FromClause>& from) {
+  PlanPtr plan;
+  for (const ast::FromClause& fc : from) {
+    SELTRIG_ASSIGN_OR_RETURN(PlanPtr clause_plan, BindTableRef(fc.base));
+    for (const ast::JoinClause& jc : fc.joins) {
+      SELTRIG_ASSIGN_OR_RETURN(PlanPtr right, BindTableRef(jc.table));
+      auto join = std::make_shared<LogicalJoin>();
+      join->join_type = jc.kind == ast::JoinClause::Kind::kLeft ? JoinType::kLeft
+                                                                : JoinType::kInner;
+      join->schema = Schema::Concat(clause_plan->schema, right->schema);
+      join->children = {clause_plan, right};
+      SELTRIG_ASSIGN_OR_RETURN(join->condition, BindExpr(*jc.condition, join->schema));
+      clause_plan = std::move(join);
+    }
+    if (plan == nullptr) {
+      plan = std::move(clause_plan);
+    } else {
+      auto cross = std::make_shared<LogicalJoin>();
+      cross->join_type = JoinType::kCross;
+      cross->schema = Schema::Concat(plan->schema, clause_plan->schema);
+      cross->children = {plan, clause_plan};
+      plan = std::move(cross);
+    }
+  }
+  return plan;
+}
+
+Result<ExprPtr> Binder::BindColumnRef(const ast::Expression& e, const Schema& schema) {
+  std::string display = e.qualifier.empty() ? e.name : e.qualifier + "." + e.name;
+  bool ambiguous = false;
+  int idx = schema.TryResolve(e.qualifier, e.name, &ambiguous);
+  if (ambiguous) return Status::BindError("ambiguous column reference: " + display);
+  if (idx >= 0) {
+    return MakeColumnRef(idx, schema.column(idx).type, display);
+  }
+  // Enclosing query scopes, innermost first.
+  for (int k = static_cast<int>(outer_scopes_.size()) - 1; k >= 0; --k) {
+    idx = outer_scopes_[k]->TryResolve(e.qualifier, e.name, &ambiguous);
+    if (ambiguous) return Status::BindError("ambiguous column reference: " + display);
+    if (idx >= 0) {
+      int levels = static_cast<int>(outer_scopes_.size()) - k;
+      return MakeOuterColumnRef(idx, levels, outer_scopes_[k]->column(idx).type,
+                                display);
+    }
+  }
+  // Trigger pseudo-row (NEW/OLD) is the outermost scope.
+  if (trigger_row_schema_ != nullptr) {
+    idx = trigger_row_schema_->TryResolve(e.qualifier, e.name, &ambiguous);
+    if (ambiguous) return Status::BindError("ambiguous column reference: " + display);
+    if (idx >= 0) {
+      int levels = static_cast<int>(outer_scopes_.size()) + 1;
+      return MakeOuterColumnRef(idx, levels, trigger_row_schema_->column(idx).type,
+                                display);
+    }
+  }
+  return Status::BindError("column not found: " + display);
+}
+
+Result<ExprPtr> Binder::BindFunctionCall(const ast::Expression& e, const Schema& schema) {
+  if (IsAggregateFunctionName(e.name)) {
+    return Status::BindError("aggregate function " + ToUpper(e.name) +
+                             " is not allowed here");
+  }
+  std::vector<ExprPtr> args;
+  for (const auto& c : e.children) {
+    SELTRIG_ASSIGN_OR_RETURN(ExprPtr a, BindExpr(*c, schema));
+    args.push_back(std::move(a));
+  }
+  auto check_argc = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::BindError(ToUpper(e.name) + " expects " + std::to_string(n) +
+                               " argument(s)");
+    }
+    return Status::OK();
+  };
+  const std::string& n = e.name;
+  if (n == "year" || n == "month" || n == "day") {
+    SELTRIG_RETURN_IF_ERROR(check_argc(1));
+    FunctionId id = n == "year"    ? FunctionId::kYear
+                    : n == "month" ? FunctionId::kMonth
+                                   : FunctionId::kDay;
+    return MakeFunction(id, std::move(args), TypeId::kInt);
+  }
+  if (n == "substring" || n == "substr") {
+    SELTRIG_RETURN_IF_ERROR(check_argc(3));
+    return MakeFunction(FunctionId::kSubstring, std::move(args), TypeId::kString);
+  }
+  if (n == "abs") {
+    SELTRIG_RETURN_IF_ERROR(check_argc(1));
+    TypeId t = args[0]->result_type;
+    return MakeFunction(FunctionId::kAbs, std::move(args), t);
+  }
+  if (n == "upper" || n == "lower") {
+    SELTRIG_RETURN_IF_ERROR(check_argc(1));
+    return MakeFunction(n == "upper" ? FunctionId::kUpper : FunctionId::kLower,
+                        std::move(args), TypeId::kString);
+  }
+  if (n == "now") {
+    SELTRIG_RETURN_IF_ERROR(check_argc(0));
+    return MakeFunction(FunctionId::kNow, {}, TypeId::kString);
+  }
+  if (n == "current_date" || n == "today") {
+    SELTRIG_RETURN_IF_ERROR(check_argc(0));
+    return MakeFunction(FunctionId::kCurrentDate, {}, TypeId::kDate);
+  }
+  if (n == "user_id" || n == "userid") {
+    SELTRIG_RETURN_IF_ERROR(check_argc(0));
+    return MakeFunction(FunctionId::kUserId, {}, TypeId::kString);
+  }
+  if (n == "sql_text" || n == "sql") {
+    SELTRIG_RETURN_IF_ERROR(check_argc(0));
+    return MakeFunction(FunctionId::kSqlText, {}, TypeId::kString);
+  }
+  if (n == "coalesce") {
+    if (args.empty()) return Status::BindError("COALESCE expects arguments");
+    TypeId t = TypeId::kNull;
+    for (const auto& a : args) t = CommonType(t, a->result_type);
+    return MakeFunction(FunctionId::kCoalesce, std::move(args), t);
+  }
+  return Status::BindError("unknown function: " + n);
+}
+
+Result<ExprPtr> Binder::BindSubqueryExpr(const ast::Expression& e, const Schema& schema) {
+  auto bound = std::make_unique<Expr>(ExprKind::kSubquery);
+  bound->negated = e.negated;
+
+  if (e.type == ast::ExprType::kInSubquery) {
+    bound->subquery_kind = SubqueryKind::kIn;
+    SELTRIG_ASSIGN_OR_RETURN(ExprPtr probe, BindExpr(*e.children[0], schema));
+    bound->children.push_back(std::move(probe));
+    bound->result_type = TypeId::kBool;
+  } else if (e.type == ast::ExprType::kExists) {
+    bound->subquery_kind = SubqueryKind::kExists;
+    bound->result_type = TypeId::kBool;
+  } else {
+    bound->subquery_kind = SubqueryKind::kScalar;
+  }
+
+  outer_scopes_.push_back(&schema);
+  const AggregateEnv* saved_env = active_agg_env_;
+  active_agg_env_ = nullptr;  // the subquery has its own aggregate context
+  Result<PlanPtr> sub = BindSelect(*e.subquery);
+  active_agg_env_ = saved_env;
+  outer_scopes_.pop_back();
+  SELTRIG_RETURN_IF_ERROR(sub.status());
+  bound->subquery_plan = std::move(sub).value();
+  bound->subquery_correlated = MaxEscapeLevel(*bound->subquery_plan) > 0;
+
+  if (bound->subquery_kind == SubqueryKind::kScalar) {
+    if (bound->subquery_plan->schema.size() == 0) {
+      return Status::BindError("scalar subquery must produce a column");
+    }
+    bound->result_type = bound->subquery_plan->schema.column(0).type;
+  }
+  if (bound->subquery_kind == SubqueryKind::kIn) {
+    if (bound->subquery_plan->schema.size() == 0) {
+      return Status::BindError("IN subquery must produce a column");
+    }
+    TypeId probe_t = bound->children[0]->result_type;
+    TypeId sub_t = bound->subquery_plan->schema.column(0).type;
+    if (CommonType(probe_t, sub_t) == TypeId::kNull && probe_t != TypeId::kNull &&
+        sub_t != TypeId::kNull) {
+      return Status::BindError("IN subquery type mismatch");
+    }
+  }
+  return ExprPtr(std::move(bound));
+}
+
+Result<ExprPtr> Binder::BindExpr(const ast::Expression& e, const Schema& schema) {
+  using ast::ExprType;
+  if (active_agg_env_ != nullptr) {
+    bool handled = false;
+    Result<ExprPtr> special = BindAggregateAware(e, *active_agg_env_, &handled);
+    if (!special.ok()) return special;
+    if (handled) return special;
+  }
+  switch (e.type) {
+    case ExprType::kIntLiteral:
+      return MakeLiteral(Value::Int(e.int_value));
+    case ExprType::kFloatLiteral:
+      return MakeLiteral(Value::Double(e.float_value));
+    case ExprType::kStringLiteral:
+      return MakeLiteral(Value::String(e.string_value));
+    case ExprType::kDateLiteral:
+      return MakeLiteral(Value::Date(static_cast<int32_t>(e.int_value)));
+    case ExprType::kBoolLiteral:
+      return MakeLiteral(Value::Bool(e.bool_value));
+    case ExprType::kNullLiteral:
+      return MakeLiteral(Value::Null());
+    case ExprType::kColumnRef:
+      return BindColumnRef(e, schema);
+    case ExprType::kUnaryOp: {
+      SELTRIG_ASSIGN_OR_RETURN(ExprPtr operand, BindExpr(*e.children[0], schema));
+      if (e.op == "not") {
+        return MakeNot(std::move(operand));
+      }
+      return MakeArith(ArithOp::kNeg, std::move(operand), nullptr);
+    }
+    case ExprType::kBinaryOp: {
+      SELTRIG_ASSIGN_OR_RETURN(ExprPtr lhs, BindExpr(*e.children[0], schema));
+      SELTRIG_ASSIGN_OR_RETURN(ExprPtr rhs, BindExpr(*e.children[1], schema));
+      if (e.op == "and") return MakeAnd(std::move(lhs), std::move(rhs));
+      if (e.op == "or") return MakeOr(std::move(lhs), std::move(rhs));
+      if (e.op == "=" || e.op == "<>" || e.op == "<" || e.op == "<=" ||
+          e.op == ">" || e.op == ">=") {
+        TypeId lt = lhs->result_type, rt = rhs->result_type;
+        if (CommonType(lt, rt) == TypeId::kNull && lt != TypeId::kNull &&
+            rt != TypeId::kNull) {
+          return Status::BindError("cannot compare " + std::string(TypeName(lt)) +
+                                   " with " + TypeName(rt));
+        }
+        CompareOp op = e.op == "="    ? CompareOp::kEq
+                       : e.op == "<>" ? CompareOp::kNe
+                       : e.op == "<"  ? CompareOp::kLt
+                       : e.op == "<=" ? CompareOp::kLe
+                       : e.op == ">"  ? CompareOp::kGt
+                                      : CompareOp::kGe;
+        return MakeComparison(op, std::move(lhs), std::move(rhs));
+      }
+      ArithOp op = e.op == "+"   ? ArithOp::kAdd
+                   : e.op == "-" ? ArithOp::kSub
+                   : e.op == "*" ? ArithOp::kMul
+                                 : ArithOp::kDiv;
+      return MakeArith(op, std::move(lhs), std::move(rhs));
+    }
+    case ExprType::kBetween: {
+      SELTRIG_ASSIGN_OR_RETURN(ExprPtr operand, BindExpr(*e.children[0], schema));
+      SELTRIG_ASSIGN_OR_RETURN(ExprPtr lo, BindExpr(*e.children[1], schema));
+      SELTRIG_ASSIGN_OR_RETURN(ExprPtr hi, BindExpr(*e.children[2], schema));
+      ExprPtr operand2 = operand->Clone();
+      ExprPtr range = MakeAnd(MakeComparison(CompareOp::kGe, std::move(operand), std::move(lo)),
+                              MakeComparison(CompareOp::kLe, std::move(operand2), std::move(hi)));
+      if (e.negated) return MakeNot(std::move(range));
+      return range;
+    }
+    case ExprType::kInList: {
+      auto bound = std::make_unique<Expr>(ExprKind::kInList);
+      bound->negated = e.negated;
+      bound->result_type = TypeId::kBool;
+      for (const auto& c : e.children) {
+        SELTRIG_ASSIGN_OR_RETURN(ExprPtr item, BindExpr(*c, schema));
+        bound->children.push_back(std::move(item));
+      }
+      return ExprPtr(std::move(bound));
+    }
+    case ExprType::kInSubquery:
+    case ExprType::kExists:
+    case ExprType::kScalarSubquery:
+      return BindSubqueryExpr(e, schema);
+    case ExprType::kIsNull: {
+      SELTRIG_ASSIGN_OR_RETURN(ExprPtr operand, BindExpr(*e.children[0], schema));
+      return MakeIsNull(std::move(operand), e.negated);
+    }
+    case ExprType::kLike: {
+      auto bound = std::make_unique<Expr>(ExprKind::kLike);
+      bound->negated = e.negated;
+      bound->result_type = TypeId::kBool;
+      SELTRIG_ASSIGN_OR_RETURN(ExprPtr text, BindExpr(*e.children[0], schema));
+      SELTRIG_ASSIGN_OR_RETURN(ExprPtr pattern, BindExpr(*e.children[1], schema));
+      bound->children.push_back(std::move(text));
+      bound->children.push_back(std::move(pattern));
+      return ExprPtr(std::move(bound));
+    }
+    case ExprType::kCase: {
+      auto bound = std::make_unique<Expr>(ExprKind::kCase);
+      bound->has_else = e.has_else;
+      TypeId result = TypeId::kNull;
+      size_t pairs = (e.children.size() - (e.has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        SELTRIG_ASSIGN_OR_RETURN(ExprPtr when, BindExpr(*e.children[2 * i], schema));
+        SELTRIG_ASSIGN_OR_RETURN(ExprPtr then, BindExpr(*e.children[2 * i + 1], schema));
+        result = CommonType(result, then->result_type);
+        bound->children.push_back(std::move(when));
+        bound->children.push_back(std::move(then));
+      }
+      if (e.has_else) {
+        SELTRIG_ASSIGN_OR_RETURN(ExprPtr els, BindExpr(*e.children.back(), schema));
+        result = CommonType(result, els->result_type);
+        bound->children.push_back(std::move(els));
+      }
+      bound->result_type = result;
+      return ExprPtr(std::move(bound));
+    }
+    case ExprType::kFunctionCall:
+      return BindFunctionCall(e, schema);
+    case ExprType::kStar:
+      return Status::BindError("'*' is only valid in COUNT(*)");
+  }
+  return Status::Internal("unhandled AST expression type");
+}
+
+Result<ExprPtr> Binder::BindPostAggregate(const ast::Expression& e,
+                                          const AggregateEnv& env) {
+  const AggregateEnv* saved = active_agg_env_;
+  active_agg_env_ = &env;
+  Result<ExprPtr> result = BindExpr(e, env.agg->schema);
+  active_agg_env_ = saved;
+  return result;
+}
+
+// Handles the aggregate-aware cases of BindExpr; returns nullptr (with OK
+// status semantics via the bool out-param) when `e` is not a group expression
+// or aggregate call and normal binding should proceed.
+Result<ExprPtr> Binder::BindAggregateAware(const ast::Expression& e,
+                                           const AggregateEnv& env, bool* handled) {
+  *handled = true;
+  // Group-by expressions map to their position in the aggregate output.
+  for (size_t g = 0; g < env.group_asts.size(); ++g) {
+    if (AstExprEquals(e, *env.group_asts[g])) {
+      return MakeColumnRef(static_cast<int>(g),
+                           env.agg->schema.column(g).type,
+                           env.agg->schema.column(g).name);
+    }
+  }
+  // Aggregate calls become new output columns of the aggregate node.
+  if (e.type == ast::ExprType::kFunctionCall && IsAggregateFunctionName(e.name)) {
+    AggregateSpec spec;
+    spec.distinct = e.distinct;
+    bool star_arg =
+        e.children.size() == 1 && e.children[0]->type == ast::ExprType::kStar;
+    if (e.name == "count") {
+      if (e.children.empty() || star_arg) {
+        spec.kind = AggKind::kCountStar;
+      } else {
+        spec.kind = AggKind::kCount;
+      }
+      spec.result_type = TypeId::kInt;
+    } else {
+      if (e.children.size() != 1 || star_arg) {
+        return Status::BindError(ToUpper(e.name) + " expects one argument");
+      }
+      spec.kind = e.name == "sum"   ? AggKind::kSum
+                  : e.name == "avg" ? AggKind::kAvg
+                  : e.name == "min" ? AggKind::kMin
+                                    : AggKind::kMax;
+    }
+    if (spec.kind != AggKind::kCountStar) {
+      // Aggregate arguments are bound against the pre-aggregation schema,
+      // outside the post-aggregate environment.
+      const AggregateEnv* saved = active_agg_env_;
+      active_agg_env_ = nullptr;
+      Result<ExprPtr> arg = BindExpr(*e.children[0], *env.input_schema);
+      active_agg_env_ = saved;
+      SELTRIG_RETURN_IF_ERROR(arg.status());
+      spec.arg = std::move(arg).value();
+      TypeId at = spec.arg->result_type;
+      switch (spec.kind) {
+        case AggKind::kCount:
+          spec.result_type = TypeId::kInt;
+          break;
+        case AggKind::kSum:
+          if (!IsNumeric(at)) return Status::BindError("SUM expects a numeric argument");
+          spec.result_type = at;
+          break;
+        case AggKind::kAvg:
+          if (!IsNumeric(at)) return Status::BindError("AVG expects a numeric argument");
+          spec.result_type = TypeId::kDouble;
+          break;
+        default:
+          spec.result_type = at;
+          break;
+      }
+    }
+    spec.name = e.name;
+    int idx = static_cast<int>(env.agg->schema.size());
+    env.agg->aggregates.push_back(std::move(spec));
+    Column col;
+    col.name = e.name + std::to_string(idx);
+    col.type = env.agg->aggregates.back().result_type;
+    env.agg->schema.AddColumn(col);
+    return MakeColumnRef(idx, col.type, ToUpper(e.name) + "(..)");
+  }
+  *handled = false;
+  return ExprPtr(nullptr);
+}
+
+Result<PlanPtr> Binder::BindSelect(const ast::SelectStatement& stmt) {
+  // 1. FROM.
+  PlanPtr plan;
+  if (stmt.from.empty()) {
+    auto values = std::make_shared<LogicalValues>();
+    values->rows.push_back({});  // one empty row: constant SELECT
+    plan = std::move(values);
+  } else {
+    SELTRIG_ASSIGN_OR_RETURN(plan, BindFromClause(stmt.from));
+  }
+
+  // 2. WHERE.
+  if (stmt.where != nullptr) {
+    auto filter = std::make_shared<LogicalFilter>();
+    SELTRIG_ASSIGN_OR_RETURN(filter->predicate, BindExpr(*stmt.where, plan->schema));
+    filter->schema = plan->schema;
+    filter->children = {plan};
+    plan = std::move(filter);
+  }
+
+  // 3. Aggregation.
+  bool has_aggregates = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    if (item.expr != nullptr && ContainsAggregateCall(*item.expr)) has_aggregates = true;
+  }
+  if (stmt.having != nullptr && ContainsAggregateCall(*stmt.having)) has_aggregates = true;
+  for (const auto& ob : stmt.order_by) {
+    if (ContainsAggregateCall(*ob.expr)) has_aggregates = true;
+  }
+  if (stmt.having != nullptr && !has_aggregates) {
+    return Status::BindError("HAVING requires aggregation");
+  }
+
+  AggregateEnv env;
+  Schema pre_agg_schema = plan->schema;
+  std::shared_ptr<LogicalAggregate> agg;
+  if (has_aggregates) {
+    agg = std::make_shared<LogicalAggregate>();
+    env.input_schema = &pre_agg_schema;
+    env.agg = agg.get();
+    for (size_t g = 0; g < stmt.group_by.size(); ++g) {
+      const ast::Expression& gexpr = *stmt.group_by[g];
+      SELTRIG_ASSIGN_OR_RETURN(ExprPtr bound, BindExpr(gexpr, pre_agg_schema));
+      Column col;
+      if (gexpr.type == ast::ExprType::kColumnRef) {
+        col.name = gexpr.name;
+        col.qualifier = gexpr.qualifier;
+        // Preserve the original qualifier so post-aggregate references with a
+        // different (or no) qualifier still resolve.
+        if (col.qualifier.empty() && bound->kind == ExprKind::kColumnRef) {
+          col.qualifier = pre_agg_schema.column(bound->column_index).qualifier;
+        }
+      } else {
+        col.name = "group" + std::to_string(g + 1);
+      }
+      col.type = bound->result_type;
+      agg->schema.AddColumn(col);
+      agg->group_exprs.push_back(std::move(bound));
+      env.group_asts.push_back(&gexpr);
+    }
+    agg->children = {plan};
+    plan = agg;
+  }
+
+  // 4. Bind the select list, HAVING, and ORDER BY. In the aggregate case all
+  // of these may append new aggregate columns to the aggregate node's output
+  // schema (append-only, so earlier column references stay valid); the final
+  // plan nodes are assembled afterwards so every node sees the final schema.
+  auto project = std::make_shared<LogicalProject>();
+  const Schema& proj_input = has_aggregates ? agg->schema : plan->schema;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const ast::SelectItem& item = stmt.items[i];
+    if (item.is_star) {
+      if (has_aggregates) {
+        return Status::BindError("'*' cannot be used with aggregation");
+      }
+      for (size_t c = 0; c < proj_input.size(); ++c) {
+        const Column& col = proj_input.column(c);
+        if (col.hidden) continue;
+        if (!item.star_qualifier.empty() && col.qualifier != item.star_qualifier) {
+          continue;
+        }
+        project->exprs.push_back(
+            MakeColumnRef(static_cast<int>(c), col.type, col.name));
+        project->schema.AddColumn(col);
+      }
+      continue;
+    }
+    ExprPtr bound;
+    if (has_aggregates) {
+      SELTRIG_ASSIGN_OR_RETURN(bound, BindPostAggregate(*item.expr, env));
+    } else {
+      SELTRIG_ASSIGN_OR_RETURN(bound, BindExpr(*item.expr, proj_input));
+    }
+    Column col;
+    col.name = SelectItemName(item, i);
+    if (item.expr->type == ast::ExprType::kColumnRef && item.alias.empty()) {
+      col.qualifier = item.expr->qualifier;
+      if (col.qualifier.empty() && bound->kind == ExprKind::kColumnRef) {
+        col.qualifier = proj_input.column(bound->column_index).qualifier;
+      }
+    }
+    col.type = bound->result_type;
+    project->schema.AddColumn(col);
+    project->exprs.push_back(std::move(bound));
+  }
+
+  // 6. ORDER BY resolution (against the projected output; expressions not in
+  // the select list are appended as hidden helper columns).
+  std::vector<SortKey> sort_keys;
+  bool added_hidden = false;
+  for (const auto& ob : stmt.order_by) {
+    int out_idx = -1;
+    if (ob.expr->type == ast::ExprType::kIntLiteral) {
+      int64_t pos = ob.expr->int_value;
+      if (pos < 1 || pos > static_cast<int64_t>(stmt.items.size())) {
+        return Status::BindError("ORDER BY position out of range");
+      }
+      out_idx = static_cast<int>(pos - 1);
+    }
+    if (out_idx < 0) {
+      // Match by select-item alias / column name.
+      if (ob.expr->type == ast::ExprType::kColumnRef) {
+        bool ambiguous = false;
+        int idx = project->schema.TryResolve(ob.expr->qualifier, ob.expr->name,
+                                             &ambiguous);
+        if (ambiguous) {
+          return Status::BindError("ambiguous ORDER BY column: " + ob.expr->name);
+        }
+        if (idx >= 0) out_idx = idx;
+      }
+    }
+    if (out_idx < 0) {
+      // Match by structural equality with a select item.
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (!stmt.items[i].is_star && AstExprEquals(*ob.expr, *stmt.items[i].expr)) {
+          out_idx = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (out_idx < 0) {
+      // Bind against the pre-projection schema and carry the value through the
+      // projection as a hidden column.
+      ExprPtr bound;
+      if (has_aggregates) {
+        SELTRIG_ASSIGN_OR_RETURN(bound, BindPostAggregate(*ob.expr, env));
+      } else {
+        SELTRIG_ASSIGN_OR_RETURN(bound, BindExpr(*ob.expr, proj_input));
+      }
+      Column col;
+      col.name = "orderby" + std::to_string(project->schema.size());
+      col.type = bound->result_type;
+      col.hidden = true;
+      out_idx = static_cast<int>(project->schema.size());
+      project->schema.AddColumn(col);
+      project->exprs.push_back(std::move(bound));
+      added_hidden = true;
+    }
+    SortKey key;
+    key.expr = MakeColumnRef(out_idx, project->schema.column(out_idx).type,
+                             project->schema.column(out_idx).name);
+    key.ascending = ob.ascending;
+    sort_keys.push_back(std::move(key));
+  }
+  if (stmt.distinct && added_hidden) {
+    return Status::BindError(
+        "ORDER BY expressions must appear in the select list when DISTINCT is used");
+  }
+
+  // 5. HAVING (a filter between the aggregate and the projection).
+  if (stmt.having != nullptr) {
+    auto having = std::make_shared<LogicalFilter>();
+    SELTRIG_ASSIGN_OR_RETURN(having->predicate, BindPostAggregate(*stmt.having, env));
+    if (having->predicate->result_type != TypeId::kBool) {
+      return Status::BindError("HAVING condition must be boolean");
+    }
+    having->children = {plan};
+    having->schema = plan->schema;
+    plan = std::move(having);
+  }
+
+  project->children = {plan};
+  plan = project;
+
+  // 7. DISTINCT.
+  if (stmt.distinct) {
+    auto distinct = std::make_shared<LogicalDistinct>();
+    distinct->schema = plan->schema;
+    distinct->children = {plan};
+    plan = std::move(distinct);
+  }
+
+  // 8. Sort.
+  if (!sort_keys.empty()) {
+    auto sort = std::make_shared<LogicalSort>();
+    sort->keys = std::move(sort_keys);
+    sort->schema = plan->schema;
+    sort->children = {plan};
+    plan = std::move(sort);
+  }
+
+  // 9. Limit.
+  if (stmt.limit >= 0) {
+    auto limit = std::make_shared<LogicalLimit>();
+    limit->limit = stmt.limit;
+    limit->schema = plan->schema;
+    limit->children = {plan};
+    plan = std::move(limit);
+  }
+
+  return plan;
+}
+
+Result<BoundInsert> Binder::BindInsert(const ast::InsertStatement& stmt) {
+  SELTRIG_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  BoundInsert bound;
+  bound.table = table->name();
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      bound.column_map.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      SELTRIG_ASSIGN_OR_RETURN(int idx, schema.Resolve("", name));
+      bound.column_map.push_back(idx);
+    }
+  }
+
+  if (stmt.select != nullptr) {
+    SELTRIG_ASSIGN_OR_RETURN(bound.source, BindSelect(*stmt.select));
+    size_t visible = 0;
+    for (size_t i = 0; i < bound.source->schema.size(); ++i) {
+      if (!bound.source->schema.column(i).hidden) ++visible;
+    }
+    if (visible != bound.column_map.size()) {
+      return Status::BindError("INSERT column count mismatch");
+    }
+  } else {
+    auto values = std::make_shared<LogicalValues>();
+    Schema empty;
+    for (const auto& row : stmt.values_rows) {
+      if (row.size() != bound.column_map.size()) {
+        return Status::BindError("INSERT VALUES arity mismatch");
+      }
+      std::vector<ExprPtr> bound_row;
+      for (size_t i = 0; i < row.size(); ++i) {
+        SELTRIG_ASSIGN_OR_RETURN(ExprPtr e, BindExpr(*row[i], empty));
+        bound_row.push_back(std::move(e));
+      }
+      values->rows.push_back(std::move(bound_row));
+    }
+    // Schema mirrors the target columns.
+    for (int col : bound.column_map) {
+      values->schema.AddColumn(schema.column(col));
+    }
+    bound.source = std::move(values);
+  }
+  return bound;
+}
+
+Result<BoundUpdate> Binder::BindUpdate(const ast::UpdateStatement& stmt) {
+  SELTRIG_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table));
+  Schema schema = table->schema();
+  for (size_t i = 0; i < schema.size(); ++i) schema.column(i).qualifier = table->name();
+
+  BoundUpdate bound;
+  bound.table = table->name();
+  for (const auto& [col_name, value_ast] : stmt.assignments) {
+    SELTRIG_ASSIGN_OR_RETURN(int idx, schema.Resolve("", col_name));
+    SELTRIG_ASSIGN_OR_RETURN(ExprPtr value, BindExpr(*value_ast, schema));
+    bound.assignments.emplace_back(idx, std::move(value));
+  }
+  if (stmt.where != nullptr) {
+    SELTRIG_ASSIGN_OR_RETURN(bound.filter, BindExpr(*stmt.where, schema));
+  }
+  return bound;
+}
+
+Result<BoundDelete> Binder::BindDelete(const ast::DeleteStatement& stmt) {
+  SELTRIG_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table));
+  Schema schema = table->schema();
+  for (size_t i = 0; i < schema.size(); ++i) schema.column(i).qualifier = table->name();
+
+  BoundDelete bound;
+  bound.table = table->name();
+  if (stmt.where != nullptr) {
+    SELTRIG_ASSIGN_OR_RETURN(bound.filter, BindExpr(*stmt.where, schema));
+  }
+  return bound;
+}
+
+Result<ExprPtr> Binder::BindStandaloneExpr(const ast::Expression& e,
+                                           const Schema& schema) {
+  return BindExpr(e, schema);
+}
+
+}  // namespace seltrig

@@ -1,0 +1,107 @@
+// Binder: resolves AST names against the catalog, type-checks expressions,
+// and produces bound logical plans / bound DML statements.
+
+#ifndef SELTRIG_BINDER_BINDER_H_
+#define SELTRIG_BINDER_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "expr/expr.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+
+namespace seltrig {
+
+// An in-memory relation exposed to the binder under a table name. Used for
+// the ACCESSED internal state of SELECT triggers (Section II) and for the
+// NEW/OLD row sets of DML triggers.
+struct VirtualTable {
+  Schema schema;
+  const std::vector<Row>* rows = nullptr;
+};
+
+struct BoundInsert {
+  std::string table;
+  PlanPtr source;               // produces rows in source order
+  std::vector<int> column_map;  // source column i -> table column column_map[i]
+};
+
+struct BoundUpdate {
+  std::string table;
+  ExprPtr filter;  // over the table schema; nullable
+  std::vector<std::pair<int, ExprPtr>> assignments;  // (table column, value expr)
+};
+
+struct BoundDelete {
+  std::string table;
+  ExprPtr filter;  // nullable
+};
+
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  // Registers a virtual table (e.g. "accessed"); shadows catalog tables.
+  void AddVirtualTable(const std::string& name, VirtualTable table);
+
+  // Registers the trigger pseudo-row scope: columns qualified "new"/"old"
+  // resolvable from any depth. At execution the affected row is passed as the
+  // outermost outer row.
+  void SetTriggerRowSchema(const Schema* schema) { trigger_row_schema_ = schema; }
+
+  // Binds a SELECT into a logical plan whose schema is the result schema
+  // (hidden helper columns may trail it).
+  Result<PlanPtr> BindSelect(const ast::SelectStatement& stmt);
+
+  Result<BoundInsert> BindInsert(const ast::InsertStatement& stmt);
+  Result<BoundUpdate> BindUpdate(const ast::UpdateStatement& stmt);
+  Result<BoundDelete> BindDelete(const ast::DeleteStatement& stmt);
+
+  // Binds a standalone expression against `schema` (e.g. an IF condition with
+  // an empty schema).
+  Result<ExprPtr> BindStandaloneExpr(const ast::Expression& e, const Schema& schema);
+
+ private:
+  struct AggregateEnv;  // defined in binder.cc
+
+  Result<PlanPtr> BindFromClause(const std::vector<ast::FromClause>& from);
+  Result<PlanPtr> BindTableRef(const ast::TableRef& ref);
+  Result<ExprPtr> BindExpr(const ast::Expression& e, const Schema& schema);
+  Result<ExprPtr> BindColumnRef(const ast::Expression& e, const Schema& schema);
+  Result<ExprPtr> BindFunctionCall(const ast::Expression& e, const Schema& schema);
+  Result<ExprPtr> BindSubqueryExpr(const ast::Expression& e, const Schema& schema);
+  // Binds an expression in a post-aggregation context: aggregate calls and
+  // group-by expressions become column references into the aggregate output.
+  Result<ExprPtr> BindPostAggregate(const ast::Expression& e, const AggregateEnv& env);
+  Result<ExprPtr> BindAggregateAware(const ast::Expression& e, const AggregateEnv& env,
+                                     bool* handled);
+
+  const Catalog* catalog_;
+  std::unordered_map<std::string, VirtualTable> virtual_tables_;
+  const Schema* trigger_row_schema_ = nullptr;
+
+  // Non-null while binding post-aggregation expressions; makes BindExpr map
+  // group-by expressions and aggregate calls to aggregate-output columns.
+  const AggregateEnv* active_agg_env_ = nullptr;
+
+  // Enclosing-query schemas for correlated-subquery resolution; back() is the
+  // innermost enclosing scope.
+  std::vector<const Schema*> outer_scopes_;
+};
+
+// True if `name` (lower-case) is an aggregate function: count/sum/avg/min/max.
+bool IsAggregateFunctionName(const std::string& name);
+
+// Structural equality of AST expressions (subqueries never compare equal).
+// Used to match GROUP BY and ORDER BY expressions to select items.
+bool AstExprEquals(const ast::Expression& a, const ast::Expression& b);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_BINDER_BINDER_H_

@@ -1,0 +1,44 @@
+// Catalog: the registry of tables. Audit expressions and triggers are owned
+// by the audit subsystem (see audit/) and registered with the Database.
+
+#ifndef SELTRIG_CATALOG_CATALOG_H_
+#define SELTRIG_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace seltrig {
+
+// Table names are case-insensitive and stored lower-case.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Creates a table; fails if the name exists.
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             int primary_key_column = -1);
+
+  // Looks up a table by (case-insensitive) name.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  // All table names, unordered.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_CATALOG_CATALOG_H_

@@ -1,0 +1,47 @@
+#include "common/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seltrig {
+
+BloomFilter::BloomFilter(size_t expected_items, double target_fp_rate) {
+  double p = std::clamp(target_fp_rate, 1e-6, 0.5);
+  double n = static_cast<double>(std::max<size_t>(expected_items, 1));
+  // Optimal parameters: m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+  double ln2 = std::log(2.0);
+  double m = -n * std::log(p) / (ln2 * ln2);
+  bit_count_ = std::max<size_t>(64, static_cast<size_t>(std::ceil(m)));
+  hash_count_ = std::max(1, static_cast<int>(std::round(m / n * ln2)));
+  words_.assign((bit_count_ + 63) / 64, 0);
+}
+
+uint64_t BloomFilter::Mix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+void BloomFilter::Add(uint64_t hash) {
+  uint64_t h1 = Mix(hash);
+  uint64_t h2 = Mix(h1 ^ 0x9e3779b97f4a7c15ull) | 1;  // odd => full cycle
+  for (int i = 0; i < hash_count_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bit_count_;
+    words_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t hash) const {
+  uint64_t h1 = Mix(hash);
+  uint64_t h2 = Mix(h1 ^ 0x9e3779b97f4a7c15ull) | 1;
+  for (int i = 0; i < hash_count_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bit_count_;
+    if ((words_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace seltrig

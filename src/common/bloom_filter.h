@@ -1,0 +1,45 @@
+// Blocked-free classic Bloom filter over pre-hashed 64-bit keys.
+//
+// Used by the audit operator when a sensitive-ID set is too large to probe
+// as an exact hash table (Section IV-A2: "If they cannot [fit in memory],
+// standard optimizations such as bloom filters can be used instead").
+// Bloom false positives surface as audit false positives -- which preserves
+// the mechanism's one-sided no-false-negative guarantee.
+
+#ifndef SELTRIG_COMMON_BLOOM_FILTER_H_
+#define SELTRIG_COMMON_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seltrig {
+
+class BloomFilter {
+ public:
+  // Sizes the filter for `expected_items` at the target false-positive rate
+  // (clamped to [1e-6, 0.5]).
+  BloomFilter(size_t expected_items, double target_fp_rate);
+
+  // Inserts an item by its 64-bit hash.
+  void Add(uint64_t hash);
+
+  // True if the item may have been inserted; false means definitely not.
+  bool MayContain(uint64_t hash) const;
+
+  size_t bit_count() const { return bit_count_; }
+  int hash_count() const { return hash_count_; }
+  size_t memory_bytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  // Double hashing: g_i(x) = h1(x) + i * h2(x).
+  static uint64_t Mix(uint64_t h);
+
+  size_t bit_count_;
+  int hash_count_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_COMMON_BLOOM_FILTER_H_

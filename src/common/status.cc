@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace seltrig {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ErrorCode::kNotFound:
+      return "NotFound";
+    case ErrorCode::kAlreadyExists:
+      return "AlreadyExists";
+    case ErrorCode::kParseError:
+      return "ParseError";
+    case ErrorCode::kBindError:
+      return "BindError";
+    case ErrorCode::kExecutionError:
+      return "ExecutionError";
+    case ErrorCode::kUnsupported:
+      return "Unsupported";
+    case ErrorCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = ErrorCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace seltrig

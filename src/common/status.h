@@ -1,0 +1,142 @@
+// Status and Result<T>: error handling primitives used throughout seltrig.
+//
+// seltrig does not use exceptions. Every fallible operation returns a Status
+// (for void results) or a Result<T>. The SELTRIG_RETURN_IF_ERROR and
+// SELTRIG_ASSIGN_OR_RETURN macros propagate errors up the call stack.
+
+#ifndef SELTRIG_COMMON_STATUS_H_
+#define SELTRIG_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace seltrig {
+
+// Broad classification of an error. Mirrors the categories a database engine
+// surfaces to clients: syntax errors, binding (semantic) errors, runtime
+// execution errors, catalog conflicts, and internal invariant violations.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kExecutionError,
+  kUnsupported,
+  kInternal,
+};
+
+// Returns a human-readable name for `code`, e.g. "ParseError".
+const char* ErrorCodeName(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no message
+// allocation); carries a message only when not OK.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(ErrorCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(ErrorCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(ErrorCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(ErrorCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(ErrorCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(ErrorCode::kExecutionError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(ErrorCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(ErrorCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// A Status or a value of type T. Callers must check ok() before value().
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and statuses keeps call sites terse:
+  //   Result<int> F() { return 42; }
+  //   Result<int> G() { return Status::NotFound("no such table"); }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace seltrig
+
+// Propagates a non-OK Status from the evaluated expression.
+#define SELTRIG_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::seltrig::Status _seltrig_status = (expr);      \
+    if (!_seltrig_status.ok()) return _seltrig_status; \
+  } while (false)
+
+// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+// assigns the value to `lhs` (which may be a declaration).
+#define SELTRIG_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  SELTRIG_ASSIGN_OR_RETURN_IMPL_(                                 \
+      SELTRIG_CONCAT_(_seltrig_result, __LINE__), lhs, rexpr)
+
+#define SELTRIG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define SELTRIG_CONCAT_(a, b) SELTRIG_CONCAT_IMPL_(a, b)
+#define SELTRIG_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SELTRIG_COMMON_STATUS_H_

@@ -1,0 +1,129 @@
+#include "engine/csv_loader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "types/date.h"
+
+namespace seltrig {
+
+namespace {
+
+Result<Value> CoerceField(const std::string& field, TypeId type,
+                          const std::string& column) {
+  if (field.empty()) return Value::Null();
+  switch (type) {
+    case TypeId::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("CSV: '" + field + "' is not an INT for column " +
+                                       column);
+      }
+      return Value::Int(v);
+    }
+    case TypeId::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("CSV: '" + field + "' is not a DOUBLE for column " +
+                                       column);
+      }
+      return Value::Double(v);
+    }
+    case TypeId::kString:
+      return Value::String(field);
+    case TypeId::kDate: {
+      SELTRIG_ASSIGN_OR_RETURN(int32_t days, ParseDate(field));
+      return Value::Date(days);
+    }
+    case TypeId::kBool: {
+      std::string lower = ToLower(field);
+      if (lower == "true" || lower == "1" || lower == "t") return Value::Bool(true);
+      if (lower == "false" || lower == "0" || lower == "f") return Value::Bool(false);
+      return Status::InvalidArgument("CSV: '" + field + "' is not a BOOLEAN for column " +
+                                     column);
+    }
+    case TypeId::kNull:
+      return Value::Null();
+  }
+  return Status::Internal("bad column type");
+}
+
+}  // namespace
+
+Result<int64_t> LoadCsvIntoTable(Database* db, const std::string& table_name,
+                                 const std::string& csv_text, bool has_header) {
+  SELTRIG_ASSIGN_OR_RETURN(Table * table, db->catalog()->GetTable(table_name));
+  const Schema& schema = table->schema();
+
+  std::vector<std::string> records = SplitCsvRecords(csv_text);
+  size_t start = 0;
+  if (has_header && !records.empty()) {
+    SELTRIG_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(records[0]));
+    if (header.size() != schema.size()) {
+      return Status::InvalidArgument("CSV header has " + std::to_string(header.size()) +
+                                     " columns; table " + table_name + " has " +
+                                     std::to_string(schema.size()));
+    }
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (ToLower(header[i]) != schema.column(i).name) {
+        return Status::InvalidArgument("CSV header column '" + header[i] +
+                                       "' does not match table column '" +
+                                       schema.column(i).name + "'");
+      }
+    }
+    start = 1;
+  }
+
+  // Loading goes through the SQL layer so that DML triggers and audit-view
+  // maintenance observe every row. Rows are batched into multi-row INSERTs.
+  int64_t loaded = 0;
+  for (size_t r = start; r < records.size(); ++r) {
+    if (records[r].empty()) continue;
+    SELTRIG_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(records[r]));
+    if (fields.size() != schema.size()) {
+      return Status::InvalidArgument("CSV record " + std::to_string(r + 1) + " has " +
+                                     std::to_string(fields.size()) + " fields; expected " +
+                                     std::to_string(schema.size()));
+    }
+    std::string sql = "INSERT INTO " + table_name + " VALUES (";
+    for (size_t c = 0; c < fields.size(); ++c) {
+      SELTRIG_ASSIGN_OR_RETURN(Value v, CoerceField(fields[c], schema.column(c).type,
+                                                    schema.column(c).name));
+      if (c > 0) sql += ", ";
+      if (v.is_null()) {
+        sql += "NULL";
+      } else if (v.type() == TypeId::kString) {
+        std::string escaped;
+        for (char ch : v.AsString()) {
+          escaped += ch;
+          if (ch == '\'') escaped += '\'';
+        }
+        sql += "'" + escaped + "'";
+      } else if (v.type() == TypeId::kDate) {
+        sql += "DATE '" + FormatDate(v.AsDate()) + "'";
+      } else {
+        sql += v.ToString();
+      }
+    }
+    sql += ")";
+    SELTRIG_RETURN_IF_ERROR(db->Execute(sql).status());
+    ++loaded;
+  }
+  return loaded;
+}
+
+Result<int64_t> LoadCsvFileIntoTable(Database* db, const std::string& table,
+                                     const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsvIntoTable(db, table, buffer.str(), has_header);
+}
+
+}  // namespace seltrig

@@ -1,0 +1,26 @@
+// Bulk-loads CSV text into an existing table, coercing fields to the table's
+// column types (empty fields become NULL). DML triggers and audit-view
+// maintenance fire exactly as they would for INSERT statements.
+
+#ifndef SELTRIG_ENGINE_CSV_LOADER_H_
+#define SELTRIG_ENGINE_CSV_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace seltrig {
+
+// Returns the number of rows loaded. With `has_header`, the first record is
+// validated against the table's column names (case-insensitive, in order).
+Result<int64_t> LoadCsvIntoTable(Database* db, const std::string& table,
+                                 const std::string& csv_text, bool has_header);
+
+// Convenience: reads `path` and delegates to LoadCsvIntoTable.
+Result<int64_t> LoadCsvFileIntoTable(Database* db, const std::string& table,
+                                     const std::string& path, bool has_header);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_ENGINE_CSV_LOADER_H_

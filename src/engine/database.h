@@ -1,0 +1,169 @@
+// Database: the public facade. Owns the catalog, the audit subsystem, and
+// the trigger registry; parses, binds, optimizes, instruments, executes, and
+// fires triggers.
+//
+// Statement pipeline for SELECT (mirroring Section IV):
+//   parse -> bind -> logical optimization -> audit-operator placement ->
+//   post-placement rule pass -> execute -> fire SELECT triggers.
+
+#ifndef SELTRIG_ENGINE_DATABASE_H_
+#define SELTRIG_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/audit_expression.h"
+#include "audit/placement.h"
+#include "audit/trigger.h"
+#include "binder/binder.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+
+namespace seltrig {
+
+// Per-statement execution options. The defaults give the paper's recommended
+// configuration: hcn placement, ID-view probing, audit-aware optimizer.
+struct ExecOptions {
+  PlacementHeuristic heuristic = PlacementHeuristic::kHighestCommutativeNode;
+  // Fire SELECT-trigger actions after queries (instrumenting for every audit
+  // expression that has an enabled SELECT trigger).
+  bool enable_select_triggers = true;
+  // Additionally instrument for every registered audit expression, even ones
+  // without triggers. Used by benchmarks and the examples to observe
+  // ACCESSED state directly.
+  bool instrument_all_audit_expressions = false;
+  // Probe materialized ID views (Section IV-A); false = evaluate the audit
+  // predicate per row (ablation).
+  bool use_id_views = true;
+  // Probe Bloom summaries of the ID views instead of exact hash sets
+  // (Section IV-A2's large-set fallback).
+  bool use_bloom_filters = false;
+  double bloom_fp_rate = 0.01;
+  // Read at most this many result rows, then stop -- models a client that
+  // aborts after a prefix; triggers still fire (Section II).
+  int64_t max_rows = -1;
+  // Optimizer toggles, including the audit-awareness guard (Section IV-B).
+  OptimizerOptions optimizer;
+  // Run the post-placement rule pass (contradiction detection + IN-subquery
+  // simplification over the instrumented plan).
+  bool run_post_placement_rules = true;
+};
+
+struct StatementResult {
+  QueryResult result;
+  // ACCESSED state per audit expression (sorted IDs), for instrumented
+  // SELECTs.
+  std::map<std::string, std::vector<Value>> accessed;
+  ExecStats stats;
+  // EXPLAIN text of the plan that actually executed (instrumented for
+  // SELECTs).
+  std::string plan_text;
+};
+
+class Database {
+ public:
+  Database();
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Executes one SQL statement with default options.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  // Executes one SQL statement with explicit options.
+  Result<StatementResult> ExecuteWithOptions(const std::string& sql,
+                                             const ExecOptions& options);
+
+  // Executes a semicolon-separated script (DDL batches, fixtures). Stops at
+  // the first error.
+  Status ExecuteScript(const std::string& sql);
+
+  // Parses, binds and logically optimizes a SELECT without executing it.
+  Result<PlanPtr> PlanSelect(const std::string& sql,
+                             const OptimizerOptions& options = OptimizerOptions());
+
+  Catalog* catalog() { return &catalog_; }
+  AuditManager* audit_manager() { return &audit_; }
+  TriggerManager* trigger_manager() { return &triggers_; }
+  SessionContext* session() { return &session_; }
+
+  // Messages emitted by NOTIFY actions (the stand-in for "SEND EMAIL").
+  const std::vector<std::string>& notifications() const { return notifications_; }
+  void ClearNotifications() { notifications_.clear(); }
+
+ private:
+  // Extra binding context for trigger actions: the ACCESSED relation (SELECT
+  // triggers) and/or the NEW/OLD pseudo-row (DML triggers).
+  struct ActionContext {
+    const VirtualTable* accessed = nullptr;  // bound under table name ACCESSED
+    const Schema* row_schema = nullptr;      // NEW/OLD columns
+    const Row* row = nullptr;
+  };
+
+  static constexpr int kMaxTriggerDepth = 8;
+
+  Result<StatementResult> ExecuteStatement(ast::Statement& stmt,
+                                           const ExecOptions& options, int depth,
+                                           const ActionContext* action);
+  // Binds, optimizes and (when applicable) instruments a SELECT -- the
+  // Section IV pipeline up to execution.
+  Result<PlanPtr> PrepareSelectPlan(const ast::SelectStatement& stmt,
+                                    const ExecOptions& options,
+                                    const ActionContext* action);
+  Result<StatementResult> ExecuteSelect(const ast::SelectStatement& stmt,
+                                        const ExecOptions& options, int depth,
+                                        const ActionContext* action);
+  Result<StatementResult> ExecuteExplain(const ast::ExplainStatement& stmt,
+                                         const ExecOptions& options,
+                                         const ActionContext* action);
+  Result<StatementResult> ExecuteInsert(const ast::InsertStatement& stmt,
+                                        const ExecOptions& options, int depth,
+                                        const ActionContext* action);
+  Result<StatementResult> ExecuteUpdate(const ast::UpdateStatement& stmt,
+                                        const ExecOptions& options, int depth,
+                                        const ActionContext* action);
+  Result<StatementResult> ExecuteDelete(const ast::DeleteStatement& stmt,
+                                        const ExecOptions& options, int depth,
+                                        const ActionContext* action);
+  Result<StatementResult> ExecuteCreateTable(const ast::CreateTableStatement& stmt);
+  Result<StatementResult> ExecuteCreateTrigger(ast::CreateTriggerStatement& stmt);
+  Result<StatementResult> ExecuteIf(ast::IfStatement& stmt, const ExecOptions& options,
+                                    int depth, const ActionContext* action);
+  Result<StatementResult> ExecuteNotify(const ast::NotifyStatement& stmt,
+                                        const ExecOptions& options,
+                                        const ActionContext* action);
+  Result<StatementResult> ExecuteRaise(const ast::RaiseStatement& stmt,
+                                       const ActionContext* action);
+
+  // Configures a binder with the action context (virtual tables, NEW/OLD).
+  void ConfigureBinder(Binder* binder, const ActionContext* action) const;
+
+  // Fires the SELECT triggers of one phase (`before_phase`: BEFORE-return
+  // triggers; otherwise the ordinary AFTER triggers).
+  Status FireSelectTriggers(const AccessedStateRegistry& registry,
+                            const ExecOptions& options, int depth,
+                            bool before_phase);
+  Status FireDmlTriggers(const std::string& table, ast::DmlEvent event,
+                         const std::vector<Row>& old_rows,
+                         const std::vector<Row>& new_rows, const ExecOptions& options,
+                         int depth);
+
+  Status CoerceRowToSchema(const Schema& schema, Row* row, const std::string& what) const;
+
+  Catalog catalog_;
+  SessionContext session_;
+  AuditManager audit_;
+  TriggerManager triggers_;
+  std::vector<std::string> notifications_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_ENGINE_DATABASE_H_

@@ -1,0 +1,128 @@
+#include "engine/snapshot.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "engine/csv_loader.h"
+#include "types/date.h"
+
+namespace seltrig {
+
+namespace {
+
+const char* SqlTypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt:
+      return "INT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "VARCHAR";
+    case TypeId::kDate:
+      return "DATE";
+    case TypeId::kBool:
+      return "BOOLEAN";
+    case TypeId::kNull:
+      return "VARCHAR";
+  }
+  return "VARCHAR";
+}
+
+std::string CsvField(const Value& v) {
+  if (v.is_null()) return "";
+  std::string raw;
+  switch (v.type()) {
+    case TypeId::kString:
+      raw = v.AsString();
+      break;
+    case TypeId::kDate:
+      return FormatDate(v.AsDate());
+    case TypeId::kBool:
+      return v.AsBool() ? "true" : "false";
+    case TypeId::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      return buf;
+    }
+    default:
+      return v.ToString();
+  }
+  // Quote strings containing separators/quotes/newlines; escape quotes.
+  bool needs_quoting = raw.empty() || raw.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return raw;
+  std::string quoted = "\"";
+  for (char c : raw) {
+    quoted += c;
+    if (c == '"') quoted += '"';
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+Status SaveSnapshot(Database* db, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::InvalidArgument("cannot create directory " + dir);
+
+  std::vector<std::string> tables = db->catalog()->TableNames();
+  std::sort(tables.begin(), tables.end());
+
+  std::ofstream schema_out(dir + "/schema.sql");
+  if (!schema_out) return Status::InvalidArgument("cannot write " + dir + "/schema.sql");
+
+  for (const std::string& name : tables) {
+    SELTRIG_ASSIGN_OR_RETURN(Table * table, db->catalog()->GetTable(name));
+    const Schema& schema = table->schema();
+
+    schema_out << "CREATE TABLE " << name << " (";
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (c > 0) schema_out << ", ";
+      schema_out << schema.column(c).name << " " << SqlTypeName(schema.column(c).type);
+      if (static_cast<int>(c) == table->primary_key_column()) {
+        schema_out << " PRIMARY KEY";
+      }
+    }
+    schema_out << ");\n";
+
+    std::ofstream csv(dir + "/" + name + ".csv");
+    if (!csv) return Status::InvalidArgument("cannot write " + dir + "/" + name + ".csv");
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (c > 0) csv << ',';
+      csv << schema.column(c).name;
+    }
+    csv << '\n';
+    for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
+      if (!table->IsLive(row_id)) continue;
+      const Row& row = table->GetRow(row_id);
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) csv << ',';
+        csv << CsvField(row[c]);
+      }
+      csv << '\n';
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(Database* db, const std::string& dir) {
+  std::ifstream schema_in(dir + "/schema.sql");
+  if (!schema_in) return Status::NotFound("cannot open " + dir + "/schema.sql");
+  std::string ddl((std::istreambuf_iterator<char>(schema_in)),
+                  std::istreambuf_iterator<char>());
+  SELTRIG_RETURN_IF_ERROR(db->ExecuteScript(ddl));
+
+  std::vector<std::string> tables = db->catalog()->TableNames();
+  std::sort(tables.begin(), tables.end());
+  for (const std::string& name : tables) {
+    std::string path = dir + "/" + name + ".csv";
+    if (!std::filesystem::exists(path)) continue;  // table from another source
+    Result<int64_t> loaded = LoadCsvFileIntoTable(db, name, path, /*has_header=*/true);
+    SELTRIG_RETURN_IF_ERROR(loaded.status());
+  }
+  return Status::OK();
+}
+
+}  // namespace seltrig

@@ -1,0 +1,30 @@
+// Database snapshots: save the catalog (DDL + audit expressions + triggers
+// are NOT captured -- see below) and every table's contents to a directory;
+// load them back into a fresh Database.
+//
+// Format: <dir>/schema.sql holds CREATE TABLE statements; <dir>/<table>.csv
+// holds each table's rows (with a header). Audit expressions and triggers
+// are intentionally excluded: their definitions are security policy and are
+// expected to live in versioned setup scripts, re-applied after a load (the
+// ID views are rebuilt from data at CREATE AUDIT EXPRESSION time anyway).
+
+#ifndef SELTRIG_ENGINE_SNAPSHOT_H_
+#define SELTRIG_ENGINE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace seltrig {
+
+// Writes schema.sql plus one CSV per table into `dir` (created if needed).
+Status SaveSnapshot(Database* db, const std::string& dir);
+
+// Replays schema.sql and bulk-loads every CSV. Fails if any table to be
+// created already exists.
+Status LoadSnapshot(Database* db, const std::string& dir);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_ENGINE_SNAPSHOT_H_

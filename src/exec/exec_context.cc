@@ -1,0 +1,4 @@
+#include "exec/exec_context.h"
+
+// ExecContext is header-only today; this translation unit anchors the header
+// in the build so include errors surface early.

@@ -1,0 +1,114 @@
+// ExecContext: per-statement execution state shared by all operators of a
+// query, including operators of nested subquery plans.
+
+#ifndef SELTRIG_EXEC_EXEC_CONTEXT_H_
+#define SELTRIG_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace seltrig {
+
+class Catalog;
+class Expr;
+class LogicalOperator;
+class AccessedStateRegistry;  // audit/accessed_state.h
+
+// Who is running the statement, what the statement text is, and what "now"
+// is. The clock is injectable so tests and examples get deterministic logs.
+struct SessionContext {
+  std::string user = "dba";
+  // The SQL text reported by SQL_TEXT(). During trigger-action execution this
+  // remains the *audited* statement's text, not the action's.
+  std::string sql_text;
+  // Wall-clock string reported by NOW().
+  std::string now = "2026-01-01 00:00:00";
+  // Date reported by CURRENT_DATE(), days since epoch.
+  int32_t current_date = 0;
+};
+
+// Hides one row from a table scan: rows of `table` whose column `column`
+// equals `value` are skipped. Used by the offline auditor to evaluate
+// Q(D - t) without mutating the database (Definition 2.5).
+struct ScanExclusion {
+  std::string table;  // lower-case table name
+  int column = -1;    // column index in the table schema
+  Value value;
+};
+
+// Result of materializing a subquery once; cached for uncorrelated
+// subqueries. For IN probes a value set over the first output column is built
+// lazily.
+struct MaterializedSubquery {
+  std::vector<Row> rows;
+  bool set_built = false;
+  bool has_null = false;
+  std::unordered_set<Value, ValueHash, ValueEq> value_set;
+};
+
+// Execution statistics, used by benchmarks and tests.
+struct ExecStats {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_through_audit_ops = 0;
+  uint64_t audit_probe_hits = 0;
+  uint64_t subquery_executions = 0;
+};
+
+class ExecContext {
+ public:
+  ExecContext(Catalog* catalog, SessionContext* session)
+      : catalog_(catalog), session_(session) {}
+
+  Catalog* catalog() const { return catalog_; }
+  SessionContext* session() const { return session_; }
+
+  // --- Offline-auditor exclusions ------------------------------------------
+  const std::vector<ScanExclusion>& exclusions() const { return exclusions_; }
+  void AddExclusion(ScanExclusion e) { exclusions_.push_back(std::move(e)); }
+  void ClearExclusions() { exclusions_.clear(); }
+
+  // --- Audit state ----------------------------------------------------------
+  // Registry the physical audit operators write accessed IDs into. Owned by
+  // the caller (Database); may be null when no audit instrumentation is
+  // active.
+  AccessedStateRegistry* accessed() const { return accessed_; }
+  void set_accessed(AccessedStateRegistry* registry) { accessed_ = registry; }
+
+  // --- Subquery execution -----------------------------------------------
+  // Installed by the Executor: runs `plan` to completion with the given outer
+  // row stack and returns the produced rows. The indirection breaks the
+  // dependency cycle between the evaluator and the executor.
+  using SubqueryRunner = std::function<Result<std::vector<Row>>(
+      const LogicalOperator& plan, const std::vector<const Row*>& outer_rows)>;
+
+  void set_subquery_runner(SubqueryRunner runner) { subquery_runner_ = std::move(runner); }
+  const SubqueryRunner& subquery_runner() const { return subquery_runner_; }
+
+  // Cache for uncorrelated subqueries, keyed by expression identity.
+  std::unordered_map<const Expr*, MaterializedSubquery>& subquery_cache() {
+    return subquery_cache_;
+  }
+
+  ExecStats& stats() { return stats_; }
+
+ private:
+  Catalog* catalog_;
+  SessionContext* session_;
+  std::vector<ScanExclusion> exclusions_;
+  AccessedStateRegistry* accessed_ = nullptr;
+  SubqueryRunner subquery_runner_;
+  std::unordered_map<const Expr*, MaterializedSubquery> subquery_cache_;
+  ExecStats stats_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_EXEC_EXEC_CONTEXT_H_

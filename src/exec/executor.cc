@@ -1,0 +1,203 @@
+#include "exec/executor.h"
+
+#include <utility>
+
+#include "catalog/catalog.h"
+#include "expr/analysis.h"
+
+namespace seltrig {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema.column(i).name;
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows[r][c].ToString();
+    }
+    out += "\n";
+  }
+  if (rows.size() > max_rows) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  return out;
+}
+
+Executor::Executor(ExecContext* ctx) : ctx_(ctx) {
+  ctx_->set_subquery_runner(
+      [this](const LogicalOperator& plan, const std::vector<const Row*>& outer_rows) {
+        return ExecutePlan(plan, outer_rows);
+      });
+}
+
+namespace {
+
+// Extracts hash-join equi-keys from a join condition: conjuncts of the form
+// `left_expr = right_expr` where each side references exactly one input.
+// Returns remaining conjuncts combined as the residual.
+void ExtractEquiKeys(const Expr& condition, int left_width, int total_width,
+                     std::vector<ExprPtr>* left_keys, std::vector<ExprPtr>* right_keys,
+                     ExprPtr* residual) {
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(condition.Clone(), &conjuncts);
+  std::vector<ExprPtr> rest;
+  for (auto& c : conjuncts) {
+    bool used = false;
+    if (c->kind == ExprKind::kComparison && c->cmp_op == CompareOp::kEq) {
+      Expr* l = c->children[0].get();
+      Expr* r = c->children[1].get();
+      bool l_left = ExprReferencesOnlyRange(*l, 0, left_width);
+      bool l_right = ExprReferencesOnlyRange(*l, left_width, total_width);
+      bool r_left = ExprReferencesOnlyRange(*r, 0, left_width);
+      bool r_right = ExprReferencesOnlyRange(*r, left_width, total_width);
+      if (l_left && r_right) {
+        left_keys->push_back(std::move(c->children[0]));
+        ShiftColumnRefs(r, -left_width);
+        right_keys->push_back(std::move(c->children[1]));
+        used = true;
+      } else if (l_right && r_left) {
+        left_keys->push_back(std::move(c->children[1]));
+        ShiftColumnRefs(l, -left_width);
+        right_keys->push_back(std::move(c->children[0]));
+        used = true;
+      }
+    }
+    if (!used) rest.push_back(std::move(c));
+  }
+  *residual = CombineConjuncts(std::move(rest));
+}
+
+}  // namespace
+
+Result<OperatorPtr> Executor::Build(const LogicalOperator& node,
+                                    const std::vector<const Row*>& outer_rows) {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const LogicalScan&>(node);
+      Table* table = nullptr;
+      if (scan.virtual_rows == nullptr) {
+        SELTRIG_ASSIGN_OR_RETURN(table, ctx_->catalog()->GetTable(scan.table_name));
+      }
+      return OperatorPtr(std::make_unique<SeqScanOp>(ctx_, outer_rows, scan, table));
+    }
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const LogicalFilter&>(node);
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
+      return OperatorPtr(
+          std::make_unique<FilterOp>(ctx_, outer_rows, filter, std::move(child)));
+    }
+    case PlanKind::kProject: {
+      const auto& project = static_cast<const LogicalProject&>(node);
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
+      return OperatorPtr(
+          std::make_unique<ProjectOp>(ctx_, outer_rows, project, std::move(child)));
+    }
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const LogicalJoin&>(node);
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr left, Build(*node.children[0], outer_rows));
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr right, Build(*node.children[1], outer_rows));
+      if (join.condition != nullptr) {
+        int left_width = static_cast<int>(node.children[0]->schema.size());
+        int total_width = left_width + static_cast<int>(node.children[1]->schema.size());
+        std::vector<ExprPtr> left_keys, right_keys;
+        ExprPtr residual;
+        ExtractEquiKeys(*join.condition, left_width, total_width, &left_keys,
+                        &right_keys, &residual);
+        if (!left_keys.empty()) {
+          return OperatorPtr(std::make_unique<HashJoinOp>(
+              ctx_, outer_rows, join, std::move(left), std::move(right),
+              std::move(left_keys), std::move(right_keys), std::move(residual)));
+        }
+      }
+      return OperatorPtr(std::make_unique<NLJoinOp>(ctx_, outer_rows, join,
+                                                    std::move(left), std::move(right)));
+    }
+    case PlanKind::kAggregate: {
+      const auto& agg = static_cast<const LogicalAggregate&>(node);
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
+      return OperatorPtr(
+          std::make_unique<HashAggregateOp>(ctx_, outer_rows, agg, std::move(child)));
+    }
+    case PlanKind::kSort: {
+      const auto& sort = static_cast<const LogicalSort&>(node);
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
+      return OperatorPtr(
+          std::make_unique<SortOp>(ctx_, outer_rows, sort, std::move(child)));
+    }
+    case PlanKind::kLimit: {
+      const auto& limit = static_cast<const LogicalLimit&>(node);
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
+      return OperatorPtr(
+          std::make_unique<LimitOp>(ctx_, outer_rows, limit, std::move(child)));
+    }
+    case PlanKind::kDistinct: {
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
+      return OperatorPtr(
+          std::make_unique<DistinctOp>(ctx_, outer_rows, std::move(child)));
+    }
+    case PlanKind::kValues: {
+      const auto& values = static_cast<const LogicalValues&>(node);
+      return OperatorPtr(std::make_unique<ValuesOp>(ctx_, outer_rows, values));
+    }
+    case PlanKind::kAudit: {
+      const auto& audit = static_cast<const LogicalAudit&>(node);
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
+      return OperatorPtr(
+          std::make_unique<PhysicalAuditOp>(ctx_, outer_rows, audit, std::move(child)));
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+Result<std::vector<Row>> Executor::ExecutePlan(
+    const LogicalOperator& plan, const std::vector<const Row*>& outer_rows) {
+  SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, Build(plan, outer_rows));
+  SELTRIG_RETURN_IF_ERROR(root->Init());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    Result<bool> has = root->Next(&row);
+    SELTRIG_RETURN_IF_ERROR(has.status());
+    if (!*has) break;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<QueryResult> Executor::ExecuteQuery(const LogicalOperator& plan,
+                                           int64_t max_rows) {
+  SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, Build(plan, {}));
+  SELTRIG_RETURN_IF_ERROR(root->Init());
+
+  QueryResult result;
+  std::vector<int> visible;
+  for (size_t i = 0; i < plan.schema.size(); ++i) {
+    if (!plan.schema.column(i).hidden) {
+      visible.push_back(static_cast<int>(i));
+      result.schema.AddColumn(plan.schema.column(i));
+    }
+  }
+  bool any_hidden = visible.size() != plan.schema.size();
+
+  Row row;
+  while (max_rows < 0 || static_cast<int64_t>(result.rows.size()) < max_rows) {
+    Result<bool> has = root->Next(&row);
+    SELTRIG_RETURN_IF_ERROR(has.status());
+    if (!*has) break;
+    if (any_hidden) {
+      Row stripped;
+      stripped.reserve(visible.size());
+      for (int i : visible) stripped.push_back(std::move(row[i]));
+      result.rows.push_back(std::move(stripped));
+    } else {
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+}  // namespace seltrig

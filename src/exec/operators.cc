@@ -1,0 +1,661 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+#include "audit/accessed_state.h"
+#include "common/bloom_filter.h"
+#include "audit/sensitive_id_view.h"
+#include "catalog/catalog.h"
+#include "expr/analysis.h"
+
+namespace seltrig {
+
+PhysicalOperator::~PhysicalOperator() = default;
+
+namespace {
+
+bool ExprIsRowIndependent(const Expr& e) {
+  if (e.kind == ExprKind::kColumnRef || e.kind == ExprKind::kSubquery) return false;
+  for (const auto& c : e.children) {
+    if (!ExprIsRowIndependent(*c)) return false;
+  }
+  return true;
+}
+
+// Finds an equality conjunct `column = <row-independent expr>` usable for a
+// secondary-index probe. Returns the column index, or -1.
+int FindIndexableConjunct(const Expr& pred, const Expr** value_expr) {
+  if (pred.kind == ExprKind::kLogical && pred.logical_op == LogicalOp::kAnd) {
+    int col = FindIndexableConjunct(*pred.children[0], value_expr);
+    if (col >= 0) return col;
+    return FindIndexableConjunct(*pred.children[1], value_expr);
+  }
+  if (pred.kind == ExprKind::kComparison && pred.cmp_op == CompareOp::kEq) {
+    const Expr& l = *pred.children[0];
+    const Expr& r = *pred.children[1];
+    if (l.kind == ExprKind::kColumnRef && ExprIsRowIndependent(r)) {
+      *value_expr = &r;
+      return l.column_index;
+    }
+    if (r.kind == ExprKind::kColumnRef && ExprIsRowIndependent(l)) {
+      *value_expr = &l;
+      return r.column_index;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+// --- SeqScan -----------------------------------------------------------------
+
+SeqScanOp::SeqScanOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                     const LogicalScan& node, Table* table)
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), table_(table) {}
+
+Status SeqScanOp::Init() {
+  cursor_ = 0;
+  exclusions_.clear();
+  index_mode_ = false;
+  candidates_.clear();
+  if (table_ != nullptr) {
+    for (const ScanExclusion& e : ctx_->exclusions()) {
+      if (e.table == node_.table_name) {
+        exclusions_.emplace_back(e.column, e.value);
+      }
+    }
+    if (node_.filter != nullptr) {
+      const Expr* value_expr = nullptr;
+      int col = FindIndexableConjunct(*node_.filter, &value_expr);
+      if (col >= 0) {
+        EvalContext ec = MakeEvalContext(nullptr);
+        SELTRIG_ASSIGN_OR_RETURN(Value key, EvalExpr(*value_expr, ec));
+        index_mode_ = true;
+        if (!key.is_null()) {
+          candidates_ = table_->LookupBySecondary(col, key);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(Row* row) {
+  while (true) {
+    const Row* src = nullptr;
+    if (node_.virtual_rows != nullptr) {
+      if (cursor_ >= node_.virtual_rows->size()) return false;
+      src = &(*node_.virtual_rows)[cursor_++];
+    } else if (index_mode_) {
+      if (cursor_ >= candidates_.size()) return false;
+      size_t row_id = candidates_[cursor_++];
+      if (!table_->IsLive(row_id)) continue;
+      src = &table_->GetRow(row_id);
+    } else {
+      // Skip tombstones.
+      while (cursor_ < table_->slot_count() && !table_->IsLive(cursor_)) ++cursor_;
+      if (cursor_ >= table_->slot_count()) return false;
+      src = &table_->GetRow(cursor_++);
+    }
+    ctx_->stats().rows_scanned++;
+
+    bool excluded = false;
+    for (const auto& [col, value] : exclusions_) {
+      if ((*src)[col] == value) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) continue;
+
+    if (node_.filter != nullptr) {
+      EvalContext ec = MakeEvalContext(src);
+      SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node_.filter, ec));
+      if (!pass) continue;
+    }
+    if (node_.projection.empty()) {
+      *row = *src;
+    } else {
+      row->clear();
+      row->reserve(node_.projection.size());
+      for (int col : node_.projection) row->push_back((*src)[col]);
+    }
+    return true;
+  }
+}
+
+// --- Filter ------------------------------------------------------------------
+
+FilterOp::FilterOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                   const LogicalFilter& node, OperatorPtr child)
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+
+Status FilterOp::Init() { return child_->Init(); }
+
+Result<bool> FilterOp::Next(Row* row) {
+  while (true) {
+    SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    EvalContext ec = MakeEvalContext(row);
+    SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node_.predicate, ec));
+    if (pass) return true;
+  }
+}
+
+// --- Project -----------------------------------------------------------------
+
+ProjectOp::ProjectOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                     const LogicalProject& node, OperatorPtr child)
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+
+Status ProjectOp::Init() { return child_->Init(); }
+
+Result<bool> ProjectOp::Next(Row* row) {
+  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(&input_));
+  if (!has) return false;
+  row->clear();
+  row->reserve(node_.exprs.size());
+  EvalContext ec = MakeEvalContext(&input_);
+  for (const auto& e : node_.exprs) {
+    SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ec));
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+// --- HashJoin ----------------------------------------------------------------
+
+HashJoinOp::HashJoinOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                       const LogicalJoin& node, OperatorPtr left, OperatorPtr right,
+                       std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+                       ExprPtr residual)
+    : PhysicalOperator(ctx, std::move(outer_rows)),
+      node_(node),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)) {}
+
+Status HashJoinOp::Init() {
+  SELTRIG_RETURN_IF_ERROR(left_->Init());
+  SELTRIG_RETURN_IF_ERROR(right_->Init());
+  hash_table_.clear();
+  left_valid_ = false;
+  matches_ = nullptr;
+
+  Row row;
+  right_width_ = 0;
+  while (true) {
+    Result<bool> has = right_->Next(&row);
+    SELTRIG_RETURN_IF_ERROR(has.status());
+    if (!*has) break;
+    right_width_ = row.size();
+    EvalContext ec = MakeEvalContext(&row);
+    Row key;
+    key.reserve(right_keys_.size());
+    bool null_key = false;
+    for (const auto& k : right_keys_) {
+      Result<Value> v = EvalExpr(*k, ec);
+      SELTRIG_RETURN_IF_ERROR(v.status());
+      if (v->is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(std::move(*v));
+    }
+    if (null_key) continue;  // SQL equality never matches NULL keys
+    hash_table_[std::move(key)].push_back(std::move(row));
+  }
+  if (right_width_ == 0) {
+    // Right side empty: width from the schema (needed for LEFT OUTER nulls).
+    right_width_ = node_.children[1]->schema.size();
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::AdvanceLeft() {
+  while (true) {
+    SELTRIG_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+    if (!has) {
+      left_valid_ = false;
+      return false;
+    }
+    left_valid_ = true;
+    left_matched_ = false;
+    match_idx_ = 0;
+    matches_ = nullptr;
+
+    EvalContext ec = MakeEvalContext(&left_row_);
+    Row key;
+    key.reserve(left_keys_.size());
+    bool null_key = false;
+    for (const auto& k : left_keys_) {
+      SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, ec));
+      if (v.is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(std::move(v));
+    }
+    if (!null_key) {
+      auto it = hash_table_.find(key);
+      if (it != hash_table_.end()) matches_ = &it->second;
+    }
+    return true;
+  }
+}
+
+Result<bool> HashJoinOp::Next(Row* row) {
+  while (true) {
+    if (!left_valid_) {
+      SELTRIG_ASSIGN_OR_RETURN(bool has, AdvanceLeft());
+      if (!has) return false;
+    }
+    while (matches_ != nullptr && match_idx_ < matches_->size()) {
+      const Row& right_row = (*matches_)[match_idx_++];
+      Row combined = left_row_;
+      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      if (residual_ != nullptr) {
+        EvalContext ec = MakeEvalContext(&combined);
+        SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, ec));
+        if (!pass) continue;
+      }
+      left_matched_ = true;
+      *row = std::move(combined);
+      return true;
+    }
+    // Exhausted matches for this left row.
+    bool emit_null_padded =
+        node_.join_type == JoinType::kLeft && !left_matched_;
+    left_valid_ = false;
+    if (emit_null_padded) {
+      *row = left_row_;
+      row->resize(left_row_.size() + right_width_, Value::Null());
+      return true;
+    }
+  }
+}
+
+// --- NLJoin ------------------------------------------------------------------
+
+NLJoinOp::NLJoinOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                   const LogicalJoin& node, OperatorPtr left, OperatorPtr right)
+    : PhysicalOperator(ctx, std::move(outer_rows)),
+      node_(node),
+      left_(std::move(left)),
+      right_(std::move(right)) {}
+
+Status NLJoinOp::Init() {
+  SELTRIG_RETURN_IF_ERROR(left_->Init());
+  SELTRIG_RETURN_IF_ERROR(right_->Init());
+  right_rows_.clear();
+  left_valid_ = false;
+  Row row;
+  while (true) {
+    Result<bool> has = right_->Next(&row);
+    SELTRIG_RETURN_IF_ERROR(has.status());
+    if (!*has) break;
+    right_rows_.push_back(std::move(row));
+  }
+  right_width_ = node_.children[1]->schema.size();
+  return Status::OK();
+}
+
+Result<bool> NLJoinOp::Next(Row* row) {
+  while (true) {
+    if (!left_valid_) {
+      SELTRIG_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+      if (!has) return false;
+      left_valid_ = true;
+      left_matched_ = false;
+      right_idx_ = 0;
+    }
+    while (right_idx_ < right_rows_.size()) {
+      const Row& right_row = right_rows_[right_idx_++];
+      Row combined = left_row_;
+      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      if (node_.condition != nullptr) {
+        EvalContext ec = MakeEvalContext(&combined);
+        SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node_.condition, ec));
+        if (!pass) continue;
+      }
+      left_matched_ = true;
+      *row = std::move(combined);
+      return true;
+    }
+    bool emit_null_padded = node_.join_type == JoinType::kLeft && !left_matched_;
+    left_valid_ = false;
+    if (emit_null_padded) {
+      *row = left_row_;
+      row->resize(left_row_.size() + right_width_, Value::Null());
+      return true;
+    }
+  }
+}
+
+// --- HashAggregate -----------------------------------------------------------
+
+HashAggregateOp::HashAggregateOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                                 const LogicalAggregate& node, OperatorPtr child)
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+
+Status HashAggregateOp::Accumulate(std::vector<AggState>* states, const Row& input) {
+  EvalContext ec = MakeEvalContext(&input);
+  for (size_t i = 0; i < node_.aggregates.size(); ++i) {
+    const AggregateSpec& spec = node_.aggregates[i];
+    AggState& st = (*states)[i];
+    if (spec.kind == AggKind::kCountStar) {
+      st.count++;
+      continue;
+    }
+    SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.arg, ec));
+    if (v.is_null()) continue;  // aggregates ignore NULLs
+    if (spec.distinct) {
+      if (st.distinct == nullptr) {
+        st.distinct =
+            std::make_unique<std::unordered_set<Value, ValueHash, ValueEq>>();
+      }
+      st.distinct->insert(std::move(v));
+      continue;
+    }
+    switch (spec.kind) {
+      case AggKind::kCount:
+        st.count++;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        st.count++;
+        if (v.type() == TypeId::kInt) {
+          st.sum_int += v.AsInt();
+        }
+        st.sum_double += v.NumericAsDouble();
+        st.saw_value = true;
+        break;
+      case AggKind::kMin:
+        if (!st.saw_value || Value::Compare(v, st.min_max) < 0) st.min_max = v;
+        st.saw_value = true;
+        break;
+      case AggKind::kMax:
+        if (!st.saw_value || Value::Compare(v, st.min_max) > 0) st.min_max = v;
+        st.saw_value = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Value HashAggregateOp::Finalize(const AggregateSpec& spec, const AggState& st) const {
+  if (spec.distinct) {
+    size_t n = st.distinct == nullptr ? 0 : st.distinct->size();
+    switch (spec.kind) {
+      case AggKind::kCount:
+        return Value::Int(static_cast<int64_t>(n));
+      case AggKind::kSum: {
+        if (n == 0) return Value::Null();
+        if (spec.result_type == TypeId::kInt) {
+          int64_t sum = 0;
+          for (const Value& v : *st.distinct) sum += v.AsInt();
+          return Value::Int(sum);
+        }
+        double sum = 0;
+        for (const Value& v : *st.distinct) sum += v.NumericAsDouble();
+        return Value::Double(sum);
+      }
+      case AggKind::kAvg: {
+        if (n == 0) return Value::Null();
+        double sum = 0;
+        for (const Value& v : *st.distinct) sum += v.NumericAsDouble();
+        return Value::Double(sum / static_cast<double>(n));
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (n == 0) return Value::Null();
+        const Value* best = nullptr;
+        for (const Value& v : *st.distinct) {
+          if (best == nullptr ||
+              (spec.kind == AggKind::kMin ? Value::Compare(v, *best) < 0
+                                          : Value::Compare(v, *best) > 0)) {
+            best = &v;
+          }
+        }
+        return *best;
+      }
+      default:
+        return Value::Null();
+    }
+  }
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value::Int(st.count);
+    case AggKind::kSum:
+      if (!st.saw_value) return Value::Null();
+      if (spec.result_type == TypeId::kInt) return Value::Int(st.sum_int);
+      return Value::Double(st.sum_double);
+    case AggKind::kAvg:
+      if (st.count == 0) return Value::Null();
+      return Value::Double(st.sum_double / static_cast<double>(st.count));
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (!st.saw_value) return Value::Null();
+      return st.min_max;
+  }
+  return Value::Null();
+}
+
+Status HashAggregateOp::Init() {
+  SELTRIG_RETURN_IF_ERROR(child_->Init());
+  results_.clear();
+  cursor_ = 0;
+
+  // Group rows; preserve first-seen order for deterministic output.
+  std::unordered_map<Row, size_t, RowHash, RowEq> group_index;
+  std::vector<Row> group_keys;
+  std::vector<std::vector<AggState>> group_states;
+
+  Row input;
+  while (true) {
+    Result<bool> has = child_->Next(&input);
+    SELTRIG_RETURN_IF_ERROR(has.status());
+    if (!*has) break;
+    EvalContext ec = MakeEvalContext(&input);
+    Row key;
+    key.reserve(node_.group_exprs.size());
+    for (const auto& g : node_.group_exprs) {
+      Result<Value> v = EvalExpr(*g, ec);
+      SELTRIG_RETURN_IF_ERROR(v.status());
+      key.push_back(std::move(*v));
+    }
+    auto [it, inserted] = group_index.try_emplace(key, group_keys.size());
+    if (inserted) {
+      group_keys.push_back(std::move(key));
+      group_states.emplace_back(node_.aggregates.size());
+    }
+    SELTRIG_RETURN_IF_ERROR(Accumulate(&group_states[it->second], input));
+  }
+
+  // Scalar aggregation over an empty input still yields one row.
+  if (group_keys.empty() && node_.group_exprs.empty()) {
+    group_keys.emplace_back();
+    group_states.emplace_back(node_.aggregates.size());
+  }
+
+  results_.reserve(group_keys.size());
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Row out = group_keys[g];
+    out.reserve(out.size() + node_.aggregates.size());
+    for (size_t i = 0; i < node_.aggregates.size(); ++i) {
+      out.push_back(Finalize(node_.aggregates[i], group_states[g][i]));
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOp::Next(Row* row) {
+  if (cursor_ >= results_.size()) return false;
+  *row = results_[cursor_++];
+  return true;
+}
+
+// --- Sort ----------------------------------------------------------------
+
+SortOp::SortOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+               const LogicalSort& node, OperatorPtr child)
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+
+Status SortOp::Init() {
+  SELTRIG_RETURN_IF_ERROR(child_->Init());
+  rows_.clear();
+  cursor_ = 0;
+  Row row;
+  while (true) {
+    Result<bool> has = child_->Next(&row);
+    SELTRIG_RETURN_IF_ERROR(has.status());
+    if (!*has) break;
+    rows_.push_back(std::move(row));
+  }
+  // Precompute key values per row to keep the comparator total and cheap.
+  size_t nkeys = node_.keys.size();
+  std::vector<std::vector<Value>> keys(rows_.size());
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    EvalContext ec = MakeEvalContext(&rows_[r]);
+    keys[r].reserve(nkeys);
+    for (const SortKey& k : node_.keys) {
+      Result<Value> v = EvalExpr(*k.expr, ec);
+      SELTRIG_RETURN_IF_ERROR(v.status());
+      keys[r].push_back(std::move(*v));
+    }
+  }
+  std::vector<size_t> order(rows_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < nkeys; ++k) {
+      int c = Value::Compare(keys[a][k], keys[b][k]);
+      if (c != 0) return node_.keys[k].ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (size_t i : order) sorted.push_back(std::move(rows_[i]));
+  rows_ = std::move(sorted);
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* row) {
+  if (cursor_ >= rows_.size()) return false;
+  *row = rows_[cursor_++];
+  return true;
+}
+
+// --- Limit ---------------------------------------------------------------
+
+LimitOp::LimitOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                 const LogicalLimit& node, OperatorPtr child)
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+
+Status LimitOp::Init() {
+  produced_ = 0;
+  skipped_ = 0;
+  return child_->Init();
+}
+
+Result<bool> LimitOp::Next(Row* row) {
+  while (skipped_ < node_.offset) {
+    SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    ++skipped_;
+  }
+  if (node_.limit >= 0 && produced_ >= node_.limit) return false;
+  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+  if (!has) return false;
+  ++produced_;
+  return true;
+}
+
+// --- Distinct --------------------------------------------------------------
+
+DistinctOp::DistinctOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                       OperatorPtr child)
+    : PhysicalOperator(ctx, std::move(outer_rows)), child_(std::move(child)) {}
+
+Status DistinctOp::Init() {
+  seen_.clear();
+  return child_->Init();
+}
+
+Result<bool> DistinctOp::Next(Row* row) {
+  while (true) {
+    SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    if (seen_.insert(*row).second) return true;
+  }
+}
+
+// --- Values ----------------------------------------------------------------
+
+ValuesOp::ValuesOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                   const LogicalValues& node)
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node) {}
+
+Status ValuesOp::Init() {
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Result<bool> ValuesOp::Next(Row* row) {
+  if (cursor_ >= node_.rows.size()) return false;
+  const auto& exprs = node_.rows[cursor_++];
+  row->clear();
+  row->reserve(exprs.size());
+  EvalContext ec = MakeEvalContext(nullptr);
+  for (const auto& e : exprs) {
+    SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ec));
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+// --- PhysicalAuditOp ---------------------------------------------------------
+
+PhysicalAuditOp::PhysicalAuditOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                                 const LogicalAudit& node, OperatorPtr child)
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+
+Status PhysicalAuditOp::Init() { return child_->Init(); }
+
+Result<bool> PhysicalAuditOp::Next(Row* row) {
+  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+  if (!has) return false;
+  ctx_->stats().rows_through_audit_ops++;
+
+  AccessedStateRegistry* registry = ctx_->accessed();
+  if (registry != nullptr && node_.key_column >= 0 &&
+      node_.key_column < static_cast<int>(row->size())) {
+    const Value& key = (*row)[node_.key_column];
+    if (!key.is_null()) {
+      bool hit;
+      if (node_.bloom != nullptr) {
+        hit = node_.bloom->MayContain(static_cast<uint64_t>(key.Hash()));
+      } else if (node_.id_view != nullptr) {
+        hit = node_.id_view->Contains(key);
+      } else if (node_.fallback_predicate != nullptr) {
+        EvalContext ec = MakeEvalContext(row);
+        SELTRIG_ASSIGN_OR_RETURN(hit, EvalPredicate(*node_.fallback_predicate, ec));
+      } else {
+        hit = false;
+      }
+      if (hit) {
+        ctx_->stats().audit_probe_hits++;
+        registry->GetOrCreate(node_.audit_name).Record(key);
+      }
+    }
+  }
+  return true;  // pass-through: the audit operator is a no-op for the query
+}
+
+}  // namespace seltrig

@@ -1,0 +1,252 @@
+// Volcano-style physical operators. Each operator is built from a logical
+// node by the Executor and pulls rows from its children via Next().
+
+#ifndef SELTRIG_EXEC_OPERATORS_H_
+#define SELTRIG_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+#include "types/value.h"
+
+namespace seltrig {
+
+class PhysicalOperator {
+ public:
+  PhysicalOperator(ExecContext* ctx, std::vector<const Row*> outer_rows)
+      : ctx_(ctx), outer_rows_(std::move(outer_rows)) {}
+  virtual ~PhysicalOperator();
+
+  PhysicalOperator(const PhysicalOperator&) = delete;
+  PhysicalOperator& operator=(const PhysicalOperator&) = delete;
+
+  // Prepares the operator (and its children) for iteration.
+  virtual Status Init() = 0;
+  // Produces the next row into *row; returns false at end of stream.
+  virtual Result<bool> Next(Row* row) = 0;
+
+ protected:
+  // Evaluation context for expressions over `row`.
+  EvalContext MakeEvalContext(const Row* row) const {
+    EvalContext ec;
+    ec.row = row;
+    ec.outer_rows = outer_rows_;
+    ec.exec = ctx_;
+    return ec;
+  }
+
+  ExecContext* ctx_;
+  std::vector<const Row*> outer_rows_;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+// Scan over a base table or virtual relation, applying the pushed
+// single-table filter and the context's scan exclusions (offline auditing).
+// When the filter contains an equality conjunct `column = <row-independent
+// expression>` (a constant, or a correlated outer reference), the scan probes
+// a lazily-built secondary hash index instead of reading every row -- the
+// index-lookup path that makes correlated EXISTS subqueries (e.g. TPC-H Q22)
+// tractable.
+class SeqScanOp : public PhysicalOperator {
+ public:
+  SeqScanOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+            const LogicalScan& node, Table* table);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  const LogicalScan& node_;
+  Table* table_;  // null for virtual scans
+  size_t cursor_ = 0;
+  // Exclusions relevant to this scan, resolved to column indexes.
+  std::vector<std::pair<int, Value>> exclusions_;
+  // Index-lookup mode: the candidate row ids to examine.
+  bool index_mode_ = false;
+  std::vector<size_t> candidates_;
+};
+
+class FilterOp : public PhysicalOperator {
+ public:
+  FilterOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+           const LogicalFilter& node, OperatorPtr child);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  const LogicalFilter& node_;
+  OperatorPtr child_;
+};
+
+class ProjectOp : public PhysicalOperator {
+ public:
+  ProjectOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+            const LogicalProject& node, OperatorPtr child);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  const LogicalProject& node_;
+  OperatorPtr child_;
+  Row input_;
+};
+
+// Hash join over extracted equi-key conjuncts, with residual predicate.
+// Builds on the right child, probes with the left. Supports inner and left
+// outer joins.
+class HashJoinOp : public PhysicalOperator {
+ public:
+  HashJoinOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+             const LogicalJoin& node, OperatorPtr left, OperatorPtr right,
+             std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+             ExprPtr residual);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  Result<bool> AdvanceLeft();
+
+  const LogicalJoin& node_;
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;   // bound against the left child
+  std::vector<ExprPtr> right_keys_;  // bound against the right child alone
+  ExprPtr residual_;                 // over the concatenated row; nullable
+
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> hash_table_;
+  size_t right_width_ = 0;
+  Row left_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_idx_ = 0;
+  bool left_matched_ = false;
+  bool left_valid_ = false;
+};
+
+// Nested-loop join for non-equi conditions and cross joins; materializes the
+// right child once. Supports inner, left outer, and cross joins.
+class NLJoinOp : public PhysicalOperator {
+ public:
+  NLJoinOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+           const LogicalJoin& node, OperatorPtr left, OperatorPtr right);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  const LogicalJoin& node_;
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<Row> right_rows_;
+  size_t right_width_ = 0;
+  Row left_row_;
+  size_t right_idx_ = 0;
+  bool left_matched_ = false;
+  bool left_valid_ = false;
+};
+
+class HashAggregateOp : public PhysicalOperator {
+ public:
+  HashAggregateOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                  const LogicalAggregate& node, OperatorPtr child);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    double sum_double = 0.0;
+    int64_t sum_int = 0;
+    bool saw_value = false;
+    Value min_max;
+    std::unique_ptr<std::unordered_set<Value, ValueHash, ValueEq>> distinct;
+  };
+
+  Status Accumulate(std::vector<AggState>* states, const Row& input);
+  Value Finalize(const AggregateSpec& spec, const AggState& state) const;
+
+  const LogicalAggregate& node_;
+  OperatorPtr child_;
+  std::vector<Row> results_;
+  size_t cursor_ = 0;
+};
+
+class SortOp : public PhysicalOperator {
+ public:
+  SortOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+         const LogicalSort& node, OperatorPtr child);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  const LogicalSort& node_;
+  OperatorPtr child_;
+  std::vector<Row> rows_;
+  size_t cursor_ = 0;
+};
+
+class LimitOp : public PhysicalOperator {
+ public:
+  LimitOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+          const LogicalLimit& node, OperatorPtr child);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  const LogicalLimit& node_;
+  OperatorPtr child_;
+  int64_t produced_ = 0;
+  int64_t skipped_ = 0;
+};
+
+class DistinctOp : public PhysicalOperator {
+ public:
+  DistinctOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+             OperatorPtr child);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  OperatorPtr child_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+class ValuesOp : public PhysicalOperator {
+ public:
+  ValuesOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+           const LogicalValues& node);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  const LogicalValues& node_;
+  size_t cursor_ = 0;
+};
+
+// The physical audit operator (Section IV-A2): a pass-through "data viewer"
+// that probes the sensitive-ID hash set with the partition-by column of each
+// row and records hits into the ACCESSED state. When built without an ID view
+// it evaluates the audit expression's predicate directly (the naive design
+// ablated in the paper).
+class PhysicalAuditOp : public PhysicalOperator {
+ public:
+  PhysicalAuditOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                  const LogicalAudit& node, OperatorPtr child);
+  Status Init() override;
+  Result<bool> Next(Row* row) override;
+
+ private:
+  const LogicalAudit& node_;
+  OperatorPtr child_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_EXEC_OPERATORS_H_

@@ -1,0 +1,351 @@
+#include "expr/evaluator.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "types/date.h"
+
+namespace seltrig {
+
+namespace {
+
+Result<Value> EvalComparison(const Expr& e, EvalContext& ctx) {
+  SELTRIG_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*e.children[0], ctx));
+  SELTRIG_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*e.children[1], ctx));
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  int c = Value::Compare(lhs, rhs);
+  switch (e.cmp_op) {
+    case CompareOp::kEq:
+      return Value::Bool(c == 0);
+    case CompareOp::kNe:
+      return Value::Bool(c != 0);
+    case CompareOp::kLt:
+      return Value::Bool(c < 0);
+    case CompareOp::kLe:
+      return Value::Bool(c <= 0);
+    case CompareOp::kGt:
+      return Value::Bool(c > 0);
+    case CompareOp::kGe:
+      return Value::Bool(c >= 0);
+  }
+  return Status::Internal("bad compare op");
+}
+
+Result<Value> EvalArith(const Expr& e, EvalContext& ctx) {
+  if (e.arith_op == ArithOp::kNeg) {
+    SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], ctx));
+    if (v.is_null()) return Value::Null();
+    if (v.type() == TypeId::kInt) return Value::Int(-v.AsInt());
+    if (v.type() == TypeId::kDouble) return Value::Double(-v.AsDouble());
+    return Status::ExecutionError("cannot negate " + v.ToString());
+  }
+  SELTRIG_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*e.children[0], ctx));
+  SELTRIG_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*e.children[1], ctx));
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+
+  // Date arithmetic: date +/- int days, date - date.
+  if (lhs.type() == TypeId::kDate || rhs.type() == TypeId::kDate) {
+    if (e.arith_op == ArithOp::kAdd && lhs.type() == TypeId::kDate &&
+        rhs.type() == TypeId::kInt) {
+      return Value::Date(lhs.AsDate() + static_cast<int32_t>(rhs.AsInt()));
+    }
+    if (e.arith_op == ArithOp::kAdd && lhs.type() == TypeId::kInt &&
+        rhs.type() == TypeId::kDate) {
+      return Value::Date(rhs.AsDate() + static_cast<int32_t>(lhs.AsInt()));
+    }
+    if (e.arith_op == ArithOp::kSub && lhs.type() == TypeId::kDate &&
+        rhs.type() == TypeId::kInt) {
+      return Value::Date(lhs.AsDate() - static_cast<int32_t>(rhs.AsInt()));
+    }
+    if (e.arith_op == ArithOp::kSub && lhs.type() == TypeId::kDate &&
+        rhs.type() == TypeId::kDate) {
+      return Value::Int(lhs.AsDate() - rhs.AsDate());
+    }
+    return Status::ExecutionError("unsupported date arithmetic");
+  }
+
+  if (!IsNumeric(lhs.type()) || !IsNumeric(rhs.type())) {
+    return Status::ExecutionError("arithmetic on non-numeric operands: " +
+                                  lhs.ToString() + ", " + rhs.ToString());
+  }
+
+  // Division always yields double; other ops stay integral for int operands.
+  if (e.arith_op == ArithOp::kDiv) {
+    double d = rhs.NumericAsDouble();
+    if (d == 0.0) return Status::ExecutionError("division by zero");
+    return Value::Double(lhs.NumericAsDouble() / d);
+  }
+  if (lhs.type() == TypeId::kInt && rhs.type() == TypeId::kInt) {
+    int64_t a = lhs.AsInt(), b = rhs.AsInt();
+    switch (e.arith_op) {
+      case ArithOp::kAdd:
+        return Value::Int(a + b);
+      case ArithOp::kSub:
+        return Value::Int(a - b);
+      case ArithOp::kMul:
+        return Value::Int(a * b);
+      default:
+        break;
+    }
+  }
+  double a = lhs.NumericAsDouble(), b = rhs.NumericAsDouble();
+  switch (e.arith_op) {
+    case ArithOp::kAdd:
+      return Value::Double(a + b);
+    case ArithOp::kSub:
+      return Value::Double(a - b);
+    case ArithOp::kMul:
+      return Value::Double(a * b);
+    default:
+      break;
+  }
+  return Status::Internal("bad arith op");
+}
+
+Result<Value> EvalLogical(const Expr& e, EvalContext& ctx) {
+  if (e.logical_op == LogicalOp::kNot) {
+    SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], ctx));
+    if (v.is_null()) return Value::Null();
+    return Value::Bool(!v.AsBool());
+  }
+  SELTRIG_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*e.children[0], ctx));
+  // Kleene logic with short-circuit where sound.
+  if (e.logical_op == LogicalOp::kAnd) {
+    if (!lhs.is_null() && !lhs.AsBool()) return Value::Bool(false);
+    SELTRIG_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*e.children[1], ctx));
+    if (!rhs.is_null() && !rhs.AsBool()) return Value::Bool(false);
+    if (lhs.is_null() || rhs.is_null()) return Value::Null();
+    return Value::Bool(true);
+  }
+  // OR
+  if (!lhs.is_null() && lhs.AsBool()) return Value::Bool(true);
+  SELTRIG_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*e.children[1], ctx));
+  if (!rhs.is_null() && rhs.AsBool()) return Value::Bool(true);
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  return Value::Bool(false);
+}
+
+Result<Value> EvalInList(const Expr& e, EvalContext& ctx) {
+  SELTRIG_ASSIGN_OR_RETURN(Value probe, EvalExpr(*e.children[0], ctx));
+  if (probe.is_null()) return Value::Null();
+  bool saw_null = false;
+  for (size_t i = 1; i < e.children.size(); ++i) {
+    SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[i], ctx));
+    if (v.is_null()) {
+      saw_null = true;
+      continue;
+    }
+    if (Value::Compare(probe, v) == 0) {
+      return Value::Bool(!e.negated);
+    }
+  }
+  if (saw_null) return Value::Null();
+  return Value::Bool(e.negated);
+}
+
+Result<Value> EvalCase(const Expr& e, EvalContext& ctx) {
+  size_t pairs = e.children.size() / 2;
+  for (size_t i = 0; i < pairs; ++i) {
+    SELTRIG_ASSIGN_OR_RETURN(Value cond, EvalExpr(*e.children[2 * i], ctx));
+    if (!cond.is_null() && cond.AsBool()) {
+      return EvalExpr(*e.children[2 * i + 1], ctx);
+    }
+  }
+  if (e.has_else) return EvalExpr(*e.children.back(), ctx);
+  return Value::Null();
+}
+
+Result<Value> EvalFunction(const Expr& e, EvalContext& ctx) {
+  switch (e.function_id) {
+    case FunctionId::kYear:
+    case FunctionId::kMonth:
+    case FunctionId::kDay: {
+      SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], ctx));
+      if (v.is_null()) return Value::Null();
+      if (v.type() != TypeId::kDate) {
+        return Status::ExecutionError("YEAR/MONTH/DAY expects a date");
+      }
+      int32_t d = v.AsDate();
+      if (e.function_id == FunctionId::kYear) return Value::Int(DateYear(d));
+      if (e.function_id == FunctionId::kMonth) return Value::Int(DateMonth(d));
+      return Value::Int(DateDay(d));
+    }
+    case FunctionId::kSubstring: {
+      SELTRIG_ASSIGN_OR_RETURN(Value s, EvalExpr(*e.children[0], ctx));
+      SELTRIG_ASSIGN_OR_RETURN(Value start, EvalExpr(*e.children[1], ctx));
+      SELTRIG_ASSIGN_OR_RETURN(Value len, EvalExpr(*e.children[2], ctx));
+      if (s.is_null() || start.is_null() || len.is_null()) return Value::Null();
+      const std::string& str = s.AsString();
+      int64_t from = start.AsInt() - 1;  // SQL SUBSTRING is 1-based
+      int64_t n = len.AsInt();
+      if (from < 0) from = 0;
+      if (from >= static_cast<int64_t>(str.size()) || n <= 0) {
+        return Value::String("");
+      }
+      return Value::String(str.substr(static_cast<size_t>(from),
+                                      static_cast<size_t>(n)));
+    }
+    case FunctionId::kAbs: {
+      SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], ctx));
+      if (v.is_null()) return Value::Null();
+      if (v.type() == TypeId::kInt) return Value::Int(std::llabs(v.AsInt()));
+      if (v.type() == TypeId::kDouble) return Value::Double(std::fabs(v.AsDouble()));
+      return Status::ExecutionError("ABS expects a number");
+    }
+    case FunctionId::kUpper:
+    case FunctionId::kLower: {
+      SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], ctx));
+      if (v.is_null()) return Value::Null();
+      if (v.type() != TypeId::kString) {
+        return Status::ExecutionError("UPPER/LOWER expects a string");
+      }
+      return Value::String(e.function_id == FunctionId::kUpper ? ToUpper(v.AsString())
+                                                               : ToLower(v.AsString()));
+    }
+    case FunctionId::kNow:
+      return Value::String(ctx.exec->session()->now);
+    case FunctionId::kCurrentDate:
+      return Value::Date(ctx.exec->session()->current_date);
+    case FunctionId::kUserId:
+      return Value::String(ctx.exec->session()->user);
+    case FunctionId::kSqlText:
+      return Value::String(ctx.exec->session()->sql_text);
+    case FunctionId::kCoalesce: {
+      for (const auto& arg : e.children) {
+        SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, ctx));
+        if (!v.is_null()) return v;
+      }
+      return Value::Null();
+    }
+  }
+  return Status::Internal("bad function id");
+}
+
+Result<Value> EvalSubquery(const Expr& e, EvalContext& ctx) {
+  ExecContext* exec = ctx.exec;
+  if (exec == nullptr || !exec->subquery_runner()) {
+    return Status::ExecutionError("subquery evaluated without an executor");
+  }
+  exec->stats().subquery_executions++;
+
+  MaterializedSubquery local;
+  MaterializedSubquery* mat = nullptr;
+  if (!e.subquery_correlated) {
+    auto [it, inserted] = exec->subquery_cache().try_emplace(&e);
+    mat = &it->second;
+    if (inserted) {
+      SELTRIG_ASSIGN_OR_RETURN(mat->rows,
+                               exec->subquery_runner()(*e.subquery_plan, {}));
+    }
+  } else {
+    // Correlated: the current row becomes visible to the subquery as the
+    // innermost enclosing scope.
+    std::vector<const Row*> outer = ctx.outer_rows;
+    outer.push_back(ctx.row);
+    SELTRIG_ASSIGN_OR_RETURN(local.rows,
+                             exec->subquery_runner()(*e.subquery_plan, outer));
+    mat = &local;
+  }
+
+  switch (e.subquery_kind) {
+    case SubqueryKind::kExists: {
+      bool exists = !mat->rows.empty();
+      return Value::Bool(e.negated ? !exists : exists);
+    }
+    case SubqueryKind::kIn: {
+      SELTRIG_ASSIGN_OR_RETURN(Value probe, EvalExpr(*e.children[0], ctx));
+      if (probe.is_null()) return Value::Null();
+      if (!mat->set_built) {
+        for (const Row& r : mat->rows) {
+          if (r[0].is_null()) {
+            mat->has_null = true;
+          } else {
+            mat->value_set.insert(r[0]);
+          }
+        }
+        mat->set_built = true;
+      }
+      if (mat->value_set.count(probe) > 0) return Value::Bool(!e.negated);
+      if (mat->has_null) return Value::Null();
+      return Value::Bool(e.negated);
+    }
+    case SubqueryKind::kScalar: {
+      if (mat->rows.empty()) return Value::Null();
+      if (mat->rows.size() > 1) {
+        return Status::ExecutionError("scalar subquery returned more than one row");
+      }
+      return mat->rows[0][0];
+    }
+  }
+  return Status::Internal("bad subquery kind");
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& e, EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef: {
+      if (ctx.row == nullptr ||
+          e.column_index >= static_cast<int>(ctx.row->size())) {
+        return Status::Internal("column reference out of range: " + e.ToString());
+      }
+      return (*ctx.row)[e.column_index];
+    }
+    case ExprKind::kOuterColumnRef: {
+      int depth = static_cast<int>(ctx.outer_rows.size());
+      if (e.levels_up < 1 || e.levels_up > depth) {
+        return Status::Internal("outer reference beyond correlation depth");
+      }
+      const Row* outer = ctx.outer_rows[depth - e.levels_up];
+      if (e.column_index >= static_cast<int>(outer->size())) {
+        return Status::Internal("outer column reference out of range");
+      }
+      return (*outer)[e.column_index];
+    }
+    case ExprKind::kComparison:
+      return EvalComparison(e, ctx);
+    case ExprKind::kArith:
+      return EvalArith(e, ctx);
+    case ExprKind::kLogical:
+      return EvalLogical(e, ctx);
+    case ExprKind::kIsNull: {
+      SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], ctx));
+      bool is_null = v.is_null();
+      return Value::Bool(e.negated ? !is_null : is_null);
+    }
+    case ExprKind::kLike: {
+      SELTRIG_ASSIGN_OR_RETURN(Value text, EvalExpr(*e.children[0], ctx));
+      SELTRIG_ASSIGN_OR_RETURN(Value pattern, EvalExpr(*e.children[1], ctx));
+      if (text.is_null() || pattern.is_null()) return Value::Null();
+      if (text.type() != TypeId::kString || pattern.type() != TypeId::kString) {
+        return Status::ExecutionError("LIKE expects string operands");
+      }
+      bool m = LikeMatch(text.AsString(), pattern.AsString());
+      return Value::Bool(e.negated ? !m : m);
+    }
+    case ExprKind::kInList:
+      return EvalInList(e, ctx);
+    case ExprKind::kCase:
+      return EvalCase(e, ctx);
+    case ExprKind::kFunction:
+      return EvalFunction(e, ctx);
+    case ExprKind::kSubquery:
+      return EvalSubquery(e, ctx);
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& e, EvalContext& ctx) {
+  SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(e, ctx));
+  if (v.is_null()) return false;
+  if (v.type() != TypeId::kBool) {
+    return Status::ExecutionError("predicate did not evaluate to a boolean: " +
+                                  e.ToString());
+  }
+  return v.AsBool();
+}
+
+}  // namespace seltrig

@@ -1,0 +1,34 @@
+// Expression evaluation with SQL three-valued logic.
+
+#ifndef SELTRIG_EXPR_EVALUATOR_H_
+#define SELTRIG_EXPR_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "expr/expr.h"
+#include "types/value.h"
+
+namespace seltrig {
+
+// Evaluation context: the current row, the stack of enclosing query rows (for
+// correlated subqueries; back() is the innermost enclosing query), and the
+// statement-wide ExecContext.
+struct EvalContext {
+  const Row* row = nullptr;
+  std::vector<const Row*> outer_rows;
+  ExecContext* exec = nullptr;
+};
+
+// Evaluates `expr` under `ctx`. Comparison and logical operators follow SQL
+// three-valued logic; the result of a predicate used in WHERE/HAVING/ON is
+// "passes" only when the Value is non-null true (see EvalPredicate).
+Result<Value> EvalExpr(const Expr& expr, EvalContext& ctx);
+
+// Evaluates a predicate: NULL and false both reject the row.
+Result<bool> EvalPredicate(const Expr& expr, EvalContext& ctx);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_EXPR_EVALUATOR_H_

@@ -1,0 +1,122 @@
+// Bound expression trees. Produced by the binder; column references are
+// resolved to indexes into the input row of the operator the expression is
+// attached to.
+
+#ifndef SELTRIG_EXPR_EXPR_H_
+#define SELTRIG_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace seltrig {
+
+class LogicalOperator;  // plan/logical_plan.h; subquery expressions hold plans
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,       // index into the current operator's input row
+  kOuterColumnRef,  // index into an enclosing query's row (correlation)
+  kComparison,
+  kArith,
+  kLogical,
+  kIsNull,
+  kLike,
+  kInList,
+  kCase,
+  kFunction,
+  kSubquery,
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kNeg };
+enum class LogicalOp : uint8_t { kAnd, kOr, kNot };
+enum class SubqueryKind : uint8_t { kExists, kIn, kScalar };
+
+enum class FunctionId : uint8_t {
+  kYear,
+  kMonth,
+  kDay,
+  kSubstring,
+  kAbs,
+  kUpper,
+  kLower,
+  kNow,          // session timestamp, string 'YYYY-MM-DD HH:MM:SS'
+  kCurrentDate,  // session date
+  kUserId,       // session user, string
+  kSqlText,      // text of the audited SQL statement, string
+  kCoalesce,     // first non-NULL argument
+};
+
+// A single bound expression node. One struct covers all kinds (tagged-union
+// style); only the fields relevant to `kind` are meaningful. This keeps deep
+// cloning and tree rewrites (optimizer, audit placement) simple.
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  ~Expr();
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind;
+  TypeId result_type = TypeId::kNull;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef / kOuterColumnRef
+  int column_index = -1;
+  int levels_up = 0;        // kOuterColumnRef: 1 = nearest enclosing query
+  std::string column_name;  // for display only
+
+  // kComparison: children = {lhs, rhs}
+  CompareOp cmp_op = CompareOp::kEq;
+  // kArith: children = {lhs, rhs} or {operand} for kNeg
+  ArithOp arith_op = ArithOp::kAdd;
+  // kLogical: children = {lhs, rhs} or {operand} for kNot
+  LogicalOp logical_op = LogicalOp::kAnd;
+
+  // kIsNull / kLike / kInList / kSubquery(kExists, kIn): negation flag
+  bool negated = false;
+
+  // kCase: children = {when0, then0, when1, then1, ...[, else]}
+  bool has_else = false;
+
+  // kFunction: children = arguments
+  FunctionId function_id = FunctionId::kAbs;
+
+  // kSubquery. children = {probe} for kIn, empty otherwise. The plan is
+  // shared so instrumented plans can be swapped in without re-binding.
+  SubqueryKind subquery_kind = SubqueryKind::kExists;
+  std::shared_ptr<LogicalOperator> subquery_plan;
+  bool subquery_correlated = false;
+
+  std::vector<std::unique_ptr<Expr>> children;
+
+  // Deep copy (subquery plans are shared, not copied).
+  std::unique_ptr<Expr> Clone() const;
+
+  // Debug/EXPLAIN rendering, e.g. "(c_acctbal > 100.0)".
+  std::string ToString() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// Construction helpers.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(int index, TypeId type, std::string name = "");
+ExprPtr MakeOuterColumnRef(int index, int levels_up, TypeId type, std::string name = "");
+ExprPtr MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeArith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr operand);
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeIsNull(ExprPtr operand, bool negated);
+ExprPtr MakeFunction(FunctionId id, std::vector<ExprPtr> args, TypeId result_type);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_EXPR_EXPR_H_

@@ -1,0 +1,345 @@
+#include "optimizer/column_pruning.h"
+
+#include <functional>
+#include <utility>
+
+#include "expr/analysis.h"
+
+namespace seltrig {
+
+namespace {
+
+void MarkRequired(Expr& e, std::vector<bool>* required) {
+  VisitScopeColumnRefs(e, [required](int& idx) {
+    if (idx >= 0 && idx < static_cast<int>(required->size())) {
+      (*required)[idx] = true;
+    }
+  });
+}
+
+Status RemapRefs(Expr& e, const std::vector<int>& mapping) {
+  Status status = Status::OK();
+  VisitScopeColumnRefs(e, [&mapping, &status](int& idx) {
+    if (idx < 0 || idx >= static_cast<int>(mapping.size()) || mapping[idx] < 0) {
+      status = Status::Internal("column pruning dropped a referenced column");
+      return;
+    }
+    idx = mapping[idx];
+  });
+  return status;
+}
+
+class Pruner {
+ public:
+  explicit Pruner(const ColumnPruningOptions& options) : options_(options) {}
+
+  // Prunes so that output columns with required[i] survive; `mapping` maps
+  // old output indexes to new ones (-1 if dropped).
+  Result<PlanPtr> Prune(PlanPtr node, const std::vector<bool>& required,
+                        std::vector<int>* mapping);
+
+ private:
+  // Prunes the plans nested in this node's subquery expressions (each with
+  // an all-required root).
+  Status PruneSubqueryPlans(LogicalOperator& node);
+
+  Result<PlanPtr> PruneScan(PlanPtr node, const std::vector<bool>& required,
+                            std::vector<int>* mapping);
+  Result<PlanPtr> PruneJoin(PlanPtr node, const std::vector<bool>& required,
+                            std::vector<int>* mapping);
+
+  const ColumnPruningOptions& options_;
+};
+
+Status Pruner::PruneSubqueryPlans(LogicalOperator& node) {
+  Status status = Status::OK();
+  VisitNodeExprs(node, [this, &status](ExprPtr& e) {
+    std::function<void(Expr&)> walk = [this, &status, &walk](Expr& x) {
+      if (x.kind == ExprKind::kSubquery && x.subquery_plan != nullptr) {
+        std::vector<bool> all(x.subquery_plan->schema.size(), true);
+        std::vector<int> ignored;
+        Result<PlanPtr> pruned = Prune(x.subquery_plan, all, &ignored);
+        if (!pruned.ok()) {
+          status = pruned.status();
+          return;
+        }
+        x.subquery_plan = std::move(pruned).value();
+      }
+      for (auto& c : x.children) walk(*c);
+    };
+    walk(*e);
+  });
+  return status;
+}
+
+Result<PlanPtr> Pruner::PruneScan(PlanPtr node, const std::vector<bool>& required,
+                                  std::vector<int>* mapping) {
+  auto& scan = static_cast<LogicalScan&>(*node);
+  std::vector<bool> keep = required;
+  std::vector<bool> audit_only(keep.size(), false);
+
+  // Leaf retention: audit partition keys stay readable at the sensitive
+  // table's scan (free in the paper's clustered-index argument).
+  if (scan.virtual_rows == nullptr) {
+    for (const AuditKeyColumn& key : options_.audit_keys) {
+      if (key.table != scan.table_name) continue;
+      // Locate the base column in the current output.
+      for (size_t out = 0; out < scan.schema.size(); ++out) {
+        if (scan.BaseColumn(static_cast<int>(out)) == key.column) {
+          if (!keep[out]) audit_only[out] = true;
+          keep[out] = true;
+        }
+      }
+    }
+  }
+
+  std::vector<int> new_projection;
+  Schema new_schema;
+  mapping->assign(keep.size(), -1);
+  for (size_t out = 0; out < keep.size(); ++out) {
+    if (!keep[out]) continue;
+    (*mapping)[out] = static_cast<int>(new_projection.size());
+    new_projection.push_back(scan.BaseColumn(static_cast<int>(out)));
+    Column col = scan.schema.column(out);
+    if (audit_only[out]) col.hidden = true;
+    new_schema.AddColumn(col);
+  }
+  scan.projection = std::move(new_projection);
+  scan.schema = std::move(new_schema);
+  // The scan filter stays bound to the base schema; only its nested
+  // subquery plans are pruned.
+  SELTRIG_RETURN_IF_ERROR(PruneSubqueryPlans(scan));
+  return node;
+}
+
+Result<PlanPtr> Pruner::PruneJoin(PlanPtr node, const std::vector<bool>& required,
+                                  std::vector<int>* mapping) {
+  auto& join = static_cast<LogicalJoin&>(*node);
+  int left_width = static_cast<int>(join.children[0]->schema.size());
+  int total = static_cast<int>(join.schema.size());
+
+  std::vector<bool> left_req(static_cast<size_t>(left_width), false);
+  std::vector<bool> right_req(static_cast<size_t>(total - left_width), false);
+  for (int i = 0; i < total; ++i) {
+    if (!required[i]) continue;
+    if (i < left_width) {
+      left_req[i] = true;
+    } else {
+      right_req[i - left_width] = true;
+    }
+  }
+  if (join.condition != nullptr) {
+    VisitScopeColumnRefs(*join.condition, [&](int& idx) {
+      if (idx < left_width) {
+        left_req[idx] = true;
+      } else {
+        right_req[idx - left_width] = true;
+      }
+    });
+  }
+
+  std::vector<int> left_map, right_map;
+  SELTRIG_ASSIGN_OR_RETURN(join.children[0],
+                           Prune(join.children[0], left_req, &left_map));
+  SELTRIG_ASSIGN_OR_RETURN(join.children[1],
+                           Prune(join.children[1], right_req, &right_map));
+  int new_left_width = static_cast<int>(join.children[0]->schema.size());
+
+  // Combined old-output -> new-output mapping.
+  std::vector<int> join_map(static_cast<size_t>(total), -1);
+  for (int i = 0; i < total; ++i) {
+    if (i < left_width) {
+      join_map[i] = left_map[i];
+    } else if (right_map[i - left_width] >= 0) {
+      join_map[i] = right_map[i - left_width] + new_left_width;
+    }
+  }
+  if (join.condition != nullptr) {
+    SELTRIG_RETURN_IF_ERROR(RemapRefs(*join.condition, join_map));
+  }
+  join.schema = Schema::Concat(join.children[0]->schema, join.children[1]->schema);
+  SELTRIG_RETURN_IF_ERROR(PruneSubqueryPlans(join));
+
+  // Narrowing projection above the join: keep what the parent requires plus
+  // (when forced ID propagation is on) the hidden audit-key columns.
+  std::vector<bool> keep(join.schema.size(), false);
+  for (int i = 0; i < total; ++i) {
+    if (required[i] && join_map[i] >= 0) keep[join_map[i]] = true;
+  }
+  if (options_.propagate_ids) {
+    for (size_t i = 0; i < join.schema.size(); ++i) {
+      if (join.schema.column(i).hidden) {
+        keep[i] = true;
+        continue;
+      }
+      // Visible audit keys (e.g. kept because the join condition needs them)
+      // must also survive so the audit operator can climb past this edge.
+      for (const AuditKeyColumn& key : options_.audit_keys) {
+        if (join.schema.column(i).name == key.name) keep[i] = true;
+      }
+    }
+  }
+  bool all_kept = true;
+  for (bool k : keep) all_kept = all_kept && k;
+  if (all_kept) {
+    *mapping = std::move(join_map);
+    return node;
+  }
+  auto wrapper = std::make_shared<LogicalProject>();
+  std::vector<int> wrap_map(join.schema.size(), -1);
+  for (size_t i = 0; i < join.schema.size(); ++i) {
+    if (!keep[i]) continue;
+    wrap_map[i] = static_cast<int>(wrapper->exprs.size());
+    wrapper->exprs.push_back(MakeColumnRef(static_cast<int>(i),
+                                           join.schema.column(i).type,
+                                           join.schema.column(i).name));
+    wrapper->schema.AddColumn(join.schema.column(i));
+  }
+  wrapper->children = {node};
+
+  mapping->assign(static_cast<size_t>(total), -1);
+  for (int i = 0; i < total; ++i) {
+    if (join_map[i] >= 0) (*mapping)[i] = wrap_map[join_map[i]];
+  }
+  return PlanPtr(std::move(wrapper));
+}
+
+Result<PlanPtr> Pruner::Prune(PlanPtr node, const std::vector<bool>& required,
+                              std::vector<int>* mapping) {
+  switch (node->kind()) {
+    case PlanKind::kScan:
+      return PruneScan(std::move(node), required, mapping);
+    case PlanKind::kJoin:
+      return PruneJoin(std::move(node), required, mapping);
+    case PlanKind::kFilter: {
+      auto& filter = static_cast<LogicalFilter&>(*node);
+      std::vector<bool> child_req = required;
+      MarkRequired(*filter.predicate, &child_req);
+      SELTRIG_ASSIGN_OR_RETURN(filter.children[0],
+                               Prune(filter.children[0], child_req, mapping));
+      SELTRIG_RETURN_IF_ERROR(RemapRefs(*filter.predicate, *mapping));
+      filter.schema = filter.children[0]->schema;
+      SELTRIG_RETURN_IF_ERROR(PruneSubqueryPlans(filter));
+      return node;
+    }
+    case PlanKind::kAudit: {
+      auto& audit = static_cast<LogicalAudit&>(*node);
+      std::vector<bool> child_req = required;
+      if (audit.key_column >= 0 &&
+          audit.key_column < static_cast<int>(child_req.size())) {
+        child_req[audit.key_column] = true;
+      }
+      if (audit.fallback_predicate != nullptr) {
+        MarkRequired(*audit.fallback_predicate, &child_req);
+      }
+      SELTRIG_ASSIGN_OR_RETURN(audit.children[0],
+                               Prune(audit.children[0], child_req, mapping));
+      audit.key_column = (*mapping)[audit.key_column];
+      if (audit.fallback_predicate != nullptr) {
+        SELTRIG_RETURN_IF_ERROR(RemapRefs(*audit.fallback_predicate, *mapping));
+      }
+      audit.schema = audit.children[0]->schema;
+      return node;
+    }
+    case PlanKind::kProject: {
+      auto& project = static_cast<LogicalProject&>(*node);
+      std::vector<ExprPtr> kept_exprs;
+      Schema kept_schema;
+      mapping->assign(project.exprs.size(), -1);
+      std::vector<bool> child_req(project.children[0]->schema.size(), false);
+      for (size_t i = 0; i < project.exprs.size(); ++i) {
+        if (!required[i]) continue;
+        (*mapping)[i] = static_cast<int>(kept_exprs.size());
+        MarkRequired(*project.exprs[i], &child_req);
+        kept_exprs.push_back(std::move(project.exprs[i]));
+        kept_schema.AddColumn(project.schema.column(i));
+      }
+      project.exprs = std::move(kept_exprs);
+      project.schema = std::move(kept_schema);
+      std::vector<int> child_map;
+      SELTRIG_ASSIGN_OR_RETURN(project.children[0],
+                               Prune(project.children[0], child_req, &child_map));
+      for (auto& e : project.exprs) {
+        SELTRIG_RETURN_IF_ERROR(RemapRefs(*e, child_map));
+      }
+      SELTRIG_RETURN_IF_ERROR(PruneSubqueryPlans(project));
+      return node;
+    }
+    case PlanKind::kAggregate: {
+      auto& agg = static_cast<LogicalAggregate&>(*node);
+      std::vector<bool> child_req(agg.children[0]->schema.size(), false);
+      for (auto& g : agg.group_exprs) MarkRequired(*g, &child_req);
+      for (auto& a : agg.aggregates) {
+        if (a.arg != nullptr) MarkRequired(*a.arg, &child_req);
+      }
+      std::vector<int> child_map;
+      SELTRIG_ASSIGN_OR_RETURN(agg.children[0],
+                               Prune(agg.children[0], child_req, &child_map));
+      for (auto& g : agg.group_exprs) {
+        SELTRIG_RETURN_IF_ERROR(RemapRefs(*g, child_map));
+      }
+      for (auto& a : agg.aggregates) {
+        if (a.arg != nullptr) SELTRIG_RETURN_IF_ERROR(RemapRefs(*a.arg, child_map));
+      }
+      SELTRIG_RETURN_IF_ERROR(PruneSubqueryPlans(agg));
+      // Aggregate output columns all survive.
+      mapping->resize(agg.schema.size());
+      for (size_t i = 0; i < agg.schema.size(); ++i) {
+        (*mapping)[i] = static_cast<int>(i);
+      }
+      return node;
+    }
+    case PlanKind::kSort: {
+      auto& sort = static_cast<LogicalSort&>(*node);
+      std::vector<bool> child_req = required;
+      for (auto& k : sort.keys) MarkRequired(*k.expr, &child_req);
+      SELTRIG_ASSIGN_OR_RETURN(sort.children[0],
+                               Prune(sort.children[0], child_req, mapping));
+      for (auto& k : sort.keys) {
+        SELTRIG_RETURN_IF_ERROR(RemapRefs(*k.expr, *mapping));
+      }
+      sort.schema = sort.children[0]->schema;
+      SELTRIG_RETURN_IF_ERROR(PruneSubqueryPlans(sort));
+      return node;
+    }
+    case PlanKind::kLimit: {
+      auto& limit = static_cast<LogicalLimit&>(*node);
+      SELTRIG_ASSIGN_OR_RETURN(limit.children[0],
+                               Prune(limit.children[0], required, mapping));
+      limit.schema = limit.children[0]->schema;
+      return node;
+    }
+    case PlanKind::kDistinct: {
+      // Duplicate elimination depends on every input column; nothing below a
+      // DISTINCT may be dropped. (In binder-produced plans a projection sits
+      // directly underneath, so audit keys never reach this node.)
+      auto& distinct = static_cast<LogicalDistinct&>(*node);
+      std::vector<bool> all(distinct.children[0]->schema.size(), true);
+      SELTRIG_ASSIGN_OR_RETURN(distinct.children[0],
+                               Prune(distinct.children[0], all, mapping));
+      distinct.schema = distinct.children[0]->schema;
+      return node;
+    }
+    case PlanKind::kValues: {
+      auto& values = static_cast<LogicalValues&>(*node);
+      mapping->resize(values.schema.size());
+      for (size_t i = 0; i < values.schema.size(); ++i) {
+        (*mapping)[i] = static_cast<int>(i);
+      }
+      SELTRIG_RETURN_IF_ERROR(PruneSubqueryPlans(values));
+      return node;
+    }
+  }
+  return Status::Internal("unknown plan kind in column pruning");
+}
+
+}  // namespace
+
+Result<PlanPtr> PruneColumns(PlanPtr plan, const ColumnPruningOptions& options) {
+  Pruner pruner(options);
+  std::vector<bool> all(plan->schema.size(), true);
+  std::vector<int> ignored;
+  return pruner.Prune(std::move(plan), all, &ignored);
+}
+
+}  // namespace seltrig

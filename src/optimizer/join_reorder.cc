@@ -1,0 +1,340 @@
+#include "optimizer/join_reorder.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "expr/analysis.h"
+
+namespace seltrig {
+
+namespace {
+
+// Selectivity guess for one predicate conjunct (classic System-R defaults).
+double ConjunctSelectivity(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kComparison:
+      return e.cmp_op == CompareOp::kEq ? 0.05 : 0.33;
+    case ExprKind::kLike:
+      return 0.25;
+    case ExprKind::kInList:
+      return 0.1 * static_cast<double>(e.children.size() - 1);
+    case ExprKind::kLogical:
+      if (e.logical_op == LogicalOp::kAnd) {
+        return ConjunctSelectivity(*e.children[0]) * ConjunctSelectivity(*e.children[1]);
+      }
+      if (e.logical_op == LogicalOp::kOr) {
+        double a = ConjunctSelectivity(*e.children[0]);
+        double b = ConjunctSelectivity(*e.children[1]);
+        return std::min(1.0, a + b);
+      }
+      return 0.5;  // NOT
+    default:
+      return 0.5;
+  }
+}
+
+}  // namespace
+
+double EstimateCardinality(const LogicalOperator& plan, const Catalog* catalog) {
+  switch (plan.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const LogicalScan&>(plan);
+      double rows = 1000.0;
+      if (scan.virtual_rows != nullptr) {
+        rows = static_cast<double>(scan.virtual_rows->size());
+      } else if (catalog != nullptr) {
+        Result<Table*> table = catalog->GetTable(scan.table_name);
+        if (table.ok()) rows = static_cast<double>((*table)->live_row_count());
+      }
+      if (scan.filter != nullptr) rows *= ConjunctSelectivity(*scan.filter);
+      return std::max(1.0, rows);
+    }
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const LogicalFilter&>(plan);
+      return std::max(1.0, EstimateCardinality(*plan.children[0], catalog) *
+                               ConjunctSelectivity(*filter.predicate));
+    }
+    case PlanKind::kJoin: {
+      double l = EstimateCardinality(*plan.children[0], catalog);
+      double r = EstimateCardinality(*plan.children[1], catalog);
+      const auto& join = static_cast<const LogicalJoin&>(plan);
+      double sel = join.condition == nullptr ? 1.0 : 0.01;
+      return std::max(1.0, l * r * sel);
+    }
+    case PlanKind::kAggregate: {
+      double child = EstimateCardinality(*plan.children[0], catalog);
+      const auto& agg = static_cast<const LogicalAggregate&>(plan);
+      if (agg.group_exprs.empty()) return 1.0;
+      return std::max(1.0, child * 0.1);
+    }
+    case PlanKind::kLimit: {
+      const auto& limit = static_cast<const LogicalLimit&>(plan);
+      double child = EstimateCardinality(*plan.children[0], catalog);
+      if (limit.limit < 0) return child;
+      return std::min(child, static_cast<double>(limit.limit));
+    }
+    case PlanKind::kDistinct:
+      return std::max(1.0, EstimateCardinality(*plan.children[0], catalog) * 0.5);
+    case PlanKind::kValues:
+      return static_cast<double>(static_cast<const LogicalValues&>(plan).rows.size());
+    default:
+      if (!plan.children.empty()) {
+        return EstimateCardinality(*plan.children[0], catalog);
+      }
+      return 1000.0;
+  }
+}
+
+namespace {
+
+bool IsReorderableJoin(const LogicalOperator& node) {
+  if (node.kind() != PlanKind::kJoin) return false;
+  const auto& join = static_cast<const LogicalJoin&>(node);
+  return join.join_type == JoinType::kInner || join.join_type == JoinType::kCross;
+}
+
+struct ChainLeaf {
+  PlanPtr plan;
+  int old_offset = 0;  // column offset in the original in-order concatenation
+  double cardinality = 0.0;
+};
+
+// Flattens a maximal inner/cross chain: in-order leaves + all conjuncts,
+// with every conjunct's column references rebased into the chain-global
+// in-order numbering. A join node's condition is expressed in its own
+// subtree's concatenation space; since the subtree's in-order leaves occupy
+// a contiguous global slice starting at the subtree's entry offset, rebasing
+// is a uniform shift (this matters for bushy shapes such as
+// `FROM a, b JOIN c ON ...`, where the inner join is a right subtree).
+void CollectChain(const PlanPtr& node, std::vector<PlanPtr>* leaves,
+                  std::vector<ExprPtr>* conjuncts, int* width_so_far) {
+  if (IsReorderableJoin(*node)) {
+    int entry_offset = *width_so_far;
+    auto& join = static_cast<LogicalJoin&>(*node);
+    CollectChain(join.children[0], leaves, conjuncts, width_so_far);
+    CollectChain(join.children[1], leaves, conjuncts, width_so_far);
+    if (join.condition != nullptr) {
+      std::vector<ExprPtr> here;
+      SplitConjuncts(std::move(join.condition), &here);
+      for (auto& c : here) {
+        if (entry_offset != 0) {
+          VisitScopeColumnRefs(*c, [entry_offset](int& idx) { idx += entry_offset; });
+        }
+        conjuncts->push_back(std::move(c));
+      }
+    }
+    return;
+  }
+  leaves->push_back(node);
+  *width_so_far += static_cast<int>(node->schema.size());
+}
+
+// The leaves a conjunct touches, given per-leaf [offset, offset+width) spans.
+std::vector<int> TouchedLeaves(Expr& conjunct, const std::vector<ChainLeaf>& leaves) {
+  std::vector<int> touched;
+  VisitScopeColumnRefs(conjunct, [&](int& idx) {
+    for (size_t l = 0; l < leaves.size(); ++l) {
+      int width = static_cast<int>(leaves[l].plan->schema.size());
+      if (idx >= leaves[l].old_offset && idx < leaves[l].old_offset + width) {
+        if (std::find(touched.begin(), touched.end(), static_cast<int>(l)) ==
+            touched.end()) {
+          touched.push_back(static_cast<int>(l));
+        }
+        return;
+      }
+    }
+  });
+  return touched;
+}
+
+PlanPtr ReorderChain(PlanPtr root, const Catalog* catalog) {
+  Schema original_schema = root->schema;
+  std::vector<PlanPtr> leaf_plans;
+  std::vector<ExprPtr> conjuncts;
+  int width = 0;
+  CollectChain(root, &leaf_plans, &conjuncts, &width);
+
+  std::vector<ChainLeaf> leaves;
+  int offset = 0;
+  for (PlanPtr& plan : leaf_plans) {
+    ChainLeaf leaf;
+    leaf.plan = std::move(plan);
+    leaf.old_offset = offset;
+    offset += static_cast<int>(leaf.plan->schema.size());
+    leaf.cardinality = EstimateCardinality(*leaf.plan, catalog);
+    leaves.push_back(std::move(leaf));
+  }
+  int total_width = offset;
+
+  // Which leaves each conjunct touches (by original numbering).
+  std::vector<std::vector<int>> touched;
+  touched.reserve(conjuncts.size());
+  for (auto& c : conjuncts) touched.push_back(TouchedLeaves(*c, leaves));
+
+  // Greedy order.
+  size_t n = leaves.size();
+  std::vector<bool> placed(n, false);
+  std::vector<int> order;
+  auto smallest = [&](const std::function<bool(int)>& admissible) {
+    int best = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (placed[i] || !admissible(static_cast<int>(i))) continue;
+      if (best < 0 || leaves[i].cardinality < leaves[best].cardinality) {
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  };
+  auto connected = [&](int candidate) {
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      bool touches_candidate = false;
+      bool touches_placed = false;
+      for (int l : touched[c]) {
+        if (l == candidate) touches_candidate = true;
+        if (placed[l]) touches_placed = true;
+      }
+      if (touches_candidate && touches_placed) return true;
+    }
+    return false;
+  };
+  order.push_back(smallest([](int) { return true; }));
+  placed[order[0]] = true;
+  while (order.size() < n) {
+    int next = smallest(connected);
+    if (next < 0) next = smallest([](int) { return true; });
+    order.push_back(next);
+    placed[next] = true;
+  }
+
+  // New column numbering: old global index -> new global index.
+  std::vector<int> new_offset(n, 0);
+  int acc = 0;
+  for (int l : order) {
+    new_offset[l] = acc;
+    acc += static_cast<int>(leaves[l].plan->schema.size());
+  }
+  std::vector<int> old_to_new(static_cast<size_t>(total_width), -1);
+  for (size_t l = 0; l < n; ++l) {
+    int width = static_cast<int>(leaves[l].plan->schema.size());
+    for (int i = 0; i < width; ++i) {
+      old_to_new[leaves[l].old_offset + i] = new_offset[l] + i;
+    }
+  }
+  for (auto& c : conjuncts) {
+    VisitScopeColumnRefs(*c, [&](int& idx) { idx = old_to_new[idx]; });
+  }
+
+  // Rebuild left-deep in the greedy order, attaching each conjunct at the
+  // first join where all the leaves it touches are available.
+  std::vector<bool> available(n, false);
+  available[order[0]] = true;
+  std::vector<bool> used(conjuncts.size(), false);
+  PlanPtr tree = leaves[order[0]].plan;
+  for (size_t step = 1; step < n; ++step) {
+    int l = order[step];
+    available[l] = true;
+    auto join = std::make_shared<LogicalJoin>();
+    join->children = {tree, leaves[l].plan};
+    join->schema = Schema::Concat(tree->schema, leaves[l].plan->schema);
+    std::vector<ExprPtr> here;
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      if (used[c]) continue;
+      bool ready = true;
+      for (int t : touched[c]) ready = ready && available[t];
+      if (ready) {
+        here.push_back(std::move(conjuncts[c]));
+        used[c] = true;
+      }
+    }
+    join->condition = CombineConjuncts(std::move(here));
+    join->join_type = join->condition == nullptr ? JoinType::kCross : JoinType::kInner;
+    tree = std::move(join);
+  }
+  // Leaf-less conjuncts (constants) -- rare, keep them as a filter on top.
+  std::vector<ExprPtr> leftovers;
+  for (size_t c = 0; c < conjuncts.size(); ++c) {
+    if (!used[c]) leftovers.push_back(std::move(conjuncts[c]));
+  }
+  if (!leftovers.empty()) {
+    auto filter = std::make_shared<LogicalFilter>();
+    filter->schema = tree->schema;
+    filter->predicate = CombineConjuncts(std::move(leftovers));
+    filter->children = {tree};
+    tree = std::move(filter);
+  }
+
+  // Restore the original column order so nothing above needs rewriting.
+  auto restore = std::make_shared<LogicalProject>();
+  restore->schema = original_schema;
+  restore->exprs.reserve(static_cast<size_t>(total_width));
+  for (int i = 0; i < total_width; ++i) {
+    restore->exprs.push_back(MakeColumnRef(old_to_new[i],
+                                           original_schema.column(i).type,
+                                           original_schema.column(i).name));
+  }
+  restore->children = {tree};
+  return restore;
+}
+
+void ReorderNode(PlanPtr& slot, const Catalog* catalog);
+
+void ReorderSubqueryPlans(LogicalOperator& node, const Catalog* catalog) {
+  VisitNodeExprs(node, [catalog](ExprPtr& e) {
+    std::function<void(Expr&)> walk = [catalog, &walk](Expr& x) {
+      if (x.kind == ExprKind::kSubquery && x.subquery_plan != nullptr) {
+        ReorderNode(x.subquery_plan, catalog);
+      }
+      for (auto& c : x.children) walk(*c);
+    };
+    walk(*e);
+  });
+}
+
+void ReorderNode(PlanPtr& slot, const Catalog* catalog) {
+  if (IsReorderableJoin(*slot)) {
+    // Chain root: count leaves first; only rewrite chains of 3+ relations
+    // (a 2-way join has nothing to reorder -- build/probe choice is the
+    // executor's).
+    int leaf_count = 0;
+    std::function<void(const LogicalOperator&)> count =
+        [&](const LogicalOperator& node) {
+          if (IsReorderableJoin(node)) {
+            count(*node.children[0]);
+            count(*node.children[1]);
+          } else {
+            ++leaf_count;
+          }
+        };
+    count(*slot);
+    if (leaf_count >= 3) {
+      slot = ReorderChain(slot, catalog);
+      // The restore projection's child tree is final; recurse into the new
+      // leaves for nested chains (e.g. derived tables).
+      for (auto& child : slot->children) {
+        std::function<void(PlanPtr&)> into_leaves = [&](PlanPtr& p) {
+          if (IsReorderableJoin(*p)) {
+            for (auto& c : p->children) into_leaves(c);
+          } else {
+            for (auto& c : p->children) ReorderNode(c, catalog);
+            ReorderSubqueryPlans(*p, catalog);
+          }
+        };
+        into_leaves(child);
+      }
+      return;
+    }
+  }
+  for (auto& child : slot->children) ReorderNode(child, catalog);
+  ReorderSubqueryPlans(*slot, catalog);
+}
+
+}  // namespace
+
+Result<PlanPtr> ReorderJoins(PlanPtr plan, const Catalog* catalog) {
+  if (catalog == nullptr) return plan;
+  ReorderNode(plan, catalog);
+  return plan;
+}
+
+}  // namespace seltrig

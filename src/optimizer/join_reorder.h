@@ -1,0 +1,34 @@
+// Greedy cardinality-based join reordering.
+//
+// The binder produces join trees in textual FROM order; TPC-H-style queries
+// join six or more tables, where a poor order is catastrophic. This pass
+// collects maximal chains of inner/cross joins, estimates the cardinality of
+// each input relation (table statistics x simple predicate-selectivity
+// heuristics), and rebuilds the chain greedily: start from the smallest
+// relation, repeatedly attach the smallest relation connected by a join
+// conjunct (falling back to the smallest unconnected one).
+//
+// The rebuilt chain is wrapped in a column-permutation projection restoring
+// the original output order, so nothing above the chain needs rewriting; the
+// later column-pruning pass dissolves unused permutation columns.
+
+#ifndef SELTRIG_OPTIMIZER_JOIN_REORDER_H_
+#define SELTRIG_OPTIMIZER_JOIN_REORDER_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+namespace seltrig {
+
+// Reorders all inner/cross join chains in `plan` (including nested subquery
+// plans). `catalog` supplies table cardinalities; when null the pass is a
+// no-op.
+Result<PlanPtr> ReorderJoins(PlanPtr plan, const Catalog* catalog);
+
+// Rough output-cardinality estimate for a (sub)plan; exposed for tests.
+double EstimateCardinality(const LogicalOperator& plan, const Catalog* catalog);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_OPTIMIZER_JOIN_REORDER_H_

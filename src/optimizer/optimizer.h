@@ -1,0 +1,60 @@
+// Rewrite-rule optimizer. Two entry points mirror the paper's pipeline
+// (Section IV-B): OptimizePlan runs logical rewrites *before* audit-operator
+// placement; OptimizeInstrumentedPlan runs the later rule pass (the stage
+// where SQL Server's audit-unaware rules mis-fired in Examples 4.1 and 4.2).
+//
+// With `audit_aware` set (the default), rules treat audit operators as opaque
+// no-ops. With it cleared, rules reason about audit operators as if they were
+// real filters -- faithfully reproducing the incorrect rewrites the paper
+// reports: contradiction detection forcing an empty result (Example 4.1) and
+// IN-subquery simplification to a top-1 plan (Example 4.2).
+
+#ifndef SELTRIG_OPTIMIZER_OPTIMIZER_H_
+#define SELTRIG_OPTIMIZER_OPTIMIZER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/column_pruning.h"
+#include "optimizer/join_reorder.h"
+#include "plan/logical_plan.h"
+
+namespace seltrig {
+
+struct OptimizerOptions {
+  bool enable_constant_folding = true;
+  bool enable_filter_pushdown = true;
+  bool enable_contradiction_detection = true;
+  // Greedy cardinality-based reordering of inner/cross join chains; needs
+  // `catalog` for table statistics (no-op without it).
+  bool enable_join_reordering = true;
+  const Catalog* catalog = nullptr;
+  // Column pruning + the Section IV-A1 ID handling (see column_pruning.h):
+  // audit partition keys in `audit_keys` are always retained at sensitive
+  // leaves; `propagate_ids` carries them up through narrowing projections so
+  // audit operators can climb. The Database fills `audit_keys` from the
+  // registered audit expressions.
+  bool enable_column_pruning = true;
+  bool propagate_ids = true;
+  std::vector<AuditKeyColumn> audit_keys;
+  // IN-subquery single-value simplification: when the subquery's output
+  // column is pinned to one constant by its predicates, a LIMIT 1 preserves
+  // membership semantics. Valid on real predicates; invalid when an audit
+  // operator's predicate is mistaken for a real filter.
+  bool enable_in_subquery_single_value = true;
+  // Treat audit operators as no-ops that rules must not reason about.
+  bool audit_aware = true;
+};
+
+// Logical optimization: constant folding + filter pushdown (+ contradiction
+// detection over real predicates). Run before audit placement.
+Result<PlanPtr> OptimizePlan(PlanPtr plan, const OptimizerOptions& options);
+
+// Post-placement rule pass: contradiction detection and IN-subquery
+// simplification over the instrumented plan.
+Result<PlanPtr> OptimizeInstrumentedPlan(PlanPtr plan, const OptimizerOptions& options);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,235 @@
+// Abstract syntax tree produced by the parser. Names are unresolved (the
+// binder maps them to catalog objects and column indexes).
+
+#ifndef SELTRIG_SQL_AST_H_
+#define SELTRIG_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace seltrig::ast {
+
+struct SelectStatement;
+
+enum class ExprType : uint8_t {
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kDateLiteral,  // int_value holds days since epoch
+  kBoolLiteral,
+  kNullLiteral,
+  kColumnRef,   // qualifier (optional) + name
+  kUnaryOp,     // op: "-", "not"
+  kBinaryOp,    // op: + - * / = <> < <= > >= and or
+  kBetween,     // children: {operand, lo, hi}; negated
+  kInList,      // children: {operand, v1, v2, ...}; negated
+  kInSubquery,  // children: {operand}; subquery; negated
+  kExists,      // subquery; negated
+  kScalarSubquery,
+  kIsNull,  // children: {operand}; negated
+  kLike,    // children: {operand, pattern}; negated
+  kCase,    // children: {when, then, ...[, else]}; has_else
+  kFunctionCall,  // name + children; `distinct` for aggregate calls
+  kStar,          // COUNT(*) argument marker
+};
+
+struct Expression {
+  explicit Expression(ExprType t) : type(t) {}
+  ~Expression();
+
+  ExprType type;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string string_value;
+  bool bool_value = false;
+
+  std::string qualifier;  // kColumnRef
+  std::string name;       // kColumnRef / kFunctionCall (lower-case)
+  std::string op;         // kUnaryOp / kBinaryOp (lower-case)
+  bool negated = false;
+  bool has_else = false;
+  bool distinct = false;  // aggregate calls: COUNT(DISTINCT x)
+
+  std::vector<std::unique_ptr<Expression>> children;
+  std::unique_ptr<SelectStatement> subquery;
+};
+
+using ExprNode = std::unique_ptr<Expression>;
+
+struct TableRef {
+  std::string table;  // lower-case; empty for derived tables
+  std::string alias;  // lower-case; defaults to table name
+  // Derived table: FROM (SELECT ...) alias. When set, `table` is empty and
+  // `alias` is mandatory.
+  std::unique_ptr<SelectStatement> derived;
+};
+
+struct JoinClause {
+  enum class Kind : uint8_t { kInner, kLeft };
+  Kind kind = Kind::kInner;
+  TableRef table;
+  ExprNode condition;
+};
+
+// One comma-separated FROM element: a base table plus chained explicit joins.
+struct FromClause {
+  TableRef base;
+  std::vector<JoinClause> joins;
+};
+
+struct SelectItem {
+  ExprNode expr;              // null when is_star
+  std::string alias;          // lower-case, may be empty
+  bool is_star = false;       // `*` or `t.*`
+  std::string star_qualifier; // for `t.*`
+};
+
+struct OrderByItem {
+  ExprNode expr;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<FromClause> from;  // empty = constant SELECT
+  ExprNode where;
+  std::vector<ExprNode> group_by;
+  ExprNode having;
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;  // LIMIT n or TOP n; -1 = none
+};
+
+enum class StatementKind : uint8_t {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kCreateAuditExpression,
+  kCreateTrigger,
+  kDropTable,
+  kDropTrigger,
+  kDropAuditExpression,
+  kIf,
+  kNotify,
+  kRaise,
+  kExplain,
+};
+
+struct Statement {
+  explicit Statement(StatementKind k) : kind(k) {}
+  virtual ~Statement();
+  StatementKind kind;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct SelectWrapper : Statement {
+  SelectWrapper() : Statement(StatementKind::kSelect) {}
+  std::unique_ptr<SelectStatement> select;
+};
+
+// EXPLAIN <select>: returns the optimized (and, when audit expressions with
+// triggers exist, instrumented) plan as text, one row per plan line.
+struct ExplainStatement : Statement {
+  ExplainStatement() : Statement(StatementKind::kExplain) {}
+  std::unique_ptr<SelectStatement> select;
+};
+
+struct InsertStatement : Statement {
+  InsertStatement() : Statement(StatementKind::kInsert) {}
+  std::string table;
+  std::vector<std::string> columns;                // empty = all, in order
+  std::vector<std::vector<ExprNode>> values_rows;  // VALUES form
+  std::unique_ptr<SelectStatement> select;         // INSERT ... SELECT form
+};
+
+struct UpdateStatement : Statement {
+  UpdateStatement() : Statement(StatementKind::kUpdate) {}
+  std::string table;
+  std::vector<std::pair<std::string, ExprNode>> assignments;
+  ExprNode where;
+};
+
+struct DeleteStatement : Statement {
+  DeleteStatement() : Statement(StatementKind::kDelete) {}
+  std::string table;
+  ExprNode where;
+};
+
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  bool primary_key = false;
+};
+
+struct CreateTableStatement : Statement {
+  CreateTableStatement() : Statement(StatementKind::kCreateTable) {}
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+// CREATE AUDIT EXPRESSION <name> AS SELECT ... FROM ... [WHERE ...]
+// FOR SENSITIVE TABLE <t> PARTITION BY <key>   (Section II-A).
+struct CreateAuditExpressionStatement : Statement {
+  CreateAuditExpressionStatement() : Statement(StatementKind::kCreateAuditExpression) {}
+  std::string name;
+  std::unique_ptr<SelectStatement> select;
+  std::string sensitive_table;
+  std::string partition_by;
+};
+
+enum class DmlEvent : uint8_t { kInsert, kUpdate, kDelete };
+
+// Both trigger flavors:
+//   CREATE TRIGGER n ON ACCESS TO <audit expr> [BEFORE] AS <stmts>  (SELECT)
+//   CREATE TRIGGER n ON <table> AFTER INSERT|UPDATE|DELETE AS ...   (DML)
+// The BEFORE variant fires before the query result is returned to the
+// client (the alternative semantics Section II sketches as future work);
+// a RAISE in its action suppresses the result entirely.
+struct CreateTriggerStatement : Statement {
+  CreateTriggerStatement() : Statement(StatementKind::kCreateTrigger) {}
+  std::string name;
+  bool is_select_trigger = false;
+  bool before = false;           // SELECT triggers: fire before result return
+  std::string audit_expression;  // SELECT triggers
+  std::string table;             // DML triggers
+  DmlEvent event = DmlEvent::kInsert;
+  std::vector<StatementPtr> actions;
+};
+
+struct DropStatement : Statement {
+  explicit DropStatement(StatementKind k) : Statement(k) {}
+  std::string name;
+};
+
+struct IfStatement : Statement {
+  IfStatement() : Statement(StatementKind::kIf) {}
+  ExprNode condition;
+  StatementPtr then_branch;
+};
+
+// NOTIFY <expr>: appends the evaluated message to the session's notification
+// queue; stands in for the paper's "SEND EMAIL" action.
+struct NotifyStatement : Statement {
+  NotifyStatement() : Statement(StatementKind::kNotify) {}
+  ExprNode message;
+};
+
+// RAISE <expr>: aborts the enclosing statement with an error. Inside a
+// BEFORE SELECT trigger this denies the query: the client never sees the
+// result.
+struct RaiseStatement : Statement {
+  RaiseStatement() : Statement(StatementKind::kRaise) {}
+  ExprNode message;
+};
+
+}  // namespace seltrig::ast
+
+#endif  // SELTRIG_SQL_AST_H_

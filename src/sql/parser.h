@@ -1,0 +1,24 @@
+// Recursive-descent SQL parser producing the AST in sql/ast.h.
+
+#ifndef SELTRIG_SQL_PARSER_H_
+#define SELTRIG_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace seltrig {
+
+// Parses a single SQL statement (a trailing semicolon is allowed).
+Result<ast::StatementPtr> ParseSql(const std::string& sql);
+
+// Parses a semicolon-separated sequence of statements.
+Result<std::vector<ast::StatementPtr>> ParseSqlScript(const std::string& sql);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_SQL_PARSER_H_

@@ -1,0 +1,108 @@
+#include "storage/table.h"
+
+namespace seltrig {
+
+Table::Table(std::string name, Schema schema, int primary_key_column)
+    : name_(std::move(name)), schema_(std::move(schema)), pk_col_(primary_key_column) {}
+
+Result<size_t> Table::Insert(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::ExecutionError("insert into " + name_ + ": expected " +
+                                  std::to_string(schema_.size()) + " values, got " +
+                                  std::to_string(row.size()));
+  }
+  if (pk_col_ >= 0) {
+    const Value& key = row[pk_col_];
+    if (key.is_null()) {
+      return Status::ExecutionError("insert into " + name_ + ": NULL primary key");
+    }
+    if (pk_index_.count(key) > 0) {
+      return Status::ExecutionError("insert into " + name_ +
+                                    ": duplicate primary key " + key.ToString());
+    }
+  }
+  size_t row_id = rows_.size();
+  rows_.push_back(std::move(row));
+  deleted_.push_back(false);
+  ++live_count_;
+  ++version_;
+  if (pk_col_ >= 0) pk_index_[rows_[row_id][pk_col_]] = row_id;
+  return row_id;
+}
+
+Status Table::Delete(size_t row_id) {
+  if (row_id >= rows_.size() || deleted_[row_id]) {
+    return Status::ExecutionError("delete from " + name_ + ": invalid row id");
+  }
+  if (pk_col_ >= 0) pk_index_.erase(rows_[row_id][pk_col_]);
+  deleted_[row_id] = true;
+  --live_count_;
+  ++version_;
+  return Status::OK();
+}
+
+Status Table::Update(size_t row_id, Row new_row) {
+  if (row_id >= rows_.size() || deleted_[row_id]) {
+    return Status::ExecutionError("update " + name_ + ": invalid row id");
+  }
+  if (new_row.size() != schema_.size()) {
+    return Status::ExecutionError("update " + name_ + ": arity mismatch");
+  }
+  if (pk_col_ >= 0) {
+    const Value& old_key = rows_[row_id][pk_col_];
+    const Value& new_key = new_row[pk_col_];
+    if (new_key.is_null()) {
+      return Status::ExecutionError("update " + name_ + ": NULL primary key");
+    }
+    if (old_key != new_key) {
+      if (pk_index_.count(new_key) > 0) {
+        return Status::ExecutionError("update " + name_ + ": duplicate primary key " +
+                                      new_key.ToString());
+      }
+      pk_index_.erase(old_key);
+      pk_index_[new_key] = row_id;
+    }
+  }
+  rows_[row_id] = std::move(new_row);
+  ++version_;
+  return Status::OK();
+}
+
+Result<size_t> Table::LookupByPrimaryKey(const Value& key) const {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) {
+    return Status::NotFound("no row with primary key " + key.ToString() + " in " + name_);
+  }
+  return it->second;
+}
+
+void Table::EnsureSecondaryIndex(int column) {
+  SecondaryIndex& idx = secondary_indexes_[column];
+  if (idx.built_at_version == version_ && !idx.map.empty()) return;
+  if (idx.built_at_version == version_ && version_ != 0) return;
+  idx.map.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (deleted_[i]) continue;
+    idx.map[rows_[i][column]].push_back(i);
+  }
+  idx.built_at_version = version_;
+}
+
+const std::vector<size_t>& Table::LookupBySecondary(int column, const Value& key) {
+  EnsureSecondaryIndex(column);
+  const SecondaryIndex& idx = secondary_indexes_[column];
+  auto it = idx.map.find(key);
+  if (it == idx.map.end()) return empty_result_;
+  return it->second;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  deleted_.clear();
+  live_count_ = 0;
+  ++version_;
+  pk_index_.clear();
+  secondary_indexes_.clear();
+}
+
+}  // namespace seltrig

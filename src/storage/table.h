@@ -1,0 +1,88 @@
+// In-memory heap table with stable row ids, an optional primary-key hash
+// index, and lazily-built secondary hash indexes.
+
+#ifndef SELTRIG_STORAGE_TABLE_H_
+#define SELTRIG_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace seltrig {
+
+// Rows live in an append-only vector; deletes set a tombstone so row ids stay
+// stable for indexes and triggers. Not thread-safe: seltrig models a single
+// session (the paper's mechanism is orthogonal to concurrency control).
+class Table {
+ public:
+  // `primary_key_column` is the index of the PK column in `schema`, or -1 if
+  // the table has no primary key.
+  Table(std::string name, Schema schema, int primary_key_column = -1);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int primary_key_column() const { return pk_col_; }
+
+  // Number of live (non-deleted) rows.
+  size_t live_row_count() const { return live_count_; }
+  // Total slots including tombstones; valid row ids are [0, slot_count()).
+  size_t slot_count() const { return rows_.size(); }
+
+  bool IsLive(size_t row_id) const { return !deleted_[row_id]; }
+  const Row& GetRow(size_t row_id) const { return rows_[row_id]; }
+
+  // Appends a row. Fails on arity mismatch or duplicate primary key.
+  // On success returns the new row id.
+  Result<size_t> Insert(Row row);
+
+  // Tombstones a live row. Fails if the row id is invalid or already deleted.
+  Status Delete(size_t row_id);
+
+  // Replaces the contents of a live row (primary key changes are validated).
+  Status Update(size_t row_id, Row new_row);
+
+  // Primary-key point lookup; returns the row id or NotFound.
+  Result<size_t> LookupByPrimaryKey(const Value& key) const;
+
+  // Returns the live row ids whose `column` equals `key`, using (and lazily
+  // building) a secondary hash index. The index is invalidated by any write
+  // and rebuilt on demand.
+  const std::vector<size_t>& LookupBySecondary(int column, const Value& key);
+
+  // Drops all rows (used by tests and dbgen reloads).
+  void Clear();
+
+ private:
+  struct SecondaryIndex {
+    uint64_t built_at_version = 0;
+    std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq> map;
+  };
+
+  void EnsureSecondaryIndex(int column);
+
+  std::string name_;
+  Schema schema_;
+  int pk_col_;
+
+  std::vector<Row> rows_;
+  std::vector<bool> deleted_;
+  size_t live_count_ = 0;
+  uint64_t version_ = 0;  // bumped on every write; invalidates secondaries
+
+  std::unordered_map<Value, size_t, ValueHash, ValueEq> pk_index_;
+  std::unordered_map<int, SecondaryIndex> secondary_indexes_;
+  std::vector<size_t> empty_result_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_STORAGE_TABLE_H_

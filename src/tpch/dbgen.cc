@@ -1,0 +1,355 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "types/date.h"
+
+namespace seltrig::tpch {
+
+const char* const kMarketSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                        "HOUSEHOLD", "MACHINERY"};
+
+namespace {
+
+// SplitMix64: fast, deterministic, well-distributed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  // Uniform in [lo, hi] inclusive.
+  int64_t Int(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(Next() >> 11) * 0x1.0p-53);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+double Money(double v) { return std::round(v * 100.0) / 100.0; }
+
+const char* kNations[25] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",     "EGYPT",   "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA",     "INDONESIA", "IRAN",     "IRAQ",    "JAPAN",    "JORDAN",
+    "KENYA",   "MOROCCO",   "MOZAMBIQUE", "PERU",    "CHINA",   "ROMANIA",  "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA",    "UNITED KINGDOM", "UNITED STATES"};
+// Region of each nation (standard TPC-H mapping).
+const int kNationRegion[25] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                               4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                              "5-LOW"};
+const char* kShipModes[7] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+const char* kShipInstruct[4] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                                "TAKE BACK RETURN"};
+const char* kTypeSyllable1[6] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                                 "PROMO"};
+const char* kTypeSyllable2[5] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                                 "BRUSHED"};
+const char* kTypeSyllable3[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainers[8] = {"SM CASE", "SM BOX",  "MED BAG", "MED BOX",
+                              "LG CASE", "LG BOX",  "JUMBO PKG", "WRAP JAR"};
+const char* kCommentWords[12] = {"carefully", "quickly",  "furiously", "slyly",
+                                 "packages",  "deposits", "accounts",  "requests",
+                                 "pending",   "final",    "express",   "special"};
+
+std::string MakeComment(Rng* rng) {
+  std::string out;
+  int words = static_cast<int>(rng->Int(2, 5));
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += kCommentWords[rng->Int(0, 11)];
+  }
+  return out;
+}
+
+std::string Pad(int64_t n, int width) {
+  std::string s = std::to_string(n);
+  if (static_cast<int>(s.size()) < width) {
+    s.insert(0, static_cast<size_t>(width) - s.size(), '0');
+  }
+  return s;
+}
+
+Schema MakeSchema(std::initializer_list<std::pair<const char*, TypeId>> cols) {
+  Schema schema;
+  for (const auto& [name, type] : cols) {
+    Column c;
+    c.name = name;
+    c.type = type;
+    schema.AddColumn(c);
+  }
+  return schema;
+}
+
+}  // namespace
+
+TpchCardinalities CardinalitiesFor(double scale_factor) {
+  TpchCardinalities c;
+  c.customers = std::max<int64_t>(100, static_cast<int64_t>(150000 * scale_factor));
+  c.orders = c.customers * 10;
+  c.parts = std::max<int64_t>(200, static_cast<int64_t>(200000 * scale_factor));
+  c.suppliers = std::max<int64_t>(10, static_cast<int64_t>(10000 * scale_factor));
+  return c;
+}
+
+int32_t MinOrderDate() { return CivilToDays(1992, 1, 1); }
+int32_t MaxOrderDate() { return CivilToDays(1998, 8, 2); }
+
+Status LoadTpch(Database* db, const TpchConfig& config) {
+  Catalog* catalog = db->catalog();
+  TpchCardinalities n = CardinalitiesFor(config.scale_factor);
+
+  using T = TypeId;
+
+  // --- region / nation --------------------------------------------------
+  SELTRIG_ASSIGN_OR_RETURN(
+      Table * region,
+      catalog->CreateTable("region",
+                           MakeSchema({{"r_regionkey", T::kInt},
+                                       {"r_name", T::kString},
+                                       {"r_comment", T::kString}}),
+                           0));
+  for (int r = 0; r < 5; ++r) {
+    SELTRIG_RETURN_IF_ERROR(
+        region->Insert({Value::Int(r), Value::String(kRegions[r]),
+                        Value::String("region comment")})
+            .status());
+  }
+
+  SELTRIG_ASSIGN_OR_RETURN(
+      Table * nation,
+      catalog->CreateTable("nation",
+                           MakeSchema({{"n_nationkey", T::kInt},
+                                       {"n_name", T::kString},
+                                       {"n_regionkey", T::kInt},
+                                       {"n_comment", T::kString}}),
+                           0));
+  for (int i = 0; i < 25; ++i) {
+    SELTRIG_RETURN_IF_ERROR(nation
+                                ->Insert({Value::Int(i), Value::String(kNations[i]),
+                                          Value::Int(kNationRegion[i]),
+                                          Value::String("nation comment")})
+                                .status());
+  }
+
+  // --- supplier -------------------------------------------------------------
+  SELTRIG_ASSIGN_OR_RETURN(
+      Table * supplier,
+      catalog->CreateTable("supplier",
+                           MakeSchema({{"s_suppkey", T::kInt},
+                                       {"s_name", T::kString},
+                                       {"s_address", T::kString},
+                                       {"s_nationkey", T::kInt},
+                                       {"s_phone", T::kString},
+                                       {"s_acctbal", T::kDouble},
+                                       {"s_comment", T::kString}}),
+                           0));
+  {
+    Rng rng(config.seed ^ 0x5u);
+    for (int64_t k = 1; k <= n.suppliers; ++k) {
+      int64_t nat = rng.Int(0, 24);
+      SELTRIG_RETURN_IF_ERROR(
+          supplier
+              ->Insert({Value::Int(k), Value::String("Supplier#" + Pad(k, 9)),
+                        Value::String("addr" + std::to_string(rng.Int(0, 9999))),
+                        Value::Int(nat),
+                        Value::String(std::to_string(10 + nat) + "-555-" + Pad(k % 10000, 4)),
+                        Value::Double(Money(rng.Uniform(-999.99, 9999.99))),
+                        Value::String(MakeComment(&rng))})
+              .status());
+    }
+  }
+
+  // --- part / partsupp ------------------------------------------------------
+  SELTRIG_ASSIGN_OR_RETURN(
+      Table * part,
+      catalog->CreateTable("part",
+                           MakeSchema({{"p_partkey", T::kInt},
+                                       {"p_name", T::kString},
+                                       {"p_mfgr", T::kString},
+                                       {"p_brand", T::kString},
+                                       {"p_type", T::kString},
+                                       {"p_size", T::kInt},
+                                       {"p_container", T::kString},
+                                       {"p_retailprice", T::kDouble},
+                                       {"p_comment", T::kString}}),
+                           0));
+  {
+    Rng rng(config.seed ^ 0x7u);
+    for (int64_t k = 1; k <= n.parts; ++k) {
+      int64_t mfgr = rng.Int(1, 5);
+      std::string type = std::string(kTypeSyllable1[rng.Int(0, 5)]) + " " +
+                         kTypeSyllable2[rng.Int(0, 4)] + " " +
+                         kTypeSyllable3[rng.Int(0, 4)];
+      SELTRIG_RETURN_IF_ERROR(
+          part->Insert(
+                  {Value::Int(k), Value::String("part " + std::to_string(k)),
+                   Value::String("Manufacturer#" + std::to_string(mfgr)),
+                   Value::String("Brand#" + std::to_string(mfgr) +
+                                 std::to_string(rng.Int(1, 5))),
+                   Value::String(type), Value::Int(rng.Int(1, 50)),
+                   Value::String(kContainers[rng.Int(0, 7)]),
+                   Value::Double(Money(900.0 + (static_cast<double>(k % 1000) / 10.0))),
+                   Value::String(MakeComment(&rng))})
+              .status());
+    }
+  }
+
+  SELTRIG_ASSIGN_OR_RETURN(
+      Table * partsupp,
+      catalog->CreateTable("partsupp",
+                           MakeSchema({{"ps_partkey", T::kInt},
+                                       {"ps_suppkey", T::kInt},
+                                       {"ps_availqty", T::kInt},
+                                       {"ps_supplycost", T::kDouble},
+                                       {"ps_comment", T::kString}}),
+                           -1));
+  {
+    Rng rng(config.seed ^ 0x11u);
+    for (int64_t k = 1; k <= n.parts; ++k) {
+      for (int s = 0; s < 4; ++s) {
+        int64_t suppkey = 1 + (k + s * (n.suppliers / 4 + 1)) % n.suppliers;
+        SELTRIG_RETURN_IF_ERROR(partsupp
+                                    ->Insert({Value::Int(k), Value::Int(suppkey),
+                                              Value::Int(rng.Int(1, 9999)),
+                                              Value::Double(Money(rng.Uniform(1.0, 1000.0))),
+                                              Value::String(MakeComment(&rng))})
+                                    .status());
+      }
+    }
+  }
+
+  // --- customer ------------------------------------------------------------
+  SELTRIG_ASSIGN_OR_RETURN(
+      Table * customer,
+      catalog->CreateTable("customer",
+                           MakeSchema({{"c_custkey", T::kInt},
+                                       {"c_name", T::kString},
+                                       {"c_address", T::kString},
+                                       {"c_nationkey", T::kInt},
+                                       {"c_phone", T::kString},
+                                       {"c_acctbal", T::kDouble},
+                                       {"c_mktsegment", T::kString},
+                                       {"c_comment", T::kString}}),
+                           0));
+  {
+    Rng rng(config.seed ^ 0x13u);
+    for (int64_t k = 1; k <= n.customers; ++k) {
+      int64_t nat = rng.Int(0, 24);
+      SELTRIG_RETURN_IF_ERROR(
+          customer
+              ->Insert({Value::Int(k), Value::String("Customer#" + Pad(k, 9)),
+                        Value::String("addr" + std::to_string(rng.Int(0, 99999))),
+                        Value::Int(nat),
+                        Value::String(std::to_string(10 + nat) + "-" + Pad(rng.Int(100, 999), 3) +
+                                      "-" + Pad(rng.Int(100, 999), 3) + "-" +
+                                      Pad(rng.Int(1000, 9999), 4)),
+                        Value::Double(Money(rng.Uniform(-999.99, 9999.99))),
+                        Value::String(kMarketSegments[rng.Int(0, 4)]),
+                        Value::String(MakeComment(&rng))})
+              .status());
+    }
+  }
+
+  // --- orders / lineitem ------------------------------------------------
+  SELTRIG_ASSIGN_OR_RETURN(
+      Table * orders,
+      catalog->CreateTable("orders",
+                           MakeSchema({{"o_orderkey", T::kInt},
+                                       {"o_custkey", T::kInt},
+                                       {"o_orderstatus", T::kString},
+                                       {"o_totalprice", T::kDouble},
+                                       {"o_orderdate", T::kDate},
+                                       {"o_orderpriority", T::kString},
+                                       {"o_clerk", T::kString},
+                                       {"o_shippriority", T::kInt},
+                                       {"o_comment", T::kString}}),
+                           0));
+  SELTRIG_ASSIGN_OR_RETURN(
+      Table * lineitem,
+      catalog->CreateTable("lineitem",
+                           MakeSchema({{"l_orderkey", T::kInt},
+                                       {"l_partkey", T::kInt},
+                                       {"l_suppkey", T::kInt},
+                                       {"l_linenumber", T::kInt},
+                                       {"l_quantity", T::kDouble},
+                                       {"l_extendedprice", T::kDouble},
+                                       {"l_discount", T::kDouble},
+                                       {"l_tax", T::kDouble},
+                                       {"l_returnflag", T::kString},
+                                       {"l_linestatus", T::kString},
+                                       {"l_shipdate", T::kDate},
+                                       {"l_commitdate", T::kDate},
+                                       {"l_receiptdate", T::kDate},
+                                       {"l_shipinstruct", T::kString},
+                                       {"l_shipmode", T::kString},
+                                       {"l_comment", T::kString}}),
+                           -1));
+  {
+    Rng rng(config.seed ^ 0x17u);
+    const int32_t min_date = MinOrderDate();
+    const int32_t max_date = MaxOrderDate();
+    for (int64_t o = 1; o <= n.orders; ++o) {
+      // Official dbgen rule: orders never reference custkeys divisible by 3,
+      // so a third of customers have no orders (the Q22 population).
+      int64_t custkey = rng.Int(1, n.customers);
+      while (custkey % 3 == 0) custkey = rng.Int(1, n.customers);
+      int32_t orderdate =
+          static_cast<int32_t>(rng.Int(min_date, max_date - 151));  // room for shipping
+      int lines = static_cast<int>(rng.Int(1, 7));
+      double totalprice = 0.0;
+      for (int l = 1; l <= lines; ++l) {
+        int64_t partkey = rng.Int(1, n.parts);
+        int64_t suppkey = rng.Int(1, n.suppliers);
+        double quantity = static_cast<double>(rng.Int(1, 50));
+        double extprice = Money(quantity * (900.0 + static_cast<double>(partkey % 1000) / 10.0));
+        double discount = Money(rng.Uniform(0.0, 0.10));
+        double tax = Money(rng.Uniform(0.0, 0.08));
+        int32_t shipdate = orderdate + static_cast<int32_t>(rng.Int(1, 121));
+        int32_t commitdate = orderdate + static_cast<int32_t>(rng.Int(30, 90));
+        int32_t receiptdate = shipdate + static_cast<int32_t>(rng.Int(1, 30));
+        // TPC-H: items shipped before the snapshot date may be returned.
+        const char* returnflag =
+            receiptdate <= CivilToDays(1995, 6, 17) ? (rng.Int(0, 1) ? "R" : "A") : "N";
+        totalprice += extprice * (1.0 + tax) * (1.0 - discount);
+        SELTRIG_RETURN_IF_ERROR(
+            lineitem
+                ->Insert({Value::Int(o), Value::Int(partkey), Value::Int(suppkey),
+                          Value::Int(l), Value::Double(quantity), Value::Double(extprice),
+                          Value::Double(discount), Value::Double(tax),
+                          Value::String(returnflag),
+                          Value::String(shipdate <= CivilToDays(1995, 6, 17) ? "F" : "O"),
+                          Value::Date(shipdate), Value::Date(commitdate),
+                          Value::Date(receiptdate),
+                          Value::String(kShipInstruct[rng.Int(0, 3)]),
+                          Value::String(kShipModes[rng.Int(0, 6)]),
+                          Value::String(MakeComment(&rng))})
+                .status());
+      }
+      SELTRIG_RETURN_IF_ERROR(
+          orders
+              ->Insert({Value::Int(o), Value::Int(custkey),
+                        Value::String(orderdate <= CivilToDays(1995, 6, 17) ? "F" : "O"),
+                        Value::Double(Money(totalprice)), Value::Date(orderdate),
+                        Value::String(kPriorities[rng.Int(0, 4)]),
+                        Value::String("Clerk#" + Pad(rng.Int(1, 1000), 9)),
+                        Value::Int(0), Value::String(MakeComment(&rng))})
+              .status());
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace seltrig::tpch

@@ -1,0 +1,52 @@
+// In-process TPC-H data generator (dbgen clone). Deterministic for a given
+// (scale_factor, seed); loads directly into catalog tables.
+//
+// Substitution note (see DESIGN.md): the paper evaluates on the official
+// 10 GB dbgen database. This generator reproduces the schema and the
+// distribution properties the evaluation depends on -- five uniform market
+// segments (so one segment covers ~20% of customers, the paper's audit
+// expression), uniform order dates over 1992..1998 (the selectivity knob of
+// Figures 6-7), account balances in [-999.99, 9999.99], phone country codes
+// derived from nation keys (Q22), and TPC-H-shaped keys and fan-outs.
+
+#ifndef SELTRIG_TPCH_DBGEN_H_
+#define SELTRIG_TPCH_DBGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace seltrig::tpch {
+
+struct TpchConfig {
+  // SF 1.0 = 150,000 customers / 1.5M orders / ~6M lineitems. The benchmarks
+  // default to small fractions; the code path is identical at any scale.
+  double scale_factor = 0.05;
+  uint64_t seed = 19940415;
+};
+
+// Derived cardinalities for a scale factor.
+struct TpchCardinalities {
+  int64_t customers = 0;
+  int64_t orders = 0;
+  int64_t parts = 0;
+  int64_t suppliers = 0;
+};
+TpchCardinalities CardinalitiesFor(double scale_factor);
+
+// Creates the eight TPC-H tables in `db` and populates them.
+Status LoadTpch(Database* db, const TpchConfig& config);
+
+// The five TPC-H market segments (uniformly assigned to customers).
+extern const char* const kMarketSegments[5];
+
+// First/last order date generated (1992-01-01 / 1998-08-02), as days since
+// epoch; the selectivity sweeps in the benchmarks interpolate between them.
+int32_t MinOrderDate();
+int32_t MaxOrderDate();
+
+}  // namespace seltrig::tpch
+
+#endif  // SELTRIG_TPCH_DBGEN_H_

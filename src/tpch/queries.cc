@@ -1,0 +1,153 @@
+#include "tpch/queries.h"
+
+namespace seltrig::tpch {
+
+std::vector<TpchQuery> WorkloadQueries(double q18_quantity_threshold) {
+  std::vector<TpchQuery> queries;
+
+  queries.push_back({3, "Q3 shipping priority", R"sql(
+SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10)sql"});
+
+  queries.push_back({5, "Q5 local supplier volume", R"sql(
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC)sql"});
+
+  queries.push_back({7, "Q7 volume shipping", R"sql(
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       YEAR(l_shipdate) AS l_year,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM supplier, lineitem, orders, customer, nation n1, nation n2
+WHERE s_suppkey = l_suppkey
+  AND o_orderkey = l_orderkey
+  AND c_custkey = o_custkey
+  AND s_nationkey = n1.n_nationkey
+  AND c_nationkey = n2.n_nationkey
+  AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+       OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+  AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY n1.n_name, n2.n_name, YEAR(l_shipdate)
+ORDER BY supp_nation, cust_nation, l_year)sql"});
+
+  queries.push_back({8, "Q8 national market share", R"sql(
+SELECT YEAR(o_orderdate) AS o_year,
+       SUM(CASE WHEN n2.n_name = 'BRAZIL'
+                THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END)
+       / SUM(l_extendedprice * (1 - l_discount)) AS mkt_share
+FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+WHERE p_partkey = l_partkey
+  AND s_suppkey = l_suppkey
+  AND l_orderkey = o_orderkey
+  AND o_custkey = c_custkey
+  AND c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r_regionkey
+  AND r_name = 'AMERICA'
+  AND s_nationkey = n2.n_nationkey
+  AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+  AND p_type = 'ECONOMY ANODIZED STEEL'
+GROUP BY YEAR(o_orderdate)
+ORDER BY o_year)sql"});
+
+  queries.push_back({10, "Q10 returned item reporting (top 20)", R"sql(
+SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20)sql"});
+
+  queries.push_back({18, "Q18 large volume customer", R"sql(
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       SUM(l_quantity) AS total_qty
+FROM customer, orders, lineitem
+WHERE o_orderkey IN (
+        SELECT l_orderkey
+        FROM lineitem
+        GROUP BY l_orderkey
+        HAVING SUM(l_quantity) > )sql" +
+                         std::to_string(q18_quantity_threshold) + R"sql()
+  AND c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100)sql"});
+
+  queries.push_back({22, "Q22 global sales opportunity", R"sql(
+SELECT SUBSTRING(c_phone, 1, 2) AS cntrycode, COUNT(*) AS numcust,
+       SUM(c_acctbal) AS totacctbal
+FROM customer
+WHERE SUBSTRING(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')
+  AND c_acctbal > (
+        SELECT AVG(c_acctbal)
+        FROM customer
+        WHERE c_acctbal > 0.0
+          AND SUBSTRING(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17'))
+  AND NOT EXISTS (SELECT * FROM orders WHERE o_custkey = c_custkey)
+GROUP BY SUBSTRING(c_phone, 1, 2)
+ORDER BY cntrycode)sql"});
+
+  return queries;
+}
+
+std::vector<TpchQuery> ExtensionQueries() {
+  std::vector<TpchQuery> queries;
+  queries.push_back({13, "Q13 customer distribution", R"sql(
+SELECT c_count, COUNT(*) AS custdist
+FROM (SELECT c_custkey AS k, COUNT(o_orderkey) AS c_count
+      FROM customer LEFT OUTER JOIN orders
+        ON c_custkey = o_custkey
+        AND o_comment NOT LIKE '%special%requests%'
+      GROUP BY c_custkey) c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC)sql"});
+  return queries;
+}
+
+std::string MicroBenchmarkQuery(double acctbal_threshold,
+                                const std::string& orderdate_cutoff_iso) {
+  return "SELECT * FROM orders, customer WHERE c_custkey = o_custkey AND c_acctbal > " +
+         std::to_string(acctbal_threshold) + " AND o_orderdate > DATE '" +
+         orderdate_cutoff_iso + "'";
+}
+
+std::string SegmentAuditExpressionSql(const std::string& name,
+                                      const std::string& segment) {
+  return "CREATE AUDIT EXPRESSION " + name +
+         " AS SELECT * FROM customer WHERE c_mktsegment = '" + segment +
+         "' FOR SENSITIVE TABLE customer PARTITION BY c_custkey";
+}
+
+std::string CustkeyRangeAuditExpressionSql(const std::string& name,
+                                           int64_t max_custkey) {
+  return "CREATE AUDIT EXPRESSION " + name +
+         " AS SELECT * FROM customer WHERE c_custkey <= " + std::to_string(max_custkey) +
+         " FOR SENSITIVE TABLE customer PARTITION BY c_custkey";
+}
+
+}  // namespace seltrig::tpch

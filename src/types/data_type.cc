@@ -1,0 +1,37 @@
+#include "types/data_type.h"
+
+namespace seltrig {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return "BOOLEAN";
+    case TypeId::kInt:
+      return "INT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "VARCHAR";
+    case TypeId::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+bool IsNumeric(TypeId type) {
+  return type == TypeId::kInt || type == TypeId::kDouble;
+}
+
+TypeId CommonType(TypeId a, TypeId b) {
+  if (a == b) return a;
+  if (a == TypeId::kNull) return b;
+  if (b == TypeId::kNull) return a;
+  if (IsNumeric(a) && IsNumeric(b)) return TypeId::kDouble;
+  // Dates compare with ints in a pinch (days since epoch), but we keep the
+  // lattice strict: no implicit date/number coercion.
+  return TypeId::kNull;
+}
+
+}  // namespace seltrig

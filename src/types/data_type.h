@@ -1,0 +1,35 @@
+// Scalar data types supported by the engine.
+
+#ifndef SELTRIG_TYPES_DATA_TYPE_H_
+#define SELTRIG_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace seltrig {
+
+// The engine's scalar type lattice. kNull is the type of the NULL literal
+// before coercion; every type is nullable at runtime (a Value of any declared
+// type may hold NULL).
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,     // 64-bit signed integer
+  kDouble,  // IEEE double; also backs DECIMAL(p, s) columns
+  kString,  // variable-length UTF-8/ASCII string
+  kDate,    // days since 1970-01-01 (proleptic Gregorian)
+};
+
+// Returns a display name, e.g. "INT".
+const char* TypeName(TypeId type);
+
+// True for kInt and kDouble.
+bool IsNumeric(TypeId type);
+
+// Returns the common type two operands coerce to for comparison/arithmetic,
+// or kNull if the pair is incompatible. kNull coerces to anything.
+TypeId CommonType(TypeId a, TypeId b);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_TYPES_DATA_TYPE_H_

@@ -1,0 +1,39 @@
+// Calendar date arithmetic. Dates are stored as int32 days since 1970-01-01
+// in the proleptic Gregorian calendar.
+
+#ifndef SELTRIG_TYPES_DATE_H_
+#define SELTRIG_TYPES_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace seltrig {
+
+// Converts a civil date to days since 1970-01-01. Uses Howard Hinnant's
+// days_from_civil algorithm; valid for the full int32 range.
+int32_t CivilToDays(int year, int month, int day);
+
+// Inverse of CivilToDays.
+void DaysToCivil(int32_t days, int* year, int* month, int* day);
+
+// Parses "YYYY-MM-DD". Rejects out-of-range months/days.
+Result<int32_t> ParseDate(std::string_view text);
+
+// Formats as "YYYY-MM-DD".
+std::string FormatDate(int32_t days);
+
+// Extraction helpers used by the YEAR()/MONTH()/DAY() SQL functions.
+int DateYear(int32_t days);
+int DateMonth(int32_t days);
+int DateDay(int32_t days);
+
+// Adds `n` calendar months (clamping the day-of-month, e.g. Jan 31 + 1 month
+// = Feb 28/29). Years are 12 months.
+int32_t AddMonths(int32_t days, int n);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_TYPES_DATE_H_

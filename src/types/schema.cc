@@ -1,0 +1,58 @@
+#include "types/schema.h"
+
+namespace seltrig {
+
+int Schema::TryResolve(const std::string& qualifier, const std::string& name,
+                       bool* ambiguous) const {
+  *ambiguous = false;
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (c.name != name) continue;
+    if (!qualifier.empty() && c.qualifier != qualifier) continue;
+    if (found >= 0) {
+      *ambiguous = true;
+      return -1;
+    }
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+Result<int> Schema::Resolve(const std::string& qualifier,
+                            const std::string& name) const {
+  bool ambiguous = false;
+  int idx = TryResolve(qualifier, name, &ambiguous);
+  std::string display = qualifier.empty() ? name : qualifier + "." + name;
+  if (ambiguous) {
+    return Status::BindError("ambiguous column reference: " + display);
+  }
+  if (idx < 0) {
+    return Status::BindError("column not found: " + display);
+  }
+  return idx;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (!columns_[i].qualifier.empty()) {
+      out += columns_[i].qualifier;
+      out += ".";
+    }
+    out += columns_[i].name;
+    out += " ";
+    out += TypeName(columns_[i].type);
+    if (columns_[i].hidden) out += " [hidden]";
+  }
+  return out;
+}
+
+}  // namespace seltrig

@@ -1,0 +1,61 @@
+// Schema: ordered, named, typed columns describing an operator's output or a
+// table's layout.
+
+#ifndef SELTRIG_TYPES_SCHEMA_H_
+#define SELTRIG_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/data_type.h"
+
+namespace seltrig {
+
+// One column of a schema. `qualifier` is the (lower-cased) table alias the
+// column is visible under during binding; it is empty for derived columns.
+// `hidden` marks helper columns that are carried through the plan but
+// stripped from final query results: ORDER BY expressions not in the select
+// list, and partition-by IDs propagated for audit operators (Section IV-A1).
+struct Column {
+  std::string name;
+  std::string qualifier;
+  TypeId type = TypeId::kNull;
+  bool hidden = false;
+};
+
+// An ordered list of columns with name resolution.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column col) { columns_.push_back(std::move(col)); }
+
+  // Resolves `qualifier.name` (both lower-case; qualifier may be empty to
+  // search all) to a column index. Errors on ambiguity or absence.
+  Result<int> Resolve(const std::string& qualifier, const std::string& name) const;
+
+  // Like Resolve but returns -1 instead of an error when not found (still
+  // errors on ambiguity via the out-param).
+  int TryResolve(const std::string& qualifier, const std::string& name,
+                 bool* ambiguous) const;
+
+  // Concatenation used for join output schemas.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  // "name TYPE, name TYPE, ..." for debugging and EXPLAIN output.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_TYPES_SCHEMA_H_

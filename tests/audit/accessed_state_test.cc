@@ -1,0 +1,63 @@
+#include "audit/accessed_state.h"
+
+#include <gtest/gtest.h>
+
+namespace seltrig {
+namespace {
+
+TEST(AccessedStateTest, RecordDeduplicates) {
+  AccessedState state;
+  state.Record(Value::Int(7));
+  state.Record(Value::Int(7));
+  state.Record(Value::Int(3));
+  EXPECT_EQ(state.size(), 2u);
+  EXPECT_TRUE(state.Contains(Value::Int(7)));
+  EXPECT_FALSE(state.Contains(Value::Int(8)));
+}
+
+TEST(AccessedStateTest, ToRowsSortedSingleColumn) {
+  AccessedState state;
+  state.Record(Value::Int(9));
+  state.Record(Value::Int(1));
+  state.Record(Value::Int(5));
+  std::vector<Row> rows = state.ToRows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rows[1][0].AsInt(), 5);
+  EXPECT_EQ(rows[2][0].AsInt(), 9);
+  for (const Row& r : rows) EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(AccessedStateTest, SortedIdsMatchesToRows) {
+  AccessedState state;
+  state.Record(Value::String("b"));
+  state.Record(Value::String("a"));
+  std::vector<Value> ids = state.SortedIds();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0].AsString(), "a");
+}
+
+TEST(AccessedStateRegistryTest, GetOrCreateAndFind) {
+  AccessedStateRegistry registry;
+  EXPECT_EQ(registry.Find("e"), nullptr);
+  registry.GetOrCreate("e").Record(Value::Int(1));
+  ASSERT_NE(registry.Find("e"), nullptr);
+  EXPECT_EQ(registry.Find("e")->size(), 1u);
+  // GetOrCreate returns the same state (union semantics across multiple
+  // audit operators of one expression, Section III-C).
+  registry.GetOrCreate("e").Record(Value::Int(2));
+  EXPECT_EQ(registry.Find("e")->size(), 2u);
+}
+
+TEST(AccessedStateRegistryTest, IndependentStatesPerExpression) {
+  AccessedStateRegistry registry;
+  registry.GetOrCreate("a").Record(Value::Int(1));
+  registry.GetOrCreate("b").Record(Value::Int(2));
+  EXPECT_EQ(registry.states().size(), 2u);
+  EXPECT_FALSE(registry.Find("a")->Contains(Value::Int(2)));
+  registry.Clear();
+  EXPECT_TRUE(registry.states().empty());
+}
+
+}  // namespace
+}  // namespace seltrig

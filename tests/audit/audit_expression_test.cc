@@ -1,0 +1,193 @@
+// Audit expression creation and sensitive-ID view maintenance (Section II-A,
+// Section IV-A1).
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace seltrig {
+namespace {
+
+class AuditExpressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age INT, zip INT);
+      CREATE TABLE disease (patientid INT, disease VARCHAR);
+      INSERT INTO patients VALUES (1, 'Alice', 34, 98101), (2, 'Bob', 27, 98102),
+                                  (3, 'Carol', 45, 98101);
+      INSERT INTO disease VALUES (1, 'cancer'), (2, 'flu'), (3, 'cancer');
+    )sql").ok());
+  }
+
+  std::vector<Value> ViewIds(const std::string& name) {
+    const AuditExpressionDef* def = db_.audit_manager()->Find(name);
+    EXPECT_NE(def, nullptr);
+    return def == nullptr ? std::vector<Value>{} : def->view().SortedIds();
+  }
+
+  Database db_;
+};
+
+TEST_F(AuditExpressionTest, SingleTableExpression) {
+  // Example 2.1: Alice's record is sensitive.
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients "
+      "WHERE name = 'Alice' FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  std::vector<Value> ids = ViewIds("audit_alice");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0].AsInt(), 1);
+
+  const AuditExpressionDef* def = db_.audit_manager()->Find("audit_alice");
+  EXPECT_EQ(def->sensitive_table(), "patients");
+  EXPECT_EQ(def->partition_by(), "patientid");
+  EXPECT_EQ(def->partition_column(), 0);
+  EXPECT_NE(def->single_table_predicate(), nullptr);
+}
+
+TEST_F(AuditExpressionTest, JoinExpression) {
+  // Example 2.2: all cancer patients are sensitive (key-FK join).
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_cancer AS SELECT p.* FROM patients p, disease d "
+      "WHERE p.patientid = d.patientid AND disease = 'cancer' "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  std::vector<Value> ids = ViewIds("audit_cancer");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0].AsInt(), 1);
+  EXPECT_EQ(ids[1].AsInt(), 3);
+  // Join expressions have no single-table predicate.
+  EXPECT_EQ(db_.audit_manager()->Find("audit_cancer")->single_table_predicate(),
+            nullptr);
+}
+
+TEST_F(AuditExpressionTest, NoPredicateCoversAllRows) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  EXPECT_EQ(ViewIds("audit_all").size(), 3u);
+}
+
+TEST_F(AuditExpressionTest, DuplicateNameRejected) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION e1 AS SELECT * FROM patients "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  EXPECT_FALSE(db_.Execute(
+      "CREATE AUDIT EXPRESSION e1 AS SELECT * FROM patients "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+}
+
+TEST_F(AuditExpressionTest, UnknownTableRejected) {
+  EXPECT_FALSE(db_.Execute(
+      "CREATE AUDIT EXPRESSION e AS SELECT * FROM nope "
+      "FOR SENSITIVE TABLE nope PARTITION BY x").ok());
+}
+
+TEST_F(AuditExpressionTest, SensitiveTableMustBeReferenced) {
+  EXPECT_FALSE(db_.Execute(
+      "CREATE AUDIT EXPRESSION e AS SELECT * FROM disease "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+}
+
+TEST_F(AuditExpressionTest, UnknownPartitionColumnRejected) {
+  EXPECT_FALSE(db_.Execute(
+      "CREATE AUDIT EXPRESSION e AS SELECT * FROM patients "
+      "FOR SENSITIVE TABLE patients PARTITION BY nope").ok());
+}
+
+TEST_F(AuditExpressionTest, DropExpression) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION e AS SELECT * FROM patients "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  ASSERT_TRUE(db_.Execute("DROP AUDIT EXPRESSION e").ok());
+  EXPECT_EQ(db_.audit_manager()->Find("e"), nullptr);
+  EXPECT_FALSE(db_.Execute("DROP AUDIT EXPRESSION e").ok());
+}
+
+// --- incremental maintenance ------------------------------------------------
+
+TEST_F(AuditExpressionTest, InsertMaintainsSingleTableView) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_old AS SELECT * FROM patients WHERE age >= 40 "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  EXPECT_EQ(ViewIds("audit_old").size(), 1u);  // Carol
+
+  ASSERT_TRUE(db_.Execute("INSERT INTO patients VALUES (4, 'Dan', 70, 1)").ok());
+  EXPECT_EQ(ViewIds("audit_old").size(), 2u);
+
+  ASSERT_TRUE(db_.Execute("INSERT INTO patients VALUES (5, 'Eve', 20, 1)").ok());
+  EXPECT_EQ(ViewIds("audit_old").size(), 2u);  // Eve does not qualify
+}
+
+TEST_F(AuditExpressionTest, DeleteMaintainsSingleTableView) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_old AS SELECT * FROM patients WHERE age >= 40 "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  ASSERT_TRUE(db_.Execute("DELETE FROM patients WHERE patientid = 3").ok());
+  EXPECT_TRUE(ViewIds("audit_old").empty());
+}
+
+TEST_F(AuditExpressionTest, UpdateMovesRowsInAndOut) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_old AS SELECT * FROM patients WHERE age >= 40 "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  // Bob becomes old -> in; Carol becomes young -> out.
+  ASSERT_TRUE(db_.Execute("UPDATE patients SET age = 80 WHERE patientid = 2").ok());
+  ASSERT_TRUE(db_.Execute("UPDATE patients SET age = 18 WHERE patientid = 3").ok());
+  std::vector<Value> ids = ViewIds("audit_old");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0].AsInt(), 2);
+}
+
+TEST_F(AuditExpressionTest, JoinViewMaintainedOnReferencedTableDml) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_cancer AS SELECT p.* FROM patients p, disease d "
+      "WHERE p.patientid = d.patientid AND disease = 'cancer' "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  EXPECT_EQ(ViewIds("audit_cancer").size(), 2u);
+  // Bob develops cancer: DML on the joined table must refresh the view.
+  ASSERT_TRUE(db_.Execute("INSERT INTO disease VALUES (2, 'cancer')").ok());
+  EXPECT_EQ(ViewIds("audit_cancer").size(), 3u);
+  ASSERT_TRUE(db_.Execute("DELETE FROM disease WHERE disease = 'cancer'").ok());
+  EXPECT_TRUE(ViewIds("audit_cancer").empty());
+}
+
+TEST_F(AuditExpressionTest, IncrementalMatchesRebuildOracle) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_zip AS SELECT * FROM patients WHERE zip = 98101 "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  // A mixed DML workload; after each statement the incrementally maintained
+  // view must equal a from-scratch rebuild.
+  const char* statements[] = {
+      "INSERT INTO patients VALUES (10, 'P10', 50, 98101)",
+      "INSERT INTO patients VALUES (11, 'P11', 51, 98109)",
+      "UPDATE patients SET zip = 98101 WHERE patientid = 11",
+      "UPDATE patients SET zip = 98109 WHERE patientid = 1",
+      "DELETE FROM patients WHERE patientid = 10",
+      "UPDATE patients SET age = age + 1",
+  };
+  for (const char* sql : statements) {
+    ASSERT_TRUE(db_.Execute(sql).ok()) << sql;
+    std::vector<Value> incremental = ViewIds("audit_zip");
+    AuditExpressionDef* def = db_.audit_manager()->FindMutable("audit_zip");
+    ASSERT_TRUE(db_.audit_manager()->RebuildView(def).ok());
+    std::vector<Value> rebuilt = ViewIds("audit_zip");
+    EXPECT_EQ(incremental.size(), rebuilt.size()) << sql;
+    for (size_t i = 0; i < std::min(incremental.size(), rebuilt.size()); ++i) {
+      EXPECT_EQ(incremental[i], rebuilt[i]) << sql;
+    }
+  }
+}
+
+TEST_F(AuditExpressionTest, ViewProbeIsCaseForSensitiveIdView) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION e AS SELECT * FROM patients WHERE age < 40 "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  const SensitiveIdView& view = db_.audit_manager()->Find("e")->view();
+  EXPECT_TRUE(view.Contains(Value::Int(1)));
+  EXPECT_TRUE(view.Contains(Value::Int(2)));
+  EXPECT_FALSE(view.Contains(Value::Int(3)));
+  EXPECT_FALSE(view.Contains(Value::Null()));
+}
+
+}  // namespace
+}  // namespace seltrig

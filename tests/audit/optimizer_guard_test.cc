@@ -1,0 +1,121 @@
+// Section IV-B: optimizer rules must treat audit operators as no-ops.
+// Reproduces Example 4.1 (contradiction detection forcing an empty result)
+// and Example 4.2 (IN-subquery simplified to top-1), showing the wrong
+// results of an audit-unaware optimizer and the guarded fix.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace seltrig {
+namespace {
+
+class OptimizerGuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, zip INT);
+      INSERT INTO patients VALUES (1234, 'Alice', 98101), (7777, 'Greg', 98102),
+                                  (5555, 'Hana', 98103), (6666, 'Ivan', 98101);
+    )sql").ok());
+    // Alice's record is sensitive: a single-ID audit expression, exactly the
+    // `PatientID IN (1234)` predicate of Examples 4.1/4.2.
+    ASSERT_TRUE(db_.Execute(
+        "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients "
+        "WHERE patientid = 1234 FOR SENSITIVE TABLE patients "
+        "PARTITION BY patientid").ok());
+  }
+
+  Result<StatementResult> Run(const std::string& sql, bool audit_aware) {
+    ExecOptions options;
+    options.instrument_all_audit_expressions = true;
+    options.optimizer.audit_aware = audit_aware;
+    return db_.ExecuteWithOptions(sql, options);
+  }
+
+  Database db_;
+};
+
+TEST_F(OptimizerGuardTest, Example41GuardedKeepsResults) {
+  // SELECT * FROM Patients WHERE PatientID = 7777, instrumented for Alice.
+  auto r = Run("SELECT * FROM patients WHERE patientid = 7777",
+               /*audit_aware=*/true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->result.rows.size(), 1u);
+  EXPECT_EQ(r->result.rows[0][1].AsString(), "Greg");
+  EXPECT_TRUE(r->accessed["audit_alice"].empty());
+}
+
+TEST_F(OptimizerGuardTest, Example41UnguardedForcesEmptyResult) {
+  // The audit-unaware optimizer believes `patientid = 7777 AND
+  // patientid = 1234` is a contradiction and forces an empty result --
+  // exactly the incorrect rewrite reported in Example 4.1.
+  auto r = Run("SELECT * FROM patients WHERE patientid = 7777",
+               /*audit_aware=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->result.rows.empty());
+}
+
+TEST_F(OptimizerGuardTest, Example42GuardedSubqueryIntact) {
+  // Example 4.2's shape: an IN-subquery over the sensitive table. The real
+  // subquery returns every patient with a different zip.
+  const std::string sql =
+      "SELECT name FROM patients p1 WHERE 5555 IN "
+      "(SELECT p2.patientid FROM patients p2 WHERE p1.zip <> p2.zip) "
+      "ORDER BY name";
+  auto r = Run(sql, /*audit_aware=*/true);
+  ASSERT_TRUE(r.ok());
+  // Hana (5555, zip 98103) has the same zip as no one else; every other
+  // patient has a different zip from Hana, so 5555 is in their subquery.
+  ASSERT_EQ(r->result.rows.size(), 3u);
+  EXPECT_EQ(r->result.rows[0][0].AsString(), "Alice");
+}
+
+TEST_F(OptimizerGuardTest, Example42UnguardedTruncatesSubquery) {
+  // The audit-unaware optimizer sees the audit operator pinning the
+  // subquery's output to Alice's ID and adds LIMIT 1 -- but the audit
+  // operator is a no-op, so the limit truncates real rows and changes the
+  // result (Example 4.2's incorrect simplification).
+  const std::string sql =
+      "SELECT name FROM patients p1 WHERE 5555 IN "
+      "(SELECT p2.patientid FROM patients p2 WHERE p1.zip <> p2.zip) "
+      "ORDER BY name";
+  auto guarded = Run(sql, /*audit_aware=*/true);
+  auto unguarded = Run(sql, /*audit_aware=*/false);
+  ASSERT_TRUE(guarded.ok());
+  ASSERT_TRUE(unguarded.ok());
+  EXPECT_LT(unguarded->result.rows.size(), guarded->result.rows.size());
+}
+
+TEST_F(OptimizerGuardTest, LegitimateSingleValueSimplificationStillFires) {
+  // On *real* predicates the IN-subquery single-value rewrite is valid and
+  // must not change results.
+  const std::string sql =
+      "SELECT name FROM patients WHERE patientid IN "
+      "(SELECT patientid FROM patients WHERE patientid = 7777)";
+  auto with_rule = Run(sql, /*audit_aware=*/true);
+  ASSERT_TRUE(with_rule.ok());
+  ASSERT_EQ(with_rule->result.rows.size(), 1u);
+  EXPECT_EQ(with_rule->result.rows[0][0].AsString(), "Greg");
+}
+
+TEST_F(OptimizerGuardTest, GuardedInstrumentationStillAudits) {
+  // With guards on, the audit operator still records Alice when her row
+  // actually flows.
+  auto r = Run("SELECT * FROM patients WHERE zip = 98101", /*audit_aware=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.rows.size(), 2u);
+  ASSERT_EQ(r->accessed["audit_alice"].size(), 1u);
+  EXPECT_EQ(r->accessed["audit_alice"][0].AsInt(), 1234);
+}
+
+TEST_F(OptimizerGuardTest, ContradictionOnRealPredicatesStillWorks) {
+  // The guard must not disable the rule for genuine contradictions.
+  auto r = Run("SELECT * FROM patients WHERE patientid = 1 AND patientid = 2",
+               /*audit_aware=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->result.rows.empty());
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,448 @@
+// Audit-operator placement (Section III): the commutativity table,
+// Algorithm 1, and the paper's worked examples -- Example 3.1/Figure 2,
+// Example 3.2/Figure 3, Example 3.8/Figure 4, Example 3.9/Figure 5.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "audit/accessed_state.h"
+#include "audit/offline_auditor.h"
+#include "audit/placement.h"
+#include "engine/database.h"
+
+namespace seltrig {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age INT,
+                             zip INT, disease VARCHAR);
+      INSERT INTO patients VALUES
+        (1, 'Alice', 30, 98101, 'flu'),
+        (2, 'Bob',   25, 98102, 'measles'),
+        (3, 'Carol', 40, 98101, 'flu'),
+        (4, 'Dave',  55, 98103, 'cancer'),
+        (5, 'Eve',   35, 98102, 'flu');
+    )sql").ok());
+    ASSERT_TRUE(db_.Execute(
+        "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+        "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  }
+
+  // Runs `sql` instrumented with `heuristic` and returns the audited IDs.
+  std::vector<int64_t> AuditIds(const std::string& sql, PlacementHeuristic heuristic) {
+    ExecOptions options;
+    options.heuristic = heuristic;
+    options.instrument_all_audit_expressions = true;
+    auto r = db_.ExecuteWithOptions(sql, options);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    std::vector<int64_t> ids;
+    if (r.ok()) {
+      for (const Value& v : r->accessed["audit_all"]) ids.push_back(v.AsInt());
+    }
+    return ids;
+  }
+
+  std::vector<int64_t> OfflineIds(const std::string& sql) {
+    auto plan = db_.PlanSelect(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    OfflineAuditor auditor(db_.catalog(), db_.session());
+    auto report = auditor.Audit(**plan, *db_.audit_manager()->Find("audit_all"));
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    std::vector<int64_t> ids;
+    for (const Value& v : report->accessed_ids) ids.push_back(v.AsInt());
+    return ids;
+  }
+
+  Database db_;
+};
+
+// Instrumented plans must return exactly the uninstrumented results (the
+// audit operator is a no-op).
+TEST_F(PlacementTest, InstrumentationIsNoOpForResults) {
+  const std::string sql =
+      "SELECT name, age FROM patients WHERE age > 28 ORDER BY age DESC LIMIT 2";
+  auto plain = db_.Execute(sql);
+  ASSERT_TRUE(plain.ok());
+  for (PlacementHeuristic h : {PlacementHeuristic::kLeafNode,
+                               PlacementHeuristic::kHighestNode,
+                               PlacementHeuristic::kHighestCommutativeNode}) {
+    ExecOptions options;
+    options.heuristic = h;
+    options.instrument_all_audit_expressions = true;
+    auto instrumented = db_.ExecuteWithOptions(sql, options);
+    ASSERT_TRUE(instrumented.ok());
+    ASSERT_EQ(instrumented->result.rows.size(), plain->rows.size());
+    for (size_t i = 0; i < plain->rows.size(); ++i) {
+      EXPECT_TRUE(RowEq{}(instrumented->result.rows[i], plain->rows[i]));
+    }
+  }
+}
+
+TEST_F(PlacementTest, SimpleSelectAllHeuristicsAgree) {
+  const std::string sql = "SELECT * FROM patients WHERE zip = 98101";
+  std::vector<int64_t> expected = {1, 3};
+  EXPECT_EQ(AuditIds(sql, PlacementHeuristic::kLeafNode), expected);
+  EXPECT_EQ(AuditIds(sql, PlacementHeuristic::kHighestCommutativeNode), expected);
+  EXPECT_EQ(AuditIds(sql, PlacementHeuristic::kHighestNode), expected);
+  EXPECT_EQ(OfflineIds(sql), expected);
+}
+
+// Example 3.1 / Figure 2: leaf placement over-reports rows later dropped by a
+// join; hcn (audit above the join) reports exactly the offline set.
+TEST_F(PlacementTest, Example31JoinFalsePositives) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE visits (patientid INT, visit_zip INT);
+    INSERT INTO visits VALUES (1, 98101), (3, 98101);
+  )sql").ok());
+  // Patients in zip 98101 who have a visit row: Alice and Carol qualify; Eve
+  // passes no scan predicate; Bob/Dave pass the scan but not the join... use
+  // a predicate that admits more patients than the join keeps:
+  const std::string sql =
+      "SELECT p.patientid, name FROM patients p, visits v "
+      "WHERE p.patientid = v.patientid AND age < 50";
+  std::vector<int64_t> offline = OfflineIds(sql);
+  EXPECT_EQ(offline, (std::vector<int64_t>{1, 3}));
+
+  // Leaf-node audits every patient passing `age < 50` (Alice, Bob, Carol,
+  // Eve) -- false positives for Bob and Eve.
+  EXPECT_EQ(AuditIds(sql, PlacementHeuristic::kLeafNode),
+            (std::vector<int64_t>{1, 2, 3, 5}));
+  // hcn pulls the audit operator above the join: exact (Theorem 3.7).
+  EXPECT_EQ(AuditIds(sql, PlacementHeuristic::kHighestCommutativeNode),
+            (std::vector<int64_t>{1, 3}));
+}
+
+// Example 3.2 / Figure 3: the highest-node heuristic has FALSE NEGATIVES when
+// a non-commutative operator (top-k) sits below the highest ID-bearing edge.
+TEST_F(PlacementTest, Example32TopKFalseNegative) {
+  // "Which of the two youngest patients has the flu?" -- Bob (25) and Alice
+  // (30) are the two youngest; only Alice has flu. Bob influences the result:
+  // deleting him promotes Eve (35, flu) into the top 2, changing the output.
+  // Build Figure 3's plan by hand: Filter(disease = 'flu') ABOVE the top-2
+  // (SQL has no direct syntax for a filter over a LIMIT without a derived
+  // table, but the plan algebra does).
+  auto filter = std::make_shared<LogicalFilter>();
+  {
+    // Rebind disease: the top-2 output is (patientid, name, [hidden age]).
+    // Use the base plan without projection instead: scan -> sort -> limit.
+    auto scan = std::make_shared<LogicalScan>();
+    scan->table_name = "patients";
+    scan->alias = "patients";
+    Result<Table*> t = db_.catalog()->GetTable("patients");
+    ASSERT_TRUE(t.ok());
+    scan->schema = (*t)->schema();
+    for (size_t i = 0; i < scan->schema.size(); ++i) {
+      scan->schema.column(i).qualifier = "patients";
+    }
+    auto sort = std::make_shared<LogicalSort>();
+    sort->keys.push_back(SortKey{MakeColumnRef(2, TypeId::kInt, "age"), true});
+    sort->schema = scan->schema;
+    sort->children = {scan};
+    auto limit = std::make_shared<LogicalLimit>();
+    limit->limit = 2;
+    limit->schema = sort->schema;
+    limit->children = {sort};
+    filter->predicate = MakeComparison(CompareOp::kEq,
+                                       MakeColumnRef(4, TypeId::kString, "disease"),
+                                       MakeLiteral(Value::String("flu")));
+    filter->schema = limit->schema;
+    filter->children = {limit};
+  }
+  const AuditExpressionDef* def = db_.audit_manager()->Find("audit_all");
+
+  // Offline ground truth: Alice (in the result) and Bob (removing him changes
+  // the top-2 and thus the result).
+  OfflineAuditor auditor(db_.catalog(), db_.session());
+  auto offline = auditor.Audit(*filter, *def);
+  ASSERT_TRUE(offline.ok());
+  std::vector<int64_t> offline_ids;
+  for (const Value& v : offline->accessed_ids) offline_ids.push_back(v.AsInt());
+  EXPECT_EQ(offline_ids, (std::vector<int64_t>{1, 2}));
+
+  auto run = [&](PlacementHeuristic h) {
+    PlacementOptions popts;
+    popts.heuristic = h;
+    auto instrumented = InstrumentPlan(*filter, *def, popts);
+    EXPECT_TRUE(instrumented.ok());
+    ExecContext ctx(db_.catalog(), db_.session());
+    AccessedStateRegistry registry;
+    ctx.set_accessed(&registry);
+    Executor executor(&ctx);
+    auto rows = executor.ExecutePlan(**instrumented, {});
+    EXPECT_TRUE(rows.ok());
+    std::vector<int64_t> ids;
+    const AccessedState* state = registry.Find(def->name());
+    if (state != nullptr) {
+      for (const Value& v : state->SortedIds()) ids.push_back(v.AsInt());
+    }
+    return ids;
+  };
+
+  // Highest-node places the audit operator above the filter (the top-most
+  // edge where patientid is visible): Bob is consumed by the filter and never
+  // audited -- a FALSE NEGATIVE.
+  std::vector<int64_t> highest = run(PlacementHeuristic::kHighestNode);
+  EXPECT_EQ(highest, (std::vector<int64_t>{1}));
+
+  // hcn cannot pull above the limit: it audits exactly the top-2 rows that
+  // flow out of it -- no false negatives (and here, no false positives).
+  std::vector<int64_t> hcn = run(PlacementHeuristic::kHighestCommutativeNode);
+  EXPECT_EQ(hcn, (std::vector<int64_t>{1, 2}));
+
+  // Leaf-node audits every scanned patient.
+  std::vector<int64_t> leaf = run(PlacementHeuristic::kLeafNode);
+  EXPECT_EQ(leaf, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+// Example 3.8(b) / Figure 4: the audit operator stops below a group-by.
+TEST_F(PlacementTest, Example38AggregationStopsPullUp) {
+  const std::string sql =
+      "SELECT age, COUNT(*) FROM patients WHERE disease = 'flu' GROUP BY age";
+  std::vector<int64_t> hcn = AuditIds(sql, PlacementHeuristic::kHighestCommutativeNode);
+  // The audit operator sits below the group-by and sees all flu patients.
+  EXPECT_EQ(hcn, (std::vector<int64_t>{1, 3, 5}));
+  EXPECT_EQ(OfflineIds(sql), (std::vector<int64_t>{1, 3, 5}));
+}
+
+// Example 3.8(c) / Figure 4: audit operators are placed inside subqueries and
+// the ACCESSED state is the union across all of them.
+TEST_F(PlacementTest, Example38SubqueryGetsOwnAuditOperator) {
+  const std::string sql =
+      "SELECT * FROM patients p1 WHERE name IN "
+      "(SELECT name FROM patients p2 WHERE zip = 98102)";
+  ExecOptions options;
+  options.heuristic = PlacementHeuristic::kHighestCommutativeNode;
+  options.instrument_all_audit_expressions = true;
+  auto r = db_.ExecuteWithOptions(sql, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Subquery audit operator sees the zip-98102 patients (Bob, Eve); the outer
+  // audit operator sits above the IN filter and sees the matching outer rows
+  // (the same two names). Union = {2, 5} -- exactly the offline set: deleting
+  // any other patient changes neither the subquery nor the result.
+  EXPECT_EQ(r->accessed["audit_all"].size(), 2u);
+  EXPECT_EQ(OfflineIds(sql), (std::vector<int64_t>{2, 5}));
+
+  // The instrumented plan must contain two audit operators: one in the main
+  // plan, one inside the subquery.
+  auto plan = db_.PlanSelect(sql);
+  ASSERT_TRUE(plan.ok());
+  PlacementOptions popts;
+  auto instrumented = InstrumentPlan(**plan, *db_.audit_manager()->Find("audit_all"),
+                                     popts);
+  ASSERT_TRUE(instrumented.ok());
+  EXPECT_EQ(CountAuditOperators(**instrumented), 2);
+}
+
+// Example 3.9 / Figure 5: hcn yields false positives below a HAVING filter.
+TEST_F(PlacementTest, Example39HavingFalsePositives) {
+  const std::string sql =
+      "SELECT disease, COUNT(*) AS n FROM patients GROUP BY disease "
+      "HAVING COUNT(*) >= 2";
+  // Only 'flu' (3 patients) survives HAVING. Bob (measles, count 1) and Dave
+  // (cancer, count 1) do not influence the result: deleting either leaves
+  // their group below the threshold either way.
+  EXPECT_EQ(OfflineIds(sql), (std::vector<int64_t>{1, 3, 5}));
+  // hcn audits below the group-by: everyone, including Bob and Dave --
+  // false positives, but no false negatives.
+  EXPECT_EQ(AuditIds(sql, PlacementHeuristic::kHighestCommutativeNode),
+            (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+// Theorem 3.7: for select-join queries hcn equals the offline auditor.
+TEST_F(PlacementTest, SelectJoinQueriesAreExact) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE rx (patientid INT, drug VARCHAR);
+    INSERT INTO rx VALUES (1, 'aspirin'), (2, 'ibuprofen'), (4, 'aspirin');
+  )sql").ok());
+  const char* queries[] = {
+      "SELECT * FROM patients WHERE age > 30",
+      "SELECT name FROM patients WHERE zip = 98102 AND age < 30",
+      "SELECT name, drug FROM patients p, rx r WHERE p.patientid = r.patientid",
+      "SELECT name, drug FROM patients p, rx r WHERE p.patientid = r.patientid "
+      "AND drug = 'aspirin' AND age > 40",
+  };
+  for (const char* sql : queries) {
+    EXPECT_EQ(AuditIds(sql, PlacementHeuristic::kHighestCommutativeNode),
+              OfflineIds(sql))
+        << sql;
+  }
+}
+
+// Claim 3.5 / Claim 3.6: leaf and hcn never miss an accessed tuple.
+TEST_F(PlacementTest, NoFalseNegativesOnAssortedQueries) {
+  const char* queries[] = {
+      "SELECT * FROM patients WHERE age > 26",
+      "SELECT zip, COUNT(*) FROM patients GROUP BY zip HAVING COUNT(*) > 1",
+      "SELECT name FROM patients ORDER BY age LIMIT 3",
+      "SELECT DISTINCT zip FROM patients WHERE age < 50",
+      "SELECT name FROM patients WHERE patientid IN "
+      "(SELECT patientid FROM patients WHERE disease = 'flu')",
+  };
+  for (const char* sql : queries) {
+    std::vector<int64_t> offline = OfflineIds(sql);
+    for (PlacementHeuristic h : {PlacementHeuristic::kLeafNode,
+                                 PlacementHeuristic::kHighestCommutativeNode}) {
+      std::vector<int64_t> audited = AuditIds(sql, h);
+      for (int64_t id : offline) {
+        EXPECT_NE(std::find(audited.begin(), audited.end(), id), audited.end())
+            << sql << " heuristic=" << PlacementHeuristicName(h)
+            << " missing id=" << id;
+      }
+    }
+  }
+}
+
+// The commutativity table itself (Section III-C).
+TEST_F(PlacementTest, CommutativityTable) {
+  auto scan = std::make_shared<LogicalScan>();
+  scan->table_name = "patients";
+  scan->alias = "patients";
+  Result<Table*> t = db_.catalog()->GetTable("patients");
+  ASSERT_TRUE(t.ok());
+  scan->schema = (*t)->schema();
+
+  int new_key = -1;
+
+  LogicalFilter filter;
+  filter.children = {scan};
+  EXPECT_TRUE(AuditCommutesWith(filter, 0, 0, &new_key));
+  EXPECT_EQ(new_key, 0);
+
+  LogicalSort sort;
+  sort.children = {scan};
+  EXPECT_TRUE(AuditCommutesWith(sort, 0, 0, &new_key));
+
+  LogicalLimit limit;
+  limit.children = {scan};
+  EXPECT_FALSE(AuditCommutesWith(limit, 0, 0, &new_key));
+
+  LogicalDistinct distinct;
+  distinct.children = {scan};
+  EXPECT_FALSE(AuditCommutesWith(distinct, 0, 0, &new_key));
+
+  LogicalAggregate agg;
+  agg.children = {scan};
+  EXPECT_FALSE(AuditCommutesWith(agg, 0, 0, &new_key));
+
+  LogicalJoin inner;
+  inner.join_type = JoinType::kInner;
+  inner.children = {scan, scan};
+  EXPECT_TRUE(AuditCommutesWith(inner, 0, 2, &new_key));
+  EXPECT_EQ(new_key, 2);
+  EXPECT_TRUE(AuditCommutesWith(inner, 1, 0, &new_key));
+  EXPECT_EQ(new_key, static_cast<int>(scan->schema.size()));  // offset by left width
+
+  LogicalJoin left;
+  left.join_type = JoinType::kLeft;
+  left.children = {scan, scan};
+  EXPECT_TRUE(AuditCommutesWith(left, 0, 0, &new_key));
+  EXPECT_FALSE(AuditCommutesWith(left, 1, 0, &new_key));  // null-supplying side
+
+  // Projection commutes only when it forwards the key column.
+  LogicalProject with_key;
+  with_key.children = {scan};
+  with_key.exprs.push_back(MakeColumnRef(1, TypeId::kString, "name"));
+  with_key.exprs.push_back(MakeColumnRef(0, TypeId::kInt, "patientid"));
+  EXPECT_TRUE(AuditCommutesWith(with_key, 0, 0, &new_key));
+  EXPECT_EQ(new_key, 1);
+
+  LogicalProject without_key;
+  without_key.children = {scan};
+  without_key.exprs.push_back(MakeColumnRef(1, TypeId::kString, "name"));
+  EXPECT_FALSE(AuditCommutesWith(without_key, 0, 0, &new_key));
+}
+
+// Outer joins: the audit operator climbs past the preserved (left) side but
+// never past the null-supplying side.
+TEST_F(PlacementTest, LeftJoinPreservedSideClimbs) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE labs (patientid INT, result VARCHAR);
+    INSERT INTO labs VALUES (1, 'ok'), (4, 'bad');
+  )sql").ok());
+  // Sensitive table on the PRESERVED side: every patient row flows (padded or
+  // matched), so the audit operator above the join sees all of them -- and by
+  // Definition 2.5 all are accessed (deleting any changes the padded output).
+  const std::string preserved =
+      "SELECT name, result FROM patients p LEFT JOIN labs l "
+      "ON p.patientid = l.patientid";
+  EXPECT_EQ(AuditIds(preserved, PlacementHeuristic::kHighestCommutativeNode),
+            (std::vector<int64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(OfflineIds(preserved), (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(PlacementTest, LeftJoinNullSupplyingSideStops) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE clinics (clinicid INT PRIMARY KEY, zip INT);
+    INSERT INTO clinics VALUES (100, 98101), (200, 98102), (300, 99999);
+  )sql").ok());
+  // Sensitive table (patients) on the NULL-SUPPLYING side: its rows can
+  // vanish into padding, so the operator must stay below the join -- it
+  // audits every patient matching some clinic zip... and every patient that
+  // the join pulls through the audit operator below it.
+  const std::string null_side =
+      "SELECT clinicid, name FROM clinics c LEFT JOIN patients p "
+      "ON c.zip = p.zip";
+  std::vector<int64_t> offline = OfflineIds(null_side);
+  std::vector<int64_t> hcn =
+      AuditIds(null_side, PlacementHeuristic::kHighestCommutativeNode);
+  // No false negatives even on the null-supplying side.
+  for (int64_t id : offline) {
+    EXPECT_NE(std::find(hcn.begin(), hcn.end(), id), hcn.end()) << id;
+  }
+  // And the operator genuinely sits below the join: the plan shows the audit
+  // operator beneath the LeftJoin node.
+  auto plan = db_.PlanSelect(null_side);
+  ASSERT_TRUE(plan.ok());
+  PlacementOptions popts;
+  auto instrumented =
+      InstrumentPlan(**plan, *db_.audit_manager()->Find("audit_all"), popts);
+  ASSERT_TRUE(instrumented.ok());
+  std::string text = PlanToString(**instrumented);
+  EXPECT_LT(text.find("LeftJoin"), text.find("AuditOp"));
+}
+
+TEST_F(PlacementTest, MultipleAuditExpressionsInstrumentIndependently) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_flu AS SELECT * FROM patients "
+      "WHERE disease = 'flu' FOR SENSITIVE TABLE patients "
+      "PARTITION BY patientid").ok());
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_young AS SELECT * FROM patients "
+      "WHERE age < 30 FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  ExecOptions options;
+  options.instrument_all_audit_expressions = true;
+  auto r = db_.ExecuteWithOptions("SELECT * FROM patients WHERE zip = 98102",
+                                  options);
+  ASSERT_TRUE(r.ok());
+  // zip 98102: Bob (25, measles), Eve (35, flu).
+  ASSERT_EQ(r->accessed.size(), 3u);  // audit_all, audit_flu, audit_young
+  EXPECT_EQ(r->accessed["audit_all"].size(), 2u);
+  ASSERT_EQ(r->accessed["audit_flu"].size(), 1u);
+  EXPECT_EQ(r->accessed["audit_flu"][0].AsInt(), 5);
+  ASSERT_EQ(r->accessed["audit_young"].size(), 1u);
+  EXPECT_EQ(r->accessed["audit_young"][0].AsInt(), 2);
+}
+
+TEST_F(PlacementTest, AuditIdsIndependentOfJoinAlgorithm) {
+  // Example 3.1's closing note: false positives are a property of the
+  // *logical* placement, not the physical join operator. Hash join (equi) and
+  // nested loop (forced via a redundant non-equi condition) agree.
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE visits2 (patientid INT, n INT);
+    INSERT INTO visits2 VALUES (1, 1), (3, 1);
+  )sql").ok());
+  const std::string hash_sql =
+      "SELECT name FROM patients p, visits2 v WHERE p.patientid = v.patientid";
+  const std::string nl_sql =
+      "SELECT name FROM patients p, visits2 v "
+      "WHERE p.patientid <= v.patientid AND p.patientid >= v.patientid";
+  EXPECT_EQ(AuditIds(hash_sql, PlacementHeuristic::kHighestCommutativeNode),
+            AuditIds(nl_sql, PlacementHeuristic::kHighestCommutativeNode));
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,129 @@
+// Rewrite-based offline auditor: applicability detection and equivalence
+// with the general Definition 2.5 auditor on the select-join class.
+
+#include "audit/rewrite_auditor.h"
+
+#include <gtest/gtest.h>
+
+#include "audit/offline_auditor.h"
+#include "engine/database.h"
+
+namespace seltrig {
+namespace {
+
+class RewriteAuditorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age INT,
+                             zip INT);
+      CREATE TABLE visits (patientid INT, clinic VARCHAR);
+      INSERT INTO patients VALUES
+        (1, 'Alice', 30, 98101), (2, 'Bob', 25, 98102), (3, 'Carol', 40, 98101),
+        (4, 'Dave', 55, 98103);
+      INSERT INTO visits VALUES (1, 'north'), (3, 'north'), (4, 'south');
+    )sql").ok());
+    ASSERT_TRUE(db_.Execute(
+        "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+        "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+    def_ = db_.audit_manager()->Find("audit_all");
+  }
+
+  PlanPtr Plan(const std::string& sql) {
+    auto r = db_.PlanSelect(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  Database db_;
+  const AuditExpressionDef* def_ = nullptr;
+};
+
+TEST_F(RewriteAuditorTest, ApplicableOnSelectJoin) {
+  EXPECT_TRUE(RewriteAuditor::IsApplicable(
+      *Plan("SELECT name FROM patients WHERE age > 26"), *def_));
+  EXPECT_TRUE(RewriteAuditor::IsApplicable(
+      *Plan("SELECT name, clinic FROM patients p, visits v "
+            "WHERE p.patientid = v.patientid AND clinic = 'north'"),
+      *def_));
+  EXPECT_TRUE(RewriteAuditor::IsApplicable(
+      *Plan("SELECT name FROM patients ORDER BY age"), *def_));
+}
+
+TEST_F(RewriteAuditorTest, NotApplicableBeyondSelectJoin) {
+  EXPECT_FALSE(RewriteAuditor::IsApplicable(
+      *Plan("SELECT COUNT(*) FROM patients"), *def_));
+  EXPECT_FALSE(RewriteAuditor::IsApplicable(
+      *Plan("SELECT name FROM patients ORDER BY age LIMIT 2"), *def_));
+  EXPECT_FALSE(RewriteAuditor::IsApplicable(
+      *Plan("SELECT DISTINCT zip FROM patients"), *def_));
+  EXPECT_FALSE(RewriteAuditor::IsApplicable(
+      *Plan("SELECT name FROM patients p1 WHERE name IN "
+            "(SELECT name FROM patients p2 WHERE p2.zip <> p1.zip)"),
+      *def_));
+  EXPECT_FALSE(RewriteAuditor::IsApplicable(
+      *Plan("SELECT name FROM patients p LEFT JOIN visits v "
+            "ON p.patientid = v.patientid"),
+      *def_));
+}
+
+TEST_F(RewriteAuditorTest, SubqueryOverOtherTableIsAdmissible) {
+  // A subquery acting as an opaque predicate over a non-sensitive table
+  // keeps the plan in the supported class.
+  EXPECT_TRUE(RewriteAuditor::IsApplicable(
+      *Plan("SELECT name FROM patients WHERE patientid IN "
+            "(SELECT patientid FROM visits WHERE clinic = 'north')"),
+      *def_));
+}
+
+TEST_F(RewriteAuditorTest, MatchesDefinition25OnSupportedClass) {
+  const char* queries[] = {
+      "SELECT name FROM patients WHERE age > 26",
+      "SELECT name, clinic FROM patients p, visits v "
+      "WHERE p.patientid = v.patientid",
+      "SELECT name, clinic FROM patients p, visits v "
+      "WHERE p.patientid = v.patientid AND clinic = 'north' AND age < 50",
+      "SELECT name FROM patients WHERE patientid IN "
+      "(SELECT patientid FROM visits WHERE clinic = 'north')",
+      "SELECT name FROM patients WHERE zip = 99999",  // empty result
+  };
+  RewriteAuditor fast(db_.catalog(), db_.session());
+  OfflineAuditor slow(db_.catalog(), db_.session());
+  for (const char* sql : queries) {
+    PlanPtr plan = Plan(sql);
+    auto fast_report = fast.Audit(*plan, *def_);
+    ASSERT_TRUE(fast_report.ok()) << sql;
+    ASSERT_TRUE(fast_report->applicable) << sql;
+    auto slow_report = slow.Audit(*plan, *def_);
+    ASSERT_TRUE(slow_report.ok()) << sql;
+    EXPECT_EQ(fast_report->accessed_ids, slow_report->accessed_ids) << sql;
+  }
+}
+
+TEST_F(RewriteAuditorTest, SingleExecutionInsteadOfPerCandidate) {
+  PlanPtr plan = Plan(
+      "SELECT name FROM patients p, visits v WHERE p.patientid = v.patientid");
+  OfflineAuditor slow(db_.catalog(), db_.session());
+  auto slow_report = slow.Audit(*plan, *def_);
+  ASSERT_TRUE(slow_report.ok());
+  // Definition 2.5 needs baseline + leaf-prune + one run per candidate.
+  EXPECT_GT(slow_report->query_executions, 2u);
+  // The rewrite auditor needs exactly one (instrumented) execution -- its
+  // interface has no per-candidate loop at all.
+  RewriteAuditor fast(db_.catalog(), db_.session());
+  auto fast_report = fast.Audit(*plan, *def_);
+  ASSERT_TRUE(fast_report.ok());
+  EXPECT_EQ(fast_report->accessed_ids, slow_report->accessed_ids);
+}
+
+TEST_F(RewriteAuditorTest, NotApplicableReportedNotWrong) {
+  PlanPtr plan = Plan("SELECT COUNT(*) FROM patients");
+  RewriteAuditor fast(db_.catalog(), db_.session());
+  auto report = fast.Audit(*plan, *def_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->applicable);
+  EXPECT_TRUE(report->accessed_ids.empty());
+}
+
+}  // namespace
+}  // namespace seltrig

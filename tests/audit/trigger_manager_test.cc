@@ -1,0 +1,99 @@
+// TriggerManager registry unit tests.
+
+#include "audit/trigger.h"
+
+#include <gtest/gtest.h>
+
+namespace seltrig {
+namespace {
+
+std::unique_ptr<TriggerDef> SelectTrigger(const std::string& name,
+                                          const std::string& expr,
+                                          bool before = false) {
+  auto def = std::make_unique<TriggerDef>();
+  def->name = name;
+  def->is_select_trigger = true;
+  def->before = before;
+  def->audit_expression = expr;
+  return def;
+}
+
+std::unique_ptr<TriggerDef> DmlTrigger(const std::string& name,
+                                       const std::string& table,
+                                       ast::DmlEvent event) {
+  auto def = std::make_unique<TriggerDef>();
+  def->name = name;
+  def->table = table;
+  def->event = event;
+  return def;
+}
+
+TEST(TriggerManagerTest, CreateFindDrop) {
+  TriggerManager mgr;
+  ASSERT_TRUE(mgr.CreateTrigger(SelectTrigger("t1", "e1")).ok());
+  EXPECT_NE(mgr.Find("t1"), nullptr);
+  EXPECT_NE(mgr.Find("T1"), nullptr);  // case-insensitive
+  EXPECT_EQ(mgr.Find("t2"), nullptr);
+  ASSERT_TRUE(mgr.DropTrigger("t1").ok());
+  EXPECT_EQ(mgr.Find("t1"), nullptr);
+  EXPECT_FALSE(mgr.DropTrigger("t1").ok());
+}
+
+TEST(TriggerManagerTest, DuplicateNameRejected) {
+  TriggerManager mgr;
+  ASSERT_TRUE(mgr.CreateTrigger(SelectTrigger("t1", "e1")).ok());
+  Status status = mgr.CreateTrigger(SelectTrigger("T1", "e2"));
+  EXPECT_EQ(status.code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(TriggerManagerTest, SelectTriggersForSortedByName) {
+  TriggerManager mgr;
+  ASSERT_TRUE(mgr.CreateTrigger(SelectTrigger("zeta", "e1")).ok());
+  ASSERT_TRUE(mgr.CreateTrigger(SelectTrigger("alpha", "e1")).ok());
+  ASSERT_TRUE(mgr.CreateTrigger(SelectTrigger("other", "e2")).ok());
+  auto triggers = mgr.SelectTriggersFor("e1");
+  ASSERT_EQ(triggers.size(), 2u);
+  EXPECT_EQ(triggers[0]->name, "alpha");
+  EXPECT_EQ(triggers[1]->name, "zeta");
+}
+
+TEST(TriggerManagerTest, DisabledTriggersAreSkipped) {
+  TriggerManager mgr;
+  auto def = SelectTrigger("t1", "e1");
+  def->enabled = false;
+  ASSERT_TRUE(mgr.CreateTrigger(std::move(def)).ok());
+  EXPECT_TRUE(mgr.SelectTriggersFor("e1").empty());
+  EXPECT_TRUE(mgr.AuditedExpressionNames().empty());
+}
+
+TEST(TriggerManagerTest, DmlTriggersMatchTableAndEvent) {
+  TriggerManager mgr;
+  ASSERT_TRUE(mgr.CreateTrigger(DmlTrigger("ti", "log", ast::DmlEvent::kInsert)).ok());
+  ASSERT_TRUE(mgr.CreateTrigger(DmlTrigger("tu", "log", ast::DmlEvent::kUpdate)).ok());
+  ASSERT_TRUE(mgr.CreateTrigger(DmlTrigger("tx", "other", ast::DmlEvent::kInsert)).ok());
+  EXPECT_EQ(mgr.DmlTriggersFor("log", ast::DmlEvent::kInsert).size(), 1u);
+  EXPECT_EQ(mgr.DmlTriggersFor("log", ast::DmlEvent::kUpdate).size(), 1u);
+  EXPECT_EQ(mgr.DmlTriggersFor("log", ast::DmlEvent::kDelete).size(), 0u);
+  EXPECT_EQ(mgr.DmlTriggersFor("other", ast::DmlEvent::kInsert).size(), 1u);
+}
+
+TEST(TriggerManagerTest, AuditedExpressionNamesDeduplicated) {
+  TriggerManager mgr;
+  ASSERT_TRUE(mgr.CreateTrigger(SelectTrigger("t1", "e1")).ok());
+  ASSERT_TRUE(mgr.CreateTrigger(SelectTrigger("t2", "e1")).ok());
+  ASSERT_TRUE(mgr.CreateTrigger(SelectTrigger("t3", "e2", /*before=*/true)).ok());
+  ASSERT_TRUE(mgr.CreateTrigger(DmlTrigger("t4", "log", ast::DmlEvent::kInsert)).ok());
+  auto names = mgr.AuditedExpressionNames();
+  EXPECT_EQ(names, (std::vector<std::string>{"e1", "e2"}));
+}
+
+TEST(TriggerManagerTest, BeforeFlagPreserved) {
+  TriggerManager mgr;
+  ASSERT_TRUE(mgr.CreateTrigger(SelectTrigger("guard", "e1", /*before=*/true)).ok());
+  auto triggers = mgr.SelectTriggersFor("e1");
+  ASSERT_EQ(triggers.size(), 1u);
+  EXPECT_TRUE(triggers[0]->before);
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,200 @@
+// Binder unit tests: scope resolution, aggregation environment, virtual
+// tables, trigger pseudo-rows, and type checking.
+
+#include "binder/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace seltrig {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema emp;
+    emp.AddColumn({"empid", "", TypeId::kInt, false});
+    emp.AddColumn({"name", "", TypeId::kString, false});
+    emp.AddColumn({"salary", "", TypeId::kDouble, false});
+    emp.AddColumn({"dept", "", TypeId::kInt, false});
+    ASSERT_TRUE(catalog_.CreateTable("emp", emp, 0).ok());
+
+    Schema dept;
+    dept.AddColumn({"deptid", "", TypeId::kInt, false});
+    dept.AddColumn({"dname", "", TypeId::kString, false});
+    ASSERT_TRUE(catalog_.CreateTable("dept", dept, 0).ok());
+  }
+
+  Result<PlanPtr> Bind(const std::string& sql, Binder* binder = nullptr) {
+    auto stmt = ParseSql(sql);
+    if (!stmt.ok()) return stmt.status();
+    auto& wrapper = static_cast<ast::SelectWrapper&>(**stmt);
+    Binder local(&catalog_);
+    return (binder != nullptr ? binder : &local)->BindSelect(*wrapper.select);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, SelectListTypes) {
+  auto plan = Bind("SELECT empid, name, salary * 2 FROM emp");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const Schema& s = (*plan)->schema;
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.column(0).type, TypeId::kInt);
+  EXPECT_EQ(s.column(1).type, TypeId::kString);
+  EXPECT_EQ(s.column(2).type, TypeId::kDouble);  // double * int widens
+}
+
+TEST_F(BinderTest, DivisionIsDouble) {
+  auto plan = Bind("SELECT salary / 2 FROM emp");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->schema.column(0).type, TypeId::kDouble);
+}
+
+TEST_F(BinderTest, StarExpansionPreservesQualifiers) {
+  auto plan = Bind("SELECT e.* FROM emp e, dept d");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->schema.size(), 4u);
+  EXPECT_EQ((*plan)->schema.column(0).qualifier, "e");
+}
+
+TEST_F(BinderTest, QualifiedResolutionAcrossJoin) {
+  EXPECT_TRUE(Bind("SELECT e.empid, d.deptid FROM emp e, dept d "
+                   "WHERE e.dept = d.deptid").ok());
+  // Unqualified unique names also resolve.
+  EXPECT_TRUE(Bind("SELECT name, dname FROM emp, dept").ok());
+}
+
+TEST_F(BinderTest, UnknownColumnAndTableErrors) {
+  EXPECT_EQ(Bind("SELECT ghost FROM emp").status().code(), ErrorCode::kBindError);
+  EXPECT_EQ(Bind("SELECT 1 FROM ghost").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(Bind("SELECT g.empid FROM emp e").status().code(), ErrorCode::kBindError);
+}
+
+TEST_F(BinderTest, TypeMismatchComparisonRejected) {
+  EXPECT_FALSE(Bind("SELECT 1 FROM emp WHERE name > 5").ok());
+  EXPECT_FALSE(Bind("SELECT 1 FROM emp WHERE salary = 'abc'").ok());
+  // NULL compares with anything (result is UNKNOWN, but it binds).
+  EXPECT_TRUE(Bind("SELECT 1 FROM emp WHERE name = NULL").ok());
+}
+
+TEST_F(BinderTest, AggregateValidation) {
+  EXPECT_TRUE(Bind("SELECT dept, COUNT(*), AVG(salary) FROM emp GROUP BY dept").ok());
+  // Aggregates outside an aggregate context.
+  EXPECT_FALSE(Bind("SELECT 1 FROM emp WHERE SUM(salary) > 10").ok());
+  // SUM of a string.
+  EXPECT_FALSE(Bind("SELECT SUM(name) FROM emp").ok());
+  // Bare column not in GROUP BY.
+  EXPECT_FALSE(Bind("SELECT name, COUNT(*) FROM emp GROUP BY dept").ok());
+  // HAVING without aggregation.
+  EXPECT_FALSE(Bind("SELECT name FROM emp HAVING name = 'x'").ok());
+  // '*' under aggregation.
+  EXPECT_FALSE(Bind("SELECT *, COUNT(*) FROM emp GROUP BY dept").ok());
+}
+
+TEST_F(BinderTest, AggregateOfAggregateViaHaving) {
+  // HAVING may introduce aggregates not in the select list.
+  auto plan = Bind(
+      "SELECT dept FROM emp GROUP BY dept HAVING MAX(salary) > 100.0");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+TEST_F(BinderTest, CorrelationLevels) {
+  auto plan = Bind(
+      "SELECT name FROM emp e WHERE salary > "
+      "(SELECT AVG(salary) FROM emp e2 WHERE e2.dept = e.dept)");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(MaxEscapeLevel(**plan), 0);  // self-contained at the top
+}
+
+TEST_F(BinderTest, VirtualTableResolution) {
+  Schema accessed_schema;
+  accessed_schema.AddColumn({"empid", "accessed", TypeId::kInt, false});
+  std::vector<Row> rows = {{Value::Int(7)}};
+  VirtualTable vt;
+  vt.schema = accessed_schema;
+  vt.rows = &rows;
+
+  Binder binder(&catalog_);
+  binder.AddVirtualTable("accessed", vt);
+  auto plan = Bind("SELECT empid FROM accessed", &binder);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Virtual tables shadow the catalog and keep their rows pointer.
+  const auto* scan = static_cast<const LogicalScan*>((*plan)->children[0].get());
+  ASSERT_EQ(scan->kind(), PlanKind::kScan);
+  EXPECT_EQ(scan->virtual_rows, &rows);
+}
+
+TEST_F(BinderTest, TriggerRowSchemaResolvesAsOuterRef) {
+  Schema trigger_row;
+  trigger_row.AddColumn({"empid", "new", TypeId::kInt, false});
+  trigger_row.AddColumn({"salary", "new", TypeId::kDouble, false});
+
+  Binder binder(&catalog_);
+  binder.SetTriggerRowSchema(&trigger_row);
+  auto plan = Bind("SELECT name FROM emp WHERE salary > new.salary", &binder);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The NEW reference escapes one level (resolved at fire time).
+  EXPECT_EQ(MaxEscapeLevel(**plan), 1);
+}
+
+TEST_F(BinderTest, BetweenDesugarsToRange) {
+  auto plan = Bind("SELECT 1 FROM emp WHERE salary BETWEEN 1.0 AND 2.0");
+  ASSERT_TRUE(plan.ok());
+  // The filter (pushed or not) contains >= and <= comparisons.
+  std::string text = PlanToString(**plan);
+  EXPECT_NE(text.find(">="), std::string::npos);
+  EXPECT_NE(text.find("<="), std::string::npos);
+}
+
+TEST_F(BinderTest, InsertBinding) {
+  Binder binder(&catalog_);
+  auto stmt = ParseSql("INSERT INTO emp (empid, name) VALUES (1, 'x')");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = binder.BindInsert(static_cast<const ast::InsertStatement&>(**stmt));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->table, "emp");
+  EXPECT_EQ(bound->column_map, (std::vector<int>{0, 1}));
+}
+
+TEST_F(BinderTest, InsertArityMismatch) {
+  Binder binder(&catalog_);
+  auto stmt = ParseSql("INSERT INTO emp SELECT empid FROM emp");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(
+      binder.BindInsert(static_cast<const ast::InsertStatement&>(**stmt)).ok());
+}
+
+TEST_F(BinderTest, UpdateBindingSelfReference) {
+  Binder binder(&catalog_);
+  auto stmt = ParseSql("UPDATE emp SET salary = salary * 1.1 WHERE dept = 2");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = binder.BindUpdate(static_cast<const ast::UpdateStatement&>(**stmt));
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->assignments.size(), 1u);
+  EXPECT_EQ(bound->assignments[0].first, 2);  // salary column
+  ASSERT_NE(bound->filter, nullptr);
+}
+
+TEST_F(BinderTest, AstExprEquality) {
+  auto a = ParseSql("SELECT YEAR(d) FROM emp");
+  auto b = ParseSql("SELECT YEAR(d) FROM emp");
+  auto c = ParseSql("SELECT MONTH(d) FROM emp");
+  ASSERT_TRUE(a.ok());
+  auto& ea = *static_cast<ast::SelectWrapper&>(**a).select->items[0].expr;
+  auto& eb = *static_cast<ast::SelectWrapper&>(**b).select->items[0].expr;
+  auto& ec = *static_cast<ast::SelectWrapper&>(**c).select->items[0].expr;
+  EXPECT_TRUE(AstExprEquals(ea, eb));
+  EXPECT_FALSE(AstExprEquals(ea, ec));
+}
+
+TEST_F(BinderTest, IsAggregateFunctionName) {
+  EXPECT_TRUE(IsAggregateFunctionName("count"));
+  EXPECT_TRUE(IsAggregateFunctionName("avg"));
+  EXPECT_FALSE(IsAggregateFunctionName("year"));
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,51 @@
+#include "common/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace seltrig {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(1000, 0.01);
+  for (uint64_t i = 0; i < 1000; ++i) bloom.Add(i * 2654435761ull);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bloom.MayContain(i * 2654435761ull)) << i;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  BloomFilter bloom(2000, 0.01);
+  for (uint64_t i = 0; i < 2000; ++i) bloom.Add(i);
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (bloom.MayContain(1000000ull + static_cast<uint64_t>(i))) ++false_positives;
+  }
+  double rate = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(rate, 0.03);  // target 1%, generous bound
+}
+
+TEST(BloomFilterTest, HigherTargetRateUsesLessMemory) {
+  BloomFilter tight(10000, 0.001);
+  BloomFilter loose(10000, 0.1);
+  EXPECT_GT(tight.memory_bytes(), loose.memory_bytes());
+  EXPECT_GT(tight.hash_count(), loose.hash_count());
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter bloom(100, 0.01);
+  int hits = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (bloom.MayContain(i)) ++hits;
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(BloomFilterTest, ZeroExpectedItemsStillValid) {
+  BloomFilter bloom(0, 0.01);
+  bloom.Add(42);
+  EXPECT_TRUE(bloom.MayContain(42));
+}
+
+}  // namespace
+}  // namespace seltrig

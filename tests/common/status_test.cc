@@ -1,0 +1,81 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace seltrig {
+namespace {
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd input");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SELTRIG_ASSIGN_OR_RETURN(int h, Half(x));
+  SELTRIG_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+Status CheckPositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return Status::OK();
+}
+
+Status CheckBoth(int x, int y) {
+  SELTRIG_RETURN_IF_ERROR(CheckPositive(x));
+  SELTRIG_RETURN_IF_ERROR(CheckPositive(y));
+  return Status::OK();
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello");
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> err = Quarter(6);  // 6/2=3 is odd
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().message(), "odd input");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_FALSE(CheckBoth(1, -2).ok());
+  EXPECT_FALSE(CheckBoth(-1, 2).ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kOk), "OK");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kBindError), "BindError");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kExecutionError), "ExecutionError");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace seltrig

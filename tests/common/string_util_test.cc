@@ -1,0 +1,67 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace seltrig {
+namespace {
+
+TEST(StringUtilTest, CaseFolding) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("abc9_X"), "ABC9_X");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("AbC", "aBc"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(LikeMatchTest, ExactMatch) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+}
+
+TEST(LikeMatchTest, Underscore) {
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("ac", "a_c"));
+  EXPECT_TRUE(LikeMatch("abc", "___"));
+  EXPECT_FALSE(LikeMatch("abcd", "___"));
+}
+
+TEST(LikeMatchTest, Percent) {
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(LikeMatch("hello world", "%o w%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("hello", "%z%"));
+}
+
+TEST(LikeMatchTest, MultiplePercents) {
+  // The TPC-H Q13 style pattern.
+  EXPECT_TRUE(LikeMatch("the special packages requests here", "%special%requests%"));
+  EXPECT_FALSE(LikeMatch("the requests special here", "%special%requests%"));
+  EXPECT_TRUE(LikeMatch("specialrequests", "%special%requests%"));
+}
+
+TEST(LikeMatchTest, ConsecutivePercentsCollapse) {
+  EXPECT_TRUE(LikeMatch("abc", "a%%c"));
+  EXPECT_TRUE(LikeMatch("ac", "a%%c"));
+}
+
+TEST(LikeMatchTest, MixedWildcards) {
+  EXPECT_TRUE(LikeMatch("customer#42", "customer#_2"));
+  EXPECT_TRUE(LikeMatch("abxyc", "a_%c"));
+  EXPECT_FALSE(LikeMatch("ac", "a_%c"));
+}
+
+TEST(LikeMatchTest, CaseSensitive) { EXPECT_FALSE(LikeMatch("ABC", "abc")); }
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,179 @@
+// Logical optimizer rewrites: pushdown, folding, contradiction detection.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace seltrig {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE a (id INT PRIMARY KEY, x INT);
+      CREATE TABLE b (id INT PRIMARY KEY, a_id INT, y INT);
+      INSERT INTO a VALUES (1, 10), (2, 20), (3, 30);
+      INSERT INTO b VALUES (100, 1, 7), (101, 2, 8), (102, 2, 9);
+    )sql").ok());
+  }
+
+  PlanPtr Plan(const std::string& sql) {
+    auto r = db_.PlanSelect(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  static const LogicalScan* FindScan(const LogicalOperator& node,
+                                     const std::string& table) {
+    if (node.kind() == PlanKind::kScan) {
+      const auto& scan = static_cast<const LogicalScan&>(node);
+      if (scan.table_name == table) return &scan;
+    }
+    for (const auto& c : node.children) {
+      const LogicalScan* found = FindScan(*c, table);
+      if (found != nullptr) return found;
+    }
+    return nullptr;
+  }
+
+  static int CountNodes(const LogicalOperator& node, PlanKind kind) {
+    int n = node.kind() == kind ? 1 : 0;
+    for (const auto& c : node.children) n += CountNodes(*c, kind);
+    return n;
+  }
+
+  Database db_;
+};
+
+TEST_F(OptimizerTest, SingleTablePredicatePushedIntoScan) {
+  PlanPtr plan = Plan("SELECT x FROM a WHERE x > 15");
+  const LogicalScan* scan = FindScan(*plan, "a");
+  ASSERT_NE(scan, nullptr);
+  ASSERT_NE(scan->filter, nullptr);
+  EXPECT_EQ(CountNodes(*plan, PlanKind::kFilter), 0);
+}
+
+TEST_F(OptimizerTest, JoinPredicatesSplitAcrossSides) {
+  PlanPtr plan = Plan(
+      "SELECT 1 FROM a, b WHERE a.id = b.a_id AND a.x > 15 AND b.y > 7");
+  const LogicalScan* sa = FindScan(*plan, "a");
+  const LogicalScan* sb = FindScan(*plan, "b");
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_NE(sa->filter, nullptr);
+  EXPECT_NE(sb->filter, nullptr);
+  // The cross join became an inner join with the equi-condition.
+  ASSERT_EQ(CountNodes(*plan, PlanKind::kJoin), 1);
+}
+
+TEST_F(OptimizerTest, CrossJoinBecomesInnerJoin) {
+  PlanPtr plan = Plan("SELECT 1 FROM a, b WHERE a.id = b.a_id");
+  std::function<const LogicalJoin*(const LogicalOperator&)> find_join =
+      [&](const LogicalOperator& node) -> const LogicalJoin* {
+    if (node.kind() == PlanKind::kJoin) return static_cast<const LogicalJoin*>(&node);
+    for (const auto& c : node.children) {
+      const LogicalJoin* j = find_join(*c);
+      if (j != nullptr) return j;
+    }
+    return nullptr;
+  };
+  const LogicalJoin* join = find_join(*plan);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_type, JoinType::kInner);
+  EXPECT_NE(join->condition, nullptr);
+}
+
+TEST_F(OptimizerTest, RightSidePredicateNotPushedBelowLeftJoin) {
+  PlanPtr plan = Plan(
+      "SELECT 1 FROM a LEFT JOIN b ON a.id = b.a_id WHERE b.y > 7");
+  // The WHERE on the right side must stay above the left join.
+  EXPECT_GE(CountNodes(*plan, PlanKind::kFilter), 1);
+  const LogicalScan* sb = FindScan(*plan, "b");
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sb->filter, nullptr);
+}
+
+TEST_F(OptimizerTest, LeftJoinResultsAreCorrectWithWherePredicate) {
+  auto r = db_.Execute(
+      "SELECT a.id FROM a LEFT JOIN b ON a.id = b.a_id WHERE b.y > 7 ORDER BY a.id");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);  // only id=2 rows survive (y=8, y=9)
+  EXPECT_EQ(r->rows[0][0].AsInt(), 2);
+}
+
+TEST_F(OptimizerTest, ConstantFoldingInPlan) {
+  PlanPtr plan = Plan("SELECT x FROM a WHERE x > 10 + 5");
+  const LogicalScan* scan = FindScan(*plan, "a");
+  ASSERT_NE(scan, nullptr);
+  ASSERT_NE(scan->filter, nullptr);
+  EXPECT_NE(scan->filter->ToString().find("15"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, ContradictionYieldsEmptyPlan) {
+  PlanPtr plan = Plan("SELECT x FROM a WHERE id = 1 AND id = 2");
+  EXPECT_EQ(CountNodes(*plan, PlanKind::kScan), 0);
+  EXPECT_EQ(CountNodes(*plan, PlanKind::kValues), 1);
+  auto r = db_.Execute("SELECT x FROM a WHERE id = 1 AND id = 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_F(OptimizerTest, ContradictionCanBeDisabled) {
+  OptimizerOptions opts;
+  opts.enable_contradiction_detection = false;
+  auto plan = db_.PlanSelect("SELECT x FROM a WHERE id = 1 AND id = 2", opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountNodes(**plan, PlanKind::kScan), 1);
+}
+
+TEST_F(OptimizerTest, PushdownPreservesResults) {
+  OptimizerOptions no_opt;
+  no_opt.enable_filter_pushdown = false;
+  no_opt.enable_constant_folding = false;
+  no_opt.enable_contradiction_detection = false;
+
+  const std::string sql =
+      "SELECT a.id, b.y FROM a, b WHERE a.id = b.a_id AND a.x >= 20 AND b.y < 9 "
+      "ORDER BY a.id, b.y";
+  auto optimized = db_.Execute(sql);
+  ASSERT_TRUE(optimized.ok());
+
+  auto raw_plan = db_.PlanSelect(sql, no_opt);
+  ASSERT_TRUE(raw_plan.ok());
+  ExecContext ctx(db_.catalog(), db_.session());
+  Executor executor(&ctx);
+  auto raw = executor.ExecuteQuery(**raw_plan);
+  ASSERT_TRUE(raw.ok());
+
+  ASSERT_EQ(optimized->rows.size(), raw->rows.size());
+  for (size_t i = 0; i < raw->rows.size(); ++i) {
+    EXPECT_TRUE(RowEq{}(optimized->rows[i], raw->rows[i]));
+  }
+}
+
+TEST_F(OptimizerTest, SubqueryPlansAreOptimizedToo) {
+  PlanPtr plan = Plan(
+      "SELECT x FROM a WHERE id IN (SELECT a_id FROM b WHERE y > 7)");
+  // Find the subquery scan of b: its filter must be pushed in.
+  const LogicalScan* sb = nullptr;
+  std::function<void(const LogicalOperator&)> walk = [&](const LogicalOperator& node) {
+    VisitNodeExprs(node, [&](const Expr& e) {
+      std::function<void(const Expr&)> ew = [&](const Expr& x) {
+        if (x.kind == ExprKind::kSubquery && x.subquery_plan != nullptr) {
+          const LogicalScan* s = FindScan(*x.subquery_plan, "b");
+          if (s != nullptr) sb = s;
+        }
+        for (const auto& c : x.children) ew(*c);
+      };
+      ew(e);
+    });
+    for (const auto& c : node.children) walk(*c);
+  };
+  walk(*plan);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_NE(sb->filter, nullptr);
+}
+
+}  // namespace
+}  // namespace seltrig

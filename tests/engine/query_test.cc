@@ -1,0 +1,314 @@
+// End-to-end SELECT tests through the Database facade.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace seltrig {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age INT, zip INT);
+      CREATE TABLE disease (patientid INT, disease VARCHAR);
+      INSERT INTO patients VALUES (1, 'Alice', 34, 98101), (2, 'Bob', 27, 98102),
+                                  (3, 'Carol', 45, 98101), (4, 'Dave', 27, 98103),
+                                  (5, 'Eve', 61, 98102);
+      INSERT INTO disease VALUES (1, 'cancer'), (2, 'flu'), (3, 'flu'),
+                                 (3, 'cancer'), (5, 'flu');
+    )sql").ok());
+  }
+
+  QueryResult Q(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(QueryTest, SelectStar) {
+  QueryResult r = Q("SELECT * FROM patients");
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.schema.size(), 4u);
+}
+
+TEST_F(QueryTest, Filter) {
+  QueryResult r = Q("SELECT name FROM patients WHERE age > 30");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(QueryTest, Projection) {
+  QueryResult r = Q("SELECT name, age * 2 AS dbl FROM patients WHERE patientid = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Alice");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 68);
+  EXPECT_EQ(r.schema.column(1).name, "dbl");
+}
+
+TEST_F(QueryTest, CommaJoin) {
+  QueryResult r = Q(
+      "SELECT name, disease FROM patients p, disease d "
+      "WHERE p.patientid = d.patientid AND disease = 'flu'");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(QueryTest, ExplicitInnerJoin) {
+  QueryResult r = Q(
+      "SELECT name FROM patients p JOIN disease d ON p.patientid = d.patientid "
+      "WHERE d.disease = 'cancer'");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(QueryTest, LeftOuterJoinPadsNulls) {
+  QueryResult r = Q(
+      "SELECT name, disease FROM patients p LEFT JOIN disease d "
+      "ON p.patientid = d.patientid ORDER BY name, disease");
+  // 5 disease rows + Dave with no disease.
+  EXPECT_EQ(r.rows.size(), 6u);
+  bool dave_null = false;
+  for (const Row& row : r.rows) {
+    if (row[0].AsString() == "Dave") dave_null = row[1].is_null();
+  }
+  EXPECT_TRUE(dave_null);
+}
+
+TEST_F(QueryTest, NonEquiJoinUsesNestedLoop) {
+  QueryResult r = Q(
+      "SELECT p1.name FROM patients p1, patients p2 "
+      "WHERE p1.age < p2.age AND p2.name = 'Eve'");
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(QueryTest, GroupByCount) {
+  QueryResult r = Q(
+      "SELECT age, COUNT(*) AS n FROM patients GROUP BY age ORDER BY age");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 27);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+}
+
+TEST_F(QueryTest, GroupByHaving) {
+  QueryResult r = Q(
+      "SELECT disease, COUNT(*) AS n FROM disease GROUP BY disease "
+      "HAVING COUNT(*) >= 2 ORDER BY disease");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "cancer");
+  EXPECT_EQ(r.rows[1][0].AsString(), "flu");
+  EXPECT_EQ(r.rows[1][1].AsInt(), 3);
+}
+
+TEST_F(QueryTest, ScalarAggregatesOverEmptyInput) {
+  QueryResult r = Q("SELECT COUNT(*), SUM(age), MIN(age), AVG(age) "
+                    "FROM patients WHERE age > 1000");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_TRUE(r.rows[0][2].is_null());
+  EXPECT_TRUE(r.rows[0][3].is_null());
+}
+
+TEST_F(QueryTest, AggregateFunctions) {
+  QueryResult r = Q("SELECT SUM(age), MIN(age), MAX(age), AVG(age) FROM patients");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 34 + 27 + 45 + 27 + 61);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 27);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 61);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), (34 + 27 + 45 + 27 + 61) / 5.0);
+}
+
+TEST_F(QueryTest, CountDistinct) {
+  QueryResult r = Q("SELECT COUNT(DISTINCT age) FROM patients");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+}
+
+TEST_F(QueryTest, CountColumnIgnoresNulls) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO patients VALUES (6, 'Frank', NULL, NULL)").ok());
+  QueryResult r = Q("SELECT COUNT(*), COUNT(age) FROM patients");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 6);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 5);
+}
+
+TEST_F(QueryTest, Distinct) {
+  QueryResult r = Q("SELECT DISTINCT age FROM patients ORDER BY age");
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(QueryTest, OrderByMultipleKeys) {
+  QueryResult r = Q("SELECT name, age FROM patients ORDER BY age DESC, name");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Eve");
+  EXPECT_EQ(r.rows[3][0].AsString(), "Bob");   // 27, Bob before Dave
+  EXPECT_EQ(r.rows[4][0].AsString(), "Dave");
+}
+
+TEST_F(QueryTest, OrderByHiddenColumn) {
+  // ORDER BY expression not in the select list: carried as a hidden column
+  // and stripped from the result.
+  QueryResult r = Q("SELECT name FROM patients ORDER BY age DESC, name LIMIT 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.schema.size(), 1u);
+  EXPECT_EQ(r.rows[0].size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Eve");
+}
+
+TEST_F(QueryTest, OrderByPosition) {
+  QueryResult r = Q("SELECT name, age FROM patients ORDER BY 2, 1");
+  EXPECT_EQ(r.rows[0][0].AsString(), "Bob");
+}
+
+TEST_F(QueryTest, TopAndLimitEquivalent) {
+  QueryResult top = Q("SELECT TOP 2 name FROM patients ORDER BY age");
+  QueryResult lim = Q("SELECT name FROM patients ORDER BY age LIMIT 2");
+  ASSERT_EQ(top.rows.size(), 2u);
+  ASSERT_EQ(lim.rows.size(), 2u);
+  EXPECT_EQ(top.rows[0][0], lim.rows[0][0]);
+}
+
+TEST_F(QueryTest, ConstantSelect) {
+  QueryResult r = Q("SELECT 1 + 2 AS three, 'x' AS s");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][1].AsString(), "x");
+}
+
+TEST_F(QueryTest, CaseExpression) {
+  QueryResult r = Q(
+      "SELECT name, CASE WHEN age < 30 THEN 'young' WHEN age < 50 THEN 'mid' "
+      "ELSE 'senior' END AS bucket FROM patients ORDER BY patientid");
+  EXPECT_EQ(r.rows[0][1].AsString(), "mid");     // Alice 34
+  EXPECT_EQ(r.rows[1][1].AsString(), "young");   // Bob 27
+  EXPECT_EQ(r.rows[4][1].AsString(), "senior");  // Eve 61
+}
+
+TEST_F(QueryTest, LikePredicate) {
+  QueryResult r = Q("SELECT name FROM patients WHERE name LIKE '%a%' ORDER BY name");
+  // Carol, Dave (lowercase 'a'); Alice has capital A only... 'Alice' contains no lowercase 'a'.
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Carol");
+}
+
+TEST_F(QueryTest, BetweenPredicate) {
+  QueryResult r = Q("SELECT name FROM patients WHERE age BETWEEN 27 AND 34");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(QueryTest, InListPredicate) {
+  QueryResult r = Q("SELECT name FROM patients WHERE patientid IN (1, 3, 99)");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(QueryTest, PrefixReadStopsEarly) {
+  ExecOptions options;
+  options.max_rows = 2;
+  auto r = db_.ExecuteWithOptions("SELECT name FROM patients ORDER BY patientid",
+                                  options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.rows.size(), 2u);
+}
+
+TEST_F(QueryTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(db_.Execute("SELECT missing FROM patients").ok());
+  EXPECT_FALSE(db_.Execute("SELECT * FROM missing_table").ok());
+  EXPECT_FALSE(db_.Execute("SELECT name FROM patients WHERE age > 'abc'").ok());
+  EXPECT_FALSE(db_.Execute("SELECT SUM(name) FROM patients").ok());
+  EXPECT_FALSE(db_.Execute("SELECT name FROM patients HAVING age > 1").ok());
+}
+
+TEST_F(QueryTest, AmbiguousColumnRejected) {
+  EXPECT_FALSE(
+      db_.Execute("SELECT patientid FROM patients p, disease d").ok());
+}
+
+TEST_F(QueryTest, GroupByExpressionMatching) {
+  QueryResult r = Q(
+      "SELECT age / 10, COUNT(*) FROM patients GROUP BY age / 10 ORDER BY 1");
+  EXPECT_GE(r.rows.size(), 3u);
+}
+
+TEST_F(QueryTest, BareColumnOutsideGroupByRejected) {
+  EXPECT_FALSE(db_.Execute("SELECT name, COUNT(*) FROM patients GROUP BY age").ok());
+}
+
+TEST_F(QueryTest, DerivedTable) {
+  QueryResult r = Q(
+      "SELECT n FROM (SELECT name AS n, age FROM patients WHERE age > 30) old_p "
+      "ORDER BY n");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Alice");
+}
+
+TEST_F(QueryTest, DerivedTableQualifiedResolution) {
+  QueryResult r = Q(
+      "SELECT d.cnt FROM (SELECT zip, COUNT(*) AS cnt FROM patients "
+      "GROUP BY zip) d WHERE d.zip = 98101");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(QueryTest, DerivedTableJoinedWithBaseTable) {
+  QueryResult r = Q(
+      "SELECT p.name, s.cnt FROM patients p, "
+      "(SELECT zip, COUNT(*) AS cnt FROM patients GROUP BY zip) s "
+      "WHERE p.zip = s.zip AND s.cnt > 1 ORDER BY p.name");
+  EXPECT_EQ(r.rows.size(), 4u);  // zips 98101 (2) and 98102 (2)
+}
+
+TEST_F(QueryTest, TwoLevelAggregationViaDerivedTable) {
+  // The TPC-H Q13 shape: aggregate of an aggregate.
+  QueryResult r = Q(
+      "SELECT cnt, COUNT(*) FROM (SELECT zip, COUNT(*) AS cnt FROM patients "
+      "GROUP BY zip) d GROUP BY cnt ORDER BY cnt");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);  // one zip with 1 patient
+  EXPECT_EQ(r.rows[0][1].AsInt(), 1);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 2);  // two zips with 2 patients
+  EXPECT_EQ(r.rows[1][1].AsInt(), 2);
+}
+
+TEST_F(QueryTest, DerivedTableRequiresAlias) {
+  EXPECT_FALSE(db_.Execute("SELECT * FROM (SELECT 1)").ok());
+}
+
+TEST_F(QueryTest, Coalesce) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO patients VALUES (9, NULL, NULL, 98109)").ok());
+  QueryResult r = Q(
+      "SELECT COALESCE(name, 'unknown'), COALESCE(age, 0) FROM patients "
+      "WHERE patientid = 9");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "unknown");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 0);
+  // First non-null wins.
+  QueryResult first = Q("SELECT COALESCE(NULL, 'a', 'b')");
+  EXPECT_EQ(first.rows[0][0].AsString(), "a");
+  // All null -> NULL.
+  QueryResult none = Q("SELECT COALESCE(NULL, NULL)");
+  EXPECT_TRUE(none.rows[0][0].is_null());
+}
+
+TEST_F(QueryTest, ExplainShowsPlan) {
+  QueryResult r = Q("EXPLAIN SELECT name FROM patients WHERE age > 30 ORDER BY name");
+  ASSERT_GE(r.rows.size(), 3u);
+  std::string all;
+  for (const Row& row : r.rows) all += row[0].AsString() + "\n";
+  EXPECT_NE(all.find("Scan patients"), std::string::npos);
+  EXPECT_NE(all.find("Sort"), std::string::npos);
+  EXPECT_NE(all.find("Project"), std::string::npos);
+}
+
+TEST_F(QueryTest, ExplainShowsAuditOperators) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION e AS SELECT * FROM patients "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  ExecOptions options;
+  options.instrument_all_audit_expressions = true;
+  auto r = db_.ExecuteWithOptions("EXPLAIN SELECT name FROM patients", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->plan_text.find("AuditOp [e]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seltrig

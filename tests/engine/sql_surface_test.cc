@@ -1,0 +1,149 @@
+// Coverage for the remaining SQL-surface corners: scalar functions, NULL
+// grouping, date arithmetic, scripts, INSERT..SELECT interactions.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "types/date.h"
+
+namespace seltrig {
+namespace {
+
+class SqlSurfaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE t (id INT PRIMARY KEY, s VARCHAR, n INT, d DATE);
+      INSERT INTO t VALUES
+        (1, 'Hello', -5, DATE '1995-03-15'),
+        (2, 'world', 7, DATE '1996-12-31'),
+        (3, NULL, NULL, NULL);
+    )sql").ok());
+  }
+
+  QueryResult Q(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlSurfaceTest, StringFunctions) {
+  QueryResult r = Q("SELECT UPPER(s), LOWER(s) FROM t WHERE id = 1");
+  EXPECT_EQ(r.rows[0][0].AsString(), "HELLO");
+  EXPECT_EQ(r.rows[0][1].AsString(), "hello");
+  // NULL propagates.
+  QueryResult n = Q("SELECT UPPER(s) FROM t WHERE id = 3");
+  EXPECT_TRUE(n.rows[0][0].is_null());
+}
+
+TEST_F(SqlSurfaceTest, AbsFunction) {
+  QueryResult r = Q("SELECT ABS(n) FROM t WHERE id = 1");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  QueryResult d = Q("SELECT ABS(-2.5)");
+  EXPECT_DOUBLE_EQ(d.rows[0][0].AsDouble(), 2.5);
+}
+
+TEST_F(SqlSurfaceTest, DateExtractionFunctions) {
+  QueryResult r = Q("SELECT YEAR(d), MONTH(d), DAY(d) FROM t WHERE id = 2");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1996);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 12);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 31);
+}
+
+TEST_F(SqlSurfaceTest, DateArithmeticInSql) {
+  QueryResult r = Q("SELECT d + 10, d - 10, DATE '1995-03-25' - d FROM t WHERE id = 1");
+  EXPECT_EQ(FormatDate(r.rows[0][0].AsDate()), "1995-03-25");
+  EXPECT_EQ(FormatDate(r.rows[0][1].AsDate()), "1995-03-05");
+  EXPECT_EQ(r.rows[0][2].AsInt(), 10);
+}
+
+TEST_F(SqlSurfaceTest, DateComparisonAcrossYearBoundary) {
+  QueryResult r = Q("SELECT id FROM t WHERE d BETWEEN DATE '1995-01-01' AND "
+                    "DATE '1996-12-31' ORDER BY id");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SqlSurfaceTest, GroupByGroupsNullsTogether) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (4, NULL, 9, NULL)").ok());
+  QueryResult r = Q("SELECT s, COUNT(*) FROM t GROUP BY s ORDER BY s");
+  // NULL group first (total order), then 'Hello', 'world'.
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+}
+
+TEST_F(SqlSurfaceTest, InsertSelectWithOrderByHiddenColumn) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE sink (id INT, s VARCHAR)").ok());
+  // The ORDER BY helper column is hidden and must not be inserted.
+  auto r = db_.Execute("INSERT INTO sink SELECT id, s FROM t ORDER BY n DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->affected_rows, 3);
+  QueryResult check = Q("SELECT COUNT(*) FROM sink");
+  EXPECT_EQ(check.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlSurfaceTest, ScriptStopsAtFirstError) {
+  Status status = db_.ExecuteScript(
+      "INSERT INTO t VALUES (10, 'x', 1, NULL);"
+      "INSERT INTO nonexistent VALUES (1);"
+      "INSERT INTO t VALUES (11, 'y', 2, NULL)");
+  EXPECT_FALSE(status.ok());
+  // First statement applied, third never ran.
+  QueryResult r = Q("SELECT COUNT(*) FROM t WHERE id >= 10");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(SqlSurfaceTest, CaseWithoutElseYieldsNull) {
+  QueryResult r = Q("SELECT CASE WHEN n > 0 THEN 'pos' END FROM t ORDER BY id");
+  EXPECT_TRUE(r.rows[0][0].is_null());   // -5
+  EXPECT_EQ(r.rows[1][0].AsString(), "pos");
+  EXPECT_TRUE(r.rows[2][0].is_null());   // NULL n
+}
+
+TEST_F(SqlSurfaceTest, NestedDerivedTables) {
+  QueryResult r = Q(
+      "SELECT total FROM (SELECT SUM(m) AS total FROM "
+      "(SELECT ABS(n) AS m FROM t WHERE n IS NOT NULL) inner_t) outer_t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 12);
+}
+
+TEST_F(SqlSurfaceTest, ComparisonChainIsLeftAssociative) {
+  // (1 < 2) = true.
+  QueryResult r = Q("SELECT 1 < 2");
+  EXPECT_TRUE(r.rows[0][0].AsBool());
+}
+
+TEST_F(SqlSurfaceTest, OrderByBooleanExpression) {
+  QueryResult r = Q("SELECT id FROM t ORDER BY n IS NULL, id");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[2][0].AsInt(), 3);  // NULL n sorts last (false < true)
+}
+
+TEST_F(SqlSurfaceTest, UnaryPlusAndMinus) {
+  QueryResult r = Q("SELECT -n, +n FROM t WHERE id = 2");
+  EXPECT_EQ(r.rows[0][0].AsInt(), -7);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 7);
+}
+
+TEST_F(SqlSurfaceTest, StringEscapes) {
+  QueryResult r = Q("SELECT 'it''s'");
+  EXPECT_EQ(r.rows[0][0].AsString(), "it's");
+}
+
+TEST_F(SqlSurfaceTest, LimitZero) {
+  QueryResult r = Q("SELECT * FROM t LIMIT 0");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(SqlSurfaceTest, SelfJoinAliasesResolveIndependently) {
+  QueryResult r = Q(
+      "SELECT a.id, b.id FROM t a, t b WHERE a.id < b.id ORDER BY a.id, b.id");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,152 @@
+// Subquery execution: EXISTS / IN / scalar, correlated and uncorrelated.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace seltrig {
+namespace {
+
+class SubqueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE customer (custkey INT PRIMARY KEY, name VARCHAR, acctbal DOUBLE);
+      CREATE TABLE orders (orderkey INT PRIMARY KEY, custkey INT, total DOUBLE);
+      INSERT INTO customer VALUES (1, 'a', 10.0), (2, 'b', 20.0), (3, 'c', 30.0),
+                                  (4, 'd', 40.0);
+      INSERT INTO orders VALUES (100, 1, 5.0), (101, 1, 7.0), (102, 3, 9.0);
+    )sql").ok());
+  }
+
+  QueryResult Q(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SubqueryTest, UncorrelatedIn) {
+  QueryResult r = Q(
+      "SELECT name FROM customer WHERE custkey IN (SELECT custkey FROM orders) "
+      "ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "a");
+  EXPECT_EQ(r.rows[1][0].AsString(), "c");
+}
+
+TEST_F(SubqueryTest, UncorrelatedNotIn) {
+  QueryResult r = Q(
+      "SELECT name FROM customer WHERE custkey NOT IN (SELECT custkey FROM orders) "
+      "ORDER BY name");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SubqueryTest, NotInWithNullInSubqueryIsEmpty) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO orders VALUES (103, NULL, 1.0)").ok());
+  QueryResult r = Q(
+      "SELECT name FROM customer WHERE custkey NOT IN (SELECT custkey FROM orders)");
+  EXPECT_EQ(r.rows.size(), 0u);  // NULL in the set makes NOT IN unknown
+}
+
+TEST_F(SubqueryTest, CorrelatedExists) {
+  QueryResult r = Q(
+      "SELECT name FROM customer c WHERE EXISTS "
+      "(SELECT * FROM orders o WHERE o.custkey = c.custkey) ORDER BY name");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SubqueryTest, CorrelatedNotExists) {
+  QueryResult r = Q(
+      "SELECT name FROM customer c WHERE NOT EXISTS "
+      "(SELECT * FROM orders o WHERE o.custkey = c.custkey) ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "b");
+  EXPECT_EQ(r.rows[1][0].AsString(), "d");
+}
+
+TEST_F(SubqueryTest, CorrelatedExistsWithExtraCondition) {
+  QueryResult r = Q(
+      "SELECT name FROM customer c WHERE EXISTS "
+      "(SELECT * FROM orders o WHERE o.custkey = c.custkey AND o.total > 8.0)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "c");
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryComparison) {
+  QueryResult r = Q(
+      "SELECT name FROM customer WHERE acctbal > "
+      "(SELECT AVG(acctbal) FROM customer) ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 2u);  // avg = 25: c and d
+  EXPECT_EQ(r.rows[0][0].AsString(), "c");
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryEmptyIsNull) {
+  QueryResult r = Q(
+      "SELECT name FROM customer WHERE acctbal > "
+      "(SELECT total FROM orders WHERE orderkey = 999)");
+  EXPECT_EQ(r.rows.size(), 0u);  // NULL comparison rejects all
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryMultipleRowsErrors) {
+  EXPECT_FALSE(db_.Execute(
+      "SELECT name FROM customer WHERE acctbal > (SELECT total FROM orders)").ok());
+}
+
+TEST_F(SubqueryTest, CorrelatedScalarSubquery) {
+  QueryResult r = Q(
+      "SELECT name, (SELECT SUM(total) FROM orders o WHERE o.custkey = c.custkey) "
+      "AS spent FROM customer c ORDER BY custkey");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 12.0);
+  EXPECT_TRUE(r.rows[1][1].is_null());
+  EXPECT_DOUBLE_EQ(r.rows[2][1].AsDouble(), 9.0);
+}
+
+TEST_F(SubqueryTest, NestedSubqueries) {
+  // Customers whose balance beats every ordering customer's balance.
+  QueryResult r = Q(
+      "SELECT name FROM customer WHERE acctbal > "
+      "(SELECT MAX(acctbal) FROM customer WHERE custkey IN "
+      "   (SELECT custkey FROM orders))");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "d");
+}
+
+TEST_F(SubqueryTest, SubqueryWithGroupByHaving) {
+  // Customers with at least two orders (the TPC-H Q18 shape).
+  QueryResult r = Q(
+      "SELECT name FROM customer WHERE custkey IN "
+      "(SELECT custkey FROM orders GROUP BY custkey HAVING COUNT(*) >= 2)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "a");
+}
+
+TEST_F(SubqueryTest, ExistsInSelectListViaCase) {
+  QueryResult r = Q(
+      "SELECT name, CASE WHEN EXISTS (SELECT * FROM orders o WHERE "
+      "o.custkey = c.custkey) THEN 1 ELSE 0 END AS has_orders "
+      "FROM customer c ORDER BY custkey");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 1);
+  EXPECT_EQ(r.rows[1][1].AsInt(), 0);
+}
+
+TEST_F(SubqueryTest, Example12SecondQueryShape) {
+  // The paper's Example 1.2: access detectable only inside a subexpression.
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR);
+    CREATE TABLE disease (patientid INT, disease VARCHAR);
+    INSERT INTO patients VALUES (1, 'Alice'), (2, 'Bob');
+    INSERT INTO disease VALUES (1, 'cancer');
+  )sql").ok());
+  QueryResult r = Q(
+      "SELECT 1 FROM patients WHERE EXISTS "
+      "(SELECT * FROM patients p, disease d WHERE p.patientid = d.patientid "
+      " AND name = 'Alice' AND disease = 'cancer')");
+  EXPECT_EQ(r.rows.size(), 2u);  // EXISTS is true for every outer row
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,88 @@
+// Executor-level behaviors: stats accounting, subquery caching, prefix reads,
+// result rendering.
+
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace seltrig {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE t (id INT PRIMARY KEY, v INT);
+      CREATE TABLE u (id INT PRIMARY KEY, w INT);
+      INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (4, 40);
+      INSERT INTO u VALUES (1, 5), (2, 6);
+    )sql").ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, RowsScannedCounted) {
+  auto r = db_.ExecuteWithOptions("SELECT * FROM t", ExecOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.rows_scanned, 4u);
+}
+
+TEST_F(ExecutorTest, UncorrelatedSubqueryExecutedOnce) {
+  // Four outer rows probe the same uncorrelated IN-subquery; the cache must
+  // keep materializations at one even though the expression is evaluated
+  // per row.
+  auto r = db_.ExecuteWithOptions(
+      "SELECT id FROM t WHERE id IN (SELECT id FROM u)", ExecOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.rows.size(), 2u);
+  // rows_scanned: t fully (4) + u once (2).
+  EXPECT_EQ(r->stats.rows_scanned, 6u);
+  EXPECT_GE(r->stats.subquery_executions, 4u);  // evaluated per row, cached
+}
+
+TEST_F(ExecutorTest, CorrelatedSubqueryReexecuted) {
+  auto r = db_.ExecuteWithOptions(
+      "SELECT id FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+      ExecOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.rows.size(), 2u);
+  // Each outer row re-runs the subquery; the index path keeps scans small.
+  EXPECT_GE(r->stats.subquery_executions, 4u);
+}
+
+TEST_F(ExecutorTest, MaxRowsStopsPulling) {
+  ExecOptions options;
+  options.max_rows = 1;
+  auto r = db_.ExecuteWithOptions("SELECT * FROM t", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.rows.size(), 1u);
+  // Volcano semantics: only the rows needed were pulled from the scan.
+  EXPECT_LT(r->stats.rows_scanned, 4u);
+}
+
+TEST_F(ExecutorTest, QueryResultToStringTruncates) {
+  auto r = db_.Execute("SELECT id FROM t ORDER BY id");
+  ASSERT_TRUE(r.ok());
+  std::string text = r->ToString(/*max_rows=*/2);
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("(4 rows total)"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, PlanTextReflectsExecutedPlan) {
+  auto r = db_.ExecuteWithOptions("SELECT v FROM t WHERE v > 15", ExecOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->plan_text.find("Scan t"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ExecutionErrorsCarryContext) {
+  auto r = db_.Execute("SELECT v / (v - v) FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kExecutionError);
+  EXPECT_NE(r.status().message().find("division by zero"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seltrig

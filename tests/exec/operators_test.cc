@@ -1,0 +1,295 @@
+// Physical-operator unit tests over hand-built logical nodes (below the SQL
+// surface): exclusions, index-lookup scans, join edge cases, audit op
+// behavior without a registry.
+
+#include "exec/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "audit/accessed_state.h"
+#include "audit/sensitive_id_view.h"
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+
+namespace seltrig {
+namespace {
+
+class OperatorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema;
+    schema.AddColumn({"id", "t", TypeId::kInt, false});
+    schema.AddColumn({"v", "t", TypeId::kInt, false});
+    auto table = catalog_.CreateTable("t", schema, 0);
+    ASSERT_TRUE(table.ok());
+    table_ = *table;
+    for (int64_t i = 1; i <= 6; ++i) {
+      ASSERT_TRUE(table_->Insert({Value::Int(i), Value::Int(i * 10)}).ok());
+    }
+  }
+
+  std::shared_ptr<LogicalScan> MakeScan() {
+    auto scan = std::make_shared<LogicalScan>();
+    scan->table_name = "t";
+    scan->alias = "t";
+    scan->schema = table_->schema();
+    return scan;
+  }
+
+  std::vector<Row> Run(const LogicalOperator& plan,
+                       ExecContext* ctx_override = nullptr) {
+    ExecContext local(&catalog_, &session_);
+    ExecContext* ctx = ctx_override != nullptr ? ctx_override : &local;
+    Executor executor(ctx);
+    auto rows = executor.ExecutePlan(plan, {});
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? *rows : std::vector<Row>{};
+  }
+
+  Catalog catalog_;
+  SessionContext session_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(OperatorsTest, ScanEmitsAllRows) {
+  auto scan = MakeScan();
+  EXPECT_EQ(Run(*scan).size(), 6u);
+}
+
+TEST_F(OperatorsTest, ScanSkipsTombstones) {
+  auto row_id = table_->LookupByPrimaryKey(Value::Int(3));
+  ASSERT_TRUE(row_id.ok());
+  ASSERT_TRUE(table_->Delete(*row_id).ok());
+  auto scan = MakeScan();
+  EXPECT_EQ(Run(*scan).size(), 5u);
+}
+
+TEST_F(OperatorsTest, ScanAppliesExclusions) {
+  ExecContext ctx(&catalog_, &session_);
+  ScanExclusion ex;
+  ex.table = "t";
+  ex.column = 0;
+  ex.value = Value::Int(4);
+  ctx.AddExclusion(ex);
+  auto scan = MakeScan();
+  std::vector<Row> rows = Run(*scan, &ctx);
+  EXPECT_EQ(rows.size(), 5u);
+  for (const Row& r : rows) EXPECT_NE(r[0].AsInt(), 4);
+}
+
+TEST_F(OperatorsTest, ScanProjectionSubset) {
+  auto scan = MakeScan();
+  scan->projection = {1};
+  Schema projected;
+  projected.AddColumn(scan->schema.column(1));
+  scan->schema = projected;
+  std::vector<Row> rows = Run(*scan);
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 10);
+}
+
+TEST_F(OperatorsTest, ScanIndexModeViaEqualityFilter) {
+  auto scan = MakeScan();
+  scan->filter = MakeComparison(CompareOp::kEq, MakeColumnRef(0, TypeId::kInt, "id"),
+                                MakeLiteral(Value::Int(5)));
+  ExecContext ctx(&catalog_, &session_);
+  std::vector<Row> rows;
+  {
+    Executor executor(&ctx);
+    auto r = executor.ExecutePlan(*scan, {});
+    ASSERT_TRUE(r.ok());
+    rows = *r;
+  }
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 5);
+  // The index path examines only matching rows, not the full table.
+  EXPECT_LT(ctx.stats().rows_scanned, 6u);
+}
+
+TEST_F(OperatorsTest, HashJoinSkipsNullKeys) {
+  Schema rschema;
+  rschema.AddColumn({"rid", "r", TypeId::kInt, false});
+  auto rtable = catalog_.CreateTable("r", rschema, -1);
+  ASSERT_TRUE(rtable.ok());
+  ASSERT_TRUE((*rtable)->Insert({Value::Int(1)}).ok());
+  ASSERT_TRUE((*rtable)->Insert({Value::Null()}).ok());
+
+  auto left = MakeScan();
+  auto right = std::make_shared<LogicalScan>();
+  right->table_name = "r";
+  right->alias = "r";
+  right->schema = rschema;
+
+  auto join = std::make_shared<LogicalJoin>();
+  join->join_type = JoinType::kInner;
+  join->schema = Schema::Concat(left->schema, right->schema);
+  join->children = {left, right};
+  join->condition = MakeComparison(CompareOp::kEq, MakeColumnRef(0, TypeId::kInt),
+                                   MakeColumnRef(2, TypeId::kInt));
+  // NULL keys never match.
+  EXPECT_EQ(Run(*join).size(), 1u);
+}
+
+TEST_F(OperatorsTest, LeftJoinAgainstEmptyRightPadsAllRows) {
+  Schema rschema;
+  rschema.AddColumn({"rid", "r", TypeId::kInt, false});
+  auto rtable = catalog_.CreateTable("r", rschema, -1);
+  ASSERT_TRUE(rtable.ok());
+
+  auto left = MakeScan();
+  auto right = std::make_shared<LogicalScan>();
+  right->table_name = "r";
+  right->alias = "r";
+  right->schema = rschema;
+
+  auto join = std::make_shared<LogicalJoin>();
+  join->join_type = JoinType::kLeft;
+  join->schema = Schema::Concat(left->schema, right->schema);
+  join->children = {left, right};
+  join->condition = MakeComparison(CompareOp::kEq, MakeColumnRef(0, TypeId::kInt),
+                                   MakeColumnRef(2, TypeId::kInt));
+  std::vector<Row> rows = Run(*join);
+  ASSERT_EQ(rows.size(), 6u);
+  for (const Row& r : rows) {
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_TRUE(r[2].is_null());
+  }
+}
+
+TEST_F(OperatorsTest, LimitWithOffset) {
+  auto scan = MakeScan();
+  auto limit = std::make_shared<LogicalLimit>();
+  limit->limit = 2;
+  limit->offset = 3;
+  limit->schema = scan->schema;
+  limit->children = {scan};
+  std::vector<Row> rows = Run(*limit);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsInt(), 4);
+  EXPECT_EQ(rows[1][0].AsInt(), 5);
+}
+
+TEST_F(OperatorsTest, AuditOpWithoutRegistryIsPureNoOp) {
+  SensitiveIdView view;
+  view.Add(Value::Int(1));
+  auto scan = MakeScan();
+  auto audit = std::make_shared<LogicalAudit>();
+  audit->audit_name = "e";
+  audit->key_column = 0;
+  audit->id_view = &view;
+  audit->schema = scan->schema;
+  audit->children = {scan};
+  // No registry installed: rows still flow, nothing is recorded, no crash.
+  EXPECT_EQ(Run(*audit).size(), 6u);
+}
+
+TEST_F(OperatorsTest, AuditOpRecordsHitsAndCountsRows) {
+  SensitiveIdView view;
+  view.Add(Value::Int(2));
+  view.Add(Value::Int(5));
+  auto scan = MakeScan();
+  auto audit = std::make_shared<LogicalAudit>();
+  audit->audit_name = "e";
+  audit->key_column = 0;
+  audit->id_view = &view;
+  audit->schema = scan->schema;
+  audit->children = {scan};
+
+  ExecContext ctx(&catalog_, &session_);
+  AccessedStateRegistry registry;
+  ctx.set_accessed(&registry);
+  EXPECT_EQ(Run(*audit, &ctx).size(), 6u);
+  const AccessedState* state = registry.Find("e");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->size(), 2u);
+  EXPECT_TRUE(state->Contains(Value::Int(2)));
+  EXPECT_EQ(ctx.stats().rows_through_audit_ops, 6u);
+  EXPECT_EQ(ctx.stats().audit_probe_hits, 2u);
+}
+
+TEST_F(OperatorsTest, AuditOpIgnoresNullKeys) {
+  Schema nschema;
+  nschema.AddColumn({"k", "n", TypeId::kInt, false});
+  auto ntable = catalog_.CreateTable("n", nschema, -1);
+  ASSERT_TRUE(ntable.ok());
+  ASSERT_TRUE((*ntable)->Insert({Value::Null()}).ok());
+  ASSERT_TRUE((*ntable)->Insert({Value::Int(1)}).ok());
+
+  SensitiveIdView view;
+  view.Add(Value::Int(1));
+  auto scan = std::make_shared<LogicalScan>();
+  scan->table_name = "n";
+  scan->alias = "n";
+  scan->schema = nschema;
+  auto audit = std::make_shared<LogicalAudit>();
+  audit->audit_name = "e";
+  audit->key_column = 0;
+  audit->id_view = &view;
+  audit->schema = nschema;
+  audit->children = {scan};
+
+  ExecContext ctx(&catalog_, &session_);
+  AccessedStateRegistry registry;
+  ctx.set_accessed(&registry);
+  Run(*audit, &ctx);
+  EXPECT_EQ(registry.Find("e")->size(), 1u);
+}
+
+TEST_F(OperatorsTest, DistinctDeduplicatesNulls) {
+  Schema nschema;
+  nschema.AddColumn({"k", "n", TypeId::kInt, false});
+  auto ntable = catalog_.CreateTable("n", nschema, -1);
+  ASSERT_TRUE(ntable.ok());
+  ASSERT_TRUE((*ntable)->Insert({Value::Null()}).ok());
+  ASSERT_TRUE((*ntable)->Insert({Value::Null()}).ok());
+  ASSERT_TRUE((*ntable)->Insert({Value::Int(1)}).ok());
+
+  auto scan = std::make_shared<LogicalScan>();
+  scan->table_name = "n";
+  scan->alias = "n";
+  scan->schema = nschema;
+  auto distinct = std::make_shared<LogicalDistinct>();
+  distinct->schema = nschema;
+  distinct->children = {scan};
+  EXPECT_EQ(Run(*distinct).size(), 2u);
+}
+
+TEST_F(OperatorsTest, SortDescendingWithNullsFirstInTotalOrder) {
+  Schema nschema;
+  nschema.AddColumn({"k", "n", TypeId::kInt, false});
+  auto ntable = catalog_.CreateTable("n", nschema, -1);
+  ASSERT_TRUE(ntable.ok());
+  ASSERT_TRUE((*ntable)->Insert({Value::Int(2)}).ok());
+  ASSERT_TRUE((*ntable)->Insert({Value::Null()}).ok());
+  ASSERT_TRUE((*ntable)->Insert({Value::Int(7)}).ok());
+
+  auto scan = std::make_shared<LogicalScan>();
+  scan->table_name = "n";
+  scan->alias = "n";
+  scan->schema = nschema;
+  auto sort = std::make_shared<LogicalSort>();
+  sort->keys.push_back(SortKey{MakeColumnRef(0, TypeId::kInt), false});
+  sort->schema = nschema;
+  sort->children = {scan};
+  std::vector<Row> rows = Run(*sort);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt(), 7);
+  EXPECT_EQ(rows[1][0].AsInt(), 2);
+  EXPECT_TRUE(rows[2][0].is_null());  // NULL sorts first ascending, last desc
+}
+
+TEST_F(OperatorsTest, ValuesOperatorEvaluatesExpressions) {
+  auto values = std::make_shared<LogicalValues>();
+  values->schema.AddColumn({"x", "", TypeId::kInt, false});
+  std::vector<ExprPtr> row1;
+  row1.push_back(MakeArith(ArithOp::kAdd, MakeLiteral(Value::Int(1)),
+                           MakeLiteral(Value::Int(2))));
+  values->rows.push_back(std::move(row1));
+  std::vector<Row> rows = Run(*values);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 3);
+}
+
+}  // namespace
+}  // namespace seltrig

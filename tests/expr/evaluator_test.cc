@@ -1,0 +1,253 @@
+#include "expr/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "expr/expr.h"
+#include "types/date.h"
+
+namespace seltrig {
+namespace {
+
+Value Eval(ExprPtr e) {
+  EvalContext ctx;
+  auto r = EvalExpr(*e, ctx);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : Value::Null();
+}
+
+Value EvalOnRow(const Expr& e, const Row& row) {
+  EvalContext ctx;
+  ctx.row = &row;
+  auto r = EvalExpr(e, ctx);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : Value::Null();
+}
+
+TEST(EvaluatorTest, Literals) {
+  EXPECT_EQ(Eval(MakeLiteral(Value::Int(3))).AsInt(), 3);
+  EXPECT_TRUE(Eval(MakeLiteral(Value::Null())).is_null());
+}
+
+TEST(EvaluatorTest, ColumnRef) {
+  Row row = {Value::Int(10), Value::String("x")};
+  auto e = MakeColumnRef(1, TypeId::kString);
+  EXPECT_EQ(EvalOnRow(*e, row).AsString(), "x");
+}
+
+TEST(EvaluatorTest, ColumnRefOutOfRangeErrors) {
+  Row row = {Value::Int(10)};
+  auto e = MakeColumnRef(3, TypeId::kInt);
+  EvalContext ctx;
+  ctx.row = &row;
+  EXPECT_FALSE(EvalExpr(*e, ctx).ok());
+}
+
+TEST(EvaluatorTest, IntegerArithmetic) {
+  auto add = MakeArith(ArithOp::kAdd, MakeLiteral(Value::Int(2)), MakeLiteral(Value::Int(3)));
+  EXPECT_EQ(Eval(std::move(add)).AsInt(), 5);
+  auto mul = MakeArith(ArithOp::kMul, MakeLiteral(Value::Int(4)), MakeLiteral(Value::Int(5)));
+  EXPECT_EQ(Eval(std::move(mul)).AsInt(), 20);
+}
+
+TEST(EvaluatorTest, DivisionAlwaysDouble) {
+  auto div = MakeArith(ArithOp::kDiv, MakeLiteral(Value::Int(7)), MakeLiteral(Value::Int(2)));
+  Value v = Eval(std::move(div));
+  EXPECT_EQ(v.type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+}
+
+TEST(EvaluatorTest, DivisionByZeroErrors) {
+  auto div = MakeArith(ArithOp::kDiv, MakeLiteral(Value::Int(1)), MakeLiteral(Value::Int(0)));
+  EvalContext ctx;
+  EXPECT_FALSE(EvalExpr(*div, ctx).ok());
+}
+
+TEST(EvaluatorTest, MixedArithmeticWidens) {
+  auto add = MakeArith(ArithOp::kAdd, MakeLiteral(Value::Int(1)),
+                       MakeLiteral(Value::Double(0.5)));
+  Value v = Eval(std::move(add));
+  EXPECT_EQ(v.type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 1.5);
+}
+
+TEST(EvaluatorTest, DateArithmetic) {
+  int32_t d = CivilToDays(1995, 3, 15);
+  auto plus = MakeArith(ArithOp::kAdd, MakeLiteral(Value::Date(d)), MakeLiteral(Value::Int(10)));
+  EXPECT_EQ(Eval(std::move(plus)).AsDate(), d + 10);
+  auto diff = MakeArith(ArithOp::kSub, MakeLiteral(Value::Date(d + 30)),
+                        MakeLiteral(Value::Date(d)));
+  EXPECT_EQ(Eval(std::move(diff)).AsInt(), 30);
+}
+
+TEST(EvaluatorTest, NullPropagationArithmetic) {
+  auto add = MakeArith(ArithOp::kAdd, MakeLiteral(Value::Null()), MakeLiteral(Value::Int(1)));
+  EXPECT_TRUE(Eval(std::move(add)).is_null());
+}
+
+TEST(EvaluatorTest, Comparisons) {
+  auto lt = MakeComparison(CompareOp::kLt, MakeLiteral(Value::Int(1)),
+                           MakeLiteral(Value::Int(2)));
+  EXPECT_TRUE(Eval(std::move(lt)).AsBool());
+  auto ge = MakeComparison(CompareOp::kGe, MakeLiteral(Value::String("b")),
+                           MakeLiteral(Value::String("a")));
+  EXPECT_TRUE(Eval(std::move(ge)).AsBool());
+}
+
+TEST(EvaluatorTest, ComparisonWithNullIsNull) {
+  auto eq = MakeComparison(CompareOp::kEq, MakeLiteral(Value::Null()),
+                           MakeLiteral(Value::Null()));
+  EXPECT_TRUE(Eval(std::move(eq)).is_null());  // SQL: NULL = NULL is UNKNOWN
+}
+
+TEST(EvaluatorTest, ThreeValuedAnd) {
+  // false AND NULL = false; true AND NULL = NULL.
+  auto f_and_null = MakeAnd(MakeLiteral(Value::Bool(false)), MakeLiteral(Value::Null()));
+  Value v1 = Eval(std::move(f_and_null));
+  ASSERT_FALSE(v1.is_null());
+  EXPECT_FALSE(v1.AsBool());
+
+  auto t_and_null = MakeAnd(MakeLiteral(Value::Bool(true)), MakeLiteral(Value::Null()));
+  EXPECT_TRUE(Eval(std::move(t_and_null)).is_null());
+}
+
+TEST(EvaluatorTest, ThreeValuedOr) {
+  auto t_or_null = MakeOr(MakeLiteral(Value::Bool(true)), MakeLiteral(Value::Null()));
+  Value v1 = Eval(std::move(t_or_null));
+  ASSERT_FALSE(v1.is_null());
+  EXPECT_TRUE(v1.AsBool());
+
+  auto f_or_null = MakeOr(MakeLiteral(Value::Bool(false)), MakeLiteral(Value::Null()));
+  EXPECT_TRUE(Eval(std::move(f_or_null)).is_null());
+}
+
+TEST(EvaluatorTest, NotOfNullIsNull) {
+  EXPECT_TRUE(Eval(MakeNot(MakeLiteral(Value::Null()))).is_null());
+  EXPECT_FALSE(Eval(MakeNot(MakeLiteral(Value::Bool(true)))).AsBool());
+}
+
+TEST(EvaluatorTest, IsNull) {
+  EXPECT_TRUE(Eval(MakeIsNull(MakeLiteral(Value::Null()), false)).AsBool());
+  EXPECT_FALSE(Eval(MakeIsNull(MakeLiteral(Value::Int(1)), false)).AsBool());
+  EXPECT_TRUE(Eval(MakeIsNull(MakeLiteral(Value::Int(1)), true)).AsBool());
+}
+
+TEST(EvaluatorTest, PredicateTreatsNullAsFalse) {
+  auto null_pred = MakeComparison(CompareOp::kEq, MakeLiteral(Value::Null()),
+                                  MakeLiteral(Value::Int(1)));
+  EvalContext ctx;
+  auto r = EvalPredicate(*null_pred, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(EvaluatorTest, InListSemantics) {
+  auto in = std::make_unique<Expr>(ExprKind::kInList);
+  in->result_type = TypeId::kBool;
+  in->children.push_back(MakeLiteral(Value::Int(2)));
+  in->children.push_back(MakeLiteral(Value::Int(1)));
+  in->children.push_back(MakeLiteral(Value::Int(2)));
+  EXPECT_TRUE(Eval(std::move(in)).AsBool());
+}
+
+TEST(EvaluatorTest, NotInWithNullMemberIsNull) {
+  // 3 NOT IN (1, NULL) is UNKNOWN (3 might equal the NULL).
+  auto in = std::make_unique<Expr>(ExprKind::kInList);
+  in->result_type = TypeId::kBool;
+  in->negated = true;
+  in->children.push_back(MakeLiteral(Value::Int(3)));
+  in->children.push_back(MakeLiteral(Value::Int(1)));
+  in->children.push_back(MakeLiteral(Value::Null()));
+  EXPECT_TRUE(Eval(std::move(in)).is_null());
+}
+
+TEST(EvaluatorTest, InWithNullMemberButMatchIsTrue) {
+  auto in = std::make_unique<Expr>(ExprKind::kInList);
+  in->result_type = TypeId::kBool;
+  in->children.push_back(MakeLiteral(Value::Int(1)));
+  in->children.push_back(MakeLiteral(Value::Null()));
+  in->children.push_back(MakeLiteral(Value::Int(1)));
+  EXPECT_TRUE(Eval(std::move(in)).AsBool());
+}
+
+TEST(EvaluatorTest, Functions) {
+  int32_t d = CivilToDays(1996, 7, 4);
+  auto year = MakeFunction(FunctionId::kYear, {}, TypeId::kInt);
+  year->children.push_back(MakeLiteral(Value::Date(d)));
+  EXPECT_EQ(Eval(std::move(year)).AsInt(), 1996);
+
+  std::vector<ExprPtr> args;
+  args.push_back(MakeLiteral(Value::String("13-555-0000")));
+  args.push_back(MakeLiteral(Value::Int(1)));
+  args.push_back(MakeLiteral(Value::Int(2)));
+  auto sub = MakeFunction(FunctionId::kSubstring, std::move(args), TypeId::kString);
+  EXPECT_EQ(Eval(std::move(sub)).AsString(), "13");
+}
+
+TEST(EvaluatorTest, SubstringEdgeCases) {
+  auto make_sub = [](const std::string& s, int64_t from, int64_t len) {
+    std::vector<ExprPtr> args;
+    args.push_back(MakeLiteral(Value::String(s)));
+    args.push_back(MakeLiteral(Value::Int(from)));
+    args.push_back(MakeLiteral(Value::Int(len)));
+    return MakeFunction(FunctionId::kSubstring, std::move(args), TypeId::kString);
+  };
+  EXPECT_EQ(Eval(make_sub("abc", 2, 10)).AsString(), "bc");
+  EXPECT_EQ(Eval(make_sub("abc", 10, 2)).AsString(), "");
+  EXPECT_EQ(Eval(make_sub("abc", 1, 0)).AsString(), "");
+}
+
+TEST(EvaluatorTest, SessionFunctions) {
+  Catalog catalog;
+  SessionContext session;
+  session.user = "mallory";
+  session.sql_text = "SELECT secret";
+  session.now = "2026-07-07 12:00:00";
+  ExecContext exec(&catalog, &session);
+  EvalContext ctx;
+  ctx.exec = &exec;
+
+  auto user = MakeFunction(FunctionId::kUserId, {}, TypeId::kString);
+  auto r = EvalExpr(*user, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "mallory");
+
+  auto sql = MakeFunction(FunctionId::kSqlText, {}, TypeId::kString);
+  EXPECT_EQ(EvalExpr(*sql, ctx)->AsString(), "SELECT secret");
+
+  auto now = MakeFunction(FunctionId::kNow, {}, TypeId::kString);
+  EXPECT_EQ(EvalExpr(*now, ctx)->AsString(), "2026-07-07 12:00:00");
+}
+
+TEST(EvaluatorTest, OuterColumnRef) {
+  Row outer = {Value::Int(99)};
+  Row inner = {Value::Int(1)};
+  EvalContext ctx;
+  ctx.row = &inner;
+  ctx.outer_rows = {&outer};
+  auto e = MakeOuterColumnRef(0, 1, TypeId::kInt);
+  auto r = EvalExpr(*e, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsInt(), 99);
+}
+
+TEST(EvaluatorTest, OuterColumnRefBeyondDepthErrors) {
+  EvalContext ctx;
+  auto e = MakeOuterColumnRef(0, 1, TypeId::kInt);
+  EXPECT_FALSE(EvalExpr(*e, ctx).ok());
+}
+
+TEST(EvaluatorTest, CloneProducesIndependentEqualTree) {
+  auto original = MakeAnd(
+      MakeComparison(CompareOp::kGt, MakeColumnRef(0, TypeId::kInt, "a"),
+                     MakeLiteral(Value::Int(5))),
+      MakeIsNull(MakeColumnRef(1, TypeId::kString, "b"), true));
+  auto copy = original->Clone();
+  EXPECT_EQ(original->ToString(), copy->ToString());
+  // Mutating the copy leaves the original untouched.
+  copy->children[0]->cmp_op = CompareOp::kLt;
+  EXPECT_NE(original->ToString(), copy->ToString());
+}
+
+}  // namespace
+}  // namespace seltrig

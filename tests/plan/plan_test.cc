@@ -1,0 +1,151 @@
+// Logical plan infrastructure: deep cloning, printing, expression visiting,
+// correlation escape analysis.
+
+#include "plan/logical_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "audit/placement.h"
+#include "engine/database.h"
+
+namespace seltrig {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE a (id INT PRIMARY KEY, x INT);
+      CREATE TABLE b (id INT PRIMARY KEY, a_id INT);
+      INSERT INTO a VALUES (1, 10), (2, 20);
+      INSERT INTO b VALUES (5, 1);
+    )sql").ok());
+  }
+
+  PlanPtr Plan(const std::string& sql) {
+    auto r = db_.PlanSelect(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  Database db_;
+};
+
+TEST_F(PlanTest, CloneIsDeepForChildrenAndExprs) {
+  PlanPtr plan = Plan("SELECT x FROM a WHERE x > 5");
+  PlanPtr copy = plan->Clone();
+  ASSERT_EQ(PlanToString(*plan), PlanToString(*copy));
+  // Mutate the copy's scan filter; the original is untouched.
+  std::function<LogicalScan*(LogicalOperator&)> find_scan =
+      [&](LogicalOperator& node) -> LogicalScan* {
+    if (node.kind() == PlanKind::kScan) return static_cast<LogicalScan*>(&node);
+    for (auto& c : node.children) {
+      LogicalScan* s = find_scan(*c);
+      if (s != nullptr) return s;
+    }
+    return nullptr;
+  };
+  LogicalScan* scan = find_scan(*copy);
+  ASSERT_NE(scan, nullptr);
+  scan->filter = nullptr;
+  EXPECT_NE(PlanToString(*plan), PlanToString(*copy));
+}
+
+TEST_F(PlanTest, CloneSharesSubqueryPlansButDeepCloneDoesNot) {
+  PlanPtr plan = Plan("SELECT x FROM a WHERE id IN (SELECT a_id FROM b)");
+
+  auto find_subplan = [](const LogicalOperator& root) {
+    std::shared_ptr<LogicalOperator> found;
+    std::function<void(const LogicalOperator&)> walk =
+        [&](const LogicalOperator& node) {
+          VisitNodeExprs(node, [&](const Expr& e) {
+            std::function<void(const Expr&)> ew = [&](const Expr& x) {
+              if (x.kind == ExprKind::kSubquery) found = x.subquery_plan;
+              for (const auto& c : x.children) ew(*c);
+            };
+            ew(e);
+          });
+          for (const auto& c : node.children) walk(*c);
+        };
+    walk(root);
+    return found;
+  };
+
+  PlanPtr shallow = plan->Clone();
+  EXPECT_EQ(find_subplan(*plan).get(), find_subplan(*shallow).get());
+
+  PlanPtr deep = ClonePlanDeep(*plan);
+  EXPECT_NE(find_subplan(*plan).get(), find_subplan(*deep).get());
+}
+
+TEST_F(PlanTest, PlanToStringShowsTreeStructure) {
+  PlanPtr plan = Plan("SELECT a.x FROM a, b WHERE a.id = b.a_id ORDER BY a.x");
+  std::string text = PlanToString(*plan);
+  EXPECT_NE(text.find("Sort"), std::string::npos);
+  EXPECT_NE(text.find("Join"), std::string::npos);
+  EXPECT_NE(text.find("Scan a"), std::string::npos);
+  EXPECT_NE(text.find("Scan b"), std::string::npos);
+  // Children are indented below parents.
+  EXPECT_LT(text.find("Sort"), text.find("Join"));
+}
+
+TEST_F(PlanTest, PlanToStringWithSchema) {
+  PlanPtr plan = Plan("SELECT x FROM a");
+  std::string text = PlanToString(*plan, /*with_schema=*/true);
+  EXPECT_NE(text.find("INT"), std::string::npos);
+}
+
+TEST_F(PlanTest, MaxEscapeLevelUncorrelated) {
+  PlanPtr plan = Plan("SELECT x FROM a WHERE id IN (SELECT a_id FROM b)");
+  EXPECT_EQ(MaxEscapeLevel(*plan), 0);
+}
+
+TEST_F(PlanTest, MaxEscapeLevelOfCorrelatedSubplan) {
+  PlanPtr plan = Plan(
+      "SELECT x FROM a WHERE EXISTS (SELECT * FROM b WHERE b.a_id = a.id)");
+  // The whole plan is self-contained...
+  EXPECT_EQ(MaxEscapeLevel(*plan), 0);
+  // ...but the nested subquery plan escapes one level.
+  int sub_escape = -1;
+  std::function<void(const LogicalOperator&)> walk = [&](const LogicalOperator& node) {
+    VisitNodeExprs(node, [&](const Expr& e) {
+      std::function<void(const Expr&)> ew = [&](const Expr& x) {
+        if (x.kind == ExprKind::kSubquery && x.subquery_plan != nullptr) {
+          sub_escape = MaxEscapeLevel(*x.subquery_plan);
+          EXPECT_TRUE(x.subquery_correlated);
+        }
+        for (const auto& c : x.children) ew(*c);
+      };
+      ew(e);
+    });
+    for (const auto& c : node.children) walk(*c);
+  };
+  walk(*plan);
+  EXPECT_EQ(sub_escape, 1);
+}
+
+TEST_F(PlanTest, AggregateSpecCloneIsDeep) {
+  AggregateSpec spec;
+  spec.kind = AggKind::kSum;
+  spec.arg = MakeColumnRef(3, TypeId::kDouble, "v");
+  spec.result_type = TypeId::kDouble;
+  AggregateSpec copy = spec.Clone();
+  copy.arg->column_index = 9;
+  EXPECT_EQ(spec.arg->column_index, 3);
+}
+
+TEST_F(PlanTest, DescribeStringsAreInformative) {
+  LogicalLimit limit;
+  limit.limit = 5;
+  limit.offset = 2;
+  EXPECT_EQ(limit.Describe(), "Limit 5 OFFSET 2");
+
+  LogicalAudit audit;
+  audit.audit_name = "e";
+  audit.key_column = 3;
+  EXPECT_NE(audit.Describe().find("AuditOp [e]"), std::string::npos);
+  EXPECT_NE(audit.Describe().find("#3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,128 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace seltrig {
+namespace {
+
+Schema TwoColumnSchema() {
+  Schema s;
+  s.AddColumn({"id", "", TypeId::kInt, false});
+  s.AddColumn({"name", "", TypeId::kString, false});
+  return s;
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t("t", TwoColumnSchema(), 0);
+  auto id = t.Insert({Value::Int(1), Value::String("a")});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(t.live_row_count(), 1u);
+  EXPECT_TRUE(t.IsLive(*id));
+  EXPECT_EQ(t.GetRow(*id)[1].AsString(), "a");
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t("t", TwoColumnSchema(), 0);
+  EXPECT_FALSE(t.Insert({Value::Int(1)}).ok());
+}
+
+TEST(TableTest, DuplicatePrimaryKeyRejected) {
+  Table t("t", TwoColumnSchema(), 0);
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  EXPECT_FALSE(t.Insert({Value::Int(1), Value::String("b")}).ok());
+  EXPECT_EQ(t.live_row_count(), 1u);
+}
+
+TEST(TableTest, NullPrimaryKeyRejected) {
+  Table t("t", TwoColumnSchema(), 0);
+  EXPECT_FALSE(t.Insert({Value::Null(), Value::String("a")}).ok());
+}
+
+TEST(TableTest, NoPrimaryKeyAllowsDuplicates) {
+  Table t("t", TwoColumnSchema(), -1);
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  EXPECT_EQ(t.live_row_count(), 2u);
+}
+
+TEST(TableTest, DeleteTombstones) {
+  Table t("t", TwoColumnSchema(), 0);
+  auto id = t.Insert({Value::Int(1), Value::String("a")});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(t.Delete(*id).ok());
+  EXPECT_FALSE(t.IsLive(*id));
+  EXPECT_EQ(t.live_row_count(), 0u);
+  EXPECT_EQ(t.slot_count(), 1u);  // slot remains
+  EXPECT_FALSE(t.Delete(*id).ok());  // double delete
+}
+
+TEST(TableTest, DeleteFreesPrimaryKey) {
+  Table t("t", TwoColumnSchema(), 0);
+  auto id = t.Insert({Value::Int(1), Value::String("a")});
+  ASSERT_TRUE(t.Delete(*id).ok());
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::String("b")}).ok());
+}
+
+TEST(TableTest, PrimaryKeyLookup) {
+  Table t("t", TwoColumnSchema(), 0);
+  ASSERT_TRUE(t.Insert({Value::Int(5), Value::String("x")}).ok());
+  auto row_id = t.LookupByPrimaryKey(Value::Int(5));
+  ASSERT_TRUE(row_id.ok());
+  EXPECT_EQ(t.GetRow(*row_id)[1].AsString(), "x");
+  EXPECT_FALSE(t.LookupByPrimaryKey(Value::Int(6)).ok());
+}
+
+TEST(TableTest, UpdateInPlace) {
+  Table t("t", TwoColumnSchema(), 0);
+  auto id = t.Insert({Value::Int(1), Value::String("a")});
+  ASSERT_TRUE(t.Update(*id, {Value::Int(1), Value::String("b")}).ok());
+  EXPECT_EQ(t.GetRow(*id)[1].AsString(), "b");
+}
+
+TEST(TableTest, UpdatePrimaryKeyMovesIndex) {
+  Table t("t", TwoColumnSchema(), 0);
+  auto id = t.Insert({Value::Int(1), Value::String("a")});
+  ASSERT_TRUE(t.Update(*id, {Value::Int(2), Value::String("a")}).ok());
+  EXPECT_FALSE(t.LookupByPrimaryKey(Value::Int(1)).ok());
+  EXPECT_TRUE(t.LookupByPrimaryKey(Value::Int(2)).ok());
+}
+
+TEST(TableTest, UpdateToConflictingKeyRejected) {
+  Table t("t", TwoColumnSchema(), 0);
+  auto a = t.Insert({Value::Int(1), Value::String("a")});
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("b")}).ok());
+  EXPECT_FALSE(t.Update(*a, {Value::Int(2), Value::String("a")}).ok());
+}
+
+TEST(TableTest, SecondaryIndexLookup) {
+  Table t("t", TwoColumnSchema(), 0);
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("x")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("y")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(3), Value::String("x")}).ok());
+  const auto& hits = t.LookupBySecondary(1, Value::String("x"));
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(t.LookupBySecondary(1, Value::String("z")).empty());
+}
+
+TEST(TableTest, SecondaryIndexInvalidatedByWrites) {
+  Table t("t", TwoColumnSchema(), 0);
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("x")}).ok());
+  EXPECT_EQ(t.LookupBySecondary(1, Value::String("x")).size(), 1u);
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("x")}).ok());
+  EXPECT_EQ(t.LookupBySecondary(1, Value::String("x")).size(), 2u);
+  auto row_id = t.LookupByPrimaryKey(Value::Int(1));
+  ASSERT_TRUE(t.Delete(*row_id).ok());
+  EXPECT_EQ(t.LookupBySecondary(1, Value::String("x")).size(), 1u);
+}
+
+TEST(TableTest, ClearResets) {
+  Table t("t", TwoColumnSchema(), 0);
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  t.Clear();
+  EXPECT_EQ(t.live_row_count(), 0u);
+  EXPECT_EQ(t.slot_count(), 0u);
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+}
+
+}  // namespace
+}  // namespace seltrig

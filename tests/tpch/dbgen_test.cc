@@ -1,0 +1,153 @@
+// TPC-H generator: schema shape, cardinalities, determinism, distribution
+// properties the paper's evaluation depends on.
+
+#include "tpch/dbgen.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace seltrig {
+namespace {
+
+class DbgenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.01;
+    ASSERT_TRUE(tpch::LoadTpch(db_, config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static int64_t Count(const std::string& table) {
+    auto r = db_->Execute("SELECT COUNT(*) FROM " + table);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->rows[0][0].AsInt();
+  }
+
+  static Database* db_;
+};
+
+Database* DbgenTest::db_ = nullptr;
+
+TEST_F(DbgenTest, AllEightTablesExist) {
+  for (const char* t : {"region", "nation", "supplier", "part", "partsupp",
+                        "customer", "orders", "lineitem"}) {
+    EXPECT_TRUE(db_->catalog()->HasTable(t)) << t;
+  }
+}
+
+TEST_F(DbgenTest, Cardinalities) {
+  tpch::TpchCardinalities n = tpch::CardinalitiesFor(0.01);
+  EXPECT_EQ(Count("region"), 5);
+  EXPECT_EQ(Count("nation"), 25);
+  EXPECT_EQ(Count("customer"), n.customers);
+  EXPECT_EQ(Count("orders"), n.orders);
+  EXPECT_EQ(Count("supplier"), n.suppliers);
+  EXPECT_EQ(Count("part"), n.parts);
+  EXPECT_EQ(Count("partsupp"), n.parts * 4);
+  // 1..7 lineitems per order.
+  int64_t li = Count("lineitem");
+  EXPECT_GE(li, Count("orders"));
+  EXPECT_LE(li, Count("orders") * 7);
+}
+
+TEST_F(DbgenTest, MarketSegmentsRoughlyUniform) {
+  // The paper's audit expression covers one segment ~= 20% of customers.
+  auto r = db_->Execute(
+      "SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 5u);
+  int64_t total = Count("customer");
+  for (const Row& row : r->rows) {
+    double share = static_cast<double>(row[1].AsInt()) / static_cast<double>(total);
+    EXPECT_GT(share, 0.15) << row[0].ToString();
+    EXPECT_LT(share, 0.25) << row[0].ToString();
+  }
+}
+
+TEST_F(DbgenTest, OrderDatesInRange) {
+  auto r = db_->Execute("SELECT MIN(o_orderdate), MAX(o_orderdate) FROM orders");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->rows[0][0].AsDate(), tpch::MinOrderDate());
+  EXPECT_LE(r->rows[0][1].AsDate(), tpch::MaxOrderDate());
+}
+
+TEST_F(DbgenTest, ForeignKeysResolve) {
+  auto orphans = db_->Execute(
+      "SELECT COUNT(*) FROM orders WHERE o_custkey NOT IN "
+      "(SELECT c_custkey FROM customer)");
+  ASSERT_TRUE(orphans.ok());
+  EXPECT_EQ(orphans->rows[0][0].AsInt(), 0);
+
+  auto li_orphans = db_->Execute(
+      "SELECT COUNT(*) FROM lineitem WHERE l_orderkey NOT IN "
+      "(SELECT o_orderkey FROM orders)");
+  ASSERT_TRUE(li_orphans.ok());
+  EXPECT_EQ(li_orphans->rows[0][0].AsInt(), 0);
+}
+
+TEST_F(DbgenTest, PhoneCountryCodesMatchNation) {
+  auto r = db_->Execute(
+      "SELECT COUNT(*) FROM customer WHERE SUBSTRING(c_phone, 1, 2) <> "
+      "'13' AND c_nationkey = 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 0);  // nation 3 -> code 13
+}
+
+TEST_F(DbgenTest, AcctbalRange) {
+  auto r = db_->Execute("SELECT MIN(c_acctbal), MAX(c_acctbal) FROM customer");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->rows[0][0].AsDouble(), -999.99);
+  EXPECT_LE(r->rows[0][1].AsDouble(), 9999.99);
+}
+
+TEST_F(DbgenTest, ThirdOfCustomersHaveNoOrders) {
+  // Official dbgen never assigns orders to custkeys divisible by 3; TPC-H
+  // Q22 prospects come from this population.
+  auto r = db_->Execute(
+      "SELECT COUNT(*) FROM customer WHERE NOT EXISTS "
+      "(SELECT * FROM orders WHERE o_custkey = c_custkey)");
+  ASSERT_TRUE(r.ok());
+  int64_t orderless = r->rows[0][0].AsInt();
+  int64_t total = Count("customer");
+  EXPECT_GE(orderless, total / 4);
+  EXPECT_LE(orderless, total / 2);
+}
+
+TEST_F(DbgenTest, ReturnFlagPresent) {
+  auto r = db_->Execute(
+      "SELECT COUNT(*) FROM lineitem WHERE l_returnflag = 'R'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->rows[0][0].AsInt(), 0);  // Q10 needs returned items
+}
+
+TEST_F(DbgenTest, DeterministicAcrossLoads) {
+  Database other;
+  tpch::TpchConfig config;
+  config.scale_factor = 0.01;
+  ASSERT_TRUE(tpch::LoadTpch(&other, config).ok());
+  auto a = db_->Execute("SELECT SUM(o_totalprice) FROM orders");
+  auto b = other.Execute("SELECT SUM(o_totalprice) FROM orders");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->rows[0][0].AsDouble(), b->rows[0][0].AsDouble());
+}
+
+TEST_F(DbgenTest, DifferentSeedsDiffer) {
+  Database other;
+  tpch::TpchConfig config;
+  config.scale_factor = 0.01;
+  config.seed = 7;
+  ASSERT_TRUE(tpch::LoadTpch(&other, config).ok());
+  auto a = db_->Execute("SELECT SUM(o_totalprice) FROM orders");
+  auto b = other.Execute("SELECT SUM(o_totalprice) FROM orders");
+  EXPECT_NE(a->rows[0][0].AsDouble(), b->rows[0][0].AsDouble());
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,71 @@
+#include "types/date.h"
+
+#include <gtest/gtest.h>
+
+namespace seltrig {
+namespace {
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(CivilToDays(1970, 1, 1), 0); }
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(CivilToDays(1970, 1, 2), 1);
+  EXPECT_EQ(CivilToDays(1969, 12, 31), -1);
+  EXPECT_EQ(CivilToDays(2000, 3, 1), 11017);
+}
+
+TEST(DateTest, RoundTripRange) {
+  // Every 37 days across the TPC-H range plus margins.
+  for (int32_t d = CivilToDays(1900, 1, 1); d <= CivilToDays(2100, 1, 1); d += 37) {
+    int y, m, day;
+    DaysToCivil(d, &y, &m, &day);
+    EXPECT_EQ(CivilToDays(y, m, day), d);
+  }
+}
+
+TEST(DateTest, ParseValid) {
+  auto r = ParseDate("1995-03-15");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(FormatDate(*r), "1995-03-15");
+}
+
+TEST(DateTest, ParseLeapDay) {
+  EXPECT_TRUE(ParseDate("2000-02-29").ok());   // divisible by 400: leap
+  EXPECT_FALSE(ParseDate("1900-02-29").ok());  // divisible by 100: not leap
+  EXPECT_TRUE(ParseDate("1996-02-29").ok());
+  EXPECT_FALSE(ParseDate("1995-02-29").ok());
+}
+
+TEST(DateTest, ParseInvalid) {
+  EXPECT_FALSE(ParseDate("1995-13-01").ok());
+  EXPECT_FALSE(ParseDate("1995-00-10").ok());
+  EXPECT_FALSE(ParseDate("1995-04-31").ok());
+  EXPECT_FALSE(ParseDate("notadate").ok());
+  EXPECT_FALSE(ParseDate("1995-03-15x").ok());
+}
+
+TEST(DateTest, Extraction) {
+  int32_t d = CivilToDays(1998, 8, 2);
+  EXPECT_EQ(DateYear(d), 1998);
+  EXPECT_EQ(DateMonth(d), 8);
+  EXPECT_EQ(DateDay(d), 2);
+}
+
+TEST(DateTest, AddMonthsBasic) {
+  int32_t d = CivilToDays(1995, 1, 15);
+  EXPECT_EQ(FormatDate(AddMonths(d, 1)), "1995-02-15");
+  EXPECT_EQ(FormatDate(AddMonths(d, 12)), "1996-01-15");
+  EXPECT_EQ(FormatDate(AddMonths(d, -1)), "1994-12-15");
+}
+
+TEST(DateTest, AddMonthsClampsDay) {
+  int32_t d = CivilToDays(1995, 1, 31);
+  EXPECT_EQ(FormatDate(AddMonths(d, 1)), "1995-02-28");
+  EXPECT_EQ(FormatDate(AddMonths(CivilToDays(1996, 1, 31), 1)), "1996-02-29");
+}
+
+TEST(DateTest, FormatPadsZeroes) {
+  EXPECT_EQ(FormatDate(CivilToDays(2001, 2, 3)), "2001-02-03");
+}
+
+}  // namespace
+}  // namespace seltrig

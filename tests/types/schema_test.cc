@@ -1,0 +1,67 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace seltrig {
+namespace {
+
+Schema MakeTestSchema() {
+  Schema s;
+  s.AddColumn({"id", "t1", TypeId::kInt, false});
+  s.AddColumn({"name", "t1", TypeId::kString, false});
+  s.AddColumn({"id", "t2", TypeId::kInt, false});
+  return s;
+}
+
+TEST(SchemaTest, ResolveQualified) {
+  Schema s = MakeTestSchema();
+  auto r = s.Resolve("t2", "id");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+}
+
+TEST(SchemaTest, ResolveUnqualifiedUnique) {
+  Schema s = MakeTestSchema();
+  auto r = s.Resolve("", "name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1);
+}
+
+TEST(SchemaTest, ResolveAmbiguous) {
+  Schema s = MakeTestSchema();
+  auto r = s.Resolve("", "id");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBindError);
+}
+
+TEST(SchemaTest, ResolveMissing) {
+  Schema s = MakeTestSchema();
+  EXPECT_FALSE(s.Resolve("", "nope").ok());
+  EXPECT_FALSE(s.Resolve("t3", "id").ok());
+}
+
+TEST(SchemaTest, TryResolveReportsAmbiguity) {
+  Schema s = MakeTestSchema();
+  bool ambiguous = false;
+  int idx = s.TryResolve("", "id", &ambiguous);
+  EXPECT_EQ(idx, -1);
+  EXPECT_TRUE(ambiguous);
+}
+
+TEST(SchemaTest, Concat) {
+  Schema a = MakeTestSchema();
+  Schema b;
+  b.AddColumn({"x", "t3", TypeId::kDouble, false});
+  Schema c = Schema::Concat(a, b);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.column(3).name, "x");
+}
+
+TEST(SchemaTest, HiddenColumnsRenderMarked) {
+  Schema s;
+  s.AddColumn({"k", "", TypeId::kInt, true});
+  EXPECT_NE(s.ToString().find("[hidden]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seltrig

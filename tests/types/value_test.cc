@@ -1,0 +1,118 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "types/data_type.h"
+
+namespace seltrig {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), TypeId::kNull);
+}
+
+TEST(ValueTest, FactoryTypes) {
+  EXPECT_EQ(Value::Bool(true).type(), TypeId::kBool);
+  EXPECT_EQ(Value::Int(7).type(), TypeId::kInt);
+  EXPECT_EQ(Value::Double(1.5).type(), TypeId::kDouble);
+  EXPECT_EQ(Value::String("x").type(), TypeId::kString);
+  EXPECT_EQ(Value::Date(100).type(), TypeId::kDate);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_FALSE(Value::Bool(false).AsBool());
+  EXPECT_EQ(Value::Int(-42).AsInt(), -42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.25).AsDouble(), 2.25);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Date(123).AsDate(), 123);
+}
+
+TEST(ValueTest, CompareIntInt) {
+  EXPECT_LT(Value::Compare(Value::Int(1), Value::Int(2)), 0);
+  EXPECT_GT(Value::Compare(Value::Int(3), Value::Int(2)), 0);
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CompareCrossNumeric) {
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(2), Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Compare(Value::Double(3.5), Value::Int(3)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::Compare(Value::String("abc"), Value::String("abd")), 0);
+  EXPECT_EQ(Value::Compare(Value::String("x"), Value::String("x")), 0);
+}
+
+TEST(ValueTest, NullSortsFirstAndEqualsNull) {
+  EXPECT_LT(Value::Compare(Value::Null(), Value::Int(-100)), 0);
+  EXPECT_GT(Value::Compare(Value::String(""), Value::Null()), 0);
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Null()), 0);
+}
+
+TEST(ValueTest, EqualityConsistentWithHash) {
+  Value a = Value::Int(2);
+  Value b = Value::Double(2.0);
+  ASSERT_EQ(a, b);  // cross-numeric equality
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, HashSetUsage) {
+  std::unordered_set<Value, ValueHash, ValueEq> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Int(2));
+  set.insert(Value::Int(1));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Value::Double(2.0)) > 0);
+  EXPECT_FALSE(set.count(Value::Int(3)) > 0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(12).ToString(), "12");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+}
+
+TEST(RowTest, RowHashEquality) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Int(1), Value::String("x")};
+  Row c = {Value::Int(1), Value::String("y")};
+  RowHash hash;
+  RowEq eq;
+  EXPECT_TRUE(eq(a, b));
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_FALSE(eq(a, c));
+}
+
+TEST(RowTest, RowEqDifferentArity) {
+  Row a = {Value::Int(1)};
+  Row b = {Value::Int(1), Value::Int(2)};
+  EXPECT_FALSE(RowEq{}(a, b));
+}
+
+TEST(RowTest, NullEqualInRows) {
+  Row a = {Value::Null()};
+  Row b = {Value::Null()};
+  EXPECT_TRUE(RowEq{}(a, b));  // grouping semantics: NULLs group together
+}
+
+TEST(DataTypeTest, CommonType) {
+  EXPECT_EQ(CommonType(TypeId::kInt, TypeId::kDouble), TypeId::kDouble);
+  EXPECT_EQ(CommonType(TypeId::kNull, TypeId::kString), TypeId::kString);
+  EXPECT_EQ(CommonType(TypeId::kDate, TypeId::kDate), TypeId::kDate);
+  EXPECT_EQ(CommonType(TypeId::kString, TypeId::kInt), TypeId::kNull);
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(TypeName(TypeId::kInt), "INT");
+  EXPECT_STREQ(TypeName(TypeId::kDate), "DATE");
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,187 @@
+// seltrig interactive SQL shell.
+//
+// Reads ';'-terminated statements from stdin and prints results. Dot
+// commands:
+//   .help                 this message
+//   .tables               list tables with row counts
+//   .audit                list audit expressions with view sizes
+//   .user NAME            set the session user (USER_ID())
+//   .tpch SF              load the TPC-H database at scale factor SF
+//   .import FILE TABLE    bulk-load a CSV file (with header) into TABLE
+//   .quit / .exit         leave
+//
+// Usage:   seltrig_shell [script.sql ...]
+// Scripts given on the command line run before the interactive loop (or
+// instead of it when stdin is not a TTY).
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/csv_loader.h"
+#include "engine/snapshot.h"
+#include "seltrig/seltrig.h"
+
+namespace {
+
+using seltrig::Database;
+using seltrig::ExecOptions;
+using seltrig::StatementResult;
+
+void PrintResult(const StatementResult& result) {
+  const seltrig::QueryResult& qr = result.result;
+  if (qr.schema.size() == 0) {
+    if (qr.affected_rows > 0) {
+      std::printf("(%lld rows affected)\n", static_cast<long long>(qr.affected_rows));
+    } else {
+      std::printf("ok\n");
+    }
+    return;
+  }
+  std::printf("%s", qr.ToString(1000).c_str());
+  std::printf("(%zu rows)\n", qr.rows.size());
+  for (const auto& [expr, ids] : result.accessed) {
+    std::printf("-- ACCESSED[%s]: %zu sensitive ids\n", expr.c_str(), ids.size());
+  }
+}
+
+void RunStatement(Database* db, const std::string& sql) {
+  auto result = db->ExecuteWithOptions(sql, ExecOptions{});
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  PrintResult(*result);
+}
+
+bool HandleDotCommand(Database* db, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == ".quit" || cmd == ".exit") return false;
+  if (cmd == ".help") {
+    std::printf(
+        ".tables | .audit | .triggers | .user NAME | .tpch SF | .import FILE TABLE "
+        "| .save DIR | .open DIR | .quit\n");
+  } else if (cmd == ".tables") {
+    for (const std::string& name : db->catalog()->TableNames()) {
+      auto table = db->catalog()->GetTable(name);
+      std::printf("%-24s %zu rows\n", name.c_str(),
+                  table.ok() ? (*table)->live_row_count() : 0);
+    }
+  } else if (cmd == ".audit") {
+    for (const seltrig::AuditExpressionDef* def : db->audit_manager()->All()) {
+      std::printf("%-24s table=%s key=%s view=%zu ids\n", def->name().c_str(),
+                  def->sensitive_table().c_str(), def->partition_by().c_str(),
+                  def->view().size());
+    }
+  } else if (cmd == ".triggers") {
+    for (const seltrig::TriggerDef* def : db->trigger_manager()->All()) {
+      if (def->is_select_trigger) {
+        std::printf("%-24s ON ACCESS TO %s%s\n", def->name.c_str(),
+                    def->audit_expression.c_str(), def->before ? " BEFORE" : "");
+      } else {
+        const char* event = def->event == seltrig::ast::DmlEvent::kInsert   ? "INSERT"
+                            : def->event == seltrig::ast::DmlEvent::kUpdate ? "UPDATE"
+                                                                            : "DELETE";
+        std::printf("%-24s ON %s AFTER %s\n", def->name.c_str(), def->table.c_str(),
+                    event);
+      }
+    }
+  } else if (cmd == ".user") {
+    std::string user;
+    in >> user;
+    if (user.empty()) {
+      std::printf("current user: %s\n", db->session()->user.c_str());
+    } else {
+      db->session()->user = user;
+    }
+  } else if (cmd == ".tpch") {
+    double sf = 0.01;
+    in >> sf;
+    seltrig::tpch::TpchConfig config;
+    config.scale_factor = sf;
+    seltrig::Status status = seltrig::tpch::LoadTpch(db, config);
+    std::printf("%s\n", status.ok() ? "loaded" : status.ToString().c_str());
+  } else if (cmd == ".save") {
+    std::string dir;
+    in >> dir;
+    seltrig::Status status = seltrig::SaveSnapshot(db, dir);
+    std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
+  } else if (cmd == ".open") {
+    std::string dir;
+    in >> dir;
+    seltrig::Status status = seltrig::LoadSnapshot(db, dir);
+    std::printf("%s\n", status.ok() ? "loaded" : status.ToString().c_str());
+  } else if (cmd == ".import") {
+    std::string file, table;
+    in >> file >> table;
+    auto loaded = seltrig::LoadCsvFileIntoTable(db, table, file, /*has_header=*/true);
+    if (loaded.ok()) {
+      std::printf("loaded %lld rows into %s\n", static_cast<long long>(*loaded),
+                  table.c_str());
+    } else {
+      std::printf("error: %s\n", loaded.status().ToString().c_str());
+    }
+  } else {
+    std::printf("unknown command %s (try .help)\n", cmd.c_str());
+  }
+  return true;
+}
+
+// Feeds a stream of input into the shell loop; returns false on .quit.
+bool RunStream(Database* db, std::istream& in, bool interactive) {
+  std::string pending;
+  std::string line;
+  if (interactive) std::printf("seltrig> ");
+  while (std::getline(in, line)) {
+    if (pending.empty() && !line.empty() && line[0] == '.') {
+      if (!HandleDotCommand(db, line)) return false;
+      if (interactive) std::printf("seltrig> ");
+      continue;
+    }
+    pending += line;
+    pending += '\n';
+    // Execute every ';'-terminated statement accumulated so far.
+    size_t pos;
+    while ((pos = pending.find(';')) != std::string::npos) {
+      std::string sql = pending.substr(0, pos);
+      pending.erase(0, pos + 1);
+      bool blank = true;
+      for (char c : sql) blank = blank && std::isspace(static_cast<unsigned char>(c));
+      if (!blank) RunStatement(db, sql);
+    }
+    // Pure whitespace is not a pending statement (keeps dot commands usable
+    // right after a ';').
+    bool pending_blank = true;
+    for (char c : pending) {
+      pending_blank = pending_blank && std::isspace(static_cast<unsigned char>(c));
+    }
+    if (pending_blank) pending.clear();
+    if (interactive) std::printf(pending.empty() ? "seltrig> " : "    ...> ");
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream script(argv[i]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    if (!RunStream(&db, script, /*interactive=*/false)) return 0;
+  }
+  bool tty = isatty(fileno(stdin)) != 0;
+  if (argc > 1 && !tty) return 0;  // script-only invocation
+  RunStream(&db, std::cin, tty);
+  return 0;
+}

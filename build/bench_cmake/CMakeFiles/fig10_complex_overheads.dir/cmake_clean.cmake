@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_complex_overheads"
+  "../bench/fig10_complex_overheads.pdb"
+  "CMakeFiles/fig10_complex_overheads.dir/bench_util.cc.o"
+  "CMakeFiles/fig10_complex_overheads.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig10_complex_overheads.dir/fig10_complex_overheads.cc.o"
+  "CMakeFiles/fig10_complex_overheads.dir/fig10_complex_overheads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_complex_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_static_analysis"
+  "../bench/fig11_static_analysis.pdb"
+  "CMakeFiles/fig11_static_analysis.dir/bench_util.cc.o"
+  "CMakeFiles/fig11_static_analysis.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig11_static_analysis.dir/fig11_static_analysis.cc.o"
+  "CMakeFiles/fig11_static_analysis.dir/fig11_static_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_static_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_ablation_physical"
+  "../bench/fig12_ablation_physical.pdb"
+  "CMakeFiles/fig12_ablation_physical.dir/bench_util.cc.o"
+  "CMakeFiles/fig12_ablation_physical.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig12_ablation_physical.dir/fig12_ablation_physical.cc.o"
+  "CMakeFiles/fig12_ablation_physical.dir/fig12_ablation_physical.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ablation_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

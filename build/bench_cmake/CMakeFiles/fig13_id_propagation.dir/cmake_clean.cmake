@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_id_propagation"
+  "../bench/fig13_id_propagation.pdb"
+  "CMakeFiles/fig13_id_propagation.dir/bench_util.cc.o"
+  "CMakeFiles/fig13_id_propagation.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig13_id_propagation.dir/fig13_id_propagation.cc.o"
+  "CMakeFiles/fig13_id_propagation.dir/fig13_id_propagation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_id_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

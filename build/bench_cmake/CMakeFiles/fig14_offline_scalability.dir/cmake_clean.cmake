@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_offline_scalability"
+  "../bench/fig14_offline_scalability.pdb"
+  "CMakeFiles/fig14_offline_scalability.dir/bench_util.cc.o"
+  "CMakeFiles/fig14_offline_scalability.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig14_offline_scalability.dir/fig14_offline_scalability.cc.o"
+  "CMakeFiles/fig14_offline_scalability.dir/fig14_offline_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_offline_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_multi_expressions"
+  "../bench/fig15_multi_expressions.pdb"
+  "CMakeFiles/fig15_multi_expressions.dir/bench_util.cc.o"
+  "CMakeFiles/fig15_multi_expressions.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig15_multi_expressions.dir/fig15_multi_expressions.cc.o"
+  "CMakeFiles/fig15_multi_expressions.dir/fig15_multi_expressions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_multi_expressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_micro_false_positives"
+  "../bench/fig6_micro_false_positives.pdb"
+  "CMakeFiles/fig6_micro_false_positives.dir/bench_util.cc.o"
+  "CMakeFiles/fig6_micro_false_positives.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig6_micro_false_positives.dir/fig6_micro_false_positives.cc.o"
+  "CMakeFiles/fig6_micro_false_positives.dir/fig6_micro_false_positives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_micro_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_micro_overheads"
+  "../bench/fig7_micro_overheads.pdb"
+  "CMakeFiles/fig7_micro_overheads.dir/bench_util.cc.o"
+  "CMakeFiles/fig7_micro_overheads.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig7_micro_overheads.dir/fig7_micro_overheads.cc.o"
+  "CMakeFiles/fig7_micro_overheads.dir/fig7_micro_overheads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_micro_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_audit_cardinality"
+  "../bench/fig8_audit_cardinality.pdb"
+  "CMakeFiles/fig8_audit_cardinality.dir/bench_util.cc.o"
+  "CMakeFiles/fig8_audit_cardinality.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig8_audit_cardinality.dir/fig8_audit_cardinality.cc.o"
+  "CMakeFiles/fig8_audit_cardinality.dir/fig8_audit_cardinality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_audit_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

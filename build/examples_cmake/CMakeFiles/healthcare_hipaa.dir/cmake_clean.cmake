@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/healthcare_hipaa"
+  "../examples/healthcare_hipaa.pdb"
+  "CMakeFiles/healthcare_hipaa.dir/healthcare_hipaa.cpp.o"
+  "CMakeFiles/healthcare_hipaa.dir/healthcare_hipaa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_hipaa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/insider_threat"
+  "../examples/insider_threat.pdb"
+  "CMakeFiles/insider_threat.dir/insider_threat.cpp.o"
+  "CMakeFiles/insider_threat.dir/insider_threat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_threat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

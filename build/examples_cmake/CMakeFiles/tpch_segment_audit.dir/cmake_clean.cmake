@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/tpch_segment_audit"
+  "../examples/tpch_segment_audit.pdb"
+  "CMakeFiles/tpch_segment_audit.dir/tpch_segment_audit.cpp.o"
+  "CMakeFiles/tpch_segment_audit.dir/tpch_segment_audit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_segment_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

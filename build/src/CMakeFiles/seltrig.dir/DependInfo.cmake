@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/accessed_state.cc" "src/CMakeFiles/seltrig.dir/audit/accessed_state.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/audit/accessed_state.cc.o.d"
+  "/root/repo/src/audit/audit_expression.cc" "src/CMakeFiles/seltrig.dir/audit/audit_expression.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/audit/audit_expression.cc.o.d"
+  "/root/repo/src/audit/audit_log.cc" "src/CMakeFiles/seltrig.dir/audit/audit_log.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/audit/audit_log.cc.o.d"
+  "/root/repo/src/audit/offline_auditor.cc" "src/CMakeFiles/seltrig.dir/audit/offline_auditor.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/audit/offline_auditor.cc.o.d"
+  "/root/repo/src/audit/placement.cc" "src/CMakeFiles/seltrig.dir/audit/placement.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/audit/placement.cc.o.d"
+  "/root/repo/src/audit/rewrite_auditor.cc" "src/CMakeFiles/seltrig.dir/audit/rewrite_auditor.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/audit/rewrite_auditor.cc.o.d"
+  "/root/repo/src/audit/static_auditor.cc" "src/CMakeFiles/seltrig.dir/audit/static_auditor.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/audit/static_auditor.cc.o.d"
+  "/root/repo/src/audit/trigger.cc" "src/CMakeFiles/seltrig.dir/audit/trigger.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/audit/trigger.cc.o.d"
+  "/root/repo/src/binder/binder.cc" "src/CMakeFiles/seltrig.dir/binder/binder.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/binder/binder.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/seltrig.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/bloom_filter.cc" "src/CMakeFiles/seltrig.dir/common/bloom_filter.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/common/bloom_filter.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/seltrig.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/seltrig.dir/common/status.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/seltrig.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/common/string_util.cc.o.d"
+  "/root/repo/src/engine/csv_loader.cc" "src/CMakeFiles/seltrig.dir/engine/csv_loader.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/engine/csv_loader.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/seltrig.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/snapshot.cc" "src/CMakeFiles/seltrig.dir/engine/snapshot.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/engine/snapshot.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/seltrig.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/seltrig.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/seltrig.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/exec/operators.cc.o.d"
+  "/root/repo/src/expr/analysis.cc" "src/CMakeFiles/seltrig.dir/expr/analysis.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/expr/analysis.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/seltrig.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/seltrig.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/expr/expr.cc.o.d"
+  "/root/repo/src/optimizer/column_pruning.cc" "src/CMakeFiles/seltrig.dir/optimizer/column_pruning.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/optimizer/column_pruning.cc.o.d"
+  "/root/repo/src/optimizer/join_reorder.cc" "src/CMakeFiles/seltrig.dir/optimizer/join_reorder.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/optimizer/join_reorder.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/seltrig.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/seltrig.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/seltrig.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/seltrig.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/seltrig.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/storage/table.cc.o.d"
+  "/root/repo/src/tpch/dbgen.cc" "src/CMakeFiles/seltrig.dir/tpch/dbgen.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/tpch/dbgen.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/CMakeFiles/seltrig.dir/tpch/queries.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/tpch/queries.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/seltrig.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/date.cc" "src/CMakeFiles/seltrig.dir/types/date.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/types/date.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/seltrig.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/seltrig.dir/types/value.cc.o" "gcc" "src/CMakeFiles/seltrig.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/audit/accessed_state_test.cc" "tests/CMakeFiles/audit_test.dir/audit/accessed_state_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/accessed_state_test.cc.o.d"
+  "/root/repo/tests/audit/audit_expression_test.cc" "tests/CMakeFiles/audit_test.dir/audit/audit_expression_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/audit_expression_test.cc.o.d"
+  "/root/repo/tests/audit/audit_log_test.cc" "tests/CMakeFiles/audit_test.dir/audit/audit_log_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/audit_log_test.cc.o.d"
+  "/root/repo/tests/audit/offline_auditor_test.cc" "tests/CMakeFiles/audit_test.dir/audit/offline_auditor_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/offline_auditor_test.cc.o.d"
+  "/root/repo/tests/audit/optimizer_guard_test.cc" "tests/CMakeFiles/audit_test.dir/audit/optimizer_guard_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/optimizer_guard_test.cc.o.d"
+  "/root/repo/tests/audit/placement_test.cc" "tests/CMakeFiles/audit_test.dir/audit/placement_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/placement_test.cc.o.d"
+  "/root/repo/tests/audit/rewrite_auditor_test.cc" "tests/CMakeFiles/audit_test.dir/audit/rewrite_auditor_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/rewrite_auditor_test.cc.o.d"
+  "/root/repo/tests/audit/select_trigger_test.cc" "tests/CMakeFiles/audit_test.dir/audit/select_trigger_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/select_trigger_test.cc.o.d"
+  "/root/repo/tests/audit/self_join_test.cc" "tests/CMakeFiles/audit_test.dir/audit/self_join_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/self_join_test.cc.o.d"
+  "/root/repo/tests/audit/static_auditor_test.cc" "tests/CMakeFiles/audit_test.dir/audit/static_auditor_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/static_auditor_test.cc.o.d"
+  "/root/repo/tests/audit/trigger_manager_test.cc" "tests/CMakeFiles/audit_test.dir/audit/trigger_manager_test.cc.o" "gcc" "tests/CMakeFiles/audit_test.dir/audit/trigger_manager_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seltrig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

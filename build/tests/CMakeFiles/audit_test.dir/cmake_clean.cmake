@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_test.dir/audit/accessed_state_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/accessed_state_test.cc.o.d"
+  "CMakeFiles/audit_test.dir/audit/audit_expression_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/audit_expression_test.cc.o.d"
+  "CMakeFiles/audit_test.dir/audit/audit_log_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/audit_log_test.cc.o.d"
+  "CMakeFiles/audit_test.dir/audit/offline_auditor_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/offline_auditor_test.cc.o.d"
+  "CMakeFiles/audit_test.dir/audit/optimizer_guard_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/optimizer_guard_test.cc.o.d"
+  "CMakeFiles/audit_test.dir/audit/placement_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/placement_test.cc.o.d"
+  "CMakeFiles/audit_test.dir/audit/rewrite_auditor_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/rewrite_auditor_test.cc.o.d"
+  "CMakeFiles/audit_test.dir/audit/select_trigger_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/select_trigger_test.cc.o.d"
+  "CMakeFiles/audit_test.dir/audit/self_join_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/self_join_test.cc.o.d"
+  "CMakeFiles/audit_test.dir/audit/static_auditor_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/static_auditor_test.cc.o.d"
+  "CMakeFiles/audit_test.dir/audit/trigger_manager_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit/trigger_manager_test.cc.o.d"
+  "audit_test"
+  "audit_test.pdb"
+  "audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/csv_loader_test.cc" "tests/CMakeFiles/engine_test.dir/engine/csv_loader_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/csv_loader_test.cc.o.d"
+  "/root/repo/tests/engine/dml_test.cc" "tests/CMakeFiles/engine_test.dir/engine/dml_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/dml_test.cc.o.d"
+  "/root/repo/tests/engine/join_reorder_test.cc" "tests/CMakeFiles/engine_test.dir/engine/join_reorder_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/join_reorder_test.cc.o.d"
+  "/root/repo/tests/engine/optimizer_test.cc" "tests/CMakeFiles/engine_test.dir/engine/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/optimizer_test.cc.o.d"
+  "/root/repo/tests/engine/pruning_test.cc" "tests/CMakeFiles/engine_test.dir/engine/pruning_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/pruning_test.cc.o.d"
+  "/root/repo/tests/engine/query_test.cc" "tests/CMakeFiles/engine_test.dir/engine/query_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/query_test.cc.o.d"
+  "/root/repo/tests/engine/snapshot_test.cc" "tests/CMakeFiles/engine_test.dir/engine/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/snapshot_test.cc.o.d"
+  "/root/repo/tests/engine/sql_surface_test.cc" "tests/CMakeFiles/engine_test.dir/engine/sql_surface_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/sql_surface_test.cc.o.d"
+  "/root/repo/tests/engine/subquery_test.cc" "tests/CMakeFiles/engine_test.dir/engine/subquery_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/subquery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seltrig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/csv_loader_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/csv_loader_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/dml_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/dml_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/join_reorder_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/join_reorder_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/optimizer_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/optimizer_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/pruning_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/pruning_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/query_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/query_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/snapshot_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/snapshot_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/sql_surface_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/sql_surface_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/subquery_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/subquery_test.cc.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

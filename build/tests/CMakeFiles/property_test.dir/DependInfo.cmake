@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/audit_dml_property_test.cc" "tests/CMakeFiles/property_test.dir/property/audit_dml_property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property/audit_dml_property_test.cc.o.d"
+  "/root/repo/tests/property/engine_property_test.cc" "tests/CMakeFiles/property_test.dir/property/engine_property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property/engine_property_test.cc.o.d"
+  "/root/repo/tests/property/parser_fuzz_test.cc" "tests/CMakeFiles/property_test.dir/property/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/property/placement_property_test.cc" "tests/CMakeFiles/property_test.dir/property/placement_property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property/placement_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/seltrig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

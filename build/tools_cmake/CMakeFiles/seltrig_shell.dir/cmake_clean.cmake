@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/seltrig_shell"
+  "../tools/seltrig_shell.pdb"
+  "CMakeFiles/seltrig_shell.dir/seltrig_shell.cc.o"
+  "CMakeFiles/seltrig_shell.dir/seltrig_shell.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seltrig_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -14,12 +14,36 @@
 
 namespace seltrig {
 
+// What happens when a query's ACCESSED set for one audit expression exceeds
+// the configured cap (ExecOptions::guards.max_accessed_ids).
+enum class AccessedOverflowPolicy {
+  // Abort the query with kResourceExhausted: no result leaves the engine
+  // with an incomplete audit trail (the fail-closed choice).
+  kFail,
+  // Stop recording, mark the state overflowed, and let the engine surface
+  // the truncation (a seltrig_audit_errors row when triggers fire).
+  kTruncate,
+};
+
 // The set of audited partition-by IDs for one audit expression. When a plan
 // contains multiple audit operators for the same expression (e.g. one inside
 // a subquery), the state is their union (Section III-C).
 class AccessedState {
  public:
-  void Record(const Value& id) { ids_.insert(id); }
+  // Records `id`. Returns false iff the capacity cap rejected a new ID (the
+  // state is then marked overflowed and the caller applies the policy).
+  bool Record(const Value& id) {
+    if (capacity_ > 0 && ids_.size() >= capacity_ && ids_.count(id) == 0) {
+      overflowed_ = true;
+      return false;
+    }
+    ids_.insert(id);
+    return true;
+  }
+
+  // Maximum number of distinct IDs to hold; 0 = unlimited.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  bool overflowed() const { return overflowed_; }
 
   bool Contains(const Value& id) const { return ids_.count(id) > 0; }
   size_t size() const { return ids_.size(); }
@@ -34,6 +58,8 @@ class AccessedState {
 
  private:
   std::unordered_set<Value, ValueHash, ValueEq> ids_;
+  size_t capacity_ = 0;
+  bool overflowed_ = false;
 };
 
 // All ACCESSED states of one query execution, keyed by audit expression name
@@ -41,8 +67,18 @@ class AccessedState {
 // ExecContext so physical audit operators can record into it.
 class AccessedStateRegistry {
  public:
+  // Per-expression cardinality cap and overflow policy, applied to states as
+  // they are created (ExecOptions::guards).
+  void set_limits(size_t capacity, AccessedOverflowPolicy policy) {
+    capacity_ = capacity;
+    overflow_policy_ = policy;
+  }
+  AccessedOverflowPolicy overflow_policy() const { return overflow_policy_; }
+
   AccessedState& GetOrCreate(const std::string& audit_name) {
-    return states_[audit_name];
+    auto [it, inserted] = states_.try_emplace(audit_name);
+    if (inserted) it->second.set_capacity(capacity_);
+    return it->second;
   }
   const AccessedState* Find(const std::string& audit_name) const {
     auto it = states_.find(audit_name);
@@ -55,6 +91,8 @@ class AccessedStateRegistry {
 
  private:
   std::unordered_map<std::string, AccessedState> states_;
+  size_t capacity_ = 0;
+  AccessedOverflowPolicy overflow_policy_ = AccessedOverflowPolicy::kFail;
 };
 
 }  // namespace seltrig

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "binder/binder.h"
+#include "common/fault_injector.h"
 #include "common/string_util.h"
 #include "exec/executor.h"
 #include "expr/evaluator.h"
@@ -164,6 +165,7 @@ Status AuditManager::MaintainRow(AuditExpressionDef* def, const std::string& tab
 }
 
 Status AuditManager::OnInsert(const std::string& table, const Row& row) {
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("audit.maintain"));
   for (auto& [name, def] : defs_) {
     SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, row, /*inserted=*/true));
   }
@@ -171,6 +173,7 @@ Status AuditManager::OnInsert(const std::string& table, const Row& row) {
 }
 
 Status AuditManager::OnDelete(const std::string& table, const Row& row) {
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("audit.maintain"));
   for (auto& [name, def] : defs_) {
     SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, row, /*inserted=*/false));
   }
@@ -179,6 +182,7 @@ Status AuditManager::OnDelete(const std::string& table, const Row& row) {
 
 Status AuditManager::OnUpdate(const std::string& table, const Row& old_row,
                               const Row& new_row) {
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("audit.maintain"));
   for (auto& [name, def] : defs_) {
     SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, old_row, /*inserted=*/false));
     SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, new_row, /*inserted=*/true));

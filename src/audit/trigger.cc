@@ -28,6 +28,38 @@ const TriggerDef* TriggerManager::Find(const std::string& name) const {
   return it == triggers_.end() ? nullptr : it->second.get();
 }
 
+TriggerDef* TriggerManager::FindMutable(const std::string& name) {
+  auto it = triggers_.find(ToLower(name));
+  return it == triggers_.end() ? nullptr : it->second.get();
+}
+
+Status TriggerManager::Quarantine(const std::string& name) {
+  TriggerDef* def = FindMutable(name);
+  if (def == nullptr) return Status::NotFound("trigger not found: " + name);
+  def->enabled = false;
+  def->quarantined = true;
+  return Status::OK();
+}
+
+Status TriggerManager::Rearm(const std::string& name) {
+  TriggerDef* def = FindMutable(name);
+  if (def == nullptr) return Status::NotFound("trigger not found: " + name);
+  def->enabled = true;
+  def->quarantined = false;
+  def->consecutive_failures = 0;
+  return Status::OK();
+}
+
+std::vector<const TriggerDef*> TriggerManager::Quarantined() const {
+  std::vector<const TriggerDef*> out;
+  for (const auto& [name, def] : triggers_) {
+    if (def->quarantined) out.push_back(def.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TriggerDef* a, const TriggerDef* b) { return a->name < b->name; });
+  return out;
+}
+
 std::vector<TriggerDef*> TriggerManager::SelectTriggersFor(
     const std::string& audit_expression) {
   std::vector<TriggerDef*> out;

@@ -29,6 +29,12 @@ struct TriggerDef {
   ast::DmlEvent event = ast::DmlEvent::kInsert;
   std::vector<ast::StatementPtr> actions;  // parsed once at CREATE TRIGGER
   bool enabled = true;
+  // Circuit-breaker state (ExecOptions::guards.quarantine_after): runs of the
+  // action list that failed with no intervening success. Once the threshold
+  // is crossed under the fail-open policy the trigger is quarantined --
+  // disabled and excluded from firing until re-created or re-armed.
+  int consecutive_failures = 0;
+  bool quarantined = false;
 };
 
 class TriggerManager {
@@ -41,6 +47,17 @@ class TriggerManager {
   Status DropTrigger(const std::string& name);
 
   const TriggerDef* Find(const std::string& name) const;
+  TriggerDef* FindMutable(const std::string& name);
+
+  // Quarantines `name`: disables it and marks it quarantined. NotFound if no
+  // such trigger.
+  Status Quarantine(const std::string& name);
+
+  // Clears quarantine and the failure counter, re-enabling the trigger.
+  Status Rearm(const std::string& name);
+
+  // Every quarantined trigger, sorted by name.
+  std::vector<const TriggerDef*> Quarantined() const;
 
   // SELECT triggers registered on `audit_expression`.
   std::vector<TriggerDef*> SelectTriggersFor(const std::string& audit_expression);

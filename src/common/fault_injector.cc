@@ -1,0 +1,61 @@
+#include "common/fault_injector.h"
+
+namespace seltrig {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::Arm(const std::string& point, Schedule schedule) {
+  PointState& state = points_[point];
+  state.schedule = std::move(schedule);
+  state.armed_hits = 0;
+  state.fires = 0;
+  Enable(true);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  auto it = points_.find(point);
+  if (it == points_.end()) return;
+  it->second.schedule.reset();
+  it->second.armed_hits = 0;
+  it->second.fires = 0;
+}
+
+void FaultInjector::Reset() {
+  points_.clear();
+  suspend_depth_ = 0;
+  Enable(false);
+}
+
+uint64_t FaultInjector::hits(const std::string& point) const {
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::fires(const std::string& point) const {
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+Status FaultInjector::Check(const char* point) {
+  if (suspend_depth_ > 0) return Status::OK();
+  PointState& state = points_[point];
+  ++state.hits;
+  if (!state.schedule.has_value()) return Status::OK();
+  const Schedule& sched = *state.schedule;
+  ++state.armed_hits;
+  if (sched.times != 0 && state.fires >= sched.times) return Status::OK();
+  bool fire = state.armed_hits == sched.nth ||
+              (sched.every > 0 && state.armed_hits > sched.nth &&
+               (state.armed_hits - sched.nth) % sched.every == 0);
+  if (!fire) return Status::OK();
+  ++state.fires;
+  std::string message = sched.message.empty()
+                            ? "injected fault at '" + std::string(point) + "'"
+                            : sched.message;
+  return Status(sched.code, std::move(message));
+}
+
+}  // namespace seltrig

@@ -1,0 +1,152 @@
+// FaultInjector: scriptable fault points for robustness testing.
+//
+// Production code marks failure-prone operations with a named fault point:
+//
+//   SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.append"));
+//
+// By default nothing is armed and the injector is disabled, so Maybe() is a
+// single relaxed atomic load. Tests arm deterministic schedules (fail the
+// Nth hit, fail every K-th hit, fail once, fail always) and the marked
+// operation then returns an injected error Status at exactly the scheduled
+// hits. Building with -DSELTRIG_DISABLE_FAULT_INJECTION compiles every fault
+// point down to `return Status::OK()`.
+//
+// Like the rest of the engine, the injector models a single session and is
+// not thread-safe.
+
+#ifndef SELTRIG_COMMON_FAULT_INJECTOR_H_
+#define SELTRIG_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.h"
+
+namespace seltrig {
+
+class FaultInjector {
+ public:
+  // When to fire, expressed over the 1-based hit count of the point since it
+  // was armed: fires at hit `nth`, then (if `every` > 0) at every `every`-th
+  // hit after that, for at most `times` activations (0 = unlimited).
+  struct Schedule {
+    uint64_t nth = 1;
+    uint64_t every = 0;
+    uint64_t times = 1;
+    ErrorCode code = ErrorCode::kExecutionError;
+    std::string message;  // empty = "injected fault at '<point>'"
+  };
+
+  // Canonical schedules used by the fault-matrix tests.
+  static Schedule FailOnce() { return Schedule{}; }
+  static Schedule FailNth(uint64_t n) {
+    Schedule s;
+    s.nth = n;
+    return s;
+  }
+  static Schedule FailEveryK(uint64_t k) {
+    Schedule s;
+    s.nth = k;
+    s.every = k;
+    s.times = 0;
+    return s;
+  }
+  static Schedule FailAlways() {
+    Schedule s;
+    s.every = 1;
+    s.times = 0;
+    return s;
+  }
+  static Schedule FailTimes(uint64_t n) {
+    Schedule s;
+    s.every = 1;
+    s.times = n;
+    return s;
+  }
+
+  static FaultInjector& Instance();
+
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Arms `point` with `schedule` (replacing any previous schedule and
+  // restarting its hit count) and enables the injector.
+  void Arm(const std::string& point, Schedule schedule);
+  void Disarm(const std::string& point);
+
+  // Disarms every point, zeroes all counters, clears suspension, disables.
+  void Reset();
+
+  // Temporarily masks all faults (rollback and error-recording paths must not
+  // themselves fault). Balanced via ScopedSuspend.
+  void Suspend() { ++suspend_depth_; }
+  void Resume() { --suspend_depth_; }
+
+  // Total hits observed at `point` while the injector was enabled.
+  uint64_t hits(const std::string& point) const;
+  // Number of times `point` actually fired.
+  uint64_t fires(const std::string& point) const;
+
+  // Counts a hit at `point` and returns the injected error when the armed
+  // schedule says this hit fires. Called via fault::Maybe().
+  Status Check(const char* point);
+
+ private:
+  struct PointState {
+    uint64_t hits = 0;        // lifetime hits (survives re-arming)
+    uint64_t armed_hits = 0;  // hits since the current schedule was armed
+    uint64_t fires = 0;       // activations of the current schedule
+    std::optional<Schedule> schedule;
+  };
+
+  std::atomic<bool> enabled_{false};
+  int suspend_depth_ = 0;
+  std::unordered_map<std::string, PointState> points_;
+};
+
+namespace fault {
+
+// The fault point marker. No-op unless the injector is enabled.
+inline Status Maybe(const char* point) {
+#ifdef SELTRIG_DISABLE_FAULT_INJECTION
+  (void)point;
+  return Status::OK();
+#else
+  FaultInjector& injector = FaultInjector::Instance();
+  if (!injector.enabled()) return Status::OK();
+  return injector.Check(point);
+#endif
+}
+
+// Arms a fault for the current scope; disarms on destruction.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultInjector::Schedule schedule)
+      : point_(std::move(point)) {
+    FaultInjector::Instance().Arm(point_, std::move(schedule));
+  }
+  ~ScopedFault() { FaultInjector::Instance().Disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+// Masks all faults for the current scope.
+class ScopedSuspend {
+ public:
+  ScopedSuspend() { FaultInjector::Instance().Suspend(); }
+  ~ScopedSuspend() { FaultInjector::Instance().Resume(); }
+  ScopedSuspend(const ScopedSuspend&) = delete;
+  ScopedSuspend& operator=(const ScopedSuspend&) = delete;
+};
+
+}  // namespace fault
+}  // namespace seltrig
+
+#endif  // SELTRIG_COMMON_FAULT_INJECTOR_H_

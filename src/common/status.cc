@@ -20,6 +20,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "ExecutionError";
     case ErrorCode::kUnsupported:
       return "Unsupported";
+    case ErrorCode::kResourceExhausted:
+      return "ResourceExhausted";
     case ErrorCode::kInternal:
       return "Internal";
   }

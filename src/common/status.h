@@ -26,6 +26,7 @@ enum class ErrorCode {
   kBindError,
   kExecutionError,
   kUnsupported,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(ErrorCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(ErrorCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(ErrorCode::kInternal, std::move(msg));

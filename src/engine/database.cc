@@ -1,8 +1,10 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "audit/accessed_state.h"
+#include "common/fault_injector.h"
 #include "common/string_util.h"
 #include "expr/evaluator.h"
 #include "sql/parser.h"
@@ -71,8 +73,10 @@ void Database::ConfigureBinder(Binder* binder, const ActionContext* action) cons
 Result<StatementResult> Database::ExecuteStatement(ast::Statement& stmt,
                                                    const ExecOptions& options, int depth,
                                                    const ActionContext* action) {
-  if (depth > kMaxTriggerDepth) {
-    return Status::ExecutionError("trigger cascade depth limit exceeded");
+  if (depth > options.guards.max_cascade_depth) {
+    return Status::ResourceExhausted(
+        "trigger cascade depth limit (" +
+        std::to_string(options.guards.max_cascade_depth) + ") exceeded");
   }
   switch (stmt.kind) {
     case ast::StatementKind::kSelect:
@@ -211,6 +215,11 @@ Result<StatementResult> Database::ExecuteSelect(const ast::SelectStatement& stmt
   // Execute.
   ExecContext ctx(&catalog_, &session_);
   AccessedStateRegistry registry;
+  registry.set_limits(
+      options.guards.max_accessed_ids > 0
+          ? static_cast<size_t>(options.guards.max_accessed_ids)
+          : 0,
+      options.guards.overflow_policy);
   ctx.set_accessed(&registry);
   Executor executor(&ctx);
   // Trigger-action SELECTs execute with the pseudo-row visible.
@@ -242,6 +251,10 @@ Result<StatementResult> Database::ExecuteSelect(const ast::SelectStatement& stmt
   for (const auto& [name, state] : registry.states()) {
     result.accessed[name] = state.SortedIds();
   }
+
+  // An ACCESSED set truncated under AccessedOverflowPolicy::kTruncate is a
+  // (deliberate, bounded) audit loss; account for it before triggers fire.
+  RecordAccessedOverflows(registry);
 
   // Fire SELECT triggers. BEFORE triggers run first: an error in their
   // actions (RAISE) denies the query and the result never reaches the
@@ -279,14 +292,152 @@ Status Database::FireSelectTriggers(const AccessedStateRegistry& registry,
 
     for (TriggerDef* trigger : triggers_.SelectTriggersFor(name)) {
       if (trigger->before != before_phase) continue;
-      for (ast::StatementPtr& stmt : trigger->actions) {
-        Result<StatementResult> result =
-            ExecuteStatement(*stmt, options, depth + 1, &action);
-        SELTRIG_RETURN_IF_ERROR(result.status());
-      }
+      SELTRIG_RETURN_IF_ERROR(RunTriggerGuarded(trigger, options, depth, &action));
     }
   }
   return Status::OK();
+}
+
+// --- Guarded trigger execution ------------------------------------------------
+
+Database::TriggerTxnScope::TriggerTxnScope(Database* db) : db_(db) {
+  if (db_->trigger_txn_depth_++ > 0) return;  // nested scopes share the log
+  for (const std::string& name : db_->catalog_.TableNames()) {
+    // The loss-accounting table stays outside the transactional scope: its
+    // rows must survive any rollback.
+    if (name == kAuditErrorsTable) continue;
+    Result<Table*> table = db_->catalog_.GetTable(name);
+    if (table.ok()) (*table)->set_undo_log(&db_->trigger_undo_);
+  }
+}
+
+Database::TriggerTxnScope::~TriggerTxnScope() {
+  if (--db_->trigger_txn_depth_ > 0) return;
+  for (const std::string& name : db_->catalog_.TableNames()) {
+    Result<Table*> table = db_->catalog_.GetTable(name);
+    if (table.ok()) (*table)->set_undo_log(nullptr);
+  }
+  db_->trigger_undo_.Clear();
+}
+
+Status Database::RunTriggerActions(TriggerDef* trigger, const ExecOptions& options,
+                                   int depth, const ActionContext* action) {
+  for (ast::StatementPtr& stmt : trigger->actions) {
+    SELTRIG_RETURN_IF_ERROR(fault::Maybe("trigger.action"));
+    Result<StatementResult> result = ExecuteStatement(*stmt, options, depth + 1, action);
+    SELTRIG_RETURN_IF_ERROR(result.status());
+  }
+  return Status::OK();
+}
+
+Status Database::RollbackTriggerWrites(size_t savepoint) {
+  // Rollback and view rebuilds must not themselves hit fault points, or a
+  // single injected failure could corrupt the engine instead of isolating
+  // the trigger.
+  fault::ScopedSuspend suspend;
+  std::vector<std::string> touched;
+  SELTRIG_RETURN_IF_ERROR(trigger_undo_.RollbackTo(savepoint, &touched));
+  if (touched.empty()) return Status::OK();
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  // Sensitive-ID views were maintained incrementally while the now-undone
+  // rows were written; rebuild every view over a touched table.
+  for (const AuditExpressionDef* def : audit_.All()) {
+    bool affected = false;
+    for (const std::string& table : def->referenced_tables()) {
+      affected = affected || std::binary_search(touched.begin(), touched.end(), table);
+    }
+    if (!affected) continue;
+    SELTRIG_RETURN_IF_ERROR(audit_.RebuildView(audit_.FindMutable(def->name())));
+  }
+  return Status::OK();
+}
+
+Status Database::RunTriggerGuarded(TriggerDef* trigger, const ExecOptions& options,
+                                   int depth, const ActionContext* action) {
+  // BEFORE-phase triggers always fail closed: erroring (RAISE) is how they
+  // deny a query, so their failures propagate untouched -- but only after
+  // their partial writes are rolled back.
+  bool fail_open = !trigger->before &&
+                   options.audit_failure_policy == AuditFailurePolicy::kFailOpen;
+  int attempts = 1 + (fail_open ? std::max(0, options.guards.fail_open_retries) : 0);
+
+  TriggerTxnScope txn(this);
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    size_t savepoint = trigger_undo_.Savepoint();
+    last = RunTriggerActions(trigger, options, depth, action);
+    if (last.ok()) {
+      trigger->consecutive_failures = 0;
+      return Status::OK();
+    }
+    // The audit log must never hold a partial action list: undo this run
+    // before retrying or reporting. A failed rollback is an engine-invariant
+    // violation and always aborts the statement.
+    SELTRIG_RETURN_IF_ERROR(RollbackTriggerWrites(savepoint));
+  }
+  if (trigger->before) return last;
+
+  ++trigger->consecutive_failures;
+  bool quarantined = false;
+  if (fail_open && options.guards.quarantine_after > 0 &&
+      trigger->consecutive_failures >= options.guards.quarantine_after) {
+    (void)triggers_.Quarantine(trigger->name);
+    quarantined = true;
+    notifications_.push_back(
+        "trigger '" + trigger->name + "' quarantined after " +
+        std::to_string(trigger->consecutive_failures) +
+        " consecutive failures: " + last.ToString());
+  }
+  RecordAuditError(trigger->name, last, attempts, quarantined);
+  return fail_open ? Status::OK() : last;
+}
+
+void Database::RecordAuditError(const std::string& trigger_name, const Status& error,
+                                int attempts, bool quarantined) {
+  // Loss accounting must be as reliable as we can make it: no fault points,
+  // no undo scope (the table is excluded in TriggerTxnScope), best-effort
+  // otherwise.
+  fault::ScopedSuspend suspend;
+  Table* table = nullptr;
+  if (catalog_.HasTable(kAuditErrorsTable)) {
+    Result<Table*> found = catalog_.GetTable(kAuditErrorsTable);
+    if (!found.ok()) return;
+    table = *found;
+  } else {
+    Schema schema;
+    auto add_col = [&schema](const char* name, TypeId type) {
+      Column col;
+      col.name = name;
+      col.type = type;
+      schema.AddColumn(col);
+    };
+    add_col("ts", TypeId::kString);
+    add_col("userid", TypeId::kString);
+    add_col("trigger_name", TypeId::kString);
+    add_col("sql", TypeId::kString);
+    add_col("error", TypeId::kString);
+    add_col("attempts", TypeId::kInt);
+    add_col("quarantined", TypeId::kBool);
+    Result<Table*> created = catalog_.CreateTable(kAuditErrorsTable, std::move(schema));
+    if (!created.ok()) return;
+    table = *created;
+  }
+  Row row = {Value::String(session_.now),        Value::String(session_.user),
+             Value::String(trigger_name),        Value::String(session_.sql_text),
+             Value::String(error.ToString()),    Value::Int(attempts),
+             Value::Bool(quarantined)};
+  (void)table->Insert(std::move(row));
+}
+
+void Database::RecordAccessedOverflows(const AccessedStateRegistry& registry) {
+  for (const auto& [name, state] : registry.states()) {
+    if (!state.overflowed()) continue;
+    RecordAuditError("accessed:" + name,
+                     Status::ResourceExhausted(
+                         "ACCESSED cardinality cap reached; audit trail truncated"),
+                     /*attempts=*/1, /*quarantined=*/false);
+  }
 }
 
 // --- DML ----------------------------------------------------------------------
@@ -496,11 +647,8 @@ Status Database::FireDmlTriggers(const std::string& table, ast::DmlEvent event,
     action.row_schema = &row_schema;
     action.row = &pseudo;
     for (TriggerDef* trigger : triggers) {
-      for (ast::StatementPtr& stmt : trigger->actions) {
-        Result<StatementResult> result =
-            ExecuteStatement(*stmt, options, depth + 1, &action);
-        SELTRIG_RETURN_IF_ERROR(result.status());
-      }
+      if (!trigger->enabled) continue;  // quarantined mid-statement
+      SELTRIG_RETURN_IF_ERROR(RunTriggerGuarded(trigger, options, depth, &action));
     }
   }
   return Status::OK();

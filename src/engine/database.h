@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/accessed_state.h"
 #include "audit/audit_expression.h"
 #include "audit/placement.h"
 #include "audit/trigger.h"
@@ -24,8 +25,39 @@
 #include "optimizer/optimizer.h"
 #include "plan/logical_plan.h"
 #include "sql/ast.h"
+#include "storage/undo_log.h"
 
 namespace seltrig {
+
+// What a failed *audit* action does to the audited statement. Applies to
+// AFTER-phase SELECT triggers and to DML triggers; BEFORE-phase SELECT
+// triggers always fail closed (erroring is how they deny a query).
+enum class AuditFailurePolicy {
+  // Abort the whole statement: no result (or DML effect) is released without
+  // its audit record. The compliance default.
+  kFailClosed,
+  // Let the statement succeed; the failed trigger run is rolled back,
+  // retried up to `TriggerGuards::fail_open_retries` times, and on giving up
+  // the loss is recorded in the `seltrig_audit_errors` side table.
+  kFailOpen,
+};
+
+// Runaway and failure-isolation guards for the trigger pipeline.
+struct TriggerGuards {
+  // Maximum trigger-cascade depth; deeper recursion returns
+  // kResourceExhausted instead of recursing unboundedly.
+  int max_cascade_depth = 16;
+  // Per-expression cap on the ACCESSED set's distinct IDs; 0 = unlimited.
+  // Overflow behavior is `overflow_policy` (see AccessedOverflowPolicy).
+  int64_t max_accessed_ids = 0;
+  AccessedOverflowPolicy overflow_policy = AccessedOverflowPolicy::kFail;
+  // Extra attempts for a failed trigger run under kFailOpen (each attempt
+  // rolls back before retrying). 0 = no retries.
+  int fail_open_retries = 2;
+  // Circuit breaker: quarantine (disable + record) a trigger after this many
+  // consecutive failed runs under kFailOpen. 0 = never quarantine.
+  int quarantine_after = 3;
+};
 
 // Per-statement execution options. The defaults give the paper's recommended
 // configuration: hcn placement, ID-view probing, audit-aware optimizer.
@@ -53,6 +85,10 @@ struct ExecOptions {
   // Run the post-placement rule pass (contradiction detection + IN-subquery
   // simplification over the instrumented plan).
   bool run_post_placement_rules = true;
+  // Failure handling for the audit pipeline (trigger actions run inside an
+  // undo-logged scope and commit or roll back atomically either way).
+  AuditFailurePolicy audit_failure_policy = AuditFailurePolicy::kFailClosed;
+  TriggerGuards guards;
 };
 
 struct StatementResult {
@@ -98,6 +134,10 @@ class Database {
   const std::vector<std::string>& notifications() const { return notifications_; }
   void ClearNotifications() { notifications_.clear(); }
 
+  // Name of the fail-open loss-accounting side table (created on demand):
+  // (ts, userid, trigger_name, sql, error, attempts, quarantined).
+  static constexpr const char* kAuditErrorsTable = "seltrig_audit_errors";
+
  private:
   // Extra binding context for trigger actions: the ACCESSED relation (SELECT
   // triggers) and/or the NEW/OLD pseudo-row (DML triggers).
@@ -106,8 +146,6 @@ class Database {
     const Schema* row_schema = nullptr;      // NEW/OLD columns
     const Row* row = nullptr;
   };
-
-  static constexpr int kMaxTriggerDepth = 8;
 
   Result<StatementResult> ExecuteStatement(ast::Statement& stmt,
                                            const ExecOptions& options, int depth,
@@ -155,13 +193,46 @@ class Database {
                          const std::vector<Row>& new_rows, const ExecOptions& options,
                          int depth);
 
+  // Runs one trigger's action list inside an undo-logged scope: on any
+  // failure the scope's writes are rolled back, then the failure policy
+  // decides between abort (fail-closed / BEFORE phase), bounded retry, and
+  // loss accounting + quarantine (fail-open).
+  Status RunTriggerGuarded(TriggerDef* trigger, const ExecOptions& options, int depth,
+                           const ActionContext* action);
+  // The action list itself (one undo savepoint's worth of work).
+  Status RunTriggerActions(TriggerDef* trigger, const ExecOptions& options, int depth,
+                           const ActionContext* action);
+  // Undoes trigger writes back to `savepoint` and rebuilds the sensitive-ID
+  // views of audit expressions over the touched tables.
+  Status RollbackTriggerWrites(size_t savepoint);
+  // Appends a row to seltrig_audit_errors (durable: bypasses the undo scope
+  // and fault injection). Best-effort by design.
+  void RecordAuditError(const std::string& trigger_name, const Status& error,
+                        int attempts, bool quarantined);
+  // Records ACCESSED-cap truncations (AccessedOverflowPolicy::kTruncate) for
+  // every overflowed state in `registry`.
+  void RecordAccessedOverflows(const AccessedStateRegistry& registry);
+
   Status CoerceRowToSchema(const Schema& schema, Row* row, const std::string& what) const;
+
+  // RAII scope that attaches the trigger undo log to every table while any
+  // guarded trigger run is active (scopes nest via savepoints).
+  class TriggerTxnScope {
+   public:
+    explicit TriggerTxnScope(Database* db);
+    ~TriggerTxnScope();
+
+   private:
+    Database* db_;
+  };
 
   Catalog catalog_;
   SessionContext session_;
   AuditManager audit_;
   TriggerManager triggers_;
   std::vector<std::string> notifications_;
+  UndoLog trigger_undo_;
+  int trigger_txn_depth_ = 0;
 };
 
 }  // namespace seltrig

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/fault_injector.h"
 #include "engine/csv_loader.h"
 #include "types/date.h"
 
@@ -62,14 +63,15 @@ std::string CsvField(const Value& v) {
 
 }  // namespace
 
-Status SaveSnapshot(Database* db, const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) return Status::InvalidArgument("cannot create directory " + dir);
+namespace {
 
+// Writes schema.sql plus one CSV per table into `dir`, probing the
+// `snapshot.write` fault point before each file.
+Status WriteSnapshotFiles(Database* db, const std::string& dir) {
   std::vector<std::string> tables = db->catalog()->TableNames();
   std::sort(tables.begin(), tables.end());
 
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.write"));
   std::ofstream schema_out(dir + "/schema.sql");
   if (!schema_out) return Status::InvalidArgument("cannot write " + dir + "/schema.sql");
 
@@ -87,6 +89,7 @@ Status SaveSnapshot(Database* db, const std::string& dir) {
     }
     schema_out << ");\n";
 
+    SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.write"));
     std::ofstream csv(dir + "/" + name + ".csv");
     if (!csv) return Status::InvalidArgument("cannot write " + dir + "/" + name + ".csv");
     for (size_t c = 0; c < schema.size(); ++c) {
@@ -103,6 +106,43 @@ Status SaveSnapshot(Database* db, const std::string& dir) {
       }
       csv << '\n';
     }
+    if (!csv) return Status::InvalidArgument("write failed for " + dir + "/" + name + ".csv");
+  }
+  schema_out.flush();
+  if (!schema_out) return Status::InvalidArgument("write failed for " + dir + "/schema.sql");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSnapshot(Database* db, const std::string& dir) {
+  // Fail-closed snapshotting: write into a temporary sibling directory and
+  // swap it into place only once every file is complete, so a failure mid-way
+  // (crash, full disk, injected fault) never leaves a half-written snapshot
+  // where a later LoadSnapshot would find it. The target directory is
+  // replaced wholesale on success.
+  if (dir.empty()) return Status::InvalidArgument("snapshot directory is empty");
+  const std::string tmp = dir + ".inprogress";
+  std::error_code ec;
+  std::filesystem::remove_all(tmp, ec);
+  std::filesystem::create_directories(tmp, ec);
+  if (ec) return Status::InvalidArgument("cannot create directory " + tmp);
+
+  Status written = WriteSnapshotFiles(db, tmp);
+  if (!written.ok()) {
+    std::filesystem::remove_all(tmp, ec);
+    return written;
+  }
+
+  std::filesystem::remove_all(dir, ec);
+  if (ec) {
+    std::filesystem::remove_all(tmp, ec);
+    return Status::InvalidArgument("cannot replace directory " + dir);
+  }
+  std::filesystem::rename(tmp, dir, ec);
+  if (ec) {
+    std::filesystem::remove_all(tmp, ec);
+    return Status::InvalidArgument("cannot move snapshot into " + dir);
   }
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "catalog/catalog.h"
+#include "common/fault_injector.h"
 #include "expr/analysis.h"
 
 namespace seltrig {
@@ -157,6 +158,7 @@ Result<std::vector<Row>> Executor::ExecutePlan(
     const LogicalOperator& plan, const std::vector<const Row*>& outer_rows) {
   SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, Build(plan, outer_rows));
   SELTRIG_RETURN_IF_ERROR(root->Init());
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
   std::vector<Row> rows;
   Row row;
   while (true) {
@@ -164,6 +166,9 @@ Result<std::vector<Row>> Executor::ExecutePlan(
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
     rows.push_back(std::move(row));
+    if ((rows.size() & 63) == 0) {
+      SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
+    }
   }
   return rows;
 }
@@ -172,6 +177,7 @@ Result<QueryResult> Executor::ExecuteQuery(const LogicalOperator& plan,
                                            int64_t max_rows) {
   SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, Build(plan, {}));
   SELTRIG_RETURN_IF_ERROR(root->Init());
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
 
   QueryResult result;
   std::vector<int> visible;
@@ -195,6 +201,9 @@ Result<QueryResult> Executor::ExecuteQuery(const LogicalOperator& plan,
       result.rows.push_back(std::move(stripped));
     } else {
       result.rows.push_back(std::move(row));
+    }
+    if ((result.rows.size() & 63) == 0) {
+      SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
     }
   }
   return result;

@@ -4,6 +4,7 @@
 
 #include "audit/accessed_state.h"
 #include "common/bloom_filter.h"
+#include "common/fault_injector.h"
 #include "audit/sensitive_id_view.h"
 #include "catalog/catalog.h"
 #include "expr/analysis.h"
@@ -650,8 +651,14 @@ Result<bool> PhysicalAuditOp::Next(Row* row) {
         hit = false;
       }
       if (hit) {
+        SELTRIG_RETURN_IF_ERROR(fault::Maybe("audit.record"));
         ctx_->stats().audit_probe_hits++;
-        registry->GetOrCreate(node_.audit_name).Record(key);
+        if (!registry->GetOrCreate(node_.audit_name).Record(key) &&
+            registry->overflow_policy() == AccessedOverflowPolicy::kFail) {
+          return Status::ResourceExhausted(
+              "ACCESSED cardinality cap exceeded for audit expression '" +
+              node_.audit_name + "'");
+        }
       }
     }
   }

@@ -1,11 +1,17 @@
 #include "storage/table.h"
 
+#include <cassert>
+
+#include "common/fault_injector.h"
+#include "storage/undo_log.h"
+
 namespace seltrig {
 
 Table::Table(std::string name, Schema schema, int primary_key_column)
     : name_(std::move(name)), schema_(std::move(schema)), pk_col_(primary_key_column) {}
 
 Result<size_t> Table::Insert(Row row) {
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.append"));
   if (row.size() != schema_.size()) {
     return Status::ExecutionError("insert into " + name_ + ": expected " +
                                   std::to_string(schema_.size()) + " values, got " +
@@ -27,10 +33,12 @@ Result<size_t> Table::Insert(Row row) {
   ++live_count_;
   ++version_;
   if (pk_col_ >= 0) pk_index_[rows_[row_id][pk_col_]] = row_id;
+  if (undo_ != nullptr) undo_->PushInsert(this, row_id);
   return row_id;
 }
 
 Status Table::Delete(size_t row_id) {
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.delete"));
   if (row_id >= rows_.size() || deleted_[row_id]) {
     return Status::ExecutionError("delete from " + name_ + ": invalid row id");
   }
@@ -38,10 +46,12 @@ Status Table::Delete(size_t row_id) {
   deleted_[row_id] = true;
   --live_count_;
   ++version_;
+  if (undo_ != nullptr) undo_->PushDelete(this, row_id);
   return Status::OK();
 }
 
 Status Table::Update(size_t row_id, Row new_row) {
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.update"));
   if (row_id >= rows_.size() || deleted_[row_id]) {
     return Status::ExecutionError("update " + name_ + ": invalid row id");
   }
@@ -63,9 +73,45 @@ Status Table::Update(size_t row_id, Row new_row) {
       pk_index_[new_key] = row_id;
     }
   }
+  if (undo_ != nullptr) undo_->PushUpdate(this, row_id, rows_[row_id]);
   rows_[row_id] = std::move(new_row);
   ++version_;
   return Status::OK();
+}
+
+void Table::UndoInsert(size_t row_id) {
+  assert(row_id < rows_.size());
+  if (!deleted_[row_id]) {
+    if (pk_col_ >= 0) pk_index_.erase(rows_[row_id][pk_col_]);
+    --live_count_;
+  }
+  if (row_id + 1 == rows_.size()) {
+    // Reverse-order rollback undoes later inserts first, so the slot being
+    // reverted is normally the newest and the heap shrinks back.
+    rows_.pop_back();
+    deleted_.pop_back();
+  } else {
+    deleted_[row_id] = true;  // later slots survive: tombstone instead
+  }
+  ++version_;
+}
+
+void Table::UndoDelete(size_t row_id) {
+  assert(row_id < rows_.size() && deleted_[row_id]);
+  deleted_[row_id] = false;
+  ++live_count_;
+  if (pk_col_ >= 0) pk_index_[rows_[row_id][pk_col_]] = row_id;
+  ++version_;
+}
+
+void Table::UndoUpdate(size_t row_id, Row old_row) {
+  assert(row_id < rows_.size());
+  if (pk_col_ >= 0) {
+    pk_index_.erase(rows_[row_id][pk_col_]);
+    pk_index_[old_row[pk_col_]] = row_id;
+  }
+  rows_[row_id] = std::move(old_row);
+  ++version_;
 }
 
 Result<size_t> Table::LookupByPrimaryKey(const Value& key) const {

@@ -16,6 +16,8 @@
 
 namespace seltrig {
 
+class UndoLog;
+
 // Rows live in an append-only vector; deletes set a tombstone so row ids stay
 // stable for indexes and triggers. Not thread-safe: seltrig models a single
 // session (the paper's mechanism is orthogonal to concurrency control).
@@ -61,6 +63,18 @@ class Table {
   // Drops all rows (used by tests and dbgen reloads).
   void Clear();
 
+  // --- Transactional trigger execution (engine/database.cc) -----------------
+  // While an undo log is attached, every successful mutation records its
+  // inverse there so the engine can roll trigger actions back atomically.
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
+  UndoLog* undo_log() const { return undo_; }
+
+  // Inverse operations applied by UndoLog::RollbackTo, newest entry first.
+  // They bypass journaling (rollback must not journal itself).
+  void UndoInsert(size_t row_id);
+  void UndoDelete(size_t row_id);
+  void UndoUpdate(size_t row_id, Row old_row);
+
  private:
   struct SecondaryIndex {
     uint64_t built_at_version = 0;
@@ -81,6 +95,7 @@ class Table {
   std::unordered_map<Value, size_t, ValueHash, ValueEq> pk_index_;
   std::unordered_map<int, SecondaryIndex> secondary_indexes_;
   std::vector<size_t> empty_result_;
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace seltrig

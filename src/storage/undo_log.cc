@@ -1,0 +1,43 @@
+#include "storage/undo_log.h"
+
+#include "storage/table.h"
+
+namespace seltrig {
+
+void UndoLog::PushInsert(Table* table, size_t row_id) {
+  entries_.push_back(Entry{Kind::kInsert, table, row_id, {}});
+}
+
+void UndoLog::PushDelete(Table* table, size_t row_id) {
+  entries_.push_back(Entry{Kind::kDelete, table, row_id, {}});
+}
+
+void UndoLog::PushUpdate(Table* table, size_t row_id, Row old_row) {
+  entries_.push_back(Entry{Kind::kUpdate, table, row_id, std::move(old_row)});
+}
+
+Status UndoLog::RollbackTo(size_t savepoint,
+                           std::vector<std::string>* touched_tables) {
+  if (savepoint > entries_.size()) {
+    return Status::Internal("undo rollback past end of journal");
+  }
+  while (entries_.size() > savepoint) {
+    Entry& entry = entries_.back();
+    if (touched_tables != nullptr) touched_tables->push_back(entry.table->name());
+    switch (entry.kind) {
+      case Kind::kInsert:
+        entry.table->UndoInsert(entry.row_id);
+        break;
+      case Kind::kDelete:
+        entry.table->UndoDelete(entry.row_id);
+        break;
+      case Kind::kUpdate:
+        entry.table->UndoUpdate(entry.row_id, std::move(entry.old_row));
+        break;
+    }
+    entries_.pop_back();
+  }
+  return Status::OK();
+}
+
+}  // namespace seltrig

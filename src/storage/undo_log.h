@@ -1,0 +1,65 @@
+// UndoLog: a row-level undo journal over heap tables, giving trigger-action
+// lists all-or-nothing semantics. While attached to a table (see
+// Table::set_undo_log), every Insert/Update/Delete appends an inverse record;
+// RollbackTo(savepoint) replays the suffix in reverse, restoring the tables
+// to their state at the savepoint. Savepoints nest, so cascading triggers
+// each get their own atomic scope inside the enclosing one.
+//
+// The journal covers base-table rows only. Derived state maintained
+// incrementally alongside DML (sensitive-ID views) must be rebuilt by the
+// caller for the tables RollbackTo reports as touched.
+
+#ifndef SELTRIG_STORAGE_UNDO_LOG_H_
+#define SELTRIG_STORAGE_UNDO_LOG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace seltrig {
+
+class Table;
+
+class UndoLog {
+ public:
+  UndoLog() = default;
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+
+  // A position in the journal; entries past it can be rolled back.
+  size_t Savepoint() const { return entries_.size(); }
+
+  bool empty() const { return entries_.empty(); }
+
+  // Journaling hooks, called by Table after a successful mutation.
+  void PushInsert(Table* table, size_t row_id);
+  void PushDelete(Table* table, size_t row_id);
+  void PushUpdate(Table* table, size_t row_id, Row old_row);
+
+  // Undoes every entry recorded after `savepoint`, newest first. On success
+  // appends the (lower-case) names of the tables whose rows were reverted to
+  // `touched_tables` (may repeat; callers dedupe). Never adds new entries.
+  Status RollbackTo(size_t savepoint, std::vector<std::string>* touched_tables);
+
+  // Discards all entries (a commit: the mutations stay).
+  void Clear() { entries_.clear(); }
+
+ private:
+  enum class Kind { kInsert, kDelete, kUpdate };
+
+  struct Entry {
+    Kind kind;
+    Table* table;
+    size_t row_id;
+    Row old_row;  // kUpdate only
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_STORAGE_UNDO_LOG_H_

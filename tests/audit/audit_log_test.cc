@@ -109,6 +109,25 @@ TEST_F(AuditLogTest, ReportingDoesNotReTrigger) {
   EXPECT_EQ(before->size(), after->size());
 }
 
+TEST_F(AuditLogTest, InstallTwiceFailsWithAlreadyExists) {
+  AuditLogger logger(&db_);
+  ASSERT_TRUE(logger.Install("audit_patients").ok());
+  Status again = logger.Install("audit_patients");
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), ErrorCode::kAlreadyExists);
+  // The first installation keeps working.
+  RunAs("reader", "SELECT * FROM patients WHERE patientid = 1");
+  auto report = logger.DisclosureReport(Value::Int(1));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->size(), 1u);
+}
+
+TEST_F(AuditLogTest, UninstallWithoutInstallFails) {
+  AuditLogger logger(&db_);
+  EXPECT_FALSE(logger.Uninstall("audit_patients").ok());
+  EXPECT_FALSE(logger.Uninstall("nope").ok());
+}
+
 TEST_F(AuditLogTest, UninstallStopsLogging) {
   AuditLogger logger(&db_);
   ASSERT_TRUE(logger.Install("audit_patients").ok());

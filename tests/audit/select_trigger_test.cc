@@ -230,6 +230,38 @@ TEST_F(SelectTriggerTest, BeforeTriggerRunsBeforeAfterTriggers) {
   EXPECT_EQ(LogCount(), 0);
 }
 
+TEST_F(SelectTriggerTest, BeforeTriggerDenyRollsBackPartialWrites) {
+  // A BEFORE trigger that writes a provisional row and then denies: the deny
+  // must also unwind the write (trigger action lists are atomic).
+  ASSERT_TRUE(db_.Execute(
+      "CREATE TRIGGER guard_alice ON ACCESS TO audit_alice BEFORE AS BEGIN "
+      "INSERT INTO log SELECT now(), user_id(), sql_text(), patientid, "
+      "current_date() FROM accessed; "
+      "IF ((SELECT COUNT(*) FROM accessed) > 0) RAISE 'denied'; END").ok());
+  auto denied = db_.Execute("SELECT * FROM patients WHERE patientid = 1");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_NE(denied.status().message().find("denied"), std::string::npos);
+  EXPECT_EQ(LogCount(), 0) << "provisional write survived the deny";
+
+  // An allowed query commits the same trigger's write.
+  ASSERT_TRUE(db_.Execute("SELECT * FROM patients WHERE patientid = 2").ok());
+  EXPECT_EQ(LogCount(), 0);  // Bob is not covered by audit_alice
+}
+
+TEST_F(SelectTriggerTest, BeforeTriggerDenyIgnoresFailOpenPolicy) {
+  // RAISE in the BEFORE phase is a *deny*, not an audit failure: fail-open
+  // must not swallow it and release the result anyway.
+  ASSERT_TRUE(db_.Execute(
+      "CREATE TRIGGER guard_alice ON ACCESS TO audit_alice BEFORE AS "
+      "IF ((SELECT COUNT(*) FROM accessed) > 0) RAISE 'denied'").ok());
+  ExecOptions options;
+  options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
+  auto denied =
+      db_.ExecuteWithOptions("SELECT * FROM patients WHERE patientid = 1", options);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_NE(denied.status().message().find("denied"), std::string::npos);
+}
+
 TEST_F(SelectTriggerTest, BeforeTriggerWarningViaNotify) {
   ASSERT_TRUE(db_.Execute(
       "CREATE TRIGGER warn_alice ON ACCESS TO audit_alice BEFORE AS "

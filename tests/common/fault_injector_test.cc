@@ -1,0 +1,136 @@
+// FaultInjector schedule semantics: deterministic fail-Nth / fail-every-K /
+// fail-once behavior, the disabled-by-default contract, and the RAII helpers.
+
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace seltrig {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisabledByDefaultIsFree) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(fault::Maybe("some.point").ok());
+  }
+  // Hits are only counted while enabled.
+  EXPECT_EQ(FaultInjector::Instance().hits("some.point"), 0u);
+}
+
+TEST_F(FaultInjectorTest, UnarmedPointNeverFires) {
+  FaultInjector::Instance().Enable(true);
+  EXPECT_TRUE(fault::Maybe("unarmed").ok());
+  EXPECT_TRUE(fault::Maybe("unarmed").ok());
+  EXPECT_EQ(FaultInjector::Instance().hits("unarmed"), 2u);
+  EXPECT_EQ(FaultInjector::Instance().fires("unarmed"), 0u);
+}
+
+TEST_F(FaultInjectorTest, FailOnceFiresOnFirstHitOnly) {
+  FaultInjector::Instance().Arm("p", FaultInjector::FailOnce());
+  EXPECT_FALSE(fault::Maybe("p").ok());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fault::Maybe("p").ok());
+  EXPECT_EQ(FaultInjector::Instance().fires("p"), 1u);
+}
+
+TEST_F(FaultInjectorTest, FailNthFiresExactlyAtNth) {
+  FaultInjector::Instance().Arm("p", FaultInjector::FailNth(3));
+  EXPECT_TRUE(fault::Maybe("p").ok());
+  EXPECT_TRUE(fault::Maybe("p").ok());
+  EXPECT_FALSE(fault::Maybe("p").ok());
+  EXPECT_TRUE(fault::Maybe("p").ok());
+  EXPECT_EQ(FaultInjector::Instance().fires("p"), 1u);
+}
+
+TEST_F(FaultInjectorTest, FailEveryKFiresPeriodically) {
+  FaultInjector::Instance().Arm("p", FaultInjector::FailEveryK(2));
+  bool expect_fail[] = {false, true, false, true, false, true};
+  for (bool fail : expect_fail) {
+    EXPECT_EQ(fault::Maybe("p").ok(), !fail);
+  }
+  EXPECT_EQ(FaultInjector::Instance().fires("p"), 3u);
+}
+
+TEST_F(FaultInjectorTest, FailAlwaysAndFailTimes) {
+  FaultInjector::Instance().Arm("p", FaultInjector::FailAlways());
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(fault::Maybe("p").ok());
+
+  FaultInjector::Instance().Arm("p", FaultInjector::FailTimes(2));
+  EXPECT_FALSE(fault::Maybe("p").ok());
+  EXPECT_FALSE(fault::Maybe("p").ok());
+  EXPECT_TRUE(fault::Maybe("p").ok());  // budget of 2 exhausted
+}
+
+TEST_F(FaultInjectorTest, InjectedStatusCarriesCodeAndMessage) {
+  FaultInjector::Schedule s;
+  s.code = ErrorCode::kResourceExhausted;
+  s.message = "disk on fire";
+  FaultInjector::Instance().Arm("p", s);
+  Status st = fault::Maybe("p");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(st.message(), "disk on fire");
+}
+
+TEST_F(FaultInjectorTest, DefaultMessageNamesThePoint) {
+  FaultInjector::Instance().Arm("storage.append", FaultInjector::FailOnce());
+  Status st = fault::Maybe("storage.append");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("storage.append"), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, ArmRestartsHitCount) {
+  FaultInjector::Instance().Arm("p", FaultInjector::FailNth(2));
+  EXPECT_TRUE(fault::Maybe("p").ok());
+  // Re-arming resets the armed hit count: the next hit is hit #1 again.
+  FaultInjector::Instance().Arm("p", FaultInjector::FailNth(2));
+  EXPECT_TRUE(fault::Maybe("p").ok());
+  EXPECT_FALSE(fault::Maybe("p").ok());
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFiringButKeepsCounting) {
+  FaultInjector::Instance().Arm("p", FaultInjector::FailAlways());
+  EXPECT_FALSE(fault::Maybe("p").ok());
+  FaultInjector::Instance().Disarm("p");
+  EXPECT_TRUE(fault::Maybe("p").ok());
+  EXPECT_EQ(FaultInjector::Instance().hits("p"), 2u);
+}
+
+TEST_F(FaultInjectorTest, ScopedFaultDisarmsOnExit) {
+  FaultInjector::Instance().Enable(true);
+  {
+    fault::ScopedFault f("p", FaultInjector::FailAlways());
+    EXPECT_FALSE(fault::Maybe("p").ok());
+  }
+  EXPECT_TRUE(fault::Maybe("p").ok());
+}
+
+TEST_F(FaultInjectorTest, ScopedSuspendMasksFaults) {
+  FaultInjector::Instance().Arm("p", FaultInjector::FailAlways());
+  {
+    fault::ScopedSuspend suspend;
+    EXPECT_TRUE(fault::Maybe("p").ok());
+    {
+      fault::ScopedSuspend nested;  // suspension nests
+      EXPECT_TRUE(fault::Maybe("p").ok());
+    }
+    EXPECT_TRUE(fault::Maybe("p").ok());
+  }
+  EXPECT_FALSE(fault::Maybe("p").ok());
+}
+
+TEST_F(FaultInjectorTest, ResetClearsEverything) {
+  FaultInjector::Instance().Arm("p", FaultInjector::FailAlways());
+  EXPECT_FALSE(fault::Maybe("p").ok());
+  FaultInjector::Instance().Reset();
+  EXPECT_FALSE(FaultInjector::Instance().enabled());
+  EXPECT_TRUE(fault::Maybe("p").ok());
+  EXPECT_EQ(FaultInjector::Instance().hits("p"), 0u);
+  EXPECT_EQ(FaultInjector::Instance().fires("p"), 0u);
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,370 @@
+// Fail-closed audit pipeline under injected faults. The invariant under test
+// (ISSUE "no query result without its audit record"):
+//
+//   - kFailClosed: a statement either completes WITH a complete audit trail,
+//     or fails with the trail exactly as it was before (partial trigger
+//     writes rolled back).
+//   - kFailOpen: the statement completes; the trail is either complete or the
+//     loss is accounted in the seltrig_audit_errors side table.
+//
+// Exercised as a matrix sweep (fault point x schedule x policy) plus
+// dedicated tests for rollback atomicity, retries, quarantine, cascade-depth
+// and ACCESSED-cap guards, and crash-atomic snapshots.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/fault_injector.h"
+#include "engine/database.h"
+#include "engine/snapshot.h"
+
+namespace seltrig {
+namespace {
+
+using Schedule = FaultInjector::Schedule;
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  // Fresh audited database: patients + access log + the Section II-C logging
+  // trigger on audit_alice.
+  static void Setup(Database* db, bool with_trigger = true) {
+    ASSERT_TRUE(db->ExecuteScript(R"sql(
+      CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age INT);
+      CREATE TABLE log (ts VARCHAR, userid VARCHAR, sql VARCHAR, patientid INT);
+      INSERT INTO patients VALUES (1, 'Alice', 34), (2, 'Bob', 27), (3, 'Carol', 45);
+    )sql").ok());
+    ASSERT_TRUE(db->Execute(
+        "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients "
+        "WHERE name = 'Alice' FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+    if (with_trigger) {
+      ASSERT_TRUE(db->Execute(
+          "CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS "
+          "INSERT INTO log SELECT now(), user_id(), sql_text(), patientid "
+          "FROM accessed").ok());
+    }
+  }
+
+  // Counting helpers run with faults suspended so they neither fail nor
+  // advance armed schedules.
+  static int64_t Count(Database* db, const std::string& table) {
+    fault::ScopedSuspend suspend;
+    if (!db->catalog()->HasTable(table)) return 0;
+    auto r = db->Execute("SELECT COUNT(*) FROM " + table);
+    EXPECT_TRUE(r.ok()) << r.status().message();
+    return r.ok() ? r->rows[0][0].AsInt() : -1;
+  }
+  static int64_t LogCount(Database* db) { return Count(db, "log"); }
+  static int64_t AuditErrorCount(Database* db) {
+    return Count(db, Database::kAuditErrorsTable);
+  }
+};
+
+TEST_F(FaultMatrixTest, NoResultWithoutAuditRecordMatrix) {
+  const char* points[] = {"trigger.action", "storage.append", "audit.maintain"};
+  struct Named {
+    const char* name;
+    Schedule schedule;
+  };
+  const Named schedules[] = {
+      {"FailOnce", FaultInjector::FailOnce()},
+      {"FailNth(2)", FaultInjector::FailNth(2)},
+      {"FailEveryK(2)", FaultInjector::FailEveryK(2)},
+  };
+  const AuditFailurePolicy policies[] = {AuditFailurePolicy::kFailClosed,
+                                         AuditFailurePolicy::kFailOpen};
+
+  for (const char* point : points) {
+    for (const Named& sched : schedules) {
+      for (AuditFailurePolicy policy : policies) {
+        SCOPED_TRACE(std::string(point) + " / " + sched.name + " / " +
+                     (policy == AuditFailurePolicy::kFailClosed ? "fail-closed"
+                                                                : "fail-open"));
+        FaultInjector::Instance().Reset();
+        Database db;
+        Setup(&db);
+        FaultInjector::Instance().Arm(point, sched.schedule);
+
+        ExecOptions options;
+        options.audit_failure_policy = policy;
+        // Each query accesses Alice's record, so a complete trail grows the
+        // log by exactly one row.
+        for (int i = 0; i < 4; ++i) {
+          int64_t log_before = LogCount(&db);
+          int64_t errors_before = AuditErrorCount(&db);
+          auto r = db.ExecuteWithOptions(
+              "SELECT * FROM patients WHERE patientid = 1", options);
+          int64_t log_after = LogCount(&db);
+          int64_t errors_after = AuditErrorCount(&db);
+
+          if (policy == AuditFailurePolicy::kFailClosed) {
+            if (r.ok()) {
+              EXPECT_EQ(log_after, log_before + 1) << "result without record";
+            } else {
+              EXPECT_EQ(log_after, log_before) << "partial trail on abort";
+            }
+          } else {
+            ASSERT_TRUE(r.ok()) << "fail-open must not abort: "
+                                << r.status().message();
+            EXPECT_TRUE(log_after == log_before + 1 ||
+                        errors_after == errors_before + 1)
+                << "result with neither record nor accounted loss";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(FaultMatrixTest, FailedSecondActionRollsBackFirst) {
+  Database db;
+  Setup(&db, /*with_trigger=*/false);
+  // Two actions: the second one's write fails, so the first one's committed
+  // row must be undone -- the action list is atomic.
+  ASSERT_TRUE(db.Execute(
+      "CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS BEGIN "
+      "INSERT INTO log SELECT now(), user_id(), sql_text(), patientid "
+      "FROM accessed; "
+      "INSERT INTO log VALUES ('sentinel', '', '', 0); END").ok());
+  // storage.append hit #1 = first action's row, hit #2 = sentinel row.
+  FaultInjector::Instance().Arm("storage.append", FaultInjector::FailNth(2));
+
+  auto r = db.Execute("SELECT * FROM patients WHERE patientid = 1");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(LogCount(&db), 0) << "first action's write survived the rollback";
+}
+
+TEST_F(FaultMatrixTest, RolledBackViewMaintenanceIsRebuilt) {
+  Database db;
+  Setup(&db, /*with_trigger=*/false);
+  // The trigger writes into the *audited* table, then fails: the rollback
+  // must also undo the incremental sensitive-ID view maintenance, or the
+  // phantom ID would keep matching later queries.
+  ASSERT_TRUE(db.Execute(
+      "CREATE TRIGGER clone ON ACCESS TO audit_alice AS BEGIN "
+      "INSERT INTO patients VALUES (4, 'Alice', 1); "
+      "INSERT INTO log VALUES ('sentinel', '', '', 0); END").ok());
+  FaultInjector::Instance().Arm("storage.append", FaultInjector::FailNth(2));
+  EXPECT_FALSE(db.Execute("SELECT * FROM patients WHERE patientid = 1").ok());
+  FaultInjector::Instance().Reset();
+
+  ASSERT_TRUE(db.Execute("DROP TRIGGER clone").ok());
+  ExecOptions options;
+  options.instrument_all_audit_expressions = true;
+  auto r = db.ExecuteWithOptions("SELECT * FROM patients", options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->result.rows.size(), 3u) << "rolled-back row is visible";
+  ASSERT_EQ(r->accessed["audit_alice"].size(), 1u) << "stale ID view";
+  EXPECT_EQ(r->accessed["audit_alice"][0].AsInt(), 1);
+}
+
+TEST_F(FaultMatrixTest, FailOpenRetrySucceedsWithoutLoss) {
+  Database db;
+  Setup(&db);
+  FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailOnce());
+
+  ExecOptions options;
+  options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
+  ASSERT_TRUE(options.guards.fail_open_retries >= 1);
+  auto r = db.ExecuteWithOptions("SELECT * FROM patients WHERE patientid = 1",
+                                 options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(LogCount(&db), 1) << "retry should have completed the trail";
+  EXPECT_EQ(AuditErrorCount(&db), 0);
+  EXPECT_EQ(db.trigger_manager()->Find("log_alice")->consecutive_failures, 0);
+}
+
+TEST_F(FaultMatrixTest, FailOpenExhaustedRetriesRecordsLoss) {
+  Database db;
+  Setup(&db);
+  FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailAlways());
+
+  ExecOptions options;
+  options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
+  options.guards.fail_open_retries = 1;
+  options.guards.quarantine_after = 0;  // isolate loss accounting
+  auto r = db.ExecuteWithOptions("SELECT * FROM patients WHERE patientid = 1",
+                                 options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(LogCount(&db), 0);
+
+  FaultInjector::Instance().Reset();
+  auto errors = db.Execute(std::string("SELECT trigger_name, attempts, quarantined FROM ") +
+                           Database::kAuditErrorsTable);
+  ASSERT_TRUE(errors.ok()) << errors.status().message();
+  ASSERT_EQ(errors->rows.size(), 1u);
+  EXPECT_EQ(errors->rows[0][0].AsString(), "log_alice");
+  EXPECT_EQ(errors->rows[0][1].AsInt(), 2);  // 1 try + 1 retry
+  EXPECT_FALSE(errors->rows[0][2].AsBool());
+}
+
+TEST_F(FaultMatrixTest, CircuitBreakerQuarantinesAfterConsecutiveFailures) {
+  Database db;
+  Setup(&db);
+  FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailAlways());
+
+  ExecOptions options;
+  options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
+  options.guards.fail_open_retries = 0;
+  options.guards.quarantine_after = 2;
+
+  const std::string query = "SELECT * FROM patients WHERE patientid = 1";
+  ASSERT_TRUE(db.ExecuteWithOptions(query, options).ok());
+  EXPECT_EQ(db.trigger_manager()->Find("log_alice")->consecutive_failures, 1);
+  EXPECT_FALSE(db.trigger_manager()->Find("log_alice")->quarantined);
+
+  ASSERT_TRUE(db.ExecuteWithOptions(query, options).ok());
+  const TriggerDef* t = db.trigger_manager()->Find("log_alice");
+  EXPECT_TRUE(t->quarantined);
+  EXPECT_FALSE(t->enabled);
+  ASSERT_EQ(db.trigger_manager()->Quarantined().size(), 1u);
+  ASSERT_FALSE(db.notifications().empty());
+  EXPECT_NE(db.notifications().back().find("quarantined"), std::string::npos);
+
+  // A quarantined trigger no longer fires (nor advances its schedule): the
+  // fault point sees no further hits.
+  uint64_t hits = FaultInjector::Instance().hits("trigger.action");
+  ASSERT_TRUE(db.ExecuteWithOptions(query, options).ok());
+  EXPECT_EQ(FaultInjector::Instance().hits("trigger.action"), hits);
+
+  // Re-arming restores it.
+  FaultInjector::Instance().Reset();
+  ASSERT_TRUE(db.trigger_manager()->Rearm("log_alice").ok());
+  ASSERT_TRUE(db.ExecuteWithOptions(query, options).ok());
+  EXPECT_EQ(LogCount(&db), 1);
+}
+
+TEST_F(FaultMatrixTest, QuarantineNeverTripsUnderFailClosed) {
+  // Auto-disabling an audit trigger under fail-closed would be a compliance
+  // hole: the breaker only arms under fail-open.
+  Database db;
+  Setup(&db);
+  FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailAlways());
+
+  ExecOptions options;
+  options.guards.quarantine_after = 1;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(
+        db.ExecuteWithOptions("SELECT * FROM patients WHERE patientid = 1", options)
+            .ok());
+  }
+  EXPECT_FALSE(db.trigger_manager()->Find("log_alice")->quarantined);
+  EXPECT_TRUE(db.trigger_manager()->Find("log_alice")->enabled);
+}
+
+TEST_F(FaultMatrixTest, AccessedCapFailPolicyAbortsQuery) {
+  Database db;
+  Setup(&db, /*with_trigger=*/false);
+  ASSERT_TRUE(db.Execute(
+      "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+      "FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  ExecOptions options;
+  options.instrument_all_audit_expressions = true;
+  options.guards.max_accessed_ids = 2;
+
+  auto r = db.ExecuteWithOptions("SELECT * FROM patients", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST_F(FaultMatrixTest, AccessedCapTruncatePolicyRecordsOverflow) {
+  Database db;
+  Setup(&db);
+  ExecOptions options;
+  options.guards.max_accessed_ids = 2;
+  options.guards.overflow_policy = AccessedOverflowPolicy::kTruncate;
+  // Rename everyone to Alice so the expression covers 3 IDs against a cap of 2.
+  ASSERT_TRUE(db.Execute("UPDATE patients SET name = 'Alice'").ok());
+
+  auto r = db.ExecuteWithOptions("SELECT * FROM patients", options);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(LogCount(&db), 2) << "trail should hold the retained (truncated) IDs";
+  auto errors = db.Execute(std::string("SELECT trigger_name, error FROM ") +
+                           Database::kAuditErrorsTable);
+  ASSERT_TRUE(errors.ok());
+  ASSERT_EQ(errors->rows.size(), 1u);
+  EXPECT_EQ(errors->rows[0][0].AsString(), "accessed:audit_alice");
+  EXPECT_NE(errors->rows[0][1].AsString().find("truncated"), std::string::npos);
+}
+
+TEST_F(FaultMatrixTest, ExecutorFaultAbortsQueryWithoutTrail) {
+  Database db;
+  Setup(&db);
+  FaultInjector::Instance().Arm("executor.batch", FaultInjector::FailOnce());
+  EXPECT_FALSE(db.Execute("SELECT * FROM patients WHERE patientid = 1").ok());
+  EXPECT_EQ(LogCount(&db), 0) << "no result, so no audit record either";
+}
+
+TEST_F(FaultMatrixTest, SnapshotWriteFaultLeavesNoPartialSnapshot) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("seltrig_fault_snap_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::remove_all(dir.string() + ".inprogress");
+
+  Database db;
+  Setup(&db);
+  ASSERT_TRUE(db.Execute("SELECT * FROM patients WHERE patientid = 1").ok());
+
+  FaultInjector::Instance().Arm("snapshot.write", FaultInjector::FailNth(2));
+  EXPECT_FALSE(SaveSnapshot(&db, dir.string()).ok());
+  EXPECT_FALSE(fs::exists(dir)) << "partial snapshot left behind";
+  EXPECT_FALSE(fs::exists(dir.string() + ".inprogress")) << "temp dir leaked";
+
+  // After the fault clears, the same path saves and loads cleanly.
+  FaultInjector::Instance().Reset();
+  ASSERT_TRUE(SaveSnapshot(&db, dir.string()).ok());
+  Database restored;
+  ASSERT_TRUE(LoadSnapshot(&restored, dir.string()).ok());
+  EXPECT_EQ(Count(&restored, "log"), 1);
+  fs::remove_all(dir);
+}
+
+class CascadeGuardTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+// An unterminated CREATE TRIGGER action list runs to end-of-input, so each
+// trigger must be its own statement (not part of one script).
+void SetupPingPong(Database* db) {
+  ASSERT_TRUE(db->ExecuteScript(
+      "CREATE TABLE ping (x INT); CREATE TABLE pong (x INT);").ok());
+  ASSERT_TRUE(db->Execute(
+      "CREATE TRIGGER t_ping ON ping AFTER INSERT AS INSERT INTO pong VALUES (1)").ok());
+  ASSERT_TRUE(db->Execute(
+      "CREATE TRIGGER t_pong ON pong AFTER INSERT AS INSERT INTO ping VALUES (1)").ok());
+}
+
+TEST_F(CascadeGuardTest, SelfReferencingTriggerPairHitsDepthLimit) {
+  Database db;
+  SetupPingPong(&db);
+
+  auto r = db.Execute("INSERT INTO ping VALUES (0)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("cascade depth"), std::string::npos);
+}
+
+TEST_F(CascadeGuardTest, DepthLimitIsConfigurable) {
+  Database db;
+  SetupPingPong(&db);
+
+  ExecOptions options;
+  options.guards.max_cascade_depth = 4;
+  auto r = db.ExecuteWithOptions("INSERT INTO ping VALUES (0)", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+  // The cut cascade rolls back every trigger write; only the statement's own
+  // row (written before any trigger fired) remains.
+  EXPECT_EQ(db.Execute("SELECT COUNT(*) FROM ping")->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(db.Execute("SELECT COUNT(*) FROM pong")->rows[0][0].AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace seltrig

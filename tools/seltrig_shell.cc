@@ -10,6 +10,9 @@
 //   .import FILE TABLE    bulk-load a CSV file (with header) into TABLE
 //   .quit / .exit         leave
 //
+// Session settings (see docs/ROBUSTNESS.md):
+//   SET AUDIT_FAILURE_POLICY = FAIL_CLOSED | FAIL_OPEN;
+//
 // Usage:   seltrig_shell [script.sql ...]
 // Scripts given on the command line run before the interactive loop (or
 // instead of it when stdin is not a TTY).
@@ -33,6 +36,13 @@ using seltrig::Database;
 using seltrig::ExecOptions;
 using seltrig::StatementResult;
 
+// Shell session: the database plus the options applied to every statement
+// (mutated by SET AUDIT_FAILURE_POLICY and friends).
+struct Shell {
+  Database db;
+  ExecOptions options;
+};
+
 void PrintResult(const StatementResult& result) {
   const seltrig::QueryResult& qr = result.result;
   if (qr.schema.size() == 0) {
@@ -50,13 +60,48 @@ void PrintResult(const StatementResult& result) {
   }
 }
 
-void RunStatement(Database* db, const std::string& sql) {
-  auto result = db->ExecuteWithOptions(sql, ExecOptions{});
+// Handles the shell-level `SET <NAME> = <VALUE>` settings; returns true when
+// `sql` was one of them (consumed, not sent to the engine).
+bool HandleSetCommand(Shell* sh, const std::string& sql) {
+  std::string upper;
+  upper.reserve(sql.size());
+  for (char c : sql) {
+    if (c == '=') {
+      upper += ' ';
+      continue;
+    }
+    upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  std::istringstream in(upper);
+  std::string word, name, value;
+  in >> word >> name >> value;
+  if (word != "SET" || name != "AUDIT_FAILURE_POLICY") return false;
+  if (value == "FAIL_CLOSED") {
+    sh->options.audit_failure_policy = seltrig::AuditFailurePolicy::kFailClosed;
+    std::printf("audit failure policy: fail-closed\n");
+  } else if (value == "FAIL_OPEN") {
+    sh->options.audit_failure_policy = seltrig::AuditFailurePolicy::kFailOpen;
+    std::printf("audit failure policy: fail-open\n");
+  } else {
+    std::printf("error: SET AUDIT_FAILURE_POLICY expects FAIL_CLOSED or FAIL_OPEN\n");
+  }
+  return true;
+}
+
+void RunStatement(Shell* sh, const std::string& sql) {
+  if (HandleSetCommand(sh, sql)) return;
+  size_t notifications_before = sh->db.notifications().size();
+  auto result = sh->db.ExecuteWithOptions(sql, sh->options);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
   PrintResult(*result);
+  // Quarantine and other NOTIFY output raised by this statement.
+  const auto& notes = sh->db.notifications();
+  for (size_t i = notifications_before; i < notes.size(); ++i) {
+    std::printf("-- NOTIFY: %s\n", notes[i].c_str());
+  }
 }
 
 bool HandleDotCommand(Database* db, const std::string& line) {
@@ -67,7 +112,8 @@ bool HandleDotCommand(Database* db, const std::string& line) {
   if (cmd == ".help") {
     std::printf(
         ".tables | .audit | .triggers | .user NAME | .tpch SF | .import FILE TABLE "
-        "| .save DIR | .open DIR | .quit\n");
+        "| .save DIR | .open DIR | .quit\n"
+        "SET AUDIT_FAILURE_POLICY = FAIL_CLOSED | FAIL_OPEN;\n");
   } else if (cmd == ".tables") {
     for (const std::string& name : db->catalog()->TableNames()) {
       auto table = db->catalog()->GetTable(name);
@@ -82,15 +128,17 @@ bool HandleDotCommand(Database* db, const std::string& line) {
     }
   } else if (cmd == ".triggers") {
     for (const seltrig::TriggerDef* def : db->trigger_manager()->All()) {
+      const char* quarantined = def->quarantined ? " [quarantined]" : "";
       if (def->is_select_trigger) {
-        std::printf("%-24s ON ACCESS TO %s%s\n", def->name.c_str(),
-                    def->audit_expression.c_str(), def->before ? " BEFORE" : "");
+        std::printf("%-24s ON ACCESS TO %s%s%s\n", def->name.c_str(),
+                    def->audit_expression.c_str(), def->before ? " BEFORE" : "",
+                    quarantined);
       } else {
         const char* event = def->event == seltrig::ast::DmlEvent::kInsert   ? "INSERT"
                             : def->event == seltrig::ast::DmlEvent::kUpdate ? "UPDATE"
                                                                             : "DELETE";
-        std::printf("%-24s ON %s AFTER %s\n", def->name.c_str(), def->table.c_str(),
-                    event);
+        std::printf("%-24s ON %s AFTER %s%s\n", def->name.c_str(), def->table.c_str(),
+                    event, quarantined);
       }
     }
   } else if (cmd == ".user") {
@@ -135,13 +183,13 @@ bool HandleDotCommand(Database* db, const std::string& line) {
 }
 
 // Feeds a stream of input into the shell loop; returns false on .quit.
-bool RunStream(Database* db, std::istream& in, bool interactive) {
+bool RunStream(Shell* sh, std::istream& in, bool interactive) {
   std::string pending;
   std::string line;
   if (interactive) std::printf("seltrig> ");
   while (std::getline(in, line)) {
     if (pending.empty() && !line.empty() && line[0] == '.') {
-      if (!HandleDotCommand(db, line)) return false;
+      if (!HandleDotCommand(&sh->db, line)) return false;
       if (interactive) std::printf("seltrig> ");
       continue;
     }
@@ -154,7 +202,7 @@ bool RunStream(Database* db, std::istream& in, bool interactive) {
       pending.erase(0, pos + 1);
       bool blank = true;
       for (char c : sql) blank = blank && std::isspace(static_cast<unsigned char>(c));
-      if (!blank) RunStatement(db, sql);
+      if (!blank) RunStatement(sh, sql);
     }
     // Pure whitespace is not a pending statement (keeps dot commands usable
     // right after a ';').
@@ -171,17 +219,17 @@ bool RunStream(Database* db, std::istream& in, bool interactive) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Database db;
+  Shell shell;
   for (int i = 1; i < argc; ++i) {
     std::ifstream script(argv[i]);
     if (!script) {
       std::fprintf(stderr, "cannot open %s\n", argv[i]);
       return 1;
     }
-    if (!RunStream(&db, script, /*interactive=*/false)) return 0;
+    if (!RunStream(&shell, script, /*interactive=*/false)) return 0;
   }
   bool tty = isatty(fileno(stdin)) != 0;
   if (argc > 1 && !tty) return 0;  // script-only invocation
-  RunStream(&db, std::cin, tty);
+  RunStream(&shell, std::cin, tty);
   return 0;
 }

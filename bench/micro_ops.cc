@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 
 #include "audit/placement.h"
@@ -90,6 +92,93 @@ void BM_MicroQueryInstrumentedHcn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MicroQueryInstrumentedHcn);
+
+// Dedicated fixture for the batch-size sweep: a narrow audited table large
+// enough that per-pull pipeline overhead (virtual dispatch, wrapper
+// bookkeeping, executor loop) dominates over row materialization. The filter
+// passes ~1.5% of rows so throughput measures the scan -> filter -> audit
+// spine rather than result copying.
+Database* SweepDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    Status status = d->Execute("CREATE TABLE audit_bench (id INT PRIMARY KEY, v INT)").status();
+    if (!status.ok()) std::abort();
+    constexpr int kRows = 40000;
+    std::string insert;
+    for (int i = 1; i <= kRows; ++i) {
+      if (insert.empty()) insert = "INSERT INTO audit_bench VALUES ";
+      insert += "(";
+      insert += std::to_string(i);
+      insert += ", ";
+      insert += std::to_string((i * 37) % 1000);
+      insert += ")";
+      if (i % 1000 == 0) {
+        status = d->Execute(insert).status();
+        if (!status.ok()) std::abort();
+        insert.clear();
+      } else {
+        insert += ", ";
+      }
+    }
+    status = d->Execute(
+                  "CREATE AUDIT EXPRESSION bench_sens AS "
+                  "SELECT * FROM audit_bench WHERE v < 100 "
+                  "FOR SENSITIVE TABLE audit_bench PARTITION BY id")
+                 .status();
+    if (!status.ok()) std::abort();
+    return d;
+  }();
+  return db;
+}
+
+// Batch-size sweep over the vectorized scan -> filter -> audit pipeline at
+// batch sizes 1..4096. Emits one JSON line per configuration (consumed by
+// the plotting scripts) in addition to the google-benchmark table;
+// `rows_per_sec` counts rows through the scan.
+void BM_BatchSweepScanFilterAudit(benchmark::State& state) {
+  Database* db = SweepDb();
+  // Scan (fused filter) -> audit -> project -> distinct: a four-operator
+  // spine, so each batch-1 pull pays the full per-operator dispatch chain.
+  std::string sql = "SELECT DISTINCT v FROM audit_bench WHERE v >= 985";
+  ExecOptions options;
+  options.enable_select_triggers = false;
+  options.instrument_all_audit_expressions = true;
+  options.batch_size = static_cast<size_t>(state.range(0));
+  uint64_t rows_scanned = 0;
+  uint64_t result_rows = 0;
+  int64_t iterations = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto r = db->ExecuteWithOptions(sql, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    rows_scanned += r->stats.rows_scanned;
+    result_rows += r->result.rows.size();
+    ++iterations;
+  }
+  double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  state.counters["rows_per_sec"] =
+      benchmark::Counter(static_cast<double>(rows_scanned), benchmark::Counter::kIsRate);
+  std::printf(
+      "{\"bench\":\"batch_sweep_scan_filter_audit\",\"batch_size\":%lld,"
+      "\"iterations\":%lld,\"rows_scanned\":%llu,\"result_rows\":%llu,"
+      "\"seconds\":%.6f,\"rows_per_sec\":%.1f}\n",
+      static_cast<long long>(state.range(0)), static_cast<long long>(iterations),
+      static_cast<unsigned long long>(rows_scanned),
+      static_cast<unsigned long long>(result_rows), seconds,
+      seconds > 0 ? static_cast<double>(rows_scanned) / seconds : 0.0);
+}
+// Fixed iteration count: google-benchmark then runs each configuration
+// exactly once, so the sweep emits exactly one JSON line per batch size.
+BENCHMARK(BM_BatchSweepScanFilterAudit)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Iterations(100);
 
 void BM_PlacementAlgorithm(benchmark::State& state) {
   Database* db = SharedDb();

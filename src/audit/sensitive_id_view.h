@@ -33,14 +33,45 @@ class SensitiveIdView {
     return bloom;
   }
 
+  // Bloom pre-screen for the batch audit probe: a lazily-built summary the
+  // physical audit operator consults to skip a whole batch's exact probes
+  // when no row can contain a sensitive ID. No false negatives (a negative
+  // screen is definitive), so ACCESSED is unaffected. Invalidated by every
+  // maintenance call; returns null for sets too small to be worth screening.
+  const BloomFilter* Screen() const {
+    if (ids_.size() < kScreenMinIds) return nullptr;
+    if (screen_ == nullptr) {
+      screen_ = BuildBloomFilter(kScreenFpRate);
+    }
+    return screen_.get();
+  }
+
   // Maintenance entry points, driven by the AuditManager's DML hooks
-  // (standard incremental materialized-view maintenance).
-  void Add(const Value& id) { ids_.insert(id); }
-  void Remove(const Value& id) { ids_.erase(id); }
-  void Clear() { ids_.clear(); }
+  // (standard incremental materialized-view maintenance). Every mutation
+  // invalidates the screen (Bloom filters cannot delete, and rebuilding
+  // keeps the false-positive rate at its target); the next batch probe
+  // rebuilds it lazily.
+  void Add(const Value& id) {
+    ids_.insert(id);
+    screen_.reset();
+  }
+  void Remove(const Value& id) {
+    ids_.erase(id);
+    screen_.reset();
+  }
+  void Clear() {
+    ids_.clear();
+    screen_.reset();
+  }
 
  private:
+  // Below this cardinality the exact hash probes are cheap enough that a
+  // pre-screen pass would only add work.
+  static constexpr size_t kScreenMinIds = 16;
+  static constexpr double kScreenFpRate = 0.01;
+
   std::unordered_set<Value, ValueHash, ValueEq> ids_;
+  mutable std::shared_ptr<const BloomFilter> screen_;
 };
 
 }  // namespace seltrig

@@ -214,6 +214,8 @@ Result<StatementResult> Database::ExecuteSelect(const ast::SelectStatement& stmt
 
   // Execute.
   ExecContext ctx(&catalog_, &session_);
+  ctx.set_batch_size(options.batch_size);
+  ctx.set_collect_profile(options.collect_profile);
   AccessedStateRegistry registry;
   registry.set_limits(
       options.guards.max_accessed_ids > 0
@@ -248,6 +250,7 @@ Result<StatementResult> Database::ExecuteSelect(const ast::SelectStatement& stmt
   result.result = std::move(query_result).value();
   result.stats = ctx.stats();
   result.plan_text = PlanToString(*plan);
+  result.profile_text = std::move(ctx.profile_text());
   for (const auto& [name, state] : registry.states()) {
     result.accessed[name] = state.SortedIds();
   }
@@ -475,6 +478,7 @@ Result<StatementResult> Database::ExecuteInsert(const ast::InsertStatement& stmt
 
   // Produce source rows.
   ExecContext ctx(&catalog_, &session_);
+  ctx.set_batch_size(options.batch_size);
   Executor executor(&ctx);
   std::vector<const Row*> outer;
   if (action != nullptr && action->row != nullptr) outer.push_back(action->row);
@@ -518,6 +522,7 @@ Result<StatementResult> Database::ExecuteUpdate(const ast::UpdateStatement& stmt
   SELTRIG_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table));
 
   ExecContext ctx(&catalog_, &session_);
+  ctx.set_batch_size(options.batch_size);
   Executor executor(&ctx);  // installs the subquery runner for predicates
 
   // Phase 1: collect matching rows (avoids mutating while scanning).
@@ -574,6 +579,7 @@ Result<StatementResult> Database::ExecuteDelete(const ast::DeleteStatement& stmt
   SELTRIG_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table));
 
   ExecContext ctx(&catalog_, &session_);
+  ctx.set_batch_size(options.batch_size);
   Executor executor(&ctx);
 
   std::vector<size_t> row_ids;

@@ -89,6 +89,13 @@ struct ExecOptions {
   // undo-logged scope and commit or roll back atomically either way).
   AuditFailurePolicy audit_failure_policy = AuditFailurePolicy::kFailClosed;
   TriggerGuards guards;
+  // Logical rows per batch in the vectorized executor (clamped to >= 1).
+  // The executor pins individual operators to capacity 1 where exact
+  // row-at-a-time flow is observable (audit ops below an early stop).
+  size_t batch_size = 1024;
+  // Sample per-operator runtime counters and return an EXPLAIN-ANALYZE-style
+  // annotated tree in StatementResult::profile_text (shell: `.profile on`).
+  bool collect_profile = false;
 };
 
 struct StatementResult {
@@ -100,6 +107,8 @@ struct StatementResult {
   // EXPLAIN text of the plan that actually executed (instrumented for
   // SELECTs).
   std::string plan_text;
+  // Per-operator runtime counter tree (ExecOptions::collect_profile).
+  std::string profile_text;
 };
 
 class Database {

@@ -60,6 +60,9 @@ struct ExecStats {
   uint64_t rows_through_audit_ops = 0;
   uint64_t audit_probe_hits = 0;
   uint64_t subquery_executions = 0;
+  // Batches whose exact audit probes were skipped because the ID view's
+  // Bloom pre-screen proved no row could contain a sensitive ID.
+  uint64_t audit_batches_prescreened = 0;
 };
 
 class ExecContext {
@@ -99,6 +102,21 @@ class ExecContext {
 
   ExecStats& stats() { return stats_; }
 
+  // --- Vectorized execution -------------------------------------------------
+  // Logical rows per batch flowing through the operator pipeline
+  // (ExecOptions::batch_size). The executor pins individual operators to
+  // capacity 1 where exact row-at-a-time flow is required.
+  size_t batch_size() const { return batch_size_; }
+  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
+  // --- Profiling ------------------------------------------------------------
+  // When enabled, operators sample wall-clock time per Init/NextBatch and the
+  // executor appends an annotated operator tree to profile_text() after each
+  // top-level query.
+  bool collect_profile() const { return collect_profile_; }
+  void set_collect_profile(bool on) { collect_profile_ = on; }
+  std::string& profile_text() { return profile_text_; }
+
  private:
   Catalog* catalog_;
   SessionContext* session_;
@@ -107,6 +125,9 @@ class ExecContext {
   SubqueryRunner subquery_runner_;
   std::unordered_map<const Expr*, MaterializedSubquery> subquery_cache_;
   ExecStats stats_;
+  size_t batch_size_ = 1024;
+  bool collect_profile_ = false;
+  std::string profile_text_;
 };
 
 }  // namespace seltrig

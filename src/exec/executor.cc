@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "catalog/catalog.h"
@@ -72,10 +73,52 @@ void ExtractEquiKeys(const Expr& condition, int left_width, int total_width,
   *residual = CombineConjuncts(std::move(rest));
 }
 
+// Whether an audit operator sits on the *lazy spine* of `node`: the chain of
+// operators whose pull granularity is observable from above. Pipeline
+// breakers (Sort, Aggregate, a join's build side) consume their inputs to
+// exhaustion during Init, so everything below them sees the same rows no
+// matter how the top of the tree is paced — only audit operators reachable
+// through purely streaming edges can observe batch-size differences when an
+// early-stopping consumer (LIMIT, or a client's max_rows prefix-abort) stops
+// pulling. Those spines get batch capacity 1 ("exact mode"), making the flow
+// bit-for-bit identical to the row-at-a-time engine; audit-free spines below
+// an early stop are merely capped at the row budget so scans stay lazy.
+bool LazySpineHasAudit(const LogicalOperator& node) {
+  switch (node.kind()) {
+    case PlanKind::kAudit:
+      return true;
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kDistinct:
+    case PlanKind::kLimit:
+      return LazySpineHasAudit(*node.children[0]);
+    case PlanKind::kJoin:
+      // Only the probe (left) side streams; the build side materializes.
+      return LazySpineHasAudit(*node.children[0]);
+    default:
+      // Scan, Values, Sort, Aggregate: no audit below a streaming edge.
+      return false;
+  }
+}
+
+// Combines two spine capacity caps (0 = uncapped).
+size_t CombineCaps(size_t a, size_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return std::min(a, b);
+}
+
 }  // namespace
 
 Result<OperatorPtr> Executor::Build(const LogicalOperator& node,
                                     const std::vector<const Row*>& outer_rows) {
+  return BuildNode(node, outer_rows, /*spine_cap=*/0);
+}
+
+Result<OperatorPtr> Executor::BuildNode(const LogicalOperator& node,
+                                        const std::vector<const Row*>& outer_rows,
+                                        size_t spine_cap) {
+  OperatorPtr op;
   switch (node.kind()) {
     case PlanKind::kScan: {
       const auto& scan = static_cast<const LogicalScan&>(node);
@@ -83,24 +126,32 @@ Result<OperatorPtr> Executor::Build(const LogicalOperator& node,
       if (scan.virtual_rows == nullptr) {
         SELTRIG_ASSIGN_OR_RETURN(table, ctx_->catalog()->GetTable(scan.table_name));
       }
-      return OperatorPtr(std::make_unique<SeqScanOp>(ctx_, outer_rows, scan, table));
+      op = std::make_unique<SeqScanOp>(ctx_, outer_rows, scan, table);
+      break;
     }
     case PlanKind::kFilter: {
       const auto& filter = static_cast<const LogicalFilter&>(node);
-      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
-      return OperatorPtr(
-          std::make_unique<FilterOp>(ctx_, outer_rows, filter, std::move(child)));
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child,
+                               BuildNode(*node.children[0], outer_rows, spine_cap));
+      op = std::make_unique<FilterOp>(ctx_, outer_rows, filter, std::move(child));
+      break;
     }
     case PlanKind::kProject: {
       const auto& project = static_cast<const LogicalProject&>(node);
-      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
-      return OperatorPtr(
-          std::make_unique<ProjectOp>(ctx_, outer_rows, project, std::move(child)));
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child,
+                               BuildNode(*node.children[0], outer_rows, spine_cap));
+      op = std::make_unique<ProjectOp>(ctx_, outer_rows, project, std::move(child));
+      break;
     }
     case PlanKind::kJoin: {
       const auto& join = static_cast<const LogicalJoin&>(node);
-      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr left, Build(*node.children[0], outer_rows));
-      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr right, Build(*node.children[1], outer_rows));
+      // The probe side streams (inherits the spine cap); the build side is
+      // consumed to exhaustion during Init, so it always runs fully batched.
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr left,
+                               BuildNode(*node.children[0], outer_rows, spine_cap));
+      SELTRIG_ASSIGN_OR_RETURN(
+          OperatorPtr right, BuildNode(*node.children[1], outer_rows, /*spine_cap=*/0));
+      bool built_hash = false;
       if (join.condition != nullptr) {
         int left_width = static_cast<int>(node.children[0]->schema.size());
         int total_width = left_width + static_cast<int>(node.children[1]->schema.size());
@@ -109,73 +160,114 @@ Result<OperatorPtr> Executor::Build(const LogicalOperator& node,
         ExtractEquiKeys(*join.condition, left_width, total_width, &left_keys,
                         &right_keys, &residual);
         if (!left_keys.empty()) {
-          return OperatorPtr(std::make_unique<HashJoinOp>(
+          op = std::make_unique<HashJoinOp>(
               ctx_, outer_rows, join, std::move(left), std::move(right),
-              std::move(left_keys), std::move(right_keys), std::move(residual)));
+              std::move(left_keys), std::move(right_keys), std::move(residual));
+          built_hash = true;
         }
       }
-      return OperatorPtr(std::make_unique<NLJoinOp>(ctx_, outer_rows, join,
-                                                    std::move(left), std::move(right)));
+      if (!built_hash) {
+        // Nested-loop join is still row-at-a-time; mount it via the adapter.
+        auto nl = std::make_unique<NLJoinOp>(ctx_, outer_rows, join, std::move(left),
+                                             std::move(right));
+        op = std::make_unique<RowAtATimeAdapter>(ctx_, outer_rows, std::move(nl));
+      }
+      break;
     }
     case PlanKind::kAggregate: {
       const auto& agg = static_cast<const LogicalAggregate&>(node);
-      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
-      return OperatorPtr(
-          std::make_unique<HashAggregateOp>(ctx_, outer_rows, agg, std::move(child)));
+      SELTRIG_ASSIGN_OR_RETURN(
+          OperatorPtr child, BuildNode(*node.children[0], outer_rows, /*spine_cap=*/0));
+      op = std::make_unique<HashAggregateOp>(ctx_, outer_rows, agg, std::move(child));
+      break;
     }
     case PlanKind::kSort: {
       const auto& sort = static_cast<const LogicalSort&>(node);
-      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
-      return OperatorPtr(
-          std::make_unique<SortOp>(ctx_, outer_rows, sort, std::move(child)));
+      SELTRIG_ASSIGN_OR_RETURN(
+          OperatorPtr child, BuildNode(*node.children[0], outer_rows, /*spine_cap=*/0));
+      op = std::make_unique<SortOp>(ctx_, outer_rows, sort, std::move(child));
+      break;
     }
     case PlanKind::kLimit: {
       const auto& limit = static_cast<const LogicalLimit&>(node);
-      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
-      return OperatorPtr(
-          std::make_unique<LimitOp>(ctx_, outer_rows, limit, std::move(child)));
+      size_t child_cap = spine_cap;
+      if (limit.limit >= 0) {
+        if (LazySpineHasAudit(*node.children[0])) {
+          // An audit op below an early-stopping LIMIT must see the exact
+          // row-at-a-time flow: ACCESSED depends on which tuples are pulled.
+          child_cap = 1;
+        } else {
+          size_t budget = static_cast<size_t>(limit.limit + limit.offset);
+          child_cap = CombineCaps(child_cap, budget == 0 ? 1 : budget);
+        }
+      }
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child,
+                               BuildNode(*node.children[0], outer_rows, child_cap));
+      op = std::make_unique<LimitOp>(ctx_, outer_rows, limit, std::move(child));
+      break;
     }
     case PlanKind::kDistinct: {
-      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
-      return OperatorPtr(
-          std::make_unique<DistinctOp>(ctx_, outer_rows, std::move(child)));
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child,
+                               BuildNode(*node.children[0], outer_rows, spine_cap));
+      op = std::make_unique<DistinctOp>(ctx_, outer_rows, std::move(child));
+      break;
     }
     case PlanKind::kValues: {
       const auto& values = static_cast<const LogicalValues&>(node);
-      return OperatorPtr(std::make_unique<ValuesOp>(ctx_, outer_rows, values));
+      op = std::make_unique<ValuesOp>(ctx_, outer_rows, values);
+      break;
     }
     case PlanKind::kAudit: {
       const auto& audit = static_cast<const LogicalAudit&>(node);
-      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child, Build(*node.children[0], outer_rows));
-      return OperatorPtr(
-          std::make_unique<PhysicalAuditOp>(ctx_, outer_rows, audit, std::move(child)));
+      SELTRIG_ASSIGN_OR_RETURN(OperatorPtr child,
+                               BuildNode(*node.children[0], outer_rows, spine_cap));
+      op = std::make_unique<PhysicalAuditOp>(ctx_, outer_rows, audit, std::move(child));
+      break;
     }
   }
-  return Status::Internal("unknown plan node kind");
+  if (op == nullptr) return Status::Internal("unknown plan node kind");
+  if (spine_cap != 0 && spine_cap < op->batch_capacity()) {
+    op->set_batch_capacity(spine_cap);
+  }
+  return op;
 }
 
 Result<std::vector<Row>> Executor::ExecutePlan(
     const LogicalOperator& plan, const std::vector<const Row*>& outer_rows) {
-  SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, Build(plan, outer_rows));
+  // Plans run here always run to completion (subqueries, trigger conditions,
+  // the offline auditor), so the flow through every operator is independent
+  // of batch size — no exact-mode pinning needed.
+  SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(plan, outer_rows, 0));
   SELTRIG_RETURN_IF_ERROR(root->Init());
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
   std::vector<Row> rows;
-  Row row;
+  RowBatch batch;
   while (true) {
-    Result<bool> has = root->Next(&row);
+    Result<bool> has = root->NextBatch(&batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
-    rows.push_back(std::move(row));
-    if ((rows.size() & 63) == 0) {
-      SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      rows.push_back(std::move(batch.mutable_row(i)));
     }
+    SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
   }
   return rows;
 }
 
 Result<QueryResult> Executor::ExecuteQuery(const LogicalOperator& plan,
                                            int64_t max_rows) {
-  SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, Build(plan, {}));
+  // A max_rows prefix-abort stops pulling mid-stream. If an audit operator
+  // would observe that pacing, pin the streaming spine to capacity 1 so
+  // ACCESSED reflects exactly the tuples the row-at-a-time engine would have
+  // flowed; otherwise just cap the spine at the row budget so the scan stays
+  // lazy (Volcano semantics: only the rows needed are pulled).
+  size_t spine_cap = 0;
+  if (max_rows >= 0) {
+    spine_cap = LazySpineHasAudit(plan)
+                    ? 1
+                    : std::max<size_t>(1, static_cast<size_t>(max_rows));
+  }
+  SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(plan, {}, spine_cap));
   SELTRIG_RETURN_IF_ERROR(root->Init());
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
 
@@ -189,22 +281,32 @@ Result<QueryResult> Executor::ExecuteQuery(const LogicalOperator& plan,
   }
   bool any_hidden = visible.size() != plan.schema.size();
 
-  Row row;
+  RowBatch batch;
   while (max_rows < 0 || static_cast<int64_t>(result.rows.size()) < max_rows) {
-    Result<bool> has = root->Next(&row);
+    Result<bool> has = root->NextBatch(&batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
-    if (any_hidden) {
-      Row stripped;
-      stripped.reserve(visible.size());
-      for (int i : visible) stripped.push_back(std::move(row[i]));
-      result.rows.push_back(std::move(stripped));
-    } else {
-      result.rows.push_back(std::move(row));
+    size_t take = batch.size();
+    if (max_rows >= 0) {
+      int64_t remaining = max_rows - static_cast<int64_t>(result.rows.size());
+      take = std::min(take, static_cast<size_t>(remaining));
     }
-    if ((result.rows.size() & 63) == 0) {
-      SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
+    for (size_t r = 0; r < take; ++r) {
+      Row& row = batch.mutable_row(r);
+      if (any_hidden) {
+        Row stripped;
+        stripped.reserve(visible.size());
+        for (int i : visible) stripped.push_back(std::move(row[i]));
+        result.rows.push_back(std::move(stripped));
+      } else {
+        result.rows.push_back(std::move(row));
+      }
     }
+    SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
+  }
+
+  if (ctx_->collect_profile()) {
+    ctx_->profile_text() += FormatOperatorProfile(*root);
   }
   return result;
 }

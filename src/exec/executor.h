@@ -48,6 +48,15 @@ class Executor {
                             const std::vector<const Row*>& outer_rows);
 
  private:
+  // `spine_cap` caps the batch capacity of the created operator and its
+  // lazy-spine descendants (0 = uncapped). Early-stopping consumers (LIMIT,
+  // max_rows) cap their subtree's spine at the row budget so scans stay lazy,
+  // and pin it to 1 when an audit operator on the spine must observe exact
+  // row-at-a-time flow. See LazySpineHasAudit in the .cc.
+  Result<OperatorPtr> BuildNode(const LogicalOperator& node,
+                                const std::vector<const Row*>& outer_rows,
+                                size_t spine_cap);
+
   ExecContext* ctx_;
 };
 

@@ -1,29 +1,28 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "audit/accessed_state.h"
-#include "common/bloom_filter.h"
-#include "common/fault_injector.h"
 #include "audit/sensitive_id_view.h"
 #include "catalog/catalog.h"
+#include "common/bloom_filter.h"
+#include "common/fault_injector.h"
 #include "expr/analysis.h"
 
 namespace seltrig {
 
-PhysicalOperator::~PhysicalOperator() = default;
-
 namespace {
 
-bool ExprIsRowIndependent(const Expr& e) {
-  if (e.kind == ExprKind::kColumnRef || e.kind == ExprKind::kSubquery) return false;
-  for (const auto& c : e.children) {
-    if (!ExprIsRowIndependent(*c)) return false;
-  }
-  return true;
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
-// Finds an equality conjunct `column = <row-independent expr>` usable for a
+// Finds an equality conjunct `column = <row-invariant expr>` usable for a
 // secondary-index probe. Returns the column index, or -1.
 int FindIndexableConjunct(const Expr& pred, const Expr** value_expr) {
   if (pred.kind == ExprKind::kLogical && pred.logical_op == LogicalOp::kAnd) {
@@ -34,11 +33,11 @@ int FindIndexableConjunct(const Expr& pred, const Expr** value_expr) {
   if (pred.kind == ExprKind::kComparison && pred.cmp_op == CompareOp::kEq) {
     const Expr& l = *pred.children[0];
     const Expr& r = *pred.children[1];
-    if (l.kind == ExprKind::kColumnRef && ExprIsRowIndependent(r)) {
+    if (l.kind == ExprKind::kColumnRef && ExprIsRowInvariant(r)) {
       *value_expr = &r;
       return l.column_index;
     }
-    if (r.kind == ExprKind::kColumnRef && ExprIsRowIndependent(l)) {
+    if (r.kind == ExprKind::kColumnRef && ExprIsRowInvariant(l)) {
       *value_expr = &l;
       return r.column_index;
     }
@@ -46,7 +45,134 @@ int FindIndexableConjunct(const Expr& pred, const Expr** value_expr) {
   return -1;
 }
 
+// Rough output-cardinality estimate for sizing hash tables before a build.
+// Only has to be the right order of magnitude: it seeds reserve() calls, so
+// an underestimate costs rehashes and an overestimate costs memory.
+size_t EstimateCardinality(const LogicalOperator& node, ExecContext* ctx) {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const LogicalScan&>(node);
+      if (scan.virtual_rows != nullptr) return scan.virtual_rows->size();
+      Result<Table*> table = ctx->catalog()->GetTable(scan.table_name);
+      size_t n = table.ok() ? (*table)->live_row_count() : 0;
+      if (scan.filter != nullptr) n = n / 3 + 1;
+      return n;
+    }
+    case PlanKind::kValues:
+      return static_cast<const LogicalValues&>(node).rows.size();
+    case PlanKind::kFilter:
+      return EstimateCardinality(*node.children[0], ctx) / 3 + 1;
+    case PlanKind::kLimit: {
+      const auto& limit = static_cast<const LogicalLimit&>(node);
+      size_t child = EstimateCardinality(*node.children[0], ctx);
+      if (limit.limit >= 0) {
+        return std::min(child, static_cast<size_t>(limit.limit));
+      }
+      return child;
+    }
+    case PlanKind::kProject:
+    case PlanKind::kSort:
+    case PlanKind::kDistinct:
+    case PlanKind::kAudit:
+      return EstimateCardinality(*node.children[0], ctx);
+    case PlanKind::kAggregate:
+      return EstimateCardinality(*node.children[0], ctx) / 4 + 1;
+    case PlanKind::kJoin:
+      return std::max(EstimateCardinality(*node.children[0], ctx),
+                      EstimateCardinality(*node.children[1], ctx));
+  }
+  return 16;
+}
+
+void FormatProfileNode(const PhysicalOperator& op, int indent, std::string* out) {
+  const OperatorProfile& p = op.profile();
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%*s%s  rows=%llu batches=%llu init=%.3fms next=%.3fms\n", indent * 2,
+                "", op.DebugName().c_str(),
+                static_cast<unsigned long long>(p.rows_out),
+                static_cast<unsigned long long>(p.batches),
+                static_cast<double>(p.init_ns) / 1e6,
+                static_cast<double>(p.next_ns) / 1e6);
+  *out += line;
+  for (const PhysicalOperator* child : op.profile_children()) {
+    FormatProfileNode(*child, indent + 1, out);
+  }
+}
+
 }  // namespace
+
+// --- PhysicalOperator --------------------------------------------------------
+
+PhysicalOperator::~PhysicalOperator() = default;
+RowOperator::~RowOperator() = default;
+
+Status PhysicalOperator::Init() {
+  if (!ctx_->collect_profile()) return InitImpl();
+  uint64_t start = NowNs();
+  Status status = InitImpl();
+  profile_.init_ns += NowNs() - start;
+  return status;
+}
+
+Result<bool> PhysicalOperator::NextBatch(RowBatch* out) {
+  out->Clear();
+  if (!ctx_->collect_profile()) {
+    SELTRIG_ASSIGN_OR_RETURN(bool has, NextBatchImpl(out));
+    if (has) {
+      profile_.batches++;
+      profile_.rows_out += out->size();
+    }
+    return has;
+  }
+  uint64_t start = NowNs();
+  Result<bool> has = NextBatchImpl(out);
+  profile_.next_ns += NowNs() - start;
+  SELTRIG_RETURN_IF_ERROR(has.status());
+  if (*has) {
+    profile_.batches++;
+    profile_.rows_out += out->size();
+  }
+  return has;
+}
+
+std::string FormatOperatorProfile(const PhysicalOperator& root) {
+  std::string out;
+  FormatProfileNode(root, 0, &out);
+  return out;
+}
+
+// --- RowAtATimeAdapter -------------------------------------------------------
+
+RowAtATimeAdapter::RowAtATimeAdapter(ExecContext* ctx,
+                                     std::vector<const Row*> outer_rows,
+                                     RowOperatorPtr inner)
+    : PhysicalOperator(ctx, std::move(outer_rows)), inner_(std::move(inner)) {
+  profile_children_ = inner_->Children();
+}
+
+std::string RowAtATimeAdapter::DebugName() const {
+  return inner_->DebugName() + " [row-adapter]";
+}
+
+Status RowAtATimeAdapter::InitImpl() {
+  done_ = false;
+  return inner_->Init();
+}
+
+Result<bool> RowAtATimeAdapter::NextBatchImpl(RowBatch* out) {
+  if (done_) return false;
+  while (out->size() < batch_capacity_) {
+    Row* slot = out->AppendRow();
+    SELTRIG_ASSIGN_OR_RETURN(bool has, inner_->Next(slot));
+    if (!has) {
+      out->PopRow();
+      done_ = true;
+      break;
+    }
+  }
+  return !(out->empty() && done_);
+}
 
 // --- SeqScan -----------------------------------------------------------------
 
@@ -54,11 +180,19 @@ SeqScanOp::SeqScanOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                      const LogicalScan& node, Table* table)
     : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), table_(table) {}
 
-Status SeqScanOp::Init() {
+std::string SeqScanOp::DebugName() const { return node_.Describe(); }
+
+Status SeqScanOp::InitImpl() {
   cursor_ = 0;
   exclusions_.clear();
   index_mode_ = false;
   candidates_.clear();
+  eval_ctx_ = MakeEvalContext(nullptr);
+  scan_buffer_.reserve(batch_capacity_);
+  simple_filter_.reset();
+  if (node_.filter != nullptr) {
+    simple_filter_ = SimplePredicate::Compile(*node_.filter);
+  }
   if (table_ != nullptr) {
     for (const ScanExclusion& e : ctx_->exclusions()) {
       if (e.table == node_.table_name) {
@@ -69,8 +203,8 @@ Status SeqScanOp::Init() {
       const Expr* value_expr = nullptr;
       int col = FindIndexableConjunct(*node_.filter, &value_expr);
       if (col >= 0) {
-        EvalContext ec = MakeEvalContext(nullptr);
-        SELTRIG_ASSIGN_OR_RETURN(Value key, EvalExpr(*value_expr, ec));
+        eval_ctx_.row = nullptr;
+        SELTRIG_ASSIGN_OR_RETURN(Value key, EvalExpr(*value_expr, eval_ctx_));
         index_mode_ = true;
         if (!key.is_null()) {
           candidates_ = table_->LookupBySecondary(col, key);
@@ -81,85 +215,121 @@ Status SeqScanOp::Init() {
   return Status::OK();
 }
 
-Result<bool> SeqScanOp::Next(Row* row) {
-  while (true) {
-    const Row* src = nullptr;
-    if (node_.virtual_rows != nullptr) {
-      if (cursor_ >= node_.virtual_rows->size()) return false;
-      src = &(*node_.virtual_rows)[cursor_++];
-    } else if (index_mode_) {
-      if (cursor_ >= candidates_.size()) return false;
-      size_t row_id = candidates_[cursor_++];
-      if (!table_->IsLive(row_id)) continue;
-      src = &table_->GetRow(row_id);
+Result<bool> SeqScanOp::EmitIfPassing(const Row& src, RowBatch* out) {
+  ctx_->stats().rows_scanned++;
+  for (const auto& [col, value] : exclusions_) {
+    if (src[col] == value) return false;
+  }
+  if (node_.filter != nullptr) {
+    if (simple_filter_) {
+      if (!simple_filter_->Matches(src)) return false;
     } else {
-      // Skip tombstones.
-      while (cursor_ < table_->slot_count() && !table_->IsLive(cursor_)) ++cursor_;
-      if (cursor_ >= table_->slot_count()) return false;
-      src = &table_->GetRow(cursor_++);
+      eval_ctx_.row = &src;
+      SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node_.filter, eval_ctx_));
+      if (!pass) return false;
     }
-    ctx_->stats().rows_scanned++;
+  }
+  if (node_.projection.empty()) {
+    out->AppendCopy(src);
+  } else {
+    Row* slot = out->AppendRow();
+    slot->reserve(node_.projection.size());
+    for (int col : node_.projection) slot->push_back(src[col]);
+  }
+  return true;
+}
 
-    bool excluded = false;
-    for (const auto& [col, value] : exclusions_) {
-      if ((*src)[col] == value) {
-        excluded = true;
-        break;
-      }
-    }
-    if (excluded) continue;
-
-    if (node_.filter != nullptr) {
-      EvalContext ec = MakeEvalContext(src);
-      SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node_.filter, ec));
-      if (!pass) continue;
-    }
-    if (node_.projection.empty()) {
-      *row = *src;
-    } else {
-      row->clear();
-      row->reserve(node_.projection.size());
-      for (int col : node_.projection) row->push_back((*src)[col]);
+Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
+  const size_t cap = batch_capacity_;
+  if (node_.virtual_rows != nullptr) {
+    const std::vector<Row>& rows = *node_.virtual_rows;
+    if (cursor_ >= rows.size()) return false;
+    size_t end = std::min(rows.size(), cursor_ + cap);
+    for (; cursor_ < end; ++cursor_) {
+      SELTRIG_RETURN_IF_ERROR(EmitIfPassing(rows[cursor_], out).status());
     }
     return true;
   }
+  if (index_mode_) {
+    if (cursor_ >= candidates_.size()) return false;
+    size_t examined = 0;
+    while (cursor_ < candidates_.size() && examined < cap) {
+      size_t row_id = candidates_[cursor_++];
+      if (!table_->IsLive(row_id)) continue;
+      ++examined;
+      SELTRIG_RETURN_IF_ERROR(EmitIfPassing(table_->GetRow(row_id), out).status());
+    }
+    return true;
+  }
+  scan_buffer_.clear();
+  size_t n = table_->ScanBatch(&cursor_, cap, &scan_buffer_);
+  if (n == 0) return false;
+  for (const Row* src : scan_buffer_) {
+    SELTRIG_RETURN_IF_ERROR(EmitIfPassing(*src, out).status());
+  }
+  return true;
 }
 
 // --- Filter ------------------------------------------------------------------
 
 FilterOp::FilterOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                    const LogicalFilter& node, OperatorPtr child)
-    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {
+  profile_children_ = {child_.get()};
+}
 
-Status FilterOp::Init() { return child_->Init(); }
+std::string FilterOp::DebugName() const { return node_.Describe(); }
 
-Result<bool> FilterOp::Next(Row* row) {
-  while (true) {
-    SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(row));
-    if (!has) return false;
-    EvalContext ec = MakeEvalContext(row);
-    SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node_.predicate, ec));
-    if (pass) return true;
+Status FilterOp::InitImpl() {
+  eval_ctx_ = MakeEvalContext(nullptr);
+  simple_pred_ = SimplePredicate::Compile(*node_.predicate);
+  return child_->Init();
+}
+
+Result<bool> FilterOp::NextBatchImpl(RowBatch* out) {
+  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
+  if (!has) return false;
+  if (simple_pred_) {
+    simple_pred_->FilterBatch(out);
+    return true;
   }
+  SELTRIG_RETURN_IF_ERROR(EvalPredicateBatch(*node_.predicate, eval_ctx_, out));
+  return true;
 }
 
 // --- Project -----------------------------------------------------------------
 
 ProjectOp::ProjectOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                      const LogicalProject& node, OperatorPtr child)
-    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {
+  profile_children_ = {child_.get()};
+}
 
-Status ProjectOp::Init() { return child_->Init(); }
+std::string ProjectOp::DebugName() const { return node_.Describe(); }
 
-Result<bool> ProjectOp::Next(Row* row) {
-  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(&input_));
+Status ProjectOp::InitImpl() {
+  eval_ctx_ = MakeEvalContext(nullptr);
+  return child_->Init();
+}
+
+Result<bool> ProjectOp::NextBatchImpl(RowBatch* out) {
+  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
   if (!has) return false;
-  row->clear();
-  row->reserve(node_.exprs.size());
-  EvalContext ec = MakeEvalContext(&input_);
-  for (const auto& e : node_.exprs) {
-    SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ec));
-    row->push_back(std::move(v));
+  size_t n = out->size();
+  if (n == 0) return true;
+  size_t ncols = node_.exprs.size();
+  if (cols_.size() < ncols) cols_.resize(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    cols_[c].clear();
+    SELTRIG_RETURN_IF_ERROR(
+        EvalExprBatch(*node_.exprs[c], eval_ctx_, *out, &cols_[c]));
+  }
+  // All inputs are evaluated; rewrite the selected slots in place.
+  for (size_t i = 0; i < n; ++i) {
+    scratch_.clear();
+    scratch_.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) scratch_.push_back(std::move(cols_[c][i]));
+    out->mutable_row(i).swap(scratch_);
   }
   return true;
 }
@@ -176,37 +346,53 @@ HashJoinOp::HashJoinOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
       right_(std::move(right)),
       left_keys_(std::move(left_keys)),
       right_keys_(std::move(right_keys)),
-      residual_(std::move(residual)) {}
+      residual_(std::move(residual)) {
+  profile_children_ = {left_.get(), right_.get()};
+}
 
-Status HashJoinOp::Init() {
+std::string HashJoinOp::DebugName() const { return node_.Describe(); }
+
+Status HashJoinOp::InitImpl() {
   SELTRIG_RETURN_IF_ERROR(left_->Init());
   SELTRIG_RETURN_IF_ERROR(right_->Init());
   hash_table_.clear();
-  left_valid_ = false;
+  eval_ctx_ = MakeEvalContext(nullptr);
+  left_batch_.Clear();
+  left_pos_ = 0;
+  left_done_ = false;
+  left_row_ = nullptr;
   matches_ = nullptr;
+  left_matched_ = false;
 
-  Row row;
+  // Build side: size the table from the child's estimated cardinality up
+  // front (one allocation instead of a rehash cascade), and move rows out of
+  // the child's batches instead of copying them.
+  hash_table_.reserve(EstimateCardinality(*node_.children[1], ctx_));
   right_width_ = 0;
+  RowBatch build_batch;
   while (true) {
-    Result<bool> has = right_->Next(&row);
+    Result<bool> has = right_->NextBatch(&build_batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
-    right_width_ = row.size();
-    EvalContext ec = MakeEvalContext(&row);
-    Row key;
-    key.reserve(right_keys_.size());
-    bool null_key = false;
-    for (const auto& k : right_keys_) {
-      Result<Value> v = EvalExpr(*k, ec);
-      SELTRIG_RETURN_IF_ERROR(v.status());
-      if (v->is_null()) {
-        null_key = true;
-        break;
+    for (size_t i = 0; i < build_batch.size(); ++i) {
+      Row& row = build_batch.mutable_row(i);
+      right_width_ = row.size();
+      eval_ctx_.row = &row;
+      Row key;
+      key.reserve(right_keys_.size());
+      bool null_key = false;
+      for (const auto& k : right_keys_) {
+        Result<Value> v = EvalExpr(*k, eval_ctx_);
+        SELTRIG_RETURN_IF_ERROR(v.status());
+        if (v->is_null()) {
+          null_key = true;
+          break;
+        }
+        key.push_back(std::move(*v));
       }
-      key.push_back(std::move(*v));
+      if (null_key) continue;  // SQL equality never matches NULL keys
+      hash_table_[std::move(key)].push_back(std::move(row));
     }
-    if (null_key) continue;  // SQL equality never matches NULL keys
-    hash_table_[std::move(key)].push_back(std::move(row));
   }
   if (right_width_ == 0) {
     // Right side empty: width from the schema (needed for LEFT OUTER nulls).
@@ -217,87 +403,112 @@ Status HashJoinOp::Init() {
 
 Result<bool> HashJoinOp::AdvanceLeft() {
   while (true) {
-    SELTRIG_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
-    if (!has) {
-      left_valid_ = false;
-      return false;
+    if (left_pos_ >= left_batch_.size()) {
+      if (left_done_) return false;
+      SELTRIG_ASSIGN_OR_RETURN(bool has, left_->NextBatch(&left_batch_));
+      left_pos_ = 0;
+      if (!has) {
+        left_done_ = true;
+        return false;
+      }
+      continue;  // batch may be empty; pull again
     }
-    left_valid_ = true;
+    left_row_ = &left_batch_.row(left_pos_++);
     left_matched_ = false;
     match_idx_ = 0;
     matches_ = nullptr;
 
-    EvalContext ec = MakeEvalContext(&left_row_);
-    Row key;
-    key.reserve(left_keys_.size());
+    eval_ctx_.row = left_row_;
+    key_scratch_.clear();
+    key_scratch_.reserve(left_keys_.size());
     bool null_key = false;
     for (const auto& k : left_keys_) {
-      SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, ec));
+      SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, eval_ctx_));
       if (v.is_null()) {
         null_key = true;
         break;
       }
-      key.push_back(std::move(v));
+      key_scratch_.push_back(std::move(v));
     }
     if (!null_key) {
-      auto it = hash_table_.find(key);
+      auto it = hash_table_.find(key_scratch_);
       if (it != hash_table_.end()) matches_ = &it->second;
     }
     return true;
   }
 }
 
-Result<bool> HashJoinOp::Next(Row* row) {
-  while (true) {
-    if (!left_valid_) {
+Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
+  while (out->size() < batch_capacity_) {
+    if (left_row_ == nullptr) {
       SELTRIG_ASSIGN_OR_RETURN(bool has, AdvanceLeft());
-      if (!has) return false;
+      if (!has) break;
     }
-    while (matches_ != nullptr && match_idx_ < matches_->size()) {
+    while (matches_ != nullptr && match_idx_ < matches_->size() &&
+           out->size() < batch_capacity_) {
       const Row& right_row = (*matches_)[match_idx_++];
-      Row combined = left_row_;
-      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      Row* slot = out->AppendRow();
+      slot->reserve(left_row_->size() + right_row.size());
+      slot->insert(slot->end(), left_row_->begin(), left_row_->end());
+      slot->insert(slot->end(), right_row.begin(), right_row.end());
       if (residual_ != nullptr) {
-        EvalContext ec = MakeEvalContext(&combined);
-        SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, ec));
-        if (!pass) continue;
+        eval_ctx_.row = slot;
+        SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, eval_ctx_));
+        if (!pass) {
+          out->PopRow();
+          continue;
+        }
       }
       left_matched_ = true;
-      *row = std::move(combined);
-      return true;
+    }
+    if (matches_ != nullptr && match_idx_ < matches_->size()) {
+      break;  // output batch is full; resume this left row next call
     }
     // Exhausted matches for this left row.
-    bool emit_null_padded =
-        node_.join_type == JoinType::kLeft && !left_matched_;
-    left_valid_ = false;
-    if (emit_null_padded) {
-      *row = left_row_;
-      row->resize(left_row_.size() + right_width_, Value::Null());
-      return true;
+    if (node_.join_type == JoinType::kLeft && !left_matched_) {
+      if (out->size() >= batch_capacity_) break;  // pad on the next call
+      Row* slot = out->AppendRow();
+      slot->reserve(left_row_->size() + right_width_);
+      slot->insert(slot->end(), left_row_->begin(), left_row_->end());
+      slot->resize(left_row_->size() + right_width_, Value::Null());
+      left_matched_ = true;  // padded exactly once
     }
+    left_row_ = nullptr;
   }
+  return !(out->empty() && left_done_ && left_row_ == nullptr &&
+           left_pos_ >= left_batch_.size());
 }
 
 // --- NLJoin ------------------------------------------------------------------
 
 NLJoinOp::NLJoinOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                    const LogicalJoin& node, OperatorPtr left, OperatorPtr right)
-    : PhysicalOperator(ctx, std::move(outer_rows)),
+    : RowOperator(ctx, std::move(outer_rows)),
       node_(node),
       left_(std::move(left)),
-      right_(std::move(right)) {}
+      right_(std::move(right)),
+      left_reader_(left_.get()) {}
+
+std::string NLJoinOp::DebugName() const { return node_.Describe(); }
+
+std::vector<const PhysicalOperator*> NLJoinOp::Children() const {
+  return {left_.get(), right_.get()};
+}
 
 Status NLJoinOp::Init() {
   SELTRIG_RETURN_IF_ERROR(left_->Init());
   SELTRIG_RETURN_IF_ERROR(right_->Init());
+  left_reader_.Reset();
   right_rows_.clear();
   left_valid_ = false;
-  Row row;
+  RowBatch batch;
   while (true) {
-    Result<bool> has = right_->Next(&row);
+    Result<bool> has = right_->NextBatch(&batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
-    right_rows_.push_back(std::move(row));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      right_rows_.push_back(std::move(batch.mutable_row(i)));
+    }
   }
   right_width_ = node_.children[1]->schema.size();
   return Status::OK();
@@ -306,8 +517,9 @@ Status NLJoinOp::Init() {
 Result<bool> NLJoinOp::Next(Row* row) {
   while (true) {
     if (!left_valid_) {
-      SELTRIG_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
-      if (!has) return false;
+      SELTRIG_ASSIGN_OR_RETURN(const Row* next_left, left_reader_.Next());
+      if (next_left == nullptr) return false;
+      left_row_ = *next_left;
       left_valid_ = true;
       left_matched_ = false;
       right_idx_ = 0;
@@ -339,10 +551,15 @@ Result<bool> NLJoinOp::Next(Row* row) {
 
 HashAggregateOp::HashAggregateOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                                  const LogicalAggregate& node, OperatorPtr child)
-    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {
+  profile_children_ = {child_.get()};
+}
 
-Status HashAggregateOp::Accumulate(std::vector<AggState>* states, const Row& input) {
-  EvalContext ec = MakeEvalContext(&input);
+std::string HashAggregateOp::DebugName() const { return node_.Describe(); }
+
+Status HashAggregateOp::Accumulate(std::vector<AggState>* states, const Row& input,
+                                   EvalContext& ec) {
+  ec.row = &input;
   for (size_t i = 0; i < node_.aggregates.size(); ++i) {
     const AggregateSpec& spec = node_.aggregates[i];
     AggState& st = (*states)[i];
@@ -447,7 +664,7 @@ Value HashAggregateOp::Finalize(const AggregateSpec& spec, const AggState& st) c
   return Value::Null();
 }
 
-Status HashAggregateOp::Init() {
+Status HashAggregateOp::InitImpl() {
   SELTRIG_RETURN_IF_ERROR(child_->Init());
   results_.clear();
   cursor_ = 0;
@@ -457,25 +674,29 @@ Status HashAggregateOp::Init() {
   std::vector<Row> group_keys;
   std::vector<std::vector<AggState>> group_states;
 
-  Row input;
+  EvalContext ec = MakeEvalContext(nullptr);
+  RowBatch batch;
   while (true) {
-    Result<bool> has = child_->Next(&input);
+    Result<bool> has = child_->NextBatch(&batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
-    EvalContext ec = MakeEvalContext(&input);
-    Row key;
-    key.reserve(node_.group_exprs.size());
-    for (const auto& g : node_.group_exprs) {
-      Result<Value> v = EvalExpr(*g, ec);
-      SELTRIG_RETURN_IF_ERROR(v.status());
-      key.push_back(std::move(*v));
+    for (size_t r = 0; r < batch.size(); ++r) {
+      const Row& input = batch.row(r);
+      ec.row = &input;
+      Row key;
+      key.reserve(node_.group_exprs.size());
+      for (const auto& g : node_.group_exprs) {
+        Result<Value> v = EvalExpr(*g, ec);
+        SELTRIG_RETURN_IF_ERROR(v.status());
+        key.push_back(std::move(*v));
+      }
+      auto [it, inserted] = group_index.try_emplace(key, group_keys.size());
+      if (inserted) {
+        group_keys.push_back(std::move(key));
+        group_states.emplace_back(node_.aggregates.size());
+      }
+      SELTRIG_RETURN_IF_ERROR(Accumulate(&group_states[it->second], input, ec));
     }
-    auto [it, inserted] = group_index.try_emplace(key, group_keys.size());
-    if (inserted) {
-      group_keys.push_back(std::move(key));
-      group_states.emplace_back(node_.aggregates.size());
-    }
-    SELTRIG_RETURN_IF_ERROR(Accumulate(&group_states[it->second], input));
   }
 
   // Scalar aggregation over an empty input still yields one row.
@@ -496,9 +717,12 @@ Status HashAggregateOp::Init() {
   return Status::OK();
 }
 
-Result<bool> HashAggregateOp::Next(Row* row) {
+Result<bool> HashAggregateOp::NextBatchImpl(RowBatch* out) {
   if (cursor_ >= results_.size()) return false;
-  *row = results_[cursor_++];
+  size_t end = std::min(results_.size(), cursor_ + batch_capacity_);
+  for (; cursor_ < end; ++cursor_) {
+    out->AppendMove(std::move(results_[cursor_]));
+  }
   return true;
 }
 
@@ -506,24 +730,31 @@ Result<bool> HashAggregateOp::Next(Row* row) {
 
 SortOp::SortOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                const LogicalSort& node, OperatorPtr child)
-    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {
+  profile_children_ = {child_.get()};
+}
 
-Status SortOp::Init() {
+std::string SortOp::DebugName() const { return node_.Describe(); }
+
+Status SortOp::InitImpl() {
   SELTRIG_RETURN_IF_ERROR(child_->Init());
   rows_.clear();
   cursor_ = 0;
-  Row row;
+  RowBatch batch;
   while (true) {
-    Result<bool> has = child_->Next(&row);
+    Result<bool> has = child_->NextBatch(&batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
-    rows_.push_back(std::move(row));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      rows_.push_back(std::move(batch.mutable_row(i)));
+    }
   }
   // Precompute key values per row to keep the comparator total and cheap.
   size_t nkeys = node_.keys.size();
+  EvalContext ec = MakeEvalContext(nullptr);
   std::vector<std::vector<Value>> keys(rows_.size());
   for (size_t r = 0; r < rows_.size(); ++r) {
-    EvalContext ec = MakeEvalContext(&rows_[r]);
+    ec.row = &rows_[r];
     keys[r].reserve(nkeys);
     for (const SortKey& k : node_.keys) {
       Result<Value> v = EvalExpr(*k.expr, ec);
@@ -547,9 +778,12 @@ Status SortOp::Init() {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Row* row) {
+Result<bool> SortOp::NextBatchImpl(RowBatch* out) {
   if (cursor_ >= rows_.size()) return false;
-  *row = rows_[cursor_++];
+  size_t end = std::min(rows_.size(), cursor_ + batch_capacity_);
+  for (; cursor_ < end; ++cursor_) {
+    out->AppendMove(std::move(rows_[cursor_]));
+  }
   return true;
 }
 
@@ -557,24 +791,35 @@ Result<bool> SortOp::Next(Row* row) {
 
 LimitOp::LimitOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                  const LogicalLimit& node, OperatorPtr child)
-    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {
+  profile_children_ = {child_.get()};
+}
 
-Status LimitOp::Init() {
+std::string LimitOp::DebugName() const { return node_.Describe(); }
+
+Status LimitOp::InitImpl() {
   produced_ = 0;
   skipped_ = 0;
   return child_->Init();
 }
 
-Result<bool> LimitOp::Next(Row* row) {
-  while (skipped_ < node_.offset) {
-    SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(row));
-    if (!has) return false;
-    ++skipped_;
-  }
+Result<bool> LimitOp::NextBatchImpl(RowBatch* out) {
   if (node_.limit >= 0 && produced_ >= node_.limit) return false;
-  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
   if (!has) return false;
-  ++produced_;
+  if (skipped_ < node_.offset) {
+    size_t drop = static_cast<size_t>(
+        std::min<int64_t>(static_cast<int64_t>(out->size()), node_.offset - skipped_));
+    out->DropFrontLogical(drop);
+    skipped_ += static_cast<int64_t>(drop);
+  }
+  if (node_.limit >= 0) {
+    int64_t remaining = node_.limit - produced_;
+    if (static_cast<int64_t>(out->size()) > remaining) {
+      out->TruncateLogical(static_cast<size_t>(remaining));
+    }
+  }
+  produced_ += static_cast<int64_t>(out->size());
   return true;
 }
 
@@ -582,19 +827,30 @@ Result<bool> LimitOp::Next(Row* row) {
 
 DistinctOp::DistinctOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                        OperatorPtr child)
-    : PhysicalOperator(ctx, std::move(outer_rows)), child_(std::move(child)) {}
+    : PhysicalOperator(ctx, std::move(outer_rows)), child_(std::move(child)) {
+  profile_children_ = {child_.get()};
+}
 
-Status DistinctOp::Init() {
+std::string DistinctOp::DebugName() const { return "Distinct"; }
+
+Status DistinctOp::InitImpl() {
   seen_.clear();
   return child_->Init();
 }
 
-Result<bool> DistinctOp::Next(Row* row) {
-  while (true) {
-    SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(row));
-    if (!has) return false;
-    if (seen_.insert(*row).second) return true;
+Result<bool> DistinctOp::NextBatchImpl(RowBatch* out) {
+  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
+  if (!has) return false;
+  size_t n = out->size();
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (seen_.insert(out->row(i)).second) {
+      keep.push_back(static_cast<uint32_t>(out->PhysicalIndex(i)));
+    }
   }
+  if (keep.size() != n) out->SetSelection(std::move(keep));
+  return true;
 }
 
 // --- Values ----------------------------------------------------------------
@@ -603,20 +859,26 @@ ValuesOp::ValuesOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                    const LogicalValues& node)
     : PhysicalOperator(ctx, std::move(outer_rows)), node_(node) {}
 
-Status ValuesOp::Init() {
+std::string ValuesOp::DebugName() const { return node_.Describe(); }
+
+Status ValuesOp::InitImpl() {
   cursor_ = 0;
+  eval_ctx_ = MakeEvalContext(nullptr);
   return Status::OK();
 }
 
-Result<bool> ValuesOp::Next(Row* row) {
+Result<bool> ValuesOp::NextBatchImpl(RowBatch* out) {
   if (cursor_ >= node_.rows.size()) return false;
-  const auto& exprs = node_.rows[cursor_++];
-  row->clear();
-  row->reserve(exprs.size());
-  EvalContext ec = MakeEvalContext(nullptr);
-  for (const auto& e : exprs) {
-    SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ec));
-    row->push_back(std::move(v));
+  size_t end = std::min(node_.rows.size(), cursor_ + batch_capacity_);
+  for (; cursor_ < end; ++cursor_) {
+    const auto& exprs = node_.rows[cursor_];
+    Row* slot = out->AppendRow();
+    slot->reserve(exprs.size());
+    eval_ctx_.row = nullptr;
+    for (const auto& e : exprs) {
+      SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, eval_ctx_));
+      slot->push_back(std::move(v));
+    }
   }
   return true;
 }
@@ -625,44 +887,88 @@ Result<bool> ValuesOp::Next(Row* row) {
 
 PhysicalAuditOp::PhysicalAuditOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                                  const LogicalAudit& node, OperatorPtr child)
-    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {}
+    : PhysicalOperator(ctx, std::move(outer_rows)), node_(node), child_(std::move(child)) {
+  profile_children_ = {child_.get()};
+}
 
-Status PhysicalAuditOp::Init() { return child_->Init(); }
+std::string PhysicalAuditOp::DebugName() const { return node_.Describe(); }
 
-Result<bool> PhysicalAuditOp::Next(Row* row) {
-  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+Status PhysicalAuditOp::InitImpl() {
+  eval_ctx_ = MakeEvalContext(nullptr);
+  return child_->Init();
+}
+
+Status PhysicalAuditOp::RecordHit(const Value& key) {
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("audit.record"));
+  ctx_->stats().audit_probe_hits++;
+  if (!ctx_->accessed()->GetOrCreate(node_.audit_name).Record(key) &&
+      ctx_->accessed()->overflow_policy() == AccessedOverflowPolicy::kFail) {
+    return Status::ResourceExhausted(
+        "ACCESSED cardinality cap exceeded for audit expression '" +
+        node_.audit_name + "'");
+  }
+  return Status::OK();
+}
+
+Result<bool> PhysicalAuditOp::NextBatchImpl(RowBatch* out) {
+  SELTRIG_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
   if (!has) return false;
-  ctx_->stats().rows_through_audit_ops++;
+  size_t n = out->size();
+  ctx_->stats().rows_through_audit_ops += n;
 
   AccessedStateRegistry* registry = ctx_->accessed();
-  if (registry != nullptr && node_.key_column >= 0 &&
-      node_.key_column < static_cast<int>(row->size())) {
-    const Value& key = (*row)[node_.key_column];
-    if (!key.is_null()) {
-      bool hit;
-      if (node_.bloom != nullptr) {
-        hit = node_.bloom->MayContain(static_cast<uint64_t>(key.Hash()));
-      } else if (node_.id_view != nullptr) {
-        hit = node_.id_view->Contains(key);
-      } else if (node_.fallback_predicate != nullptr) {
-        EvalContext ec = MakeEvalContext(row);
-        SELTRIG_ASSIGN_OR_RETURN(hit, EvalPredicate(*node_.fallback_predicate, ec));
-      } else {
-        hit = false;
-      }
-      if (hit) {
-        SELTRIG_RETURN_IF_ERROR(fault::Maybe("audit.record"));
-        ctx_->stats().audit_probe_hits++;
-        if (!registry->GetOrCreate(node_.audit_name).Record(key) &&
-            registry->overflow_policy() == AccessedOverflowPolicy::kFail) {
-          return Status::ResourceExhausted(
-              "ACCESSED cardinality cap exceeded for audit expression '" +
-              node_.audit_name + "'");
+  if (registry == nullptr || node_.key_column < 0 || n == 0) {
+    return true;  // pass-through: the audit operator is a no-op for the query
+  }
+  const int kc = node_.key_column;
+
+  // Bloom pre-screen (exact ID-view probes only): one pass over the batch's
+  // keys against the view's summary. A clean batch — the common case for
+  // selective queries — skips the exact probes and the ACCESSED bookkeeping
+  // entirely; the filter's one-sided error keeps ACCESSED exact.
+  if (node_.id_view != nullptr && node_.bloom == nullptr) {
+    const BloomFilter* screen = node_.id_view->Screen();
+    if (screen != nullptr) {
+      bool any_maybe = false;
+      for (size_t i = 0; i < n; ++i) {
+        const Row& row = out->row(i);
+        if (kc >= static_cast<int>(row.size())) continue;
+        const Value& key = row[kc];
+        if (!key.is_null() &&
+            screen->MayContain(static_cast<uint64_t>(key.Hash()))) {
+          any_maybe = true;
+          break;
         }
+      }
+      if (!any_maybe) {
+        ctx_->stats().audit_batches_prescreened++;
+        return true;
       }
     }
   }
-  return true;  // pass-through: the audit operator is a no-op for the query
+
+  for (size_t i = 0; i < n; ++i) {
+    const Row& row = out->row(i);
+    if (kc >= static_cast<int>(row.size())) continue;
+    const Value& key = row[kc];
+    if (key.is_null()) continue;
+    bool hit;
+    if (node_.bloom != nullptr) {
+      hit = node_.bloom->MayContain(static_cast<uint64_t>(key.Hash()));
+    } else if (node_.id_view != nullptr) {
+      hit = node_.id_view->Contains(key);
+    } else if (node_.fallback_predicate != nullptr) {
+      eval_ctx_.row = &row;
+      SELTRIG_ASSIGN_OR_RETURN(hit,
+                               EvalPredicate(*node_.fallback_predicate, eval_ctx_));
+    } else {
+      hit = false;
+    }
+    if (hit) {
+      SELTRIG_RETURN_IF_ERROR(RecordHit(key));
+    }
+  }
+  return true;
 }
 
 }  // namespace seltrig

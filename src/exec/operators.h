@@ -1,10 +1,21 @@
-// Volcano-style physical operators. Each operator is built from a logical
-// node by the Executor and pulls rows from its children via Next().
+// Vectorized physical operators. Each operator is built from a logical node
+// by the Executor and pulls *batches* of rows from its children via
+// NextBatch(); per-tuple virtual-call, evaluation-context, and audit-probe
+// costs are amortized over ExecOptions::batch_size rows.
+//
+// Contract: NextBatch(out) returns false at end of stream; a true return
+// means the stream continues and `out` holds zero or more logical rows
+// (in-place operators like Filter may narrow a child batch to emptiness —
+// callers keep pulling until false). Operators that have not been migrated
+// to batches implement the row-at-a-time RowOperator interface and compose
+// through RowAtATimeAdapter, so the tree is always batch-to-batch.
 
 #ifndef SELTRIG_EXEC_OPERATORS_H_
 #define SELTRIG_EXEC_OPERATORS_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +23,7 @@
 
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "exec/row_batch.h"
 #include "expr/evaluator.h"
 #include "expr/expr.h"
 #include "plan/logical_plan.h"
@@ -20,22 +32,99 @@
 
 namespace seltrig {
 
+// Per-operator runtime counters, surfaced by the shell's `.profile on` as an
+// EXPLAIN-ANALYZE-style annotated tree. Row/batch counts are always
+// maintained (two adds per batch); wall-clock time is only sampled when the
+// ExecContext has profiling enabled.
+struct OperatorProfile {
+  uint64_t batches = 0;   // NextBatch calls that returned true
+  uint64_t rows_out = 0;  // logical rows produced
+  uint64_t init_ns = 0;   // time inside Init (materialization, build sides)
+  uint64_t next_ns = 0;   // cumulative time inside NextBatch (incl. children)
+};
+
 class PhysicalOperator {
  public:
   PhysicalOperator(ExecContext* ctx, std::vector<const Row*> outer_rows)
-      : ctx_(ctx), outer_rows_(std::move(outer_rows)) {}
+      : ctx_(ctx),
+        outer_rows_(std::move(outer_rows)),
+        batch_capacity_(ctx->batch_size()) {}
   virtual ~PhysicalOperator();
 
   PhysicalOperator(const PhysicalOperator&) = delete;
   PhysicalOperator& operator=(const PhysicalOperator&) = delete;
 
   // Prepares the operator (and its children) for iteration.
+  Status Init();
+  // Produces the next batch into *out (cleared first). Returns false at end
+  // of stream; true otherwise, with >= 0 logical rows in *out.
+  Result<bool> NextBatch(RowBatch* out);
+
+  // One-line label for profile trees, e.g. "SeqScan(customer)".
+  virtual std::string DebugName() const = 0;
+
+  // Maximum logical rows this operator places in one output batch. The
+  // executor pins it to 1 on lazy spines that must replicate row-at-a-time
+  // flow exactly (audit operators below an early-stopping LIMIT/max_rows).
+  size_t batch_capacity() const { return batch_capacity_; }
+  void set_batch_capacity(size_t capacity) {
+    batch_capacity_ = capacity == 0 ? 1 : capacity;
+  }
+
+  const OperatorProfile& profile() const { return profile_; }
+  const std::vector<const PhysicalOperator*>& profile_children() const {
+    return profile_children_;
+  }
+
+ protected:
+  virtual Status InitImpl() = 0;
+  virtual Result<bool> NextBatchImpl(RowBatch* out) = 0;
+
+  // Evaluation context for expressions over `row`. Hot paths construct this
+  // once per operator (InitImpl) and repoint `.row` per tuple; the context
+  // copies the correlation stack, which must not happen per row.
+  EvalContext MakeEvalContext(const Row* row) const {
+    EvalContext ec;
+    ec.row = row;
+    ec.outer_rows = outer_rows_;
+    ec.exec = ctx_;
+    return ec;
+  }
+
+  ExecContext* ctx_;
+  std::vector<const Row*> outer_rows_;
+  size_t batch_capacity_;
+  OperatorProfile profile_;
+  // Child operators, registered by subclass constructors for profile trees.
+  std::vector<const PhysicalOperator*> profile_children_;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+// Renders the operator tree with its runtime counters (after execution).
+std::string FormatOperatorProfile(const PhysicalOperator& root);
+
+// Row-at-a-time operator interface: the migration seam. Operators not yet
+// vectorized implement this and are mounted into the batch tree via
+// RowAtATimeAdapter. Children are ordinary batch operators (use
+// BatchRowReader to consume them row-wise).
+class RowOperator {
+ public:
+  RowOperator(ExecContext* ctx, std::vector<const Row*> outer_rows)
+      : ctx_(ctx), outer_rows_(std::move(outer_rows)) {}
+  virtual ~RowOperator();
+
+  RowOperator(const RowOperator&) = delete;
+  RowOperator& operator=(const RowOperator&) = delete;
+
   virtual Status Init() = 0;
   // Produces the next row into *row; returns false at end of stream.
   virtual Result<bool> Next(Row* row) = 0;
+  virtual std::string DebugName() const = 0;
+  // Batch children, for the profile tree.
+  virtual std::vector<const PhysicalOperator*> Children() const { return {}; }
 
  protected:
-  // Evaluation context for expressions over `row`.
   EvalContext MakeEvalContext(const Row* row) const {
     EvalContext ec;
     ec.row = row;
@@ -48,71 +137,125 @@ class PhysicalOperator {
   std::vector<const Row*> outer_rows_;
 };
 
-using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+using RowOperatorPtr = std::unique_ptr<RowOperator>;
+
+// Mounts a RowOperator into the batch pipeline: fills each output batch by
+// repeated Next() calls. Costs one virtual call per row — exactly the tax the
+// vectorized operators avoid — but keeps every tree composable during
+// incremental migration.
+class RowAtATimeAdapter : public PhysicalOperator {
+ public:
+  RowAtATimeAdapter(ExecContext* ctx, std::vector<const Row*> outer_rows,
+                    RowOperatorPtr inner);
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+
+ private:
+  RowOperatorPtr inner_;
+  bool done_ = false;
+};
 
 // Scan over a base table or virtual relation, applying the pushed
 // single-table filter and the context's scan exclusions (offline auditing).
-// When the filter contains an equality conjunct `column = <row-independent
-// expression>` (a constant, or a correlated outer reference), the scan probes
-// a lazily-built secondary hash index instead of reading every row -- the
-// index-lookup path that makes correlated EXISTS subqueries (e.g. TPC-H Q22)
-// tractable.
+// Fills batches through Table::ScanBatch (no per-row virtual calls into
+// storage). When the filter contains an equality conjunct `column =
+// <row-independent expression>` (a constant, or a correlated outer
+// reference), the scan probes a lazily-built secondary hash index instead of
+// reading every row -- the index-lookup path that makes correlated EXISTS
+// subqueries (e.g. TPC-H Q22) tractable.
 class SeqScanOp : public PhysicalOperator {
  public:
   SeqScanOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
             const LogicalScan& node, Table* table);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
+  // Applies exclusions + filter to `src` and appends the (projected) row to
+  // `out` when it passes. Sets *emitted accordingly.
+  Result<bool> EmitIfPassing(const Row& src, RowBatch* out);
+
   const LogicalScan& node_;
   Table* table_;  // null for virtual scans
   size_t cursor_ = 0;
+  EvalContext eval_ctx_;
+  // Compiled `column <cmp> constant` fast path for the fused filter.
+  std::optional<SimplePredicate> simple_filter_;
   // Exclusions relevant to this scan, resolved to column indexes.
   std::vector<std::pair<int, Value>> exclusions_;
   // Index-lookup mode: the candidate row ids to examine.
   bool index_mode_ = false;
   std::vector<size_t> candidates_;
+  // Scratch buffer of row pointers filled by Table::ScanBatch.
+  std::vector<const Row*> scan_buffer_;
 };
 
+// In-place predicate over the child's batches: rows that fail are dropped
+// from the selection vector; row storage is never copied.
 class FilterOp : public PhysicalOperator {
  public:
   FilterOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
            const LogicalFilter& node, OperatorPtr child);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   const LogicalFilter& node_;
   OperatorPtr child_;
+  EvalContext eval_ctx_;
+  // Compiled `column <cmp> constant` fast path for the predicate.
+  std::optional<SimplePredicate> simple_pred_;
 };
 
+// Rewrites each selected row of the child's batch in place with the
+// projection expressions (selection vector preserved; unselected slots are
+// left untouched).
 class ProjectOp : public PhysicalOperator {
  public:
   ProjectOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
             const LogicalProject& node, OperatorPtr child);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   const LogicalProject& node_;
   OperatorPtr child_;
-  Row input_;
+  EvalContext eval_ctx_;
+  Row scratch_;
+  // Per-expression output columns for the current batch (EvalExprBatch).
+  std::vector<std::vector<Value>> cols_;
 };
 
 // Hash join over extracted equi-key conjuncts, with residual predicate.
-// Builds on the right child, probes with the left. Supports inner and left
-// outer joins.
+// Builds on the right child (moving rows out of the child's batches, with
+// bucket capacity reserved from the build side's estimated cardinality),
+// probes with batches of the left. Supports inner and left outer joins.
 class HashJoinOp : public PhysicalOperator {
  public:
   HashJoinOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
              const LogicalJoin& node, OperatorPtr left, OperatorPtr right,
              std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
              ExprPtr residual);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
+  // Advances to the next probe-side row; false at end of the left stream.
   Result<bool> AdvanceLeft();
 
   const LogicalJoin& node_;
@@ -124,26 +267,34 @@ class HashJoinOp : public PhysicalOperator {
 
   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> hash_table_;
   size_t right_width_ = 0;
-  Row left_row_;
+  EvalContext eval_ctx_;
+  RowBatch left_batch_;
+  size_t left_pos_ = 0;
+  bool left_done_ = false;
+  const Row* left_row_ = nullptr;
   const std::vector<Row>* matches_ = nullptr;
   size_t match_idx_ = 0;
   bool left_matched_ = false;
-  bool left_valid_ = false;
+  Row key_scratch_;
 };
 
 // Nested-loop join for non-equi conditions and cross joins; materializes the
-// right child once. Supports inner, left outer, and cross joins.
-class NLJoinOp : public PhysicalOperator {
+// right child once. Supports inner, left outer, and cross joins. Cold path:
+// still row-at-a-time, composed through RowAtATimeAdapter.
+class NLJoinOp : public RowOperator {
  public:
   NLJoinOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
            const LogicalJoin& node, OperatorPtr left, OperatorPtr right);
   Status Init() override;
   Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+  std::vector<const PhysicalOperator*> Children() const override;
 
  private:
   const LogicalJoin& node_;
   OperatorPtr left_;
   OperatorPtr right_;
+  BatchRowReader left_reader_;
   std::vector<Row> right_rows_;
   size_t right_width_ = 0;
   Row left_row_;
@@ -156,8 +307,11 @@ class HashAggregateOp : public PhysicalOperator {
  public:
   HashAggregateOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                   const LogicalAggregate& node, OperatorPtr child);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   struct AggState {
@@ -169,7 +323,8 @@ class HashAggregateOp : public PhysicalOperator {
     std::unique_ptr<std::unordered_set<Value, ValueHash, ValueEq>> distinct;
   };
 
-  Status Accumulate(std::vector<AggState>* states, const Row& input);
+  Status Accumulate(std::vector<AggState>* states, const Row& input,
+                    EvalContext& ec);
   Value Finalize(const AggregateSpec& spec, const AggState& state) const;
 
   const LogicalAggregate& node_;
@@ -182,8 +337,11 @@ class SortOp : public PhysicalOperator {
  public:
   SortOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
          const LogicalSort& node, OperatorPtr child);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   const LogicalSort& node_;
@@ -192,12 +350,18 @@ class SortOp : public PhysicalOperator {
   size_t cursor_ = 0;
 };
 
+// OFFSET/LIMIT at batch granularity: trims the child's batches in place via
+// the selection vector (an offset or limit boundary falling mid-batch cuts
+// the batch, never the stream invariants).
 class LimitOp : public PhysicalOperator {
  public:
   LimitOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
           const LogicalLimit& node, OperatorPtr child);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   const LogicalLimit& node_;
@@ -210,8 +374,11 @@ class DistinctOp : public PhysicalOperator {
  public:
   DistinctOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
              OperatorPtr child);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   OperatorPtr child_;
@@ -222,29 +389,42 @@ class ValuesOp : public PhysicalOperator {
  public:
   ValuesOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
            const LogicalValues& node);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   const LogicalValues& node_;
   size_t cursor_ = 0;
+  EvalContext eval_ctx_;
 };
 
 // The physical audit operator (Section IV-A2): a pass-through "data viewer"
 // that probes the sensitive-ID hash set with the partition-by column of each
-// row and records hits into the ACCESSED state. When built without an ID view
-// it evaluates the audit expression's predicate directly (the naive design
-// ablated in the paper).
+// row and records hits into the ACCESSED state. Probing is per batch: a
+// Bloom pre-screen over the ID view (SensitiveIdView::Screen) first checks
+// whether the batch can contain any sensitive ID at all and skips the exact
+// probes entirely when it cannot — the common case for selective queries.
+// When built without an ID view it evaluates the audit expression's
+// predicate directly (the naive design ablated in the paper).
 class PhysicalAuditOp : public PhysicalOperator {
  public:
   PhysicalAuditOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                   const LogicalAudit& node, OperatorPtr child);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
+  std::string DebugName() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
+  Status RecordHit(const Value& key);
+
   const LogicalAudit& node_;
   OperatorPtr child_;
+  EvalContext eval_ctx_;
 };
 
 }  // namespace seltrig

@@ -1,0 +1,17 @@
+#include "exec/row_batch.h"
+
+#include "exec/operators.h"
+
+namespace seltrig {
+
+Result<const Row*> BatchRowReader::Next() {
+  while (!done_) {
+    if (pos_ < batch_.size()) return &batch_.row(pos_++);
+    SELTRIG_ASSIGN_OR_RETURN(bool has, source_->NextBatch(&batch_));
+    pos_ = 0;
+    if (!has) done_ = true;
+  }
+  return nullptr;
+}
+
+}  // namespace seltrig

@@ -1,0 +1,151 @@
+// RowBatch: the unit of data flow in the vectorized execution pipeline.
+//
+// A batch is a reusable container of physical rows plus an optional selection
+// vector. Producers (scans, joins) append physical rows; in-place operators
+// (filter, audit, limit, distinct) narrow the *selection* without touching or
+// copying row storage. Consumers only ever see the logical view: `size()`
+// logical rows addressed through `row(i)` / `mutable_row(i)`.
+//
+// Row storage is retained across `Clear()` calls, so a batch that is refilled
+// every iteration reaches a steady state with zero heap allocation.
+
+#ifndef SELTRIG_EXEC_ROW_BATCH_H_
+#define SELTRIG_EXEC_ROW_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace seltrig {
+
+class RowBatch {
+ public:
+  // Default logical capacity of the pipeline (ExecOptions::batch_size).
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  RowBatch() = default;
+  explicit RowBatch(size_t reserve_rows) { rows_.reserve(reserve_rows); }
+
+  RowBatch(const RowBatch&) = delete;
+  RowBatch& operator=(const RowBatch&) = delete;
+
+  // --- Logical (selected) view ----------------------------------------------
+  size_t size() const { return has_selection_ ? selection_.size() : count_; }
+  bool empty() const { return size() == 0; }
+
+  const Row& row(size_t i) const { return rows_[PhysicalIndex(i)]; }
+  Row& mutable_row(size_t i) { return rows_[PhysicalIndex(i)]; }
+
+  // Physical index backing logical row `i` (stable across selection changes;
+  // used to build narrowed selections).
+  size_t PhysicalIndex(size_t i) const {
+    return has_selection_ ? selection_[i] : i;
+  }
+
+  // --- Producer API ---------------------------------------------------------
+  // Appending is only legal while no selection is installed.
+
+  // Returns a cleared slot to fill in place, reusing previous storage.
+  Row* AppendRow() {
+    if (count_ < rows_.size()) {
+      rows_[count_].clear();
+    } else {
+      rows_.emplace_back();
+    }
+    return &rows_[count_++];
+  }
+
+  void AppendCopy(const Row& src) { *AppendRow() = src; }
+  void AppendMove(Row&& src) { *AppendRow() = std::move(src); }
+
+  // Removes the most recently appended row (join residual rejection).
+  void PopRow() { --count_; }
+
+  // --- Selection ------------------------------------------------------------
+  bool has_selection() const { return has_selection_; }
+
+  // Installs a selection of physical indexes (ascending). An in-place filter
+  // builds the narrowed vector with PhysicalIndex() and installs it here.
+  void SetSelection(std::vector<uint32_t> selection) {
+    selection_ = std::move(selection);
+    has_selection_ = true;
+  }
+
+  // Keeps only the first `n` logical rows.
+  void TruncateLogical(size_t n) {
+    if (n >= size()) return;
+    if (has_selection_) {
+      selection_.resize(n);
+    } else {
+      count_ = n;
+    }
+  }
+
+  // Drops the first `n` logical rows.
+  void DropFrontLogical(size_t n) {
+    if (n == 0) return;
+    if (n >= size()) {
+      TruncateLogical(0);
+      return;
+    }
+    if (!has_selection_) {
+      selection_.clear();
+      selection_.reserve(count_ - n);
+      for (size_t i = n; i < count_; ++i) {
+        selection_.push_back(static_cast<uint32_t>(i));
+      }
+      has_selection_ = true;
+    } else {
+      selection_.erase(selection_.begin(),
+                       selection_.begin() + static_cast<ptrdiff_t>(n));
+    }
+  }
+
+  // Empties the batch (logical and physical), retaining row storage.
+  void Clear() {
+    count_ = 0;
+    has_selection_ = false;
+    selection_.clear();
+  }
+
+ private:
+  size_t count_ = 0;       // physical rows in use; rows_.size() >= count_
+  std::vector<Row> rows_;  // storage, reused across Clear()
+  std::vector<uint32_t> selection_;
+  bool has_selection_ = false;
+};
+
+class PhysicalOperator;
+
+// Pulls batches from a physical operator and hands the rows out one at a
+// time. Bridges batch children into row-at-a-time consumers (RowOperator
+// implementations behind the RowAtATimeAdapter).
+class BatchRowReader {
+ public:
+  explicit BatchRowReader(PhysicalOperator* source) : source_(source) {}
+
+  // Rewinds to a fresh stream (call after source->Init()).
+  void Reset() {
+    batch_.Clear();
+    pos_ = 0;
+    done_ = false;
+  }
+
+  // Next row, or nullptr at end of stream. The pointer is valid until the
+  // next call.
+  Result<const Row*> Next();
+
+ private:
+  PhysicalOperator* source_;
+  RowBatch batch_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_EXEC_ROW_BATCH_H_

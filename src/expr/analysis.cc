@@ -272,6 +272,16 @@ bool AnalyzeConjunction(const Expr& expr, std::map<int, ValueInterval>* out) {
   return found;
 }
 
+bool ExprIsRowInvariant(const Expr& expr) {
+  if (expr.kind == ExprKind::kColumnRef || expr.kind == ExprKind::kSubquery) {
+    return false;
+  }
+  for (const auto& child : expr.children) {
+    if (!ExprIsRowInvariant(*child)) return false;
+  }
+  return true;
+}
+
 bool ConjunctionUnsatisfiable(const Expr& expr) {
   std::map<int, ValueInterval> intervals;
   if (!AnalyzeConjunction(expr, &intervals)) return false;

@@ -61,6 +61,12 @@ void VisitPlanScopeColumnRefs(LogicalOperator& plan, int depth,
 // subquery plans themselves).
 bool ContainsSubquery(const Expr& expr);
 
+// True when the expression's value cannot depend on the current row: it
+// contains no kColumnRef and no subquery (outer references are fine — they
+// are fixed for the duration of a batch). The batch evaluator hoists such
+// expressions out of per-row loops; the scan uses them as index-probe keys.
+bool ExprIsRowInvariant(const Expr& expr);
+
 // Bottom-up constant folding for pure operators over literal operands.
 // Session functions (NOW, USER_ID, ...) and subqueries are never folded.
 // Expressions whose evaluation errors (e.g. division by zero) are left

@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "exec/row_batch.h"
+#include "expr/analysis.h"
 #include "types/date.h"
 
 namespace seltrig {
@@ -346,6 +348,100 @@ Result<bool> EvalPredicate(const Expr& e, EvalContext& ctx) {
                                   e.ToString());
   }
   return v.AsBool();
+}
+
+Status EvalPredicateBatch(const Expr& pred, EvalContext& ctx, RowBatch* batch) {
+  size_t n = batch->size();
+  if (n == 0) return Status::OK();
+
+  if (ExprIsRowInvariant(pred)) {
+    // One evaluation decides the whole batch.
+    ctx.row = nullptr;
+    SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(pred, ctx));
+    if (!pass) batch->TruncateLogical(0);
+    return Status::OK();
+  }
+
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ctx.row = &batch->row(i);
+    SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(pred, ctx));
+    if (pass) keep.push_back(static_cast<uint32_t>(batch->PhysicalIndex(i)));
+  }
+  if (keep.size() != n) batch->SetSelection(std::move(keep));
+  return Status::OK();
+}
+
+std::optional<SimplePredicate> SimplePredicate::Compile(const Expr& pred) {
+  if (pred.kind != ExprKind::kComparison) return std::nullopt;
+  const Expr& lhs = *pred.children[0];
+  const Expr& rhs = *pred.children[1];
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  CompareOp op = pred.cmp_op;
+  if (lhs.kind == ExprKind::kColumnRef && rhs.kind == ExprKind::kLiteral) {
+    col = &lhs;
+    lit = &rhs;
+  } else if (lhs.kind == ExprKind::kLiteral && rhs.kind == ExprKind::kColumnRef) {
+    col = &rhs;
+    lit = &lhs;
+    switch (op) {  // mirror so the column sits on the left
+      case CompareOp::kLt:
+        op = CompareOp::kGt;
+        break;
+      case CompareOp::kLe:
+        op = CompareOp::kGe;
+        break;
+      case CompareOp::kGt:
+        op = CompareOp::kLt;
+        break;
+      case CompareOp::kGe:
+        op = CompareOp::kLe;
+        break;
+      default:
+        break;
+    }
+  } else {
+    return std::nullopt;
+  }
+  // A NULL literal never passes through EvalComparison; leave that (and any
+  // unbound column) to the generic path.
+  if (lit->literal.is_null() || col->column_index < 0) return std::nullopt;
+  return SimplePredicate(col->column_index, op, lit->literal);
+}
+
+void SimplePredicate::FilterBatch(RowBatch* batch) const {
+  size_t n = batch->size();
+  if (n == 0) return;
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (Matches(batch->row(i))) {
+      keep.push_back(static_cast<uint32_t>(batch->PhysicalIndex(i)));
+    }
+  }
+  if (keep.size() != n) batch->SetSelection(std::move(keep));
+}
+
+Status EvalExprBatch(const Expr& expr, EvalContext& ctx, const RowBatch& batch,
+                     std::vector<Value>* out) {
+  size_t n = batch.size();
+  if (n == 0) return Status::OK();
+  if (ExprIsRowInvariant(expr)) {
+    ctx.row = nullptr;
+    SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, ctx));
+    out->reserve(out->size() + n);
+    for (size_t i = 0; i < n; ++i) out->push_back(v);
+    return Status::OK();
+  }
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    ctx.row = &batch.row(i);
+    SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, ctx));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
 }
 
 }  // namespace seltrig

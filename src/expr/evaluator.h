@@ -3,6 +3,8 @@
 #ifndef SELTRIG_EXPR_EVALUATOR_H_
 #define SELTRIG_EXPR_EVALUATOR_H_
 
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -28,6 +30,68 @@ Result<Value> EvalExpr(const Expr& expr, EvalContext& ctx);
 
 // Evaluates a predicate: NULL and false both reject the row.
 Result<bool> EvalPredicate(const Expr& expr, EvalContext& ctx);
+
+// --- Batch entry points (exec/row_batch.h) ----------------------------------
+// Both take a caller-owned EvalContext so the correlation-stack copy happens
+// once per operator, not once per row; `ctx.row` is repointed internally and
+// left dangling on return. Row-invariant expressions (no column refs, no
+// subqueries — see ExprIsRowInvariant) are evaluated once per batch and the
+// result is broadcast, hoisting constant subtrees out of the per-row loop.
+
+class RowBatch;
+
+// Narrows `batch`'s selection in place to the rows where `pred` evaluates to
+// non-null true.
+Status EvalPredicateBatch(const Expr& pred, EvalContext& ctx, RowBatch* batch);
+
+// Appends one value per selected row of `batch` to `out`, in logical order.
+Status EvalExprBatch(const Expr& expr, EvalContext& ctx, const RowBatch& batch,
+                     std::vector<Value>* out);
+
+// A predicate of the shape `column <cmp> constant` (either operand order),
+// pre-analyzed at operator Init so the per-row test needs no expression-tree
+// walk and no Value temporaries. Matches() is exactly equivalent to
+// EvalPredicate on the original expression: a NULL column value rejects the
+// row, and the comparison goes through the same Value::Compare.
+class SimplePredicate {
+ public:
+  // Returns the compiled form when `pred` matches the shape (with a non-NULL
+  // literal); nullopt otherwise.
+  static std::optional<SimplePredicate> Compile(const Expr& pred);
+
+  bool Matches(const Row& row) const {
+    const Value& v = row[column_];
+    if (v.is_null()) return false;
+    int c = Value::Compare(v, constant_);
+    switch (op_) {
+      case CompareOp::kEq:
+        return c == 0;
+      case CompareOp::kNe:
+        return c != 0;
+      case CompareOp::kLt:
+        return c < 0;
+      case CompareOp::kLe:
+        return c <= 0;
+      case CompareOp::kGt:
+        return c > 0;
+      case CompareOp::kGe:
+        return c >= 0;
+    }
+    return false;
+  }
+
+  // Narrows `batch`'s selection in place to the matching rows, like
+  // EvalPredicateBatch.
+  void FilterBatch(RowBatch* batch) const;
+
+ private:
+  SimplePredicate(int column, CompareOp op, Value constant)
+      : column_(column), op_(op), constant_(std::move(constant)) {}
+
+  int column_;
+  CompareOp op_;  // normalized so the column is the left operand
+  Value constant_;
+};
 
 }  // namespace seltrig
 

@@ -134,6 +134,22 @@ void Table::EnsureSecondaryIndex(int column) {
   idx.built_at_version = version_;
 }
 
+size_t Table::ScanBatch(size_t* cursor, size_t max_rows,
+                        std::vector<const Row*>* out) const {
+  size_t appended = 0;
+  size_t pos = *cursor;
+  const size_t slots = rows_.size();
+  while (pos < slots && appended < max_rows) {
+    if (!deleted_[pos]) {
+      out->push_back(&rows_[pos]);
+      ++appended;
+    }
+    ++pos;
+  }
+  *cursor = pos;
+  return appended;
+}
+
 const std::vector<size_t>& Table::LookupBySecondary(int column, const Value& key) {
   EnsureSecondaryIndex(column);
   const SecondaryIndex& idx = secondary_indexes_[column];

@@ -42,6 +42,14 @@ class Table {
   bool IsLive(size_t row_id) const { return !deleted_[row_id]; }
   const Row& GetRow(size_t row_id) const { return rows_[row_id]; }
 
+  // Cursor-based batch scan for the vectorized executor: starting at *cursor,
+  // skips tombstones and appends pointers to up to `max_rows` live rows to
+  // `out`, advancing *cursor past every slot examined. Returns the number of
+  // rows appended; 0 means the scan is exhausted. The pointers stay valid
+  // until the next mutation of the table.
+  size_t ScanBatch(size_t* cursor, size_t max_rows,
+                   std::vector<const Row*>* out) const;
+
   // Appends a row. Fails on arity mismatch or duplicate primary key.
   // On success returns the new row id.
   Result<size_t> Insert(Row row);

@@ -1,0 +1,143 @@
+// RowBatch container unit tests: logical/physical views, selection-vector
+// narrowing, storage reuse, and the BatchRowReader bridge.
+
+#include "exec/row_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "exec/operators.h"
+
+namespace seltrig {
+namespace {
+
+Row MakeRow(int64_t a, int64_t b) { return {Value::Int(a), Value::Int(b)}; }
+
+TEST(RowBatchTest, AppendAndLogicalView) {
+  RowBatch batch;
+  EXPECT_TRUE(batch.empty());
+  batch.AppendCopy(MakeRow(1, 10));
+  batch.AppendMove(MakeRow(2, 20));
+  Row* slot = batch.AppendRow();
+  slot->push_back(Value::Int(3));
+  slot->push_back(Value::Int(30));
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.row(0)[0].AsInt(), 1);
+  EXPECT_EQ(batch.row(2)[1].AsInt(), 30);
+  EXPECT_FALSE(batch.has_selection());
+}
+
+TEST(RowBatchTest, PopRowRemovesLast) {
+  RowBatch batch;
+  batch.AppendCopy(MakeRow(1, 10));
+  batch.AppendCopy(MakeRow(2, 20));
+  batch.PopRow();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.row(0)[0].AsInt(), 1);
+}
+
+TEST(RowBatchTest, SelectionNarrowsWithoutMovingRows) {
+  RowBatch batch;
+  for (int64_t i = 0; i < 5; ++i) batch.AppendCopy(MakeRow(i, i * 10));
+  batch.SetSelection({1, 3, 4});
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.row(0)[0].AsInt(), 1);
+  EXPECT_EQ(batch.row(1)[0].AsInt(), 3);
+  EXPECT_EQ(batch.row(2)[0].AsInt(), 4);
+  EXPECT_EQ(batch.PhysicalIndex(1), 3u);
+
+  // Narrow again through the logical view, as an in-place filter would.
+  batch.SetSelection({static_cast<uint32_t>(batch.PhysicalIndex(0)),
+                      static_cast<uint32_t>(batch.PhysicalIndex(2))});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.row(1)[0].AsInt(), 4);
+}
+
+TEST(RowBatchTest, TruncateLogicalWithAndWithoutSelection) {
+  RowBatch batch;
+  for (int64_t i = 0; i < 4; ++i) batch.AppendCopy(MakeRow(i, 0));
+  batch.TruncateLogical(2);
+  ASSERT_EQ(batch.size(), 2u);
+  batch.SetSelection({0, 1});
+  batch.TruncateLogical(1);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.row(0)[0].AsInt(), 0);
+  batch.TruncateLogical(0);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(RowBatchTest, DropFrontLogical) {
+  RowBatch batch;
+  for (int64_t i = 0; i < 5; ++i) batch.AppendCopy(MakeRow(i, 0));
+  batch.DropFrontLogical(2);  // materializes an identity-suffix selection
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.row(0)[0].AsInt(), 2);
+  batch.DropFrontLogical(1);  // erases from the existing selection
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.row(0)[0].AsInt(), 3);
+  batch.DropFrontLogical(10);  // dropping past the end empties the batch
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(RowBatchTest, ClearRetainsStorageAndResetsSelection) {
+  RowBatch batch;
+  for (int64_t i = 0; i < 3; ++i) batch.AppendCopy(MakeRow(i, 0));
+  batch.SetSelection({0, 2});
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_FALSE(batch.has_selection());
+  // Refill: AppendRow hands back the previously allocated slots, cleared.
+  Row* slot = batch.AppendRow();
+  EXPECT_TRUE(slot->empty());
+  slot->push_back(Value::Int(7));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.row(0)[0].AsInt(), 7);
+}
+
+class BatchRowReaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema;
+    schema.AddColumn({"id", "t", TypeId::kInt, false});
+    auto table = catalog_.CreateTable("t", schema, 0);
+    ASSERT_TRUE(table.ok());
+    for (int64_t i = 1; i <= 5; ++i) {
+      ASSERT_TRUE((*table)->Insert({Value::Int(i)}).ok());
+    }
+  }
+
+  Catalog catalog_;
+  SessionContext session_;
+};
+
+TEST_F(BatchRowReaderTest, ReadsAllRowsAcrossBatchBoundaries) {
+  LogicalScan scan;
+  scan.table_name = "t";
+  scan.alias = "t";
+  ExecContext ctx(&catalog_, &session_);
+  ctx.set_batch_size(2);  // 5 rows -> 3 batches
+  Executor executor(&ctx);
+  auto op = executor.Build(scan, {});
+  ASSERT_TRUE(op.ok());
+  ASSERT_TRUE((*op)->Init().ok());
+
+  BatchRowReader reader(op->get());
+  reader.Reset();
+  std::vector<int64_t> seen;
+  while (true) {
+    auto row = reader.Next();
+    ASSERT_TRUE(row.ok());
+    if (*row == nullptr) break;
+    seen.push_back((**row)[0].AsInt());
+  }
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+
+  // A further pull stays at end of stream.
+  auto again = reader.Next();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, nullptr);
+}
+
+}  // namespace
+}  // namespace seltrig

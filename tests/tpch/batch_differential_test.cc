@@ -1,0 +1,90 @@
+// Differential test of the vectorized executor over the TPC-H workload:
+// every workload query must produce identical rows AND identical ACCESSED
+// state at batch sizes 1 (the row-at-a-time baseline), 3 (forces many
+// partial-batch boundaries), and 1024 (the default), including under a
+// max_rows prefix-abort.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace seltrig {
+namespace {
+
+class BatchDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.01;
+    ASSERT_TRUE(tpch::LoadTpch(db_, config).ok());
+    ASSERT_TRUE(
+        db_->Execute(tpch::SegmentAuditExpressionSql("seg", "BUILDING")).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Result<StatementResult> Run(const std::string& sql, size_t batch_size,
+                                     int64_t max_rows = -1) {
+    ExecOptions options;
+    options.batch_size = batch_size;
+    options.max_rows = max_rows;
+    options.instrument_all_audit_expressions = true;
+    options.enable_select_triggers = false;
+    return db_->ExecuteWithOptions(sql, options);
+  }
+
+  static void ExpectEquivalent(const tpch::TpchQuery& query, int64_t max_rows) {
+    auto baseline = Run(query.sql, 1, max_rows);
+    ASSERT_TRUE(baseline.ok()) << query.name << ": " << baseline.status().ToString();
+    for (size_t batch : {3u, 1024u}) {
+      auto r = Run(query.sql, batch, max_rows);
+      ASSERT_TRUE(r.ok()) << query.name << ": " << r.status().ToString();
+      EXPECT_EQ(r->result.rows, baseline->result.rows)
+          << query.name << " rows diverge at batch " << batch << " (max_rows "
+          << max_rows << ")";
+      EXPECT_EQ(r->accessed, baseline->accessed)
+          << query.name << " ACCESSED diverges at batch " << batch
+          << " (max_rows " << max_rows << ")";
+    }
+  }
+
+  static Database* db_;
+};
+
+Database* BatchDifferentialTest::db_ = nullptr;
+
+TEST_F(BatchDifferentialTest, WorkloadQueriesFullResult) {
+  for (const tpch::TpchQuery& query : tpch::WorkloadQueries()) {
+    ExpectEquivalent(query, /*max_rows=*/-1);
+  }
+}
+
+TEST_F(BatchDifferentialTest, WorkloadQueriesWithMaxRowsPrefixAbort) {
+  for (const tpch::TpchQuery& query : tpch::WorkloadQueries()) {
+    ExpectEquivalent(query, /*max_rows=*/5);
+  }
+}
+
+TEST_F(BatchDifferentialTest, ExtensionQueriesFullResult) {
+  for (const tpch::TpchQuery& query : tpch::ExtensionQueries()) {
+    ExpectEquivalent(query, /*max_rows=*/-1);
+  }
+}
+
+TEST_F(BatchDifferentialTest, MicroQueryAcrossBatchSizes) {
+  tpch::TpchQuery micro{0, "micro", tpch::MicroBenchmarkQuery(4500.0, "1996-01-01")};
+  ExpectEquivalent(micro, /*max_rows=*/-1);
+  ExpectEquivalent(micro, /*max_rows=*/3);
+}
+
+}  // namespace
+}  // namespace seltrig

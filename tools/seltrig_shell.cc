@@ -6,6 +6,8 @@
 //   .tables               list tables with row counts
 //   .audit                list audit expressions with view sizes
 //   .user NAME            set the session user (USER_ID())
+//   .profile on|off       per-operator runtime counters after each query
+//   .batch N              set the executor batch size (default 1024)
 //   .tpch SF              load the TPC-H database at scale factor SF
 //   .import FILE TABLE    bulk-load a CSV file (with header) into TABLE
 //   .quit / .exit         leave
@@ -58,6 +60,10 @@ void PrintResult(const StatementResult& result) {
   for (const auto& [expr, ids] : result.accessed) {
     std::printf("-- ACCESSED[%s]: %zu sensitive ids\n", expr.c_str(), ids.size());
   }
+  if (!result.profile_text.empty()) {
+    std::printf("-- profile (rows/batches per operator, time incl. children):\n%s",
+                result.profile_text.c_str());
+  }
 }
 
 // Handles the shell-level `SET <NAME> = <VALUE>` settings; returns true when
@@ -104,15 +110,16 @@ void RunStatement(Shell* sh, const std::string& sql) {
   }
 }
 
-bool HandleDotCommand(Database* db, const std::string& line) {
+bool HandleDotCommand(Shell* sh, const std::string& line) {
+  Database* db = &sh->db;
   std::istringstream in(line);
   std::string cmd;
   in >> cmd;
   if (cmd == ".quit" || cmd == ".exit") return false;
   if (cmd == ".help") {
     std::printf(
-        ".tables | .audit | .triggers | .user NAME | .tpch SF | .import FILE TABLE "
-        "| .save DIR | .open DIR | .quit\n"
+        ".tables | .audit | .triggers | .user NAME | .profile on|off | .batch N "
+        "| .tpch SF | .import FILE TABLE | .save DIR | .open DIR | .quit\n"
         "SET AUDIT_FAILURE_POLICY = FAIL_CLOSED | FAIL_OPEN;\n");
   } else if (cmd == ".tables") {
     for (const std::string& name : db->catalog()->TableNames()) {
@@ -140,6 +147,25 @@ bool HandleDotCommand(Database* db, const std::string& line) {
         std::printf("%-24s ON %s AFTER %s%s\n", def->name.c_str(), def->table.c_str(),
                     event, quarantined);
       }
+    }
+  } else if (cmd == ".profile") {
+    std::string mode;
+    in >> mode;
+    if (mode == "on" || mode == "off") {
+      sh->options.collect_profile = mode == "on";
+      std::printf("profiling %s\n", mode.c_str());
+    } else {
+      std::printf("usage: .profile on|off (currently %s)\n",
+                  sh->options.collect_profile ? "on" : "off");
+    }
+  } else if (cmd == ".batch") {
+    size_t n = 0;
+    in >> n;
+    if (n > 0) {
+      sh->options.batch_size = n;
+      std::printf("batch size: %zu\n", n);
+    } else {
+      std::printf("usage: .batch N (currently %zu)\n", sh->options.batch_size);
     }
   } else if (cmd == ".user") {
     std::string user;
@@ -189,7 +215,7 @@ bool RunStream(Shell* sh, std::istream& in, bool interactive) {
   if (interactive) std::printf("seltrig> ");
   while (std::getline(in, line)) {
     if (pending.empty() && !line.empty() && line[0] == '.') {
-      if (!HandleDotCommand(&sh->db, line)) return false;
+      if (!HandleDotCommand(sh, line)) return false;
       if (interactive) std::printf("seltrig> ");
       continue;
     }

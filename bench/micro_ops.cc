@@ -180,6 +180,93 @@ BENCHMARK(BM_BatchSweepScanFilterAudit)
     ->Arg(4096)
     ->Iterations(100);
 
+// Fixture for the thread-count sweep: same shape as SweepDb but 4x the rows
+// so the table splits into ~40 morsels (kMorselSlots = 4096) — enough work
+// units to keep 8 workers busy with load balancing left over.
+Database* ThreadSweepDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    Status status =
+        d->Execute("CREATE TABLE audit_bench (id INT PRIMARY KEY, v INT)").status();
+    if (!status.ok()) std::abort();
+    constexpr int kRows = 160000;
+    std::string insert;
+    for (int i = 1; i <= kRows; ++i) {
+      if (insert.empty()) insert = "INSERT INTO audit_bench VALUES ";
+      insert += "(";
+      insert += std::to_string(i);
+      insert += ", ";
+      insert += std::to_string((i * 37) % 1000);
+      insert += ")";
+      if (i % 1000 == 0) {
+        status = d->Execute(insert).status();
+        if (!status.ok()) std::abort();
+        insert.clear();
+      } else {
+        insert += ", ";
+      }
+    }
+    status = d->Execute(
+                  "CREATE AUDIT EXPRESSION bench_sens AS "
+                  "SELECT * FROM audit_bench WHERE v < 100 "
+                  "FOR SENSITIVE TABLE audit_bench PARTITION BY id")
+                 .status();
+    if (!status.ok()) std::abort();
+    return d;
+  }();
+  return db;
+}
+
+// Thread-count sweep over the morsel-parallel scan -> filter -> audit spine
+// at the default batch size. Emits one JSON line per thread count; results,
+// ACCESSED, and rows_scanned are identical at every setting (the sweep
+// asserts rows_scanned to catch an accidental serial fallback). Throughput
+// scales with physical cores — on a single-core host the configurations tie.
+void BM_ThreadSweepScanFilterAudit(benchmark::State& state) {
+  Database* db = ThreadSweepDb();
+  std::string sql = "SELECT DISTINCT v FROM audit_bench WHERE v >= 985";
+  ExecOptions options;
+  options.enable_select_triggers = false;
+  options.instrument_all_audit_expressions = true;
+  options.num_threads = static_cast<int>(state.range(0));
+  uint64_t rows_scanned = 0;
+  uint64_t result_rows = 0;
+  int64_t iterations = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto r = db->ExecuteWithOptions(sql, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    if (r->stats.rows_scanned != 160000) {
+      state.SkipWithError("rows_scanned not thread-invariant");
+      return;
+    }
+    rows_scanned += r->stats.rows_scanned;
+    result_rows += r->result.rows.size();
+    ++iterations;
+  }
+  double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  state.counters["rows_per_sec"] =
+      benchmark::Counter(static_cast<double>(rows_scanned), benchmark::Counter::kIsRate);
+  std::printf(
+      "{\"bench\":\"thread_sweep_scan_filter_audit\",\"threads\":%lld,"
+      "\"batch_size\":%zu,\"iterations\":%lld,\"rows_scanned\":%llu,"
+      "\"result_rows\":%llu,\"seconds\":%.6f,\"rows_per_sec\":%.1f}\n",
+      static_cast<long long>(state.range(0)), options.batch_size,
+      static_cast<long long>(iterations),
+      static_cast<unsigned long long>(rows_scanned),
+      static_cast<unsigned long long>(result_rows), seconds,
+      seconds > 0 ? static_cast<double>(rows_scanned) / seconds : 0.0);
+}
+BENCHMARK(BM_ThreadSweepScanFilterAudit)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(50);
+
 void BM_PlacementAlgorithm(benchmark::State& state) {
   Database* db = SharedDb();
   auto plan = db->PlanSelect(tpch::WorkloadQueries()[1].sql);  // Q5, 6-way join

@@ -74,6 +74,9 @@ class AccessedStateRegistry {
     overflow_policy_ = policy;
   }
   AccessedOverflowPolicy overflow_policy() const { return overflow_policy_; }
+  // 0 = unlimited. Parallel scan gathers require an uncapped registry: a cap
+  // makes ACCESSED depend on arrival order, which a merge cannot replay.
+  size_t capacity() const { return capacity_; }
 
   AccessedState& GetOrCreate(const std::string& audit_name) {
     auto [it, inserted] = states_.try_emplace(audit_name);

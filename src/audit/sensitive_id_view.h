@@ -8,6 +8,7 @@
 #define SELTRIG_AUDIT_SENSITIVE_ID_VIEW_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -38,8 +39,14 @@ class SensitiveIdView {
   // when no row can contain a sensitive ID. No false negatives (a negative
   // screen is definitive), so ACCESSED is unaffected. Invalidated by every
   // maintenance call; returns null for sets too small to be worth screening.
+  //
+  // Safe under concurrent readers: the lazy build races between parallel scan
+  // workers, so it is serialized by a mutex. The returned pointer stays valid
+  // while readers are active — maintenance (which resets the screen) only
+  // runs behind the engine's writer lock, which excludes all readers.
   const BloomFilter* Screen() const {
     if (ids_.size() < kScreenMinIds) return nullptr;
+    std::lock_guard<std::mutex> lock(screen_mutex_);
     if (screen_ == nullptr) {
       screen_ = BuildBloomFilter(kScreenFpRate);
     }
@@ -53,15 +60,15 @@ class SensitiveIdView {
   // rebuilds it lazily.
   void Add(const Value& id) {
     ids_.insert(id);
-    screen_.reset();
+    ResetScreen();
   }
   void Remove(const Value& id) {
     ids_.erase(id);
-    screen_.reset();
+    ResetScreen();
   }
   void Clear() {
     ids_.clear();
-    screen_.reset();
+    ResetScreen();
   }
 
  private:
@@ -70,7 +77,13 @@ class SensitiveIdView {
   static constexpr size_t kScreenMinIds = 16;
   static constexpr double kScreenFpRate = 0.01;
 
+  void ResetScreen() {
+    std::lock_guard<std::mutex> lock(screen_mutex_);
+    screen_.reset();
+  }
+
   std::unordered_set<Value, ValueHash, ValueEq> ids_;
+  mutable std::mutex screen_mutex_;  // serializes the lazy screen build
   mutable std::shared_ptr<const BloomFilter> screen_;
 };
 

@@ -9,6 +9,7 @@ namespace seltrig {
 Status TriggerManager::CreateTrigger(std::unique_ptr<TriggerDef> def) {
   std::string key = ToLower(def->name);
   def->name = key;
+  std::lock_guard<std::mutex> lock(mutex_);
   if (triggers_.count(key) > 0) {
     return Status::AlreadyExists("trigger already exists: " + key);
   }
@@ -17,6 +18,7 @@ Status TriggerManager::CreateTrigger(std::unique_ptr<TriggerDef> def) {
 }
 
 Status TriggerManager::DropTrigger(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (triggers_.erase(ToLower(name)) == 0) {
     return Status::NotFound("trigger not found: " + name);
   }
@@ -24,12 +26,16 @@ Status TriggerManager::DropTrigger(const std::string& name) {
 }
 
 const TriggerDef* TriggerManager::Find(const std::string& name) const {
-  auto it = triggers_.find(ToLower(name));
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = triggers_.find(key);
   return it == triggers_.end() ? nullptr : it->second.get();
 }
 
 TriggerDef* TriggerManager::FindMutable(const std::string& name) {
-  auto it = triggers_.find(ToLower(name));
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = triggers_.find(key);
   return it == triggers_.end() ? nullptr : it->second.get();
 }
 
@@ -44,16 +50,36 @@ Status TriggerManager::Quarantine(const std::string& name) {
 Status TriggerManager::Rearm(const std::string& name) {
   TriggerDef* def = FindMutable(name);
   if (def == nullptr) return Status::NotFound("trigger not found: " + name);
-  def->enabled = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    def->consecutive_failures = 0;
+  }
   def->quarantined = false;
-  def->consecutive_failures = 0;
+  def->enabled = true;
   return Status::OK();
+}
+
+int TriggerManager::RecordFailure(const std::string& name) {
+  TriggerDef* def = FindMutable(name);
+  if (def == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ++def->consecutive_failures;
+}
+
+void TriggerManager::RecordSuccess(const std::string& name) {
+  TriggerDef* def = FindMutable(name);
+  if (def == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  def->consecutive_failures = 0;
 }
 
 std::vector<const TriggerDef*> TriggerManager::Quarantined() const {
   std::vector<const TriggerDef*> out;
-  for (const auto& [name, def] : triggers_) {
-    if (def->quarantined) out.push_back(def.get());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, def] : triggers_) {
+      if (def->quarantined) out.push_back(def.get());
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const TriggerDef* a, const TriggerDef* b) { return a->name < b->name; });
@@ -63,10 +89,13 @@ std::vector<const TriggerDef*> TriggerManager::Quarantined() const {
 std::vector<TriggerDef*> TriggerManager::SelectTriggersFor(
     const std::string& audit_expression) {
   std::vector<TriggerDef*> out;
-  for (auto& [name, def] : triggers_) {
-    if (def->enabled && def->is_select_trigger &&
-        def->audit_expression == audit_expression) {
-      out.push_back(def.get());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, def] : triggers_) {
+      if (def->enabled && def->is_select_trigger &&
+          def->audit_expression == audit_expression) {
+        out.push_back(def.get());
+      }
     }
   }
   std::sort(out.begin(), out.end(),
@@ -77,10 +106,13 @@ std::vector<TriggerDef*> TriggerManager::SelectTriggersFor(
 std::vector<TriggerDef*> TriggerManager::DmlTriggersFor(const std::string& table,
                                                         ast::DmlEvent event) {
   std::vector<TriggerDef*> out;
-  for (auto& [name, def] : triggers_) {
-    if (def->enabled && !def->is_select_trigger && def->table == table &&
-        def->event == event) {
-      out.push_back(def.get());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, def] : triggers_) {
+      if (def->enabled && !def->is_select_trigger && def->table == table &&
+          def->event == event) {
+        out.push_back(def.get());
+      }
     }
   }
   std::sort(out.begin(), out.end(),
@@ -90,8 +122,11 @@ std::vector<TriggerDef*> TriggerManager::DmlTriggersFor(const std::string& table
 
 std::vector<const TriggerDef*> TriggerManager::All() const {
   std::vector<const TriggerDef*> out;
-  out.reserve(triggers_.size());
-  for (const auto& [name, def] : triggers_) out.push_back(def.get());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(triggers_.size());
+    for (const auto& [name, def] : triggers_) out.push_back(def.get());
+  }
   std::sort(out.begin(), out.end(),
             [](const TriggerDef* a, const TriggerDef* b) { return a->name < b->name; });
   return out;
@@ -99,10 +134,14 @@ std::vector<const TriggerDef*> TriggerManager::All() const {
 
 std::vector<std::string> TriggerManager::AuditedExpressionNames() const {
   std::vector<std::string> names;
-  for (const auto& [name, def] : triggers_) {
-    if (def->enabled && def->is_select_trigger) {
-      if (std::find(names.begin(), names.end(), def->audit_expression) == names.end()) {
-        names.push_back(def->audit_expression);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, def] : triggers_) {
+      if (def->enabled && def->is_select_trigger) {
+        if (std::find(names.begin(), names.end(), def->audit_expression) ==
+            names.end()) {
+          names.push_back(def->audit_expression);
+        }
       }
     }
   }

@@ -7,7 +7,9 @@
 #ifndef SELTRIG_AUDIT_TRIGGER_H_
 #define SELTRIG_AUDIT_TRIGGER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,13 +30,17 @@ struct TriggerDef {
   std::string table;             // DML triggers: lower-case table name
   ast::DmlEvent event = ast::DmlEvent::kInsert;
   std::vector<ast::StatementPtr> actions;  // parsed once at CREATE TRIGGER
-  bool enabled = true;
+  // enabled/quarantined are atomic so concurrent reader sessions can check
+  // them while another session quarantines or re-arms the trigger (the
+  // trigger-firing phase itself runs under the engine's writer lock).
+  std::atomic<bool> enabled{true};
   // Circuit-breaker state (ExecOptions::guards.quarantine_after): runs of the
   // action list that failed with no intervening success. Once the threshold
   // is crossed under the fail-open policy the trigger is quarantined --
-  // disabled and excluded from firing until re-created or re-armed.
+  // disabled and excluded from firing until re-created or re-armed. Mutated
+  // through TriggerManager::RecordFailure/RecordSuccess (manager mutex).
   int consecutive_failures = 0;
-  bool quarantined = false;
+  std::atomic<bool> quarantined{false};
 };
 
 class TriggerManager {
@@ -56,6 +62,12 @@ class TriggerManager {
   // Clears quarantine and the failure counter, re-enabling the trigger.
   Status Rearm(const std::string& name);
 
+  // Circuit-breaker bookkeeping for one guarded run of `name`'s action list.
+  // RecordFailure bumps the consecutive-failure counter and returns its new
+  // value (0 if the trigger vanished); RecordSuccess resets it.
+  int RecordFailure(const std::string& name);
+  void RecordSuccess(const std::string& name);
+
   // Every quarantined trigger, sorted by name.
   std::vector<const TriggerDef*> Quarantined() const;
 
@@ -73,6 +85,10 @@ class TriggerManager {
   std::vector<const TriggerDef*> All() const;
 
  private:
+  // Guards the registry map and the non-atomic TriggerDef counters. TriggerDef
+  // pointers handed out remain stable (defs are heap-allocated and only freed
+  // by DropTrigger, which the engine serializes behind its writer lock).
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, std::unique_ptr<TriggerDef>> triggers_;
 };
 

@@ -8,6 +8,7 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::Arm(const std::string& point, Schedule schedule) {
+  std::lock_guard<std::mutex> lock(mutex_);
   PointState& state = points_[point];
   state.schedule = std::move(schedule);
   state.armed_hits = 0;
@@ -16,6 +17,7 @@ void FaultInjector::Arm(const std::string& point, Schedule schedule) {
 }
 
 void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = points_.find(point);
   if (it == points_.end()) return;
   it->second.schedule.reset();
@@ -24,23 +26,29 @@ void FaultInjector::Disarm(const std::string& point) {
 }
 
 void FaultInjector::Reset() {
-  points_.clear();
-  suspend_depth_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    points_.clear();
+  }
+  suspend_depth_.store(0, std::memory_order_relaxed);
   Enable(false);
 }
 
 uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
 }
 
 Status FaultInjector::Check(const char* point) {
-  if (suspend_depth_ > 0) return Status::OK();
+  if (suspend_depth_.load(std::memory_order_relaxed) > 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
   PointState& state = points_[point];
   ++state.hits;
   if (!state.schedule.has_value()) return Status::OK();

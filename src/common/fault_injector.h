@@ -11,14 +11,17 @@
 // hits. Building with -DSELTRIG_DISABLE_FAULT_INJECTION compiles every fault
 // point down to `return Status::OK()`.
 //
-// Like the rest of the engine, the injector models a single session and is
-// not thread-safe.
+// The injector is process-global and thread-safe: the disabled fast path is
+// one relaxed atomic load, armed-state bookkeeping takes an internal mutex
+// (tests arm faults single-threaded, but parallel scan workers may hit
+// points concurrently).
 
 #ifndef SELTRIG_COMMON_FAULT_INJECTOR_H_
 #define SELTRIG_COMMON_FAULT_INJECTOR_H_
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -82,9 +85,10 @@ class FaultInjector {
   void Reset();
 
   // Temporarily masks all faults (rollback and error-recording paths must not
-  // themselves fault). Balanced via ScopedSuspend.
-  void Suspend() { ++suspend_depth_; }
-  void Resume() { --suspend_depth_; }
+  // themselves fault). Balanced via ScopedSuspend. Suspension is process-wide,
+  // not per-thread; the engine only suspends while holding the writer lock.
+  void Suspend() { suspend_depth_.fetch_add(1, std::memory_order_relaxed); }
+  void Resume() { suspend_depth_.fetch_sub(1, std::memory_order_relaxed); }
 
   // Total hits observed at `point` while the injector was enabled.
   uint64_t hits(const std::string& point) const;
@@ -104,7 +108,8 @@ class FaultInjector {
   };
 
   std::atomic<bool> enabled_{false};
-  int suspend_depth_ = 0;
+  std::atomic<int> suspend_depth_{0};
+  mutable std::mutex mutex_;  // guards points_
   std::unordered_map<std::string, PointState> points_;
 };
 

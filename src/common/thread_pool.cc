@@ -1,0 +1,79 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace seltrig {
+
+ThreadPool::ThreadPool(int threads) {
+  workers_.reserve(static_cast<size_t>(std::max(0, threads)));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::RunAndWait(int n, const std::function<void(int)>& fn) {
+  if (n <= 1) {
+    if (n == 1) fn(0);
+    return;
+  }
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  int remaining = n - 1;
+  for (int i = 1; i < n; ++i) {
+    Submit([&, i] {
+      fn(i);
+      // Notify *while holding* done_mutex: done_cv lives on the caller's
+      // stack, and the caller may destroy it the moment it observes
+      // remaining == 0 -- which it can't do before this unlock.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      --remaining;
+      done_cv.notify_one();
+    });
+  }
+  fn(0);
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Deliberately leaked: pool threads must outlive every static destructor
+  // that could still run a query. At least 8 workers regardless of core
+  // count so thread-count differential tests exercise real concurrency on
+  // small machines (oversubscription is correctness-neutral).
+  static ThreadPool* pool = new ThreadPool(
+      std::max(8, static_cast<int>(std::thread::hardware_concurrency())));
+  return *pool;
+}
+
+}  // namespace seltrig

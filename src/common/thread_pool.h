@@ -1,0 +1,58 @@
+// ThreadPool: a fixed set of worker threads behind a task queue, shared by
+// every parallel scan in the process (engine-wide, not per-query: morsel
+// execution is short-lived and pool churn would dominate it).
+//
+// Tasks must be self-contained — a task never blocks on another task's
+// completion, so a pool of any size makes progress. Parallel scans submit
+// one self-draining morsel loop per worker and the *calling* thread runs
+// worker 0 inline, so a query is never stalled waiting for a free pool slot.
+
+#ifndef SELTRIG_COMMON_THREAD_POOL_H_
+#define SELTRIG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seltrig {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn` for execution on some pool thread.
+  void Submit(std::function<void()> fn);
+
+  // Runs fn(0) .. fn(n-1): fn(0) inline on the calling thread, the rest on
+  // pool threads. Returns after every invocation has finished. With n <= 1
+  // this degenerates to a plain inline call (no synchronization at all).
+  void RunAndWait(int n, const std::function<void(int)>& fn);
+
+  // Process-wide pool, sized for the engine's maximum supported parallelism
+  // (at least ExecOptions::num_threads worth of workers even on small
+  // machines, so thread-count differentials exercise real concurrency
+  // everywhere). Created on first use; lives for the process.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_COMMON_THREAD_POOL_H_

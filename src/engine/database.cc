@@ -1,47 +1,41 @@
 #include "engine/database.h"
 
-#include <algorithm>
 #include <utility>
 
-#include "audit/accessed_state.h"
-#include "common/fault_injector.h"
-#include "common/string_util.h"
-#include "expr/evaluator.h"
 #include "sql/parser.h"
 
 namespace seltrig {
 
 Database::Database()
-    : audit_(&catalog_, &session_) {}
+    : default_session_(new Session(this)),
+      audit_(&catalog_, default_session_->context()) {}
 
 Database::~Database() = default;
 
+std::unique_ptr<Session> Database::CreateSession() {
+  return std::make_unique<Session>(this);
+}
+
 Result<QueryResult> Database::Execute(const std::string& sql) {
-  ExecOptions options;
-  SELTRIG_ASSIGN_OR_RETURN(StatementResult result, ExecuteWithOptions(sql, options));
-  return std::move(result.result);
+  return default_session_->Execute(sql);
 }
 
 Result<StatementResult> Database::ExecuteWithOptions(const std::string& sql,
                                                      const ExecOptions& options) {
-  SELTRIG_ASSIGN_OR_RETURN(ast::StatementPtr stmt, ParseSql(sql));
-  session_.sql_text = sql;
-  return ExecuteStatement(*stmt, options, /*depth=*/0, /*action=*/nullptr);
+  return default_session_->ExecuteWithOptions(sql, options);
 }
 
 Status Database::ExecuteScript(const std::string& sql) {
-  SELTRIG_ASSIGN_OR_RETURN(std::vector<ast::StatementPtr> stmts, ParseSqlScript(sql));
-  ExecOptions options;
-  for (auto& stmt : stmts) {
-    // Note: scripts cannot reconstruct per-statement text exactly; SQL_TEXT()
-    // reports the whole script for statements run this way.
-    session_.sql_text = sql;
-    Result<StatementResult> result =
-        ExecuteStatement(*stmt, options, /*depth=*/0, /*action=*/nullptr);
-    SELTRIG_RETURN_IF_ERROR(result.status());
-  }
-  return Status::OK();
+  return default_session_->ExecuteScript(sql);
 }
+
+SessionContext* Database::session() { return default_session_->context(); }
+
+const std::vector<std::string>& Database::notifications() const {
+  return default_session_->notifications();
+}
+
+void Database::ClearNotifications() { default_session_->ClearNotifications(); }
 
 Result<PlanPtr> Database::PlanSelect(const std::string& sql,
                                      const OptimizerOptions& options) {
@@ -50,719 +44,16 @@ Result<PlanPtr> Database::PlanSelect(const std::string& sql,
     return Status::InvalidArgument("PlanSelect expects a SELECT statement");
   }
   auto& wrapper = static_cast<ast::SelectWrapper&>(*stmt);
+  std::shared_lock<std::shared_mutex> lock(storage_mutex_);
   Binder binder(&catalog_);
   SELTRIG_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelect(*wrapper.select));
   OptimizerOptions opt_options = options;
   opt_options.catalog = &catalog_;
   for (const AuditExpressionDef* def : audit_.All()) {
-    opt_options.audit_keys.push_back({def->sensitive_table(), def->partition_column(), def->partition_by()});
-  }
-  return OptimizePlan(std::move(plan), opt_options);
-}
-
-void Database::ConfigureBinder(Binder* binder, const ActionContext* action) const {
-  if (action == nullptr) return;
-  if (action->accessed != nullptr) {
-    binder->AddVirtualTable("accessed", *action->accessed);
-  }
-  if (action->row_schema != nullptr) {
-    binder->SetTriggerRowSchema(action->row_schema);
-  }
-}
-
-Result<StatementResult> Database::ExecuteStatement(ast::Statement& stmt,
-                                                   const ExecOptions& options, int depth,
-                                                   const ActionContext* action) {
-  if (depth > options.guards.max_cascade_depth) {
-    return Status::ResourceExhausted(
-        "trigger cascade depth limit (" +
-        std::to_string(options.guards.max_cascade_depth) + ") exceeded");
-  }
-  switch (stmt.kind) {
-    case ast::StatementKind::kSelect:
-      return ExecuteSelect(*static_cast<ast::SelectWrapper&>(stmt).select, options,
-                           depth, action);
-    case ast::StatementKind::kInsert:
-      return ExecuteInsert(static_cast<const ast::InsertStatement&>(stmt), options,
-                           depth, action);
-    case ast::StatementKind::kUpdate:
-      return ExecuteUpdate(static_cast<const ast::UpdateStatement&>(stmt), options,
-                           depth, action);
-    case ast::StatementKind::kDelete:
-      return ExecuteDelete(static_cast<const ast::DeleteStatement&>(stmt), options,
-                           depth, action);
-    case ast::StatementKind::kCreateTable:
-      return ExecuteCreateTable(static_cast<const ast::CreateTableStatement&>(stmt));
-    case ast::StatementKind::kCreateAuditExpression: {
-      auto& create = static_cast<ast::CreateAuditExpressionStatement&>(stmt);
-      ast::CreateAuditExpressionStatement moved;
-      moved.name = std::move(create.name);
-      moved.select = std::move(create.select);
-      moved.sensitive_table = std::move(create.sensitive_table);
-      moved.partition_by = std::move(create.partition_by);
-      SELTRIG_RETURN_IF_ERROR(audit_.CreateAuditExpression(std::move(moved)));
-      return StatementResult{};
-    }
-    case ast::StatementKind::kCreateTrigger:
-      return ExecuteCreateTrigger(static_cast<ast::CreateTriggerStatement&>(stmt));
-    case ast::StatementKind::kDropTable: {
-      const auto& drop = static_cast<const ast::DropStatement&>(stmt);
-      SELTRIG_RETURN_IF_ERROR(catalog_.DropTable(drop.name));
-      return StatementResult{};
-    }
-    case ast::StatementKind::kDropTrigger: {
-      const auto& drop = static_cast<const ast::DropStatement&>(stmt);
-      SELTRIG_RETURN_IF_ERROR(triggers_.DropTrigger(drop.name));
-      return StatementResult{};
-    }
-    case ast::StatementKind::kDropAuditExpression: {
-      const auto& drop = static_cast<const ast::DropStatement&>(stmt);
-      SELTRIG_RETURN_IF_ERROR(audit_.DropAuditExpression(drop.name));
-      return StatementResult{};
-    }
-    case ast::StatementKind::kIf:
-      return ExecuteIf(static_cast<ast::IfStatement&>(stmt), options, depth, action);
-    case ast::StatementKind::kNotify:
-      return ExecuteNotify(static_cast<const ast::NotifyStatement&>(stmt), options,
-                           action);
-    case ast::StatementKind::kRaise:
-      return ExecuteRaise(static_cast<const ast::RaiseStatement&>(stmt), action);
-    case ast::StatementKind::kExplain:
-      return ExecuteExplain(static_cast<const ast::ExplainStatement&>(stmt), options,
-                            action);
-  }
-  return Status::Internal("unhandled statement kind");
-}
-
-// --- SELECT -----------------------------------------------------------------
-
-Result<PlanPtr> Database::PrepareSelectPlan(const ast::SelectStatement& stmt,
-                                            const ExecOptions& options,
-                                            const ActionContext* action) {
-  Binder binder(&catalog_);
-  ConfigureBinder(&binder, action);
-  SELTRIG_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelect(stmt));
-
-  OptimizerOptions opt_options = options.optimizer;
-  opt_options.catalog = &catalog_;
-  // Leaf retention / ID propagation for every registered audit expression
-  // (Section IV-A1); column pruning keeps their partition keys reachable.
-  for (const AuditExpressionDef* def : audit_.All()) {
     opt_options.audit_keys.push_back(
         {def->sensitive_table(), def->partition_column(), def->partition_by()});
   }
-  SELTRIG_ASSIGN_OR_RETURN(plan, OptimizePlan(std::move(plan), opt_options));
-
-  // Audit-operator placement (Section IV-B: after logical optimization).
-  std::vector<std::string> audit_names;
-  if (options.enable_select_triggers) {
-    audit_names = triggers_.AuditedExpressionNames();
-  }
-  if (options.instrument_all_audit_expressions) {
-    for (const AuditExpressionDef* def : audit_.All()) {
-      bool present = false;
-      for (const std::string& n : audit_names) present = present || n == def->name();
-      if (!present) audit_names.push_back(def->name());
-    }
-  }
-  bool instrumented = false;
-  for (const std::string& name : audit_names) {
-    const AuditExpressionDef* def = audit_.Find(name);
-    if (def == nullptr) continue;
-    PlacementOptions popts;
-    popts.heuristic = options.heuristic;
-    popts.use_id_view = options.use_id_views;
-    popts.use_bloom_filter = options.use_bloom_filters;
-    popts.bloom_fp_rate = options.bloom_fp_rate;
-    SELTRIG_ASSIGN_OR_RETURN(plan, InstrumentPlan(*plan, *def, popts));
-    instrumented = true;
-  }
-  if (instrumented && options.run_post_placement_rules) {
-    SELTRIG_ASSIGN_OR_RETURN(plan,
-                             OptimizeInstrumentedPlan(std::move(plan), opt_options));
-  }
-  return plan;
-}
-
-Result<StatementResult> Database::ExecuteExplain(const ast::ExplainStatement& stmt,
-                                                 const ExecOptions& options,
-                                                 const ActionContext* action) {
-  SELTRIG_ASSIGN_OR_RETURN(PlanPtr plan, PrepareSelectPlan(*stmt.select, options, action));
-  StatementResult result;
-  result.plan_text = PlanToString(*plan);
-  Column col;
-  col.name = "plan";
-  col.type = TypeId::kString;
-  result.result.schema.AddColumn(col);
-  std::string line;
-  for (char c : result.plan_text) {
-    if (c == '\n') {
-      result.result.rows.push_back({Value::String(line)});
-      line.clear();
-    } else {
-      line += c;
-    }
-  }
-  if (!line.empty()) result.result.rows.push_back({Value::String(line)});
-  return result;
-}
-
-Result<StatementResult> Database::ExecuteSelect(const ast::SelectStatement& stmt,
-                                                const ExecOptions& options, int depth,
-                                                const ActionContext* action) {
-  SELTRIG_ASSIGN_OR_RETURN(PlanPtr plan, PrepareSelectPlan(stmt, options, action));
-
-  // Execute.
-  ExecContext ctx(&catalog_, &session_);
-  ctx.set_batch_size(options.batch_size);
-  ctx.set_collect_profile(options.collect_profile);
-  AccessedStateRegistry registry;
-  registry.set_limits(
-      options.guards.max_accessed_ids > 0
-          ? static_cast<size_t>(options.guards.max_accessed_ids)
-          : 0,
-      options.guards.overflow_policy);
-  ctx.set_accessed(&registry);
-  Executor executor(&ctx);
-  // Trigger-action SELECTs execute with the pseudo-row visible.
-  Result<QueryResult> query_result = [&]() -> Result<QueryResult> {
-    if (action != nullptr && action->row != nullptr) {
-      SELTRIG_ASSIGN_OR_RETURN(std::vector<Row> raw,
-                               executor.ExecutePlan(*plan, {action->row}));
-      QueryResult qr;
-      for (size_t i = 0; i < plan->schema.size(); ++i) {
-        if (!plan->schema.column(i).hidden) qr.schema.AddColumn(plan->schema.column(i));
-      }
-      for (Row& row : raw) {
-        Row stripped;
-        for (size_t i = 0; i < plan->schema.size(); ++i) {
-          if (!plan->schema.column(i).hidden) stripped.push_back(std::move(row[i]));
-        }
-        qr.rows.push_back(std::move(stripped));
-      }
-      return qr;
-    }
-    return executor.ExecuteQuery(*plan, options.max_rows);
-  }();
-  SELTRIG_RETURN_IF_ERROR(query_result.status());
-
-  StatementResult result;
-  result.result = std::move(query_result).value();
-  result.stats = ctx.stats();
-  result.plan_text = PlanToString(*plan);
-  result.profile_text = std::move(ctx.profile_text());
-  for (const auto& [name, state] : registry.states()) {
-    result.accessed[name] = state.SortedIds();
-  }
-
-  // An ACCESSED set truncated under AccessedOverflowPolicy::kTruncate is a
-  // (deliberate, bounded) audit loss; account for it before triggers fire.
-  RecordAccessedOverflows(registry);
-
-  // Fire SELECT triggers. BEFORE triggers run first: an error in their
-  // actions (RAISE) denies the query and the result never reaches the
-  // client. AFTER triggers then run; per Section II they execute even when
-  // the client read only a prefix of the result.
-  if (options.enable_select_triggers) {
-    SELTRIG_RETURN_IF_ERROR(
-        FireSelectTriggers(registry, options, depth, /*before_phase=*/true));
-    SELTRIG_RETURN_IF_ERROR(
-        FireSelectTriggers(registry, options, depth, /*before_phase=*/false));
-  }
-  return result;
-}
-
-Status Database::FireSelectTriggers(const AccessedStateRegistry& registry,
-                                    const ExecOptions& options, int depth,
-                                    bool before_phase) {
-  for (const std::string& name : triggers_.AuditedExpressionNames()) {
-    const AuditExpressionDef* def = audit_.Find(name);
-    if (def == nullptr) continue;
-    const AccessedState* state = registry.Find(name);
-
-    // Bind ACCESSED: a single-column relation named after the partition key.
-    std::vector<Row> accessed_rows = state == nullptr ? std::vector<Row>{} : state->ToRows();
-    Result<Table*> table = catalog_.GetTable(def->sensitive_table());
-    SELTRIG_RETURN_IF_ERROR(table.status());
-    VirtualTable accessed;
-    Column key_col = (*table)->schema().column(def->partition_column());
-    key_col.qualifier = "accessed";
-    accessed.schema.AddColumn(key_col);
-    accessed.rows = &accessed_rows;
-
-    ActionContext action;
-    action.accessed = &accessed;
-
-    for (TriggerDef* trigger : triggers_.SelectTriggersFor(name)) {
-      if (trigger->before != before_phase) continue;
-      SELTRIG_RETURN_IF_ERROR(RunTriggerGuarded(trigger, options, depth, &action));
-    }
-  }
-  return Status::OK();
-}
-
-// --- Guarded trigger execution ------------------------------------------------
-
-Database::TriggerTxnScope::TriggerTxnScope(Database* db) : db_(db) {
-  if (db_->trigger_txn_depth_++ > 0) return;  // nested scopes share the log
-  for (const std::string& name : db_->catalog_.TableNames()) {
-    // The loss-accounting table stays outside the transactional scope: its
-    // rows must survive any rollback.
-    if (name == kAuditErrorsTable) continue;
-    Result<Table*> table = db_->catalog_.GetTable(name);
-    if (table.ok()) (*table)->set_undo_log(&db_->trigger_undo_);
-  }
-}
-
-Database::TriggerTxnScope::~TriggerTxnScope() {
-  if (--db_->trigger_txn_depth_ > 0) return;
-  for (const std::string& name : db_->catalog_.TableNames()) {
-    Result<Table*> table = db_->catalog_.GetTable(name);
-    if (table.ok()) (*table)->set_undo_log(nullptr);
-  }
-  db_->trigger_undo_.Clear();
-}
-
-Status Database::RunTriggerActions(TriggerDef* trigger, const ExecOptions& options,
-                                   int depth, const ActionContext* action) {
-  for (ast::StatementPtr& stmt : trigger->actions) {
-    SELTRIG_RETURN_IF_ERROR(fault::Maybe("trigger.action"));
-    Result<StatementResult> result = ExecuteStatement(*stmt, options, depth + 1, action);
-    SELTRIG_RETURN_IF_ERROR(result.status());
-  }
-  return Status::OK();
-}
-
-Status Database::RollbackTriggerWrites(size_t savepoint) {
-  // Rollback and view rebuilds must not themselves hit fault points, or a
-  // single injected failure could corrupt the engine instead of isolating
-  // the trigger.
-  fault::ScopedSuspend suspend;
-  std::vector<std::string> touched;
-  SELTRIG_RETURN_IF_ERROR(trigger_undo_.RollbackTo(savepoint, &touched));
-  if (touched.empty()) return Status::OK();
-  std::sort(touched.begin(), touched.end());
-  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-  // Sensitive-ID views were maintained incrementally while the now-undone
-  // rows were written; rebuild every view over a touched table.
-  for (const AuditExpressionDef* def : audit_.All()) {
-    bool affected = false;
-    for (const std::string& table : def->referenced_tables()) {
-      affected = affected || std::binary_search(touched.begin(), touched.end(), table);
-    }
-    if (!affected) continue;
-    SELTRIG_RETURN_IF_ERROR(audit_.RebuildView(audit_.FindMutable(def->name())));
-  }
-  return Status::OK();
-}
-
-Status Database::RunTriggerGuarded(TriggerDef* trigger, const ExecOptions& options,
-                                   int depth, const ActionContext* action) {
-  // BEFORE-phase triggers always fail closed: erroring (RAISE) is how they
-  // deny a query, so their failures propagate untouched -- but only after
-  // their partial writes are rolled back.
-  bool fail_open = !trigger->before &&
-                   options.audit_failure_policy == AuditFailurePolicy::kFailOpen;
-  int attempts = 1 + (fail_open ? std::max(0, options.guards.fail_open_retries) : 0);
-
-  TriggerTxnScope txn(this);
-  Status last;
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    size_t savepoint = trigger_undo_.Savepoint();
-    last = RunTriggerActions(trigger, options, depth, action);
-    if (last.ok()) {
-      trigger->consecutive_failures = 0;
-      return Status::OK();
-    }
-    // The audit log must never hold a partial action list: undo this run
-    // before retrying or reporting. A failed rollback is an engine-invariant
-    // violation and always aborts the statement.
-    SELTRIG_RETURN_IF_ERROR(RollbackTriggerWrites(savepoint));
-  }
-  if (trigger->before) return last;
-
-  ++trigger->consecutive_failures;
-  bool quarantined = false;
-  if (fail_open && options.guards.quarantine_after > 0 &&
-      trigger->consecutive_failures >= options.guards.quarantine_after) {
-    (void)triggers_.Quarantine(trigger->name);
-    quarantined = true;
-    notifications_.push_back(
-        "trigger '" + trigger->name + "' quarantined after " +
-        std::to_string(trigger->consecutive_failures) +
-        " consecutive failures: " + last.ToString());
-  }
-  RecordAuditError(trigger->name, last, attempts, quarantined);
-  return fail_open ? Status::OK() : last;
-}
-
-void Database::RecordAuditError(const std::string& trigger_name, const Status& error,
-                                int attempts, bool quarantined) {
-  // Loss accounting must be as reliable as we can make it: no fault points,
-  // no undo scope (the table is excluded in TriggerTxnScope), best-effort
-  // otherwise.
-  fault::ScopedSuspend suspend;
-  Table* table = nullptr;
-  if (catalog_.HasTable(kAuditErrorsTable)) {
-    Result<Table*> found = catalog_.GetTable(kAuditErrorsTable);
-    if (!found.ok()) return;
-    table = *found;
-  } else {
-    Schema schema;
-    auto add_col = [&schema](const char* name, TypeId type) {
-      Column col;
-      col.name = name;
-      col.type = type;
-      schema.AddColumn(col);
-    };
-    add_col("ts", TypeId::kString);
-    add_col("userid", TypeId::kString);
-    add_col("trigger_name", TypeId::kString);
-    add_col("sql", TypeId::kString);
-    add_col("error", TypeId::kString);
-    add_col("attempts", TypeId::kInt);
-    add_col("quarantined", TypeId::kBool);
-    Result<Table*> created = catalog_.CreateTable(kAuditErrorsTable, std::move(schema));
-    if (!created.ok()) return;
-    table = *created;
-  }
-  Row row = {Value::String(session_.now),        Value::String(session_.user),
-             Value::String(trigger_name),        Value::String(session_.sql_text),
-             Value::String(error.ToString()),    Value::Int(attempts),
-             Value::Bool(quarantined)};
-  (void)table->Insert(std::move(row));
-}
-
-void Database::RecordAccessedOverflows(const AccessedStateRegistry& registry) {
-  for (const auto& [name, state] : registry.states()) {
-    if (!state.overflowed()) continue;
-    RecordAuditError("accessed:" + name,
-                     Status::ResourceExhausted(
-                         "ACCESSED cardinality cap reached; audit trail truncated"),
-                     /*attempts=*/1, /*quarantined=*/false);
-  }
-}
-
-// --- DML ----------------------------------------------------------------------
-
-Status Database::CoerceRowToSchema(const Schema& schema, Row* row,
-                                   const std::string& what) const {
-  for (size_t i = 0; i < row->size(); ++i) {
-    Value& v = (*row)[i];
-    if (v.is_null()) continue;
-    TypeId want = schema.column(i).type;
-    if (v.type() == want) continue;
-    if (v.type() == TypeId::kInt && want == TypeId::kDouble) {
-      v = Value::Double(static_cast<double>(v.AsInt()));
-      continue;
-    }
-    if (v.type() == TypeId::kDouble && want == TypeId::kInt) {
-      v = Value::Int(static_cast<int64_t>(v.AsDouble()));
-      continue;
-    }
-    return Status::ExecutionError(what + ": cannot store " +
-                                  std::string(TypeName(v.type())) + " into column '" +
-                                  schema.column(i).name + "' of type " +
-                                  TypeName(want));
-  }
-  return Status::OK();
-}
-
-Result<StatementResult> Database::ExecuteInsert(const ast::InsertStatement& stmt,
-                                                const ExecOptions& options, int depth,
-                                                const ActionContext* action) {
-  Binder binder(&catalog_);
-  ConfigureBinder(&binder, action);
-  SELTRIG_ASSIGN_OR_RETURN(BoundInsert bound, binder.BindInsert(stmt));
-  SELTRIG_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table));
-
-  // Produce source rows.
-  ExecContext ctx(&catalog_, &session_);
-  ctx.set_batch_size(options.batch_size);
-  Executor executor(&ctx);
-  std::vector<const Row*> outer;
-  if (action != nullptr && action->row != nullptr) outer.push_back(action->row);
-  SELTRIG_ASSIGN_OR_RETURN(std::vector<Row> source_rows,
-                           executor.ExecutePlan(*bound.source, outer));
-
-  // Visible column positions of the source plan.
-  std::vector<int> visible;
-  for (size_t i = 0; i < bound.source->schema.size(); ++i) {
-    if (!bound.source->schema.column(i).hidden) visible.push_back(static_cast<int>(i));
-  }
-
-  std::vector<Row> inserted;
-  for (Row& src : source_rows) {
-    Row row(table->schema().size(), Value::Null());
-    for (size_t i = 0; i < bound.column_map.size(); ++i) {
-      row[bound.column_map[i]] = std::move(src[visible[i]]);
-    }
-    SELTRIG_RETURN_IF_ERROR(
-        CoerceRowToSchema(table->schema(), &row, "insert into " + bound.table));
-    Result<size_t> row_id = table->Insert(row);
-    SELTRIG_RETURN_IF_ERROR(row_id.status());
-    SELTRIG_RETURN_IF_ERROR(audit_.OnInsert(bound.table, row));
-    inserted.push_back(std::move(row));
-  }
-
-  SELTRIG_RETURN_IF_ERROR(FireDmlTriggers(bound.table, ast::DmlEvent::kInsert,
-                                          /*old_rows=*/{}, inserted, options, depth));
-
-  StatementResult result;
-  result.result.affected_rows = static_cast<int64_t>(inserted.size());
-  return result;
-}
-
-Result<StatementResult> Database::ExecuteUpdate(const ast::UpdateStatement& stmt,
-                                                const ExecOptions& options, int depth,
-                                                const ActionContext* action) {
-  Binder binder(&catalog_);
-  ConfigureBinder(&binder, action);
-  SELTRIG_ASSIGN_OR_RETURN(BoundUpdate bound, binder.BindUpdate(stmt));
-  SELTRIG_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table));
-
-  ExecContext ctx(&catalog_, &session_);
-  ctx.set_batch_size(options.batch_size);
-  Executor executor(&ctx);  // installs the subquery runner for predicates
-
-  // Phase 1: collect matching rows (avoids mutating while scanning).
-  std::vector<size_t> row_ids;
-  for (size_t id = 0; id < table->slot_count(); ++id) {
-    if (!table->IsLive(id)) continue;
-    const Row& row = table->GetRow(id);
-    if (bound.filter != nullptr) {
-      EvalContext ec;
-      ec.row = &row;
-      ec.exec = &ctx;
-      if (action != nullptr && action->row != nullptr) ec.outer_rows = {action->row};
-      SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*bound.filter, ec));
-      if (!pass) continue;
-    }
-    row_ids.push_back(id);
-  }
-
-  // Phase 2: apply assignments (all reading the OLD row, per SQL semantics).
-  std::vector<Row> old_rows, new_rows;
-  for (size_t id : row_ids) {
-    Row old_row = table->GetRow(id);
-    Row new_row = old_row;
-    EvalContext ec;
-    ec.row = &old_row;
-    ec.exec = &ctx;
-    if (action != nullptr && action->row != nullptr) ec.outer_rows = {action->row};
-    for (const auto& [col, expr] : bound.assignments) {
-      SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, ec));
-      new_row[col] = std::move(v);
-    }
-    SELTRIG_RETURN_IF_ERROR(
-        CoerceRowToSchema(table->schema(), &new_row, "update " + bound.table));
-    SELTRIG_RETURN_IF_ERROR(table->Update(id, new_row));
-    SELTRIG_RETURN_IF_ERROR(audit_.OnUpdate(bound.table, old_row, new_row));
-    old_rows.push_back(std::move(old_row));
-    new_rows.push_back(std::move(new_row));
-  }
-
-  SELTRIG_RETURN_IF_ERROR(FireDmlTriggers(bound.table, ast::DmlEvent::kUpdate,
-                                          old_rows, new_rows, options, depth));
-
-  StatementResult result;
-  result.result.affected_rows = static_cast<int64_t>(row_ids.size());
-  return result;
-}
-
-Result<StatementResult> Database::ExecuteDelete(const ast::DeleteStatement& stmt,
-                                                const ExecOptions& options, int depth,
-                                                const ActionContext* action) {
-  Binder binder(&catalog_);
-  ConfigureBinder(&binder, action);
-  SELTRIG_ASSIGN_OR_RETURN(BoundDelete bound, binder.BindDelete(stmt));
-  SELTRIG_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table));
-
-  ExecContext ctx(&catalog_, &session_);
-  ctx.set_batch_size(options.batch_size);
-  Executor executor(&ctx);
-
-  std::vector<size_t> row_ids;
-  for (size_t id = 0; id < table->slot_count(); ++id) {
-    if (!table->IsLive(id)) continue;
-    const Row& row = table->GetRow(id);
-    if (bound.filter != nullptr) {
-      EvalContext ec;
-      ec.row = &row;
-      ec.exec = &ctx;
-      if (action != nullptr && action->row != nullptr) ec.outer_rows = {action->row};
-      SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*bound.filter, ec));
-      if (!pass) continue;
-    }
-    row_ids.push_back(id);
-  }
-
-  std::vector<Row> deleted;
-  for (size_t id : row_ids) {
-    Row row = table->GetRow(id);
-    SELTRIG_RETURN_IF_ERROR(table->Delete(id));
-    SELTRIG_RETURN_IF_ERROR(audit_.OnDelete(bound.table, row));
-    deleted.push_back(std::move(row));
-  }
-
-  SELTRIG_RETURN_IF_ERROR(FireDmlTriggers(bound.table, ast::DmlEvent::kDelete, deleted,
-                                          /*new_rows=*/{}, options, depth));
-
-  StatementResult result;
-  result.result.affected_rows = static_cast<int64_t>(row_ids.size());
-  return result;
-}
-
-Status Database::FireDmlTriggers(const std::string& table, ast::DmlEvent event,
-                                 const std::vector<Row>& old_rows,
-                                 const std::vector<Row>& new_rows,
-                                 const ExecOptions& options, int depth) {
-  std::vector<TriggerDef*> triggers = triggers_.DmlTriggersFor(table, event);
-  if (triggers.empty()) return Status::OK();
-
-  Result<Table*> t = catalog_.GetTable(table);
-  SELTRIG_RETURN_IF_ERROR(t.status());
-
-  // Pseudo-row schema: OLD-qualified columns, then NEW-qualified columns
-  // (only the sides meaningful for the event).
-  Schema row_schema;
-  bool has_old = event != ast::DmlEvent::kInsert;
-  bool has_new = event != ast::DmlEvent::kDelete;
-  if (has_old) {
-    for (size_t i = 0; i < (*t)->schema().size(); ++i) {
-      Column col = (*t)->schema().column(i);
-      col.qualifier = "old";
-      row_schema.AddColumn(col);
-    }
-  }
-  if (has_new) {
-    for (size_t i = 0; i < (*t)->schema().size(); ++i) {
-      Column col = (*t)->schema().column(i);
-      col.qualifier = "new";
-      row_schema.AddColumn(col);
-    }
-  }
-
-  size_t count = has_old ? old_rows.size() : new_rows.size();
-  for (size_t r = 0; r < count; ++r) {
-    Row pseudo;
-    if (has_old) pseudo.insert(pseudo.end(), old_rows[r].begin(), old_rows[r].end());
-    if (has_new) pseudo.insert(pseudo.end(), new_rows[r].begin(), new_rows[r].end());
-
-    ActionContext action;
-    action.row_schema = &row_schema;
-    action.row = &pseudo;
-    for (TriggerDef* trigger : triggers) {
-      if (!trigger->enabled) continue;  // quarantined mid-statement
-      SELTRIG_RETURN_IF_ERROR(RunTriggerGuarded(trigger, options, depth, &action));
-    }
-  }
-  return Status::OK();
-}
-
-// --- DDL / control ------------------------------------------------------------
-
-Result<StatementResult> Database::ExecuteCreateTable(
-    const ast::CreateTableStatement& stmt) {
-  Schema schema;
-  int pk = -1;
-  for (size_t i = 0; i < stmt.columns.size(); ++i) {
-    const ast::ColumnDef& def = stmt.columns[i];
-    if (def.primary_key) {
-      if (pk >= 0) {
-        return Status::BindError("multiple PRIMARY KEY columns in " + stmt.table);
-      }
-      pk = static_cast<int>(i);
-    }
-    Column col;
-    col.name = ToLower(def.name);
-    col.type = def.type;
-    schema.AddColumn(col);
-  }
-  Result<Table*> table = catalog_.CreateTable(stmt.table, std::move(schema), pk);
-  SELTRIG_RETURN_IF_ERROR(table.status());
-  return StatementResult{};
-}
-
-Result<StatementResult> Database::ExecuteCreateTrigger(
-    ast::CreateTriggerStatement& stmt) {
-  auto def = std::make_unique<TriggerDef>();
-  def->name = ToLower(stmt.name);
-  def->is_select_trigger = stmt.is_select_trigger;
-  def->before = stmt.before;
-  if (stmt.is_select_trigger) {
-    def->audit_expression = ToLower(stmt.audit_expression);
-    if (audit_.Find(def->audit_expression) == nullptr) {
-      return Status::BindError("audit expression not found: " + def->audit_expression);
-    }
-  } else {
-    def->table = ToLower(stmt.table);
-    if (!catalog_.HasTable(def->table)) {
-      return Status::BindError("table not found: " + def->table);
-    }
-    def->event = stmt.event;
-  }
-  def->actions = std::move(stmt.actions);
-  SELTRIG_RETURN_IF_ERROR(triggers_.CreateTrigger(std::move(def)));
-  return StatementResult{};
-}
-
-Result<StatementResult> Database::ExecuteIf(ast::IfStatement& stmt,
-                                            const ExecOptions& options, int depth,
-                                            const ActionContext* action) {
-  Binder binder(&catalog_);
-  ConfigureBinder(&binder, action);
-  Schema empty;
-  SELTRIG_ASSIGN_OR_RETURN(ExprPtr condition,
-                           binder.BindStandaloneExpr(*stmt.condition, empty));
-
-  ExecContext ctx(&catalog_, &session_);
-  Executor executor(&ctx);
-  EvalContext ec;
-  ec.exec = &ctx;
-  if (action != nullptr && action->row != nullptr) ec.outer_rows = {action->row};
-  SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*condition, ec));
-  bool truthy = !v.is_null() && v.type() == TypeId::kBool && v.AsBool();
-  if (truthy) {
-    return ExecuteStatement(*stmt.then_branch, options, depth, action);
-  }
-  return StatementResult{};
-}
-
-Result<StatementResult> Database::ExecuteNotify(const ast::NotifyStatement& stmt,
-                                                const ExecOptions& options,
-                                                const ActionContext* action) {
-  (void)options;
-  Binder binder(&catalog_);
-  ConfigureBinder(&binder, action);
-  Schema empty;
-  SELTRIG_ASSIGN_OR_RETURN(ExprPtr message, binder.BindStandaloneExpr(*stmt.message, empty));
-
-  ExecContext ctx(&catalog_, &session_);
-  Executor executor(&ctx);
-  EvalContext ec;
-  ec.exec = &ctx;
-  if (action != nullptr && action->row != nullptr) ec.outer_rows = {action->row};
-  SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*message, ec));
-  notifications_.push_back(v.type() == TypeId::kString ? v.AsString() : v.ToString());
-  return StatementResult{};
-}
-
-Result<StatementResult> Database::ExecuteRaise(const ast::RaiseStatement& stmt,
-                                               const ActionContext* action) {
-  Binder binder(&catalog_);
-  ConfigureBinder(&binder, action);
-  Schema empty;
-  SELTRIG_ASSIGN_OR_RETURN(ExprPtr message, binder.BindStandaloneExpr(*stmt.message, empty));
-
-  ExecContext ctx(&catalog_, &session_);
-  Executor executor(&ctx);
-  EvalContext ec;
-  ec.exec = &ctx;
-  if (action != nullptr && action->row != nullptr) ec.outer_rows = {action->row};
-  SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*message, ec));
-  return Status::ExecutionError(v.type() == TypeId::kString ? v.AsString()
-                                                            : v.ToString());
+  return OptimizePlan(std::move(plan), opt_options);
 }
 
 }  // namespace seltrig

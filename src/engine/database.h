@@ -1,115 +1,25 @@
-// Database: the public facade. Owns the catalog, the audit subsystem, and
-// the trigger registry; parses, binds, optimizes, instruments, executes, and
-// fires triggers.
-//
-// Statement pipeline for SELECT (mirroring Section IV):
-//   parse -> bind -> logical optimization -> audit-operator placement ->
-//   post-placement rule pass -> execute -> fire SELECT triggers.
+// Database: the shared engine core. Owns the catalog (table storage), the
+// audit subsystem (expressions + sensitive-ID views), the trigger registry,
+// and the reader–writer lock that coordinates sessions. Per-connection
+// execution state — options, SQL_TEXT/user/clock context, notifications,
+// trigger undo — lives in Session (engine/session.h); Database keeps a
+// built-in default session so single-connection callers can use it directly.
 
 #ifndef SELTRIG_ENGINE_DATABASE_H_
 #define SELTRIG_ENGINE_DATABASE_H_
 
-#include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
-#include "audit/accessed_state.h"
 #include "audit/audit_expression.h"
-#include "audit/placement.h"
 #include "audit/trigger.h"
-#include "binder/binder.h"
 #include "catalog/catalog.h"
 #include "common/status.h"
-#include "exec/executor.h"
-#include "optimizer/optimizer.h"
-#include "plan/logical_plan.h"
-#include "sql/ast.h"
-#include "storage/undo_log.h"
+#include "engine/session.h"
 
 namespace seltrig {
-
-// What a failed *audit* action does to the audited statement. Applies to
-// AFTER-phase SELECT triggers and to DML triggers; BEFORE-phase SELECT
-// triggers always fail closed (erroring is how they deny a query).
-enum class AuditFailurePolicy {
-  // Abort the whole statement: no result (or DML effect) is released without
-  // its audit record. The compliance default.
-  kFailClosed,
-  // Let the statement succeed; the failed trigger run is rolled back,
-  // retried up to `TriggerGuards::fail_open_retries` times, and on giving up
-  // the loss is recorded in the `seltrig_audit_errors` side table.
-  kFailOpen,
-};
-
-// Runaway and failure-isolation guards for the trigger pipeline.
-struct TriggerGuards {
-  // Maximum trigger-cascade depth; deeper recursion returns
-  // kResourceExhausted instead of recursing unboundedly.
-  int max_cascade_depth = 16;
-  // Per-expression cap on the ACCESSED set's distinct IDs; 0 = unlimited.
-  // Overflow behavior is `overflow_policy` (see AccessedOverflowPolicy).
-  int64_t max_accessed_ids = 0;
-  AccessedOverflowPolicy overflow_policy = AccessedOverflowPolicy::kFail;
-  // Extra attempts for a failed trigger run under kFailOpen (each attempt
-  // rolls back before retrying). 0 = no retries.
-  int fail_open_retries = 2;
-  // Circuit breaker: quarantine (disable + record) a trigger after this many
-  // consecutive failed runs under kFailOpen. 0 = never quarantine.
-  int quarantine_after = 3;
-};
-
-// Per-statement execution options. The defaults give the paper's recommended
-// configuration: hcn placement, ID-view probing, audit-aware optimizer.
-struct ExecOptions {
-  PlacementHeuristic heuristic = PlacementHeuristic::kHighestCommutativeNode;
-  // Fire SELECT-trigger actions after queries (instrumenting for every audit
-  // expression that has an enabled SELECT trigger).
-  bool enable_select_triggers = true;
-  // Additionally instrument for every registered audit expression, even ones
-  // without triggers. Used by benchmarks and the examples to observe
-  // ACCESSED state directly.
-  bool instrument_all_audit_expressions = false;
-  // Probe materialized ID views (Section IV-A); false = evaluate the audit
-  // predicate per row (ablation).
-  bool use_id_views = true;
-  // Probe Bloom summaries of the ID views instead of exact hash sets
-  // (Section IV-A2's large-set fallback).
-  bool use_bloom_filters = false;
-  double bloom_fp_rate = 0.01;
-  // Read at most this many result rows, then stop -- models a client that
-  // aborts after a prefix; triggers still fire (Section II).
-  int64_t max_rows = -1;
-  // Optimizer toggles, including the audit-awareness guard (Section IV-B).
-  OptimizerOptions optimizer;
-  // Run the post-placement rule pass (contradiction detection + IN-subquery
-  // simplification over the instrumented plan).
-  bool run_post_placement_rules = true;
-  // Failure handling for the audit pipeline (trigger actions run inside an
-  // undo-logged scope and commit or roll back atomically either way).
-  AuditFailurePolicy audit_failure_policy = AuditFailurePolicy::kFailClosed;
-  TriggerGuards guards;
-  // Logical rows per batch in the vectorized executor (clamped to >= 1).
-  // The executor pins individual operators to capacity 1 where exact
-  // row-at-a-time flow is observable (audit ops below an early stop).
-  size_t batch_size = 1024;
-  // Sample per-operator runtime counters and return an EXPLAIN-ANALYZE-style
-  // annotated tree in StatementResult::profile_text (shell: `.profile on`).
-  bool collect_profile = false;
-};
-
-struct StatementResult {
-  QueryResult result;
-  // ACCESSED state per audit expression (sorted IDs), for instrumented
-  // SELECTs.
-  std::map<std::string, std::vector<Value>> accessed;
-  ExecStats stats;
-  // EXPLAIN text of the plan that actually executed (instrumented for
-  // SELECTs).
-  std::string plan_text;
-  // Per-operator runtime counter tree (ExecOptions::collect_profile).
-  std::string profile_text;
-};
 
 class Database {
  public:
@@ -119,15 +29,16 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  // Executes one SQL statement with default options.
-  Result<QueryResult> Execute(const std::string& sql);
+  // Opens a new connection over this shared core. Sessions may execute
+  // concurrently from different threads; the Database's reader–writer lock
+  // coordinates them (see engine/session.h and docs/CONCURRENCY.md). The
+  // returned session must not outlive the Database.
+  std::unique_ptr<Session> CreateSession();
 
-  // Executes one SQL statement with explicit options.
+  // --- Single-connection convenience API (delegates to a default session) ---
+  Result<QueryResult> Execute(const std::string& sql);
   Result<StatementResult> ExecuteWithOptions(const std::string& sql,
                                              const ExecOptions& options);
-
-  // Executes a semicolon-separated script (DDL batches, fixtures). Stops at
-  // the first error.
   Status ExecuteScript(const std::string& sql);
 
   // Parses, binds and logically optimizes a SELECT without executing it.
@@ -137,111 +48,36 @@ class Database {
   Catalog* catalog() { return &catalog_; }
   AuditManager* audit_manager() { return &audit_; }
   TriggerManager* trigger_manager() { return &triggers_; }
-  SessionContext* session() { return &session_; }
+  Session* default_session() { return default_session_.get(); }
+  // The default session's user / SQL_TEXT / clock state.
+  SessionContext* session();
 
-  // Messages emitted by NOTIFY actions (the stand-in for "SEND EMAIL").
-  const std::vector<std::string>& notifications() const { return notifications_; }
-  void ClearNotifications() { notifications_.clear(); }
+  // Messages emitted by NOTIFY actions of the default session.
+  const std::vector<std::string>& notifications() const;
+  void ClearNotifications();
+
+  // Reader–writer lock over everything sessions share: table storage, the
+  // catalog, sensitive-ID views, and trigger definitions. SELECT execution
+  // holds it shared; DML, DDL, incremental view maintenance, and trigger
+  // actions hold it exclusively. Exposed for tests and embedders that touch
+  // the catalog directly while sessions are live (e.g. bulk loaders must
+  // hold it exclusively).
+  std::shared_mutex& storage_mutex() { return storage_mutex_; }
 
   // Name of the fail-open loss-accounting side table (created on demand):
   // (ts, userid, trigger_name, sql, error, attempts, quarantined).
   static constexpr const char* kAuditErrorsTable = "seltrig_audit_errors";
 
  private:
-  // Extra binding context for trigger actions: the ACCESSED relation (SELECT
-  // triggers) and/or the NEW/OLD pseudo-row (DML triggers).
-  struct ActionContext {
-    const VirtualTable* accessed = nullptr;  // bound under table name ACCESSED
-    const Schema* row_schema = nullptr;      // NEW/OLD columns
-    const Row* row = nullptr;
-  };
-
-  Result<StatementResult> ExecuteStatement(ast::Statement& stmt,
-                                           const ExecOptions& options, int depth,
-                                           const ActionContext* action);
-  // Binds, optimizes and (when applicable) instruments a SELECT -- the
-  // Section IV pipeline up to execution.
-  Result<PlanPtr> PrepareSelectPlan(const ast::SelectStatement& stmt,
-                                    const ExecOptions& options,
-                                    const ActionContext* action);
-  Result<StatementResult> ExecuteSelect(const ast::SelectStatement& stmt,
-                                        const ExecOptions& options, int depth,
-                                        const ActionContext* action);
-  Result<StatementResult> ExecuteExplain(const ast::ExplainStatement& stmt,
-                                         const ExecOptions& options,
-                                         const ActionContext* action);
-  Result<StatementResult> ExecuteInsert(const ast::InsertStatement& stmt,
-                                        const ExecOptions& options, int depth,
-                                        const ActionContext* action);
-  Result<StatementResult> ExecuteUpdate(const ast::UpdateStatement& stmt,
-                                        const ExecOptions& options, int depth,
-                                        const ActionContext* action);
-  Result<StatementResult> ExecuteDelete(const ast::DeleteStatement& stmt,
-                                        const ExecOptions& options, int depth,
-                                        const ActionContext* action);
-  Result<StatementResult> ExecuteCreateTable(const ast::CreateTableStatement& stmt);
-  Result<StatementResult> ExecuteCreateTrigger(ast::CreateTriggerStatement& stmt);
-  Result<StatementResult> ExecuteIf(ast::IfStatement& stmt, const ExecOptions& options,
-                                    int depth, const ActionContext* action);
-  Result<StatementResult> ExecuteNotify(const ast::NotifyStatement& stmt,
-                                        const ExecOptions& options,
-                                        const ActionContext* action);
-  Result<StatementResult> ExecuteRaise(const ast::RaiseStatement& stmt,
-                                       const ActionContext* action);
-
-  // Configures a binder with the action context (virtual tables, NEW/OLD).
-  void ConfigureBinder(Binder* binder, const ActionContext* action) const;
-
-  // Fires the SELECT triggers of one phase (`before_phase`: BEFORE-return
-  // triggers; otherwise the ordinary AFTER triggers).
-  Status FireSelectTriggers(const AccessedStateRegistry& registry,
-                            const ExecOptions& options, int depth,
-                            bool before_phase);
-  Status FireDmlTriggers(const std::string& table, ast::DmlEvent event,
-                         const std::vector<Row>& old_rows,
-                         const std::vector<Row>& new_rows, const ExecOptions& options,
-                         int depth);
-
-  // Runs one trigger's action list inside an undo-logged scope: on any
-  // failure the scope's writes are rolled back, then the failure policy
-  // decides between abort (fail-closed / BEFORE phase), bounded retry, and
-  // loss accounting + quarantine (fail-open).
-  Status RunTriggerGuarded(TriggerDef* trigger, const ExecOptions& options, int depth,
-                           const ActionContext* action);
-  // The action list itself (one undo savepoint's worth of work).
-  Status RunTriggerActions(TriggerDef* trigger, const ExecOptions& options, int depth,
-                           const ActionContext* action);
-  // Undoes trigger writes back to `savepoint` and rebuilds the sensitive-ID
-  // views of audit expressions over the touched tables.
-  Status RollbackTriggerWrites(size_t savepoint);
-  // Appends a row to seltrig_audit_errors (durable: bypasses the undo scope
-  // and fault injection). Best-effort by design.
-  void RecordAuditError(const std::string& trigger_name, const Status& error,
-                        int attempts, bool quarantined);
-  // Records ACCESSED-cap truncations (AccessedOverflowPolicy::kTruncate) for
-  // every overflowed state in `registry`.
-  void RecordAccessedOverflows(const AccessedStateRegistry& registry);
-
-  Status CoerceRowToSchema(const Schema& schema, Row* row, const std::string& what) const;
-
-  // RAII scope that attaches the trigger undo log to every table while any
-  // guarded trigger run is active (scopes nest via savepoints).
-  class TriggerTxnScope {
-   public:
-    explicit TriggerTxnScope(Database* db);
-    ~TriggerTxnScope();
-
-   private:
-    Database* db_;
-  };
+  friend class Session;
 
   Catalog catalog_;
-  SessionContext session_;
+  // Declared before audit_: the AuditManager borrows the default session's
+  // context for its clock.
+  std::unique_ptr<Session> default_session_;
   AuditManager audit_;
   TriggerManager triggers_;
-  std::vector<std::string> notifications_;
-  UndoLog trigger_undo_;
-  int trigger_txn_depth_ = 0;
+  mutable std::shared_mutex storage_mutex_;
 };
 
 }  // namespace seltrig

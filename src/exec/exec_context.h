@@ -109,6 +109,14 @@ class ExecContext {
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
 
+  // --- Intra-query parallelism ----------------------------------------------
+  // Worker threads for eligible scan spines (ExecOptions::num_threads). 1 =
+  // serial. The executor decides eligibility per spine (see
+  // ParallelSpineScan in exec/gather.h); ineligible plans run serially at any
+  // setting.
+  int num_threads() const { return num_threads_; }
+  void set_num_threads(int n) { num_threads_ = n < 1 ? 1 : n; }
+
   // --- Profiling ------------------------------------------------------------
   // When enabled, operators sample wall-clock time per Init/NextBatch and the
   // executor appends an annotated operator tree to profile_text() after each
@@ -126,6 +134,7 @@ class ExecContext {
   std::unordered_map<const Expr*, MaterializedSubquery> subquery_cache_;
   ExecStats stats_;
   size_t batch_size_ = 1024;
+  int num_threads_ = 1;
   bool collect_profile_ = false;
   std::string profile_text_;
 };

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "audit/accessed_state.h"
 #include "catalog/catalog.h"
 #include "common/fault_injector.h"
+#include "exec/gather.h"
 #include "expr/analysis.h"
 
 namespace seltrig {
@@ -118,6 +120,24 @@ Result<OperatorPtr> Executor::Build(const LogicalOperator& node,
 Result<OperatorPtr> Executor::BuildNode(const LogicalOperator& node,
                                         const std::vector<const Row*>& outer_rows,
                                         size_t spine_cap) {
+  // Morsel-parallel path: an eligible scan spine becomes a single gather
+  // operator instead of the serial chain. Requires an uncapped spine (a cap
+  // means an early-stopping consumer observes pull pacing), no correlation
+  // stack, and no ACCESSED cardinality cap (a cap makes ACCESSED depend on
+  // arrival order, which the deterministic merge cannot replay).
+  if (ctx_->num_threads() > 1 && spine_cap == 0 && outer_rows.empty()) {
+    AccessedStateRegistry* registry = ctx_->accessed();
+    if (registry == nullptr || registry->capacity() == 0) {
+      const LogicalScan* scan = ParallelSpineScan(node);
+      if (scan != nullptr) {
+        Result<Table*> table = ctx_->catalog()->GetTable(scan->table_name);
+        if (table.ok()) {
+          return OperatorPtr(
+              std::make_unique<PhysicalGatherOp>(ctx_, node, *scan, *table));
+        }
+      }
+    }
+  }
   OperatorPtr op;
   switch (node.kind()) {
     case PlanKind::kScan: {
@@ -167,10 +187,8 @@ Result<OperatorPtr> Executor::BuildNode(const LogicalOperator& node,
         }
       }
       if (!built_hash) {
-        // Nested-loop join is still row-at-a-time; mount it via the adapter.
-        auto nl = std::make_unique<NLJoinOp>(ctx_, outer_rows, join, std::move(left),
-                                             std::move(right));
-        op = std::make_unique<RowAtATimeAdapter>(ctx_, outer_rows, std::move(nl));
+        op = std::make_unique<NLJoinOp>(ctx_, outer_rows, join, std::move(left),
+                                        std::move(right));
       }
       break;
     }

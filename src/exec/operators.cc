@@ -95,6 +95,7 @@ void FormatProfileNode(const PhysicalOperator& op, int indent, std::string* out)
                 static_cast<double>(p.init_ns) / 1e6,
                 static_cast<double>(p.next_ns) / 1e6);
   *out += line;
+  op.AppendProfileLines(indent + 1, out);
   for (const PhysicalOperator* child : op.profile_children()) {
     FormatProfileNode(*child, indent + 1, out);
   }
@@ -102,10 +103,14 @@ void FormatProfileNode(const PhysicalOperator& op, int indent, std::string* out)
 
 }  // namespace
 
+int FindIndexableScanColumn(const Expr& pred) {
+  const Expr* value_expr = nullptr;
+  return FindIndexableConjunct(pred, &value_expr);
+}
+
 // --- PhysicalOperator --------------------------------------------------------
 
 PhysicalOperator::~PhysicalOperator() = default;
-RowOperator::~RowOperator() = default;
 
 Status PhysicalOperator::Init() {
   if (!ctx_->collect_profile()) return InitImpl();
@@ -142,38 +147,6 @@ std::string FormatOperatorProfile(const PhysicalOperator& root) {
   return out;
 }
 
-// --- RowAtATimeAdapter -------------------------------------------------------
-
-RowAtATimeAdapter::RowAtATimeAdapter(ExecContext* ctx,
-                                     std::vector<const Row*> outer_rows,
-                                     RowOperatorPtr inner)
-    : PhysicalOperator(ctx, std::move(outer_rows)), inner_(std::move(inner)) {
-  profile_children_ = inner_->Children();
-}
-
-std::string RowAtATimeAdapter::DebugName() const {
-  return inner_->DebugName() + " [row-adapter]";
-}
-
-Status RowAtATimeAdapter::InitImpl() {
-  done_ = false;
-  return inner_->Init();
-}
-
-Result<bool> RowAtATimeAdapter::NextBatchImpl(RowBatch* out) {
-  if (done_) return false;
-  while (out->size() < batch_capacity_) {
-    Row* slot = out->AppendRow();
-    SELTRIG_ASSIGN_OR_RETURN(bool has, inner_->Next(slot));
-    if (!has) {
-      out->PopRow();
-      done_ = true;
-      break;
-    }
-  }
-  return !(out->empty() && done_);
-}
-
 // --- SeqScan -----------------------------------------------------------------
 
 SeqScanOp::SeqScanOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
@@ -183,7 +156,7 @@ SeqScanOp::SeqScanOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
 std::string SeqScanOp::DebugName() const { return node_.Describe(); }
 
 Status SeqScanOp::InitImpl() {
-  cursor_ = 0;
+  cursor_ = range_mode_ ? slot_begin_ : 0;
   exclusions_.clear();
   index_mode_ = false;
   candidates_.clear();
@@ -199,7 +172,9 @@ Status SeqScanOp::InitImpl() {
         exclusions_.emplace_back(e.column, e.value);
       }
     }
-    if (node_.filter != nullptr) {
+    // A morsel-range scan walks its slots directly; index probing would
+    // examine rows outside the morsel (and a different total slot set).
+    if (node_.filter != nullptr && !range_mode_) {
       const Expr* value_expr = nullptr;
       int col = FindIndexableConjunct(*node_.filter, &value_expr);
       if (col >= 0) {
@@ -262,7 +237,8 @@ Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
     return true;
   }
   scan_buffer_.clear();
-  size_t n = table_->ScanBatch(&cursor_, cap, &scan_buffer_);
+  size_t end_slot = range_mode_ ? slot_end_ : table_->slot_count();
+  size_t n = table_->ScanBatchRange(&cursor_, end_slot, cap, &scan_buffer_);
   if (n == 0) return false;
   for (const Row* src : scan_buffer_) {
     SELTRIG_RETURN_IF_ERROR(EmitIfPassing(*src, out).status());
@@ -483,24 +459,26 @@ Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
 
 NLJoinOp::NLJoinOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                    const LogicalJoin& node, OperatorPtr left, OperatorPtr right)
-    : RowOperator(ctx, std::move(outer_rows)),
+    : PhysicalOperator(ctx, std::move(outer_rows)),
       node_(node),
       left_(std::move(left)),
-      right_(std::move(right)),
-      left_reader_(left_.get()) {}
+      right_(std::move(right)) {
+  profile_children_ = {left_.get(), right_.get()};
+}
 
 std::string NLJoinOp::DebugName() const { return node_.Describe(); }
 
-std::vector<const PhysicalOperator*> NLJoinOp::Children() const {
-  return {left_.get(), right_.get()};
-}
-
-Status NLJoinOp::Init() {
+Status NLJoinOp::InitImpl() {
   SELTRIG_RETURN_IF_ERROR(left_->Init());
   SELTRIG_RETURN_IF_ERROR(right_->Init());
-  left_reader_.Reset();
+  eval_ctx_ = MakeEvalContext(nullptr);
+  left_batch_.Clear();
+  left_pos_ = 0;
+  left_done_ = false;
+  left_row_ = nullptr;
+  right_idx_ = 0;
+  left_matched_ = false;
   right_rows_.clear();
-  left_valid_ = false;
   RowBatch batch;
   while (true) {
     Result<bool> has = right_->NextBatch(&batch);
@@ -514,37 +492,63 @@ Status NLJoinOp::Init() {
   return Status::OK();
 }
 
-Result<bool> NLJoinOp::Next(Row* row) {
+Result<bool> NLJoinOp::AdvanceLeft() {
   while (true) {
-    if (!left_valid_) {
-      SELTRIG_ASSIGN_OR_RETURN(const Row* next_left, left_reader_.Next());
-      if (next_left == nullptr) return false;
-      left_row_ = *next_left;
-      left_valid_ = true;
-      left_matched_ = false;
-      right_idx_ = 0;
+    if (left_pos_ >= left_batch_.size()) {
+      if (left_done_) return false;
+      SELTRIG_ASSIGN_OR_RETURN(bool has, left_->NextBatch(&left_batch_));
+      left_pos_ = 0;
+      if (!has) {
+        left_done_ = true;
+        return false;
+      }
+      continue;  // batch may be empty; pull again
     }
-    while (right_idx_ < right_rows_.size()) {
+    left_row_ = &left_batch_.row(left_pos_++);
+    left_matched_ = false;
+    right_idx_ = 0;
+    return true;
+  }
+}
+
+Result<bool> NLJoinOp::NextBatchImpl(RowBatch* out) {
+  while (out->size() < batch_capacity_) {
+    if (left_row_ == nullptr) {
+      SELTRIG_ASSIGN_OR_RETURN(bool has, AdvanceLeft());
+      if (!has) break;
+    }
+    while (right_idx_ < right_rows_.size() && out->size() < batch_capacity_) {
       const Row& right_row = right_rows_[right_idx_++];
-      Row combined = left_row_;
-      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      Row* slot = out->AppendRow();
+      slot->reserve(left_row_->size() + right_row.size());
+      slot->insert(slot->end(), left_row_->begin(), left_row_->end());
+      slot->insert(slot->end(), right_row.begin(), right_row.end());
       if (node_.condition != nullptr) {
-        EvalContext ec = MakeEvalContext(&combined);
-        SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node_.condition, ec));
-        if (!pass) continue;
+        eval_ctx_.row = slot;
+        SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node_.condition, eval_ctx_));
+        if (!pass) {
+          out->PopRow();
+          continue;
+        }
       }
       left_matched_ = true;
-      *row = std::move(combined);
-      return true;
     }
-    bool emit_null_padded = node_.join_type == JoinType::kLeft && !left_matched_;
-    left_valid_ = false;
-    if (emit_null_padded) {
-      *row = left_row_;
-      row->resize(left_row_.size() + right_width_, Value::Null());
-      return true;
+    if (right_idx_ < right_rows_.size()) {
+      break;  // output batch is full; resume this left row next call
     }
+    // Exhausted the right side for this left row.
+    if (node_.join_type == JoinType::kLeft && !left_matched_) {
+      if (out->size() >= batch_capacity_) break;  // pad on the next call
+      Row* slot = out->AppendRow();
+      slot->reserve(left_row_->size() + right_width_);
+      slot->insert(slot->end(), left_row_->begin(), left_row_->end());
+      slot->resize(left_row_->size() + right_width_, Value::Null());
+      left_matched_ = true;  // padded exactly once
+    }
+    left_row_ = nullptr;
   }
+  return !(out->empty() && left_done_ && left_row_ == nullptr &&
+           left_pos_ >= left_batch_.size());
 }
 
 // --- HashAggregate -----------------------------------------------------------

@@ -6,9 +6,8 @@
 // Contract: NextBatch(out) returns false at end of stream; a true return
 // means the stream continues and `out` holds zero or more logical rows
 // (in-place operators like Filter may narrow a child batch to emptiness —
-// callers keep pulling until false). Operators that have not been migrated
-// to batches implement the row-at-a-time RowOperator interface and compose
-// through RowAtATimeAdapter, so the tree is always batch-to-batch.
+// callers keep pulling until false). Every operator is batch-to-batch; the
+// row-at-a-time migration seam (RowOperator/RowAtATimeAdapter) is gone.
 
 #ifndef SELTRIG_EXEC_OPERATORS_H_
 #define SELTRIG_EXEC_OPERATORS_H_
@@ -76,6 +75,15 @@ class PhysicalOperator {
     return profile_children_;
   }
 
+  // Extra profile-tree lines this operator contributes below its own line
+  // (before its children). PhysicalGatherOp reports the per-worker spine
+  // operators here — summed across workers — since worker pipelines are torn
+  // down before the profile is rendered.
+  virtual void AppendProfileLines(int indent, std::string* out) const {
+    (void)indent;
+    (void)out;
+  }
+
  protected:
   virtual Status InitImpl() = 0;
   virtual Result<bool> NextBatchImpl(RowBatch* out) = 0;
@@ -104,59 +112,13 @@ using OperatorPtr = std::unique_ptr<PhysicalOperator>;
 // Renders the operator tree with its runtime counters (after execution).
 std::string FormatOperatorProfile(const PhysicalOperator& root);
 
-// Row-at-a-time operator interface: the migration seam. Operators not yet
-// vectorized implement this and are mounted into the batch tree via
-// RowAtATimeAdapter. Children are ordinary batch operators (use
-// BatchRowReader to consume them row-wise).
-class RowOperator {
- public:
-  RowOperator(ExecContext* ctx, std::vector<const Row*> outer_rows)
-      : ctx_(ctx), outer_rows_(std::move(outer_rows)) {}
-  virtual ~RowOperator();
-
-  RowOperator(const RowOperator&) = delete;
-  RowOperator& operator=(const RowOperator&) = delete;
-
-  virtual Status Init() = 0;
-  // Produces the next row into *row; returns false at end of stream.
-  virtual Result<bool> Next(Row* row) = 0;
-  virtual std::string DebugName() const = 0;
-  // Batch children, for the profile tree.
-  virtual std::vector<const PhysicalOperator*> Children() const { return {}; }
-
- protected:
-  EvalContext MakeEvalContext(const Row* row) const {
-    EvalContext ec;
-    ec.row = row;
-    ec.outer_rows = outer_rows_;
-    ec.exec = ctx_;
-    return ec;
-  }
-
-  ExecContext* ctx_;
-  std::vector<const Row*> outer_rows_;
-};
-
-using RowOperatorPtr = std::unique_ptr<RowOperator>;
-
-// Mounts a RowOperator into the batch pipeline: fills each output batch by
-// repeated Next() calls. Costs one virtual call per row — exactly the tax the
-// vectorized operators avoid — but keeps every tree composable during
-// incremental migration.
-class RowAtATimeAdapter : public PhysicalOperator {
- public:
-  RowAtATimeAdapter(ExecContext* ctx, std::vector<const Row*> outer_rows,
-                    RowOperatorPtr inner);
-  std::string DebugName() const override;
-
- protected:
-  Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
-
- private:
-  RowOperatorPtr inner_;
-  bool done_ = false;
-};
+// Finds an equality conjunct `column = <row-invariant expr>` in a scan filter
+// — the shape SeqScanOp turns into a secondary-index probe. Returns the
+// column index, or -1. Exposed so the parallel-scan eligibility check
+// (exec/gather.cc) can prove a scan will NOT take the index path: an index
+// probe examines a different slot set than a full scan, so rows_scanned
+// would no longer be thread-count-invariant.
+int FindIndexableScanColumn(const Expr& pred);
 
 // Scan over a base table or virtual relation, applying the pushed
 // single-table filter and the context's scan exclusions (offline auditing).
@@ -171,6 +133,16 @@ class SeqScanOp : public PhysicalOperator {
   SeqScanOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
             const LogicalScan& node, Table* table);
   std::string DebugName() const override;
+
+  // Restricts the scan to the slot range [begin, end) — one morsel of a
+  // parallel scan. Range mode never probes the secondary index (the morsel
+  // owns its slots outright; eligibility already excluded indexable filters)
+  // and is only meaningful for base-table scans.
+  void set_slot_range(size_t begin, size_t end) {
+    slot_begin_ = begin;
+    slot_end_ = end;
+    range_mode_ = true;
+  }
 
  protected:
   Status InitImpl() override;
@@ -192,6 +164,10 @@ class SeqScanOp : public PhysicalOperator {
   // Index-lookup mode: the candidate row ids to examine.
   bool index_mode_ = false;
   std::vector<size_t> candidates_;
+  // Morsel range (set_slot_range); when inactive the scan covers the table.
+  bool range_mode_ = false;
+  size_t slot_begin_ = 0;
+  size_t slot_end_ = 0;
   // Scratch buffer of row pointers filled by Table::ScanBatch.
   std::vector<const Row*> scan_buffer_;
 };
@@ -279,28 +255,36 @@ class HashJoinOp : public PhysicalOperator {
 };
 
 // Nested-loop join for non-equi conditions and cross joins; materializes the
-// right child once. Supports inner, left outer, and cross joins. Cold path:
-// still row-at-a-time, composed through RowAtATimeAdapter.
-class NLJoinOp : public RowOperator {
+// right child once, then streams batches of the left, emitting each
+// qualifying pair directly into the output batch (append-then-pop on
+// condition failure, mirroring the hash join's residual handling). Supports
+// inner, left outer, and cross joins.
+class NLJoinOp : public PhysicalOperator {
  public:
   NLJoinOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
            const LogicalJoin& node, OperatorPtr left, OperatorPtr right);
-  Status Init() override;
-  Result<bool> Next(Row* row) override;
   std::string DebugName() const override;
-  std::vector<const PhysicalOperator*> Children() const override;
+
+ protected:
+  Status InitImpl() override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
+  // Advances to the next probe-side row; false at end of the left stream.
+  Result<bool> AdvanceLeft();
+
   const LogicalJoin& node_;
   OperatorPtr left_;
   OperatorPtr right_;
-  BatchRowReader left_reader_;
   std::vector<Row> right_rows_;
   size_t right_width_ = 0;
-  Row left_row_;
+  EvalContext eval_ctx_;
+  RowBatch left_batch_;
+  size_t left_pos_ = 0;
+  bool left_done_ = false;
+  const Row* left_row_ = nullptr;
   size_t right_idx_ = 0;
   bool left_matched_ = false;
-  bool left_valid_ = false;
 };
 
 class HashAggregateOp : public PhysicalOperator {

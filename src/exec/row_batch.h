@@ -17,7 +17,6 @@
 #include <utility>
 #include <vector>
 
-#include "common/status.h"
 #include "types/value.h"
 
 namespace seltrig {
@@ -117,33 +116,6 @@ class RowBatch {
   std::vector<Row> rows_;  // storage, reused across Clear()
   std::vector<uint32_t> selection_;
   bool has_selection_ = false;
-};
-
-class PhysicalOperator;
-
-// Pulls batches from a physical operator and hands the rows out one at a
-// time. Bridges batch children into row-at-a-time consumers (RowOperator
-// implementations behind the RowAtATimeAdapter).
-class BatchRowReader {
- public:
-  explicit BatchRowReader(PhysicalOperator* source) : source_(source) {}
-
-  // Rewinds to a fresh stream (call after source->Init()).
-  void Reset() {
-    batch_.Clear();
-    pos_ = 0;
-    done_ = false;
-  }
-
-  // Next row, or nullptr at end of stream. The pointer is valid until the
-  // next call.
-  Result<const Row*> Next();
-
- private:
-  PhysicalOperator* source_;
-  RowBatch batch_;
-  size_t pos_ = 0;
-  bool done_ = false;
 };
 
 }  // namespace seltrig

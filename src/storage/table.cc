@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/fault_injector.h"
@@ -136,9 +137,14 @@ void Table::EnsureSecondaryIndex(int column) {
 
 size_t Table::ScanBatch(size_t* cursor, size_t max_rows,
                         std::vector<const Row*>* out) const {
+  return ScanBatchRange(cursor, rows_.size(), max_rows, out);
+}
+
+size_t Table::ScanBatchRange(size_t* cursor, size_t end_slot, size_t max_rows,
+                             std::vector<const Row*>* out) const {
   size_t appended = 0;
   size_t pos = *cursor;
-  const size_t slots = rows_.size();
+  const size_t slots = std::min(end_slot, rows_.size());
   while (pos < slots && appended < max_rows) {
     if (!deleted_[pos]) {
       out->push_back(&rows_[pos]);
@@ -151,6 +157,7 @@ size_t Table::ScanBatch(size_t* cursor, size_t max_rows,
 }
 
 const std::vector<size_t>& Table::LookupBySecondary(int column, const Value& key) {
+  std::lock_guard<std::mutex> lock(secondary_mutex_);
   EnsureSecondaryIndex(column);
   const SecondaryIndex& idx = secondary_indexes_[column];
   auto it = idx.map.find(key);

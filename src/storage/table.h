@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,8 +20,13 @@ namespace seltrig {
 class UndoLog;
 
 // Rows live in an append-only vector; deletes set a tombstone so row ids stay
-// stable for indexes and triggers. Not thread-safe: seltrig models a single
-// session (the paper's mechanism is orthogonal to concurrency control).
+// stable for indexes and triggers.
+//
+// Concurrency contract (docs/CONCURRENCY.md): reads (ScanBatch, GetRow,
+// lookups) may run from many sessions and parallel scan workers at once;
+// every mutation runs behind the engine's exclusive writer lock, which
+// excludes all readers. The only mutable state reachable from the read path
+// is the lazily-built secondary index, which is serialized internally.
 class Table {
  public:
   // `primary_key_column` is the index of the PK column in `schema`, or -1 if
@@ -50,6 +56,12 @@ class Table {
   size_t ScanBatch(size_t* cursor, size_t max_rows,
                    std::vector<const Row*>* out) const;
 
+  // Range-bounded variant for morsel-driven parallel scans: identical, but
+  // never examines slots at or past `end_slot`. A worker owning the morsel
+  // [begin, end) starts its cursor at `begin` and scans with this overload.
+  size_t ScanBatchRange(size_t* cursor, size_t end_slot, size_t max_rows,
+                        std::vector<const Row*>* out) const;
+
   // Appends a row. Fails on arity mismatch or duplicate primary key.
   // On success returns the new row id.
   Result<size_t> Insert(Row row);
@@ -65,7 +77,9 @@ class Table {
 
   // Returns the live row ids whose `column` equals `key`, using (and lazily
   // building) a secondary hash index. The index is invalidated by any write
-  // and rebuilt on demand.
+  // and rebuilt on demand. Safe to call from concurrent reader sessions: the
+  // lazy build is serialized; the returned reference stays valid until the
+  // next write (writes exclude readers).
   const std::vector<size_t>& LookupBySecondary(int column, const Value& key);
 
   // Drops all rows (used by tests and dbgen reloads).
@@ -101,6 +115,8 @@ class Table {
   uint64_t version_ = 0;  // bumped on every write; invalidates secondaries
 
   std::unordered_map<Value, size_t, ValueHash, ValueEq> pk_index_;
+  // Serializes lazy secondary-index builds between concurrent readers.
+  mutable std::mutex secondary_mutex_;
   std::unordered_map<int, SecondaryIndex> secondary_indexes_;
   std::vector<size_t> empty_result_;
   UndoLog* undo_ = nullptr;

@@ -1,0 +1,332 @@
+// Concurrency suite (`ctest -L concurrency`): the shared-catalog/session
+// split under real threads.
+//
+//  - Thread-count differential: every TPC-H workload query produces identical
+//    rows, ACCESSED state, and rows_scanned at num_threads 1 / 4 / 8,
+//    including audited-LIMIT (max_rows) plans, which must fall back to the
+//    serial spine.
+//  - N concurrent sessions: SELECT-trigger firing, morsel-parallel gathers
+//    from several sessions sharing one worker pool, and readers interleaved
+//    with DML writers maintaining the sensitive-ID view.
+//  - Trigger circuit breaker raced from many sessions: quarantine trips
+//    exactly once, Rearm restores firing.
+//
+// Run these under the `tsan` CMake preset to get ThreadSanitizer coverage of
+// the storage reader-writer lock, the trigger registry, and the gather merge.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace seltrig {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Thread-count differential over the TPC-H workload.
+
+class ThreadDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.01;
+    ASSERT_TRUE(tpch::LoadTpch(db_, config).ok());
+    ASSERT_TRUE(
+        db_->Execute(tpch::SegmentAuditExpressionSql("seg", "BUILDING")).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Result<StatementResult> Run(const std::string& sql, int num_threads,
+                                     int64_t max_rows = -1) {
+    ExecOptions options;
+    options.num_threads = num_threads;
+    options.max_rows = max_rows;
+    options.instrument_all_audit_expressions = true;
+    options.enable_select_triggers = false;
+    return db_->ExecuteWithOptions(sql, options);
+  }
+
+  // Results, ACCESSED, and rows_scanned must be bit-for-bit identical to the
+  // serial run at every thread count.
+  static void ExpectThreadInvariant(const tpch::TpchQuery& query,
+                                    int64_t max_rows) {
+    auto baseline = Run(query.sql, 1, max_rows);
+    ASSERT_TRUE(baseline.ok()) << query.name << ": " << baseline.status().ToString();
+    for (int threads : {4, 8}) {
+      auto r = Run(query.sql, threads, max_rows);
+      ASSERT_TRUE(r.ok()) << query.name << ": " << r.status().ToString();
+      EXPECT_EQ(r->result.rows, baseline->result.rows)
+          << query.name << " rows diverge at " << threads << " threads"
+          << " (max_rows " << max_rows << ")";
+      EXPECT_EQ(r->accessed, baseline->accessed)
+          << query.name << " ACCESSED diverges at " << threads << " threads"
+          << " (max_rows " << max_rows << ")";
+      EXPECT_EQ(r->stats.rows_scanned, baseline->stats.rows_scanned)
+          << query.name << " rows_scanned diverges at " << threads
+          << " threads (max_rows " << max_rows << ")";
+    }
+  }
+
+  static Database* db_;
+};
+
+Database* ThreadDifferentialTest::db_ = nullptr;
+
+TEST_F(ThreadDifferentialTest, WorkloadQueriesFullResult) {
+  for (const tpch::TpchQuery& query : tpch::WorkloadQueries()) {
+    ExpectThreadInvariant(query, /*max_rows=*/-1);
+  }
+}
+
+// Audited LIMIT: a max_rows prefix-abort pins the audit spine to exact
+// row-at-a-time flow, so the executor must refuse to gather and fall back to
+// the serial path -- the differential still has to hold.
+TEST_F(ThreadDifferentialTest, AuditedLimitFallsBackToSerial) {
+  for (const tpch::TpchQuery& query : tpch::WorkloadQueries()) {
+    ExpectThreadInvariant(query, /*max_rows=*/5);
+  }
+}
+
+TEST_F(ThreadDifferentialTest, ExtensionQueriesFullResult) {
+  for (const tpch::TpchQuery& query : tpch::ExtensionQueries()) {
+    ExpectThreadInvariant(query, /*max_rows=*/-1);
+  }
+}
+
+TEST_F(ThreadDifferentialTest, MicroQueryAcrossThreadCounts) {
+  tpch::TpchQuery micro{0, "micro", tpch::MicroBenchmarkQuery(4500.0, "1996-01-01")};
+  ExpectThreadInvariant(micro, /*max_rows=*/-1);
+  ExpectThreadInvariant(micro, /*max_rows=*/3);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent sessions against one shared Database.
+
+class ConcurrentSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, zip INT);
+      CREATE TABLE log (userid VARCHAR, patientid INT);
+      INSERT INTO patients VALUES (1, 'Alice', 98101), (2, 'Bob', 98102),
+                                  (3, 'Carol', 98101);
+    )sql").ok());
+    ASSERT_TRUE(db_.Execute(
+        "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients "
+        "WHERE name = 'Alice' FOR SENSITIVE TABLE patients PARTITION BY patientid").ok());
+  }
+
+  int64_t LogCount() {
+    auto r = db_.Execute("SELECT COUNT(*) FROM log");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->rows[0][0].AsInt() : -1;
+  }
+
+  Database db_;
+};
+
+// Eight sessions hammer the audited row at once; every run must fire the
+// SELECT trigger exactly once, so the log ends up with exactly
+// sessions x iterations rows despite the interleaving.
+TEST_F(ConcurrentSessionTest, SelectTriggersFireOncePerQueryAcrossSessions) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS "
+      "INSERT INTO log SELECT user_id(), patientid FROM accessed").ok());
+
+  constexpr int kSessions = 8;
+  constexpr int kIterations = 5;
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int i = 0; i < kSessions; ++i) sessions.push_back(db_.CreateSession());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      sessions[static_cast<size_t>(i)]->context()->user =
+          "user" + std::to_string(i);
+      for (int j = 0; j < kIterations; ++j) {
+        auto r = sessions[static_cast<size_t>(i)]->Execute(
+            "SELECT * FROM patients WHERE patientid = 1");
+        if (!r.ok() || r->rows.size() != 1) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(LogCount(), kSessions * kIterations);
+  // Every session contributed its own share under its own user.
+  auto per_user = db_.Execute(
+      "SELECT userid, COUNT(*) FROM log GROUP BY userid ORDER BY userid");
+  ASSERT_TRUE(per_user.ok());
+  ASSERT_EQ(per_user->rows.size(), static_cast<size_t>(kSessions));
+  for (const auto& row : per_user->rows) {
+    EXPECT_EQ(row[1].AsInt(), kIterations);
+  }
+}
+
+// Several sessions run morsel-parallel gathers at once (sharing the process
+// worker pool); each must match the serial answer computed up front.
+TEST_F(ConcurrentSessionTest, ParallelGathersFromConcurrentSessionsMatchSerial) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE wide (id INT PRIMARY KEY, v INT)").ok());
+  std::string insert;
+  for (int i = 1; i <= 20000; ++i) {
+    if (insert.empty()) insert = "INSERT INTO wide VALUES ";
+    insert += "(" + std::to_string(i) + ", " + std::to_string(i % 997) + ")";
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(db_.Execute(insert).ok());
+      insert.clear();
+    } else {
+      insert += ", ";
+    }
+  }
+  ASSERT_TRUE(db_.Execute(
+      "CREATE AUDIT EXPRESSION audit_wide AS SELECT * FROM wide WHERE v < 10 "
+      "FOR SENSITIVE TABLE wide PARTITION BY id").ok());
+
+  const std::string sql = "SELECT v FROM wide WHERE v >= 900";
+  ExecOptions serial;
+  serial.enable_select_triggers = false;
+  serial.instrument_all_audit_expressions = true;
+  auto baseline = db_.ExecuteWithOptions(sql, serial);
+  ASSERT_TRUE(baseline.ok());
+
+  constexpr int kSessions = 6;
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int i = 0; i < kSessions; ++i) sessions.push_back(db_.CreateSession());
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      ExecOptions options = serial;
+      options.num_threads = (i % 2 == 0) ? 4 : 8;
+      for (int j = 0; j < 3; ++j) {
+        auto r = sessions[static_cast<size_t>(i)]->ExecuteWithOptions(sql, options);
+        if (!r.ok() || r->result.rows != baseline->result.rows ||
+            r->accessed != baseline->accessed ||
+            r->stats.rows_scanned != baseline->stats.rows_scanned) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// DML writers extend the sensitive partition (incremental ID-view
+// maintenance, serialized behind the writer lock) while reader sessions keep
+// querying. No reader may error, and the final view must reflect every write.
+TEST_F(ConcurrentSessionTest, ViewMaintenanceRacesReaders) {
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kRowsPerWriter = 40;
+
+  std::vector<std::unique_ptr<Session>> writers, readers;
+  for (int i = 0; i < kWriters; ++i) writers.push_back(db_.CreateSession());
+  for (int i = 0; i < kReaders; ++i) readers.push_back(db_.CreateSession());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kRowsPerWriter; ++i) {
+        // Every inserted row is named Alice: each insert must extend the
+        // audit_alice ID view before the writer lock is released.
+        int id = 100 + w * 1000 + i;
+        auto r = writers[static_cast<size_t>(w)]->Execute(
+            "INSERT INTO patients VALUES (" + std::to_string(id) +
+            ", 'Alice', 98103)");
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int rd = 0; rd < kReaders; ++rd) {
+    threads.emplace_back([&, rd] {
+      ExecOptions options;
+      options.enable_select_triggers = false;
+      options.instrument_all_audit_expressions = true;
+      for (int i = 0; i < 20; ++i) {
+        auto r = readers[static_cast<size_t>(rd)]->ExecuteWithOptions(
+            "SELECT COUNT(*) FROM patients WHERE name = 'Alice'", options);
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiescent check: the view saw every maintenance step.
+  ExecOptions options;
+  options.enable_select_triggers = false;
+  options.instrument_all_audit_expressions = true;
+  auto r = db_.ExecuteWithOptions("SELECT * FROM patients WHERE name = 'Alice'",
+                                  options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.rows.size(), 1u + kWriters * kRowsPerWriter);
+  EXPECT_EQ(r->accessed.at("audit_alice").size(), 1u + kWriters * kRowsPerWriter);
+}
+
+// The circuit breaker raced from many sessions: a trigger whose action always
+// RAISEs under fail-open must end up quarantined (threshold crossed exactly
+// once, no lost updates on the failure counter), queries keep succeeding, and
+// Rearm restores firing.
+TEST_F(ConcurrentSessionTest, QuarantineRaceAndRearm) {
+  ASSERT_TRUE(db_.Execute(
+      "CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS "
+      "RAISE 'audit backend down'").ok());
+
+  ExecOptions options;
+  options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
+  options.guards.fail_open_retries = 0;
+  options.guards.quarantine_after = 3;
+
+  constexpr int kSessions = 8;
+  constexpr int kIterations = 4;
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int i = 0; i < kSessions; ++i) sessions.push_back(db_.CreateSession());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      for (int j = 0; j < kIterations; ++j) {
+        auto r = sessions[static_cast<size_t>(i)]->ExecuteWithOptions(
+            "SELECT * FROM patients WHERE patientid = 1", options);
+        // Fail-open: the query itself must succeed even while the action fails.
+        if (!r.ok() || r->result.rows.size() != 1) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const TriggerDef* def = db_.trigger_manager()->Find("log_alice");
+  ASSERT_NE(def, nullptr);
+  EXPECT_TRUE(def->quarantined.load());
+  EXPECT_FALSE(def->enabled.load());
+  EXPECT_GE(def->consecutive_failures, options.guards.quarantine_after);
+
+  // Rearm clears quarantine and the counter; the trigger fires (and fails)
+  // again on the next audited query.
+  ASSERT_TRUE(db_.trigger_manager()->Rearm("log_alice").ok());
+  EXPECT_FALSE(def->quarantined.load());
+  EXPECT_TRUE(def->enabled.load());
+  EXPECT_EQ(def->consecutive_failures, 0);
+  ASSERT_TRUE(db_.ExecuteWithOptions("SELECT * FROM patients WHERE patientid = 1",
+                                     options).ok());
+  EXPECT_EQ(def->consecutive_failures, 1);
+}
+
+}  // namespace
+}  // namespace seltrig

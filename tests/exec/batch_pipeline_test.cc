@@ -79,9 +79,8 @@ TEST_F(BatchPipelineTest, LimitAndOffsetAcrossBatchBoundaries) {
   }
 }
 
-TEST_F(BatchPipelineTest, NestedLoopJoinAdapterMatchesBaseline) {
-  // Non-equi condition forces the nested-loop join, which still runs
-  // row-at-a-time behind the RowAtATimeAdapter.
+TEST_F(BatchPipelineTest, NestedLoopJoinMatchesBaseline) {
+  // Non-equi condition forces the vectorized nested-loop join.
   ExpectBatchInvariant(
       "SELECT a.id, b.id FROM t a, t b WHERE a.v < b.id ORDER BY a.id, b.id");
   ExpectBatchInvariant("SELECT COUNT(*) FROM t a, t b");

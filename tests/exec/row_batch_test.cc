@@ -1,13 +1,9 @@
 // RowBatch container unit tests: logical/physical views, selection-vector
-// narrowing, storage reuse, and the BatchRowReader bridge.
+// narrowing, and storage reuse.
 
 #include "exec/row_batch.h"
 
 #include <gtest/gtest.h>
-
-#include "catalog/catalog.h"
-#include "exec/executor.h"
-#include "exec/operators.h"
 
 namespace seltrig {
 namespace {
@@ -93,50 +89,6 @@ TEST(RowBatchTest, ClearRetainsStorageAndResetsSelection) {
   slot->push_back(Value::Int(7));
   ASSERT_EQ(batch.size(), 1u);
   EXPECT_EQ(batch.row(0)[0].AsInt(), 7);
-}
-
-class BatchRowReaderTest : public ::testing::Test {
- protected:
-  void SetUp() override {
-    Schema schema;
-    schema.AddColumn({"id", "t", TypeId::kInt, false});
-    auto table = catalog_.CreateTable("t", schema, 0);
-    ASSERT_TRUE(table.ok());
-    for (int64_t i = 1; i <= 5; ++i) {
-      ASSERT_TRUE((*table)->Insert({Value::Int(i)}).ok());
-    }
-  }
-
-  Catalog catalog_;
-  SessionContext session_;
-};
-
-TEST_F(BatchRowReaderTest, ReadsAllRowsAcrossBatchBoundaries) {
-  LogicalScan scan;
-  scan.table_name = "t";
-  scan.alias = "t";
-  ExecContext ctx(&catalog_, &session_);
-  ctx.set_batch_size(2);  // 5 rows -> 3 batches
-  Executor executor(&ctx);
-  auto op = executor.Build(scan, {});
-  ASSERT_TRUE(op.ok());
-  ASSERT_TRUE((*op)->Init().ok());
-
-  BatchRowReader reader(op->get());
-  reader.Reset();
-  std::vector<int64_t> seen;
-  while (true) {
-    auto row = reader.Next();
-    ASSERT_TRUE(row.ok());
-    if (*row == nullptr) break;
-    seen.push_back((**row)[0].AsInt());
-  }
-  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2, 3, 4, 5}));
-
-  // A further pull stays at end of stream.
-  auto again = reader.Next();
-  ASSERT_TRUE(again.ok());
-  EXPECT_EQ(*again, nullptr);
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 //   .user NAME            set the session user (USER_ID())
 //   .profile on|off       per-operator runtime counters after each query
 //   .batch N              set the executor batch size (default 1024)
+//   .threads N            worker threads for eligible scan spines (default 1)
+//   .concurrent N SQL...  run SQL once per session on N concurrent sessions
 //   .tpch SF              load the TPC-H database at scale factor SF
 //   .import FILE TABLE    bulk-load a CSV file (with header) into TABLE
 //   .quit / .exit         leave
@@ -25,8 +27,11 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "engine/csv_loader.h"
 #include "engine/snapshot.h"
@@ -119,7 +124,8 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
   if (cmd == ".help") {
     std::printf(
         ".tables | .audit | .triggers | .user NAME | .profile on|off | .batch N "
-        "| .tpch SF | .import FILE TABLE | .save DIR | .open DIR | .quit\n"
+        "| .threads N | .concurrent N SQL | .tpch SF | .import FILE TABLE "
+        "| .save DIR | .open DIR | .quit\n"
         "SET AUDIT_FAILURE_POLICY = FAIL_CLOSED | FAIL_OPEN;\n");
   } else if (cmd == ".tables") {
     for (const std::string& name : db->catalog()->TableNames()) {
@@ -166,6 +172,54 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
       std::printf("batch size: %zu\n", n);
     } else {
       std::printf("usage: .batch N (currently %zu)\n", sh->options.batch_size);
+    }
+  } else if (cmd == ".threads") {
+    int n = 0;
+    in >> n;
+    if (n > 0) {
+      sh->options.num_threads = n;
+      std::printf("threads: %d\n", n);
+    } else {
+      std::printf("usage: .threads N (currently %d)\n", sh->options.num_threads);
+    }
+  } else if (cmd == ".concurrent") {
+    // Concurrent-session smoke hook: runs one statement on N sessions at
+    // once and reports each session's outcome deterministically by index.
+    int n = 0;
+    in >> n;
+    std::string sql;
+    std::getline(in, sql);
+    if (n <= 0 || sql.find_first_not_of(" \t") == std::string::npos) {
+      std::printf("usage: .concurrent N <sql>\n");
+      return true;
+    }
+    struct Outcome {
+      size_t rows = 0;
+      std::string error;
+    };
+    std::vector<std::unique_ptr<seltrig::Session>> sessions;
+    std::vector<Outcome> outcomes(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) sessions.push_back(db->CreateSession());
+    std::vector<std::thread> threads;
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([&, i] {
+        auto result = sessions[static_cast<size_t>(i)]->ExecuteWithOptions(
+            sql, sh->options);
+        if (result.ok()) {
+          outcomes[static_cast<size_t>(i)].rows = result->result.rows.size();
+        } else {
+          outcomes[static_cast<size_t>(i)].error = result.status().ToString();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int i = 0; i < n; ++i) {
+      const Outcome& o = outcomes[static_cast<size_t>(i)];
+      if (o.error.empty()) {
+        std::printf("session %d: %zu rows\n", i, o.rows);
+      } else {
+        std::printf("session %d: error: %s\n", i, o.error.c_str());
+      }
     }
   } else if (cmd == ".user") {
     std::string user;

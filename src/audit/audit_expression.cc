@@ -19,6 +19,7 @@ Status AuditManager::CreateAuditExpression(ast::CreateAuditExpressionStatement s
   def->name_ = key;
   def->sensitive_table_ = ToLower(stmt.sensitive_table);
   def->partition_by_ = ToLower(stmt.partition_by);
+  def->definition_sql_ = stmt.source;
 
   Result<Table*> table = catalog_->GetTable(def->sensitive_table_);
   SELTRIG_RETURN_IF_ERROR(table.status());

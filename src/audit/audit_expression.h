@@ -40,12 +40,18 @@ class AuditExpressionDef {
     return referenced_tables_;
   }
 
+  // The CREATE AUDIT EXPRESSION statement's own SQL, as parsed (empty for
+  // hand-built ASTs). Snapshots with include_policy and the journal replay
+  // this text to restore the definition.
+  const std::string& definition_sql() const { return definition_sql_; }
+
  private:
   friend class AuditManager;
 
   std::string name_;
   std::string sensitive_table_;
   std::string partition_by_;
+  std::string definition_sql_;
   int partition_column_ = -1;
   ExprPtr single_table_predicate_;
   std::vector<std::string> referenced_tables_;

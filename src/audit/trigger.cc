@@ -59,6 +59,20 @@ Status TriggerManager::Rearm(const std::string& name) {
   return Status::OK();
 }
 
+Status TriggerManager::RestoreQuarantineState(const std::string& name,
+                                              bool quarantined,
+                                              int consecutive_failures) {
+  TriggerDef* def = FindMutable(name);
+  if (def == nullptr) return Status::NotFound("trigger not found: " + name);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    def->consecutive_failures = consecutive_failures;
+  }
+  def->quarantined = quarantined;
+  def->enabled = !quarantined;
+  return Status::OK();
+}
+
 int TriggerManager::RecordFailure(const std::string& name) {
   TriggerDef* def = FindMutable(name);
   if (def == nullptr) return 0;

@@ -30,6 +30,10 @@ struct TriggerDef {
   std::string table;             // DML triggers: lower-case table name
   ast::DmlEvent event = ast::DmlEvent::kInsert;
   std::vector<ast::StatementPtr> actions;  // parsed once at CREATE TRIGGER
+  // The CREATE TRIGGER statement's own SQL, as parsed (empty for hand-built
+  // ASTs). Snapshots with include_policy and the journal replay this text to
+  // restore the trigger.
+  std::string definition_sql;
   // enabled/quarantined are atomic so concurrent reader sessions can check
   // them while another session quarantines or re-arms the trigger (the
   // trigger-firing phase itself runs under the engine's writer lock).
@@ -61,6 +65,11 @@ class TriggerManager {
 
   // Clears quarantine and the failure counter, re-enabling the trigger.
   Status Rearm(const std::string& name);
+
+  // Restores circuit-breaker state verbatim (recovery replaying a journaled
+  // quarantine transition or a checkpoint's quarantine list).
+  Status RestoreQuarantineState(const std::string& name, bool quarantined,
+                                int consecutive_failures);
 
   // Circuit-breaker bookkeeping for one guarded run of `name`'s action list.
   // RecordFailure bumps the consecutive-failure counter and returns its new

@@ -1,0 +1,38 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace seltrig {
+
+namespace {
+
+// Table for the reflected Castagnoli polynomial 0x1EDC6F41 (reversed:
+// 0x82F63B78), computed once at first use.
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const auto& table = Crc32cTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace seltrig

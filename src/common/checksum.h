@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli) checksums for WAL record integrity. Software
+// table-driven implementation; ~1 byte/cycle is plenty for journal records
+// that are fsync-bound anyway.
+
+#ifndef SELTRIG_COMMON_CHECKSUM_H_
+#define SELTRIG_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace seltrig {
+
+// CRC32C of `data`. `seed` chains partial checksums:
+//   Crc32c(b, Crc32c(a)) == Crc32c(a+b).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_COMMON_CHECKSUM_H_

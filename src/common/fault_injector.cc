@@ -1,10 +1,33 @@
 #include "common/fault_injector.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 namespace seltrig {
 
 FaultInjector& FaultInjector::Instance() {
   static FaultInjector instance;
   return instance;
+}
+
+const std::vector<std::string>& FaultInjector::KnownPoints() {
+  // Every fault::Maybe() call site in the engine, sorted. Keep in sync when
+  // adding points; tests/fault/fault_coverage_test.cc exercises each one.
+  static const auto* kPoints = new std::vector<std::string>{
+      "audit.maintain",   // audit/audit_expression.cc: incremental view upkeep
+      "audit.record",     // audit/audit_log.cc: access-log row append
+      "executor.batch",   // exec/executor.cc: batch pull loop
+      "snapshot.write",   // engine/snapshot.cc: per-file snapshot writes
+      "storage.append",   // storage/table.cc: Insert
+      "storage.delete",   // storage/table.cc: Delete
+      "storage.update",   // storage/table.cc: Update
+      "trigger.action",   // engine/session.cc: per-action trigger execution
+      "wal.append",       // storage/wal.cc: record append to the segment
+      "wal.fsync",        // storage/wal.cc: group-commit fsync
+      "wal.rotate",       // storage/wal.cc: segment rotation (checkpoint)
+      "wal.torn",         // storage/wal.cc: torn write — partial append + crash
+  };
+  return *kPoints;
 }
 
 void FaultInjector::Arm(const std::string& point, Schedule schedule) {
@@ -13,6 +36,7 @@ void FaultInjector::Arm(const std::string& point, Schedule schedule) {
   state.schedule = std::move(schedule);
   state.armed_hits = 0;
   state.fires = 0;
+  ++lifetime_[point].armed;
   Enable(true);
 }
 
@@ -46,11 +70,43 @@ uint64_t FaultInjector::fires(const std::string& point) const {
   return it == points_.end() ? 0 : it->second.fires;
 }
 
+std::vector<FaultInjector::PointCoverage> FaultInjector::Coverage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PointCoverage> report;
+  for (const std::string& point : KnownPoints()) {
+    PointCoverage entry;
+    entry.point = point;
+    entry.known = true;
+    report.push_back(std::move(entry));
+  }
+  auto find_or_add = [&report](const std::string& point) -> PointCoverage& {
+    for (PointCoverage& entry : report) {
+      if (entry.point == point) return entry;
+    }
+    PointCoverage entry;
+    entry.point = point;
+    report.push_back(std::move(entry));
+    return report.back();
+  };
+  for (const auto& [point, life] : lifetime_) {
+    PointCoverage& entry = find_or_add(point);
+    entry.armed = life.armed;
+    entry.hits = life.hits;
+    entry.fires = life.fires;
+  }
+  std::sort(report.begin(), report.end(),
+            [](const PointCoverage& a, const PointCoverage& b) {
+              return a.point < b.point;
+            });
+  return report;
+}
+
 Status FaultInjector::Check(const char* point) {
   if (suspend_depth_.load(std::memory_order_relaxed) > 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   PointState& state = points_[point];
   ++state.hits;
+  ++lifetime_[point].hits;
   if (!state.schedule.has_value()) return Status::OK();
   const Schedule& sched = *state.schedule;
   ++state.armed_hits;
@@ -60,6 +116,12 @@ Status FaultInjector::Check(const char* point) {
                (state.armed_hits - sched.nth) % sched.every == 0);
   if (!fire) return Status::OK();
   ++state.fires;
+  ++lifetime_[point].fires;
+  if (sched.action == FaultAction::kCrash) {
+    // Simulated power-cut: no destructors, no buffer flushes. _Exit keeps
+    // whatever the OS already has; the forked harness recovers in the parent.
+    std::_Exit(kCrashExitCode);
+  }
   std::string message = sched.message.empty()
                             ? "injected fault at '" + std::string(point) + "'"
                             : sched.message;

@@ -26,13 +26,23 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 
 namespace seltrig {
 
+// What a firing schedule does to the process: return an injected error
+// Status, or kill the process on the spot (kill-point crash testing; the
+// harness forks first and inspects the child's exit code).
+enum class FaultAction : uint8_t { kError, kCrash };
+
 class FaultInjector {
  public:
+  // Exit code used by FaultAction::kCrash (and the WAL torn-write mode) so
+  // harnesses can distinguish an injected crash from a real one.
+  static constexpr int kCrashExitCode = 137;
+
   // When to fire, expressed over the 1-based hit count of the point since it
   // was armed: fires at hit `nth`, then (if `every` > 0) at every `every`-th
   // hit after that, for at most `times` activations (0 = unlimited).
@@ -42,6 +52,7 @@ class FaultInjector {
     uint64_t times = 1;
     ErrorCode code = ErrorCode::kExecutionError;
     std::string message;  // empty = "injected fault at '<point>'"
+    FaultAction action = FaultAction::kError;
   };
 
   // Canonical schedules used by the fault-matrix tests.
@@ -70,6 +81,14 @@ class FaultInjector {
     s.times = n;
     return s;
   }
+  // Kill the process (std::_Exit(kCrashExitCode)) at the n-th hit. Only for
+  // forked kill-point harnesses — no destructors or buffers are flushed.
+  static Schedule CrashNth(uint64_t n) {
+    Schedule s;
+    s.nth = n;
+    s.action = FaultAction::kCrash;
+    return s;
+  }
 
   static FaultInjector& Instance();
 
@@ -95,6 +114,27 @@ class FaultInjector {
   // Number of times `point` actually fired.
   uint64_t fires(const std::string& point) const;
 
+  // Every fault point compiled into the engine, sorted. Hand-maintained in
+  // fault_injector.cc next to the list of call sites; the fault-coverage test
+  // fails when a point exists in code but not here (it can never be armed by
+  // name otherwise) or here but not in code (it never records a hit).
+  static const std::vector<std::string>& KnownPoints();
+
+  // Lifetime per-point bookkeeping for coverage reporting. Unlike hits()/
+  // fires(), these counters survive Reset(): they answer "was this point ever
+  // armed/exercised in this process", which is what a coverage check wants
+  // across a test's arm/reset cycles.
+  struct PointCoverage {
+    std::string point;
+    uint64_t armed = 0;  // times Arm() targeted this point
+    uint64_t hits = 0;   // lifetime hits while enabled
+    uint64_t fires = 0;  // lifetime fires
+    bool known = false;  // appears in KnownPoints()
+  };
+  // One entry per known point plus any point ever armed or hit, sorted by
+  // name.
+  std::vector<PointCoverage> Coverage() const;
+
   // Counts a hit at `point` and returns the injected error when the armed
   // schedule says this hit fires. Called via fault::Maybe().
   Status Check(const char* point);
@@ -107,10 +147,18 @@ class FaultInjector {
     std::optional<Schedule> schedule;
   };
 
+  struct LifetimeState {
+    uint64_t armed = 0;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
   std::atomic<bool> enabled_{false};
   std::atomic<int> suspend_depth_{0};
-  mutable std::mutex mutex_;  // guards points_
+  mutable std::mutex mutex_;  // guards points_ and lifetime_
   std::unordered_map<std::string, PointState> points_;
+  // Survives Reset(); see Coverage().
+  std::unordered_map<std::string, LifetimeState> lifetime_;
 };
 
 namespace fault {

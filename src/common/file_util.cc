@@ -1,0 +1,108 @@
+#include "common/file_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+namespace seltrig {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " failed for " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+AppendFile::~AppendFile() { Close(); }
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<AppendFile> AppendFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Status::ExecutionError(Errno("open", path));
+  AppendFile file;
+  file.fd_ = fd;
+  file.path_ = path;
+  return file;
+}
+
+Status AppendFile::Append(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    ssize_t n = ::write(fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError(Errno("write", path_));
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AppendFile::AppendPrefix(const void* data, size_t size) {
+  if (size == 0) return Status::OK();
+  ssize_t n = ::write(fd_, data, size);
+  if (n < 0) return Status::ExecutionError(Errno("write", path_));
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (::fsync(fd_) != 0) return Status::ExecutionError(Errno("fsync", path_));
+  return Status::OK();
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::ExecutionError(Errno("truncate", path));
+  }
+  return Status::OK();
+}
+
+Status SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::ExecutionError(Errno("open", dir));
+  int rc = ::fsync(fd);
+  ::close(fd);
+  // Some filesystems reject fsync on directories (EINVAL); treat as done.
+  if (rc != 0 && errno != EINVAL) return Status::ExecutionError(Errno("fsync", dir));
+  return Status::OK();
+}
+
+}  // namespace seltrig

@@ -1,0 +1,59 @@
+// Thin POSIX file-I/O wrappers used by the durability layer (storage/wal.*).
+// Everything returns Status so WAL code can thread injected faults and real
+// I/O errors through one path; named fault points live at the WAL layer, not
+// here, so these helpers stay honest about what the OS actually did.
+
+#ifndef SELTRIG_COMMON_FILE_UTIL_H_
+#define SELTRIG_COMMON_FILE_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace seltrig {
+
+// An owned file descriptor opened for appending (created if missing).
+// Movable, closes on destruction.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  static Result<AppendFile> Open(const std::string& path);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Writes all `size` bytes (retrying short writes) at the end of the file.
+  Status Append(const void* data, size_t size);
+  // Writes only the first `size` bytes — used by torn-write fault modes to
+  // simulate a crash mid-record. Does not retry short writes.
+  Status AppendPrefix(const void* data, size_t size);
+  // fsync(2): block until everything appended so far is on stable storage.
+  Status Sync();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+// Reads the entire file into a string. NotFound if it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Truncates `path` to `size` bytes (used to drop a torn journal tail).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+// fsyncs the directory itself so renames/creates/unlinks within it are
+// durable. Best-effort on filesystems that reject directory fsync.
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_COMMON_FILE_UTIL_H_

@@ -1,7 +1,9 @@
 #include "engine/database.h"
 
+#include <filesystem>
 #include <utility>
 
+#include "engine/snapshot.h"
 #include "sql/parser.h"
 
 namespace seltrig {
@@ -36,6 +38,35 @@ const std::vector<std::string>& Database::notifications() const {
 }
 
 void Database::ClearNotifications() { default_session_->ClearNotifications(); }
+
+Status Database::EnableWal(const std::string& dir) {
+  if (wal_ != nullptr) return Status::InvalidArgument("WAL already enabled");
+  if (dir.empty()) return Status::InvalidArgument("WAL directory is empty");
+  SELTRIG_ASSIGN_OR_RETURN(wal_, WalWriter::Open(dir + "/wal"));
+  data_dir_ = dir;
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "CHECKPOINT requires a journaled database (Database::EnableWal)");
+  }
+  // The writer lock freezes table state and keeps sessions out of Append, so
+  // the snapshot and the journal cut are mutually consistent: everything
+  // committed before the checkpoint is in the snapshot, everything after is
+  // in segments >= the recorded sequence.
+  std::unique_lock<std::shared_mutex> lock(storage_mutex_);
+  uint64_t new_seq = 0;
+  SELTRIG_RETURN_IF_ERROR(wal_->Rotate(&new_seq));  // syncs the old segment
+  SnapshotOptions opts;
+  opts.include_policy = true;
+  opts.wal_seq = new_seq;
+  SELTRIG_RETURN_IF_ERROR(SaveSnapshot(this, data_dir_ + "/snapshot", opts));
+  // Only after the snapshot is atomically in place may the journal history
+  // it supersedes be dropped.
+  return wal_->DeleteSegmentsBelow(new_seq);
+}
 
 Result<PlanPtr> Database::PlanSelect(const std::string& sql,
                                      const OptimizerOptions& options) {

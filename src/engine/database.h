@@ -18,8 +18,11 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "engine/session.h"
+#include "storage/wal.h"
 
 namespace seltrig {
+
+struct RecoveryStats;
 
 class Database {
  public:
@@ -68,6 +71,33 @@ class Database {
   // (ts, userid, trigger_name, sql, error, attempts, quarantined).
   static constexpr const char* kAuditErrorsTable = "seltrig_audit_errors";
 
+  // --- Durability (storage/wal.h, engine/recovery.h; docs/DURABILITY.md) ---
+
+  // Attaches a write-ahead journal under `dir` (`<dir>/wal/`, created if
+  // needed; a fresh segment is always started). From then on every committed
+  // top-level statement is journaled before it is acknowledged. Call before
+  // concurrent sessions start — typically indirectly, via Database::Recover.
+  // Note: bulk loads that write tables directly (CSV/TPC-H loaders) bypass
+  // the journal; run Checkpoint() after them.
+  Status EnableWal(const std::string& dir);
+  WalWriter* wal() { return wal_.get(); }
+  // The directory EnableWal was given ("" when the WAL is disabled); the
+  // checkpoint snapshot lives at <data_dir>/snapshot.
+  const std::string& data_dir() const { return data_dir_; }
+
+  // CHECKPOINT: under the writer lock, flushes the journal, rotates to a new
+  // segment, saves a snapshot (with the security policy and quarantine state)
+  // that records the new segment, then deletes the covered segments.
+  // Requires EnableWal.
+  Status Checkpoint();
+
+  // Opens (or creates) a durable database at `dir`: loads the checkpoint
+  // snapshot if present, replays the journal over it (truncating any torn
+  // tail), rebuilds the sensitive-ID views, re-arms triggers, and enables
+  // the WAL on a fresh segment. Implemented in engine/recovery.cc.
+  static Result<std::unique_ptr<Database>> Recover(const std::string& dir,
+                                                   RecoveryStats* stats = nullptr);
+
  private:
   friend class Session;
 
@@ -78,6 +108,10 @@ class Database {
   AuditManager audit_;
   TriggerManager triggers_;
   mutable std::shared_mutex storage_mutex_;
+  // Non-null once EnableWal succeeded. Sessions append through it while
+  // holding the writer lock (see Session::WalAppendLocked).
+  std::unique_ptr<WalWriter> wal_;
+  std::string data_dir_;
 };
 
 }  // namespace seltrig

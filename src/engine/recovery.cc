@@ -1,0 +1,140 @@
+#include "engine/recovery.h"
+
+#include <filesystem>
+
+#include "common/file_util.h"
+#include "engine/snapshot.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace seltrig {
+
+namespace {
+
+// Locates the live row matching `image` exactly. Replay preserves the
+// original commit order, so the old-row image journaled by a delete/update
+// must still be present verbatim; anything else means the journal and the
+// recovered state have diverged (most often: rows bulk-loaded outside the
+// journal without a CHECKPOINT afterwards), which is a hard error — silently
+// guessing would corrupt the audit trail.
+Result<size_t> FindRowByImage(Table* table, const Row& image) {
+  const int pk = table->primary_key_column();
+  if (pk >= 0 && static_cast<size_t>(pk) < image.size() && !image[pk].is_null()) {
+    Result<size_t> found = table->LookupByPrimaryKey(image[pk]);
+    if (found.ok()) {
+      if (table->GetRow(*found) == image) return *found;
+      return Status::Internal("journal replay: row image mismatch in table '" +
+                              table->name() + "'");
+    }
+  } else {
+    for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
+      if (table->IsLive(row_id) && table->GetRow(row_id) == image) return row_id;
+    }
+  }
+  return Status::Internal(
+      "journal replay: no live row matches the journaled image in table '" +
+      table->name() +
+      "' (were rows bulk-loaded without a CHECKPOINT afterwards?)");
+}
+
+Status ApplyOp(Database* db, const WalOp& op, RecoveryStats* stats) {
+  switch (op.kind) {
+    case WalOp::Kind::kStatement: {
+      // DDL and policy replay through the ordinary statement path (the WAL is
+      // not enabled yet, so nothing is re-journaled). These ops never carry
+      // DML, so no triggers fire.
+      Result<QueryResult> result = db->default_session()->Execute(op.sql);
+      SELTRIG_RETURN_IF_ERROR(result.status());
+      return Status::OK();
+    }
+    case WalOp::Kind::kInsert: {
+      SELTRIG_ASSIGN_OR_RETURN(Table * table, db->catalog()->GetTable(op.table));
+      Result<size_t> row_id = table->Insert(op.row);
+      return row_id.status();
+    }
+    case WalOp::Kind::kDelete: {
+      SELTRIG_ASSIGN_OR_RETURN(Table * table, db->catalog()->GetTable(op.table));
+      SELTRIG_ASSIGN_OR_RETURN(size_t row_id, FindRowByImage(table, op.row));
+      return table->Delete(row_id);
+    }
+    case WalOp::Kind::kUpdate: {
+      SELTRIG_ASSIGN_OR_RETURN(Table * table, db->catalog()->GetTable(op.table));
+      SELTRIG_ASSIGN_OR_RETURN(size_t row_id, FindRowByImage(table, op.row));
+      return table->Update(row_id, op.row2);
+    }
+    case WalOp::Kind::kTriggerState:
+      return db->trigger_manager()->RestoreQuarantineState(op.table, op.quarantined,
+                                                           op.failures);
+  }
+  (void)stats;
+  return Status::Internal("journal replay: unknown op kind");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
+                                                  RecoveryStats* stats) {
+  if (dir.empty()) return Status::InvalidArgument("recovery directory is empty");
+  RecoveryStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = RecoveryStats{};
+
+  auto db = std::make_unique<Database>();
+
+  // 1. Latest checkpoint, if any. A fresh directory simply has none.
+  const std::string snapshot_dir = dir + "/snapshot";
+  if (std::filesystem::exists(snapshot_dir + "/schema.sql")) {
+    SELTRIG_RETURN_IF_ERROR(LoadSnapshot(db.get(), snapshot_dir));
+    stats->snapshot_loaded = true;
+    Result<SnapshotManifest> manifest = ReadSnapshotManifest(snapshot_dir);
+    if (manifest.ok()) {
+      stats->snapshot_wal_seq = manifest->wal_seq;
+    } else if (manifest.status().code() != ErrorCode::kNotFound) {
+      return manifest.status();
+    }
+  }
+
+  // 2. Replay journal segments the snapshot does not cover, oldest first.
+  SELTRIG_ASSIGN_OR_RETURN(std::vector<WalSegment> segments,
+                           ListWalSegments(dir + "/wal"));
+  for (const WalSegment& segment : segments) {
+    if (segment.seq < stats->snapshot_wal_seq) continue;
+    SELTRIG_ASSIGN_OR_RETURN(WalSegmentContents contents,
+                             ReadWalSegment(segment.path));
+    for (const std::vector<WalOp>& commit : contents.commits) {
+      for (const WalOp& op : commit) {
+        SELTRIG_RETURN_IF_ERROR(ApplyOp(db.get(), op, stats));
+        ++stats->ops_applied;
+      }
+      ++stats->commits_replayed;
+    }
+    ++stats->segments_replayed;
+    if (contents.torn) {
+      // The crash frontier: everything from the first bad byte on was never
+      // acknowledged. Truncate it away so the file is clean, and replay no
+      // further segments (none should exist past a torn tail — rotation
+      // fsyncs the old segment before opening the next).
+      SELTRIG_RETURN_IF_ERROR(TruncateFile(segment.path, contents.valid_bytes));
+      stats->truncated_torn_tail = true;
+      break;
+    }
+  }
+
+  // 3. The journal stores physical row ops without view maintenance; rebuild
+  // every sensitive-ID view once over the recovered data.
+  for (const AuditExpressionDef* def : db->audit_manager()->All()) {
+    SELTRIG_RETURN_IF_ERROR(
+        db->audit_manager()->RebuildView(db->audit_manager()->FindMutable(def->name())));
+  }
+
+  // 4. Arm the journal on a fresh segment; from here on the database is live.
+  SELTRIG_RETURN_IF_ERROR(db->EnableWal(dir));
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Recover(const std::string& dir,
+                                                    RecoveryStats* stats) {
+  return RecoverDatabase(dir, stats);
+}
+
+}  // namespace seltrig

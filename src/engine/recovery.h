@@ -1,0 +1,53 @@
+// Crash recovery: rebuild a Database from a durable directory laid out as
+//
+//   <dir>/snapshot/   latest checkpoint (engine/snapshot.h; optional)
+//   <dir>/wal/        journal segments (storage/wal.h)
+//
+// Recovery loads the snapshot (tables, data, policy, quarantine state), then
+// replays every journal segment at or above the snapshot's recorded cut in
+// ascending order. Each record is one committed top-level statement and is
+// applied all-or-nothing; the first torn or corrupt record marks the crash
+// frontier — it and everything after it was never acknowledged, so the tail
+// is truncated and replay stops. Physical row ops are applied directly to
+// tables (triggers do NOT re-fire: their writes were journaled as part of the
+// original commit); logical statement ops (DDL, policy) re-execute their SQL;
+// trigger-state ops restore the quarantine circuit breaker. Sensitive-ID
+// views are rebuilt once at the end.
+//
+// Invariant (enforced by tools/seltrig_crashtest.cc at every fault point):
+// after recovery, every acknowledged statement's effects — including every
+// audit-log row for an acknowledged SELECT — are present, and no
+// unacknowledged statement left any effect.
+
+#ifndef SELTRIG_ENGINE_RECOVERY_H_
+#define SELTRIG_ENGINE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace seltrig {
+
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  // The journal cut recorded in the snapshot's MANIFEST (0 = none).
+  uint64_t snapshot_wal_seq = 0;
+  uint64_t segments_replayed = 0;
+  uint64_t commits_replayed = 0;
+  uint64_t ops_applied = 0;
+  // A torn/corrupt tail was found and truncated (the crash frontier).
+  bool truncated_torn_tail = false;
+};
+
+// Rebuilds a database from `dir` and returns it with the WAL enabled on a
+// fresh segment. A missing or empty directory is not an error: it yields an
+// empty journaled database. This is Database::Recover's implementation.
+Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
+                                                  RecoveryStats* stats);
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_ENGINE_RECOVERY_H_

@@ -63,16 +63,66 @@ Result<StatementResult> Session::ExecuteStatement(ast::Statement& stmt,
   }
   // Top-level = a statement arriving from the client, which owns the locking
   // for everything it cascades into. Nested statements (trigger actions, IF
-  // branches) run lock-free under the top-level statement's lock.
+  // branches) run lock-free under the top-level statement's lock and journal
+  // into the top-level statement's buffer.
   const bool top_level = depth == 0 && action == nullptr;
-  // SELECT and EXPLAIN manage the (shared) lock themselves; every other
-  // statement kind can write shared state and takes the writer lock here.
-  std::unique_lock<std::shared_mutex> write_lock(db_->storage_mutex_,
-                                                 std::defer_lock);
-  if (top_level && stmt.kind != ast::StatementKind::kSelect &&
-      stmt.kind != ast::StatementKind::kExplain) {
-    write_lock.lock();
+  if (!top_level) return DispatchStatement(stmt, options, depth, action);
+
+  // SELECT and EXPLAIN manage the (shared) lock themselves; a SELECT's write
+  // phase journals and rolls back inside ExecuteSelect, where the writer lock
+  // lives. Every other statement kind can write shared state and is framed
+  // here: writer lock + statement undo scope + one journal record.
+  if (stmt.kind == ast::StatementKind::kSelect ||
+      stmt.kind == ast::StatementKind::kExplain) {
+    return FinishTopLevel(DispatchStatement(stmt, options, depth, action));
   }
+
+  Result<StatementResult> result = [&]() -> Result<StatementResult> {
+    std::unique_lock<std::shared_mutex> write_lock(db_->storage_mutex_);
+    // The whole statement — its own writes plus everything its triggers
+    // cascade into — runs in one undo scope, so any failure (including a
+    // failed journal append: fail closed) rolls it back completely. Memory
+    // state visible after a statement is therefore exactly the state journal
+    // replay reproduces: failed statements leave no trace in either.
+    TriggerTxnScope txn(this);
+    const size_t undo_sp = trigger_undo_.Savepoint();
+    const size_t wal_sp = wal_buffer_.size();  // 0 between top-level statements
+    Result<StatementResult> inner = DispatchStatement(stmt, options, depth, action);
+    if (inner.ok()) {
+      Status appended = WalAppendLocked();
+      if (!appended.ok()) inner = appended;
+    }
+    if (!inner.ok()) {
+      SELTRIG_RETURN_IF_ERROR(RollbackTriggerWrites(undo_sp, wal_sp));
+      // The rollback keeps what memory keeps: loss-accounting rows and
+      // irreversible DDL stay buffered; journal them even though the
+      // statement failed (best-effort — the statement is failing anyway).
+      if (wal_buffer_.size() > wal_sp) (void)WalAppendLocked();
+    }
+    return inner;
+  }();
+  return FinishTopLevel(std::move(result));
+}
+
+Result<StatementResult> Session::FinishTopLevel(Result<StatementResult> result) {
+  wal_buffer_.clear();
+  const uint64_t pending = wal_pending_commit_;
+  wal_pending_commit_ = 0;
+  if (pending != 0 && WalEnabled()) {
+    // No lock held here: group commit batches concurrent sessions' fsyncs.
+    Status durable = db_->wal_->WaitDurable(pending);
+    // A statement is acknowledged only once its record is on disk; surface a
+    // durability failure even when the statement itself succeeded.
+    if (result.ok() && !durable.ok()) return durable;
+  }
+  return result;
+}
+
+Result<StatementResult> Session::DispatchStatement(ast::Statement& stmt,
+                                                   const ExecOptions& options,
+                                                   int depth,
+                                                   const ActionContext* action) {
+  const bool top_level = depth == 0 && action == nullptr;
   switch (stmt.kind) {
     case ast::StatementKind::kSelect:
       return ExecuteSelect(*static_cast<ast::SelectWrapper&>(stmt).select, options,
@@ -86,33 +136,52 @@ Result<StatementResult> Session::ExecuteStatement(ast::Statement& stmt,
     case ast::StatementKind::kDelete:
       return ExecuteDelete(static_cast<const ast::DeleteStatement&>(stmt), options,
                            depth, action);
-    case ast::StatementKind::kCreateTable:
-      return ExecuteCreateTable(static_cast<const ast::CreateTableStatement&>(stmt));
+    case ast::StatementKind::kCreateTable: {
+      SELTRIG_RETURN_IF_ERROR(CheckDdlJournalable(stmt));
+      Result<StatementResult> result =
+          ExecuteCreateTable(static_cast<const ast::CreateTableStatement&>(stmt));
+      if (result.ok()) JournalDdl(stmt);
+      return result;
+    }
     case ast::StatementKind::kCreateAuditExpression: {
+      SELTRIG_RETURN_IF_ERROR(CheckDdlJournalable(stmt));
       auto& create = static_cast<ast::CreateAuditExpressionStatement&>(stmt);
       ast::CreateAuditExpressionStatement moved;
       moved.name = std::move(create.name);
       moved.select = std::move(create.select);
       moved.sensitive_table = std::move(create.sensitive_table);
       moved.partition_by = std::move(create.partition_by);
+      moved.source = create.source;  // definition_sql for snapshots/replay
       SELTRIG_RETURN_IF_ERROR(db_->audit_.CreateAuditExpression(std::move(moved)));
+      JournalDdl(stmt);
       return StatementResult{};
     }
-    case ast::StatementKind::kCreateTrigger:
-      return ExecuteCreateTrigger(static_cast<ast::CreateTriggerStatement&>(stmt));
+    case ast::StatementKind::kCreateTrigger: {
+      SELTRIG_RETURN_IF_ERROR(CheckDdlJournalable(stmt));
+      Result<StatementResult> result =
+          ExecuteCreateTrigger(static_cast<ast::CreateTriggerStatement&>(stmt));
+      if (result.ok()) JournalDdl(stmt);
+      return result;
+    }
     case ast::StatementKind::kDropTable: {
+      SELTRIG_RETURN_IF_ERROR(CheckDdlJournalable(stmt));
       const auto& drop = static_cast<const ast::DropStatement&>(stmt);
       SELTRIG_RETURN_IF_ERROR(db_->catalog_.DropTable(drop.name));
+      JournalDdl(stmt);
       return StatementResult{};
     }
     case ast::StatementKind::kDropTrigger: {
+      SELTRIG_RETURN_IF_ERROR(CheckDdlJournalable(stmt));
       const auto& drop = static_cast<const ast::DropStatement&>(stmt);
       SELTRIG_RETURN_IF_ERROR(db_->triggers_.DropTrigger(drop.name));
+      JournalDdl(stmt);
       return StatementResult{};
     }
     case ast::StatementKind::kDropAuditExpression: {
+      SELTRIG_RETURN_IF_ERROR(CheckDdlJournalable(stmt));
       const auto& drop = static_cast<const ast::DropStatement&>(stmt);
       SELTRIG_RETURN_IF_ERROR(db_->audit_.DropAuditExpression(drop.name));
+      JournalDdl(stmt);
       return StatementResult{};
     }
     case ast::StatementKind::kIf:
@@ -131,6 +200,33 @@ Result<StatementResult> Session::ExecuteStatement(ast::Statement& stmt,
     }
   }
   return Status::Internal("unhandled statement kind");
+}
+
+// --- Journal plumbing ---------------------------------------------------------
+
+bool Session::WalEnabled() const { return db_->wal_ != nullptr; }
+
+Status Session::CheckDdlJournalable(const ast::Statement& stmt) const {
+  if (!WalEnabled() || !stmt.source.empty()) return Status::OK();
+  return Status::Unsupported(
+      "cannot journal DDL without source text: durable databases require "
+      "SQL-driven DDL");
+}
+
+void Session::JournalDdl(const ast::Statement& stmt) {
+  if (!WalEnabled()) return;
+  wal_buffer_.push_back(WalOp::Statement(stmt.source));
+}
+
+Status Session::WalAppendLocked() {
+  if (!WalEnabled() || wal_buffer_.empty()) return Status::OK();
+  uint64_t seq = 0;
+  SELTRIG_RETURN_IF_ERROR(db_->wal_->Append(wal_buffer_, &seq));
+  wal_buffer_.clear();
+  // Later appends of the same statement (loss records journaled on the
+  // failure path) supersede earlier ones; durability is monotonic in seq.
+  wal_pending_commit_ = seq;
+  return Status::OK();
 }
 
 // --- SELECT -----------------------------------------------------------------
@@ -294,6 +390,12 @@ Result<StatementResult> Session::ExecuteSelect(const ast::SelectStatement& stmt,
                                                  std::defer_lock);
   if (top_level) write_lock.lock();
 
+  // The write phase is the SELECT's commit unit: one undo scope, one journal
+  // record, same framing as ExecuteStatement gives writer statements.
+  TriggerTxnScope txn(this);
+  const size_t undo_sp = trigger_undo_.Savepoint();
+  const size_t wal_sp = wal_buffer_.size();
+
   // An ACCESSED set truncated under AccessedOverflowPolicy::kTruncate is a
   // (deliberate, bounded) audit loss; account for it before triggers fire.
   RecordAccessedOverflows(registry);
@@ -302,11 +404,20 @@ Result<StatementResult> Session::ExecuteSelect(const ast::SelectStatement& stmt,
   // actions (RAISE) denies the query and the result never reaches the
   // client. AFTER triggers then run; per Section II they execute even when
   // the client read only a prefix of the result.
+  Status phase = Status::OK();
   if (fire_triggers) {
-    SELTRIG_RETURN_IF_ERROR(
-        FireSelectTriggers(registry, options, depth, /*before_phase=*/true));
-    SELTRIG_RETURN_IF_ERROR(
-        FireSelectTriggers(registry, options, depth, /*before_phase=*/false));
+    phase = FireSelectTriggers(registry, options, depth, /*before_phase=*/true);
+    if (phase.ok()) {
+      phase = FireSelectTriggers(registry, options, depth, /*before_phase=*/false);
+    }
+  }
+  // Journal before the writer lock is released so append order matches
+  // commit order; the durability wait happens lock-free in FinishTopLevel.
+  if (phase.ok() && top_level) phase = WalAppendLocked();
+  if (!phase.ok()) {
+    SELTRIG_RETURN_IF_ERROR(RollbackTriggerWrites(undo_sp, wal_sp));
+    if (top_level && wal_buffer_.size() > wal_sp) (void)WalAppendLocked();
+    return phase;
   }
   return result;
 }
@@ -372,11 +483,28 @@ Status Session::RunTriggerActions(TriggerDef* trigger, const ExecOptions& option
   return Status::OK();
 }
 
-Status Session::RollbackTriggerWrites(size_t savepoint) {
+Status Session::RollbackTriggerWrites(size_t savepoint, size_t wal_savepoint) {
   // Rollback and view rebuilds must not themselves hit fault points, or a
   // single injected failure could corrupt the engine instead of isolating
   // the trigger.
   fault::ScopedSuspend suspend;
+  // Journal parity: drop the undone physical ops from the pending record but
+  // keep what memory keeps — loss-accounting rows (their table is excluded
+  // from the undo scope), DDL, and quarantine transitions.
+  if (wal_buffer_.size() > wal_savepoint) {
+    std::vector<WalOp> kept;
+    for (size_t i = wal_savepoint; i < wal_buffer_.size(); ++i) {
+      WalOp& op = wal_buffer_[i];
+      const bool physical = op.kind == WalOp::Kind::kInsert ||
+                            op.kind == WalOp::Kind::kDelete ||
+                            op.kind == WalOp::Kind::kUpdate;
+      if (!physical || op.table == Database::kAuditErrorsTable) {
+        kept.push_back(std::move(op));
+      }
+    }
+    wal_buffer_.resize(wal_savepoint);
+    for (WalOp& op : kept) wal_buffer_.push_back(std::move(op));
+  }
   std::vector<std::string> touched;
   SELTRIG_RETURN_IF_ERROR(trigger_undo_.RollbackTo(savepoint, &touched));
   if (touched.empty()) return Status::OK();
@@ -409,6 +537,7 @@ Status Session::RunTriggerGuarded(TriggerDef* trigger, const ExecOptions& option
   Status last;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     size_t savepoint = trigger_undo_.Savepoint();
+    size_t wal_savepoint = wal_buffer_.size();
     last = RunTriggerActions(trigger, options, depth, action);
     if (last.ok()) {
       db_->triggers_.RecordSuccess(trigger->name);
@@ -417,7 +546,7 @@ Status Session::RunTriggerGuarded(TriggerDef* trigger, const ExecOptions& option
     // The audit log must never hold a partial action list: undo this run
     // before retrying or reporting. A failed rollback is an engine-invariant
     // violation and always aborts the statement.
-    SELTRIG_RETURN_IF_ERROR(RollbackTriggerWrites(savepoint));
+    SELTRIG_RETURN_IF_ERROR(RollbackTriggerWrites(savepoint, wal_savepoint));
   }
   if (trigger->before) return last;
 
@@ -427,6 +556,13 @@ Status Session::RunTriggerGuarded(TriggerDef* trigger, const ExecOptions& option
       failures >= options.guards.quarantine_after) {
     (void)db_->triggers_.Quarantine(trigger->name);
     quarantined = true;
+    // Quarantine is durable state: replay restores the circuit breaker so a
+    // crashed-and-recovered database does not silently re-enable a trigger
+    // that was being isolated.
+    if (WalEnabled()) {
+      wal_buffer_.push_back(WalOp::TriggerState(trigger->name, /*quarantined=*/true,
+                                                failures));
+    }
     notifications_.push_back(
         "trigger '" + trigger->name + "' quarantined after " +
         std::to_string(failures) +
@@ -466,12 +602,27 @@ void Session::RecordAuditError(const std::string& trigger_name, const Status& er
         db_->catalog_.CreateTable(Database::kAuditErrorsTable, std::move(schema));
     if (!created.ok()) return;
     table = *created;
+    // The table is created outside any SQL statement, so journal a
+    // synthesized DDL op: replay must recreate it before the loss rows.
+    if (WalEnabled()) {
+      wal_buffer_.push_back(WalOp::Statement(
+          std::string("CREATE TABLE ") + Database::kAuditErrorsTable +
+          " (ts VARCHAR, userid VARCHAR, trigger_name VARCHAR, sql VARCHAR, "
+          "error VARCHAR, attempts INT, quarantined BOOLEAN)"));
+    }
   }
   Row row = {Value::String(ctx_.now),          Value::String(ctx_.user),
              Value::String(trigger_name),      Value::String(ctx_.sql_text),
              Value::String(error.ToString()),  Value::Int(attempts),
              Value::Bool(quarantined)};
-  (void)table->Insert(std::move(row));
+  Result<size_t> inserted = table->Insert(row);
+  // Loss accounting is itself audit state: journal it so a crash between the
+  // failed trigger and the statement's completion cannot erase the evidence
+  // that audit records were lost.
+  if (inserted.ok() && WalEnabled()) {
+    wal_buffer_.push_back(
+        WalOp::Insert(Database::kAuditErrorsTable, std::move(row)));
+  }
 }
 
 void Session::RecordAccessedOverflows(const AccessedStateRegistry& registry) {
@@ -543,6 +694,7 @@ Result<StatementResult> Session::ExecuteInsert(const ast::InsertStatement& stmt,
     Result<size_t> row_id = table->Insert(row);
     SELTRIG_RETURN_IF_ERROR(row_id.status());
     SELTRIG_RETURN_IF_ERROR(db_->audit_.OnInsert(bound.table, row));
+    if (WalEnabled()) wal_buffer_.push_back(WalOp::Insert(bound.table, row));
     inserted.push_back(std::move(row));
   }
 
@@ -599,6 +751,9 @@ Result<StatementResult> Session::ExecuteUpdate(const ast::UpdateStatement& stmt,
         CoerceRowToSchema(table->schema(), &new_row, "update " + bound.table));
     SELTRIG_RETURN_IF_ERROR(table->Update(id, new_row));
     SELTRIG_RETURN_IF_ERROR(db_->audit_.OnUpdate(bound.table, old_row, new_row));
+    if (WalEnabled()) {
+      wal_buffer_.push_back(WalOp::Update(bound.table, old_row, new_row));
+    }
     old_rows.push_back(std::move(old_row));
     new_rows.push_back(std::move(new_row));
   }
@@ -643,6 +798,7 @@ Result<StatementResult> Session::ExecuteDelete(const ast::DeleteStatement& stmt,
     Row row = table->GetRow(id);
     SELTRIG_RETURN_IF_ERROR(table->Delete(id));
     SELTRIG_RETURN_IF_ERROR(db_->audit_.OnDelete(bound.table, row));
+    if (WalEnabled()) wal_buffer_.push_back(WalOp::Delete(bound.table, row));
     deleted.push_back(std::move(row));
   }
 
@@ -744,6 +900,7 @@ Result<StatementResult> Session::ExecuteCreateTrigger(
     def->event = stmt.event;
   }
   def->actions = std::move(stmt.actions);
+  def->definition_sql = stmt.source;
   SELTRIG_RETURN_IF_ERROR(db_->triggers_.CreateTrigger(std::move(def)));
   return StatementResult{};
 }

@@ -36,6 +36,7 @@
 #include "plan/logical_plan.h"
 #include "sql/ast.h"
 #include "storage/undo_log.h"
+#include "storage/wal.h"
 
 namespace seltrig {
 
@@ -168,6 +169,15 @@ class Session {
   Result<StatementResult> ExecuteStatement(ast::Statement& stmt,
                                            const ExecOptions& options, int depth,
                                            const ActionContext* action);
+  // The statement-kind dispatch switch. ExecuteStatement owns top-level
+  // concerns (locking, the statement undo scope, journaling, durability).
+  Result<StatementResult> DispatchStatement(ast::Statement& stmt,
+                                            const ExecOptions& options, int depth,
+                                            const ActionContext* action);
+  // Clears the journal buffer and, when the statement journaled a commit
+  // record, blocks until it is durable (WalSyncMode::kCommit). Runs after
+  // every top-level statement, with no engine lock held.
+  Result<StatementResult> FinishTopLevel(Result<StatementResult> result);
   // Binds, optimizes and (when applicable) instruments a SELECT -- the
   // Section IV pipeline up to execution.
   Result<PlanPtr> PrepareSelectPlan(const ast::SelectStatement& stmt,
@@ -227,8 +237,11 @@ class Session {
   Status RunTriggerActions(TriggerDef* trigger, const ExecOptions& options, int depth,
                            const ActionContext* action);
   // Undoes trigger writes back to `savepoint` and rebuilds the sensitive-ID
-  // views of audit expressions over the touched tables.
-  Status RollbackTriggerWrites(size_t savepoint);
+  // views of audit expressions over the touched tables. Journal parity:
+  // physical ops buffered past `wal_savepoint` are dropped with their undone
+  // rows, except ops the rollback cannot undo in memory either (loss-table
+  // rows, DDL, quarantine transitions), which stay buffered.
+  Status RollbackTriggerWrites(size_t savepoint, size_t wal_savepoint);
   // Appends a row to seltrig_audit_errors (durable: bypasses the undo scope
   // and fault injection). Best-effort by design.
   void RecordAuditError(const std::string& trigger_name, const Status& error,
@@ -238,6 +251,24 @@ class Session {
   void RecordAccessedOverflows(const AccessedStateRegistry& registry);
 
   Status CoerceRowToSchema(const Schema& schema, Row* row, const std::string& what) const;
+
+  // --- Journal plumbing (storage/wal.h; docs/DURABILITY.md) -----------------
+  // Ops accumulate in wal_buffer_ while a top-level statement runs and are
+  // appended as ONE record at commit: a statement — including every write its
+  // triggers cascade into — is the unit of atomicity across crashes.
+  bool WalEnabled() const;
+  // Pre-check for DDL: replay needs the statement's SQL, so DDL without
+  // source text (hand-built ASTs) is rejected up front on a journaled
+  // database rather than leaving an unreplayable gap.
+  Status CheckDdlJournalable(const ast::Statement& stmt) const;
+  // Buffers a successful DDL statement's SQL as a logical journal op.
+  void JournalDdl(const ast::Statement& stmt);
+  // Appends wal_buffer_ as one commit record. Caller must hold the exclusive
+  // writer lock: append order under that lock IS the commit order replay
+  // reproduces. On success the buffer is cleared and wal_pending_commit_
+  // holds the sequence FinishTopLevel must wait on; on failure the buffer is
+  // left intact (rollback then filters it).
+  Status WalAppendLocked();
 
   // RAII scope that attaches this session's trigger undo log to every table
   // while any guarded trigger run is active (scopes nest via savepoints).
@@ -257,6 +288,12 @@ class Session {
   std::vector<std::string> notifications_;
   UndoLog trigger_undo_;
   int trigger_txn_depth_ = 0;
+  // Pending journal ops of the statement currently executing (see
+  // WalAppendLocked). Always empty between top-level statements.
+  std::vector<WalOp> wal_buffer_;
+  // Commit sequence of this statement's appended record; FinishTopLevel
+  // waits on it before acknowledging, then resets it to 0.
+  uint64_t wal_pending_commit_ = 0;
 };
 
 }  // namespace seltrig

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/fault_injector.h"
 #include "engine/csv_loader.h"
@@ -65,9 +66,15 @@ std::string CsvField(const Value& v) {
 
 namespace {
 
+// Separates the table DDL from the policy section inside schema.sql.
+// LoadSnapshot applies everything before the marker, bulk-loads the CSVs,
+// then applies everything after it.
+constexpr const char* kPolicyMarker = "-- seltrig:policy";
+
 // Writes schema.sql plus one CSV per table into `dir`, probing the
 // `snapshot.write` fault point before each file.
-Status WriteSnapshotFiles(Database* db, const std::string& dir) {
+Status WriteSnapshotFiles(Database* db, const std::string& dir,
+                          const SnapshotOptions& options) {
   std::vector<std::string> tables = db->catalog()->TableNames();
   std::sort(tables.begin(), tables.end());
 
@@ -108,14 +115,55 @@ Status WriteSnapshotFiles(Database* db, const std::string& dir) {
     }
     if (!csv) return Status::InvalidArgument("write failed for " + dir + "/" + name + ".csv");
   }
+  if (options.include_policy) {
+    // SECURITY TRADE-OFF (see SnapshotOptions::include_policy): this section
+    // writes the audit policy — what is watched and what the triggers do —
+    // into the snapshot so recovery is self-contained. Definitions captured
+    // without source text cannot be replayed; fail the snapshot rather than
+    // silently drop policy.
+    schema_out << "\n" << kPolicyMarker
+               << " -- audit expressions and triggers; applied after the CSV "
+                  "load so DML triggers do not fire on snapshot rows.\n";
+    for (const AuditExpressionDef* def : db->audit_manager()->All()) {
+      if (def->definition_sql().empty()) {
+        return Status::Unsupported("audit expression '" + def->name() +
+                                   "' has no source text; cannot snapshot policy");
+      }
+      schema_out << def->definition_sql() << ";\n";
+    }
+    for (const TriggerDef* def : db->trigger_manager()->All()) {
+      if (def->definition_sql.empty()) {
+        return Status::Unsupported("trigger '" + def->name +
+                                   "' has no source text; cannot snapshot policy");
+      }
+      schema_out << def->definition_sql << ";\n";
+    }
+  }
   schema_out.flush();
   if (!schema_out) return Status::InvalidArgument("write failed for " + dir + "/schema.sql");
+
+  if (options.include_policy || options.wal_seq != 0) {
+    SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.write"));
+    std::ofstream manifest(dir + "/MANIFEST");
+    if (!manifest) return Status::InvalidArgument("cannot write " + dir + "/MANIFEST");
+    manifest << "seltrig-snapshot 1\n";
+    manifest << "wal_seq " << options.wal_seq << "\n";
+    if (options.include_policy) {
+      for (const TriggerDef* def : db->trigger_manager()->Quarantined()) {
+        manifest << "quarantined " << def->name << " " << def->consecutive_failures
+                 << "\n";
+      }
+    }
+    manifest.flush();
+    if (!manifest) return Status::InvalidArgument("write failed for " + dir + "/MANIFEST");
+  }
   return Status::OK();
 }
 
 }  // namespace
 
-Status SaveSnapshot(Database* db, const std::string& dir) {
+Status SaveSnapshot(Database* db, const std::string& dir,
+                    const SnapshotOptions& options) {
   // Fail-closed snapshotting: write into a temporary sibling directory and
   // swap it into place only once every file is complete, so a failure mid-way
   // (crash, full disk, injected fault) never leaves a half-written snapshot
@@ -128,7 +176,7 @@ Status SaveSnapshot(Database* db, const std::string& dir) {
   std::filesystem::create_directories(tmp, ec);
   if (ec) return Status::InvalidArgument("cannot create directory " + tmp);
 
-  Status written = WriteSnapshotFiles(db, tmp);
+  Status written = WriteSnapshotFiles(db, tmp, options);
   if (!written.ok()) {
     std::filesystem::remove_all(tmp, ec);
     return written;
@@ -152,6 +200,16 @@ Status LoadSnapshot(Database* db, const std::string& dir) {
   if (!schema_in) return Status::NotFound("cannot open " + dir + "/schema.sql");
   std::string ddl((std::istreambuf_iterator<char>(schema_in)),
                   std::istreambuf_iterator<char>());
+
+  // Split off the policy section: tables first, then data, then policy, so
+  // audit expressions materialize their ID views over the loaded rows and
+  // DML triggers cannot fire mid-load.
+  std::string policy;
+  size_t marker = ddl.find(kPolicyMarker);
+  if (marker != std::string::npos) {
+    policy = ddl.substr(marker);
+    ddl.resize(marker);
+  }
   SELTRIG_RETURN_IF_ERROR(db->ExecuteScript(ddl));
 
   std::vector<std::string> tables = db->catalog()->TableNames();
@@ -162,7 +220,52 @@ Status LoadSnapshot(Database* db, const std::string& dir) {
     Result<int64_t> loaded = LoadCsvFileIntoTable(db, name, path, /*has_header=*/true);
     SELTRIG_RETURN_IF_ERROR(loaded.status());
   }
+
+  if (!policy.empty()) {
+    SELTRIG_RETURN_IF_ERROR(db->ExecuteScript(policy));
+  }
+
+  Result<SnapshotManifest> manifest = ReadSnapshotManifest(dir);
+  if (manifest.ok()) {
+    for (const SnapshotManifest::QuarantineEntry& entry : manifest->quarantined) {
+      SELTRIG_RETURN_IF_ERROR(db->trigger_manager()->RestoreQuarantineState(
+          entry.trigger, /*quarantined=*/true, entry.failures));
+    }
+  } else if (manifest.status().code() != ErrorCode::kNotFound) {
+    return manifest.status();
+  }
   return Status::OK();
+}
+
+Result<SnapshotManifest> ReadSnapshotManifest(const std::string& dir) {
+  std::ifstream in(dir + "/MANIFEST");
+  if (!in) return Status::NotFound("no MANIFEST in " + dir);
+  SnapshotManifest manifest;
+  std::string header;
+  if (!std::getline(in, header) || header.rfind("seltrig-snapshot ", 0) != 0) {
+    return Status::InvalidArgument("malformed MANIFEST in " + dir);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "wal_seq") {
+      if (!(fields >> manifest.wal_seq)) {
+        return Status::InvalidArgument("malformed wal_seq in " + dir + "/MANIFEST");
+      }
+    } else if (key == "quarantined") {
+      SnapshotManifest::QuarantineEntry entry;
+      if (!(fields >> entry.trigger >> entry.failures)) {
+        return Status::InvalidArgument("malformed quarantined entry in " + dir +
+                                       "/MANIFEST");
+      }
+      manifest.quarantined.push_back(std::move(entry));
+    }
+    // Unknown keys are ignored: newer writers stay readable.
+  }
+  return manifest;
 }
 
 }  // namespace seltrig

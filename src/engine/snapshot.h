@@ -1,29 +1,70 @@
-// Database snapshots: save the catalog (DDL + audit expressions + triggers
-// are NOT captured -- see below) and every table's contents to a directory;
-// load them back into a fresh Database.
+// Database snapshots: save the catalog and every table's contents to a
+// directory; load them back into a fresh Database.
 //
 // Format: <dir>/schema.sql holds CREATE TABLE statements; <dir>/<table>.csv
-// holds each table's rows (with a header). Audit expressions and triggers
-// are intentionally excluded: their definitions are security policy and are
-// expected to live in versioned setup scripts, re-applied after a load (the
-// ID views are rebuilt from data at CREATE AUDIT EXPRESSION time anyway).
+// holds each table's rows (with a header); <dir>/MANIFEST holds the journal
+// cut sequence and quarantine state (only written when SnapshotOptions are
+// non-default).
+//
+// Policy capture: by default audit expressions and triggers are NOT saved —
+// their definitions are security policy and are expected to live in
+// versioned setup scripts, re-applied after a load (the ID views are rebuilt
+// from data at CREATE AUDIT EXPRESSION time anyway). Checkpoints of a
+// journaled database set SnapshotOptions::include_policy so recovery is
+// self-contained; see the trade-off note on the field.
 
 #ifndef SELTRIG_ENGINE_SNAPSHOT_H_
 #define SELTRIG_ENGINE_SNAPSHOT_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/database.h"
 
 namespace seltrig {
 
-// Writes schema.sql plus one CSV per table into `dir` (created if needed).
-Status SaveSnapshot(Database* db, const std::string& dir);
+struct SnapshotOptions {
+  // Append a policy section to schema.sql carrying the CREATE AUDIT
+  // EXPRESSION / CREATE TRIGGER statements (their original SQL), and record
+  // quarantine state in MANIFEST. SECURITY TRADE-OFF: with this on, the
+  // snapshot directory reveals what is audited and how — anyone who can read
+  // the snapshot learns the audit policy, and anyone who can write it can
+  // weaken the policy that a recovery will re-arm. Keep checkpoint
+  // directories at least as protected as the audit log itself. Off by
+  // default: plain snapshots then stay policy-free as before.
+  bool include_policy = false;
+  // Journal segment sequence this snapshot supersedes: recovery replays only
+  // segments >= wal_seq over it. 0 = snapshot of an unjournaled database.
+  uint64_t wal_seq = 0;
+};
+
+// What MANIFEST records (absent in pre-journal snapshots: ReadSnapshotManifest
+// then returns NotFound and recovery treats the snapshot as wal_seq 0).
+struct SnapshotManifest {
+  uint64_t wal_seq = 0;
+  struct QuarantineEntry {
+    std::string trigger;
+    int failures = 0;
+  };
+  std::vector<QuarantineEntry> quarantined;
+};
+
+// Writes schema.sql plus one CSV per table into `dir` (created if needed;
+// written to a temp directory and atomically swapped into place). MANIFEST is
+// written when options are non-default.
+Status SaveSnapshot(Database* db, const std::string& dir,
+                    const SnapshotOptions& options = SnapshotOptions());
 
 // Replays schema.sql and bulk-loads every CSV. Fails if any table to be
-// created already exists.
+// created already exists. Policy statements (the include_policy section) are
+// applied only after all CSVs are loaded, so DML triggers do not fire during
+// the load; quarantine state from MANIFEST is restored last. Loaded rows are
+// NOT journaled — Database::Recover enables the WAL only afterwards.
 Status LoadSnapshot(Database* db, const std::string& dir);
+
+Result<SnapshotManifest> ReadSnapshotManifest(const std::string& dir);
 
 }  // namespace seltrig
 

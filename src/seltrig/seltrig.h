@@ -31,6 +31,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "engine/database.h"
+#include "engine/recovery.h"
 #include "engine/session.h"
 #include "exec/executor.h"
 #include "expr/analysis.h"

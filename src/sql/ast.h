@@ -126,6 +126,12 @@ struct Statement {
   explicit Statement(StatementKind k) : kind(k) {}
   virtual ~Statement();
   StatementKind kind;
+  // The statement's own SQL text (trimmed, no trailing semicolon), captured
+  // by the parser from token offsets — per statement even inside scripts.
+  // The engine journals DDL and policy statements logically by this text, and
+  // snapshots store trigger / audit-expression definitions with it. Empty for
+  // hand-built ASTs.
+  std::string source;
 };
 
 using StatementPtr = std::unique_ptr<Statement>;

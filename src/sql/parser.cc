@@ -32,10 +32,11 @@ const std::unordered_set<std::string>& SoftKeywords() {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, const std::string& sql)
+      : tokens_(std::move(tokens)), sql_(sql) {}
 
   Result<StatementPtr> ParseSingleStatement() {
-    SELTRIG_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement());
+    SELTRIG_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSpannedStatement());
     while (Check(TokenType::kSemicolon)) Advance();
     if (!Check(TokenType::kEof)) {
       return Error("unexpected trailing input");
@@ -47,7 +48,7 @@ class Parser {
     std::vector<StatementPtr> stmts;
     while (Check(TokenType::kSemicolon)) Advance();
     while (!Check(TokenType::kEof)) {
-      SELTRIG_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement());
+      SELTRIG_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSpannedStatement());
       stmts.push_back(std::move(stmt));
       bool saw_semi = false;
       while (Check(TokenType::kSemicolon)) {
@@ -62,6 +63,23 @@ class Parser {
   }
 
  private:
+  // Parses one statement and records its source span (first token up to the
+  // terminating semicolon / end of input) in Statement::source.
+  Result<StatementPtr> ParseSpannedStatement() {
+    size_t begin = static_cast<size_t>(Peek().position);
+    SELTRIG_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement());
+    size_t end = static_cast<size_t>(Peek().position);
+    if (begin <= end && end <= sql_.size()) {
+      std::string span = sql_.substr(begin, end - begin);
+      while (!span.empty() && (span.back() == ' ' || span.back() == '\t' ||
+                               span.back() == '\n' || span.back() == '\r')) {
+        span.pop_back();
+      }
+      stmt->source = std::move(span);
+    }
+    return stmt;
+  }
+
   // --- token helpers --------------------------------------------------------
   const Token& Peek(int ahead = 0) const {
     size_t i = pos_ + static_cast<size_t>(ahead);
@@ -422,7 +440,7 @@ class Parser {
     SELTRIG_RETURN_IF_ERROR(ExpectKeyword("as"));
     bool block = MatchKeyword("begin");
     while (true) {
-      SELTRIG_ASSIGN_OR_RETURN(StatementPtr action, ParseStatement());
+      SELTRIG_ASSIGN_OR_RETURN(StatementPtr action, ParseSpannedStatement());
       stmt->actions.push_back(std::move(action));
       while (Match(TokenType::kSemicolon)) {
       }
@@ -466,7 +484,7 @@ class Parser {
     // condition is a boolean scalar subquery.
     SELTRIG_ASSIGN_OR_RETURN(stmt->condition, ParseExpr());
     MatchKeyword("then");
-    SELTRIG_ASSIGN_OR_RETURN(stmt->then_branch, ParseStatement());
+    SELTRIG_ASSIGN_OR_RETURN(stmt->then_branch, ParseSpannedStatement());
     return StatementPtr(std::move(stmt));
   }
 
@@ -752,6 +770,7 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  const std::string& sql_;
   size_t pos_ = 0;
 };
 
@@ -759,13 +778,13 @@ class Parser {
 
 Result<ast::StatementPtr> ParseSql(const std::string& sql) {
   SELTRIG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), sql);
   return parser.ParseSingleStatement();
 }
 
 Result<std::vector<ast::StatementPtr>> ParseSqlScript(const std::string& sql) {
   SELTRIG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), sql);
   return parser.ParseScript();
 }
 

@@ -1,0 +1,530 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/checksum.h"
+#include "common/fault_injector.h"
+
+namespace seltrig {
+
+namespace {
+
+constexpr char kSegmentMagic[8] = {'S', 'L', 'T', 'W', 'A', 'L', '1', '\n'};
+constexpr size_t kSegmentHeaderSize = 16;  // magic + u64 seq
+constexpr size_t kRecordHeaderSize = 8;    // u32 length + u32 crc
+// Records larger than this are rejected at append and treated as corruption
+// on read (a torn length field can otherwise claim gigabytes).
+constexpr uint32_t kMaxRecordSize = 1u << 30;
+
+// --- little-endian primitives -----------------------------------------------
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetU32(std::string_view data, size_t* offset, uint32_t* v) {
+  if (*offset + 4 > data.size()) return false;
+  uint32_t result = 0;
+  for (int i = 0; i < 4; ++i) {
+    result |= static_cast<uint32_t>(static_cast<unsigned char>(data[*offset + i]))
+              << (8 * i);
+  }
+  *offset += 4;
+  *v = result;
+  return true;
+}
+
+bool GetU64(std::string_view data, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > data.size()) return false;
+  uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<uint64_t>(static_cast<unsigned char>(data[*offset + i]))
+              << (8 * i);
+  }
+  *offset += 8;
+  *v = result;
+  return true;
+}
+
+bool GetString(std::string_view data, size_t* offset, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(data, offset, &len)) return false;
+  if (*offset + len > data.size()) return false;
+  s->assign(data.data() + *offset, len);
+  *offset += len;
+  return true;
+}
+
+// --- Value / Row encoding ---------------------------------------------------
+
+void PutValue(std::string* out, const Value& v) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kBool:
+      out->push_back(v.AsBool() ? 1 : 0);
+      break;
+    case TypeId::kInt:
+      PutU64(out, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case TypeId::kDate:
+      PutU64(out, static_cast<uint64_t>(static_cast<int64_t>(v.AsDate())));
+      break;
+    case TypeId::kDouble: {
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case TypeId::kString:
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+bool GetValue(std::string_view data, size_t* offset, Value* v) {
+  if (*offset >= data.size()) return false;
+  auto type = static_cast<TypeId>(data[(*offset)++]);
+  switch (type) {
+    case TypeId::kNull:
+      *v = Value::Null();
+      return true;
+    case TypeId::kBool: {
+      if (*offset >= data.size()) return false;
+      *v = Value::Bool(data[(*offset)++] != 0);
+      return true;
+    }
+    case TypeId::kInt: {
+      uint64_t bits = 0;
+      if (!GetU64(data, offset, &bits)) return false;
+      *v = Value::Int(static_cast<int64_t>(bits));
+      return true;
+    }
+    case TypeId::kDate: {
+      uint64_t bits = 0;
+      if (!GetU64(data, offset, &bits)) return false;
+      *v = Value::Date(static_cast<int32_t>(static_cast<int64_t>(bits)));
+      return true;
+    }
+    case TypeId::kDouble: {
+      uint64_t bits = 0;
+      if (!GetU64(data, offset, &bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *v = Value::Double(d);
+      return true;
+    }
+    case TypeId::kString: {
+      std::string s;
+      if (!GetString(data, offset, &s)) return false;
+      *v = Value::String(std::move(s));
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutRow(std::string* out, const Row& row) {
+  PutU32(out, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) PutValue(out, v);
+}
+
+bool GetRow(std::string_view data, size_t* offset, Row* row) {
+  uint32_t count = 0;
+  if (!GetU32(data, offset, &count)) return false;
+  if (count > kMaxRecordSize) return false;
+  row->clear();
+  row->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Value v;
+    if (!GetValue(data, offset, &v)) return false;
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+void PutOp(std::string* out, const WalOp& op) {
+  out->push_back(static_cast<char>(op.kind));
+  switch (op.kind) {
+    case WalOp::Kind::kInsert:
+      PutString(out, op.table);
+      PutRow(out, op.row);
+      break;
+    case WalOp::Kind::kDelete:
+      PutString(out, op.table);
+      PutRow(out, op.row);
+      break;
+    case WalOp::Kind::kUpdate:
+      PutString(out, op.table);
+      PutRow(out, op.row);
+      PutRow(out, op.row2);
+      break;
+    case WalOp::Kind::kStatement:
+      PutString(out, op.sql);
+      break;
+    case WalOp::Kind::kTriggerState:
+      PutString(out, op.table);
+      out->push_back(op.quarantined ? 1 : 0);
+      PutU64(out, static_cast<uint64_t>(op.failures));
+      break;
+  }
+}
+
+bool GetOp(std::string_view data, size_t* offset, WalOp* op) {
+  if (*offset >= data.size()) return false;
+  auto kind = static_cast<WalOp::Kind>(data[(*offset)++]);
+  op->kind = kind;
+  switch (kind) {
+    case WalOp::Kind::kInsert:
+    case WalOp::Kind::kDelete:
+      return GetString(data, offset, &op->table) && GetRow(data, offset, &op->row);
+    case WalOp::Kind::kUpdate:
+      return GetString(data, offset, &op->table) && GetRow(data, offset, &op->row) &&
+             GetRow(data, offset, &op->row2);
+    case WalOp::Kind::kStatement:
+      return GetString(data, offset, &op->sql);
+    case WalOp::Kind::kTriggerState: {
+      if (!GetString(data, offset, &op->table)) return false;
+      if (*offset >= data.size()) return false;
+      op->quarantined = data[(*offset)++] != 0;
+      uint64_t failures = 0;
+      if (!GetU64(data, offset, &failures)) return false;
+      op->failures = static_cast<int64_t>(failures);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string EncodeRecord(const std::vector<WalOp>& ops) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(ops.size()));
+  for (const WalOp& op : ops) PutOp(&payload, op);
+
+  std::string record;
+  record.reserve(kRecordHeaderSize + payload.size());
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, Crc32c(payload));
+  record.append(payload);
+  return record;
+}
+
+bool DecodeRecordPayload(std::string_view payload, std::vector<WalOp>* ops) {
+  size_t offset = 0;
+  uint32_t count = 0;
+  if (!GetU32(payload, &offset, &count)) return false;
+  ops->clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    WalOp op;
+    if (!GetOp(payload, &offset, &op)) return false;
+    ops->push_back(std::move(op));
+  }
+  return offset == payload.size();
+}
+
+}  // namespace
+
+// --- WalOp ------------------------------------------------------------------
+
+WalOp WalOp::Insert(std::string table, Row row) {
+  WalOp op;
+  op.kind = Kind::kInsert;
+  op.table = std::move(table);
+  op.row = std::move(row);
+  return op;
+}
+
+WalOp WalOp::Delete(std::string table, Row old_row) {
+  WalOp op;
+  op.kind = Kind::kDelete;
+  op.table = std::move(table);
+  op.row = std::move(old_row);
+  return op;
+}
+
+WalOp WalOp::Update(std::string table, Row old_row, Row new_row) {
+  WalOp op;
+  op.kind = Kind::kUpdate;
+  op.table = std::move(table);
+  op.row = std::move(old_row);
+  op.row2 = std::move(new_row);
+  return op;
+}
+
+WalOp WalOp::Statement(std::string sql) {
+  WalOp op;
+  op.kind = Kind::kStatement;
+  op.sql = std::move(sql);
+  return op;
+}
+
+WalOp WalOp::TriggerState(std::string trigger, bool quarantined, int64_t failures) {
+  WalOp op;
+  op.kind = Kind::kTriggerState;
+  op.table = std::move(trigger);
+  op.quarantined = quarantined;
+  op.failures = failures;
+  return op;
+}
+
+bool WalOp::operator==(const WalOp& other) const {
+  return kind == other.kind && table == other.table && sql == other.sql &&
+         row == other.row && row2 == other.row2 &&
+         quarantined == other.quarantined && failures == other.failures;
+}
+
+// --- segment naming / listing -----------------------------------------------
+
+std::string WalSegmentFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+Result<std::vector<WalSegment>> ListWalSegments(const std::string& wal_dir) {
+  std::vector<WalSegment> segments;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(wal_dir, ec)) return segments;
+  for (const auto& entry : std::filesystem::directory_iterator(wal_dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() != 16 || name.compare(0, 4, "wal-") != 0 ||
+        name.compare(12, 4, ".log") != 0) {
+      continue;
+    }
+    uint64_t seq = 0;
+    bool numeric = true;
+    for (size_t i = 4; i < 12; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    if (!numeric) continue;
+    segments.push_back({seq, entry.path().string()});
+  }
+  if (ec) return Status::ExecutionError("cannot list " + wal_dir);
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegment& a, const WalSegment& b) { return a.seq < b.seq; });
+  return segments;
+}
+
+Result<WalSegmentContents> ReadWalSegment(const std::string& path) {
+  SELTRIG_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  WalSegmentContents contents;
+
+  // A header that never made it fully to disk (crash during segment
+  // creation) means the segment holds no commits; the whole file is torn.
+  if (data.size() < kSegmentHeaderSize ||
+      std::memcmp(data.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    contents.torn = true;
+    contents.valid_bytes = 0;
+    return contents;
+  }
+  size_t offset = sizeof(kSegmentMagic);
+  uint64_t seq = 0;
+  GetU64(data, &offset, &seq);
+  contents.seq = seq;
+  contents.valid_bytes = kSegmentHeaderSize;
+
+  while (offset < data.size()) {
+    size_t record_start = offset;
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    if (!GetU32(data, &offset, &length) || !GetU32(data, &offset, &crc) ||
+        length > kMaxRecordSize || offset + length > data.size()) {
+      contents.torn = true;
+      break;
+    }
+    std::string_view payload(data.data() + offset, length);
+    if (Crc32c(payload) != crc) {
+      contents.torn = true;
+      break;
+    }
+    std::vector<WalOp> ops;
+    if (!DecodeRecordPayload(payload, &ops)) {
+      contents.torn = true;
+      break;
+    }
+    offset += length;
+    contents.commits.push_back(std::move(ops));
+    contents.valid_bytes = record_start + kRecordHeaderSize + length;
+  }
+  return contents;
+}
+
+// --- WalWriter ----------------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& wal_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(wal_dir, ec);
+  if (ec) return Status::ExecutionError("cannot create " + wal_dir);
+
+  SELTRIG_ASSIGN_OR_RETURN(std::vector<WalSegment> segments,
+                           ListWalSegments(wal_dir));
+  uint64_t next_seq = segments.empty() ? 1 : segments.back().seq + 1;
+
+  auto writer = std::unique_ptr<WalWriter>(new WalWriter());
+  writer->wal_dir_ = wal_dir;
+  std::unique_lock<std::mutex> lock(writer->mutex_);
+  SELTRIG_RETURN_IF_ERROR(writer->OpenSegmentLocked(next_seq));
+  lock.unlock();
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  // Best-effort flush of a kBatch/kOff tail; errors are unreportable here.
+  if (file_.is_open() && durable_ < appended_) (void)file_.Sync();
+}
+
+Status WalWriter::OpenSegmentLocked(uint64_t seq) {
+  std::string path = wal_dir_ + "/" + WalSegmentFileName(seq);
+  SELTRIG_ASSIGN_OR_RETURN(AppendFile file, AppendFile::Open(path));
+  std::string header(kSegmentMagic, sizeof(kSegmentMagic));
+  PutU64(&header, seq);
+  SELTRIG_RETURN_IF_ERROR(file.Append(header.data(), header.size()));
+  SELTRIG_RETURN_IF_ERROR(file.Sync());
+  SELTRIG_RETURN_IF_ERROR(SyncDirectory(wal_dir_));
+  file_ = std::move(file);
+  seq_ = seq;
+  segment_bytes_ = kSegmentHeaderSize;
+  poisoned_ = false;
+  return Status::OK();
+}
+
+Status WalWriter::Append(const std::vector<WalOp>& ops, uint64_t* commit_seq) {
+  *commit_seq = 0;
+  if (ops.empty()) return Status::OK();
+  std::string record = EncodeRecord(ops);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (poisoned_) {
+    return Status::ExecutionError(
+        "journal segment " + WalSegmentFileName(seq_) +
+        " has an unrepaired partial record; rotate or recover before writing");
+  }
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("wal.append"));
+
+  // Torn-write crash mode: persist a prefix of the record, then die. The
+  // prefix is fsynced first so recovery deterministically sees a torn tail
+  // (otherwise the page cache would usually hide the tear).
+  Status torn = fault::Maybe("wal.torn");
+  if (!torn.ok()) {
+    size_t prefix = record.size() / 2;
+    (void)file_.AppendPrefix(record.data(), prefix);
+    (void)file_.Sync();
+    std::_Exit(FaultInjector::kCrashExitCode);
+  }
+
+  Status appended = file_.Append(record.data(), record.size());
+  if (!appended.ok()) {
+    // A short write leaves a partial record that would swallow every later
+    // record on replay. Try to cut the tail back to the last good record;
+    // if even that fails, poison the writer so no later append can slip a
+    // record behind an unreadable one.
+    Status repaired = TruncateFile(file_.path(), segment_bytes_);
+    if (!repaired.ok()) poisoned_ = true;
+    return appended;
+  }
+  segment_bytes_ += record.size();
+  *commit_seq = ++appended_;
+  ++unsynced_;
+
+  if (sync_mode_.load() == WalSyncMode::kBatch && unsynced_ >= kBatchSyncEvery) {
+    return SyncUpToLocked(lock, appended_);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::WaitDurable(uint64_t commit_seq) {
+  if (commit_seq == 0) return Status::OK();
+  if (sync_mode_.load() != WalSyncMode::kCommit) return Status::OK();
+  std::unique_lock<std::mutex> lock(mutex_);
+  return SyncUpToLocked(lock, commit_seq);
+}
+
+Status WalWriter::Commit(const std::vector<WalOp>& ops) {
+  uint64_t commit_seq = 0;
+  SELTRIG_RETURN_IF_ERROR(Append(ops, &commit_seq));
+  return WaitDurable(commit_seq);
+}
+
+Status WalWriter::Sync() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return SyncUpToLocked(lock, appended_);
+}
+
+Status WalWriter::SyncUpToLocked(std::unique_lock<std::mutex>& lock,
+                                 uint64_t target) {
+  while (durable_ < target) {
+    if (sync_in_flight_) {
+      // Another committer's fsync is running; it covers every append made
+      // before it started. Wait and re-check (it may not cover `target`).
+      durable_cv_.wait(lock);
+      continue;
+    }
+    sync_in_flight_ = true;
+    uint64_t covers = appended_;
+    Status fault = fault::Maybe("wal.fsync");
+    Status synced = fault.ok() ? [&] {
+      lock.unlock();
+      Status s = file_.Sync();
+      lock.lock();
+      return s;
+    }() : fault;
+    sync_in_flight_ = false;
+    if (!synced.ok()) {
+      durable_cv_.notify_all();
+      return synced;
+    }
+    durable_ = std::max(durable_, covers);
+    unsynced_ = appended_ - durable_;
+    durable_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Rotate(uint64_t* new_seq) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("wal.rotate"));
+  // Everything in the finished segment must be durable before the checkpoint
+  // that follows the rotation can claim to cover it.
+  SELTRIG_RETURN_IF_ERROR(SyncUpToLocked(lock, appended_));
+  // A concurrent WaitDurable may still be inside fsync on the old segment's
+  // descriptor (it releases the mutex for the syscall); swapping file_ out
+  // from under it would race. Drain it before rotating.
+  while (sync_in_flight_) durable_cv_.wait(lock);
+  SELTRIG_RETURN_IF_ERROR(OpenSegmentLocked(seq_ + 1));
+  *new_seq = seq_;
+  return Status::OK();
+}
+
+Status WalWriter::DeleteSegmentsBelow(uint64_t seq) {
+  SELTRIG_ASSIGN_OR_RETURN(std::vector<WalSegment> segments,
+                           ListWalSegments(wal_dir_));
+  std::error_code ec;
+  for (const WalSegment& segment : segments) {
+    if (segment.seq >= seq) continue;
+    std::filesystem::remove(segment.path, ec);
+  }
+  (void)SyncDirectory(wal_dir_);
+  return Status::OK();
+}
+
+}  // namespace seltrig

@@ -1,0 +1,185 @@
+// Write-ahead journal for the durable audit engine (docs/DURABILITY.md).
+//
+// Unit of journaling: one committed top-level statement = one record. The
+// session buffers physical row images (DML and trigger-action writes,
+// including audit-log and loss-table rows) plus logical DDL/policy statements
+// while the statement runs, then appends the whole buffer as a single
+// length-prefixed, CRC32C-checksummed record and waits for it to be durable
+// before the statement acks. A record is applied all-or-nothing on recovery,
+// which gives statement atomicity across crashes for free.
+//
+// Segment format (dir/wal-<seq, 8 digits>.log):
+//   header:  "SLTWAL1\n" (8 bytes) | segment seq (u64 LE)
+//   record:  payload length (u32 LE) | CRC32C(payload) (u32 LE) | payload
+//   payload: op count (u32 LE) | ops (see WalOp encoding in wal.cc)
+// Integers are little-endian; strings are u32-length-prefixed bytes.
+//
+// Group commit: Append() assigns commit order under the writer's mutex (the
+// engine calls it while still holding the storage writer lock, so journal
+// order always matches in-memory commit order); WaitDurable() then blocks —
+// outside the storage lock — until one fsync, issued by whichever committer
+// gets there first, covers every append up to its commit. Sync modes:
+//   kCommit (default)  every acked statement is fsynced (grouped).
+//   kBatch             ack after write(); fsync every kBatchSyncEvery commits
+//                      or at Sync()/rotation — bounded loss window.
+//   kOff               never fsync; page cache only.
+//
+// Fault points: `wal.append` (before a record is written), `wal.fsync`
+// (before fsync), `wal.rotate` (before segment rotation), and `wal.torn`
+// (write a prefix of the record, fsync it, then kill the process — simulates
+// a torn write / power cut mid-record).
+
+#ifndef SELTRIG_STORAGE_WAL_H_
+#define SELTRIG_STORAGE_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace seltrig {
+
+enum class WalSyncMode : uint8_t { kOff, kCommit, kBatch };
+
+// One journaled operation. DML and trigger-action writes are physical row
+// images (replay never re-fires triggers: their effects are journaled too);
+// DDL and policy statements are logical SQL (kStatement); circuit-breaker
+// transitions are kTriggerState.
+struct WalOp {
+  enum class Kind : uint8_t {
+    kInsert = 1,        // table, row
+    kDelete = 2,        // table, row = old image
+    kUpdate = 3,        // table, row = old image, row2 = new image
+    kStatement = 4,     // sql (DDL / CREATE AUDIT EXPRESSION / CREATE TRIGGER)
+    kTriggerState = 5,  // table = trigger name, quarantined, failures
+  };
+
+  Kind kind = Kind::kInsert;
+  std::string table;  // kInsert/kDelete/kUpdate: table; kTriggerState: trigger
+  std::string sql;    // kStatement
+  Row row;
+  Row row2;
+  bool quarantined = false;
+  int64_t failures = 0;
+
+  static WalOp Insert(std::string table, Row row);
+  static WalOp Delete(std::string table, Row old_row);
+  static WalOp Update(std::string table, Row old_row, Row new_row);
+  static WalOp Statement(std::string sql);
+  static WalOp TriggerState(std::string trigger, bool quarantined,
+                            int64_t failures);
+
+  bool operator==(const WalOp& other) const;
+};
+
+std::string WalSegmentFileName(uint64_t seq);
+
+struct WalSegment {
+  uint64_t seq = 0;
+  std::string path;
+};
+
+// Journal segments under `wal_dir`, sorted by sequence number ascending.
+Result<std::vector<WalSegment>> ListWalSegments(const std::string& wal_dir);
+
+// A parsed segment: the committed statements it holds, in order, plus
+// torn-tail information. Reading stops at the first record whose length,
+// checksum, or payload fails validation; everything after it is the torn
+// tail (a crash mid-append) and `valid_bytes` is the safe prefix length.
+struct WalSegmentContents {
+  uint64_t seq = 0;
+  std::vector<std::vector<WalOp>> commits;
+  bool torn = false;
+  uint64_t valid_bytes = 0;
+};
+
+Result<WalSegmentContents> ReadWalSegment(const std::string& path);
+
+// Appender with group commit. One writer per database; sessions serialize
+// Append() behind the engine's storage writer lock and this class's own
+// mutex, and may WaitDurable() concurrently.
+class WalWriter {
+ public:
+  // Commits between fsyncs under WalSyncMode::kBatch.
+  static constexpr uint64_t kBatchSyncEvery = 64;
+
+  // Opens `wal_dir` (created if needed) and starts a fresh segment one past
+  // the highest existing sequence. Never appends to a pre-existing segment:
+  // its tail may be torn, and recovery treats only the final record of a
+  // segment as potentially torn.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& wal_dir);
+
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Serializes `ops` as one record and appends it to the current segment,
+  // assigning this commit's position in *commit_seq (for WaitDurable). The
+  // caller must hold the engine's storage writer lock so journal order equals
+  // memory commit order. Empty `ops` is a no-op that reports *commit_seq = 0.
+  Status Append(const std::vector<WalOp>& ops, uint64_t* commit_seq);
+
+  // Blocks until commit `commit_seq` is on stable storage (kCommit), or
+  // returns immediately (kOff / kBatch / commit_seq == 0). Call after
+  // releasing the storage writer lock: concurrent committers' waits collapse
+  // into one fsync.
+  Status WaitDurable(uint64_t commit_seq);
+
+  // Append + WaitDurable, for callers without the split locking need.
+  Status Commit(const std::vector<WalOp>& ops);
+
+  // Forces everything appended so far onto stable storage (any sync mode).
+  Status Sync();
+
+  // Finishes the current segment and starts a new one; *new_seq receives the
+  // new segment's sequence. Used by CHECKPOINT so the snapshot can record
+  // "replay from segment new_seq".
+  Status Rotate(uint64_t* new_seq);
+
+  // Removes segments with sequence < `seq` (the checkpoint already covers
+  // them). Best-effort.
+  Status DeleteSegmentsBelow(uint64_t seq);
+
+  uint64_t current_seq() const { return seq_; }
+  const std::string& wal_dir() const { return wal_dir_; }
+
+  void set_sync_mode(WalSyncMode mode) { sync_mode_ = mode; }
+  WalSyncMode sync_mode() const { return sync_mode_; }
+
+ private:
+  WalWriter() = default;
+
+  Status OpenSegmentLocked(uint64_t seq);
+  // Waits until `target` commits are durable, fsyncing as the group leader
+  // when no other committer is already in fsync.
+  Status SyncUpToLocked(std::unique_lock<std::mutex>& lock, uint64_t target);
+
+  std::string wal_dir_;
+  std::atomic<WalSyncMode> sync_mode_{WalSyncMode::kCommit};
+
+  std::mutex mutex_;  // guards file_, seq_, counters, poisoned_
+  std::condition_variable durable_cv_;
+  AppendFile file_;
+  uint64_t seq_ = 0;            // current segment sequence
+  uint64_t segment_bytes_ = 0;  // bytes written to the current segment
+  uint64_t appended_ = 0;       // commits appended (commit_seq of the latest)
+  uint64_t durable_ = 0;        // commits known durable
+  uint64_t unsynced_ = 0;       // commits since the last fsync (kBatch)
+  bool sync_in_flight_ = false;
+  // Set when a failed append could not be rolled back with truncate: the
+  // segment tail is unreliable, so further appends must fail rather than
+  // write records recovery would silently drop.
+  bool poisoned_ = false;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_STORAGE_WAL_H_

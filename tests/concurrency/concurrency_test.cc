@@ -16,7 +16,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -326,6 +329,70 @@ TEST_F(ConcurrentSessionTest, QuarantineRaceAndRearm) {
   ASSERT_TRUE(db_.ExecuteWithOptions("SELECT * FROM patients WHERE patientid = 1",
                                      options).ok());
   EXPECT_EQ(def->consecutive_failures, 1);
+}
+
+// Checkpoints race live journaled sessions: writers keep committing while
+// another thread checkpoints repeatedly, so commits land on both sides of
+// several snapshot/segment boundaries. Every acknowledged write must be
+// present both in the live database and after recovering the directory.
+TEST(DurableConcurrencyTest, CheckpointRacesActiveSessions) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("seltrig_ckptrace_" + std::to_string(::getpid()))).string();
+  std::filesystem::remove_all(dir);
+
+  constexpr int kWriters = 4;
+  constexpr int kRowsPerWriter = 40;
+  constexpr int kCheckpoints = 6;
+  {
+    Result<std::unique_ptr<Database>> opened = Database::Recover(dir);
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    std::unique_ptr<Database> db = std::move(*opened);
+    ASSERT_TRUE(db->Execute("CREATE TABLE t (id INT PRIMARY KEY, writer INT)").ok());
+
+    std::vector<std::unique_ptr<Session>> sessions;
+    for (int i = 0; i < kWriters; ++i) sessions.push_back(db->CreateSession());
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kWriters; ++i) {
+      threads.emplace_back([&, i] {
+        for (int j = 0; j < kRowsPerWriter; ++j) {
+          auto r = sessions[static_cast<size_t>(i)]->Execute(
+              "INSERT INTO t VALUES (" + std::to_string(i * 1000 + j) + ", " +
+              std::to_string(i) + ")");
+          if (!r.ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      for (int c = 0; c < kCheckpoints; ++c) {
+        Status s = db->Checkpoint();
+        if (!s.ok()) failures.fetch_add(1);
+        std::this_thread::yield();
+      }
+    });
+    for (std::thread& t : threads) t.join();
+    ASSERT_EQ(failures.load(), 0);
+    auto live = db->Execute("SELECT COUNT(*) FROM t");
+    ASSERT_TRUE(live.ok());
+    EXPECT_EQ(live->rows[0][0].AsInt(), kWriters * kRowsPerWriter);
+  }
+
+  Result<std::unique_ptr<Database>> recovered = Database::Recover(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  auto total = (*recovered)->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total->rows[0][0].AsInt(), kWriters * kRowsPerWriter);
+  // Per-writer counts survived intact too.
+  auto per_writer = (*recovered)->Execute(
+      "SELECT writer, COUNT(*) FROM t GROUP BY writer ORDER BY writer");
+  ASSERT_TRUE(per_writer.ok());
+  ASSERT_EQ(per_writer->rows.size(), static_cast<size_t>(kWriters));
+  for (const auto& row : per_writer->rows) {
+    EXPECT_EQ(row[1].AsInt(), kRowsPerWriter);
+  }
+  recovered->reset();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -51,13 +51,16 @@ class FaultMatrixTest : public ::testing::Test {
   }
 
   // Counting helpers run with faults suspended so they neither fail nor
-  // advance armed schedules.
+  // advance armed schedules, and with SELECT triggers disabled so counting
+  // an audited table does not itself append audit-log rows.
   static int64_t Count(Database* db, const std::string& table) {
     fault::ScopedSuspend suspend;
     if (!db->catalog()->HasTable(table)) return 0;
-    auto r = db->Execute("SELECT COUNT(*) FROM " + table);
+    ExecOptions options;
+    options.enable_select_triggers = false;
+    auto r = db->ExecuteWithOptions("SELECT COUNT(*) FROM " + table, options);
     EXPECT_TRUE(r.ok()) << r.status().message();
-    return r.ok() ? r->rows[0][0].AsInt() : -1;
+    return r.ok() ? r->result.rows[0][0].AsInt() : -1;
   }
   static int64_t LogCount(Database* db) { return Count(db, "log"); }
   static int64_t AuditErrorCount(Database* db) {
@@ -360,10 +363,122 @@ TEST_F(CascadeGuardTest, DepthLimitIsConfigurable) {
   auto r = db.ExecuteWithOptions("INSERT INTO ping VALUES (0)", options);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
-  // The cut cascade rolls back every trigger write; only the statement's own
-  // row (written before any trigger fired) remains.
-  EXPECT_EQ(db.Execute("SELECT COUNT(*) FROM ping")->rows[0][0].AsInt(), 1);
+  // Statement-level atomicity: the cut cascade aborts the whole statement,
+  // so the statement's own row rolls back along with every trigger write
+  // (a failed statement leaves no trace -- in memory or in the journal).
+  EXPECT_EQ(db.Execute("SELECT COUNT(*) FROM ping")->rows[0][0].AsInt(), 0);
   EXPECT_EQ(db.Execute("SELECT COUNT(*) FROM pong")->rows[0][0].AsInt(), 0);
+}
+
+// Journaled (durable) databases extend fail-closed to the journal itself:
+// a statement whose commit record cannot be appended or synced must fail,
+// and must leave no trace in memory or on disk.
+class WalFaultTest : public FaultMatrixTest {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("seltrig_walfault_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    FaultInjector::Instance().Reset();
+  }
+  void TearDown() override {
+    FaultInjector::Instance().Reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalFaultTest, JournalAppendFaultFailsTheStatementWithoutTrace) {
+  Result<std::unique_ptr<Database>> opened = Database::Recover(dir_);
+  ASSERT_TRUE(opened.ok());
+  Database* db = opened->get();
+  Setup(db);
+
+  FaultInjector::Instance().Arm("wal.append", FaultInjector::FailOnce());
+  // DML: the insert must roll back wholesale when its commit record cannot
+  // be appended -- no trace in memory, none in the journal.
+  auto dml = db->Execute("INSERT INTO patients VALUES (9, 'Zed', 1)");
+  EXPECT_FALSE(dml.ok());
+  EXPECT_EQ(Count(db, "patients"), 3);
+
+  // Audited SELECT: no result may be released if the audit-log row's
+  // commit record cannot be appended.
+  FaultInjector::Instance().Arm("wal.append", FaultInjector::FailOnce());
+  auto select = db->Execute("SELECT * FROM patients WHERE patientid = 1");
+  EXPECT_FALSE(select.ok());
+  EXPECT_EQ(LogCount(db), 0);
+  FaultInjector::Instance().Reset();
+
+  // Once the fault clears the same statements commit and journal normally.
+  EXPECT_TRUE(db->Execute("SELECT * FROM patients WHERE patientid = 1").ok());
+  EXPECT_EQ(LogCount(db), 1);
+}
+
+// An fsync failure is different from an append failure: the commit record is
+// already in the journal and group commit means later sessions' records may
+// sit behind it, so it cannot be un-appended. The contract mirrors a crash
+// between append and ack -- the ack is withheld (the statement errors), the
+// outcome is indeterminate to the client, but memory and journal stay
+// consistent: recovery reproduces exactly what memory holds.
+TEST_F(WalFaultTest, FsyncFaultWithholdsTheAckButKeepsMemoryAndJournalAligned) {
+  {
+    Result<std::unique_ptr<Database>> opened = Database::Recover(dir_);
+    ASSERT_TRUE(opened.ok());
+    Database* db = opened->get();
+    Setup(db);
+
+    FaultInjector::Instance().Arm("wal.fsync", FaultInjector::FailOnce());
+    auto dml = db->Execute("INSERT INTO patients VALUES (9, 'Zed', 1)");
+    EXPECT_FALSE(dml.ok()) << "durability failure must not be acknowledged";
+    FaultInjector::Instance().Reset();
+    EXPECT_EQ(Count(db, "patients"), 4);  // applied, just never acked
+  }
+
+  // Replay agrees with what memory held: the unacked statement is either
+  // fully present or fully absent (here: present, since the append landed).
+  Result<std::unique_ptr<Database>> reopened = Database::Recover(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(Count(reopened->get(), "patients"), 4);
+}
+
+// ISSUE satellite: a loss record written at retry exhaustion must survive
+// even when the statement fails AFTER the exhaustion point -- here the
+// commit append itself fails, which both aborts the (fail-open) statement
+// and forces the retained-op path that journals the loss ledger anyway.
+TEST_F(WalFaultTest, LossRecordSurvivesStatementFailureAfterRetryExhaustion) {
+  {
+    Result<std::unique_ptr<Database>> opened = Database::Recover(dir_);
+    ASSERT_TRUE(opened.ok());
+    Database* db = opened->get();
+    Setup(db);
+
+    ExecOptions options;
+    options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
+    options.guards.fail_open_retries = 1;
+    options.guards.quarantine_after = 0;
+    // The trigger exhausts its retries (loss recorded), then the statement's
+    // own commit append fails once; the retained-op append that follows
+    // succeeds, so the ledger row is durable even though the statement
+    // errored.
+    FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailTimes(2));
+    FaultInjector::Instance().Arm("wal.append", FaultInjector::FailOnce());
+    auto r = db->ExecuteWithOptions("SELECT * FROM patients WHERE patientid = 1",
+                                    options);
+    EXPECT_FALSE(r.ok());
+    FaultInjector::Instance().Reset();
+    EXPECT_EQ(AuditErrorCount(db), 1);
+    EXPECT_EQ(LogCount(db), 0);
+  }
+
+  // The crash-equivalent check: reopen from disk; the ledger row was in the
+  // journal, not just in memory.
+  Result<std::unique_ptr<Database>> reopened = Database::Recover(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(AuditErrorCount(reopened->get()), 1);
+  EXPECT_EQ(LogCount(reopened->get()), 0);
 }
 
 }  // namespace

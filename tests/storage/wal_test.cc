@@ -1,0 +1,255 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/fault_injector.h"
+#include "common/file_util.h"
+#include "types/value.h"
+
+namespace seltrig {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("seltrig_wal_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    FaultInjector::Instance().Reset();
+  }
+  void TearDown() override {
+    FaultInjector::Instance().Reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string wal_dir() const { return (dir_ / "wal").string(); }
+
+  static std::vector<WalOp> SampleCommit(int64_t key) {
+    return {
+        WalOp::Insert("t", {Value::Int(key), Value::String("alpha")}),
+        WalOp::Update("t", {Value::Int(key), Value::String("alpha")},
+                      {Value::Int(key), Value::String("beta")}),
+        WalOp::Delete("t", {Value::Int(key), Value::String("beta")}),
+        WalOp::Statement("CREATE TABLE t2 (x INT)"),
+        WalOp::TriggerState("trig", true, 3),
+    };
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST(Crc32cTest, MatchesKnownVectors) {
+  // The canonical CRC32C check value (RFC 3720 appendix B / "123456789").
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // Seed chaining composes partial checksums.
+  uint32_t chained =
+      Crc32c(std::string_view("6789"), Crc32c(std::string_view("12345")));
+  EXPECT_EQ(chained, Crc32c("123456789"));
+}
+
+TEST_F(WalTest, RoundTripPreservesOpsExactly) {
+  auto opened = WalWriter::Open(wal_dir());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  std::unique_ptr<WalWriter> writer = std::move(*opened);
+  std::vector<WalOp> first = SampleCommit(1);
+  std::vector<WalOp> second = {
+      WalOp::Insert("log", {Value::Null(), Value::String("x,\"y\"\nz")}),
+  };
+  ASSERT_TRUE(writer->Commit(first).ok());
+  ASSERT_TRUE(writer->Commit(second).ok());
+
+  auto segments = *ListWalSegments(wal_dir());
+  ASSERT_EQ(segments.size(), 1u);
+  WalSegmentContents contents = *ReadWalSegment(segments[0].path);
+  EXPECT_FALSE(contents.torn);
+  ASSERT_EQ(contents.commits.size(), 2u);
+  EXPECT_EQ(contents.commits[0], first);
+  EXPECT_EQ(contents.commits[1], second);
+}
+
+TEST_F(WalTest, EmptyAppendIsNotACommit) {
+  auto opened = WalWriter::Open(wal_dir());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  std::unique_ptr<WalWriter> writer = std::move(*opened);
+  uint64_t seq = 99;
+  ASSERT_TRUE(writer->Append({}, &seq).ok());
+  EXPECT_EQ(seq, 0u);  // nothing to wait on
+  auto segments = *ListWalSegments(wal_dir());
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_TRUE((*ReadWalSegment(segments[0].path)).commits.empty());
+}
+
+TEST_F(WalTest, EmptyJournalDirectoryListsNoSegments) {
+  auto segments = *ListWalSegments(wal_dir());  // directory does not exist
+  EXPECT_TRUE(segments.empty());
+}
+
+TEST_F(WalTest, TornTailIsDetectedAndBounded) {
+  auto opened = WalWriter::Open(wal_dir());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  std::unique_ptr<WalWriter> writer = std::move(*opened);
+  ASSERT_TRUE(writer->Commit(SampleCommit(1)).ok());
+  ASSERT_TRUE(writer->Commit(SampleCommit(2)).ok());
+  auto segments = *ListWalSegments(wal_dir());
+  ASSERT_EQ(segments.size(), 1u);
+  const std::string path = segments[0].path;
+  const uint64_t full_size = std::filesystem::file_size(path);
+  writer.reset();
+
+  // Cut the file mid-way through the second record: the reader must keep the
+  // first commit, flag the tear, and report the safe prefix length.
+  WalSegmentContents intact = *ReadWalSegment(path);
+  ASSERT_EQ(intact.commits.size(), 2u);
+  ASSERT_TRUE(TruncateFile(path, full_size - 5).ok());
+  WalSegmentContents torn = *ReadWalSegment(path);
+  EXPECT_TRUE(torn.torn);
+  ASSERT_EQ(torn.commits.size(), 1u);
+  EXPECT_EQ(torn.commits[0], SampleCommit(1));
+  // Truncating to the reported safe prefix yields a clean segment again.
+  ASSERT_TRUE(TruncateFile(path, torn.valid_bytes).ok());
+  WalSegmentContents repaired = *ReadWalSegment(path);
+  EXPECT_FALSE(repaired.torn);
+  EXPECT_EQ(repaired.commits.size(), 1u);
+}
+
+TEST_F(WalTest, CorruptChecksumStopsReplayAtTheBadRecord) {
+  auto opened = WalWriter::Open(wal_dir());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  std::unique_ptr<WalWriter> writer = std::move(*opened);
+  ASSERT_TRUE(writer->Commit(SampleCommit(1)).ok());
+  ASSERT_TRUE(writer->Commit(SampleCommit(2)).ok());
+  auto segments = *ListWalSegments(wal_dir());
+  const std::string path = segments[0].path;
+  WalSegmentContents intact = *ReadWalSegment(path);
+  ASSERT_EQ(intact.commits.size(), 2u);
+  writer.reset();
+
+  // Flip one payload byte in the last record; its CRC no longer matches.
+  std::string bytes = *ReadFileToString(path);
+  bytes[bytes.size() - 1] ^= 0x40;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  WalSegmentContents corrupt = *ReadWalSegment(path);
+  EXPECT_TRUE(corrupt.torn);
+  ASSERT_EQ(corrupt.commits.size(), 1u);
+  EXPECT_EQ(corrupt.commits[0], SampleCommit(1));
+}
+
+TEST_F(WalTest, TornHeaderOnlySegmentHasNoCommits) {
+  // A crash can die right after creating a segment file: header only, or even
+  // a partial header. Both must read as "no commits, torn/empty tail".
+  std::filesystem::create_directories(wal_dir());
+  const std::string path = wal_dir() + "/" + WalSegmentFileName(7);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "SLTWAL1\n";  // header magic but a truncated seq field
+    out.write("\x07\x00\x00", 3);
+  }
+  WalSegmentContents contents = *ReadWalSegment(path);
+  EXPECT_TRUE(contents.commits.empty());
+  EXPECT_TRUE(contents.torn);
+}
+
+TEST_F(WalTest, RotationStartsAFreshSegmentAndDeleteDropsOldOnes) {
+  auto opened = WalWriter::Open(wal_dir());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  std::unique_ptr<WalWriter> writer = std::move(*opened);
+  const uint64_t first_seq = writer->current_seq();
+  ASSERT_TRUE(writer->Commit(SampleCommit(1)).ok());
+  uint64_t new_seq = 0;
+  ASSERT_TRUE(writer->Rotate(&new_seq).ok());
+  EXPECT_EQ(new_seq, first_seq + 1);
+  ASSERT_TRUE(writer->Commit(SampleCommit(2)).ok());
+
+  auto segments = *ListWalSegments(wal_dir());
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ((*ReadWalSegment(segments[0].path)).commits.size(), 1u);
+  EXPECT_EQ((*ReadWalSegment(segments[1].path)).commits.size(), 1u);
+
+  ASSERT_TRUE(writer->DeleteSegmentsBelow(new_seq).ok());
+  segments = *ListWalSegments(wal_dir());
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].seq, new_seq);
+}
+
+TEST_F(WalTest, ReopenNeverAppendsToAnExistingSegment) {
+  {
+    auto opened = WalWriter::Open(wal_dir());
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    std::unique_ptr<WalWriter> writer = std::move(*opened);
+    ASSERT_TRUE(writer->Commit(SampleCommit(1)).ok());
+  }
+  auto reopen = WalWriter::Open(wal_dir());
+  ASSERT_TRUE(reopen.ok());
+  std::unique_ptr<WalWriter> reopened = std::move(*reopen);
+  ASSERT_TRUE(reopened->Commit(SampleCommit(2)).ok());
+  auto segments = *ListWalSegments(wal_dir());
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_LT(segments[0].seq, segments[1].seq);
+}
+
+TEST_F(WalTest, SyncModesAllKeepTheJournalReadable) {
+  for (WalSyncMode mode :
+       {WalSyncMode::kOff, WalSyncMode::kCommit, WalSyncMode::kBatch}) {
+    std::filesystem::remove_all(wal_dir());
+    auto opened = WalWriter::Open(wal_dir());
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    std::unique_ptr<WalWriter> writer = std::move(*opened);
+    writer->set_sync_mode(mode);
+    for (int64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(writer->Commit({WalOp::Insert("t", {Value::Int(i)})}).ok());
+    }
+    ASSERT_TRUE(writer->Sync().ok());
+    auto segments = *ListWalSegments(wal_dir());
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ((*ReadWalSegment(segments[0].path)).commits.size(), 10u)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST_F(WalTest, InjectedAppendFaultFailsTheCommit) {
+  auto opened = WalWriter::Open(wal_dir());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  std::unique_ptr<WalWriter> writer = std::move(*opened);
+  {
+    fault::ScopedFault fail("wal.append", FaultInjector::FailOnce());
+    FaultInjector::Instance().Enable(true);
+    EXPECT_FALSE(writer->Commit(SampleCommit(1)).ok());
+  }
+  FaultInjector::Instance().Reset();
+  // The failed commit left no bytes behind; the journal stays writable.
+  ASSERT_TRUE(writer->Commit(SampleCommit(2)).ok());
+  auto segments = *ListWalSegments(wal_dir());
+  WalSegmentContents contents = *ReadWalSegment(segments[0].path);
+  ASSERT_EQ(contents.commits.size(), 1u);
+  EXPECT_EQ(contents.commits[0], SampleCommit(2));
+}
+
+TEST_F(WalTest, InjectedFsyncFaultFailsTheCommitUnderCommitMode) {
+  auto opened = WalWriter::Open(wal_dir());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  std::unique_ptr<WalWriter> writer = std::move(*opened);
+  {
+    fault::ScopedFault fail("wal.fsync", FaultInjector::FailOnce());
+    FaultInjector::Instance().Enable(true);
+    EXPECT_FALSE(writer->Commit(SampleCommit(1)).ok());
+  }
+  FaultInjector::Instance().Reset();
+  ASSERT_TRUE(writer->Commit(SampleCommit(2)).ok());
+}
+
+}  // namespace
+}  // namespace seltrig

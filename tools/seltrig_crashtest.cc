@@ -1,0 +1,471 @@
+// seltrig_crashtest: kill-point crash-recovery harness for the durable audit
+// journal (storage/wal.h, engine/recovery.h; docs/DURABILITY.md).
+//
+// For every storage/journal fault point and every Nth hit of that point, the
+// harness forks a child that opens a durable database, runs a fixed audited
+// workload, and records an fsynced acknowledgement after each statement the
+// engine reports committed. The armed fault kills the child mid-flight
+// (std::_Exit -- no destructors, no flushes, exactly like a crash). The
+// parent then recovers the directory and checks the durability invariant:
+//
+//   the recovered state equals the state after some prefix of the workload,
+//   and that prefix covers every acknowledged statement -- including the
+//   audit-log row written by the SELECT trigger of every acknowledged SELECT.
+//
+// At most one statement can be in flight when the child dies, so the prefix
+// is either exactly the acknowledged statements or those plus one (committed
+// to the journal but killed before the acknowledgement was recorded). Any
+// other state -- a lost acknowledged write, a surviving half-statement -- is
+// a durability bug and fails the run.
+//
+// A separate trial covers the fail-open loss ledger: a SELECT whose trigger
+// always fails is acknowledged with its loss recorded in seltrig_audit_errors
+// and its trigger quarantined; the child is then killed and the parent checks
+// that the loss row and the quarantine state both survive recovery.
+//
+// Exit codes inside a trial child: FaultInjector::kCrashExitCode (137) means
+// the armed fault fired; 42 means the workload completed without the fault
+// firing (the Nth-hit sweep for that point is exhausted -- the parent still
+// verifies full recovery); anything else is a harness failure.
+//
+// Usage: seltrig_crashtest [--quick] [--keep] [--dir DIR]
+//   --quick  sweep only the first few hits of each point (CI smoke mode)
+//   --keep   keep trial directories (default: removed on success)
+//   --dir    parent directory for trial state (default: a fresh temp dir)
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "engine/database.h"
+#include "engine/recovery.h"
+#include "types/value.h"
+
+namespace seltrig {
+namespace {
+
+constexpr int kSweepExhausted = 42;
+constexpr int kHarnessError = 70;
+// Unarmed trials never fire; bound the sweep in case a point goes dead.
+constexpr uint64_t kMaxNth = 64;
+constexpr uint64_t kQuickNthLimit = 3;
+
+// A checkpoint marker in the workload: the child calls Database::Checkpoint()
+// (there is no SQL form in Database::Execute; the shell intercepts the word).
+constexpr const char* kCheckpointMarker = "@checkpoint";
+
+// The audited workload. Every statement is deterministic apart from now(),
+// which the verifier excludes from comparison. `patients` has a PRIMARY KEY
+// so replay exercises the keyed row-image lookup; `log` has none, covering
+// the full-scan image lookup.
+const std::vector<std::string>& Workload() {
+  static const std::vector<std::string> workload = {
+      "CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, "
+      "diagnosis VARCHAR)",
+      "CREATE TABLE log (ts VARCHAR, userid VARCHAR, sql VARCHAR, patientid INT)",
+      "INSERT INTO patients VALUES (1, 'Alice', 'flu')",
+      "INSERT INTO patients VALUES (2, 'Bob', 'cold')",
+      "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients WHERE "
+      "name = 'Alice' FOR SENSITIVE TABLE patients PARTITION BY patientid",
+      "CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS INSERT INTO log "
+      "SELECT now(), user_id(), sql_text(), patientid FROM accessed",
+      "SELECT name FROM patients WHERE patientid = 1",
+      "UPDATE patients SET diagnosis = 'measles' WHERE patientid = 2",
+      "INSERT INTO patients VALUES (3, 'Carol', 'checkup')",
+      kCheckpointMarker,
+      "SELECT diagnosis FROM patients WHERE name = 'Alice'",
+      "DELETE FROM patients WHERE patientid = 3",
+      "INSERT INTO patients VALUES (4, 'Dave', 'flu')",
+  };
+  return workload;
+}
+
+// Fault points swept with a crash-at-Nth-hit schedule. "wal.torn" is special:
+// it is armed with an error schedule and the journal writer itself turns the
+// firing into a half-written record followed by _Exit (see WalWriter::Append).
+const std::vector<std::string>& SweepPoints() {
+  static const std::vector<std::string> points = {
+      "wal.append",  "wal.fsync",      "wal.rotate", "wal.torn",
+      "storage.append", "trigger.action", "snapshot.write",
+  };
+  return points;
+}
+
+Status RunWorkloadStatement(Database* db, const std::string& stmt) {
+  if (stmt == kCheckpointMarker) return db->Checkpoint();
+  return db->Execute(stmt).status();
+}
+
+// ---------------------------------------------------------------------------
+// Child side: run the workload against a durable database, acknowledging each
+// committed statement through an fsynced file, until the armed fault kills us.
+
+int RunWorkloadChild(const std::string& dir, const std::string& point,
+                     uint64_t nth) {
+  Result<std::unique_ptr<Database>> opened = Database::Recover(dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "child: open failed: %s\n",
+                 opened.status().message().c_str());
+    return kHarnessError;
+  }
+  std::unique_ptr<Database> db = std::move(*opened);
+
+  int ack_fd = ::open((dir + "/acks").c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (ack_fd < 0) return kHarnessError;
+
+  // Arm after the (journal-writing) open so setup I/O cannot trip the fault.
+  FaultInjector::Schedule schedule = point == "wal.torn"
+                                         ? FaultInjector::FailNth(nth)
+                                         : FaultInjector::CrashNth(nth);
+  FaultInjector::Instance().Arm(point, schedule);
+
+  for (size_t i = 0; i < Workload().size(); ++i) {
+    Status s = RunWorkloadStatement(db.get(), Workload()[i]);
+    if (!s.ok()) {
+      // Crash schedules never surface as errors; an error here means the
+      // workload itself is broken.
+      std::fprintf(stderr, "child: statement %zu failed: %s\n", i,
+                   s.message().c_str());
+      return kHarnessError;
+    }
+    // The engine acknowledged the statement (its journal record is durable
+    // per the sync mode); only now may the harness count it as promised.
+    char line[32];
+    int len = std::snprintf(line, sizeof(line), "%zu\n", i);
+    if (::write(ack_fd, line, static_cast<size_t>(len)) != len ||
+        ::fsync(ack_fd) != 0) {
+      return kHarnessError;
+    }
+  }
+  return kSweepExhausted;
+}
+
+// Loss-ledger child: an audited SELECT under fail-open whose trigger always
+// fails is acknowledged with a loss row and a quarantined trigger; then a
+// crash on the very next journal append kills the process.
+int RunLossChild(const std::string& dir) {
+  Result<std::unique_ptr<Database>> opened = Database::Recover(dir);
+  if (!opened.ok()) return kHarnessError;
+  std::unique_ptr<Database> db = std::move(*opened);
+
+  for (size_t i = 0; i < 6; ++i) {  // tables, rows, policy -- no SELECTs yet
+    if (!db->Execute(Workload()[i]).ok()) return kHarnessError;
+  }
+
+  ExecOptions options;
+  options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
+  options.guards.fail_open_retries = 1;
+  options.guards.quarantine_after = 1;
+  FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailAlways());
+  Result<StatementResult> r =
+      db->ExecuteWithOptions("SELECT name FROM patients WHERE patientid = 1",
+                             options);
+  FaultInjector::Instance().Disarm("trigger.action");
+  if (!r.ok()) {
+    std::fprintf(stderr, "child: fail-open select failed: %s\n",
+                 r.status().message().c_str());
+    return kHarnessError;
+  }
+
+  // The loss row and quarantine transition are acknowledged; persist the ack,
+  // then die on the next statement's journal append.
+  int ack_fd = ::open((dir + "/acks").c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (ack_fd < 0 || ::write(ack_fd, "loss\n", 5) != 5 || ::fsync(ack_fd) != 0) {
+    return kHarnessError;
+  }
+  FaultInjector::Instance().Arm("wal.append", FaultInjector::CrashNth(1));
+  (void)db->Execute("INSERT INTO patients VALUES (9, 'Zed', 'checkup')");
+  return kHarnessError;  // the append above must have crashed the process
+}
+
+// ---------------------------------------------------------------------------
+// Parent side: recover and verify.
+
+// Deterministic projection of the database state: every column except the
+// wall-clock audit timestamp, rows sorted. Two databases that ran the same
+// statement prefix produce identical projections.
+std::vector<std::string> StateProjection(Database* db) {
+  // Verification reads must not perturb the state they measure: scanning the
+  // audited table with triggers enabled would append fresh audit-log rows.
+  ExecOptions options;
+  options.enable_select_triggers = false;
+  std::vector<std::string> out;
+  for (const char* query :
+       {"SELECT patientid, name, diagnosis FROM patients",
+        "SELECT userid, sql, patientid FROM log"}) {
+    auto r = db->ExecuteWithOptions(query, options);
+    if (!r.ok()) {
+      out.push_back(std::string("<error: ") + r.status().message() + ">");
+      continue;
+    }
+    std::vector<std::string> rows;
+    rows.reserve(r->result.rows.size());
+    for (const Row& row : r->result.rows) rows.push_back(RowToString(row));
+    std::sort(rows.begin(), rows.end());
+    out.push_back(query);
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+  return out;
+}
+
+// State after running the first `prefix` workload statements on a fresh
+// in-memory database (the verifier's reference; checkpoints are no-ops for
+// logical state).
+std::vector<std::string> ReferenceProjection(size_t prefix) {
+  Database db;
+  for (size_t i = 0; i < prefix; ++i) {
+    if (Workload()[i] == kCheckpointMarker) continue;
+    Status s = db.Execute(Workload()[i]).status();
+    if (!s.ok()) {
+      return {std::string("<reference error at ") + std::to_string(i) + ": " +
+              s.message() + ">"};
+    }
+  }
+  return StateProjection(&db);
+}
+
+size_t CountAckedStatements(const std::string& dir) {
+  std::ifstream in(dir + "/acks");
+  size_t count = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++count;
+  }
+  return count;
+}
+
+void PrintProjection(const char* label, const std::vector<std::string>& state) {
+  std::fprintf(stderr, "  %s:\n", label);
+  for (const std::string& line : state) std::fprintf(stderr, "    %s\n", line.c_str());
+}
+
+bool VerifyWorkloadTrial(const std::string& dir, const std::string& label,
+                         bool completed) {
+  const size_t acked = CountAckedStatements(dir);
+  RecoveryStats stats;
+  Result<std::unique_ptr<Database>> recovered = Database::Recover(dir, &stats);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "FAIL %s: recovery failed after %zu acks: %s\n",
+                 label.c_str(), acked, recovered.status().message().c_str());
+    return false;
+  }
+  std::vector<std::string> actual = StateProjection(recovered->get());
+
+  // The recovered state must be a workload prefix covering every ack: the
+  // acknowledged statements alone, or those plus the one in-flight statement
+  // whose journal record became durable before the kill.
+  const size_t limit = Workload().size();
+  if (completed && acked != limit) {
+    std::fprintf(stderr, "FAIL %s: child completed but acked %zu/%zu\n",
+                 label.c_str(), acked, limit);
+    return false;
+  }
+  std::vector<size_t> candidates = {std::min(acked, limit)};
+  if (acked + 1 <= limit) candidates.push_back(acked + 1);
+  for (size_t prefix : candidates) {
+    if (actual == ReferenceProjection(prefix)) return true;
+  }
+
+  std::fprintf(stderr,
+               "FAIL %s: recovered state matches no acceptable prefix "
+               "(acked=%zu, commits_replayed=%llu, torn_tail=%d)\n",
+               label.c_str(), acked,
+               static_cast<unsigned long long>(stats.commits_replayed),
+               stats.truncated_torn_tail ? 1 : 0);
+  PrintProjection("recovered", actual);
+  PrintProjection("expected (acked prefix)", ReferenceProjection(candidates[0]));
+  return false;
+}
+
+bool VerifyLossTrial(const std::string& dir) {
+  std::ifstream acks(dir + "/acks");
+  std::string line;
+  if (!std::getline(acks, line) || line != "loss") {
+    std::fprintf(stderr, "FAIL loss: child never acknowledged the loss row\n");
+    return false;
+  }
+  Result<std::unique_ptr<Database>> recovered = Database::Recover(dir);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "FAIL loss: recovery failed: %s\n",
+                 recovered.status().message().c_str());
+    return false;
+  }
+  Database* db = recovered->get();
+
+  Result<QueryResult> losses = db->Execute(
+      std::string("SELECT trigger_name, quarantined FROM ") +
+      Database::kAuditErrorsTable);
+  if (!losses.ok() || losses->rows.empty()) {
+    std::fprintf(stderr,
+                 "FAIL loss: acknowledged loss row missing after recovery\n");
+    return false;
+  }
+  if (losses->rows[0][0].AsString() != "log_alice") {
+    std::fprintf(stderr, "FAIL loss: loss row names trigger '%s'\n",
+                 losses->rows[0][0].AsString().c_str());
+    return false;
+  }
+  std::vector<const TriggerDef*> quarantined = db->trigger_manager()->Quarantined();
+  if (quarantined.size() != 1 || quarantined[0]->name != "log_alice") {
+    std::fprintf(stderr,
+                 "FAIL loss: quarantine state did not survive recovery\n");
+    return false;
+  }
+  // The unacknowledged INSERT the child died inside must have left no trace.
+  Result<QueryResult> zed =
+      db->Execute("SELECT name FROM patients WHERE patientid = 9");
+  if (!zed.ok() || !zed->rows.empty()) {
+    std::fprintf(stderr, "FAIL loss: unacknowledged INSERT survived the crash\n");
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Trial driver.
+
+struct TrialResult {
+  int exit_code = -1;
+  bool ran = false;
+};
+
+template <typename ChildFn>
+TrialResult RunTrial(ChildFn child_fn) {
+  // No Database object (and thus no engine thread) exists in the parent when
+  // forking: every verifier database is created and destroyed between trials,
+  // and the lazy shared scan pool is never started under default ExecOptions.
+  pid_t pid = ::fork();
+  if (pid < 0) return TrialResult{};
+  if (pid == 0) std::_Exit(child_fn());
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status)) {
+    return TrialResult{};
+  }
+  return TrialResult{WEXITSTATUS(status), true};
+}
+
+struct Options {
+  bool quick = false;
+  bool keep = false;
+  std::string base_dir;
+};
+
+int RunHarness(const Options& options) {
+  std::error_code ec;
+  std::string base = options.base_dir;
+  if (base.empty()) {
+    base = (std::filesystem::temp_directory_path() /
+            ("seltrig_crashtest." + std::to_string(::getpid())))
+               .string();
+  }
+  std::filesystem::create_directories(base, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s\n", base.c_str());
+    return 1;
+  }
+
+  int trials = 0;
+  int crashes = 0;
+  bool failed = false;
+  const uint64_t nth_limit = options.quick ? kQuickNthLimit : kMaxNth;
+
+  for (const std::string& point : SweepPoints()) {
+    for (uint64_t nth = 1; nth <= nth_limit; ++nth) {
+      const std::string label = point + "#" + std::to_string(nth);
+      const std::string dir = base + "/" + point + "." + std::to_string(nth);
+      std::filesystem::remove_all(dir, ec);
+      std::filesystem::create_directories(dir, ec);
+
+      TrialResult trial = RunTrial(
+          [&] { return RunWorkloadChild(dir, point, nth); });
+      ++trials;
+      if (!trial.ran) {
+        std::fprintf(stderr, "FAIL %s: child did not exit cleanly\n",
+                     label.c_str());
+        failed = true;
+        break;
+      }
+      if (trial.exit_code == kSweepExhausted) {
+        // The point never fired at this hit count: the workload completed.
+        // Recovery of the completed run must reproduce the full prefix.
+        if (!VerifyWorkloadTrial(dir, label + " (completed)", /*completed=*/true)) {
+          failed = true;
+        } else if (!options.keep) {
+          std::filesystem::remove_all(dir, ec);
+        }
+        break;  // later hits cannot fire either
+      }
+      if (trial.exit_code != FaultInjector::kCrashExitCode) {
+        std::fprintf(stderr, "FAIL %s: unexpected child exit %d\n",
+                     label.c_str(), trial.exit_code);
+        failed = true;
+        continue;
+      }
+      ++crashes;
+      if (!VerifyWorkloadTrial(dir, label, /*completed=*/false)) {
+        failed = true;
+      } else if (!options.keep) {
+        std::filesystem::remove_all(dir, ec);
+      }
+    }
+  }
+
+  {
+    const std::string dir = base + "/loss";
+    std::filesystem::remove_all(dir, ec);
+    std::filesystem::create_directories(dir, ec);
+    TrialResult trial = RunTrial([&] { return RunLossChild(dir); });
+    ++trials;
+    if (!trial.ran || trial.exit_code != FaultInjector::kCrashExitCode) {
+      std::fprintf(stderr, "FAIL loss: child exit %d (wanted %d)\n",
+                   trial.exit_code, FaultInjector::kCrashExitCode);
+      failed = true;
+    } else {
+      ++crashes;
+      if (!VerifyLossTrial(dir)) {
+        failed = true;
+      } else if (!options.keep) {
+        std::filesystem::remove_all(dir, ec);
+      }
+    }
+  }
+
+  if (!failed && !options.keep && options.base_dir.empty()) {
+    std::filesystem::remove_all(base, ec);
+  }
+  std::printf("seltrig_crashtest: %d trials, %d injected crashes, %s\n", trials,
+              crashes, failed ? "FAILURES (state kept)" : "all invariants held");
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace seltrig
+
+int main(int argc, char** argv) {
+  seltrig::Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--keep") {
+      options.keep = true;
+    } else if (arg == "--dir" && i + 1 < argc) {
+      options.base_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--keep] [--dir DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+  return seltrig::RunHarness(options);
+}

@@ -12,10 +12,13 @@
 //   .concurrent N SQL...  run SQL once per session on N concurrent sessions
 //   .tpch SF              load the TPC-H database at scale factor SF
 //   .import FILE TABLE    bulk-load a CSV file (with header) into TABLE
+//   .wal DIR              open a durable database at DIR (recover + journal)
 //   .quit / .exit         leave
 //
-// Session settings (see docs/ROBUSTNESS.md):
+// Session settings (see docs/ROBUSTNESS.md and docs/DURABILITY.md):
 //   SET AUDIT_FAILURE_POLICY = FAIL_CLOSED | FAIL_OPEN;
+//   SET WAL_SYNC = OFF | COMMIT | BATCH;
+//   CHECKPOINT;
 //
 // Usage:   seltrig_shell [script.sql ...]
 // Scripts given on the command line run before the interactive loop (or
@@ -34,6 +37,7 @@
 #include <vector>
 
 #include "engine/csv_loader.h"
+#include "engine/recovery.h"
 #include "engine/snapshot.h"
 #include "seltrig/seltrig.h"
 
@@ -44,9 +48,10 @@ using seltrig::ExecOptions;
 using seltrig::StatementResult;
 
 // Shell session: the database plus the options applied to every statement
-// (mutated by SET AUDIT_FAILURE_POLICY and friends).
+// (mutated by SET AUDIT_FAILURE_POLICY and friends). The database lives
+// behind a pointer so `.wal DIR` can swap in a recovered instance.
 struct Shell {
-  Database db;
+  std::unique_ptr<Database> db = std::make_unique<Database>();
   ExecOptions options;
 };
 
@@ -86,7 +91,31 @@ bool HandleSetCommand(Shell* sh, const std::string& sql) {
   std::istringstream in(upper);
   std::string word, name, value;
   in >> word >> name >> value;
-  if (word != "SET" || name != "AUDIT_FAILURE_POLICY") return false;
+  if (word == "CHECKPOINT" && name.empty()) {
+    seltrig::Status status = sh->db->Checkpoint();
+    std::printf("%s\n", status.ok() ? "checkpointed" : status.ToString().c_str());
+    return true;
+  }
+  if (word != "SET") return false;
+  if (name == "WAL_SYNC") {
+    seltrig::WalWriter* wal = sh->db->wal();
+    if (wal == nullptr) {
+      std::printf("error: WAL_SYNC requires a journaled database (.wal DIR)\n");
+    } else if (value == "OFF") {
+      wal->set_sync_mode(seltrig::WalSyncMode::kOff);
+      std::printf("wal sync: off\n");
+    } else if (value == "COMMIT") {
+      wal->set_sync_mode(seltrig::WalSyncMode::kCommit);
+      std::printf("wal sync: commit\n");
+    } else if (value == "BATCH") {
+      wal->set_sync_mode(seltrig::WalSyncMode::kBatch);
+      std::printf("wal sync: batch\n");
+    } else {
+      std::printf("error: SET WAL_SYNC expects OFF, COMMIT or BATCH\n");
+    }
+    return true;
+  }
+  if (name != "AUDIT_FAILURE_POLICY") return false;
   if (value == "FAIL_CLOSED") {
     sh->options.audit_failure_policy = seltrig::AuditFailurePolicy::kFailClosed;
     std::printf("audit failure policy: fail-closed\n");
@@ -101,22 +130,22 @@ bool HandleSetCommand(Shell* sh, const std::string& sql) {
 
 void RunStatement(Shell* sh, const std::string& sql) {
   if (HandleSetCommand(sh, sql)) return;
-  size_t notifications_before = sh->db.notifications().size();
-  auto result = sh->db.ExecuteWithOptions(sql, sh->options);
+  size_t notifications_before = sh->db->notifications().size();
+  auto result = sh->db->ExecuteWithOptions(sql, sh->options);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
   PrintResult(*result);
   // Quarantine and other NOTIFY output raised by this statement.
-  const auto& notes = sh->db.notifications();
+  const auto& notes = sh->db->notifications();
   for (size_t i = notifications_before; i < notes.size(); ++i) {
     std::printf("-- NOTIFY: %s\n", notes[i].c_str());
   }
 }
 
 bool HandleDotCommand(Shell* sh, const std::string& line) {
-  Database* db = &sh->db;
+  Database* db = sh->db.get();
   std::istringstream in(line);
   std::string cmd;
   in >> cmd;
@@ -125,8 +154,9 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
     std::printf(
         ".tables | .audit | .triggers | .user NAME | .profile on|off | .batch N "
         "| .threads N | .concurrent N SQL | .tpch SF | .import FILE TABLE "
-        "| .save DIR | .open DIR | .quit\n"
-        "SET AUDIT_FAILURE_POLICY = FAIL_CLOSED | FAIL_OPEN;\n");
+        "| .save DIR | .open DIR | .wal DIR | .quit\n"
+        "SET AUDIT_FAILURE_POLICY = FAIL_CLOSED | FAIL_OPEN;\n"
+        "SET WAL_SYNC = OFF | COMMIT | BATCH;   CHECKPOINT;\n");
   } else if (cmd == ".tables") {
     for (const std::string& name : db->catalog()->TableNames()) {
       auto table = db->catalog()->GetTable(name);
@@ -246,6 +276,31 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
     in >> dir;
     seltrig::Status status = seltrig::LoadSnapshot(db, dir);
     std::printf("%s\n", status.ok() ? "loaded" : status.ToString().c_str());
+  } else if (cmd == ".wal") {
+    // Open (or create) a durable database at DIR: recover snapshot + journal,
+    // then journal every statement from here on. Replaces the current
+    // in-memory database. Note: .tpch/.import/.open bulk loads bypass the
+    // journal — run CHECKPOINT after them or they will not survive a crash.
+    std::string dir;
+    in >> dir;
+    if (dir.empty()) {
+      std::printf("usage: .wal DIR\n");
+      return true;
+    }
+    seltrig::RecoveryStats stats;
+    auto recovered = Database::Recover(dir, &stats);
+    if (!recovered.ok()) {
+      std::printf("error: %s\n", recovered.status().ToString().c_str());
+      return true;
+    }
+    sh->db = std::move(recovered).value();
+    std::printf(
+        "recovered %s: snapshot=%s, %llu segment(s), %llu commit(s), %llu op(s)%s\n",
+        dir.c_str(), stats.snapshot_loaded ? "yes" : "no",
+        static_cast<unsigned long long>(stats.segments_replayed),
+        static_cast<unsigned long long>(stats.commits_replayed),
+        static_cast<unsigned long long>(stats.ops_applied),
+        stats.truncated_torn_tail ? ", torn tail truncated" : "");
   } else if (cmd == ".import") {
     std::string file, table;
     in >> file >> table;

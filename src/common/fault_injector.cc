@@ -17,6 +17,7 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       "audit.maintain",   // audit/audit_expression.cc: incremental view upkeep
       "audit.record",     // audit/audit_log.cc: access-log row append
       "executor.batch",   // exec/executor.cc: batch pull loop
+      "snapshot.swap",    // engine/snapshot.cc: rename windows of the swap
       "snapshot.write",   // engine/snapshot.cc: per-file snapshot writes
       "storage.append",   // storage/table.cc: Insert
       "storage.delete",   // storage/table.cc: Delete

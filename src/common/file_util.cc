@@ -81,6 +81,15 @@ void AppendFile::Close() {
   }
 }
 
+Status SyncFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::ExecutionError(Errno("open", path));
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::ExecutionError(Errno("fsync", path));
+  return Status::OK();
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);

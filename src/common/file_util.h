@@ -44,6 +44,11 @@ class AppendFile {
   std::string path_;
 };
 
+// fsync(2) on an already-written file by path (open + fsync + close). Used to
+// make files written through buffered streams durable before a rename
+// publishes them.
+Status SyncFile(const std::string& path);
+
 // Reads the entire file into a string. NotFound if it does not exist.
 Result<std::string> ReadFileToString(const std::string& path);
 

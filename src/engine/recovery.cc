@@ -81,8 +81,32 @@ Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
 
   auto db = std::make_unique<Database>();
 
-  // 1. Latest checkpoint, if any. A fresh directory simply has none.
+  // 0. Resolve an interrupted checkpoint swap (see SaveSnapshot): a crash
+  // mid-swap leaves the previous snapshot at <dir>/snapshot.old, possibly
+  // alongside the new one.
   const std::string snapshot_dir = dir + "/snapshot";
+  const std::string old_snapshot_dir = snapshot_dir + ".old";
+  if (std::filesystem::exists(old_snapshot_dir + "/schema.sql")) {
+    std::error_code ec;
+    if (std::filesystem::exists(snapshot_dir + "/schema.sql")) {
+      // Crash after the new snapshot was swapped in but before the old one
+      // was removed: the new snapshot won.
+      std::filesystem::remove_all(old_snapshot_dir, ec);
+    } else {
+      // Crash between moving the old snapshot aside and moving the new one
+      // in: roll back. The journal still covers the old snapshot — segments
+      // are deleted only after a checkpoint fully succeeds.
+      std::filesystem::remove_all(snapshot_dir, ec);
+      std::filesystem::rename(old_snapshot_dir, snapshot_dir, ec);
+      if (ec) {
+        return Status::ExecutionError(
+            "cannot resolve interrupted snapshot swap in " + dir);
+      }
+    }
+    (void)SyncDirectory(dir);
+  }
+
+  // 1. Latest checkpoint, if any. A fresh directory simply has none.
   if (std::filesystem::exists(snapshot_dir + "/schema.sql")) {
     SELTRIG_RETURN_IF_ERROR(LoadSnapshot(db.get(), snapshot_dir));
     stats->snapshot_loaded = true;
@@ -97,6 +121,19 @@ Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
   // 2. Replay journal segments the snapshot does not cover, oldest first.
   SELTRIG_ASSIGN_OR_RETURN(std::vector<WalSegment> segments,
                            ListWalSegments(dir + "/wal"));
+  // A snapshot that records no journal cut (no MANIFEST, or wal_seq 0 from a
+  // plain SaveSnapshot) gives replay no anchor: applying the journal over it
+  // would double-apply every commit the snapshot already contains —
+  // re-applied inserts silently duplicate rows in tables without a primary
+  // key. Refuse loudly instead of guessing.
+  if (stats->snapshot_loaded && stats->snapshot_wal_seq == 0 &&
+      !segments.empty()) {
+    return Status::InvalidArgument(
+        "snapshot at '" + snapshot_dir +
+        "' records no journal cut but journal segments exist; replaying them "
+        "could double-apply committed statements. Snapshot a journaled "
+        "database with CHECKPOINT, or remove the stale snapshot or journal.");
+  }
   for (const WalSegment& segment : segments) {
     if (segment.seq < stats->snapshot_wal_seq) continue;
     SELTRIG_ASSIGN_OR_RETURN(WalSegmentContents contents,
@@ -129,6 +166,16 @@ Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
 
   // 4. Arm the journal on a fresh segment; from here on the database is live.
   SELTRIG_RETURN_IF_ERROR(db->EnableWal(dir));
+
+  // Bootstrapping a journal from a plain (cut-less) snapshot: stamp the
+  // manifest with the first live segment so the next recovery can prove the
+  // journal postdates the snapshot instead of refusing to replay it above.
+  if (stats->snapshot_loaded && stats->snapshot_wal_seq == 0) {
+    Result<SnapshotManifest> manifest = ReadSnapshotManifest(snapshot_dir);
+    SnapshotManifest stamped = manifest.ok() ? *manifest : SnapshotManifest{};
+    stamped.wal_seq = db->wal()->current_seq();
+    SELTRIG_RETURN_IF_ERROR(WriteSnapshotManifest(snapshot_dir, stamped));
+  }
   return db;
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/fault_injector.h"
+#include "common/file_util.h"
 #include "engine/csv_loader.h"
 #include "types/date.h"
 
@@ -113,7 +114,9 @@ Status WriteSnapshotFiles(Database* db, const std::string& dir,
       }
       csv << '\n';
     }
+    csv.flush();
     if (!csv) return Status::InvalidArgument("write failed for " + dir + "/" + name + ".csv");
+    SELTRIG_RETURN_IF_ERROR(SyncFile(dir + "/" + name + ".csv"));
   }
   if (options.include_policy) {
     // SECURITY TRADE-OFF (see SnapshotOptions::include_policy): this section
@@ -141,58 +144,110 @@ Status WriteSnapshotFiles(Database* db, const std::string& dir,
   }
   schema_out.flush();
   if (!schema_out) return Status::InvalidArgument("write failed for " + dir + "/schema.sql");
+  SELTRIG_RETURN_IF_ERROR(SyncFile(dir + "/schema.sql"));
 
-  if (options.include_policy || options.wal_seq != 0) {
-    SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.write"));
-    std::ofstream manifest(dir + "/MANIFEST");
-    if (!manifest) return Status::InvalidArgument("cannot write " + dir + "/MANIFEST");
-    manifest << "seltrig-snapshot 1\n";
-    manifest << "wal_seq " << options.wal_seq << "\n";
-    if (options.include_policy) {
-      for (const TriggerDef* def : db->trigger_manager()->Quarantined()) {
-        manifest << "quarantined " << def->name << " " << def->consecutive_failures
-                 << "\n";
-      }
+  // Always written, even for plain snapshots (wal_seq 0): a snapshot that
+  // does not declare its journal cut is ambiguous to recovery, which must
+  // then refuse to replay any journal over it (see RecoverDatabase).
+  SnapshotManifest manifest;
+  manifest.wal_seq = options.wal_seq;
+  if (options.include_policy) {
+    for (const TriggerDef* def : db->trigger_manager()->Quarantined()) {
+      manifest.quarantined.push_back({def->name, def->consecutive_failures});
     }
-    manifest.flush();
-    if (!manifest) return Status::InvalidArgument("write failed for " + dir + "/MANIFEST");
   }
-  return Status::OK();
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.write"));
+  return WriteSnapshotManifest(dir, manifest);
 }
 
 }  // namespace
 
 Status SaveSnapshot(Database* db, const std::string& dir,
                     const SnapshotOptions& options) {
-  // Fail-closed snapshotting: write into a temporary sibling directory and
-  // swap it into place only once every file is complete, so a failure mid-way
-  // (crash, full disk, injected fault) never leaves a half-written snapshot
-  // where a later LoadSnapshot would find it. The target directory is
-  // replaced wholesale on success.
+  // Crash-atomic snapshotting: write into a temporary sibling directory,
+  // fsync every file plus the directory, then swap it into place with
+  // renames only — never a window where no complete snapshot exists:
+  //
+  //   1. <dir>         -> <dir>.old    (the previous snapshot, if any)
+  //   2. <dir>.inprogress -> <dir>     (the new, fully-synced snapshot)
+  //   3. fsync parent, remove <dir>.old
+  //
+  // A crash between 1 and 2 leaves the previous snapshot at <dir>.old; a
+  // crash between 2 and 3 leaves both. RecoverDatabase resolves either state
+  // (roll back to .old, or prefer <dir> and drop .old). Callers must delete
+  // journal segments only after this returns OK — until then the previous
+  // snapshot may be the one recovery falls back to. The `snapshot.swap`
+  // fault point probes each window so the kill-point harness covers them.
   if (dir.empty()) return Status::InvalidArgument("snapshot directory is empty");
   const std::string tmp = dir + ".inprogress";
+  const std::string old = dir + ".old";
   std::error_code ec;
   std::filesystem::remove_all(tmp, ec);
+  // A leftover .old means an earlier swap crashed after its snapshot was in
+  // place (or recovery already resolved it); it is dead weight either way.
+  std::filesystem::remove_all(old, ec);
   std::filesystem::create_directories(tmp, ec);
   if (ec) return Status::InvalidArgument("cannot create directory " + tmp);
 
   Status written = WriteSnapshotFiles(db, tmp, options);
+  // File bytes are fsynced individually as written; sync the directory so
+  // their names are durable before any rename makes the snapshot findable.
+  if (written.ok()) written = SyncDirectory(tmp);
+  if (written.ok()) written = fault::Maybe("snapshot.swap");
   if (!written.ok()) {
     std::filesystem::remove_all(tmp, ec);
     return written;
   }
 
-  std::filesystem::remove_all(dir, ec);
-  if (ec) {
-    std::filesystem::remove_all(tmp, ec);
-    return Status::InvalidArgument("cannot replace directory " + dir);
+  std::filesystem::path parent = std::filesystem::path(dir).parent_path();
+  if (parent.empty()) parent = ".";
+
+  const bool replacing = std::filesystem::exists(dir);
+  if (replacing) {
+    std::filesystem::rename(dir, old, ec);
+    if (ec) {
+      std::filesystem::remove_all(tmp, ec);
+      return Status::InvalidArgument("cannot move aside snapshot " + dir);
+    }
   }
-  std::filesystem::rename(tmp, dir, ec);
-  if (ec) {
+  Status swapped = fault::Maybe("snapshot.swap");
+  if (swapped.ok()) {
+    std::filesystem::rename(tmp, dir, ec);
+    if (ec) swapped = Status::InvalidArgument("cannot move snapshot into " + dir);
+  }
+  if (!swapped.ok()) {
+    // Roll the previous snapshot back into place; the journal covering it is
+    // still intact (callers delete segments only after success).
+    if (replacing) std::filesystem::rename(old, dir, ec);
     std::filesystem::remove_all(tmp, ec);
-    return Status::InvalidArgument("cannot move snapshot into " + dir);
+    return swapped;
+  }
+  SELTRIG_RETURN_IF_ERROR(SyncDirectory(parent.string()));
+
+  // The new snapshot is durably in place; only now may the old one go. An
+  // error here leaves <dir>.old behind, which recovery and the next
+  // checkpoint both clean up.
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.swap"));
+  if (replacing) {
+    std::filesystem::remove_all(old, ec);
+    (void)SyncDirectory(parent.string());
   }
   return Status::OK();
+}
+
+Status WriteSnapshotManifest(const std::string& dir,
+                             const SnapshotManifest& manifest) {
+  const std::string path = dir + "/MANIFEST";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << "seltrig-snapshot 1\n";
+  out << "wal_seq " << manifest.wal_seq << "\n";
+  for (const SnapshotManifest::QuarantineEntry& entry : manifest.quarantined) {
+    out << "quarantined " << entry.trigger << " " << entry.failures << "\n";
+  }
+  out.flush();
+  if (!out) return Status::InvalidArgument("write failed for " + path);
+  return SyncFile(path);
 }
 
 Status LoadSnapshot(Database* db, const std::string& dir) {

@@ -3,8 +3,8 @@
 //
 // Format: <dir>/schema.sql holds CREATE TABLE statements; <dir>/<table>.csv
 // holds each table's rows (with a header); <dir>/MANIFEST holds the journal
-// cut sequence and quarantine state (only written when SnapshotOptions are
-// non-default).
+// cut sequence and quarantine state (always written; wal_seq 0 marks a plain
+// snapshot taken outside any journal).
 //
 // Policy capture: by default audit expressions and triggers are NOT saved —
 // their definitions are security policy and are expected to live in
@@ -40,8 +40,10 @@ struct SnapshotOptions {
   uint64_t wal_seq = 0;
 };
 
-// What MANIFEST records (absent in pre-journal snapshots: ReadSnapshotManifest
-// then returns NotFound and recovery treats the snapshot as wal_seq 0).
+// What MANIFEST records. A missing MANIFEST (hand-built snapshot) reads as
+// NotFound; recovery treats that — and an explicit wal_seq 0 — as "no journal
+// cut recorded" and refuses to replay an existing journal over the snapshot
+// (see RecoverDatabase), since doing so would double-apply commits.
 struct SnapshotManifest {
   uint64_t wal_seq = 0;
   struct QuarantineEntry {
@@ -51,9 +53,11 @@ struct SnapshotManifest {
   std::vector<QuarantineEntry> quarantined;
 };
 
-// Writes schema.sql plus one CSV per table into `dir` (created if needed;
-// written to a temp directory and atomically swapped into place). MANIFEST is
-// written when options are non-default.
+// Writes schema.sql plus one CSV per table into `dir` (created if needed).
+// Every file and directory is fsynced, then the snapshot is swapped into
+// place with renames so that a crash at any instant leaves either the old or
+// the new snapshot fully intact (never neither); see SaveSnapshot in
+// snapshot.cc for the exact sequence and the crash states recovery resolves.
 Status SaveSnapshot(Database* db, const std::string& dir,
                     const SnapshotOptions& options = SnapshotOptions());
 
@@ -65,6 +69,11 @@ Status SaveSnapshot(Database* db, const std::string& dir,
 Status LoadSnapshot(Database* db, const std::string& dir);
 
 Result<SnapshotManifest> ReadSnapshotManifest(const std::string& dir);
+
+// Rewrites <dir>/MANIFEST (fsynced). Used by SaveSnapshot and by recovery to
+// stamp the journal cut onto a plain snapshot it is bootstrapping from.
+Status WriteSnapshotManifest(const std::string& dir,
+                             const SnapshotManifest& manifest);
 
 }  // namespace seltrig
 

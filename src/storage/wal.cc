@@ -147,7 +147,10 @@ void PutRow(std::string* out, const Row& row) {
 bool GetRow(std::string_view data, size_t* offset, Row* row) {
   uint32_t count = 0;
   if (!GetU32(data, offset, &count)) return false;
-  if (count > kMaxRecordSize) return false;
+  // Every serialized value occupies at least one byte (its type tag), so a
+  // count beyond the remaining payload is corruption, not a row — reject it
+  // before reserve() turns a crafted count into a multi-gigabyte allocation.
+  if (count > data.size() - *offset) return false;
   row->clear();
   row->reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -303,14 +306,19 @@ Result<std::vector<WalSegment>> ListWalSegments(const std::string& wal_dir) {
   if (!std::filesystem::is_directory(wal_dir, ec)) return segments;
   for (const auto& entry : std::filesystem::directory_iterator(wal_dir, ec)) {
     std::string name = entry.path().filename().string();
-    if (name.size() != 16 || name.compare(0, 4, "wal-") != 0 ||
-        name.compare(12, 4, ".log") != 0) {
+    // wal-<seq>.log, where <seq> is %08llu-formatted and grows past 8 digits
+    // for large sequences; parse by pattern, not fixed width, so naming and
+    // listing can never diverge (a silently skipped segment would lose
+    // committed data on recovery).
+    constexpr size_t kMinName = 4 + 1 + 4;  // "wal-" + >= 1 digit + ".log"
+    if (name.size() < kMinName || name.compare(0, 4, "wal-") != 0 ||
+        name.compare(name.size() - 4, 4, ".log") != 0) {
       continue;
     }
     uint64_t seq = 0;
     bool numeric = true;
-    for (size_t i = 4; i < 12; ++i) {
-      if (name[i] < '0' || name[i] > '9') {
+    for (size_t i = 4; i < name.size() - 4; ++i) {
+      if (name[i] < '0' || name[i] > '9' || seq > (UINT64_MAX - 9) / 10) {
         numeric = false;
         break;
       }
@@ -445,17 +453,21 @@ Status WalWriter::Append(const std::vector<WalOp>& ops, uint64_t* commit_seq) {
   segment_bytes_ += record.size();
   *commit_seq = ++appended_;
   ++unsynced_;
-
-  if (sync_mode_.load() == WalSyncMode::kBatch && unsynced_ >= kBatchSyncEvery) {
-    return SyncUpToLocked(lock, appended_);
-  }
   return Status::OK();
 }
 
 Status WalWriter::WaitDurable(uint64_t commit_seq) {
   if (commit_seq == 0) return Status::OK();
-  if (sync_mode_.load() != WalSyncMode::kCommit) return Status::OK();
+  const WalSyncMode mode = sync_mode_.load();
+  if (mode == WalSyncMode::kOff) return Status::OK();
   std::unique_lock<std::mutex> lock(mutex_);
+  if (mode == WalSyncMode::kBatch) {
+    // The batch-threshold fsync runs here, after the committer released the
+    // engine's storage writer lock — never inside Append, where it would
+    // stall every other session for the duration of the fsync.
+    if (unsynced_ < kBatchSyncEvery) return Status::OK();
+    return SyncUpToLocked(lock, appended_);
+  }
   return SyncUpToLocked(lock, commit_seq);
 }
 

@@ -20,8 +20,9 @@
 // outside the storage lock — until one fsync, issued by whichever committer
 // gets there first, covers every append up to its commit. Sync modes:
 //   kCommit (default)  every acked statement is fsynced (grouped).
-//   kBatch             ack after write(); fsync every kBatchSyncEvery commits
-//                      or at Sync()/rotation — bounded loss window.
+//   kBatch             ack after write(); every kBatchSyncEvery commits the
+//                      next WaitDurable fsyncs the backlog (outside the
+//                      storage lock, like kCommit) — bounded loss window.
 //   kOff               never fsync; page cache only.
 //
 // Fault points: `wal.append` (before a record is written), `wal.fsync`
@@ -127,10 +128,12 @@ class WalWriter {
   // memory commit order. Empty `ops` is a no-op that reports *commit_seq = 0.
   Status Append(const std::vector<WalOp>& ops, uint64_t* commit_seq);
 
-  // Blocks until commit `commit_seq` is on stable storage (kCommit), or
-  // returns immediately (kOff / kBatch / commit_seq == 0). Call after
-  // releasing the storage writer lock: concurrent committers' waits collapse
-  // into one fsync.
+  // Blocks until commit `commit_seq` is on stable storage (kCommit), fsyncs
+  // the whole backlog when the batch threshold is reached (kBatch), or
+  // returns immediately (kOff / below threshold / commit_seq == 0). Call
+  // after releasing the storage writer lock: concurrent committers' waits
+  // collapse into one fsync, and a batch-threshold fsync never stalls other
+  // sessions' appends.
   Status WaitDurable(uint64_t commit_seq);
 
   // Append + WaitDurable, for callers without the split locking need.

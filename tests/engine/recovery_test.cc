@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -235,6 +236,98 @@ TEST_F(RecoveryTest, QuarantineStateSurvivesJournalReplayAndCheckpoint) {
   ASSERT_EQ(quarantined.size(), 1u);
   EXPECT_EQ(quarantined[0]->name, "log_alice");
   EXPECT_GE(Count(from_snapshot.get(), Database::kAuditErrorsTable), 1);
+}
+
+TEST_F(RecoveryTest, InterruptedSwapRollsBackToTheOldSnapshot) {
+  // Simulate a crash between SaveSnapshot's two renames: the previous
+  // snapshot sits at snapshot.old and <dir>/snapshot is gone. Recovery must
+  // roll back to it; the journal segments it needs still exist (they are
+  // deleted only after a checkpoint fully succeeds).
+  {
+    std::unique_ptr<Database> db = OpenDurable();
+    ASSERT_NE(db, nullptr);
+    ASSERT_TRUE(db->Execute("CREATE TABLE t (x INT)").ok());
+    ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (1)").ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (2)").ok());
+  }
+  std::filesystem::rename(dir_ + "/snapshot", dir_ + "/snapshot.old");
+
+  std::unique_ptr<Database> recovered = OpenDurable();
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(Count(recovered.get(), "t"), 2);
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/snapshot/schema.sql"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/snapshot.old"));
+}
+
+TEST_F(RecoveryTest, StaleOldSnapshotBesideANewOneIsDropped) {
+  // Crash after the new snapshot was swapped in but before the old one was
+  // removed: both directories exist. The new snapshot wins; .old goes.
+  {
+    std::unique_ptr<Database> db = OpenDurable();
+    ASSERT_NE(db, nullptr);
+    ASSERT_TRUE(db->Execute("CREATE TABLE t (x INT)").ok());
+    ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (1)").ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  std::filesystem::create_directories(dir_ + "/snapshot.old");
+  std::ofstream(dir_ + "/snapshot.old/schema.sql") << "CREATE TABLE stale (x INT);\n";
+
+  std::unique_ptr<Database> recovered = OpenDurable();
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(Count(recovered.get(), "t"), 1);
+  EXPECT_FALSE(recovered->catalog()->GetTable("stale").ok());
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/snapshot.old"));
+}
+
+TEST_F(RecoveryTest, CutlessSnapshotOverAnExistingJournalIsRefused) {
+  // A plain SaveSnapshot dropped at <dir>/snapshot of a journaled database
+  // records no journal cut; replaying the journal over it would double-apply
+  // every commit. Recovery must refuse loudly rather than guess wal_seq 0.
+  {
+    std::unique_ptr<Database> db = OpenDurable();
+    ASSERT_NE(db, nullptr);
+    ASSERT_TRUE(db->Execute("CREATE TABLE t (x INT)").ok());
+    ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (1)").ok());
+  }
+  Database plain;
+  ASSERT_TRUE(plain.Execute("CREATE TABLE u (y INT)").ok());
+  ASSERT_TRUE(SaveSnapshot(&plain, dir_ + "/snapshot").ok());
+
+  Result<std::unique_ptr<Database>> refused = Database::Recover(dir_);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().message().find("journal cut"), std::string::npos)
+      << refused.status().message();
+
+  // The legacy shape — no MANIFEST at all — is refused the same way.
+  std::filesystem::remove(dir_ + "/snapshot/MANIFEST");
+  refused = Database::Recover(dir_);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().message().find("journal cut"), std::string::npos);
+}
+
+TEST_F(RecoveryTest, BootstrapFromPlainSnapshotStampsTheJournalCut) {
+  // Seeding a fresh durable directory from a plain snapshot is legitimate —
+  // there is no journal yet. The first recovery must stamp the cut so later
+  // recoveries replay the journal exactly once instead of refusing.
+  Database plain;
+  ASSERT_TRUE(plain.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(plain.Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(SaveSnapshot(&plain, dir_ + "/snapshot").ok());
+
+  {
+    std::unique_ptr<Database> db = OpenDurable();
+    ASSERT_NE(db, nullptr);
+    EXPECT_EQ(Count(db.get(), "t"), 1);
+    ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (2)").ok());
+  }
+  EXPECT_GE((*ReadSnapshotManifest(dir_ + "/snapshot")).wal_seq, 1u);
+
+  RecoveryStats stats;
+  Result<std::unique_ptr<Database>> reopened = Database::Recover(dir_, &stats);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(stats.commits_replayed, 1u);  // only the post-bootstrap INSERT
+  EXPECT_EQ(Count(reopened->get(), "t"), 2);  // no double-applied rows
 }
 
 TEST_F(RecoveryTest, FailedStatementLeavesNoTraceInMemoryOrJournal) {

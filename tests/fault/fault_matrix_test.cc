@@ -303,6 +303,45 @@ TEST_F(FaultMatrixTest, ExecutorFaultAbortsQueryWithoutTrail) {
   EXPECT_EQ(LogCount(&db), 0) << "no result, so no audit record either";
 }
 
+TEST_F(FaultMatrixTest, SnapshotSwapFaultKeepsThePreviousSnapshotLoadable) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("seltrig_fault_swap_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::remove_all(dir.string() + ".inprogress");
+  fs::remove_all(dir.string() + ".old");
+
+  Database db;
+  Setup(&db);
+  ASSERT_TRUE(SaveSnapshot(&db, dir.string()).ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO patients VALUES (4, 'Dave', 51)").ok());
+
+  // Fail each rename window of the swap in turn; every failure must leave
+  // the previous (3-patient) snapshot where a load can find it, and no
+  // .inprogress or .old debris.
+  for (uint64_t nth = 1; nth <= 2; ++nth) {
+    FaultInjector::Instance().Arm("snapshot.swap", FaultInjector::FailNth(nth));
+    EXPECT_FALSE(SaveSnapshot(&db, dir.string()).ok()) << "nth=" << nth;
+    FaultInjector::Instance().Reset();
+    EXPECT_FALSE(fs::exists(dir.string() + ".inprogress")) << "nth=" << nth;
+    EXPECT_FALSE(fs::exists(dir.string() + ".old")) << "nth=" << nth;
+    Database restored;
+    ASSERT_TRUE(LoadSnapshot(&restored, dir.string()).ok()) << "nth=" << nth;
+    EXPECT_EQ(Count(&restored, "patients"), 3) << "nth=" << nth;
+  }
+
+  // The third window fires after the new snapshot is durably in place: the
+  // save reports the error, but the NEW snapshot is what a load now sees.
+  FaultInjector::Instance().Arm("snapshot.swap", FaultInjector::FailNth(3));
+  EXPECT_FALSE(SaveSnapshot(&db, dir.string()).ok());
+  FaultInjector::Instance().Reset();
+  Database restored;
+  ASSERT_TRUE(LoadSnapshot(&restored, dir.string()).ok());
+  EXPECT_EQ(Count(&restored, "patients"), 4);
+  fs::remove_all(dir);
+  fs::remove_all(dir.string() + ".old");
+}
+
 TEST_F(FaultMatrixTest, SnapshotWriteFaultLeavesNoPartialSnapshot) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() /

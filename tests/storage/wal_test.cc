@@ -238,6 +238,78 @@ TEST_F(WalTest, InjectedAppendFaultFailsTheCommit) {
   EXPECT_EQ(contents.commits[0], SampleCommit(2));
 }
 
+TEST_F(WalTest, ListWalSegmentsAcceptsSequencesWiderThanEightDigits) {
+  // WalSegmentFileName pads to 8 digits but grows past that for large
+  // sequences; listing must parse by pattern, or such segments would be
+  // invisible to recovery (lost commits) and to Open (restarted numbering).
+  std::filesystem::create_directories(wal_dir());
+  const uint64_t wide = 123456789;  // 9 digits
+  ASSERT_EQ(WalSegmentFileName(wide), "wal-123456789.log");
+  std::ofstream(wal_dir() + "/" + WalSegmentFileName(3)).put('\n');
+  std::ofstream(wal_dir() + "/" + WalSegmentFileName(wide)).put('\n');
+
+  auto segments = *ListWalSegments(wal_dir());
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].seq, 3u);
+  EXPECT_EQ(segments[1].seq, wide);
+
+  // Open continues numbering past the wide segment instead of colliding.
+  auto opened = WalWriter::Open(wal_dir());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  EXPECT_EQ((*opened)->current_seq(), wide + 1);
+}
+
+TEST_F(WalTest, OverlongRowCountReadsAsCorruptionNotAllocation) {
+  // A CRC-valid but crafted record can claim a row with ~2^30 values; the
+  // reader must treat the impossible count (more values than payload bytes)
+  // as corruption instead of reserving gigabytes and dying on bad_alloc.
+  std::filesystem::create_directories(wal_dir());
+  const std::string path = wal_dir() + "/" + WalSegmentFileName(1);
+  auto put_u32 = [](std::string* out, uint32_t v) {
+    for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  std::string payload;
+  put_u32(&payload, 1);  // one op
+  payload.push_back(1);  // WalOp::Kind::kInsert
+  put_u32(&payload, 1);  // table name length
+  payload.push_back('t');
+  put_u32(&payload, (1u << 30) - 1);  // row value count: absurd but < kMax
+  std::string file("SLTWAL1\n", 8);
+  put_u32(&file, 1);  // segment seq (u64 LE, low word)
+  put_u32(&file, 0);
+  put_u32(&file, static_cast<uint32_t>(payload.size()));
+  put_u32(&file, Crc32c(payload));
+  file += payload;
+  std::ofstream(path, std::ios::binary).write(file.data(),
+                                              static_cast<std::streamsize>(file.size()));
+
+  Result<WalSegmentContents> contents = ReadWalSegment(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().message();
+  EXPECT_TRUE(contents->torn);
+  EXPECT_TRUE(contents->commits.empty());
+}
+
+TEST_F(WalTest, BatchThresholdFsyncRunsInWaitDurableNotAppend) {
+  // Under kBatch the threshold fsync must happen in WaitDurable — which the
+  // engine calls after dropping the storage writer lock — never inside
+  // Append, where it would stall every other session. With fsync rigged to
+  // fail, appends past the threshold still succeed; WaitDurable reports it.
+  auto opened = WalWriter::Open(wal_dir());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  std::unique_ptr<WalWriter> writer = std::move(*opened);
+  writer->set_sync_mode(WalSyncMode::kBatch);
+
+  fault::ScopedFault fail("wal.fsync", FaultInjector::FailAlways());
+  FaultInjector::Instance().Enable(true);
+  uint64_t seq = 0;
+  for (uint64_t i = 0; i < WalWriter::kBatchSyncEvery; ++i) {
+    ASSERT_TRUE(writer->Append({WalOp::Insert("t", {Value::Int(1)})}, &seq).ok())
+        << "append " << i << " fsynced under the writer mutex";
+  }
+  EXPECT_FALSE(writer->WaitDurable(seq).ok())
+      << "threshold reached: the deferred batch fsync must run (and fail) here";
+}
+
 TEST_F(WalTest, InjectedFsyncFaultFailsTheCommitUnderCommitMode) {
   auto opened = WalWriter::Open(wal_dir());
   ASSERT_TRUE(opened.ok()) << opened.status().message();

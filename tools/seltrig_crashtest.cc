@@ -86,6 +86,11 @@ const std::vector<std::string>& Workload() {
       kCheckpointMarker,
       "SELECT diagnosis FROM patients WHERE name = 'Alice'",
       "DELETE FROM patients WHERE patientid = 3",
+      // A second checkpoint replaces the first snapshot, so the kill-point
+      // sweep reaches every window of the rename-aside swap (snapshot.swap):
+      // crash with only the old snapshot, with only snapshot.old, and with
+      // both present. Recovery must resolve each state.
+      kCheckpointMarker,
       "INSERT INTO patients VALUES (4, 'Dave', 'flu')",
   };
   return workload;
@@ -97,7 +102,7 @@ const std::vector<std::string>& Workload() {
 const std::vector<std::string>& SweepPoints() {
   static const std::vector<std::string> points = {
       "wal.append",  "wal.fsync",      "wal.rotate", "wal.torn",
-      "storage.append", "trigger.action", "snapshot.write",
+      "storage.append", "trigger.action", "snapshot.write", "snapshot.swap",
   };
   return points;
 }

@@ -8,11 +8,12 @@
 #define SELTRIG_AUDIT_SENSITIVE_ID_VIEW_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "common/bloom_filter.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "types/value.h"
 
 namespace seltrig {
@@ -44,9 +45,9 @@ class SensitiveIdView {
   // workers, so it is serialized by a mutex. The returned pointer stays valid
   // while readers are active — maintenance (which resets the screen) only
   // runs behind the engine's writer lock, which excludes all readers.
-  const BloomFilter* Screen() const {
+  const BloomFilter* Screen() const SELTRIG_EXCLUDES(screen_mutex_) {
     if (ids_.size() < kScreenMinIds) return nullptr;
-    std::lock_guard<std::mutex> lock(screen_mutex_);
+    MutexLock lock(&screen_mutex_);
     if (screen_ == nullptr) {
       screen_ = BuildBloomFilter(kScreenFpRate);
     }
@@ -77,14 +78,14 @@ class SensitiveIdView {
   static constexpr size_t kScreenMinIds = 16;
   static constexpr double kScreenFpRate = 0.01;
 
-  void ResetScreen() {
-    std::lock_guard<std::mutex> lock(screen_mutex_);
+  void ResetScreen() SELTRIG_EXCLUDES(screen_mutex_) {
+    MutexLock lock(&screen_mutex_);
     screen_.reset();
   }
 
   std::unordered_set<Value, ValueHash, ValueEq> ids_;
-  mutable std::mutex screen_mutex_;  // serializes the lazy screen build
-  mutable std::shared_ptr<const BloomFilter> screen_;
+  mutable Mutex screen_mutex_;  // serializes the lazy screen build
+  mutable std::shared_ptr<const BloomFilter> screen_ SELTRIG_GUARDED_BY(screen_mutex_);
 };
 
 }  // namespace seltrig

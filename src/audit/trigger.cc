@@ -9,7 +9,7 @@ namespace seltrig {
 Status TriggerManager::CreateTrigger(std::unique_ptr<TriggerDef> def) {
   std::string key = ToLower(def->name);
   def->name = key;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (triggers_.count(key) > 0) {
     return Status::AlreadyExists("trigger already exists: " + key);
   }
@@ -18,7 +18,7 @@ Status TriggerManager::CreateTrigger(std::unique_ptr<TriggerDef> def) {
 }
 
 Status TriggerManager::DropTrigger(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (triggers_.erase(ToLower(name)) == 0) {
     return Status::NotFound("trigger not found: " + name);
   }
@@ -27,14 +27,14 @@ Status TriggerManager::DropTrigger(const std::string& name) {
 
 const TriggerDef* TriggerManager::Find(const std::string& name) const {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = triggers_.find(key);
   return it == triggers_.end() ? nullptr : it->second.get();
 }
 
 TriggerDef* TriggerManager::FindMutable(const std::string& name) {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = triggers_.find(key);
   return it == triggers_.end() ? nullptr : it->second.get();
 }
@@ -51,7 +51,7 @@ Status TriggerManager::Rearm(const std::string& name) {
   TriggerDef* def = FindMutable(name);
   if (def == nullptr) return Status::NotFound("trigger not found: " + name);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     def->consecutive_failures = 0;
   }
   def->quarantined = false;
@@ -65,7 +65,7 @@ Status TriggerManager::RestoreQuarantineState(const std::string& name,
   TriggerDef* def = FindMutable(name);
   if (def == nullptr) return Status::NotFound("trigger not found: " + name);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     def->consecutive_failures = consecutive_failures;
   }
   def->quarantined = quarantined;
@@ -76,21 +76,21 @@ Status TriggerManager::RestoreQuarantineState(const std::string& name,
 int TriggerManager::RecordFailure(const std::string& name) {
   TriggerDef* def = FindMutable(name);
   if (def == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return ++def->consecutive_failures;
 }
 
 void TriggerManager::RecordSuccess(const std::string& name) {
   TriggerDef* def = FindMutable(name);
   if (def == nullptr) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   def->consecutive_failures = 0;
 }
 
 std::vector<const TriggerDef*> TriggerManager::Quarantined() const {
   std::vector<const TriggerDef*> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (const auto& [name, def] : triggers_) {
       if (def->quarantined) out.push_back(def.get());
     }
@@ -104,7 +104,7 @@ std::vector<TriggerDef*> TriggerManager::SelectTriggersFor(
     const std::string& audit_expression) {
   std::vector<TriggerDef*> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (auto& [name, def] : triggers_) {
       if (def->enabled && def->is_select_trigger &&
           def->audit_expression == audit_expression) {
@@ -121,7 +121,7 @@ std::vector<TriggerDef*> TriggerManager::DmlTriggersFor(const std::string& table
                                                         ast::DmlEvent event) {
   std::vector<TriggerDef*> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (auto& [name, def] : triggers_) {
       if (def->enabled && !def->is_select_trigger && def->table == table &&
           def->event == event) {
@@ -137,7 +137,7 @@ std::vector<TriggerDef*> TriggerManager::DmlTriggersFor(const std::string& table
 std::vector<const TriggerDef*> TriggerManager::All() const {
   std::vector<const TriggerDef*> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     out.reserve(triggers_.size());
     for (const auto& [name, def] : triggers_) out.push_back(def.get());
   }
@@ -149,7 +149,7 @@ std::vector<const TriggerDef*> TriggerManager::All() const {
 std::vector<std::string> TriggerManager::AuditedExpressionNames() const {
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (const auto& [name, def] : triggers_) {
       if (def->enabled && def->is_select_trigger) {
         if (std::find(names.begin(), names.end(), def->audit_expression) ==

@@ -9,12 +9,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sql/ast.h"
 
 namespace seltrig {
@@ -53,52 +54,59 @@ class TriggerManager {
   TriggerManager(const TriggerManager&) = delete;
   TriggerManager& operator=(const TriggerManager&) = delete;
 
-  Status CreateTrigger(std::unique_ptr<TriggerDef> def);
-  Status DropTrigger(const std::string& name);
+  Status CreateTrigger(std::unique_ptr<TriggerDef> def) SELTRIG_EXCLUDES(mutex_);
+  Status DropTrigger(const std::string& name) SELTRIG_EXCLUDES(mutex_);
 
-  const TriggerDef* Find(const std::string& name) const;
-  TriggerDef* FindMutable(const std::string& name);
+  const TriggerDef* Find(const std::string& name) const SELTRIG_EXCLUDES(mutex_);
+  TriggerDef* FindMutable(const std::string& name) SELTRIG_EXCLUDES(mutex_);
 
   // Quarantines `name`: disables it and marks it quarantined. NotFound if no
   // such trigger.
-  Status Quarantine(const std::string& name);
+  Status Quarantine(const std::string& name) SELTRIG_EXCLUDES(mutex_);
 
   // Clears quarantine and the failure counter, re-enabling the trigger.
-  Status Rearm(const std::string& name);
+  Status Rearm(const std::string& name) SELTRIG_EXCLUDES(mutex_);
 
   // Restores circuit-breaker state verbatim (recovery replaying a journaled
   // quarantine transition or a checkpoint's quarantine list).
   Status RestoreQuarantineState(const std::string& name, bool quarantined,
-                                int consecutive_failures);
+                                int consecutive_failures)
+      SELTRIG_EXCLUDES(mutex_);
 
   // Circuit-breaker bookkeeping for one guarded run of `name`'s action list.
   // RecordFailure bumps the consecutive-failure counter and returns its new
   // value (0 if the trigger vanished); RecordSuccess resets it.
-  int RecordFailure(const std::string& name);
-  void RecordSuccess(const std::string& name);
+  int RecordFailure(const std::string& name) SELTRIG_EXCLUDES(mutex_);
+  void RecordSuccess(const std::string& name) SELTRIG_EXCLUDES(mutex_);
 
   // Every quarantined trigger, sorted by name.
-  std::vector<const TriggerDef*> Quarantined() const;
+  std::vector<const TriggerDef*> Quarantined() const SELTRIG_EXCLUDES(mutex_);
 
   // SELECT triggers registered on `audit_expression`.
-  std::vector<TriggerDef*> SelectTriggersFor(const std::string& audit_expression);
+  std::vector<TriggerDef*> SelectTriggersFor(const std::string& audit_expression)
+      SELTRIG_EXCLUDES(mutex_);
 
   // DML triggers for (table, event).
-  std::vector<TriggerDef*> DmlTriggersFor(const std::string& table, ast::DmlEvent event);
+  std::vector<TriggerDef*> DmlTriggersFor(const std::string& table, ast::DmlEvent event)
+      SELTRIG_EXCLUDES(mutex_);
 
   // Audit expression names that have at least one enabled SELECT trigger --
   // the expressions queries must be instrumented for.
-  std::vector<std::string> AuditedExpressionNames() const;
+  std::vector<std::string> AuditedExpressionNames() const SELTRIG_EXCLUDES(mutex_);
 
   // Every registered trigger, sorted by name.
-  std::vector<const TriggerDef*> All() const;
+  std::vector<const TriggerDef*> All() const SELTRIG_EXCLUDES(mutex_);
 
  private:
-  // Guards the registry map and the non-atomic TriggerDef counters. TriggerDef
-  // pointers handed out remain stable (defs are heap-allocated and only freed
-  // by DropTrigger, which the engine serializes behind its writer lock).
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::unique_ptr<TriggerDef>> triggers_;
+  // Guards the registry map and the non-atomic TriggerDef counters
+  // (TriggerDef::consecutive_failures is mutated only under this mutex; it
+  // lives in TriggerDef, so the guard is documented rather than annotated).
+  // TriggerDef pointers handed out remain stable (defs are heap-allocated and
+  // only freed by DropTrigger, which the engine serializes behind its writer
+  // lock).
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<TriggerDef>> triggers_
+      SELTRIG_GUARDED_BY(mutex_);
 };
 
 }  // namespace seltrig

@@ -32,7 +32,7 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
 }
 
 void FaultInjector::Arm(const std::string& point, Schedule schedule) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PointState& state = points_[point];
   state.schedule = std::move(schedule);
   state.armed_hits = 0;
@@ -42,7 +42,7 @@ void FaultInjector::Arm(const std::string& point, Schedule schedule) {
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = points_.find(point);
   if (it == points_.end()) return;
   it->second.schedule.reset();
@@ -52,7 +52,7 @@ void FaultInjector::Disarm(const std::string& point) {
 
 void FaultInjector::Reset() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     points_.clear();
   }
   suspend_depth_.store(0, std::memory_order_relaxed);
@@ -60,19 +60,19 @@ void FaultInjector::Reset() {
 }
 
 uint64_t FaultInjector::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjector::fires(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
 }
 
 std::vector<FaultInjector::PointCoverage> FaultInjector::Coverage() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<PointCoverage> report;
   for (const std::string& point : KnownPoints()) {
     PointCoverage entry;
@@ -104,7 +104,7 @@ std::vector<FaultInjector::PointCoverage> FaultInjector::Coverage() const {
 
 Status FaultInjector::Check(const char* point) {
   if (suspend_depth_.load(std::memory_order_relaxed) > 0) return Status::OK();
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   PointState& state = points_[point];
   ++state.hits;
   ++lifetime_[point].hits;

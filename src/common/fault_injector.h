@@ -21,14 +21,15 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace seltrig {
 
@@ -97,11 +98,11 @@ class FaultInjector {
 
   // Arms `point` with `schedule` (replacing any previous schedule and
   // restarting its hit count) and enables the injector.
-  void Arm(const std::string& point, Schedule schedule);
-  void Disarm(const std::string& point);
+  void Arm(const std::string& point, Schedule schedule) SELTRIG_EXCLUDES(mutex_);
+  void Disarm(const std::string& point) SELTRIG_EXCLUDES(mutex_);
 
   // Disarms every point, zeroes all counters, clears suspension, disables.
-  void Reset();
+  void Reset() SELTRIG_EXCLUDES(mutex_);
 
   // Temporarily masks all faults (rollback and error-recording paths must not
   // themselves fault). Balanced via ScopedSuspend. Suspension is process-wide,
@@ -110,9 +111,9 @@ class FaultInjector {
   void Resume() { suspend_depth_.fetch_sub(1, std::memory_order_relaxed); }
 
   // Total hits observed at `point` while the injector was enabled.
-  uint64_t hits(const std::string& point) const;
+  uint64_t hits(const std::string& point) const SELTRIG_EXCLUDES(mutex_);
   // Number of times `point` actually fired.
-  uint64_t fires(const std::string& point) const;
+  uint64_t fires(const std::string& point) const SELTRIG_EXCLUDES(mutex_);
 
   // Every fault point compiled into the engine, sorted. Hand-maintained in
   // fault_injector.cc next to the list of call sites; the fault-coverage test
@@ -133,11 +134,11 @@ class FaultInjector {
   };
   // One entry per known point plus any point ever armed or hit, sorted by
   // name.
-  std::vector<PointCoverage> Coverage() const;
+  std::vector<PointCoverage> Coverage() const SELTRIG_EXCLUDES(mutex_);
 
   // Counts a hit at `point` and returns the injected error when the armed
   // schedule says this hit fires. Called via fault::Maybe().
-  Status Check(const char* point);
+  Status Check(const char* point) SELTRIG_EXCLUDES(mutex_);
 
  private:
   struct PointState {
@@ -155,10 +156,10 @@ class FaultInjector {
 
   std::atomic<bool> enabled_{false};
   std::atomic<int> suspend_depth_{0};
-  mutable std::mutex mutex_;  // guards points_ and lifetime_
-  std::unordered_map<std::string, PointState> points_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, PointState> points_ SELTRIG_GUARDED_BY(mutex_);
   // Survives Reset(); see Coverage().
-  std::unordered_map<std::string, LifetimeState> lifetime_;
+  std::unordered_map<std::string, LifetimeState> lifetime_ SELTRIG_GUARDED_BY(mutex_);
 };
 
 namespace fault {

@@ -1,0 +1,113 @@
+// Annotated lock types for Clang Thread Safety Analysis
+// (common/thread_annotations.h, docs/STATIC_ANALYSIS.md).
+//
+// std::mutex / std::shared_mutex are not capability types, so members guarded
+// by them cannot carry SELTRIG_GUARDED_BY. These thin wrappers add the
+// capability annotations while keeping the standard BasicLockable /
+// SharedLockable method names, so they still work with std::unique_lock,
+// std::shared_lock, std::scoped_lock, and std::condition_variable_any.
+//
+// Analyzed code should take locks through the scoped RAII types below
+// (MutexLock, ReaderMutexLock, WriterMutexLock): acquisitions made through
+// std lock adapters happen inside unanalyzed standard-library code and are
+// invisible to the analysis, which would then flag every guarded access under
+// them.
+
+#ifndef SELTRIG_COMMON_MUTEX_H_
+#define SELTRIG_COMMON_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace seltrig {
+
+// An annotated std::mutex. Satisfies BasicLockable, so it can be waited on
+// with std::condition_variable_any — the wait's internal unlock/relock is
+// invisible to the analysis, which conservatively (and conveniently) treats
+// the capability as held across the wait; guarded state must be re-checked
+// after every wakeup anyway.
+class SELTRIG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SELTRIG_ACQUIRE() { impl_.lock(); }
+  bool try_lock() SELTRIG_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+  void unlock() SELTRIG_RELEASE() { impl_.unlock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+// An annotated std::shared_mutex: one exclusive (writer) capability, many
+// shared (reader) capabilities.
+class SELTRIG_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() SELTRIG_ACQUIRE() { impl_.lock(); }
+  bool try_lock() SELTRIG_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+  void unlock() SELTRIG_RELEASE() { impl_.unlock(); }
+
+  void lock_shared() SELTRIG_ACQUIRE_SHARED() { impl_.lock_shared(); }
+  bool try_lock_shared() SELTRIG_TRY_ACQUIRE(true) {
+    return impl_.try_lock_shared();
+  }
+  void unlock_shared() SELTRIG_RELEASE_SHARED() { impl_.unlock_shared(); }
+
+ private:
+  std::shared_mutex impl_;
+};
+
+// std::lock_guard over a Mutex, visible to the analysis.
+class SELTRIG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SELTRIG_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() SELTRIG_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Scoped shared (reader) hold on a SharedMutex.
+class SELTRIG_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) SELTRIG_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() SELTRIG_RELEASE() { mu_->unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+// Scoped exclusive (writer) hold on a SharedMutex.
+class SELTRIG_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) SELTRIG_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() SELTRIG_RELEASE() { mu_->unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_COMMON_MUTEX_H_

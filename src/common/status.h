@@ -35,7 +35,12 @@ const char* ErrorCodeName(ErrorCode code);
 
 // A success-or-error value. Cheap to copy on the success path (no message
 // allocation); carries a message only when not OK.
-class Status {
+//
+// [[nodiscard]]: ignoring a returned Status silently swallows the error the
+// callee is reporting, so the compiler flags any call site that drops one.
+// Intentional drops (best-effort cleanup on an already-failing path) must be
+// spelled `(void)expr;` with a comment saying why the error does not matter.
+class [[nodiscard]] Status {
  public:
   Status() : code_(ErrorCode::kOk) {}
   Status(ErrorCode code, std::string message)
@@ -83,8 +88,10 @@ class Status {
 };
 
 // A Status or a value of type T. Callers must check ok() before value().
+// [[nodiscard]] for the same reason as Status: a dropped Result drops both
+// the value and any error it carried.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from values and statuses keeps call sites terse:
   //   Result<int> F() { return 42; }

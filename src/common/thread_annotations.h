@@ -1,0 +1,85 @@
+// Clang Thread Safety Analysis annotations (docs/STATIC_ANALYSIS.md).
+//
+// These macros attach capability annotations to mutexes, guarded data
+// members, and lock-taking functions so that `clang -Wthread-safety` can
+// prove the engine's lock discipline at compile time. Under any other
+// compiler (and under Clang without -Wthread-safety) they expand to nothing,
+// so annotated code builds identically everywhere.
+//
+// Conventions (see common/mutex.h for the annotated lock types):
+//  * Every member protected by a leaf mutex carries SELTRIG_GUARDED_BY(mu).
+//  * Functions that must be called with a mutex held carry
+//    SELTRIG_REQUIRES(mu) / SELTRIG_REQUIRES_SHARED(mu).
+//  * Functions that take a lock internally and would self-deadlock if the
+//    caller already held it carry SELTRIG_EXCLUDES(mu).
+//  * Dynamically-established invariants that the per-function analysis cannot
+//    see (the engine's nested-statement reentrancy: trigger actions run under
+//    the lock their top-level statement took frames above) are re-introduced
+//    with SELTRIG_ASSERT_CAPABILITY at the documented seam.
+
+#ifndef SELTRIG_COMMON_THREAD_ANNOTATIONS_H_
+#define SELTRIG_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SELTRIG_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SELTRIG_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// Declares a type to be a capability (a lockable resource). The string names
+// the capability kind in diagnostics, e.g. "mutex".
+#define SELTRIG_CAPABILITY(x) SELTRIG_THREAD_ANNOTATION_(capability(x))
+
+// Declares an RAII type whose constructor acquires and destructor releases a
+// capability (std::lock_guard-style scoped locking).
+#define SELTRIG_SCOPED_CAPABILITY SELTRIG_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data members: may only be read/written while holding `x` (exclusively for
+// writes, at least shared for reads). PT_ variant guards the pointed-to data
+// rather than the pointer itself.
+#define SELTRIG_GUARDED_BY(x) SELTRIG_THREAD_ANNOTATION_(guarded_by(x))
+#define SELTRIG_PT_GUARDED_BY(x) SELTRIG_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function preconditions: the caller must hold the capability exclusively /
+// at least shared. Checked at every call site.
+#define SELTRIG_REQUIRES(...) \
+  SELTRIG_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SELTRIG_REQUIRES_SHARED(...) \
+  SELTRIG_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function effects: acquires / releases the capability (exclusively or
+// shared). Used on the annotated lock types' own methods.
+#define SELTRIG_ACQUIRE(...) \
+  SELTRIG_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SELTRIG_ACQUIRE_SHARED(...) \
+  SELTRIG_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define SELTRIG_RELEASE(...) \
+  SELTRIG_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SELTRIG_RELEASE_SHARED(...) \
+  SELTRIG_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define SELTRIG_TRY_ACQUIRE(...) \
+  SELTRIG_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// The caller must NOT hold the capability (the function acquires it itself;
+// holding it already would self-deadlock on a non-recursive mutex).
+#define SELTRIG_EXCLUDES(...) SELTRIG_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Tells the analysis the capability IS held here even though no acquisition
+// is visible in this function — the seam for dynamically-established
+// protocols (nested statements running under a lock taken frames above).
+#define SELTRIG_ASSERT_CAPABILITY(...) \
+  SELTRIG_THREAD_ANNOTATION_(assert_capability(__VA_ARGS__))
+#define SELTRIG_ASSERT_SHARED_CAPABILITY(...) \
+  SELTRIG_THREAD_ANNOTATION_(assert_shared_capability(__VA_ARGS__))
+
+// Returns a reference to the capability that guards the returned data.
+#define SELTRIG_RETURN_CAPABILITY(x) SELTRIG_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch, used sparingly and always with a comment explaining why the
+// analysis cannot see the protocol (e.g. lock ownership handed between
+// threads). Prefer SELTRIG_ASSERT_CAPABILITY where the invariant is real but
+// dynamic.
+#define SELTRIG_NO_THREAD_SAFETY_ANALYSIS \
+  SELTRIG_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SELTRIG_COMMON_THREAD_ANNOTATIONS_H_

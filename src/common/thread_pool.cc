@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -24,8 +24,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      // Explicit wait loop (not the predicate overload): the analysis treats
+      // mutex_ as held across the wait, which matches how guarded state must
+      // be re-checked after every wakeup.
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -36,7 +39,7 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     queue_.push_back(std::move(fn));
   }
   cv_.notify_one();

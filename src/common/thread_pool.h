@@ -13,9 +13,11 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace seltrig {
 
@@ -30,7 +32,7 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   // Enqueues `fn` for execution on some pool thread.
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn) SELTRIG_EXCLUDES(mutex_);
 
   // Runs fn(0) .. fn(n-1): fn(0) inline on the calling thread, the rest on
   // pool threads. Returns after every invocation has finished. With n <= 1
@@ -44,13 +46,16 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SELTRIG_EXCLUDES(mutex_);
 
+  // Immutable after construction (only joined by the destructor).
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ SELTRIG_GUARDED_BY(mutex_);
+  // Waited on with mutex_ held (condition_variable_any over the annotated
+  // Mutex; see common/mutex.h).
+  std::condition_variable_any cv_;
+  bool stop_ SELTRIG_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace seltrig

@@ -56,7 +56,7 @@ Status Database::Checkpoint() {
   // the snapshot and the journal cut are mutually consistent: everything
   // committed before the checkpoint is in the snapshot, everything after is
   // in segments >= the recorded sequence.
-  std::unique_lock<std::shared_mutex> lock(storage_mutex_);
+  WriterMutexLock lock(&storage_mutex_);
   uint64_t new_seq = 0;
   SELTRIG_RETURN_IF_ERROR(wal_->Rotate(&new_seq));  // syncs the old segment
   SnapshotOptions opts;
@@ -75,7 +75,7 @@ Result<PlanPtr> Database::PlanSelect(const std::string& sql,
     return Status::InvalidArgument("PlanSelect expects a SELECT statement");
   }
   auto& wrapper = static_cast<ast::SelectWrapper&>(*stmt);
-  std::shared_lock<std::shared_mutex> lock(storage_mutex_);
+  ReaderMutexLock lock(&storage_mutex_);
   Binder binder(&catalog_);
   SELTRIG_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelect(*wrapper.select));
   OptimizerOptions opt_options = options;

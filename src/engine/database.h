@@ -9,14 +9,15 @@
 #define SELTRIG_ENGINE_DATABASE_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "audit/audit_expression.h"
 #include "audit/trigger.h"
 #include "catalog/catalog.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/session.h"
 #include "storage/wal.h"
 
@@ -64,8 +65,18 @@ class Database {
   // holds it shared; DML, DDL, incremental view maintenance, and trigger
   // actions hold it exclusively. Exposed for tests and embedders that touch
   // the catalog directly while sessions are live (e.g. bulk loaders must
-  // hold it exclusively).
-  std::shared_mutex& storage_mutex() { return storage_mutex_; }
+  // hold it exclusively). SharedMutex keeps the standard lock/lock_shared
+  // method names, so std::unique_lock / std::shared_lock still work.
+  SharedMutex& storage_mutex() SELTRIG_RETURN_CAPABILITY(storage_mutex_) {
+    return storage_mutex_;
+  }
+
+  // Tells the thread-safety analysis the exclusive (writer) capability is
+  // held. The seam for dynamically-established holds the analysis cannot see
+  // statically: trigger actions re-entering the engine under the writer lock
+  // taken frames above, and recovery paths that own the database exclusively
+  // before any session exists.
+  void AssertWriterHeld() const SELTRIG_ASSERT_CAPABILITY(storage_mutex_) {}
 
   // Name of the fail-open loss-accounting side table (created on demand):
   // (ts, userid, trigger_name, sql, error, attempts, quarantined).
@@ -107,7 +118,7 @@ class Database {
   std::unique_ptr<Session> default_session_;
   AuditManager audit_;
   TriggerManager triggers_;
-  mutable std::shared_mutex storage_mutex_;
+  mutable SharedMutex storage_mutex_;
   // Non-null once EnableWal succeeded. Sessions append through it while
   // holding the writer lock (see Session::WalAppendLocked).
   std::unique_ptr<WalWriter> wal_;

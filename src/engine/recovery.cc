@@ -103,6 +103,8 @@ Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
             "cannot resolve interrupted snapshot swap in " + dir);
       }
     }
+    // Best-effort: if the directory entry is not durable yet, a crash here
+    // simply re-runs this same resolution on the next recovery.
     (void)SyncDirectory(dir);
   }
 

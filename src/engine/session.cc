@@ -1,7 +1,6 @@
 #include "engine/session.h"
 
 #include <algorithm>
-#include <shared_mutex>
 #include <utility>
 
 #include "common/fault_injector.h"
@@ -12,7 +11,8 @@
 
 namespace seltrig {
 
-Session::Session(Database* db) : db_(db) {}
+Session::Session(Database* db)
+    : db_(db), engine_mutex_(&db->storage_mutex()) {}
 
 Session::~Session() = default;
 
@@ -78,7 +78,7 @@ Result<StatementResult> Session::ExecuteStatement(ast::Statement& stmt,
   }
 
   Result<StatementResult> result = [&]() -> Result<StatementResult> {
-    std::unique_lock<std::shared_mutex> write_lock(db_->storage_mutex_);
+    WriterMutexLock write_lock(engine_mutex_);
     // The whole statement — its own writes plus everything its triggers
     // cascade into — runs in one undo scope, so any failure (including a
     // failed journal append: fail closed) rolls it back completely. Memory
@@ -192,11 +192,13 @@ Result<StatementResult> Session::DispatchStatement(ast::Statement& stmt,
     case ast::StatementKind::kRaise:
       return ExecuteRaise(static_cast<const ast::RaiseStatement&>(stmt), action);
     case ast::StatementKind::kExplain: {
-      std::shared_lock<std::shared_mutex> read_lock(db_->storage_mutex_,
-                                                    std::defer_lock);
-      if (top_level) read_lock.lock();
-      return ExecuteExplain(static_cast<const ast::ExplainStatement&>(stmt), options,
-                            action);
+      const auto& explain = static_cast<const ast::ExplainStatement&>(stmt);
+      if (top_level) {
+        ReaderMutexLock read_lock(engine_mutex_);
+        return ExecuteExplain(explain, options, action);
+      }
+      // Nested EXPLAIN runs under the top-level statement's lock.
+      return ExecuteExplain(explain, options, action);
     }
   }
   return Status::Internal("unhandled statement kind");
@@ -233,7 +235,8 @@ Status Session::WalAppendLocked() {
 
 Result<PlanPtr> Session::PrepareSelectPlan(const ast::SelectStatement& stmt,
                                            const ExecOptions& options,
-                                           const ActionContext* action) {
+                                           const ActionContext* action,
+                                           PlanValidation* validation) {
   Binder binder(&db_->catalog_);
   ConfigureBinder(&binder, action);
   SELTRIG_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelect(stmt));
@@ -271,6 +274,17 @@ Result<PlanPtr> Session::PrepareSelectPlan(const ast::SelectStatement& stmt,
     popts.bloom_fp_rate = options.bloom_fp_rate;
     SELTRIG_ASSIGN_OR_RETURN(plan, InstrumentPlan(*plan, *def, popts));
     instrumented = true;
+    if (validation != nullptr) {
+      validation->expected.push_back({def->name(), def->sensitive_table()});
+    }
+  }
+  if (validation != nullptr) {
+    // kHighestNode is the ablation that deliberately places above
+    // non-commutative nodes and may drop the audit when no node exposes the
+    // partition key; the linter's placement checks only hold elsewhere.
+    const bool ablation = options.heuristic == PlacementHeuristic::kHighestNode;
+    validation->check_domination = !ablation;
+    validation->check_commutativity = !ablation;
   }
   if (instrumented && options.run_post_placement_rules) {
     SELTRIG_ASSIGN_OR_RETURN(plan,
@@ -282,7 +296,9 @@ Result<PlanPtr> Session::PrepareSelectPlan(const ast::SelectStatement& stmt,
 Result<StatementResult> Session::ExecuteExplain(const ast::ExplainStatement& stmt,
                                                 const ExecOptions& options,
                                                 const ActionContext* action) {
-  SELTRIG_ASSIGN_OR_RETURN(PlanPtr plan, PrepareSelectPlan(*stmt.select, options, action));
+  SELTRIG_ASSIGN_OR_RETURN(
+      PlanPtr plan,
+      PrepareSelectPlan(*stmt.select, options, action, /*validation=*/nullptr));
   StatementResult result;
   result.plan_text = PlanToString(*plan);
   Column col;
@@ -307,12 +323,16 @@ Result<StatementResult> Session::RunSelectQuery(const ast::SelectStatement& stmt
                                                 bool top_level,
                                                 const ActionContext* action,
                                                 AccessedStateRegistry* registry) {
-  SELTRIG_ASSIGN_OR_RETURN(PlanPtr plan, PrepareSelectPlan(stmt, options, action));
+  PlanValidation validation;
+  SELTRIG_ASSIGN_OR_RETURN(PlanPtr plan,
+                           PrepareSelectPlan(stmt, options, action, &validation));
 
   // Execute.
   ExecContext ctx(&db_->catalog_, &ctx_);
   ctx.set_batch_size(options.batch_size);
   ctx.set_collect_profile(options.collect_profile);
+  ctx.set_plan_validation(&validation, plan.get());
+  ctx.set_validate_plans(options.validate_plans);
   // Morsel parallelism is a top-level-SELECT affair: trigger actions and
   // other nested statements always run serially (docs/CONCURRENCY.md).
   ctx.set_num_threads(top_level ? options.num_threads : 1);
@@ -365,9 +385,8 @@ Result<StatementResult> Session::ExecuteSelect(const ast::SelectStatement& stmt,
   // SELECTs run under the top-level statement's lock).
   AccessedStateRegistry registry;
   Result<StatementResult> executed = [&]() -> Result<StatementResult> {
-    std::shared_lock<std::shared_mutex> read_lock(db_->storage_mutex_,
-                                                  std::defer_lock);
-    if (top_level) read_lock.lock();
+    if (!top_level) return RunSelectQuery(stmt, options, top_level, action, &registry);
+    ReaderMutexLock read_lock(engine_mutex_);
     return RunSelectQuery(stmt, options, top_level, action, &registry);
   }();
   SELTRIG_RETURN_IF_ERROR(executed.status());
@@ -383,13 +402,26 @@ Result<StatementResult> Session::ExecuteSelect(const ast::SelectStatement& stmt,
   if (!any_overflow && !fire_triggers) return result;
 
   // Write phase: loss accounting and trigger actions mutate shared state, so
-  // re-acquire the lock exclusively. The window between the phases is benign:
-  // ACCESSED is already fixed, and trigger actions observe the database state
-  // current at their own execution (same as any cascading statement).
-  std::unique_lock<std::shared_mutex> write_lock(db_->storage_mutex_,
-                                                 std::defer_lock);
-  if (top_level) write_lock.lock();
+  // re-acquire the lock exclusively (top level; a nested SELECT inherits the
+  // top-level statement's writer lock). The window between the phases is
+  // benign: ACCESSED is already fixed, and trigger actions observe the
+  // database state current at their own execution (same as any cascading
+  // statement).
+  Status phase;
+  if (top_level) {
+    WriterMutexLock write_lock(engine_mutex_);
+    phase = SelectWritePhase(registry, options, depth, top_level, fire_triggers);
+  } else {
+    AssertWriterHeld();
+    phase = SelectWritePhase(registry, options, depth, top_level, fire_triggers);
+  }
+  SELTRIG_RETURN_IF_ERROR(phase);
+  return result;
+}
 
+Status Session::SelectWritePhase(const AccessedStateRegistry& registry,
+                                 const ExecOptions& options, int depth,
+                                 bool top_level, bool fire_triggers) {
   // The write phase is the SELECT's commit unit: one undo scope, one journal
   // record, same framing as ExecuteStatement gives writer statements.
   TriggerTxnScope txn(this);
@@ -416,10 +448,13 @@ Result<StatementResult> Session::ExecuteSelect(const ast::SelectStatement& stmt,
   if (phase.ok() && top_level) phase = WalAppendLocked();
   if (!phase.ok()) {
     SELTRIG_RETURN_IF_ERROR(RollbackTriggerWrites(undo_sp, wal_sp));
+    // Best-effort: the statement is already failing with `phase`; these are
+    // surviving post-rollback records (quarantine transitions), and a second
+    // journal error must not mask the original failure.
     if (top_level && wal_buffer_.size() > wal_sp) (void)WalAppendLocked();
     return phase;
   }
-  return result;
+  return Status::OK();
 }
 
 Status Session::FireSelectTriggers(const AccessedStateRegistry& registry,
@@ -554,6 +589,9 @@ Status Session::RunTriggerGuarded(TriggerDef* trigger, const ExecOptions& option
   bool quarantined = false;
   if (fail_open && options.guards.quarantine_after > 0 &&
       failures >= options.guards.quarantine_after) {
+    // Cannot fail: `trigger` was just looked up and DROP TRIGGER is
+    // serialized behind the engine writer lock this phase holds, so the
+    // NotFound arm is unreachable here.
     (void)db_->triggers_.Quarantine(trigger->name);
     quarantined = true;
     // Quarantine is durable state: replay restores the circuit breaker so a
@@ -663,6 +701,9 @@ Status Session::CoerceRowToSchema(const Schema& schema, Row* row,
 Result<StatementResult> Session::ExecuteInsert(const ast::InsertStatement& stmt,
                                                const ExecOptions& options, int depth,
                                                const ActionContext* action) {
+  // Writer lock taken by the top-level statement's frame (ExecuteStatement or
+  // a SELECT write phase); DML never runs outside it.
+  AssertWriterHeld();
   Binder binder(&db_->catalog_);
   ConfigureBinder(&binder, action);
   SELTRIG_ASSIGN_OR_RETURN(BoundInsert bound, binder.BindInsert(stmt));
@@ -709,6 +750,7 @@ Result<StatementResult> Session::ExecuteInsert(const ast::InsertStatement& stmt,
 Result<StatementResult> Session::ExecuteUpdate(const ast::UpdateStatement& stmt,
                                                const ExecOptions& options, int depth,
                                                const ActionContext* action) {
+  AssertWriterHeld();  // see ExecuteInsert
   Binder binder(&db_->catalog_);
   ConfigureBinder(&binder, action);
   SELTRIG_ASSIGN_OR_RETURN(BoundUpdate bound, binder.BindUpdate(stmt));
@@ -769,6 +811,7 @@ Result<StatementResult> Session::ExecuteUpdate(const ast::UpdateStatement& stmt,
 Result<StatementResult> Session::ExecuteDelete(const ast::DeleteStatement& stmt,
                                                const ExecOptions& options, int depth,
                                                const ActionContext* action) {
+  AssertWriterHeld();  // see ExecuteInsert
   Binder binder(&db_->catalog_);
   ConfigureBinder(&binder, action);
   SELTRIG_ASSIGN_OR_RETURN(BoundDelete bound, binder.BindDelete(stmt));

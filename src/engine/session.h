@@ -14,6 +14,13 @@
 // trigger-action writes. Nested statements (trigger actions, IF branches)
 // never touch the lock: the top-level statement already holds it.
 //
+// The discipline is checked by Clang Thread Safety Analysis
+// (docs/STATIC_ANALYSIS.md): the session keeps a pointer to the Database''s
+// reader–writer lock (engine_mutex_) so the write-phase helpers below can be
+// annotated SELTRIG_REQUIRES against it, and the nested-statement re-entry
+// points — where the lock was taken frames above, invisibly to the static
+// analysis — re-establish the capability with AssertWriterHeld().
+//
 // Statement pipeline for SELECT (mirroring Section IV):
 //   parse -> bind -> logical optimization -> audit-operator placement ->
 //   post-placement rule pass -> execute -> fire SELECT triggers.
@@ -30,10 +37,13 @@
 #include "audit/placement.h"
 #include "audit/trigger.h"
 #include "binder/binder.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "plan/logical_plan.h"
+#include "plan/plan_validator.h"
 #include "sql/ast.h"
 #include "storage/undo_log.h"
 #include "storage/wal.h"
@@ -114,6 +124,10 @@ struct ExecOptions {
   // Sample per-operator runtime counters and return an EXPLAIN-ANALYZE-style
   // annotated tree in StatementResult::profile_text (shell: `.profile on`).
   bool collect_profile = false;
+  // Run the plan-invariant linter (plan/plan_validator.h) over every built
+  // physical plan in release builds too; debug builds always validate. A
+  // violated invariant fails the statement with kInternal (fail-closed).
+  bool validate_plans = false;
 };
 
 struct StatementResult {
@@ -179,10 +193,13 @@ class Session {
   // every top-level statement, with no engine lock held.
   Result<StatementResult> FinishTopLevel(Result<StatementResult> result);
   // Binds, optimizes and (when applicable) instruments a SELECT -- the
-  // Section IV pipeline up to execution.
+  // Section IV pipeline up to execution. When `validation` is non-null it is
+  // filled with the placement promises of the returned plan for the
+  // plan-invariant linter (EXPLAIN passes null: nothing executes).
   Result<PlanPtr> PrepareSelectPlan(const ast::SelectStatement& stmt,
                                     const ExecOptions& options,
-                                    const ActionContext* action);
+                                    const ActionContext* action,
+                                    PlanValidation* validation);
   Result<StatementResult> ExecuteSelect(const ast::SelectStatement& stmt,
                                         const ExecOptions& options, int depth,
                                         const ActionContext* action);
@@ -192,6 +209,13 @@ class Session {
                                          const ExecOptions& options, bool top_level,
                                          const ActionContext* action,
                                          AccessedStateRegistry* registry);
+  // The SELECT write phase: loss accounting, SELECT-trigger firing, and the
+  // statement's journal record, in one undo scope. ExecuteSelect acquires the
+  // writer lock around it for top-level statements; nested SELECTs inherit
+  // the top-level statement's hold.
+  Status SelectWritePhase(const AccessedStateRegistry& registry,
+                          const ExecOptions& options, int depth, bool top_level,
+                          bool fire_triggers) SELTRIG_REQUIRES(engine_mutex_);
   Result<StatementResult> ExecuteExplain(const ast::ExplainStatement& stmt,
                                          const ExecOptions& options,
                                          const ActionContext* action);
@@ -221,34 +245,39 @@ class Session {
   // triggers; otherwise the ordinary AFTER triggers).
   Status FireSelectTriggers(const AccessedStateRegistry& registry,
                             const ExecOptions& options, int depth,
-                            bool before_phase);
+                            bool before_phase) SELTRIG_REQUIRES(engine_mutex_);
   Status FireDmlTriggers(const std::string& table, ast::DmlEvent event,
                          const std::vector<Row>& old_rows,
                          const std::vector<Row>& new_rows, const ExecOptions& options,
-                         int depth);
+                         int depth) SELTRIG_REQUIRES(engine_mutex_);
 
   // Runs one trigger's action list inside an undo-logged scope: on any
   // failure the scope's writes are rolled back, then the failure policy
   // decides between abort (fail-closed / BEFORE phase), bounded retry, and
   // loss accounting + quarantine (fail-open).
   Status RunTriggerGuarded(TriggerDef* trigger, const ExecOptions& options, int depth,
-                           const ActionContext* action);
+                           const ActionContext* action)
+      SELTRIG_REQUIRES(engine_mutex_);
   // The action list itself (one undo savepoint's worth of work).
   Status RunTriggerActions(TriggerDef* trigger, const ExecOptions& options, int depth,
-                           const ActionContext* action);
+                           const ActionContext* action)
+      SELTRIG_REQUIRES(engine_mutex_);
   // Undoes trigger writes back to `savepoint` and rebuilds the sensitive-ID
   // views of audit expressions over the touched tables. Journal parity:
   // physical ops buffered past `wal_savepoint` are dropped with their undone
   // rows, except ops the rollback cannot undo in memory either (loss-table
   // rows, DDL, quarantine transitions), which stay buffered.
-  Status RollbackTriggerWrites(size_t savepoint, size_t wal_savepoint);
+  Status RollbackTriggerWrites(size_t savepoint, size_t wal_savepoint)
+      SELTRIG_REQUIRES(engine_mutex_);
   // Appends a row to seltrig_audit_errors (durable: bypasses the undo scope
   // and fault injection). Best-effort by design.
   void RecordAuditError(const std::string& trigger_name, const Status& error,
-                        int attempts, bool quarantined);
+                        int attempts, bool quarantined)
+      SELTRIG_REQUIRES(engine_mutex_);
   // Records ACCESSED-cap truncations (AccessedOverflowPolicy::kTruncate) for
   // every overflowed state in `registry`.
-  void RecordAccessedOverflows(const AccessedStateRegistry& registry);
+  void RecordAccessedOverflows(const AccessedStateRegistry& registry)
+      SELTRIG_REQUIRES(engine_mutex_);
 
   Status CoerceRowToSchema(const Schema& schema, Row* row, const std::string& what) const;
 
@@ -268,7 +297,13 @@ class Session {
   // reproduces. On success the buffer is cleared and wal_pending_commit_
   // holds the sequence FinishTopLevel must wait on; on failure the buffer is
   // left intact (rollback then filters it).
-  Status WalAppendLocked();
+  Status WalAppendLocked() SELTRIG_REQUIRES(engine_mutex_);
+
+  // Tells the analysis the engine's exclusive writer lock is held. The seam
+  // for dynamically-established holds it cannot see statically: nested
+  // statements (trigger actions, IF branches, nested SELECT write phases)
+  // run under the lock taken by the top-level statement frames above.
+  void AssertWriterHeld() const SELTRIG_ASSERT_CAPABILITY(engine_mutex_) {}
 
   // RAII scope that attaches this session's trigger undo log to every table
   // while any guarded trigger run is active (scopes nest via savepoints).
@@ -284,6 +319,9 @@ class Session {
   };
 
   Database* db_;
+  // The Database's storage_mutex(), cached so lock annotations in this header
+  // can name the capability (Database is only forward-declared here).
+  SharedMutex* const engine_mutex_;
   SessionContext ctx_;
   std::vector<std::string> notifications_;
   UndoLog trigger_undo_;

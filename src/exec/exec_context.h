@@ -21,6 +21,7 @@ class Catalog;
 class Expr;
 class LogicalOperator;
 class AccessedStateRegistry;  // audit/accessed_state.h
+struct PlanValidation;        // plan/plan_validator.h
 
 // Who is running the statement, what the statement text is, and what "now"
 // is. The clock is injectable so tests and examples get deterministic logs.
@@ -117,6 +118,24 @@ class ExecContext {
   int num_threads() const { return num_threads_; }
   void set_num_threads(int n) { num_threads_ = n < 1 ? 1 : n; }
 
+  // --- Plan validation ------------------------------------------------------
+  // Placement expectations for the statement's top-level plan and the plan
+  // node they describe (plan/plan_validator.h). Subquery plans executed
+  // through this context get only the validator's universal checks. Owned by
+  // the caller (Session::RunSelectQuery); may be null.
+  const PlanValidation* plan_validation() const { return plan_validation_; }
+  const LogicalOperator* validation_root() const { return validation_root_; }
+  void set_plan_validation(const PlanValidation* validation,
+                           const LogicalOperator* root) {
+    plan_validation_ = validation;
+    validation_root_ = root;
+  }
+
+  // Run the plan validator in release builds too (ExecOptions::validate_plans;
+  // debug builds always validate).
+  bool validate_plans() const { return validate_plans_; }
+  void set_validate_plans(bool on) { validate_plans_ = on; }
+
   // --- Profiling ------------------------------------------------------------
   // When enabled, operators sample wall-clock time per Init/NextBatch and the
   // executor appends an annotated operator tree to profile_text() after each
@@ -135,6 +154,9 @@ class ExecContext {
   ExecStats stats_;
   size_t batch_size_ = 1024;
   int num_threads_ = 1;
+  const PlanValidation* plan_validation_ = nullptr;
+  const LogicalOperator* validation_root_ = nullptr;
+  bool validate_plans_ = false;
   bool collect_profile_ = false;
   std::string profile_text_;
 };

@@ -8,6 +8,7 @@
 #include "common/fault_injector.h"
 #include "exec/gather.h"
 #include "expr/analysis.h"
+#include "plan/plan_validator.h"
 
 namespace seltrig {
 
@@ -132,8 +133,9 @@ Result<OperatorPtr> Executor::BuildNode(const LogicalOperator& node,
       if (scan != nullptr) {
         Result<Table*> table = ctx_->catalog()->GetTable(scan->table_name);
         if (table.ok()) {
-          return OperatorPtr(
-              std::make_unique<PhysicalGatherOp>(ctx_, node, *scan, *table));
+          auto gather = std::make_unique<PhysicalGatherOp>(ctx_, node, *scan, *table);
+          gather->set_logical_node(&node);
+          return OperatorPtr(std::move(gather));
         }
       }
     }
@@ -244,10 +246,27 @@ Result<OperatorPtr> Executor::BuildNode(const LogicalOperator& node,
     }
   }
   if (op == nullptr) return Status::Internal("unknown plan node kind");
+  op->set_logical_node(&node);
   if (spine_cap != 0 && spine_cap < op->batch_capacity()) {
     op->set_batch_capacity(spine_cap);
   }
   return op;
+}
+
+Status Executor::MaybeValidatePlan(const PhysicalOperator& root,
+                                   const LogicalOperator& plan, int64_t max_rows,
+                                   const std::vector<const Row*>& outer_rows) {
+#ifdef NDEBUG
+  if (!ctx_->validate_plans()) return Status::OK();
+#endif
+  PlanExecutionInfo info;
+  info.max_rows = max_rows;
+  info.correlated = !outer_rows.empty();
+  AccessedStateRegistry* registry = ctx_->accessed();
+  info.accessed_capacity = registry == nullptr ? 0 : registry->capacity();
+  const PlanValidation* validation =
+      ctx_->validation_root() == &plan ? ctx_->plan_validation() : nullptr;
+  return ValidatePhysicalPlan(root, validation, info);
 }
 
 Result<std::vector<Row>> Executor::ExecutePlan(
@@ -256,6 +275,8 @@ Result<std::vector<Row>> Executor::ExecutePlan(
   // the offline auditor), so the flow through every operator is independent
   // of batch size — no exact-mode pinning needed.
   SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(plan, outer_rows, 0));
+  SELTRIG_RETURN_IF_ERROR(
+      MaybeValidatePlan(*root, plan, /*max_rows=*/-1, outer_rows));
   SELTRIG_RETURN_IF_ERROR(root->Init());
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
   std::vector<Row> rows;
@@ -286,6 +307,7 @@ Result<QueryResult> Executor::ExecuteQuery(const LogicalOperator& plan,
                     : std::max<size_t>(1, static_cast<size_t>(max_rows));
   }
   SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(plan, {}, spine_cap));
+  SELTRIG_RETURN_IF_ERROR(MaybeValidatePlan(*root, plan, max_rows, {}));
   SELTRIG_RETURN_IF_ERROR(root->Init());
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
 

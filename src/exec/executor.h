@@ -57,6 +57,14 @@ class Executor {
                                 const std::vector<const Row*>& outer_rows,
                                 size_t spine_cap);
 
+  // Runs the plan-invariant linter (plan/plan_validator.h) over the built
+  // tree: always in debug builds, behind ExecContext::validate_plans() in
+  // release. Placement checks apply when `plan` is the context's validation
+  // root; other plans (subqueries) get the universal checks only.
+  Status MaybeValidatePlan(const PhysicalOperator& root,
+                           const LogicalOperator& plan, int64_t max_rows,
+                           const std::vector<const Row*>& outer_rows);
+
   ExecContext* ctx_;
 };
 

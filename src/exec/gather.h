@@ -45,6 +45,10 @@ class PhysicalGatherOp : public PhysicalOperator {
   // worker pipelines are torn down before the profile tree is rendered.
   void AppendProfileLines(int indent, std::string* out) const override;
 
+  // The logical spine this gather replaces. The plan validator walks it in
+  // place of physical children (worker pipelines are private to InitImpl).
+  const LogicalOperator& spine() const { return spine_; }
+
  protected:
   Status InitImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;

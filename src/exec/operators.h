@@ -75,6 +75,13 @@ class PhysicalOperator {
     return profile_children_;
   }
 
+  // The logical node this operator was lowered from (for PhysicalGatherOp:
+  // the root of its logical spine). Set by Executor::BuildNode on every
+  // operator it constructs; the plan validator (plan/plan_validator.h) walks
+  // the physical tree through it and fails closed when it is missing.
+  const LogicalOperator* logical_node() const { return logical_node_; }
+  void set_logical_node(const LogicalOperator* node) { logical_node_ = node; }
+
   // Extra profile-tree lines this operator contributes below its own line
   // (before its children). PhysicalGatherOp reports the per-worker spine
   // operators here — summed across workers — since worker pipelines are torn
@@ -102,6 +109,7 @@ class PhysicalOperator {
   ExecContext* ctx_;
   std::vector<const Row*> outer_rows_;
   size_t batch_capacity_;
+  const LogicalOperator* logical_node_ = nullptr;
   OperatorProfile profile_;
   // Child operators, registered by subclass constructors for profile trees.
   std::vector<const PhysicalOperator*> profile_children_;

@@ -157,7 +157,7 @@ size_t Table::ScanBatchRange(size_t* cursor, size_t end_slot, size_t max_rows,
 }
 
 const std::vector<size_t>& Table::LookupBySecondary(int column, const Value& key) {
-  std::lock_guard<std::mutex> lock(secondary_mutex_);
+  MutexLock lock(&secondary_mutex_);
   EnsureSecondaryIndex(column);
   const SecondaryIndex& idx = secondary_indexes_[column];
   auto it = idx.map.find(key);

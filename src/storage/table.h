@@ -6,12 +6,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -80,7 +81,8 @@ class Table {
   // and rebuilt on demand. Safe to call from concurrent reader sessions: the
   // lazy build is serialized; the returned reference stays valid until the
   // next write (writes exclude readers).
-  const std::vector<size_t>& LookupBySecondary(int column, const Value& key);
+  const std::vector<size_t>& LookupBySecondary(int column, const Value& key)
+      SELTRIG_EXCLUDES(secondary_mutex_);
 
   // Drops all rows (used by tests and dbgen reloads).
   void Clear();
@@ -103,7 +105,7 @@ class Table {
     std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq> map;
   };
 
-  void EnsureSecondaryIndex(int column);
+  void EnsureSecondaryIndex(int column) SELTRIG_REQUIRES(secondary_mutex_);
 
   std::string name_;
   Schema schema_;
@@ -116,8 +118,9 @@ class Table {
 
   std::unordered_map<Value, size_t, ValueHash, ValueEq> pk_index_;
   // Serializes lazy secondary-index builds between concurrent readers.
-  mutable std::mutex secondary_mutex_;
-  std::unordered_map<int, SecondaryIndex> secondary_indexes_;
+  mutable Mutex secondary_mutex_;
+  std::unordered_map<int, SecondaryIndex> secondary_indexes_
+      SELTRIG_GUARDED_BY(secondary_mutex_);
   std::vector<size_t> empty_result_;
   UndoLog* undo_ = nullptr;
 };

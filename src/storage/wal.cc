@@ -390,14 +390,18 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& wal_dir) {
 
   auto writer = std::unique_ptr<WalWriter>(new WalWriter());
   writer->wal_dir_ = wal_dir;
-  std::unique_lock<std::mutex> lock(writer->mutex_);
-  SELTRIG_RETURN_IF_ERROR(writer->OpenSegmentLocked(next_seq));
-  lock.unlock();
+  {
+    MutexLock lock(&writer->mutex_);
+    SELTRIG_RETURN_IF_ERROR(writer->OpenSegmentLocked(next_seq));
+  }
   return writer;
 }
 
 WalWriter::~WalWriter() {
   // Best-effort flush of a kBatch/kOff tail; errors are unreportable here.
+  // Locked for the analysis' benefit and for safety against a committer
+  // still draining WaitDurable on another thread at teardown.
+  MutexLock lock(&mutex_);
   if (file_.is_open() && durable_ < appended_) (void)file_.Sync();
 }
 
@@ -421,7 +425,7 @@ Status WalWriter::Append(const std::vector<WalOp>& ops, uint64_t* commit_seq) {
   if (ops.empty()) return Status::OK();
   std::string record = EncodeRecord(ops);
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (poisoned_) {
     return Status::ExecutionError(
         "journal segment " + WalSegmentFileName(seq_) +
@@ -460,15 +464,15 @@ Status WalWriter::WaitDurable(uint64_t commit_seq) {
   if (commit_seq == 0) return Status::OK();
   const WalSyncMode mode = sync_mode_.load();
   if (mode == WalSyncMode::kOff) return Status::OK();
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (mode == WalSyncMode::kBatch) {
     // The batch-threshold fsync runs here, after the committer released the
     // engine's storage writer lock — never inside Append, where it would
     // stall every other session for the duration of the fsync.
     if (unsynced_ < kBatchSyncEvery) return Status::OK();
-    return SyncUpToLocked(lock, appended_);
+    return SyncUpToLocked(appended_);
   }
-  return SyncUpToLocked(lock, commit_seq);
+  return SyncUpToLocked(commit_seq);
 }
 
 Status WalWriter::Commit(const std::vector<WalOp>& ops) {
@@ -478,28 +482,33 @@ Status WalWriter::Commit(const std::vector<WalOp>& ops) {
 }
 
 Status WalWriter::Sync() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return SyncUpToLocked(lock, appended_);
+  MutexLock lock(&mutex_);
+  return SyncUpToLocked(appended_);
 }
 
-Status WalWriter::SyncUpToLocked(std::unique_lock<std::mutex>& lock,
-                                 uint64_t target) {
+Status WalWriter::SyncUpToLocked(uint64_t target) {
   while (durable_ < target) {
     if (sync_in_flight_) {
       // Another committer's fsync is running; it covers every append made
       // before it started. Wait and re-check (it may not cover `target`).
-      durable_cv_.wait(lock);
+      durable_cv_.wait(mutex_);
       continue;
     }
     sync_in_flight_ = true;
     uint64_t covers = appended_;
     Status fault = fault::Maybe("wal.fsync");
-    Status synced = fault.ok() ? [&] {
-      lock.unlock();
-      Status s = file_.Sync();
-      lock.lock();
-      return s;
-    }() : fault;
+    Status synced = fault;
+    if (fault.ok()) {
+      // Drop the mutex for the fsync syscall so concurrent appends are never
+      // stalled behind it. file_ stays stable while unlocked: sync_in_flight_
+      // makes this thread the sole fsync leader, and Rotate drains leaders
+      // before swapping the segment file. The alias keeps the access visible
+      // as intentional to the thread-safety analysis.
+      AppendFile& file = file_;
+      mutex_.unlock();
+      synced = file.Sync();
+      mutex_.lock();
+    }
     sync_in_flight_ = false;
     if (!synced.ok()) {
       durable_cv_.notify_all();
@@ -513,15 +522,15 @@ Status WalWriter::SyncUpToLocked(std::unique_lock<std::mutex>& lock,
 }
 
 Status WalWriter::Rotate(uint64_t* new_seq) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("wal.rotate"));
   // Everything in the finished segment must be durable before the checkpoint
   // that follows the rotation can claim to cover it.
-  SELTRIG_RETURN_IF_ERROR(SyncUpToLocked(lock, appended_));
+  SELTRIG_RETURN_IF_ERROR(SyncUpToLocked(appended_));
   // A concurrent WaitDurable may still be inside fsync on the old segment's
   // descriptor (it releases the mutex for the syscall); swapping file_ out
   // from under it would race. Drain it before rotating.
-  while (sync_in_flight_) durable_cv_.wait(lock);
+  while (sync_in_flight_) durable_cv_.wait(mutex_);
   SELTRIG_RETURN_IF_ERROR(OpenSegmentLocked(seq_ + 1));
   *new_seq = seq_;
   return Status::OK();
@@ -535,6 +544,9 @@ Status WalWriter::DeleteSegmentsBelow(uint64_t seq) {
     if (segment.seq >= seq) continue;
     std::filesystem::remove(segment.path, ec);
   }
+  // Best-effort: segment deletion runs after a checkpoint fully succeeded; if
+  // the directory update is lost to a crash, recovery skips the stale
+  // segments (their seq is below the checkpoint) and re-deletes them.
   (void)SyncDirectory(wal_dir_);
   return Status::OK();
 }

@@ -37,12 +37,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/file_util.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "types/value.h"
 
 namespace seltrig {
@@ -126,7 +127,8 @@ class WalWriter {
   // assigning this commit's position in *commit_seq (for WaitDurable). The
   // caller must hold the engine's storage writer lock so journal order equals
   // memory commit order. Empty `ops` is a no-op that reports *commit_seq = 0.
-  Status Append(const std::vector<WalOp>& ops, uint64_t* commit_seq);
+  Status Append(const std::vector<WalOp>& ops, uint64_t* commit_seq)
+      SELTRIG_EXCLUDES(mutex_);
 
   // Blocks until commit `commit_seq` is on stable storage (kCommit), fsyncs
   // the whole backlog when the batch threshold is reached (kBatch), or
@@ -134,24 +136,27 @@ class WalWriter {
   // after releasing the storage writer lock: concurrent committers' waits
   // collapse into one fsync, and a batch-threshold fsync never stalls other
   // sessions' appends.
-  Status WaitDurable(uint64_t commit_seq);
+  Status WaitDurable(uint64_t commit_seq) SELTRIG_EXCLUDES(mutex_);
 
   // Append + WaitDurable, for callers without the split locking need.
-  Status Commit(const std::vector<WalOp>& ops);
+  Status Commit(const std::vector<WalOp>& ops) SELTRIG_EXCLUDES(mutex_);
 
   // Forces everything appended so far onto stable storage (any sync mode).
-  Status Sync();
+  Status Sync() SELTRIG_EXCLUDES(mutex_);
 
   // Finishes the current segment and starts a new one; *new_seq receives the
   // new segment's sequence. Used by CHECKPOINT so the snapshot can record
   // "replay from segment new_seq".
-  Status Rotate(uint64_t* new_seq);
+  Status Rotate(uint64_t* new_seq) SELTRIG_EXCLUDES(mutex_);
 
   // Removes segments with sequence < `seq` (the checkpoint already covers
   // them). Best-effort.
   Status DeleteSegmentsBelow(uint64_t seq);
 
-  uint64_t current_seq() const { return seq_; }
+  uint64_t current_seq() const SELTRIG_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return seq_;
+  }
   const std::string& wal_dir() const { return wal_dir_; }
 
   void set_sync_mode(WalSyncMode mode) { sync_mode_ = mode; }
@@ -160,27 +165,37 @@ class WalWriter {
  private:
   WalWriter() = default;
 
-  Status OpenSegmentLocked(uint64_t seq);
+  Status OpenSegmentLocked(uint64_t seq) SELTRIG_REQUIRES(mutex_);
   // Waits until `target` commits are durable, fsyncing as the group leader
-  // when no other committer is already in fsync.
-  Status SyncUpToLocked(std::unique_lock<std::mutex>& lock, uint64_t target);
+  // when no other committer is already in fsync. Drops mutex_ around the
+  // fsync syscall itself (the sync_in_flight_ handoff keeps file_ stable
+  // while unlocked); holds it on entry and exit.
+  Status SyncUpToLocked(uint64_t target) SELTRIG_REQUIRES(mutex_);
 
   std::string wal_dir_;
   std::atomic<WalSyncMode> sync_mode_{WalSyncMode::kCommit};
 
-  std::mutex mutex_;  // guards file_, seq_, counters, poisoned_
-  std::condition_variable durable_cv_;
-  AppendFile file_;
-  uint64_t seq_ = 0;            // current segment sequence
-  uint64_t segment_bytes_ = 0;  // bytes written to the current segment
-  uint64_t appended_ = 0;       // commits appended (commit_seq of the latest)
-  uint64_t durable_ = 0;        // commits known durable
-  uint64_t unsynced_ = 0;       // commits since the last fsync (kBatch)
-  bool sync_in_flight_ = false;
+  // Guards the segment file and the group-commit counters. mutable so
+  // const readers (current_seq) can take it.
+  mutable Mutex mutex_;
+  // Waited on with mutex_ held (condition_variable_any over the annotated
+  // Mutex; see common/mutex.h).
+  std::condition_variable_any durable_cv_;
+  AppendFile file_ SELTRIG_GUARDED_BY(mutex_);
+  uint64_t seq_ SELTRIG_GUARDED_BY(mutex_) = 0;  // current segment sequence
+  // Bytes written to the current segment.
+  uint64_t segment_bytes_ SELTRIG_GUARDED_BY(mutex_) = 0;
+  // Commits appended (commit_seq of the latest).
+  uint64_t appended_ SELTRIG_GUARDED_BY(mutex_) = 0;
+  // Commits known durable.
+  uint64_t durable_ SELTRIG_GUARDED_BY(mutex_) = 0;
+  // Commits since the last fsync (kBatch).
+  uint64_t unsynced_ SELTRIG_GUARDED_BY(mutex_) = 0;
+  bool sync_in_flight_ SELTRIG_GUARDED_BY(mutex_) = false;
   // Set when a failed append could not be rolled back with truncate: the
   // segment tail is unreliable, so further appends must fail rather than
   // write records recovery would silently drop.
-  bool poisoned_ = false;
+  bool poisoned_ SELTRIG_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace seltrig

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "storage/wal.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -392,6 +393,46 @@ TEST(DurableConcurrencyTest, CheckpointRacesActiveSessions) {
     EXPECT_EQ(row[1].AsInt(), kRowsPerWriter);
   }
   recovered->reset();
+  std::filesystem::remove_all(dir);
+}
+
+// Regression for a race the thread-safety annotation pass surfaced
+// (docs/STATIC_ANALYSIS.md): WalWriter::current_seq() used to read seq_
+// without the mutex, racing Rotate's segment swap. Readers poll the sequence
+// while a committer appends and the main thread rotates; under the tsan
+// preset the original unlocked read is reported as a data race.
+TEST(DurableConcurrencyTest, CurrentSeqRacesRotateAndCommit) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("seltrig_walrace_" + std::to_string(::getpid()))).string();
+  std::filesystem::remove_all(dir);
+  Result<std::unique_ptr<WalWriter>> opened = WalWriter::Open(dir + "/wal");
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<WalWriter> writer = std::move(*opened);
+  writer->set_sync_mode(WalSyncMode::kBatch);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop.load()) {
+      uint64_t seq = writer->current_seq();
+      EXPECT_GE(seq, last);  // segment sequences only move forward
+      last = seq;
+    }
+  });
+  std::thread committer([&] {
+    while (!stop.load()) {
+      if (!writer->Commit({WalOp::Statement("NOTIFY 'race'")}).ok()) break;
+    }
+  });
+  for (int i = 0; i < 16; ++i) {
+    uint64_t new_seq = 0;
+    ASSERT_TRUE(writer->Rotate(&new_seq).ok());
+  }
+  stop.store(true);
+  committer.join();
+  reader.join();
+  writer.reset();
   std::filesystem::remove_all(dir);
 }
 

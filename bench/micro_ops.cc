@@ -6,6 +6,8 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "audit/placement.h"
 #include "engine/database.h"
@@ -319,4 +321,30 @@ BENCHMARK(BM_SelectTriggerFiring);
 }  // namespace
 }  // namespace seltrig
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaulting --benchmark_out to
+// BENCH_micro_ops.json at the repository root (JSON format) so CI and local
+// runs leave a machine-readable result behind without remembering the flags.
+// Any explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag, format_flag;
+  if (!has_out) {
+    out_flag =
+        std::string("--benchmark_out=") + SELTRIG_REPO_ROOT "/BENCH_micro_ops.json";
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Replication lag/latency benchmark (docs/REPLICATION.md): one in-process
+// primary -> follower pair, measuring
+//
+//   - commit latency without replication (the local durability floor),
+//   - commit latency with an async follower attached (should track the
+//     floor: shipping is off the commit path),
+//   - commit latency in sync-ack mode (floor + ship + follower fsync +
+//     apply + ack round trip),
+//   - async catch-up lag: how long the follower needs to drain the journal
+//     once the workload stops.
+//
+// Writes BENCH_replication.json at the repository root (plain JSON, no
+// google-benchmark dependency: latencies here come from explicit clocks
+// around whole statements, not a tight loop) and prints the same numbers to
+// stdout.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "replication/applier.h"
+#include "replication/shipper.h"
+#include "replication/transport.h"
+
+namespace seltrig {
+namespace {
+
+constexpr int kCommits = 200;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(
+      values.size() - 1, static_cast<size_t>(p * (values.size() - 1) + 0.5));
+  return values[index];
+}
+
+struct RunResult {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double catchup_ms = 0.0;  // async drain after the last commit; 0 otherwise
+};
+
+ShipperOptions BenchOptions(ReplicationAckMode mode) {
+  ShipperOptions options;
+  options.ack_mode = mode;
+  options.heartbeat_interval_ms = 10;
+  options.ack_timeout_ms = 10000;  // never degrade mid-measurement
+  options.initial_backoff_ms = 1;
+  options.max_backoff_ms = 20;
+  options.poll_interval_ms = 1;
+  return options;
+}
+
+// Runs kCommits single-row inserts on a fresh journaled primary, optionally
+// replicated to a fresh follower. `mode` < 0 means no replication at all.
+Result<RunResult> Run(const std::string& base, int mode) {
+  const std::string primary_dir = base + "_p";
+  const std::string follower_dir = base + "_f";
+  std::filesystem::remove_all(primary_dir);
+  std::filesystem::remove_all(follower_dir);
+
+  auto opened = Database::Recover(primary_dir);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<Database> db = std::move(*opened);
+  Status schema = db->ExecuteScript(
+      "CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, "
+      "diagnosis VARCHAR);");
+  if (!schema.ok()) return schema;
+
+  std::unique_ptr<ReplicaApplier> applier;
+  std::unique_ptr<LogShipper> shipper;
+  if (mode >= 0) {
+    auto follower = ReplicaApplier::Open(follower_dir);
+    if (!follower.ok()) return follower.status();
+    applier = std::move(*follower);
+    shipper = std::make_unique<LogShipper>(
+        db.get(), BenchOptions(static_cast<ReplicationAckMode>(mode)));
+    ReplicaApplier* raw = applier.get();
+    shipper->AddFollower("f0",
+                         [raw]() -> Result<std::shared_ptr<FrameChannel>> {
+                           raw->Stop();
+                           ChannelPair pair = CreateInProcessChannelPair();
+                           raw->Start(pair.follower_end);
+                           return pair.primary_end;
+                         });
+  }
+
+  RunResult result;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(kCommits);
+  for (int i = 0; i < kCommits; ++i) {
+    const std::string sql = "INSERT INTO patients VALUES (" +
+                            std::to_string(i) + ", 'P', 'bench')";
+    const auto start = std::chrono::steady_clock::now();
+    auto r = db->Execute(sql);
+    const auto end = std::chrono::steady_clock::now();
+    if (!r.ok()) return r.status();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  result.p50_us = Percentile(latencies_us, 0.50);
+  result.p95_us = Percentile(latencies_us, 0.95);
+
+  if (shipper != nullptr) {
+    const auto drain_start = std::chrono::steady_clock::now();
+    const auto deadline = drain_start + std::chrono::seconds(60);
+    while (!shipper->AllCaughtUp() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    result.catchup_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - drain_start)
+                            .count();
+    shipper->Stop();
+    applier->Stop();
+  }
+  std::filesystem::remove_all(primary_dir);
+  std::filesystem::remove_all(follower_dir);
+  return result;
+}
+
+int Main() {
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "seltrig_repl_bench").string();
+
+  struct Case {
+    const char* name;
+    int mode;  // -1 = no replication
+  };
+  const Case cases[] = {
+      {"local_only", -1},
+      {"async_follower", static_cast<int>(ReplicationAckMode::kAsync)},
+      {"sync_follower", static_cast<int>(ReplicationAckMode::kSync)},
+  };
+
+  std::string json = "{\n  \"benchmark\": \"replication_lag\",\n";
+  json += "  \"commits\": " + std::to_string(kCommits) + ",\n  \"cases\": [\n";
+  bool first = true;
+  for (const Case& c : cases) {
+    Result<RunResult> r = Run(base + "_" + c.name, c.mode);
+    if (!r.ok()) {
+      std::fprintf(stderr, "replication_lag: %s failed: %s\n", c.name,
+                   r.status().message().c_str());
+      return 1;
+    }
+    std::printf(
+        "%-16s commit p50 %8.1f us   p95 %8.1f us   catch-up %8.2f ms\n",
+        c.name, r->p50_us, r->p95_us, r->catchup_ms);
+    if (!first) json += ",\n";
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"commit_p50_us\": %.1f, "
+                  "\"commit_p95_us\": %.1f, \"catchup_ms\": %.2f}",
+                  c.name, r->p50_us, r->p95_us, r->catchup_ms);
+    json += buf;
+  }
+  json += "\n  ]\n}\n";
+
+  const std::string out_path =
+      std::string(SELTRIG_REPO_ROOT) + "/BENCH_replication.json";
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "replication_lag: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace seltrig
+
+int main() { return seltrig::Main(); }

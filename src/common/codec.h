@@ -1,0 +1,71 @@
+// Little-endian wire primitives shared by the journal (storage/wal.cc) and
+// the replication wire protocol (replication/wire.cc). Integers are encoded
+// little-endian; strings are u32-length-prefixed bytes. Every Get* helper
+// bounds-checks against the buffer and fails (returns false) instead of
+// reading past the end, so torn or corrupt inputs degrade to a decode error,
+// never to undefined behavior.
+
+#ifndef SELTRIG_COMMON_CODEC_H_
+#define SELTRIG_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace seltrig {
+namespace codec {
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+inline bool GetU32(std::string_view data, size_t* offset, uint32_t* v) {
+  if (*offset + 4 > data.size()) return false;
+  uint32_t result = 0;
+  for (int i = 0; i < 4; ++i) {
+    result |= static_cast<uint32_t>(static_cast<unsigned char>(data[*offset + i]))
+              << (8 * i);
+  }
+  *offset += 4;
+  *v = result;
+  return true;
+}
+
+inline bool GetU64(std::string_view data, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > data.size()) return false;
+  uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<uint64_t>(static_cast<unsigned char>(data[*offset + i]))
+              << (8 * i);
+  }
+  *offset += 8;
+  *v = result;
+  return true;
+}
+
+inline bool GetString(std::string_view data, size_t* offset, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(data, offset, &len)) return false;
+  if (len > data.size() - *offset) return false;
+  s->assign(data.data() + *offset, len);
+  *offset += len;
+  return true;
+}
+
+}  // namespace codec
+}  // namespace seltrig
+
+#endif  // SELTRIG_COMMON_CODEC_H_

@@ -1,7 +1,9 @@
 #include "common/fault_injector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 namespace seltrig {
 
@@ -17,6 +19,15 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       "audit.maintain",   // audit/audit_expression.cc: incremental view upkeep
       "audit.record",     // audit/audit_log.cc: access-log row append
       "executor.batch",   // exec/executor.cc: batch pull loop
+      "replication.ack",        // replication/applier.cc: before sending an ack
+      "replication.apply",      // replication/applier.cc: before applying a commit
+      "replication.delay",      // replication/transport.cc: stall a frame delivery
+      "replication.drop",       // replication/transport.cc: drop a frame
+      "replication.duplicate",  // replication/transport.cc: deliver a frame twice
+      "replication.recv",       // replication/transport.cc: receive-side failure
+      "replication.reorder",    // replication/transport.cc: swap a frame with its successor
+      "replication.send",       // replication/shipper.cc: before shipping a record
+      "replication.torn",       // replication/transport.cc: truncate a frame mid-transfer
       "snapshot.swap",    // engine/snapshot.cc: rename windows of the swap
       "snapshot.write",   // engine/snapshot.cc: per-file snapshot writes
       "storage.append",   // storage/table.cc: Insert
@@ -104,29 +115,52 @@ std::vector<FaultInjector::PointCoverage> FaultInjector::Coverage() const {
 
 Status FaultInjector::Check(const char* point) {
   if (suspend_depth_.load(std::memory_order_relaxed) > 0) return Status::OK();
-  MutexLock lock(&mutex_);
-  PointState& state = points_[point];
-  ++state.hits;
-  ++lifetime_[point].hits;
-  if (!state.schedule.has_value()) return Status::OK();
-  const Schedule& sched = *state.schedule;
-  ++state.armed_hits;
-  if (sched.times != 0 && state.fires >= sched.times) return Status::OK();
-  bool fire = state.armed_hits == sched.nth ||
-              (sched.every > 0 && state.armed_hits > sched.nth &&
-               (state.armed_hits - sched.nth) % sched.every == 0);
-  if (!fire) return Status::OK();
-  ++state.fires;
-  ++lifetime_[point].fires;
-  if (sched.action == FaultAction::kCrash) {
+  bool crash = false;
+  uint64_t delay_ms = 0;
+  Status injected = Status::OK();
+  {
+    MutexLock lock(&mutex_);
+    PointState& state = points_[point];
+    ++state.hits;
+    ++lifetime_[point].hits;
+    if (!state.schedule.has_value()) return Status::OK();
+    const Schedule& sched = *state.schedule;
+    ++state.armed_hits;
+    if (sched.times != 0 && state.fires >= sched.times) return Status::OK();
+    bool fire = state.armed_hits == sched.nth ||
+                (sched.every > 0 && state.armed_hits > sched.nth &&
+                 (state.armed_hits - sched.nth) % sched.every == 0);
+    if (!fire) return Status::OK();
+    ++state.fires;
+    ++lifetime_[point].fires;
+    switch (sched.action) {
+      case FaultAction::kCrash:
+        crash = true;
+        break;
+      case FaultAction::kDelay:
+        delay_ms = sched.delay_ms;
+        break;
+      case FaultAction::kError: {
+        std::string message =
+            sched.message.empty()
+                ? "injected fault at '" + std::string(point) + "'"
+                : sched.message;
+        injected = Status(sched.code, std::move(message));
+        break;
+      }
+    }
+  }
+  // Act outside the mutex: a crash takes no locks down with it, and a delay
+  // must never stall unrelated points (or hits of this one on other threads).
+  if (crash) {
     // Simulated power-cut: no destructors, no buffer flushes. _Exit keeps
     // whatever the OS already has; the forked harness recovers in the parent.
     std::_Exit(kCrashExitCode);
   }
-  std::string message = sched.message.empty()
-                            ? "injected fault at '" + std::string(point) + "'"
-                            : sched.message;
-  return Status(sched.code, std::move(message));
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return injected;
 }
 
 }  // namespace seltrig

@@ -34,9 +34,11 @@
 namespace seltrig {
 
 // What a firing schedule does to the process: return an injected error
-// Status, or kill the process on the spot (kill-point crash testing; the
-// harness forks first and inspects the child's exit code).
-enum class FaultAction : uint8_t { kError, kCrash };
+// Status, kill the process on the spot (kill-point crash testing; the
+// harness forks first and inspects the child's exit code), or sleep for
+// `delay_ms` and then succeed (stall injection — slow disks, slow networks;
+// the sleep happens outside the injector's mutex so other points stay live).
+enum class FaultAction : uint8_t { kError, kCrash, kDelay };
 
 class FaultInjector {
  public:
@@ -54,6 +56,7 @@ class FaultInjector {
     ErrorCode code = ErrorCode::kExecutionError;
     std::string message;  // empty = "injected fault at '<point>'"
     FaultAction action = FaultAction::kError;
+    uint64_t delay_ms = 0;  // kDelay: how long the hit stalls
   };
 
   // Canonical schedules used by the fault-matrix tests.
@@ -88,6 +91,23 @@ class FaultInjector {
     Schedule s;
     s.nth = n;
     s.action = FaultAction::kCrash;
+    return s;
+  }
+  // Stall the n-th hit for `ms` milliseconds, then let it proceed.
+  static Schedule DelayNth(uint64_t n, uint64_t ms) {
+    Schedule s;
+    s.nth = n;
+    s.action = FaultAction::kDelay;
+    s.delay_ms = ms;
+    return s;
+  }
+  // Stall every hit for `ms` milliseconds.
+  static Schedule DelayAlways(uint64_t ms) {
+    Schedule s;
+    s.every = 1;
+    s.times = 0;
+    s.action = FaultAction::kDelay;
+    s.delay_ms = ms;
     return s;
   }
 

@@ -97,6 +97,33 @@ Result<std::string> ReadFileToString(const std::string& path) {
                      std::istreambuf_iterator<char>());
 }
 
+Result<std::string> ReadFileRange(const std::string& path, uint64_t offset,
+                                  size_t max_bytes) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("cannot open " + path);
+    return Status::ExecutionError(Errno("open", path));
+  }
+  std::string out;
+  out.resize(max_bytes);
+  size_t read_total = 0;
+  while (read_total < max_bytes) {
+    ssize_t n = ::pread(fd, out.data() + read_total, max_bytes - read_total,
+                        static_cast<off_t>(offset + read_total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status error = Status::ExecutionError(Errno("pread", path));
+      ::close(fd);
+      return error;
+    }
+    if (n == 0) break;  // end of file (so far)
+    read_total += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  out.resize(read_total);
+  return out;
+}
+
 Status TruncateFile(const std::string& path, uint64_t size) {
   if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
     return Status::ExecutionError(Errno("truncate", path));

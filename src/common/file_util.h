@@ -52,6 +52,13 @@ Status SyncFile(const std::string& path);
 // Reads the entire file into a string. NotFound if it does not exist.
 Result<std::string> ReadFileToString(const std::string& path);
 
+// Reads up to `max_bytes` bytes starting at `offset` (pread; no shared file
+// offset). Returns the bytes actually present — shorter than `max_bytes` when
+// the file ends first, which is how the WAL tail reader detects a record the
+// writer has not finished appending yet. NotFound if the file does not exist.
+Result<std::string> ReadFileRange(const std::string& path, uint64_t offset,
+                                  size_t max_bytes);
+
 // Truncates `path` to `size` bytes (used to drop a torn journal tail).
 Status TruncateFile(const std::string& path, uint64_t size);
 

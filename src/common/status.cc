@@ -24,6 +24,14 @@ const char* ErrorCodeName(ErrorCode code) {
       return "ResourceExhausted";
     case ErrorCode::kInternal:
       return "Internal";
+    case ErrorCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case ErrorCode::kUnavailable:
+      return "Unavailable";
+    case ErrorCode::kDataLoss:
+      return "DataLoss";
+    case ErrorCode::kFencedOut:
+      return "FencedOut";
   }
   return "Unknown";
 }

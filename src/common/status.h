@@ -28,6 +28,20 @@ enum class ErrorCode {
   kUnsupported,
   kResourceExhausted,
   kInternal,
+  // A bounded wait (durability, replication ack) expired before the awaited
+  // condition held. The operation may still complete in the background.
+  kDeadlineExceeded,
+  // A resource is transiently not ready (a journal tail still being written,
+  // a follower mid-reconnect). Retrying later is expected to succeed.
+  kUnavailable,
+  // Bytes that should be intact failed validation (checksum mismatch on a
+  // fully-present record or frame). Unlike kUnavailable, retrying the same
+  // bytes cannot succeed.
+  kDataLoss,
+  // A replication peer rejected this node's authority (a follower already
+  // serving a newer epoch). Permanent for this node's current epoch; no
+  // retry or reconnect can succeed.
+  kFencedOut,
 };
 
 // Returns a human-readable name for `code`, e.g. "ParseError".
@@ -73,6 +87,18 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(ErrorCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(ErrorCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(ErrorCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(ErrorCode::kDataLoss, std::move(msg));
+  }
+  static Status FencedOut(std::string msg) {
+    return Status(ErrorCode::kFencedOut, std::move(msg));
   }
 
   bool ok() const { return code_ == ErrorCode::kOk; }

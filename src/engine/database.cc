@@ -39,10 +39,10 @@ const std::vector<std::string>& Database::notifications() const {
 
 void Database::ClearNotifications() { default_session_->ClearNotifications(); }
 
-Status Database::EnableWal(const std::string& dir) {
+Status Database::EnableWal(const std::string& dir, uint64_t epoch) {
   if (wal_ != nullptr) return Status::InvalidArgument("WAL already enabled");
   if (dir.empty()) return Status::InvalidArgument("WAL directory is empty");
-  SELTRIG_ASSIGN_OR_RETURN(wal_, WalWriter::Open(dir + "/wal"));
+  SELTRIG_ASSIGN_OR_RETURN(wal_, WalWriter::Open(dir + "/wal", epoch));
   data_dir_ = dir;
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 #ifndef SELTRIG_ENGINE_DATABASE_H_
 #define SELTRIG_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,19 @@
 namespace seltrig {
 
 struct RecoveryStats;
+
+// Hook a replication shipper installs on a primary so statement
+// acknowledgement can wait for follower acks (docs/REPLICATION.md). Sessions
+// call WaitReplicated after their commit record is locally durable and
+// before acknowledging the statement; the implementation decides what the
+// configured ack mode requires (async: return immediately; sync: wait until
+// every healthy sync follower acked `pos`, degrading followers that exceed
+// their ack timeout rather than wedging the primary).
+class ReplicationWaiter {
+ public:
+  virtual ~ReplicationWaiter() = default;
+  virtual Status WaitReplicated(const WalPosition& pos) = 0;
+};
 
 class Database {
  public:
@@ -85,12 +99,13 @@ class Database {
   // --- Durability (storage/wal.h, engine/recovery.h; docs/DURABILITY.md) ---
 
   // Attaches a write-ahead journal under `dir` (`<dir>/wal/`, created if
-  // needed; a fresh segment is always started). From then on every committed
-  // top-level statement is journaled before it is acknowledged. Call before
-  // concurrent sessions start — typically indirectly, via Database::Recover.
+  // needed; a fresh segment is always started, stamped with failover epoch
+  // `epoch`). From then on every committed top-level statement is journaled
+  // before it is acknowledged. Call before concurrent sessions start —
+  // typically indirectly, via Database::Recover.
   // Note: bulk loads that write tables directly (CSV/TPC-H loaders) bypass
   // the journal; run Checkpoint() after them.
-  Status EnableWal(const std::string& dir);
+  Status EnableWal(const std::string& dir, uint64_t epoch = 0);
   WalWriter* wal() { return wal_.get(); }
   // The directory EnableWal was given ("" when the WAL is disabled); the
   // checkpoint snapshot lives at <data_dir>/snapshot.
@@ -109,6 +124,27 @@ class Database {
   static Result<std::unique_ptr<Database>> Recover(const std::string& dir,
                                                    RecoveryStats* stats = nullptr);
 
+  // Crash-failover promotion of a follower's durable directory: like Recover
+  // — the torn-tail truncation IS the cut back to the follower's verified
+  // prefix — but the fresh segment opens under epoch max_epoch + 1, so
+  // segments a deposed primary keeps writing under the old epoch are
+  // rejected everywhere. For promoting a live follower, see
+  // ReplicaApplier::Promote (replication/applier.h).
+  static Result<std::unique_ptr<Database>> Promote(const std::string& dir,
+                                                   RecoveryStats* stats = nullptr);
+
+  // --- Replication (src/replication/; docs/REPLICATION.md) ------------------
+
+  // Installs (or clears, with nullptr) the shipper's ack-wait hook. The
+  // waiter must outlive every in-flight statement; LogShipper clears it
+  // before stopping.
+  void set_replication_waiter(ReplicationWaiter* waiter) {
+    replication_waiter_.store(waiter, std::memory_order_release);
+  }
+  ReplicationWaiter* replication_waiter() const {
+    return replication_waiter_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class Session;
 
@@ -123,6 +159,7 @@ class Database {
   // holding the writer lock (see Session::WalAppendLocked).
   std::unique_ptr<WalWriter> wal_;
   std::string data_dir_;
+  std::atomic<ReplicationWaiter*> replication_waiter_{nullptr};
 };
 
 }  // namespace seltrig

@@ -1,6 +1,7 @@
 #include "engine/recovery.h"
 
 #include <filesystem>
+#include <set>
 
 #include "common/file_util.h"
 #include "engine/snapshot.h"
@@ -70,10 +71,64 @@ Status ApplyOp(Database* db, const WalOp& op, RecoveryStats* stats) {
   return Status::Internal("journal replay: unknown op kind");
 }
 
+// Rebuilds the sensitive-ID views of every audit expression whose sensitive
+// table appears in `tables`. Live apply calls this under the writer lock so
+// follower reads never see a view diverged from its table.
+Status RebuildViewsOverTables(Database* db, const std::set<std::string>& tables) {
+  for (const AuditExpressionDef* def : db->audit_manager()->All()) {
+    if (tables.count(def->sensitive_table()) == 0) continue;
+    SELTRIG_RETURN_IF_ERROR(
+        db->audit_manager()->RebuildView(db->audit_manager()->FindMutable(def->name())));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
+Status ApplyWalCommit(Database* db, const std::vector<WalOp>& commit, bool live,
+                      RecoveryStats* stats) {
+  RecoveryStats local;
+  if (stats == nullptr) stats = &local;
+  size_t i = 0;
+  while (i < commit.size()) {
+    if (commit[i].kind == WalOp::Kind::kStatement) {
+      // The session locks for itself (and, on a follower, has no journal
+      // attached — replayed DDL is not re-journaled).
+      SELTRIG_RETURN_IF_ERROR(ApplyOp(db, commit[i], stats));
+      ++stats->ops_applied;
+      ++i;
+      continue;
+    }
+    // A run of physical / trigger-state ops: one writer-lock scope in live
+    // mode, lock-free during recovery (the database has no sessions yet).
+    size_t end = i;
+    while (end < commit.size() && commit[end].kind != WalOp::Kind::kStatement) ++end;
+    auto apply_run = [&]() -> Status {
+      std::set<std::string> touched;
+      for (; i < end; ++i) {
+        SELTRIG_RETURN_IF_ERROR(ApplyOp(db, commit[i], stats));
+        ++stats->ops_applied;
+        if (commit[i].kind != WalOp::Kind::kTriggerState) {
+          touched.insert(commit[i].table);
+        }
+      }
+      if (live) SELTRIG_RETURN_IF_ERROR(RebuildViewsOverTables(db, touched));
+      return Status::OK();
+    };
+    if (live) {
+      WriterMutexLock lock(&db->storage_mutex());
+      SELTRIG_RETURN_IF_ERROR(apply_run());
+    } else {
+      SELTRIG_RETURN_IF_ERROR(apply_run());
+    }
+  }
+  ++stats->commits_replayed;
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
-                                                  RecoveryStats* stats) {
+                                                  RecoveryStats* stats,
+                                                  const RecoverOptions& options) {
   if (dir.empty()) return Status::InvalidArgument("recovery directory is empty");
   RecoveryStats local;
   if (stats == nullptr) stats = &local;
@@ -140,12 +195,20 @@ Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
     if (segment.seq < stats->snapshot_wal_seq) continue;
     SELTRIG_ASSIGN_OR_RETURN(WalSegmentContents contents,
                              ReadWalSegment(segment.path));
+    // Epochs count failover promotions and may only grow in segment order. A
+    // regression means segments from a deposed primary were copied in after
+    // a promotion — replaying them would resurrect commits the failover
+    // decided against.
+    if (contents.epoch < stats->max_epoch) {
+      return Status::DataLoss(
+          "journal epoch regression at " + segment.path + ": epoch " +
+          std::to_string(contents.epoch) + " after epoch " +
+          std::to_string(stats->max_epoch));
+    }
+    stats->max_epoch = contents.epoch;
     for (const std::vector<WalOp>& commit : contents.commits) {
-      for (const WalOp& op : commit) {
-        SELTRIG_RETURN_IF_ERROR(ApplyOp(db.get(), op, stats));
-        ++stats->ops_applied;
-      }
-      ++stats->commits_replayed;
+      SELTRIG_RETURN_IF_ERROR(
+          ApplyWalCommit(db.get(), commit, /*live=*/false, stats));
     }
     ++stats->segments_replayed;
     if (contents.torn) {
@@ -166,17 +229,23 @@ Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
         db->audit_manager()->RebuildView(db->audit_manager()->FindMutable(def->name())));
   }
 
-  // 4. Arm the journal on a fresh segment; from here on the database is live.
-  SELTRIG_RETURN_IF_ERROR(db->EnableWal(dir));
+  // 4. Arm the journal on a fresh segment; from here on the database is
+  // live. A restart keeps the recovered epoch; a failover promotion starts
+  // the next one. Followers skip this: their applier writes the received
+  // segments itself (engine/recovery.h: RecoverOptions).
+  if (options.enable_wal) {
+    const uint64_t epoch = stats->max_epoch + (options.promote ? 1 : 0);
+    SELTRIG_RETURN_IF_ERROR(db->EnableWal(dir, epoch));
 
-  // Bootstrapping a journal from a plain (cut-less) snapshot: stamp the
-  // manifest with the first live segment so the next recovery can prove the
-  // journal postdates the snapshot instead of refusing to replay it above.
-  if (stats->snapshot_loaded && stats->snapshot_wal_seq == 0) {
-    Result<SnapshotManifest> manifest = ReadSnapshotManifest(snapshot_dir);
-    SnapshotManifest stamped = manifest.ok() ? *manifest : SnapshotManifest{};
-    stamped.wal_seq = db->wal()->current_seq();
-    SELTRIG_RETURN_IF_ERROR(WriteSnapshotManifest(snapshot_dir, stamped));
+    // Bootstrapping a journal from a plain (cut-less) snapshot: stamp the
+    // manifest with the first live segment so the next recovery can prove the
+    // journal postdates the snapshot instead of refusing to replay it above.
+    if (stats->snapshot_loaded && stats->snapshot_wal_seq == 0) {
+      Result<SnapshotManifest> manifest = ReadSnapshotManifest(snapshot_dir);
+      SnapshotManifest stamped = manifest.ok() ? *manifest : SnapshotManifest{};
+      stamped.wal_seq = db->wal()->current_seq();
+      SELTRIG_RETURN_IF_ERROR(WriteSnapshotManifest(snapshot_dir, stamped));
+    }
   }
   return db;
 }
@@ -184,6 +253,13 @@ Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
 Result<std::unique_ptr<Database>> Database::Recover(const std::string& dir,
                                                     RecoveryStats* stats) {
   return RecoverDatabase(dir, stats);
+}
+
+Result<std::unique_ptr<Database>> Database::Promote(const std::string& dir,
+                                                    RecoveryStats* stats) {
+  RecoverOptions options;
+  options.promote = true;
+  return RecoverDatabase(dir, stats, options);
 }
 
 }  // namespace seltrig

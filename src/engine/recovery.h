@@ -40,13 +40,40 @@ struct RecoveryStats {
   uint64_t ops_applied = 0;
   // A torn/corrupt tail was found and truncated (the crash frontier).
   bool truncated_torn_tail = false;
+  // Highest failover epoch seen across the replayed segments (0 when the
+  // journal predates replication or is empty). Epochs must be non-decreasing
+  // in segment order; a regression fails recovery.
+  uint64_t max_epoch = 0;
+};
+
+struct RecoverOptions {
+  // Re-arm the journal on a fresh segment once replay finishes. Followers
+  // pass false: the replication applier writes the received segments itself
+  // and the follower database must not journal replayed statements again.
+  bool enable_wal = true;
+  // Failover promotion: open the new segment under max_epoch + 1 instead of
+  // max_epoch, so anything a deposed primary still writes under the old
+  // epoch is rejected by followers and by later recoveries.
+  bool promote = false;
 };
 
 // Rebuilds a database from `dir` and returns it with the WAL enabled on a
-// fresh segment. A missing or empty directory is not an error: it yields an
-// empty journaled database. This is Database::Recover's implementation.
-Result<std::unique_ptr<Database>> RecoverDatabase(const std::string& dir,
-                                                  RecoveryStats* stats);
+// fresh segment (see RecoverOptions). A missing or empty directory is not an
+// error: it yields an empty journaled database. This is Database::Recover's
+// implementation.
+Result<std::unique_ptr<Database>> RecoverDatabase(
+    const std::string& dir, RecoveryStats* stats,
+    const RecoverOptions& options = RecoverOptions());
+
+// Applies one journaled commit record to `db`, op by op. `live` = a
+// replication applier feeding a follower that concurrent sessions may read:
+// physical row ops and trigger-state ops then take the database's writer
+// lock, and the sensitive-ID views over touched tables are rebuilt before
+// the lock is released (replay skips both — recovery owns the database
+// exclusively and rebuilds views once at the end). Logical kStatement ops
+// always run through the default session, which takes its own locks.
+Status ApplyWalCommit(Database* db, const std::vector<WalOp>& commit, bool live,
+                      RecoveryStats* stats = nullptr);
 
 }  // namespace seltrig
 

@@ -107,13 +107,24 @@ Result<StatementResult> Session::ExecuteStatement(ast::Statement& stmt,
 Result<StatementResult> Session::FinishTopLevel(Result<StatementResult> result) {
   wal_buffer_.clear();
   const uint64_t pending = wal_pending_commit_;
+  const WalPosition pending_pos = wal_pending_pos_;
   wal_pending_commit_ = 0;
+  wal_pending_pos_ = WalPosition{};
   if (pending != 0 && WalEnabled()) {
     // No lock held here: group commit batches concurrent sessions' fsyncs.
     Status durable = db_->wal_->WaitDurable(pending);
     // A statement is acknowledged only once its record is on disk; surface a
     // durability failure even when the statement itself succeeded.
     if (result.ok() && !durable.ok()) return durable;
+    // Synchronous replication: after the record is locally durable, wait for
+    // follower acks up to its position (the shipper's ack mode and follower
+    // health decide how long that is; a failure withholds the statement's
+    // acknowledgement, never its local durability).
+    ReplicationWaiter* waiter = db_->replication_waiter();
+    if (result.ok() && waiter != nullptr) {
+      Status replicated = waiter->WaitReplicated(pending_pos);
+      if (!replicated.ok()) return replicated;
+    }
   }
   return result;
 }
@@ -223,11 +234,13 @@ void Session::JournalDdl(const ast::Statement& stmt) {
 Status Session::WalAppendLocked() {
   if (!WalEnabled() || wal_buffer_.empty()) return Status::OK();
   uint64_t seq = 0;
-  SELTRIG_RETURN_IF_ERROR(db_->wal_->Append(wal_buffer_, &seq));
+  WalPosition pos;
+  SELTRIG_RETURN_IF_ERROR(db_->wal_->Append(wal_buffer_, &seq, &pos));
   wal_buffer_.clear();
   // Later appends of the same statement (loss records journaled on the
   // failure path) supersede earlier ones; durability is monotonic in seq.
   wal_pending_commit_ = seq;
+  wal_pending_pos_ = pos;
   return Status::OK();
 }
 

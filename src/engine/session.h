@@ -332,6 +332,9 @@ class Session {
   // Commit sequence of this statement's appended record; FinishTopLevel
   // waits on it before acknowledging, then resets it to 0.
   uint64_t wal_pending_commit_ = 0;
+  // Journal position just past that record, handed to the replication
+  // waiter (when installed) after the local durability wait.
+  WalPosition wal_pending_pos_;
 };
 
 }  // namespace seltrig

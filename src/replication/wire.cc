@@ -1,0 +1,91 @@
+#include "replication/wire.h"
+
+#include "common/checksum.h"
+#include "common/codec.h"
+
+namespace seltrig {
+
+using codec::GetString;
+using codec::GetU32;
+using codec::GetU64;
+using codec::PutString;
+using codec::PutU32;
+using codec::PutU64;
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kRecord:
+      return "RECORD";
+    case FrameType::kHeartbeat:
+      return "HEARTBEAT";
+    case FrameType::kAck:
+      return "ACK";
+    case FrameType::kNak:
+      return "NAK";
+    case FrameType::kSnapshotStart:
+      return "SNAPSHOT_START";
+    case FrameType::kSnapshotFile:
+      return "SNAPSHOT_FILE";
+    case FrameType::kSnapshotDone:
+      return "SNAPSHOT_DONE";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string body;
+  body.push_back(static_cast<char>(frame.type));
+  PutU64(&body, frame.epoch);
+  PutU64(&body, frame.seq);
+  PutU64(&body, frame.offset);
+  PutU64(&body, frame.prev_seq);
+  PutU64(&body, frame.prev_offset);
+  PutString(&body, frame.name);
+  PutString(&body, frame.payload);
+
+  std::string out;
+  out.reserve(kFrameEnvelopeSize + body.size());
+  PutU32(&out, static_cast<uint32_t>(body.size()));
+  PutU32(&out, Crc32c(body));
+  out.append(body);
+  return out;
+}
+
+Result<Frame> DecodeFrame(std::string_view bytes) {
+  size_t offset = 0;
+  uint32_t length = 0;
+  uint32_t crc = 0;
+  if (!GetU32(bytes, &offset, &length) || !GetU32(bytes, &offset, &crc) ||
+      length > kMaxFrameBody ||
+      bytes.size() != kFrameEnvelopeSize + static_cast<size_t>(length)) {
+    return Status::DataLoss("malformed replication frame envelope");
+  }
+  std::string_view body = bytes.substr(kFrameEnvelopeSize);
+  if (Crc32c(body) != crc) {
+    return Status::DataLoss("replication frame checksum mismatch");
+  }
+
+  Frame frame;
+  size_t pos = 0;
+  if (body.empty()) return Status::DataLoss("empty replication frame body");
+  const uint8_t type = static_cast<uint8_t>(body[pos++]);
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kSnapshotDone)) {
+    return Status::DataLoss("unknown replication frame type " +
+                            std::to_string(type));
+  }
+  frame.type = static_cast<FrameType>(type);
+  if (!GetU64(body, &pos, &frame.epoch) || !GetU64(body, &pos, &frame.seq) ||
+      !GetU64(body, &pos, &frame.offset) ||
+      !GetU64(body, &pos, &frame.prev_seq) ||
+      !GetU64(body, &pos, &frame.prev_offset) ||
+      !GetString(body, &pos, &frame.name) ||
+      !GetString(body, &pos, &frame.payload) || pos != body.size()) {
+    return Status::DataLoss("replication frame body does not decode");
+  }
+  return frame;
+}
+
+}  // namespace seltrig

@@ -1,0 +1,91 @@
+// Replication wire protocol (docs/REPLICATION.md): the frames a primary's
+// LogShipper and a follower's ReplicaApplier exchange over a FrameChannel.
+//
+// Frame layout on byte transports:
+//   u32 LE body length | u32 LE CRC32C(body) | body
+//   body: type (u8) | epoch (u64 LE) | seq (u64 LE) | offset (u64 LE) |
+//         prev_seq (u64 LE) | prev_offset (u64 LE) |
+//         name (u32-length-prefixed bytes) | payload (u32-length-prefixed)
+//
+// The protocol is deliberately position-driven rather than windowed: every
+// kRecord carries the exact journal position of the record it ships plus the
+// position it continues from (prev_*), and the follower accepts it only when
+// prev_* equals its own local tail. Anything else is a duplicate (re-acked
+// and dropped) or a gap (answered with kNak at the follower's position,
+// which reseeks the shipper). Carrying prev_* rather than inferring
+// continuity from offsets is what makes segment boundaries safe under
+// reordering: the first record of a new segment names the old segment's
+// final position, so it cannot overtake records it is supposed to follow.
+// That makes the pair self-healing under dropped, duplicated, and reordered
+// frames without sequence-number bookkeeping on either side.
+
+#ifndef SELTRIG_REPLICATION_WIRE_H_
+#define SELTRIG_REPLICATION_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace seltrig {
+
+enum class FrameType : uint8_t {
+  // Follower -> primary, after (re)connecting or installing a snapshot:
+  // "resume shipping from (epoch, seq, offset)". Also sent mid-stream to
+  // reseek after local recovery.
+  kHello = 1,
+  // Primary -> follower: one raw journal record (payload = the record bytes
+  // verbatim; epoch/seq/offset = where its header starts on the primary).
+  kRecord = 2,
+  // Primary -> follower when idle: liveness probe carrying the primary's
+  // current end-of-journal position. The follower answers with kAck.
+  kHeartbeat = 3,
+  // Follower -> primary: "everything up to (epoch, seq, offset) is applied
+  // (and durable, in fsync-before-ack mode)".
+  kAck = 4,
+  // Follower -> primary: "I could not accept that; resume from my position
+  // (epoch, seq, offset)". `name` carries a human-readable reason.
+  kNak = 5,
+  // Primary -> follower: snapshot catch-up bracket. Start clears the
+  // follower's staging area; each kSnapshotFile carries one snapshot file
+  // (name = file name relative to the snapshot directory, payload =
+  // contents); Done (seq = the snapshot's journal cut) installs it.
+  kSnapshotStart = 6,
+  kSnapshotFile = 7,
+  kSnapshotDone = 8,
+};
+
+const char* FrameTypeName(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+  uint64_t offset = 0;
+  // For kRecord: the journal position this record continues from — the
+  // previous record's end (same segment), or the tail of the segment the
+  // reader advanced past (segment boundary). Zero for other frame types.
+  uint64_t prev_seq = 0;
+  uint64_t prev_offset = 0;
+  std::string name;
+  std::string payload;
+};
+
+// Serializes `frame` with the length + checksum envelope above.
+std::string EncodeFrame(const Frame& frame);
+
+// Decodes a full frame (envelope included). kDataLoss on any framing or
+// checksum violation.
+Result<Frame> DecodeFrame(std::string_view bytes);
+
+// Envelope prefix size: u32 length + u32 crc.
+inline constexpr size_t kFrameEnvelopeSize = 8;
+// Frames larger than this are rejected (a torn length field must not turn
+// into a multi-gigabyte allocation). Snapshot files are shipped one frame
+// per file and snapshots of this engine are small; raise if that changes.
+inline constexpr uint32_t kMaxFrameBody = 1u << 30;
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_REPLICATION_WIRE_H_

@@ -1,72 +1,37 @@
 #include "storage/wal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <utility>
 
 #include "common/checksum.h"
+#include "common/codec.h"
 #include "common/fault_injector.h"
 
 namespace seltrig {
 
 namespace {
 
-constexpr char kSegmentMagic[8] = {'S', 'L', 'T', 'W', 'A', 'L', '1', '\n'};
-constexpr size_t kSegmentHeaderSize = 16;  // magic + u64 seq
-constexpr size_t kRecordHeaderSize = 8;    // u32 length + u32 crc
+using codec::GetString;
+using codec::GetU32;
+using codec::GetU64;
+using codec::PutString;
+using codec::PutU32;
+using codec::PutU64;
+
+// v2 (current): magic | u64 seq | u64 epoch. v1 (pre-replication journals):
+// magic | u64 seq, epoch reads as 0.
+constexpr char kSegmentMagic[8] = {'S', 'L', 'T', 'W', 'A', 'L', '2', '\n'};
+constexpr char kSegmentMagicV1[8] = {'S', 'L', 'T', 'W', 'A', 'L', '1', '\n'};
+constexpr size_t kSegmentHeaderSize = 24;    // magic + u64 seq + u64 epoch
+constexpr size_t kSegmentHeaderV1Size = 16;  // magic + u64 seq
+constexpr size_t kRecordHeaderSize = 8;      // u32 length + u32 crc
 // Records larger than this are rejected at append and treated as corruption
 // on read (a torn length field can otherwise claim gigabytes).
 constexpr uint32_t kMaxRecordSize = 1u << 30;
-
-// --- little-endian primitives -----------------------------------------------
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-bool GetU32(std::string_view data, size_t* offset, uint32_t* v) {
-  if (*offset + 4 > data.size()) return false;
-  uint32_t result = 0;
-  for (int i = 0; i < 4; ++i) {
-    result |= static_cast<uint32_t>(static_cast<unsigned char>(data[*offset + i]))
-              << (8 * i);
-  }
-  *offset += 4;
-  *v = result;
-  return true;
-}
-
-bool GetU64(std::string_view data, size_t* offset, uint64_t* v) {
-  if (*offset + 8 > data.size()) return false;
-  uint64_t result = 0;
-  for (int i = 0; i < 8; ++i) {
-    result |= static_cast<uint64_t>(static_cast<unsigned char>(data[*offset + i]))
-              << (8 * i);
-  }
-  *offset += 8;
-  *v = result;
-  return true;
-}
-
-bool GetString(std::string_view data, size_t* offset, std::string* s) {
-  uint32_t len = 0;
-  if (!GetU32(data, offset, &len)) return false;
-  if (*offset + len > data.size()) return false;
-  s->assign(data.data() + *offset, len);
-  *offset += len;
-  return true;
-}
 
 // --- Value / Row encoding ---------------------------------------------------
 
@@ -291,7 +256,43 @@ bool WalOp::operator==(const WalOp& other) const {
          quarantined == other.quarantined && failures == other.failures;
 }
 
+std::string WalPosition::ToString() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "epoch %llu, segment %llu, offset %llu",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(offset));
+  return buf;
+}
+
 // --- segment naming / listing -----------------------------------------------
+
+std::string WalSegmentHeader(uint64_t seq, uint64_t epoch) {
+  std::string header(kSegmentMagic, sizeof(kSegmentMagic));
+  PutU64(&header, seq);
+  PutU64(&header, epoch);
+  return header;
+}
+
+Result<std::vector<WalOp>> DecodeWalRecord(std::string_view record) {
+  size_t offset = 0;
+  uint32_t length = 0;
+  uint32_t crc = 0;
+  if (!GetU32(record, &offset, &length) || !GetU32(record, &offset, &crc) ||
+      length > kMaxRecordSize ||
+      record.size() != kRecordHeaderSize + static_cast<size_t>(length)) {
+    return Status::DataLoss("malformed journal record framing");
+  }
+  std::string_view payload = record.substr(kRecordHeaderSize);
+  if (Crc32c(payload) != crc) {
+    return Status::DataLoss("journal record checksum mismatch");
+  }
+  std::vector<WalOp> ops;
+  if (!DecodeRecordPayload(payload, &ops)) {
+    return Status::DataLoss("journal record payload does not decode");
+  }
+  return ops;
+}
 
 std::string WalSegmentFileName(uint64_t seq) {
   char buf[32];
@@ -339,8 +340,12 @@ Result<WalSegmentContents> ReadWalSegment(const std::string& path) {
 
   // A header that never made it fully to disk (crash during segment
   // creation) means the segment holds no commits; the whole file is torn.
-  if (data.size() < kSegmentHeaderSize ||
-      std::memcmp(data.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+  const bool v2 = data.size() >= kSegmentHeaderSize &&
+                  std::memcmp(data.data(), kSegmentMagic, sizeof(kSegmentMagic)) == 0;
+  const bool v1 = !v2 && data.size() >= kSegmentHeaderV1Size &&
+                  std::memcmp(data.data(), kSegmentMagicV1,
+                              sizeof(kSegmentMagicV1)) == 0;
+  if (!v2 && !v1) {
     contents.torn = true;
     contents.valid_bytes = 0;
     return contents;
@@ -349,7 +354,8 @@ Result<WalSegmentContents> ReadWalSegment(const std::string& path) {
   uint64_t seq = 0;
   GetU64(data, &offset, &seq);
   contents.seq = seq;
-  contents.valid_bytes = kSegmentHeaderSize;
+  if (v2) GetU64(data, &offset, &contents.epoch);
+  contents.valid_bytes = offset;
 
   while (offset < data.size()) {
     size_t record_start = offset;
@@ -379,7 +385,8 @@ Result<WalSegmentContents> ReadWalSegment(const std::string& path) {
 
 // --- WalWriter ----------------------------------------------------------------
 
-Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& wal_dir) {
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& wal_dir,
+                                                   uint64_t epoch) {
   std::error_code ec;
   std::filesystem::create_directories(wal_dir, ec);
   if (ec) return Status::ExecutionError("cannot create " + wal_dir);
@@ -390,8 +397,10 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& wal_dir) {
 
   auto writer = std::unique_ptr<WalWriter>(new WalWriter());
   writer->wal_dir_ = wal_dir;
+  writer->epoch_unlocked_ = epoch;
   {
     MutexLock lock(&writer->mutex_);
+    writer->epoch_ = epoch;
     SELTRIG_RETURN_IF_ERROR(writer->OpenSegmentLocked(next_seq));
   }
   return writer;
@@ -410,6 +419,7 @@ Status WalWriter::OpenSegmentLocked(uint64_t seq) {
   SELTRIG_ASSIGN_OR_RETURN(AppendFile file, AppendFile::Open(path));
   std::string header(kSegmentMagic, sizeof(kSegmentMagic));
   PutU64(&header, seq);
+  PutU64(&header, epoch_);
   SELTRIG_RETURN_IF_ERROR(file.Append(header.data(), header.size()));
   SELTRIG_RETURN_IF_ERROR(file.Sync());
   SELTRIG_RETURN_IF_ERROR(SyncDirectory(wal_dir_));
@@ -420,7 +430,8 @@ Status WalWriter::OpenSegmentLocked(uint64_t seq) {
   return Status::OK();
 }
 
-Status WalWriter::Append(const std::vector<WalOp>& ops, uint64_t* commit_seq) {
+Status WalWriter::Append(const std::vector<WalOp>& ops, uint64_t* commit_seq,
+                         WalPosition* pos) {
   *commit_seq = 0;
   if (ops.empty()) return Status::OK();
   std::string record = EncodeRecord(ops);
@@ -457,6 +468,7 @@ Status WalWriter::Append(const std::vector<WalOp>& ops, uint64_t* commit_seq) {
   segment_bytes_ += record.size();
   *commit_seq = ++appended_;
   ++unsynced_;
+  if (pos != nullptr) *pos = WalPosition{epoch_, seq_, segment_bytes_};
   return Status::OK();
 }
 
@@ -464,15 +476,16 @@ Status WalWriter::WaitDurable(uint64_t commit_seq) {
   if (commit_seq == 0) return Status::OK();
   const WalSyncMode mode = sync_mode_.load();
   if (mode == WalSyncMode::kOff) return Status::OK();
+  const int64_t timeout_ms = durable_timeout_ms_.load(std::memory_order_relaxed);
   MutexLock lock(&mutex_);
   if (mode == WalSyncMode::kBatch) {
     // The batch-threshold fsync runs here, after the committer released the
     // engine's storage writer lock — never inside Append, where it would
     // stall every other session for the duration of the fsync.
     if (unsynced_ < kBatchSyncEvery) return Status::OK();
-    return SyncUpToLocked(appended_);
+    return SyncUpToLocked(appended_, timeout_ms);
   }
-  return SyncUpToLocked(commit_seq);
+  return SyncUpToLocked(commit_seq, timeout_ms);
 }
 
 Status WalWriter::Commit(const std::vector<WalOp>& ops) {
@@ -483,32 +496,45 @@ Status WalWriter::Commit(const std::vector<WalOp>& ops) {
 
 Status WalWriter::Sync() {
   MutexLock lock(&mutex_);
-  return SyncUpToLocked(appended_);
+  return SyncUpToLocked(appended_, /*timeout_ms=*/0);
 }
 
-Status WalWriter::SyncUpToLocked(uint64_t target) {
+Status WalWriter::SyncUpToLocked(uint64_t target, int64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
   while (durable_ < target) {
     if (sync_in_flight_) {
       // Another committer's fsync is running; it covers every append made
-      // before it started. Wait and re-check (it may not cover `target`).
-      durable_cv_.wait(mutex_);
+      // before it started. Wait and re-check (it may not cover `target`) —
+      // but not forever: a stalled fsync (dying disk, hung NFS) would
+      // otherwise wedge every committer behind the leader. Timing out
+      // withholds this statement's acknowledgement, which is always safe.
+      if (timeout_ms > 0) {
+        if (durable_cv_.wait_until(mutex_, deadline) == std::cv_status::timeout &&
+            durable_ < target && sync_in_flight_) {
+          return Status::DeadlineExceeded(
+              "journal fsync still in flight after " +
+              std::to_string(timeout_ms) + "ms");
+        }
+      } else {
+        durable_cv_.wait(mutex_);
+      }
       continue;
     }
     sync_in_flight_ = true;
     uint64_t covers = appended_;
-    Status fault = fault::Maybe("wal.fsync");
-    Status synced = fault;
-    if (fault.ok()) {
-      // Drop the mutex for the fsync syscall so concurrent appends are never
-      // stalled behind it. file_ stays stable while unlocked: sync_in_flight_
-      // makes this thread the sole fsync leader, and Rotate drains leaders
-      // before swapping the segment file. The alias keeps the access visible
-      // as intentional to the thread-safety analysis.
-      AppendFile& file = file_;
-      mutex_.unlock();
-      synced = file.Sync();
-      mutex_.lock();
-    }
+    // Drop the mutex for the fault check and the fsync syscall so concurrent
+    // appends and waiters are never stalled behind them (a kDelay schedule on
+    // wal.fsync sleeps here, which is exactly how the WaitDurable timeout is
+    // tested). file_ stays stable while unlocked: sync_in_flight_ makes this
+    // thread the sole fsync leader, and Rotate drains leaders before swapping
+    // the segment file. The alias keeps the access visible as intentional to
+    // the thread-safety analysis.
+    AppendFile& file = file_;
+    mutex_.unlock();
+    Status synced = fault::Maybe("wal.fsync");
+    if (synced.ok()) synced = file.Sync();
+    mutex_.lock();
     sync_in_flight_ = false;
     if (!synced.ok()) {
       durable_cv_.notify_all();
@@ -526,7 +552,7 @@ Status WalWriter::Rotate(uint64_t* new_seq) {
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("wal.rotate"));
   // Everything in the finished segment must be durable before the checkpoint
   // that follows the rotation can claim to cover it.
-  SELTRIG_RETURN_IF_ERROR(SyncUpToLocked(appended_));
+  SELTRIG_RETURN_IF_ERROR(SyncUpToLocked(appended_, /*timeout_ms=*/0));
   // A concurrent WaitDurable may still be inside fsync on the old segment's
   // descriptor (it releases the mutex for the syscall); swapping file_ out
   // from under it would race. Drain it before rotating.
@@ -549,6 +575,139 @@ Status WalWriter::DeleteSegmentsBelow(uint64_t seq) {
   // segments (their seq is below the checkpoint) and re-deletes them.
   (void)SyncDirectory(wal_dir_);
   return Status::OK();
+}
+
+// --- WalTailReader ------------------------------------------------------------
+
+bool WalTailReader::NewerSegmentExists() const {
+  Result<std::vector<WalSegment>> segments = ListWalSegments(wal_dir_);
+  if (!segments.ok()) return false;
+  for (const WalSegment& segment : *segments) {
+    if (segment.seq > seq_) return true;
+  }
+  return false;
+}
+
+Status WalTailReader::AdvanceSegment() {
+  SELTRIG_ASSIGN_OR_RETURN(std::vector<WalSegment> segments,
+                           ListWalSegments(wal_dir_));
+  for (const WalSegment& segment : segments) {
+    if (segment.seq > seq_) {
+      Seek(segment.seq, 0);
+      return Status::OK();
+    }
+  }
+  return Status::Unavailable("no segment beyond " + WalSegmentFileName(seq_) +
+                             " in " + wal_dir_);
+}
+
+Status WalTailReader::ReadHeader() {
+  const std::string path = wal_dir_ + "/" + WalSegmentFileName(seq_);
+  SELTRIG_ASSIGN_OR_RETURN(std::string header,
+                           ReadFileRange(path, 0, kSegmentHeaderSize));
+  uint64_t claimed_seq = 0;
+  if (header.size() >= kSegmentHeaderSize &&
+      std::memcmp(header.data(), kSegmentMagic, sizeof(kSegmentMagic)) == 0) {
+    size_t off = sizeof(kSegmentMagic);
+    GetU64(header, &off, &claimed_seq);
+    GetU64(header, &off, &epoch_);
+    header_size_ = kSegmentHeaderSize;
+  } else if (header.size() >= kSegmentHeaderV1Size &&
+             std::memcmp(header.data(), kSegmentMagicV1,
+                         sizeof(kSegmentMagicV1)) == 0) {
+    size_t off = sizeof(kSegmentMagicV1);
+    GetU64(header, &off, &claimed_seq);
+    epoch_ = 0;
+    header_size_ = kSegmentHeaderV1Size;
+  } else {
+    // The header has not fully landed. A writer fsyncs the header before its
+    // first record, so this state is transient (segment creation in
+    // progress) unless a newer segment already exists — then this file is a
+    // crash remnant that was never part of the durable journal.
+    header_size_ = 0;
+    return Status::Unavailable(path + ": segment header incomplete");
+  }
+  if (claimed_seq != seq_) {
+    return Status::DataLoss(path + " header claims segment " +
+                            std::to_string(claimed_seq));
+  }
+  if (offset_ < header_size_) offset_ = header_size_;
+  return Status::OK();
+}
+
+Status WalTailReader::Next(RecordRef* out) {
+  for (;;) {
+    const std::string path = wal_dir_ + "/" + WalSegmentFileName(seq_);
+    if (header_size_ == 0) {
+      Status header = ReadHeader();
+      if (!header.ok()) {
+        // kNotFound (segment checkpointed away) propagates: the caller must
+        // catch up from a snapshot. An incomplete header only skips forward
+        // when a newer segment proves this one dead.
+        if (header.code() == ErrorCode::kUnavailable && NewerSegmentExists()) {
+          SELTRIG_RETURN_IF_ERROR(AdvanceSegment());
+          continue;
+        }
+        return header;
+      }
+    }
+
+    SELTRIG_ASSIGN_OR_RETURN(std::string head,
+                             ReadFileRange(path, offset_, kRecordHeaderSize));
+    if (head.size() < kRecordHeaderSize) {
+      // Clean end of segment, or a record header mid-append. Only a newer
+      // segment on disk proves no more records will ever land here: the
+      // writer fsyncs a segment before rotating past it, so a partial tail
+      // in a non-newest segment was never acknowledged to anyone.
+      if (NewerSegmentExists()) {
+        SELTRIG_RETURN_IF_ERROR(AdvanceSegment());
+        continue;
+      }
+      return Status::Unavailable("no complete record at " +
+                                 WalSegmentFileName(seq_) + " offset " +
+                                 std::to_string(offset_));
+    }
+    size_t off = 0;
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    GetU32(head, &off, &length);
+    GetU32(head, &off, &crc);
+    if (length > kMaxRecordSize) {
+      return Status::DataLoss(WalSegmentFileName(seq_) + " offset " +
+                              std::to_string(offset_) +
+                              ": record length " + std::to_string(length) +
+                              " exceeds limit");
+    }
+
+    SELTRIG_ASSIGN_OR_RETURN(
+        std::string record,
+        ReadFileRange(path, offset_, kRecordHeaderSize + length));
+    if (record.size() < kRecordHeaderSize + static_cast<size_t>(length)) {
+      // Payload still landing (or a dead partial tail — same rule as above).
+      if (NewerSegmentExists()) {
+        SELTRIG_RETURN_IF_ERROR(AdvanceSegment());
+        continue;
+      }
+      return Status::Unavailable("record payload incomplete at " +
+                                 WalSegmentFileName(seq_) + " offset " +
+                                 std::to_string(offset_));
+    }
+    std::string_view payload(record.data() + kRecordHeaderSize, length);
+    if (Crc32c(payload) != crc) {
+      // Fully present yet failing its checksum: real corruption. Torn tails
+      // from crashes are truncated by recovery before a writer reopens the
+      // directory, so they never reach this state.
+      return Status::DataLoss(WalSegmentFileName(seq_) + " offset " +
+                              std::to_string(offset_) + ": checksum mismatch");
+    }
+    out->epoch = epoch_;
+    out->seq = seq_;
+    out->offset = offset_;
+    out->end_offset = offset_ + kRecordHeaderSize + length;
+    out->bytes = std::move(record);
+    offset_ = out->end_offset;
+    return Status::OK();
+  }
 }
 
 }  // namespace seltrig

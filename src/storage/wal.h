@@ -9,10 +9,18 @@
 // which gives statement atomicity across crashes for free.
 //
 // Segment format (dir/wal-<seq, 8 digits>.log):
-//   header:  "SLTWAL1\n" (8 bytes) | segment seq (u64 LE)
+//   header:  "SLTWAL2\n" (8 bytes) | segment seq (u64 LE) | epoch (u64 LE)
 //   record:  payload length (u32 LE) | CRC32C(payload) (u32 LE) | payload
 //   payload: op count (u32 LE) | ops (see WalOp encoding in wal.cc)
-// Integers are little-endian; strings are u32-length-prefixed bytes.
+// Integers are little-endian; strings are u32-length-prefixed bytes. The
+// reader still accepts the epoch-less v1 header ("SLTWAL1\n" | seq) from
+// pre-replication journals and reports epoch 0 for it.
+//
+// Epochs (docs/REPLICATION.md): the epoch counts failover promotions. A
+// primary writes every segment under its current epoch; when a follower is
+// promoted it starts a new segment under epoch+1, and everything a deposed
+// primary wrote under the old epoch after the promotion point is rejected by
+// followers and by recovery (epochs must be non-decreasing in segment order).
 //
 // Group commit: Append() assigns commit order under the writer's mutex (the
 // engine calls it while still holding the storage writer lock, so journal
@@ -83,6 +91,42 @@ struct WalOp {
 
 std::string WalSegmentFileName(uint64_t seq);
 
+// Size of the v2 segment header ("SLTWAL2\n" | seq | epoch) — the offset of
+// a segment's first record. Replication frames carry record offsets computed
+// against this, and the follower's applier writes headers of exactly this
+// size so primary and follower byte offsets coincide.
+inline constexpr uint64_t kWalSegmentHeaderSize = 24;
+
+// The 24-byte v2 segment header for `seq` under `epoch` (the bytes WalWriter
+// puts at the start of every segment). The replication applier uses it to
+// materialize received segments locally.
+std::string WalSegmentHeader(uint64_t seq, uint64_t epoch);
+
+// Validates and decodes one raw journal record (length | crc | payload, as
+// appended by WalWriter and shipped verbatim by replication). kDataLoss on a
+// length/checksum/payload mismatch.
+Result<std::vector<WalOp>> DecodeWalRecord(std::string_view record);
+
+// A point in the journal: byte offset `offset` into segment `seq`, written
+// under `epoch`. Orders first by epoch, then segment, then offset — the
+// replication acked-prefix invariant is stated over this order.
+struct WalPosition {
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+  uint64_t offset = 0;
+
+  bool operator==(const WalPosition& o) const {
+    return epoch == o.epoch && seq == o.seq && offset == o.offset;
+  }
+  bool operator<(const WalPosition& o) const {
+    if (epoch != o.epoch) return epoch < o.epoch;
+    if (seq != o.seq) return seq < o.seq;
+    return offset < o.offset;
+  }
+  bool operator<=(const WalPosition& o) const { return !(o < *this); }
+  std::string ToString() const;
+};
+
 struct WalSegment {
   uint64_t seq = 0;
   std::string path;
@@ -97,6 +141,7 @@ Result<std::vector<WalSegment>> ListWalSegments(const std::string& wal_dir);
 // tail (a crash mid-append) and `valid_bytes` is the safe prefix length.
 struct WalSegmentContents {
   uint64_t seq = 0;
+  uint64_t epoch = 0;
   std::vector<std::vector<WalOp>> commits;
   bool torn = false;
   uint64_t valid_bytes = 0;
@@ -113,10 +158,11 @@ class WalWriter {
   static constexpr uint64_t kBatchSyncEvery = 64;
 
   // Opens `wal_dir` (created if needed) and starts a fresh segment one past
-  // the highest existing sequence. Never appends to a pre-existing segment:
-  // its tail may be torn, and recovery treats only the final record of a
-  // segment as potentially torn.
-  static Result<std::unique_ptr<WalWriter>> Open(const std::string& wal_dir);
+  // the highest existing sequence, stamped with `epoch`. Never appends to a
+  // pre-existing segment: its tail may be torn, and recovery treats only the
+  // final record of a segment as potentially torn.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& wal_dir,
+                                                 uint64_t epoch = 0);
 
   ~WalWriter();
 
@@ -124,11 +170,13 @@ class WalWriter {
   WalWriter& operator=(const WalWriter&) = delete;
 
   // Serializes `ops` as one record and appends it to the current segment,
-  // assigning this commit's position in *commit_seq (for WaitDurable). The
-  // caller must hold the engine's storage writer lock so journal order equals
-  // memory commit order. Empty `ops` is a no-op that reports *commit_seq = 0.
-  Status Append(const std::vector<WalOp>& ops, uint64_t* commit_seq)
-      SELTRIG_EXCLUDES(mutex_);
+  // assigning this commit's position in *commit_seq (for WaitDurable) and,
+  // when `pos` is non-null, the journal position just past the record (for
+  // replication acked-prefix tracking). The caller must hold the engine's
+  // storage writer lock so journal order equals memory commit order. Empty
+  // `ops` is a no-op that reports *commit_seq = 0.
+  Status Append(const std::vector<WalOp>& ops, uint64_t* commit_seq,
+                WalPosition* pos = nullptr) SELTRIG_EXCLUDES(mutex_);
 
   // Blocks until commit `commit_seq` is on stable storage (kCommit), fsyncs
   // the whole backlog when the batch threshold is reached (kBatch), or
@@ -136,6 +184,13 @@ class WalWriter {
   // after releasing the storage writer lock: concurrent committers' waits
   // collapse into one fsync, and a batch-threshold fsync never stalls other
   // sessions' appends.
+  //
+  // When a durable-wait timeout is configured (set_durable_timeout_ms) and
+  // another committer's fsync stalls past it, returns kDeadlineExceeded
+  // instead of blocking forever — the statement then withholds its
+  // acknowledgement, which is always safe. The timeout bounds waiting on
+  // another thread's fsync; a thread that is itself the fsync leader is
+  // inside the syscall and cannot be interrupted.
   Status WaitDurable(uint64_t commit_seq) SELTRIG_EXCLUDES(mutex_);
 
   // Append + WaitDurable, for callers without the split locking need.
@@ -157,10 +212,26 @@ class WalWriter {
     MutexLock lock(&mutex_);
     return seq_;
   }
+  // The journal position just past the last appended record.
+  WalPosition current_position() const SELTRIG_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return WalPosition{epoch_, seq_, segment_bytes_};
+  }
+  uint64_t epoch() const { return epoch_unlocked_; }
   const std::string& wal_dir() const { return wal_dir_; }
 
   void set_sync_mode(WalSyncMode mode) { sync_mode_ = mode; }
   WalSyncMode sync_mode() const { return sync_mode_; }
+
+  // Bounds how long WaitDurable blocks on another committer's in-flight
+  // fsync before returning kDeadlineExceeded. <= 0 (the default) waits
+  // forever. Rotation and explicit Sync() always wait to completion.
+  void set_durable_timeout_ms(int64_t ms) {
+    durable_timeout_ms_.store(ms, std::memory_order_relaxed);
+  }
+  int64_t durable_timeout_ms() const {
+    return durable_timeout_ms_.load(std::memory_order_relaxed);
+  }
 
  private:
   WalWriter() = default;
@@ -169,11 +240,17 @@ class WalWriter {
   // Waits until `target` commits are durable, fsyncing as the group leader
   // when no other committer is already in fsync. Drops mutex_ around the
   // fsync syscall itself (the sync_in_flight_ handoff keeps file_ stable
-  // while unlocked); holds it on entry and exit.
-  Status SyncUpToLocked(uint64_t target) SELTRIG_REQUIRES(mutex_);
+  // while unlocked); holds it on entry and exit. `timeout_ms` > 0 bounds
+  // time spent waiting on another leader's fsync (kDeadlineExceeded).
+  Status SyncUpToLocked(uint64_t target, int64_t timeout_ms)
+      SELTRIG_REQUIRES(mutex_);
 
   std::string wal_dir_;
   std::atomic<WalSyncMode> sync_mode_{WalSyncMode::kCommit};
+  std::atomic<int64_t> durable_timeout_ms_{0};
+  // The writer's epoch is fixed at Open; mirrored outside the mutex for
+  // lock-free reads (epoch_ under the mutex is the per-segment stamp).
+  uint64_t epoch_unlocked_ = 0;
 
   // Guards the segment file and the group-commit counters. mutable so
   // const readers (current_seq) can take it.
@@ -183,6 +260,7 @@ class WalWriter {
   std::condition_variable_any durable_cv_;
   AppendFile file_ SELTRIG_GUARDED_BY(mutex_);
   uint64_t seq_ SELTRIG_GUARDED_BY(mutex_) = 0;  // current segment sequence
+  uint64_t epoch_ SELTRIG_GUARDED_BY(mutex_) = 0;
   // Bytes written to the current segment.
   uint64_t segment_bytes_ SELTRIG_GUARDED_BY(mutex_) = 0;
   // Commits appended (commit_seq of the latest).
@@ -196,6 +274,72 @@ class WalWriter {
   // segment tail is unreliable, so further appends must fail rather than
   // write records recovery would silently drop.
   bool poisoned_ SELTRIG_GUARDED_BY(mutex_) = false;
+};
+
+// Incremental read-only cursor over a WAL directory that may be actively
+// written by a WalWriter — the replication shipper's tail-follow. Reads one
+// record at a time with pread (no shared file offset with the writer) and
+// distinguishes the three tail states the shipper must handle differently:
+//
+//   kUnavailable  no complete record at the cursor yet: clean end of the
+//                 newest segment, or a partial record the writer is mid-
+//                 append on (the length prefix or payload has not fully
+//                 landed). Retry later; NEVER treated as a torn tail.
+//   kNotFound     the segment no longer exists — a checkpoint truncated the
+//                 journal past the cursor. The caller must fall back to
+//                 snapshot-based catch-up.
+//   kDataLoss     a fully-present record fails its checksum: real corruption
+//                 (an injected torn tail from a previous crash is truncated
+//                 by recovery before a writer reopens the directory).
+//
+// A partial or missing record at the end of a segment that is NOT the newest
+// is advanced past instead: the writer rotates only after fsyncing the whole
+// segment, so trailing bytes before an existing newer segment can only be a
+// crash remnant that recovery already chose to discard — by construction
+// never acknowledged.
+class WalTailReader {
+ public:
+  explicit WalTailReader(std::string wal_dir) : wal_dir_(std::move(wal_dir)) {}
+
+  // One raw journal record and where it lives.
+  struct RecordRef {
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+    uint64_t offset = 0;      // byte offset of the record header in `seq`
+    uint64_t end_offset = 0;  // first byte past the record
+    std::string bytes;        // length | crc | payload, verbatim
+  };
+
+  // Positions the cursor. offset 0 means "first record of the segment"
+  // (resolved to just past the header once the header is read).
+  void Seek(uint64_t seq, uint64_t offset) {
+    seq_ = seq;
+    offset_ = offset;
+    epoch_ = 0;
+    header_size_ = 0;
+  }
+
+  // Reads the record at the cursor and advances past it. See the class
+  // comment for the non-OK outcomes.
+  Status Next(RecordRef* out);
+
+  uint64_t seq() const { return seq_; }
+  uint64_t offset() const { return offset_; }
+
+ private:
+  // Loads the segment header at the cursor's segment, resolving epoch and
+  // header size (v1 vs v2) and normalizing offset 0 to the first record.
+  Status ReadHeader();
+  // True when a segment with sequence > seq_ exists on disk.
+  bool NewerSegmentExists() const;
+  // Moves the cursor to the start of the next existing segment.
+  Status AdvanceSegment();
+
+  std::string wal_dir_;
+  uint64_t seq_ = 0;
+  uint64_t offset_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t header_size_ = 0;  // 0 = header not read yet for this segment
 };
 
 }  // namespace seltrig

@@ -11,14 +11,19 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/fault_injector.h"
 #include "engine/database.h"
 #include "engine/recovery.h"
+#include "replication/applier.h"
+#include "replication/shipper.h"
+#include "replication/transport.h"
 
 namespace seltrig {
 namespace {
@@ -68,6 +73,45 @@ class FaultCoverageTest : public ::testing::Test {
     (void)db->Checkpoint();
   }
 
+  // The `replication.*` points live on the shipper/applier/transport path,
+  // which the storage workload never enters. Ship `db`'s journal to an
+  // in-process follower and keep committing until the armed point fires
+  // (FailAlways on any of these points blocks convergence by design — the
+  // loop only needs the point reached, not the follower caught up).
+  void DriveReplicationWorkload(Database* db, const std::string& point) {
+    Result<std::unique_ptr<ReplicaApplier>> applier =
+        ReplicaApplier::Open(base_ + "/" + point + "_follower");
+    ASSERT_TRUE(applier.ok()) << applier.status().message();
+    ReplicaApplier* raw = applier->get();
+
+    ShipperOptions options;
+    options.heartbeat_interval_ms = 5;
+    options.ack_timeout_ms = 100;
+    options.initial_backoff_ms = 1;
+    options.max_backoff_ms = 10;
+    options.poll_interval_ms = 1;
+    LogShipper shipper(db, options);
+    shipper.AddFollower("f0", [raw]() -> Result<std::shared_ptr<FrameChannel>> {
+      raw->Stop();
+      ChannelPair pair = CreateInProcessChannelPair();
+      raw->Start(pair.follower_end);
+      return pair.primary_end;
+    });
+
+    FaultInjector& injector = FaultInjector::Instance();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    int64_t key = 100;
+    while (injector.fires(point) == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      (void)db->Execute("INSERT INTO patients VALUES (" +
+                        std::to_string(key++) + ", 'Rep', 'lag')");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    shipper.Stop();
+    raw->Stop();
+  }
+
   std::string base_;
 };
 
@@ -97,6 +141,11 @@ TEST_F(FaultCoverageTest, EveryKnownFaultPointIsArmedAndReachable) {
       injector.Arm(point, FaultInjector::FailNth(1u << 30));
       DriveWorkload(db.get());
       EXPECT_GT(injector.hits(point), 0u);
+    } else if (point.rfind("replication.", 0) == 0) {
+      injector.Arm(point, FaultInjector::FailAlways());
+      DriveReplicationWorkload(db.get(), point);
+      EXPECT_GT(injector.fires(point), 0u)
+          << "the replication workload never reaches fault point " << point;
     } else {
       injector.Arm(point, FaultInjector::FailAlways());
       DriveWorkload(db.get());

@@ -28,16 +28,37 @@
 // firing (the Nth-hit sweep for that point is exhausted -- the parent still
 // verifies full recovery); anything else is a harness failure.
 //
-// Usage: seltrig_crashtest [--quick] [--keep] [--dir DIR]
-//   --quick  sweep only the first few hits of each point (CI smoke mode)
-//   --keep   keep trial directories (default: removed on success)
-//   --dir    parent directory for trial state (default: a fresh temp dir)
+// Replication mode (--replication) runs a two-node kill matrix instead: for
+// every replication.* and journal fault point, in both sync and async ack
+// modes, a primary process (Database + LogShipper over a unix socket) runs
+// the workload against a follower process (ReplicaApplier), with the point
+// armed to crash either the primary or the follower at its Nth hit. The
+// parent then PROMOTES the follower directory and checks the acked-prefix
+// invariant: the promoted state equals the state after some workload prefix,
+// and under sync ack mode that prefix covers every statement acknowledged
+// while the follower was in the sync quorum — rows, audit log, and ACCESSED
+// bit-for-bit. The primary directory must independently recover to its own
+// locally-acknowledged prefix, as in the single-node sweep.
+//
+// Usage: seltrig_crashtest [--quick] [--keep] [--dir DIR] [--seed N]
+//                          [--replication]
+//   --quick        sweep only the first few hits of each point (CI smoke mode)
+//   --keep         keep trial directories, including on failure (default:
+//                  removed; failures print the label so a --keep rerun can
+//                  reproduce them)
+//   --dir          parent directory for trial state (default: a fresh temp dir)
+//   --seed         deterministic trial-order seed (default 1; the sweep order
+//                  is a seeded shuffle, so two runs with the same seed execute
+//                  identical trial sequences)
+//   --replication  run the two-node replication kill matrix
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,11 +66,15 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injector.h"
 #include "engine/database.h"
 #include "engine/recovery.h"
+#include "replication/applier.h"
+#include "replication/shipper.h"
+#include "replication/transport.h"
 #include "types/value.h"
 
 namespace seltrig {
@@ -105,6 +130,32 @@ const std::vector<std::string>& SweepPoints() {
       "storage.append", "trigger.action", "snapshot.write", "snapshot.swap",
   };
   return points;
+}
+
+// The two-node matrix sweeps every replication fault point plus the journal
+// points that fire on the primary while it is being shipped from. Points
+// that never fire in the victim process exhaust at the first hit count and
+// cost one trial.
+const std::vector<std::string>& ReplicationSweepPoints() {
+  static const std::vector<std::string> points = {
+      "replication.send",      "replication.recv",  "replication.apply",
+      "replication.ack",       "replication.drop",  "replication.delay",
+      "replication.duplicate", "replication.reorder", "replication.torn",
+      "wal.append",            "wal.fsync",         "wal.rotate",
+      "wal.torn",
+  };
+  return points;
+}
+
+// Deterministic Fisher-Yates: the trial order is a pure function of the
+// seed, so a failing sequence reproduces with the same --seed.
+template <typename T>
+void SeededShuffle(std::vector<T>* items, uint64_t seed) {
+  uint64_t rng = seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  for (size_t i = items->size(); i > 1; --i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    std::swap((*items)[i - 1], (*items)[(rng >> 33) % i]);
+  }
 }
 
 Status RunWorkloadStatement(Database* db, const std::string& stmt) {
@@ -240,14 +291,18 @@ std::vector<std::string> ReferenceProjection(size_t prefix) {
   return StateProjection(&db);
 }
 
-size_t CountAckedStatements(const std::string& dir) {
-  std::ifstream in(dir + "/acks");
+size_t CountLines(const std::string& path) {
+  std::ifstream in(path);
   size_t count = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty()) ++count;
   }
   return count;
+}
+
+size_t CountAckedStatements(const std::string& dir) {
+  return CountLines(dir + "/acks");
 }
 
 void PrintProjection(const char* label, const std::vector<std::string>& state) {
@@ -338,6 +393,148 @@ bool VerifyLossTrial(const std::string& dir) {
 }
 
 // ---------------------------------------------------------------------------
+// Replication matrix: a primary process ships the journal to a follower
+// process over a unix socket; the armed fault crashes one of them.
+
+// The primary child: runs the workload with a LogShipper attached, recording
+// two fsynced ack streams — "acks" (every locally committed statement, the
+// single-node durability promise) and, under sync mode, "racks" (statements
+// acknowledged while the follower was in the sync quorum: exactly those the
+// acked-prefix invariant obliges the promoted follower to retain).
+int RunReplicationPrimary(const std::string& dir, const std::string& socket_path,
+                          const std::string& point, uint64_t nth, bool arm_here,
+                          bool sync_mode) {
+  Result<std::unique_ptr<Database>> opened = Database::Recover(dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "primary: open failed: %s\n",
+                 opened.status().message().c_str());
+    return kHarnessError;
+  }
+  std::unique_ptr<Database> db = std::move(*opened);
+
+  ShipperOptions sopts;
+  sopts.ack_mode =
+      sync_mode ? ReplicationAckMode::kSync : ReplicationAckMode::kAsync;
+  sopts.heartbeat_interval_ms = 20;
+  sopts.ack_timeout_ms = 200;  // one bounded stall when the follower dies
+  sopts.initial_backoff_ms = 2;
+  sopts.max_backoff_ms = 50;
+  sopts.poll_interval_ms = 2;
+  LogShipper shipper(db.get(), sopts);
+  shipper.AddFollower("f1",
+                      [socket_path] { return ConnectLocalSocket(socket_path); });
+
+  int ack_fd = ::open((dir + "/acks").c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  int rack_fd = ::open((dir + "/racks").c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (ack_fd < 0 || rack_fd < 0) return kHarnessError;
+
+  if (arm_here) {
+    FaultInjector::Schedule schedule = point == "wal.torn"
+                                           ? FaultInjector::FailNth(nth)
+                                           : FaultInjector::CrashNth(nth);
+    FaultInjector::Instance().Arm(point, schedule);
+  }
+
+  for (size_t i = 0; i < Workload().size(); ++i) {
+    Status s = RunWorkloadStatement(db.get(), Workload()[i]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "primary: statement %zu failed: %s\n", i,
+                   s.message().c_str());
+      return kHarnessError;
+    }
+    char line[32];
+    int len = std::snprintf(line, sizeof(line), "%zu\n", i);
+    if (::write(ack_fd, line, static_cast<size_t>(len)) != len ||
+        ::fsync(ack_fd) != 0) {
+      return kHarnessError;
+    }
+    if (sync_mode) {
+      // A sync Execute returns only once every non-degraded follower acked
+      // (or after degrading the laggard). So at this point either the
+      // follower holds the statement durably, or it is marked degraded and
+      // the statement is outside the sync guarantee — record it only in the
+      // first case.
+      std::vector<FollowerStatus> followers = shipper.Followers();
+      if (!followers.empty() && !followers[0].degraded) {
+        if (::write(rack_fd, line, static_cast<size_t>(len)) != len ||
+            ::fsync(rack_fd) != 0) {
+          return kHarnessError;
+        }
+      }
+    }
+  }
+
+  // Drain the tail so deep-Nth sweeps reach late hits; give up quickly once
+  // the follower is gone.
+  for (int i = 0; i < 100 && !shipper.AllCaughtUp(); ++i) {
+    std::vector<FollowerStatus> followers = shipper.Followers();
+    if (!followers.empty() && !followers[0].connected) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  shipper.Stop();
+  return kSweepExhausted;
+}
+
+// The follower child: serves the socket until killed. Every (re)connect from
+// the primary restarts the applier on the fresh channel.
+int RunReplicationFollower(const std::string& dir, const std::string& socket_path,
+                           const std::string& point, uint64_t nth,
+                           bool arm_here) {
+  Result<std::unique_ptr<LocalSocketServer>> server =
+      LocalSocketServer::Listen(socket_path);
+  if (!server.ok()) {
+    std::fprintf(stderr, "follower: listen failed: %s\n",
+                 server.status().message().c_str());
+    return kHarnessError;
+  }
+  Result<std::unique_ptr<ReplicaApplier>> applier = ReplicaApplier::Open(dir);
+  if (!applier.ok()) {
+    std::fprintf(stderr, "follower: open failed: %s\n",
+                 applier.status().message().c_str());
+    return kHarnessError;
+  }
+  if (arm_here) {
+    FaultInjector::Instance().Arm(point, FaultInjector::CrashNth(nth));
+  }
+  for (;;) {
+    Result<std::shared_ptr<FrameChannel>> channel = (*server)->Accept(200);
+    if (channel.status().code() == ErrorCode::kDeadlineExceeded) continue;
+    if (!channel.ok()) return kHarnessError;
+    (*applier)->Start(*channel);
+  }
+}
+
+// Promotes the follower directory and checks the acked-prefix invariant.
+// `min_prefix` is the sync-mode floor (0 under async: any prefix is legal,
+// only prefix-ness itself is required).
+bool VerifyPromotedFollower(const std::string& follower_dir,
+                            const std::string& label, size_t min_prefix) {
+  RecoveryStats stats;
+  Result<std::unique_ptr<Database>> promoted =
+      Database::Promote(follower_dir, &stats);
+  if (!promoted.ok()) {
+    std::fprintf(stderr, "FAIL %s: follower promotion failed: %s\n",
+                 label.c_str(), promoted.status().message().c_str());
+    return false;
+  }
+  std::vector<std::string> actual = StateProjection(promoted->get());
+  const size_t limit = Workload().size();
+  for (size_t prefix = std::min(min_prefix, limit); prefix <= limit; ++prefix) {
+    if (actual == ReferenceProjection(prefix)) return true;
+  }
+  std::fprintf(stderr,
+               "FAIL %s: promoted follower matches no workload prefix >= %zu "
+               "(commits_replayed=%llu, epoch=%llu)\n",
+               label.c_str(), min_prefix,
+               static_cast<unsigned long long>(stats.commits_replayed),
+               static_cast<unsigned long long>(stats.max_epoch));
+  PrintProjection("promoted follower", actual);
+  PrintProjection("expected floor (sync-acked prefix)",
+                  ReferenceProjection(std::min(min_prefix, limit)));
+  return false;
+}
+
+// ---------------------------------------------------------------------------
 // Trial driver.
 
 struct TrialResult {
@@ -363,8 +560,165 @@ TrialResult RunTrial(ChildFn child_fn) {
 struct Options {
   bool quick = false;
   bool keep = false;
+  bool replication = false;
+  uint64_t seed = 1;
   std::string base_dir;
 };
+
+// Removes a trial directory unless --keep asked for it. Failures are
+// reproducible from the printed label and seed, so even failed trials are
+// cleaned up rather than leaked into the temp filesystem.
+void CleanupTrialDir(const std::string& dir, bool keep) {
+  if (keep) return;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// One replication matrix trial: fork the follower, fork the primary, let the
+// armed fault kill its victim, then verify both directories.
+// Returns false on an invariant violation; *exhausted is set when the point
+// never fired in the victim, ending the Nth sweep for this configuration.
+bool RunReplicationTrial(const std::string& dir, const std::string& label,
+                         const std::string& point, uint64_t nth,
+                         bool victim_primary, bool sync_mode, bool* exhausted,
+                         int* crashes) {
+  const std::string primary_dir = dir + "/primary";
+  const std::string follower_dir = dir + "/follower";
+  const std::string socket_path = dir + "/sock";
+  std::error_code ec;
+  std::filesystem::create_directories(primary_dir, ec);
+  std::filesystem::create_directories(follower_dir, ec);
+
+  pid_t follower_pid = ::fork();
+  if (follower_pid < 0) return false;
+  if (follower_pid == 0) {
+    std::_Exit(RunReplicationFollower(follower_dir, socket_path, point, nth,
+                                      /*arm_here=*/!victim_primary));
+  }
+
+  pid_t primary_pid = ::fork();
+  if (primary_pid < 0) {
+    ::kill(follower_pid, SIGKILL);
+    ::waitpid(follower_pid, nullptr, 0);
+    return false;
+  }
+  if (primary_pid == 0) {
+    std::_Exit(RunReplicationPrimary(primary_dir, socket_path, point, nth,
+                                     /*arm_here=*/victim_primary, sync_mode));
+  }
+
+  int primary_status = 0;
+  if (::waitpid(primary_pid, &primary_status, 0) != primary_pid ||
+      !WIFEXITED(primary_status)) {
+    ::kill(follower_pid, SIGKILL);
+    ::waitpid(follower_pid, nullptr, 0);
+    std::fprintf(stderr, "FAIL %s: primary did not exit cleanly\n", label.c_str());
+    return false;
+  }
+  const int primary_exit = WEXITSTATUS(primary_status);
+
+  // The follower either crashed on its armed point or is still serving; a
+  // SIGKILL from here is just one more crash the recovery path must absorb
+  // (anything acked is already fsynced).
+  int follower_status = 0;
+  bool follower_crashed = false;
+  if (::waitpid(follower_pid, &follower_status, WNOHANG) == follower_pid) {
+    follower_crashed = WIFEXITED(follower_status) &&
+                       WEXITSTATUS(follower_status) == FaultInjector::kCrashExitCode;
+  } else {
+    ::kill(follower_pid, SIGKILL);
+    ::waitpid(follower_pid, &follower_status, 0);
+  }
+
+  if (victim_primary) {
+    if (primary_exit == kSweepExhausted) {
+      *exhausted = true;
+    } else if (primary_exit == FaultInjector::kCrashExitCode) {
+      ++*crashes;
+    } else {
+      std::fprintf(stderr, "FAIL %s: unexpected primary exit %d\n",
+                   label.c_str(), primary_exit);
+      return false;
+    }
+  } else {
+    if (primary_exit != kSweepExhausted) {
+      // With the fault armed in the follower, the primary must always ride
+      // out the loss and complete (graceful degradation).
+      std::fprintf(stderr, "FAIL %s: primary exit %d with healthy journal\n",
+                   label.c_str(), primary_exit);
+      return false;
+    }
+    if (follower_crashed) {
+      ++*crashes;
+    } else {
+      *exhausted = true;
+    }
+  }
+
+  // The primary's own directory must recover to its locally-acked prefix,
+  // exactly as in the single-node sweep.
+  if (!VerifyWorkloadTrial(primary_dir, label + " [primary]",
+                           /*completed=*/primary_exit == kSweepExhausted)) {
+    return false;
+  }
+  // The promoted follower must be an acked-prefix replay. Under sync mode
+  // the prefix floor is the statements acknowledged while the follower was
+  // in the sync quorum; under async any prefix is acceptable.
+  const size_t min_prefix =
+      sync_mode ? CountLines(primary_dir + "/racks") : 0;
+  return VerifyPromotedFollower(follower_dir, label + " [follower]", min_prefix);
+}
+
+int RunReplicationHarness(const Options& options, const std::string& base) {
+  struct Config {
+    std::string point;
+    bool victim_primary;
+    bool sync_mode;
+  };
+  std::vector<Config> configs;
+  for (const std::string& point : ReplicationSweepPoints()) {
+    for (bool victim_primary : {true, false}) {
+      for (bool sync_mode : {true, false}) {
+        configs.push_back({point, victim_primary, sync_mode});
+      }
+    }
+  }
+  SeededShuffle(&configs, options.seed);
+
+  const uint64_t nth_limit = options.quick ? 2 : 6;
+  int trials = 0;
+  int crashes = 0;
+  bool failed = false;
+  std::error_code ec;
+
+  for (const Config& config : configs) {
+    for (uint64_t nth = 1; nth <= nth_limit; ++nth) {
+      const std::string label = std::string("repl.") + config.point +
+                                (config.victim_primary ? ".p" : ".f") +
+                                (config.sync_mode ? ".sync" : ".async") + "#" +
+                                std::to_string(nth);
+      const std::string dir = base + "/" + label;
+      std::filesystem::remove_all(dir, ec);
+      std::filesystem::create_directories(dir, ec);
+
+      ++trials;
+      bool exhausted = false;
+      bool ok = RunReplicationTrial(dir, label, config.point, nth,
+                                    config.victim_primary, config.sync_mode,
+                                    &exhausted, &crashes);
+      if (!ok) failed = true;
+      CleanupTrialDir(dir, options.keep);
+      if (!ok || exhausted) break;  // later hits cannot fire either
+    }
+  }
+
+  std::printf(
+      "seltrig_crashtest --replication: %d trials, %d injected crashes, "
+      "seed %llu, %s\n",
+      trials, crashes, static_cast<unsigned long long>(options.seed),
+      failed ? "FAILURES" : "all invariants held");
+  return failed ? 1 : 0;
+}
 
 int RunHarness(const Options& options) {
   std::error_code ec;
@@ -380,12 +734,23 @@ int RunHarness(const Options& options) {
     return 1;
   }
 
+  if (options.replication) {
+    const int result = RunReplicationHarness(options, base);
+    if (result == 0 && !options.keep && options.base_dir.empty()) {
+      std::filesystem::remove_all(base, ec);
+    }
+    return result;
+  }
+
   int trials = 0;
   int crashes = 0;
   bool failed = false;
   const uint64_t nth_limit = options.quick ? kQuickNthLimit : kMaxNth;
 
-  for (const std::string& point : SweepPoints()) {
+  std::vector<std::string> points = SweepPoints();
+  SeededShuffle(&points, options.seed);
+
+  for (const std::string& point : points) {
     for (uint64_t nth = 1; nth <= nth_limit; ++nth) {
       const std::string label = point + "#" + std::to_string(nth);
       const std::string dir = base + "/" + point + "." + std::to_string(nth);
@@ -399,6 +764,7 @@ int RunHarness(const Options& options) {
         std::fprintf(stderr, "FAIL %s: child did not exit cleanly\n",
                      label.c_str());
         failed = true;
+        CleanupTrialDir(dir, options.keep);
         break;
       }
       if (trial.exit_code == kSweepExhausted) {
@@ -406,23 +772,22 @@ int RunHarness(const Options& options) {
         // Recovery of the completed run must reproduce the full prefix.
         if (!VerifyWorkloadTrial(dir, label + " (completed)", /*completed=*/true)) {
           failed = true;
-        } else if (!options.keep) {
-          std::filesystem::remove_all(dir, ec);
         }
+        CleanupTrialDir(dir, options.keep);
         break;  // later hits cannot fire either
       }
       if (trial.exit_code != FaultInjector::kCrashExitCode) {
         std::fprintf(stderr, "FAIL %s: unexpected child exit %d\n",
                      label.c_str(), trial.exit_code);
         failed = true;
+        CleanupTrialDir(dir, options.keep);
         continue;
       }
       ++crashes;
       if (!VerifyWorkloadTrial(dir, label, /*completed=*/false)) {
         failed = true;
-      } else if (!options.keep) {
-        std::filesystem::remove_all(dir, ec);
       }
+      CleanupTrialDir(dir, options.keep);
     }
   }
 
@@ -438,19 +803,18 @@ int RunHarness(const Options& options) {
       failed = true;
     } else {
       ++crashes;
-      if (!VerifyLossTrial(dir)) {
-        failed = true;
-      } else if (!options.keep) {
-        std::filesystem::remove_all(dir, ec);
-      }
+      if (!VerifyLossTrial(dir)) failed = true;
     }
+    CleanupTrialDir(dir, options.keep);
   }
 
   if (!failed && !options.keep && options.base_dir.empty()) {
     std::filesystem::remove_all(base, ec);
   }
-  std::printf("seltrig_crashtest: %d trials, %d injected crashes, %s\n", trials,
-              crashes, failed ? "FAILURES (state kept)" : "all invariants held");
+  std::printf("seltrig_crashtest: %d trials, %d injected crashes, seed %llu, %s\n",
+              trials, crashes, static_cast<unsigned long long>(options.seed),
+              failed ? "FAILURES (rerun with --keep --seed to inspect)"
+                     : "all invariants held");
   return failed ? 1 : 0;
 }
 
@@ -465,10 +829,17 @@ int main(int argc, char** argv) {
       options.quick = true;
     } else if (arg == "--keep") {
       options.keep = true;
+    } else if (arg == "--replication") {
+      options.replication = true;
     } else if (arg == "--dir" && i + 1 < argc) {
       options.base_dir = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--keep] [--dir DIR]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--keep] [--dir DIR] [--seed N] "
+                   "[--replication]\n",
+                   argv[0]);
       return 2;
     }
   }

@@ -13,11 +13,15 @@
 //   .tpch SF              load the TPC-H database at scale factor SF
 //   .import FILE TABLE    bulk-load a CSV file (with header) into TABLE
 //   .wal DIR              open a durable database at DIR (recover + journal)
+//   .replica DIR          attach an in-process replica at durable dir DIR
+//   .replica              show follower status (position, lag, degraded)
 //   .quit / .exit         leave
 //
-// Session settings (see docs/ROBUSTNESS.md and docs/DURABILITY.md):
+// Session settings (see docs/ROBUSTNESS.md, docs/DURABILITY.md and
+// docs/REPLICATION.md):
 //   SET AUDIT_FAILURE_POLICY = FAIL_CLOSED | FAIL_OPEN;
 //   SET WAL_SYNC = OFF | COMMIT | BATCH;
+//   SET REPLICATION_ACK = ASYNC | SYNC;   -- before the first .replica
 //   CHECKPOINT;
 //
 // Usage:   seltrig_shell [script.sql ...]
@@ -39,6 +43,9 @@
 #include "engine/csv_loader.h"
 #include "engine/recovery.h"
 #include "engine/snapshot.h"
+#include "replication/applier.h"
+#include "replication/shipper.h"
+#include "replication/transport.h"
 #include "seltrig/seltrig.h"
 
 namespace {
@@ -53,6 +60,20 @@ using seltrig::StatementResult;
 struct Shell {
   std::unique_ptr<Database> db = std::make_unique<Database>();
   ExecOptions options;
+  // Replication state (.replica / SET REPLICATION_ACK). Declaration order
+  // matters: the shipper holds the db and the appliers, so it must be
+  // destroyed first (members destruct in reverse order).
+  seltrig::ReplicationAckMode ack_mode = seltrig::ReplicationAckMode::kAsync;
+  std::vector<std::unique_ptr<seltrig::ReplicaApplier>> appliers;
+  std::unique_ptr<seltrig::LogShipper> shipper;
+
+  // Detaches every replica (used before swapping the database).
+  void StopReplication() {
+    if (shipper != nullptr) shipper->Stop();
+    shipper.reset();
+    for (auto& applier : appliers) applier->Stop();
+    appliers.clear();
+  }
 };
 
 void PrintResult(const StatementResult& result) {
@@ -115,6 +136,22 @@ bool HandleSetCommand(Shell* sh, const std::string& sql) {
     }
     return true;
   }
+  if (name == "REPLICATION_ACK") {
+    if (sh->shipper != nullptr) {
+      // The ack mode is fixed at shipper construction; switching a live
+      // shipper would silently change the guarantee mid-stream.
+      std::printf("error: SET REPLICATION_ACK before attaching the first replica\n");
+    } else if (value == "ASYNC") {
+      sh->ack_mode = seltrig::ReplicationAckMode::kAsync;
+      std::printf("replication ack: async\n");
+    } else if (value == "SYNC") {
+      sh->ack_mode = seltrig::ReplicationAckMode::kSync;
+      std::printf("replication ack: sync (statements wait for follower acks)\n");
+    } else {
+      std::printf("error: SET REPLICATION_ACK expects ASYNC or SYNC\n");
+    }
+    return true;
+  }
   if (name != "AUDIT_FAILURE_POLICY") return false;
   if (value == "FAIL_CLOSED") {
     sh->options.audit_failure_policy = seltrig::AuditFailurePolicy::kFailClosed;
@@ -154,9 +191,10 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
     std::printf(
         ".tables | .audit | .triggers | .user NAME | .profile on|off | .batch N "
         "| .threads N | .concurrent N SQL | .tpch SF | .import FILE TABLE "
-        "| .save DIR | .open DIR | .wal DIR | .quit\n"
+        "| .save DIR | .open DIR | .wal DIR | .replica [DIR] | .quit\n"
         "SET AUDIT_FAILURE_POLICY = FAIL_CLOSED | FAIL_OPEN;\n"
-        "SET WAL_SYNC = OFF | COMMIT | BATCH;   CHECKPOINT;\n");
+        "SET WAL_SYNC = OFF | COMMIT | BATCH;   CHECKPOINT;\n"
+        "SET REPLICATION_ACK = ASYNC | SYNC;  (before the first .replica)\n");
   } else if (cmd == ".tables") {
     for (const std::string& name : db->catalog()->TableNames()) {
       auto table = db->catalog()->GetTable(name);
@@ -293,6 +331,9 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
       std::printf("error: %s\n", recovered.status().ToString().c_str());
       return true;
     }
+    // The shipper tails the old database's journal; detach replicas before
+    // swapping it out.
+    sh->StopReplication();
     sh->db = std::move(recovered).value();
     std::printf(
         "recovered %s: snapshot=%s, %llu segment(s), %llu commit(s), %llu op(s)%s\n",
@@ -301,6 +342,58 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
         static_cast<unsigned long long>(stats.commits_replayed),
         static_cast<unsigned long long>(stats.ops_applied),
         stats.truncated_torn_tail ? ", torn tail truncated" : "");
+  } else if (cmd == ".replica") {
+    // .replica DIR attaches an in-process follower whose durable state lives
+    // at DIR (see docs/REPLICATION.md); .replica alone prints status.
+    std::string dir;
+    in >> dir;
+    if (dir.empty()) {
+      if (sh->shipper == nullptr) {
+        std::printf("no replicas attached (use .replica DIR)\n");
+        return true;
+      }
+      for (const seltrig::FollowerStatus& f : sh->shipper->Followers()) {
+        std::printf(
+            "%-12s %s%s acked=%s sent=%llu acked_records=%llu naks=%llu "
+            "snapshots=%llu reconnects=%llu%s%s\n",
+            f.name.c_str(), f.connected ? "connected" : "disconnected",
+            f.degraded ? " DEGRADED" : "", f.acked.ToString().c_str(),
+            static_cast<unsigned long long>(f.records_sent),
+            static_cast<unsigned long long>(f.records_acked),
+            static_cast<unsigned long long>(f.naks_received),
+            static_cast<unsigned long long>(f.snapshots_sent),
+            static_cast<unsigned long long>(f.reconnects),
+            f.last_error.empty() ? "" : " error=", f.last_error.c_str());
+      }
+      return true;
+    }
+    if (db->wal() == nullptr) {
+      std::printf("error: .replica requires a journaled primary (.wal DIR first)\n");
+      return true;
+    }
+    auto applier = seltrig::ReplicaApplier::Open(dir);
+    if (!applier.ok()) {
+      std::printf("error: %s\n", applier.status().ToString().c_str());
+      return true;
+    }
+    if (sh->shipper == nullptr) {
+      seltrig::ShipperOptions options;
+      options.ack_mode = sh->ack_mode;
+      sh->shipper = std::make_unique<seltrig::LogShipper>(db, options);
+    }
+    seltrig::ReplicaApplier* raw = applier->get();
+    sh->appliers.push_back(std::move(*applier));
+    sh->shipper->AddFollower(
+        "replica" + std::to_string(sh->appliers.size()),
+        [raw]() -> seltrig::Result<std::shared_ptr<seltrig::FrameChannel>> {
+          raw->Stop();
+          seltrig::ChannelPair pair = seltrig::CreateInProcessChannelPair();
+          raw->Start(pair.follower_end);
+          return pair.primary_end;
+        });
+    std::printf("replica attached at %s (%s ack)\n", dir.c_str(),
+                sh->ack_mode == seltrig::ReplicationAckMode::kSync ? "sync"
+                                                                   : "async");
   } else if (cmd == ".import") {
     std::string file, table;
     in >> file >> table;

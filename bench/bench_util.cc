@@ -83,6 +83,11 @@ std::function<void()> QueryRunner(Database* db, const std::string& sql,
   options.heuristic = heuristic;
   options.instrument_all_audit_expressions = instrumented;
   options.enable_select_triggers = false;
+  return QueryRunner(db, sql, options);
+}
+
+std::function<void()> QueryRunner(Database* db, const std::string& sql,
+                                  const ExecOptions& options) {
   return [db, sql, options]() {
     auto r = db->ExecuteWithOptions(sql, options);
     if (!r.ok()) {
@@ -90,6 +95,17 @@ std::function<void()> QueryRunner(Database* db, const std::string& sql,
       std::abort();
     }
   };
+}
+
+void AppendJsonLine(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot append to %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  std::printf("# appended result line to %s\n", path.c_str());
 }
 
 size_t AuditCardinality(Database* db, const std::string& sql,

@@ -41,6 +41,17 @@ std::vector<double> InterleavedMediansMs(const std::vector<std::function<void()>
 std::function<void()> QueryRunner(Database* db, const std::string& sql,
                                   bool instrumented, PlacementHeuristic heuristic);
 
+// Same, but with fully explicit ExecOptions (layout, batch size, threads) for
+// row-vs-columnar comparisons. `enable_select_triggers` should usually be off
+// so timing measures the query, not trigger actions.
+std::function<void()> QueryRunner(Database* db, const std::string& sql,
+                                  const ExecOptions& options);
+
+// Appends `json` (one serialized object) as a single line to `path`. The
+// committed BENCH_*.json files at the repo root are append-only trajectories:
+// one line per recorded run, so future revisions can see the perf curve.
+void AppendJsonLine(const std::string& path, const std::string& json);
+
 // Runs `sql` instrumented with `heuristic` for all registered audit
 // expressions and returns the audited ID count for `audit_name`.
 // Fails fast (aborts) on execution errors so benchmark output stays honest.

@@ -182,6 +182,65 @@ BENCHMARK(BM_BatchSweepScanFilterAudit)
     ->Arg(4096)
     ->Iterations(100);
 
+// Layout sweep: the same query through the row escape hatch (arg 0) and the
+// columnar pipeline (arg 1), one JSON line per configuration. Results,
+// ACCESSED, and rows_scanned are identical in both layouts — only throughput
+// differs — so the sweep records the layout delta the columnar refactor buys
+// on each operator shape (scan, scan+filter, join).
+void RunLayoutSweep(benchmark::State& state, Database* db, const char* name,
+                    const std::string& sql, bool instrument) {
+  ExecOptions options;
+  options.enable_select_triggers = false;
+  options.instrument_all_audit_expressions = instrument;
+  options.columnar = state.range(0) != 0;
+  options.num_threads = 1;
+  uint64_t rows_scanned = 0;
+  uint64_t result_rows = 0;
+  int64_t iterations = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto r = db->ExecuteWithOptions(sql, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    rows_scanned += r->stats.rows_scanned;
+    result_rows += r->result.rows.size();
+    ++iterations;
+  }
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  state.counters["rows_per_sec"] =
+      benchmark::Counter(static_cast<double>(rows_scanned), benchmark::Counter::kIsRate);
+  std::printf(
+      "{\"bench\":\"layout_sweep_%s\",\"columnar\":%d,\"batch_size\":%zu,"
+      "\"iterations\":%lld,\"rows_scanned\":%llu,\"result_rows\":%llu,"
+      "\"seconds\":%.6f,\"rows_per_sec\":%.1f}\n",
+      name, options.columnar ? 1 : 0, options.batch_size,
+      static_cast<long long>(iterations),
+      static_cast<unsigned long long>(rows_scanned),
+      static_cast<unsigned long long>(result_rows), seconds,
+      seconds > 0 ? static_cast<double>(rows_scanned) / seconds : 0.0);
+}
+
+void BM_LayoutSweepScan(benchmark::State& state) {
+  RunLayoutSweep(state, SweepDb(), "scan", "SELECT COUNT(*) FROM audit_bench",
+                 false);
+}
+BENCHMARK(BM_LayoutSweepScan)->Arg(0)->Arg(1)->Iterations(100);
+
+void BM_LayoutSweepScanFilterAudit(benchmark::State& state) {
+  RunLayoutSweep(state, SweepDb(), "scan_filter_audit",
+                 "SELECT DISTINCT v FROM audit_bench WHERE v >= 985", true);
+}
+BENCHMARK(BM_LayoutSweepScanFilterAudit)->Arg(0)->Arg(1)->Iterations(100);
+
+void BM_LayoutSweepJoin(benchmark::State& state) {
+  RunLayoutSweep(state, SharedDb(), "join",
+                 tpch::MicroBenchmarkQuery(4500.0, "1996-01-01"), false);
+}
+BENCHMARK(BM_LayoutSweepJoin)->Arg(0)->Arg(1)->Iterations(20);
+
 // Fixture for the thread-count sweep: same shape as SweepDb but 4x the rows
 // so the table splits into ~40 morsels (kMorselSlots = 4096) — enough work
 // units to keep 8 workers busy with load balancing left over.

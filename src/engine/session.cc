@@ -343,6 +343,7 @@ Result<StatementResult> Session::RunSelectQuery(const ast::SelectStatement& stmt
   // Execute.
   ExecContext ctx(&db_->catalog_, &ctx_);
   ctx.set_batch_size(options.batch_size);
+  ctx.set_columnar(options.columnar);
   ctx.set_collect_profile(options.collect_profile);
   ctx.set_plan_validation(&validation, plan.get());
   ctx.set_validate_plans(options.validate_plans);
@@ -725,6 +726,7 @@ Result<StatementResult> Session::ExecuteInsert(const ast::InsertStatement& stmt,
   // Produce source rows.
   ExecContext ctx(&db_->catalog_, &ctx_);
   ctx.set_batch_size(options.batch_size);
+  ctx.set_columnar(options.columnar);
   Executor executor(&ctx);
   std::vector<const Row*> outer;
   if (action != nullptr && action->row != nullptr) outer.push_back(action->row);
@@ -771,6 +773,7 @@ Result<StatementResult> Session::ExecuteUpdate(const ast::UpdateStatement& stmt,
 
   ExecContext ctx(&db_->catalog_, &ctx_);
   ctx.set_batch_size(options.batch_size);
+  ctx.set_columnar(options.columnar);
   Executor executor(&ctx);  // installs the subquery runner for predicates
 
   // Phase 1: collect matching rows (avoids mutating while scanning).
@@ -832,6 +835,7 @@ Result<StatementResult> Session::ExecuteDelete(const ast::DeleteStatement& stmt,
 
   ExecContext ctx(&db_->catalog_, &ctx_);
   ctx.set_batch_size(options.batch_size);
+  ctx.set_columnar(options.columnar);
   Executor executor(&ctx);
 
   std::vector<size_t> row_ids;

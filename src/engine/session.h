@@ -116,6 +116,12 @@ struct ExecOptions {
   // The executor pins individual operators to capacity 1 where exact
   // row-at-a-time flow is observable (audit ops below an early stop).
   size_t batch_size = 1024;
+  // Columnar execution (default): scans bind zero-copy views over table
+  // storage and predicates run typed column kernels. false = row-pipeline
+  // escape hatch (scans materialize generic batches). Results, ACCESSED, and
+  // all ExecStats are identical in both modes; this only changes the layout
+  // data flows through.
+  bool columnar = true;
   // Worker threads for eligible scan spines of top-level SELECTs (morsel
   // parallelism; see exec/gather.h). 1 = serial. Results, ACCESSED, and
   // rows_scanned are identical at every setting; nested statements (trigger

@@ -1,0 +1,99 @@
+// ColumnVector: one column of a ColumnBatch flowing through the vectorized
+// pipeline (exec/column_batch.h).
+//
+// A vector is in one of two modes:
+//
+//  - **view**: a zero-copy binding to a table column (storage/column_store.h)
+//    — typed array + null bitmap + string dictionary. Scans bind views;
+//    physical row indexes are table slot ids and the batch's selection vector
+//    holds the live slots. A view stays valid until the next mutation of the
+//    table, the same lifetime the old `const Row*` scan pointers had.
+//
+//  - **owned**: a generic Value array the producer appends to (joins,
+//    aggregates, sorts, VALUES, and the row-pipeline escape hatch
+//    ExecOptions::columnar=false). Storage is retained across Reset() so a
+//    refilled batch reaches a steady state with zero heap allocation.
+//
+// Cell reads through GetValue() return the exact stored Value either way
+// (column_store.h's exactness contract), so audit probes and row images are
+// independent of the mode.
+
+#ifndef SELTRIG_EXEC_COLUMN_VECTOR_H_
+#define SELTRIG_EXEC_COLUMN_VECTOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "storage/column_store.h"
+#include "types/value.h"
+
+namespace seltrig {
+
+class ColumnVector {
+ public:
+  ColumnVector() = default;
+
+  // --- Mode -----------------------------------------------------------------
+  bool is_view() const { return view_ != nullptr; }
+  // The bound table column; null in owned mode.
+  const TableColumn* view() const { return view_; }
+
+  // Binds table storage; previous owned storage is kept for later reuse.
+  void BindView(const TableColumn* col) { view_ = col; }
+
+  // Switches to owned mode and empties it (capacity retained).
+  void ResetOwned() {
+    view_ = nullptr;
+    values_.clear();
+  }
+
+  // --- Owned producer API -----------------------------------------------------
+  void Append(Value v) {
+    assert(!is_view());
+    values_.push_back(std::move(v));
+  }
+  void PopBack() {
+    assert(!is_view());
+    values_.pop_back();
+  }
+  size_t owned_size() const { return values_.size(); }
+  // Swaps the owned storage with `vals` (bulk fill from EvalExprBatch output;
+  // the displaced storage rides back to the caller for reuse).
+  void SwapValues(std::vector<Value>* vals) {
+    assert(!is_view());
+    values_.swap(*vals);
+  }
+  const std::vector<Value>& owned_values() const { return values_; }
+
+  // --- Cell access (physical index) ------------------------------------------
+  Value GetValue(size_t phys) const {
+    return view_ != nullptr ? view_->Get(phys) : values_[phys];
+  }
+  // Appends the cell to *out without an intermediate temporary.
+  void AppendValueTo(size_t phys, Row* out) const {
+    if (view_ != nullptr) {
+      view_->AppendTo(phys, out);
+    } else {
+      out->push_back(values_[phys]);
+    }
+  }
+  // Moves the cell out (owned mode) or copies it (view mode — table storage
+  // is never mutated through a batch).
+  void MoveValueTo(size_t phys, Row* out) {
+    if (view_ != nullptr) {
+      view_->AppendTo(phys, out);
+    } else {
+      out->push_back(std::move(values_[phys]));
+    }
+  }
+
+ private:
+  const TableColumn* view_ = nullptr;
+  std::vector<Value> values_;  // owned-mode storage, reused across resets
+};
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_EXEC_COLUMN_VECTOR_H_

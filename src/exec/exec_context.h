@@ -110,6 +110,13 @@ class ExecContext {
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
 
+  // Columnar execution (ExecOptions::columnar, default on): scans bind
+  // zero-copy views over table storage and predicates run typed column
+  // kernels. Off = the row-pipeline escape hatch: scans materialize generic
+  // owned batches, every operator downstream behaves identically either way.
+  bool columnar() const { return columnar_; }
+  void set_columnar(bool on) { columnar_ = on; }
+
   // --- Intra-query parallelism ----------------------------------------------
   // Worker threads for eligible scan spines (ExecOptions::num_threads). 1 =
   // serial. The executor decides eligibility per spine (see
@@ -153,6 +160,7 @@ class ExecContext {
   std::unordered_map<const Expr*, MaterializedSubquery> subquery_cache_;
   ExecStats stats_;
   size_t batch_size_ = 1024;
+  bool columnar_ = true;
   int num_threads_ = 1;
   const PlanValidation* plan_validation_ = nullptr;
   const LogicalOperator* validation_root_ = nullptr;

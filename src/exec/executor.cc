@@ -280,13 +280,14 @@ Result<std::vector<Row>> Executor::ExecutePlan(
   SELTRIG_RETURN_IF_ERROR(root->Init());
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
   std::vector<Row> rows;
-  RowBatch batch;
+  ColumnBatch batch;
   while (true) {
     Result<bool> has = root->NextBatch(&batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
     for (size_t i = 0; i < batch.size(); ++i) {
-      rows.push_back(std::move(batch.mutable_row(i)));
+      rows.emplace_back();
+      batch.MoveRowTo(i, &rows.back());
     }
     SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
   }
@@ -321,7 +322,8 @@ Result<QueryResult> Executor::ExecuteQuery(const LogicalOperator& plan,
   }
   bool any_hidden = visible.size() != plan.schema.size();
 
-  RowBatch batch;
+  ColumnBatch batch;
+  Row row_scratch;
   while (max_rows < 0 || static_cast<int64_t>(result.rows.size()) < max_rows) {
     Result<bool> has = root->NextBatch(&batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
@@ -332,14 +334,15 @@ Result<QueryResult> Executor::ExecuteQuery(const LogicalOperator& plan,
       take = std::min(take, static_cast<size_t>(remaining));
     }
     for (size_t r = 0; r < take; ++r) {
-      Row& row = batch.mutable_row(r);
       if (any_hidden) {
+        batch.MoveRowTo(r, &row_scratch);
         Row stripped;
         stripped.reserve(visible.size());
-        for (int i : visible) stripped.push_back(std::move(row[i]));
+        for (int i : visible) stripped.push_back(std::move(row_scratch[i]));
         result.rows.push_back(std::move(stripped));
       } else {
-        result.rows.push_back(std::move(row));
+        result.rows.emplace_back();
+        batch.MoveRowTo(r, &result.rows.back());
       }
     }
     SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));

@@ -149,6 +149,7 @@ Status PhysicalGatherOp::InitImpl() {
     ws.ctx = std::make_unique<ExecContext>(ctx_->catalog(), ctx_->session());
     for (const ScanExclusion& e : ctx_->exclusions()) ws.ctx->AddExclusion(e);
     ws.ctx->set_batch_size(ctx_->batch_size());
+    ws.ctx->set_columnar(ctx_->columnar());
     ws.ctx->set_collect_profile(ctx_->collect_profile());
     // Thread-local ACCESSED partition, uncapped: the deterministic merge
     // below re-applies the union; eligibility guaranteed no cap is active.
@@ -173,7 +174,7 @@ Status PhysicalGatherOp::InitImpl() {
         return;
       }
       std::vector<Row>& out_rows = morsel_rows[m];
-      RowBatch batch;
+      ColumnBatch batch;
       while (true) {
         Result<bool> has = root->NextBatch(&batch);
         if (!has.ok()) {
@@ -182,7 +183,8 @@ Status PhysicalGatherOp::InitImpl() {
         }
         if (!*has) break;
         for (size_t i = 0; i < batch.size(); ++i) {
-          out_rows.push_back(std::move(batch.mutable_row(i)));
+          out_rows.emplace_back();
+          batch.MoveRowTo(i, &out_rows.back());
         }
       }
       // Fold this morsel's per-operator profiles into the worker's running
@@ -255,11 +257,12 @@ Status PhysicalGatherOp::InitImpl() {
   return Status::OK();
 }
 
-Result<bool> PhysicalGatherOp::NextBatchImpl(RowBatch* out) {
+Result<bool> PhysicalGatherOp::NextBatchImpl(ColumnBatch* out) {
   if (cursor_ >= rows_.size()) return false;
+  out->ResetOwned(rows_[cursor_].size());
   const size_t n = std::min(batch_capacity_, rows_.size() - cursor_);
   for (size_t i = 0; i < n; ++i) {
-    out->AppendMove(std::move(rows_[cursor_++]));
+    out->AppendRow(std::move(rows_[cursor_++]));
   }
   return true;
 }

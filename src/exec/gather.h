@@ -51,7 +51,7 @@ class PhysicalGatherOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   const LogicalOperator& spine_;

@@ -1,0 +1,147 @@
+// Int64HashIndex: open-addressing hash index from raw int64 keys to caller-
+// assigned uint32 payload slots. This is the specialized hash table behind
+// the single-int64-key fast paths in HashJoinOp (build-side bucket lists) and
+// HashAggregateOp (group index): one linear-probe array of (key, slot) pairs,
+// no per-entry allocation, no Value construction on the probe path.
+//
+// The index stores only keys the caller has proven non-null; NULL handling
+// (SQL joins never match NULL keys, GROUP BY collects NULLs into one group)
+// stays with the caller. Callers degrade to the generic Row-keyed tables the
+// first time a non-integer key appears — ForEach exists to migrate the
+// entries across. Single-threaded by design: each operator owns its index
+// outright (morsel workers build per-worker operators), so there is nothing
+// to annotate for the thread-safety analysis.
+
+#ifndef SELTRIG_EXEC_INT64_HASH_TABLE_H_
+#define SELTRIG_EXEC_INT64_HASH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace seltrig {
+
+class Int64HashIndex {
+ public:
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  // Clears the index and sizes it for `expected` distinct keys (load factor
+  // is kept <= 1/2; growth doubles).
+  void Reset(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    keys_.assign(cap, 0);
+    slots_.assign(cap, kNone);
+    mask_ = cap - 1;
+    size_ = 0;
+  }
+
+  // Drops all storage (after migrating to a generic table).
+  void Clear() {
+    keys_.clear();
+    keys_.shrink_to_fit();
+    slots_.clear();
+    slots_.shrink_to_fit();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+
+  // Payload slot for `key`, or kNone if absent.
+  uint32_t Find(int64_t key) const {
+    if (slots_.empty()) return kNone;
+    size_t i = Mix(key) & mask_;
+    while (slots_[i] != kNone) {
+      if (keys_[i] == key) return slots_[i];
+      i = (i + 1) & mask_;
+    }
+    return kNone;
+  }
+
+  // Existing slot for `key`, or inserts it with `slot_if_new`. Returns
+  // {slot, inserted}.
+  std::pair<uint32_t, bool> FindOrInsert(int64_t key, uint32_t slot_if_new) {
+    if (slots_.empty()) Reset(16);
+    if ((size_ + 1) * 2 > mask_ + 1) Grow();
+    size_t i = Mix(key) & mask_;
+    while (slots_[i] != kNone) {
+      if (keys_[i] == key) return {slots_[i], false};
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    slots_[i] = slot_if_new;
+    ++size_;
+    return {slot_if_new, true};
+  }
+
+  // Visits every (key, slot) pair in table order (fallback migration).
+  template <typename Fn>
+  void ForEach(const Fn& fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i] != kNone) fn(keys_[i], slots_[i]);
+    }
+  }
+
+ private:
+  // splitmix64 finalizer: full-avalanche mix so dense key ranges (TPC-H
+  // surrogate keys) spread across the table instead of clustering.
+  static size_t Mix(int64_t key) {
+    uint64_t x = static_cast<uint64_t>(key);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+
+  void Grow() {
+    std::vector<int64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_slots = std::move(slots_);
+    size_t cap = (mask_ + 1) * 2;
+    keys_.assign(cap, 0);
+    slots_.assign(cap, kNone);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_slots[i] == kNone) continue;
+      size_t j = Mix(old_keys[i]) & mask_;
+      while (slots_[j] != kNone) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      slots_[j] = old_slots[i];
+    }
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<uint32_t> slots_;  // kNone = empty probe slot
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+// Converts a probe-side key Value to the raw int64 domain of an all-integer
+// build side. Returns false when nothing in that domain can compare equal to
+// `v` (strings/dates/bools are cross-type-incomparable with ints; a
+// non-integral or out-of-range double widens unequal to every int64) — the
+// probe then has no matches by construction, mirroring Value::Compare.
+inline bool Int64ProbeKey(const Value& v, int64_t* out) {
+  if (v.type() == TypeId::kInt) {
+    *out = v.AsInt();
+    return true;
+  }
+  if (v.type() == TypeId::kDouble) {
+    double d = v.AsDouble();
+    if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
+      return false;
+    }
+    int64_t i = static_cast<int64_t>(d);
+    if (static_cast<double>(i) != d) return false;
+    *out = i;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace seltrig
+
+#endif  // SELTRIG_EXEC_INT64_HASH_TABLE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 
 #include "audit/accessed_state.h"
 #include "audit/sensitive_id_view.h"
@@ -120,7 +121,7 @@ Status PhysicalOperator::Init() {
   return status;
 }
 
-Result<bool> PhysicalOperator::NextBatch(RowBatch* out) {
+Result<bool> PhysicalOperator::NextBatch(ColumnBatch* out) {
   out->Clear();
   if (!ctx_->collect_profile()) {
     SELTRIG_ASSIGN_OR_RETURN(bool has, NextBatchImpl(out));
@@ -161,7 +162,7 @@ Status SeqScanOp::InitImpl() {
   index_mode_ = false;
   candidates_.clear();
   eval_ctx_ = MakeEvalContext(nullptr);
-  scan_buffer_.reserve(batch_capacity_);
+  scan_slots_.reserve(batch_capacity_);
   simple_filter_.reset();
   if (node_.filter != nullptr) {
     simple_filter_ = SimplePredicate::Compile(*node_.filter);
@@ -190,7 +191,7 @@ Status SeqScanOp::InitImpl() {
   return Status::OK();
 }
 
-Result<bool> SeqScanOp::EmitIfPassing(const Row& src, RowBatch* out) {
+Result<bool> SeqScanOp::EmitIfPassing(const Row& src, ColumnBatch* out) {
   ctx_->stats().rows_scanned++;
   for (const auto& [col, value] : exclusions_) {
     if (src[col] == value) return false;
@@ -199,26 +200,70 @@ Result<bool> SeqScanOp::EmitIfPassing(const Row& src, RowBatch* out) {
     if (simple_filter_) {
       if (!simple_filter_->Matches(src)) return false;
     } else {
-      eval_ctx_.row = &src;
+      eval_ctx_.BindRow(&src);
       SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node_.filter, eval_ctx_));
       if (!pass) return false;
     }
   }
   if (node_.projection.empty()) {
-    out->AppendCopy(src);
+    out->AppendRow(src);
   } else {
-    Row* slot = out->AppendRow();
-    slot->reserve(node_.projection.size());
-    for (int col : node_.projection) slot->push_back(src[col]);
+    row_proj_scratch_.clear();
+    row_proj_scratch_.reserve(node_.projection.size());
+    for (int col : node_.projection) row_proj_scratch_.push_back(src[col]);
+    out->AppendRow(std::move(row_proj_scratch_));
   }
   return true;
 }
 
-Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
+Result<bool> SeqScanOp::FillColumnarBatch(ColumnBatch* out) {
+  // Pull up to batch_capacity_ live slots: identical batch segmentation to
+  // the row pipeline (ScanLiveRange is the pacing in both modes), so audit
+  // batch boundaries — and audit_batches_prescreened — match bit-for-bit.
+  scan_slots_.clear();
+  size_t end_slot = range_mode_ ? slot_end_ : table_->slot_count();
+  size_t n = table_->ScanLiveRange(&cursor_, end_slot, batch_capacity_, &scan_slots_);
+  if (n == 0) return false;
+  ctx_->stats().rows_scanned += n;
+
+  const size_t width = table_->schema().size();
+  out->BeginViews(width);
+  for (size_t c = 0; c < width; ++c) {
+    out->BindViewColumn(c, &table_->column_data(c));
+  }
+  // Swap-install the slot ids: the scan's buffer and the batch's selection
+  // ping-pong, so the steady state allocates nothing.
+  out->AdoptSelection(&scan_slots_);
+
+  for (const auto& [col, value] : exclusions_) {
+    size_t m = out->size();
+    keep_scratch_.clear();
+    keep_scratch_.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      const size_t phys = out->PhysicalIndex(i);
+      if (!(out->column(static_cast<size_t>(col)).GetValue(phys) == value)) {
+        keep_scratch_.push_back(static_cast<uint32_t>(phys));
+      }
+    }
+    if (keep_scratch_.size() != m) out->AdoptSelection(&keep_scratch_);
+  }
+  if (node_.filter != nullptr) {
+    if (simple_filter_) {
+      simple_filter_->FilterBatch(out);
+    } else {
+      SELTRIG_RETURN_IF_ERROR(EvalPredicateBatch(*node_.filter, eval_ctx_, out));
+    }
+  }
+  if (!node_.projection.empty()) out->ApplyProjection(node_.projection);
+  return true;
+}
+
+Result<bool> SeqScanOp::NextBatchImpl(ColumnBatch* out) {
   const size_t cap = batch_capacity_;
   if (node_.virtual_rows != nullptr) {
     const std::vector<Row>& rows = *node_.virtual_rows;
     if (cursor_ >= rows.size()) return false;
+    out->ResetOwned(OutputWidth(rows.empty() ? 0 : rows[0].size()));
     size_t end = std::min(rows.size(), cursor_ + cap);
     for (; cursor_ < end; ++cursor_) {
       SELTRIG_RETURN_IF_ERROR(EmitIfPassing(rows[cursor_], out).status());
@@ -227,21 +272,29 @@ Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
   }
   if (index_mode_) {
     if (cursor_ >= candidates_.size()) return false;
+    out->ResetOwned(OutputWidth(table_->schema().size()));
     size_t examined = 0;
     while (cursor_ < candidates_.size() && examined < cap) {
       size_t row_id = candidates_[cursor_++];
       if (!table_->IsLive(row_id)) continue;
       ++examined;
-      SELTRIG_RETURN_IF_ERROR(EmitIfPassing(table_->GetRow(row_id), out).status());
+      table_->MaterializeRow(row_id, &row_scratch_);
+      SELTRIG_RETURN_IF_ERROR(EmitIfPassing(row_scratch_, out).status());
     }
     return true;
   }
-  scan_buffer_.clear();
+  if (ctx_->columnar()) return FillColumnarBatch(out);
+  // Row-pipeline escape hatch (ExecOptions::columnar = false): materialize
+  // every live row and append generically — the honest row-at-a-time
+  // baseline the benchmarks compare against.
+  scan_slots_.clear();
   size_t end_slot = range_mode_ ? slot_end_ : table_->slot_count();
-  size_t n = table_->ScanBatchRange(&cursor_, end_slot, cap, &scan_buffer_);
+  size_t n = table_->ScanLiveRange(&cursor_, end_slot, cap, &scan_slots_);
   if (n == 0) return false;
-  for (const Row* src : scan_buffer_) {
-    SELTRIG_RETURN_IF_ERROR(EmitIfPassing(*src, out).status());
+  out->ResetOwned(OutputWidth(table_->schema().size()));
+  for (uint32_t slot : scan_slots_) {
+    table_->MaterializeRow(slot, &row_scratch_);
+    SELTRIG_RETURN_IF_ERROR(EmitIfPassing(row_scratch_, out).status());
   }
   return true;
 }
@@ -262,7 +315,7 @@ Status FilterOp::InitImpl() {
   return child_->Init();
 }
 
-Result<bool> FilterOp::NextBatchImpl(RowBatch* out) {
+Result<bool> FilterOp::NextBatchImpl(ColumnBatch* out) {
   SELTRIG_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
   if (!has) return false;
   if (simple_pred_) {
@@ -288,25 +341,21 @@ Status ProjectOp::InitImpl() {
   return child_->Init();
 }
 
-Result<bool> ProjectOp::NextBatchImpl(RowBatch* out) {
+Result<bool> ProjectOp::NextBatchImpl(ColumnBatch* out) {
   SELTRIG_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
   if (!has) return false;
   size_t n = out->size();
   if (n == 0) return true;
   size_t ncols = node_.exprs.size();
-  if (cols_.size() < ncols) cols_.resize(ncols);
+  if (cols_.size() != ncols) cols_.resize(ncols);
   for (size_t c = 0; c < ncols; ++c) {
     cols_[c].clear();
     SELTRIG_RETURN_IF_ERROR(
         EvalExprBatch(*node_.exprs[c], eval_ctx_, *out, &cols_[c]));
   }
-  // All inputs are evaluated; rewrite the selected slots in place.
-  for (size_t i = 0; i < n; ++i) {
-    scratch_.clear();
-    scratch_.reserve(ncols);
-    for (size_t c = 0; c < ncols; ++c) scratch_.push_back(std::move(cols_[c][i]));
-    out->mutable_row(i).swap(scratch_);
-  }
+  // All inputs are evaluated; swap the result columns in as the batch's
+  // owned storage (the displaced vectors ride back into cols_ for reuse).
+  out->AdoptOwnedColumns(&cols_, n);
   return true;
 }
 
@@ -336,24 +385,34 @@ Status HashJoinOp::InitImpl() {
   left_batch_.Clear();
   left_pos_ = 0;
   left_done_ = false;
-  left_row_ = nullptr;
+  have_left_ = false;
   matches_ = nullptr;
   left_matched_ = false;
 
   // Build side: size the table from the child's estimated cardinality up
   // front (one allocation instead of a rehash cascade), and move rows out of
-  // the child's batches instead of copying them.
-  hash_table_.reserve(EstimateCardinality(*node_.children[1], ctx_));
+  // the child's batches instead of copying them (view cells are copied; table
+  // storage is never moved from).
+  size_t estimate = EstimateCardinality(*node_.children[1], ctx_);
+  int64_path_ = left_keys_.size() == 1 && right_keys_.size() == 1;
+  int_buckets_.clear();
+  if (int64_path_) {
+    int_index_.Reset(estimate);
+    int_buckets_.reserve(estimate);
+  } else {
+    hash_table_.reserve(estimate);
+  }
   right_width_ = 0;
-  RowBatch build_batch;
+  ColumnBatch build_batch;
+  Row row;
   while (true) {
     Result<bool> has = right_->NextBatch(&build_batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
     for (size_t i = 0; i < build_batch.size(); ++i) {
-      Row& row = build_batch.mutable_row(i);
-      right_width_ = row.size();
-      eval_ctx_.row = &row;
+      // Keys are evaluated against the batch first; the row is only
+      // materialized (moving owned cells out) afterwards.
+      eval_ctx_.BindBatch(&build_batch, i);
       Row key;
       key.reserve(right_keys_.size());
       bool null_key = false;
@@ -367,7 +426,17 @@ Status HashJoinOp::InitImpl() {
         key.push_back(std::move(*v));
       }
       if (null_key) continue;  // SQL equality never matches NULL keys
-      hash_table_[std::move(key)].push_back(std::move(row));
+      build_batch.MoveRowTo(i, &row);
+      right_width_ = row.size();
+      if (int64_path_ && key[0].type() != TypeId::kInt) DegradeToGenericTable();
+      if (int64_path_) {
+        auto [slot, inserted] = int_index_.FindOrInsert(
+            key[0].AsInt(), static_cast<uint32_t>(int_buckets_.size()));
+        if (inserted) int_buckets_.emplace_back();
+        int_buckets_[slot].push_back(std::move(row));
+      } else {
+        hash_table_[std::move(key)].push_back(std::move(row));
+      }
     }
   }
   if (right_width_ == 0) {
@@ -375,6 +444,18 @@ Status HashJoinOp::InitImpl() {
     right_width_ = node_.children[1]->schema.size();
   }
   return Status::OK();
+}
+
+void HashJoinOp::DegradeToGenericTable() {
+  int64_path_ = false;
+  hash_table_.reserve(int_index_.size());
+  int_index_.ForEach([&](int64_t key, uint32_t slot) {
+    Row k;
+    k.push_back(Value::Int(key));
+    hash_table_[std::move(k)] = std::move(int_buckets_[slot]);
+  });
+  int_index_.Clear();
+  int_buckets_.clear();
 }
 
 Result<bool> HashJoinOp::AdvanceLeft() {
@@ -389,12 +470,13 @@ Result<bool> HashJoinOp::AdvanceLeft() {
       }
       continue;  // batch may be empty; pull again
     }
-    left_row_ = &left_batch_.row(left_pos_++);
+    left_li_ = left_pos_++;
+    have_left_ = true;
     left_matched_ = false;
     match_idx_ = 0;
     matches_ = nullptr;
 
-    eval_ctx_.row = left_row_;
+    eval_ctx_.BindBatch(&left_batch_, left_li_);
     key_scratch_.clear();
     key_scratch_.reserve(left_keys_.size());
     bool null_key = false;
@@ -407,28 +489,37 @@ Result<bool> HashJoinOp::AdvanceLeft() {
       key_scratch_.push_back(std::move(v));
     }
     if (!null_key) {
-      auto it = hash_table_.find(key_scratch_);
-      if (it != hash_table_.end()) matches_ = &it->second;
+      if (int64_path_) {
+        // A probe key outside the int64 domain (string/date/bool, or a
+        // non-integral double) cannot equal any all-integer build key.
+        int64_t k;
+        if (Int64ProbeKey(key_scratch_[0], &k)) {
+          uint32_t slot = int_index_.Find(k);
+          if (slot != Int64HashIndex::kNone) matches_ = &int_buckets_[slot];
+        }
+      } else {
+        auto it = hash_table_.find(key_scratch_);
+        if (it != hash_table_.end()) matches_ = &it->second;
+      }
     }
     return true;
   }
 }
 
-Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
+Result<bool> HashJoinOp::NextBatchImpl(ColumnBatch* out) {
+  out->ResetOwned(node_.schema.size());
   while (out->size() < batch_capacity_) {
-    if (left_row_ == nullptr) {
+    if (!have_left_) {
       SELTRIG_ASSIGN_OR_RETURN(bool has, AdvanceLeft());
       if (!has) break;
     }
     while (matches_ != nullptr && match_idx_ < matches_->size() &&
            out->size() < batch_capacity_) {
       const Row& right_row = (*matches_)[match_idx_++];
-      Row* slot = out->AppendRow();
-      slot->reserve(left_row_->size() + right_row.size());
-      slot->insert(slot->end(), left_row_->begin(), left_row_->end());
-      slot->insert(slot->end(), right_row.begin(), right_row.end());
+      out->AppendConcat(left_batch_, left_li_, right_row);
       if (residual_ != nullptr) {
-        eval_ctx_.row = slot;
+        // Evaluate over the just-appended output row (append-then-pop).
+        eval_ctx_.BindBatch(out, out->size() - 1);
         SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, eval_ctx_));
         if (!pass) {
           out->PopRow();
@@ -443,15 +534,12 @@ Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
     // Exhausted matches for this left row.
     if (node_.join_type == JoinType::kLeft && !left_matched_) {
       if (out->size() >= batch_capacity_) break;  // pad on the next call
-      Row* slot = out->AppendRow();
-      slot->reserve(left_row_->size() + right_width_);
-      slot->insert(slot->end(), left_row_->begin(), left_row_->end());
-      slot->resize(left_row_->size() + right_width_, Value::Null());
+      out->AppendConcatPad(left_batch_, left_li_, right_width_);
       left_matched_ = true;  // padded exactly once
     }
-    left_row_ = nullptr;
+    have_left_ = false;
   }
-  return !(out->empty() && left_done_ && left_row_ == nullptr &&
+  return !(out->empty() && left_done_ && !have_left_ &&
            left_pos_ >= left_batch_.size());
 }
 
@@ -475,17 +563,18 @@ Status NLJoinOp::InitImpl() {
   left_batch_.Clear();
   left_pos_ = 0;
   left_done_ = false;
-  left_row_ = nullptr;
+  have_left_ = false;
   right_idx_ = 0;
   left_matched_ = false;
   right_rows_.clear();
-  RowBatch batch;
+  ColumnBatch batch;
   while (true) {
     Result<bool> has = right_->NextBatch(&batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
     for (size_t i = 0; i < batch.size(); ++i) {
-      right_rows_.push_back(std::move(batch.mutable_row(i)));
+      right_rows_.emplace_back();
+      batch.MoveRowTo(i, &right_rows_.back());
     }
   }
   right_width_ = node_.children[1]->schema.size();
@@ -504,27 +593,27 @@ Result<bool> NLJoinOp::AdvanceLeft() {
       }
       continue;  // batch may be empty; pull again
     }
-    left_row_ = &left_batch_.row(left_pos_++);
+    left_li_ = left_pos_++;
+    have_left_ = true;
     left_matched_ = false;
     right_idx_ = 0;
     return true;
   }
 }
 
-Result<bool> NLJoinOp::NextBatchImpl(RowBatch* out) {
+Result<bool> NLJoinOp::NextBatchImpl(ColumnBatch* out) {
+  out->ResetOwned(node_.schema.size());
   while (out->size() < batch_capacity_) {
-    if (left_row_ == nullptr) {
+    if (!have_left_) {
       SELTRIG_ASSIGN_OR_RETURN(bool has, AdvanceLeft());
       if (!has) break;
     }
     while (right_idx_ < right_rows_.size() && out->size() < batch_capacity_) {
       const Row& right_row = right_rows_[right_idx_++];
-      Row* slot = out->AppendRow();
-      slot->reserve(left_row_->size() + right_row.size());
-      slot->insert(slot->end(), left_row_->begin(), left_row_->end());
-      slot->insert(slot->end(), right_row.begin(), right_row.end());
+      out->AppendConcat(left_batch_, left_li_, right_row);
       if (node_.condition != nullptr) {
-        eval_ctx_.row = slot;
+        // Evaluate over the just-appended output row (append-then-pop).
+        eval_ctx_.BindBatch(out, out->size() - 1);
         SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node_.condition, eval_ctx_));
         if (!pass) {
           out->PopRow();
@@ -539,15 +628,12 @@ Result<bool> NLJoinOp::NextBatchImpl(RowBatch* out) {
     // Exhausted the right side for this left row.
     if (node_.join_type == JoinType::kLeft && !left_matched_) {
       if (out->size() >= batch_capacity_) break;  // pad on the next call
-      Row* slot = out->AppendRow();
-      slot->reserve(left_row_->size() + right_width_);
-      slot->insert(slot->end(), left_row_->begin(), left_row_->end());
-      slot->resize(left_row_->size() + right_width_, Value::Null());
+      out->AppendConcatPad(left_batch_, left_li_, right_width_);
       left_matched_ = true;  // padded exactly once
     }
-    left_row_ = nullptr;
+    have_left_ = false;
   }
-  return !(out->empty() && left_done_ && left_row_ == nullptr &&
+  return !(out->empty() && left_done_ && !have_left_ &&
            left_pos_ >= left_batch_.size());
 }
 
@@ -561,9 +647,7 @@ HashAggregateOp::HashAggregateOp(ExecContext* ctx, std::vector<const Row*> outer
 
 std::string HashAggregateOp::DebugName() const { return node_.Describe(); }
 
-Status HashAggregateOp::Accumulate(std::vector<AggState>* states, const Row& input,
-                                   EvalContext& ec) {
-  ec.row = &input;
+Status HashAggregateOp::Accumulate(std::vector<AggState>* states, EvalContext& ec) {
   for (size_t i = 0; i < node_.aggregates.size(); ++i) {
     const AggregateSpec& spec = node_.aggregates[i];
     AggState& st = (*states)[i];
@@ -678,15 +762,24 @@ Status HashAggregateOp::InitImpl() {
   std::vector<Row> group_keys;
   std::vector<std::vector<AggState>> group_states;
 
+  // Single-int64-key fast path: raw open-addressing group index, plus one
+  // out-of-table slot for the NULL group (GROUP BY collects NULLs together).
+  // Degrades to the generic Row-keyed index the moment a key of any other
+  // type appears — group_keys holds every key Row either way, so migration
+  // is a rebuild of the index, not of the groups.
+  bool int64_groups = node_.group_exprs.size() == 1;
+  Int64HashIndex int_group_index;
+  if (int64_groups) int_group_index.Reset(256);
+  size_t null_group = SIZE_MAX;
+
   EvalContext ec = MakeEvalContext(nullptr);
-  RowBatch batch;
+  ColumnBatch batch;
   while (true) {
     Result<bool> has = child_->NextBatch(&batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
     for (size_t r = 0; r < batch.size(); ++r) {
-      const Row& input = batch.row(r);
-      ec.row = &input;
+      ec.BindBatch(&batch, r);
       Row key;
       key.reserve(node_.group_exprs.size());
       for (const auto& g : node_.group_exprs) {
@@ -694,12 +787,41 @@ Status HashAggregateOp::InitImpl() {
         SELTRIG_RETURN_IF_ERROR(v.status());
         key.push_back(std::move(*v));
       }
-      auto [it, inserted] = group_index.try_emplace(key, group_keys.size());
-      if (inserted) {
-        group_keys.push_back(std::move(key));
-        group_states.emplace_back(node_.aggregates.size());
+      size_t group;
+      if (int64_groups && key[0].type() != TypeId::kInt &&
+          key[0].type() != TypeId::kNull) {
+        int64_groups = false;
+        for (size_t g = 0; g < group_keys.size(); ++g) {
+          group_index[group_keys[g]] = g;
+        }
+        int_group_index.Clear();
       }
-      SELTRIG_RETURN_IF_ERROR(Accumulate(&group_states[it->second], input, ec));
+      if (int64_groups) {
+        if (key[0].is_null()) {
+          if (null_group == SIZE_MAX) {
+            null_group = group_keys.size();
+            group_keys.push_back(std::move(key));
+            group_states.emplace_back(node_.aggregates.size());
+          }
+          group = null_group;
+        } else {
+          auto [slot, inserted] = int_group_index.FindOrInsert(
+              key[0].AsInt(), static_cast<uint32_t>(group_keys.size()));
+          if (inserted) {
+            group_keys.push_back(std::move(key));
+            group_states.emplace_back(node_.aggregates.size());
+          }
+          group = slot;
+        }
+      } else {
+        auto [it, inserted] = group_index.try_emplace(key, group_keys.size());
+        if (inserted) {
+          group_keys.push_back(std::move(key));
+          group_states.emplace_back(node_.aggregates.size());
+        }
+        group = it->second;
+      }
+      SELTRIG_RETURN_IF_ERROR(Accumulate(&group_states[group], ec));
     }
   }
 
@@ -721,11 +843,12 @@ Status HashAggregateOp::InitImpl() {
   return Status::OK();
 }
 
-Result<bool> HashAggregateOp::NextBatchImpl(RowBatch* out) {
+Result<bool> HashAggregateOp::NextBatchImpl(ColumnBatch* out) {
   if (cursor_ >= results_.size()) return false;
+  out->ResetOwned(results_[cursor_].size());
   size_t end = std::min(results_.size(), cursor_ + batch_capacity_);
   for (; cursor_ < end; ++cursor_) {
-    out->AppendMove(std::move(results_[cursor_]));
+    out->AppendRow(std::move(results_[cursor_]));
   }
   return true;
 }
@@ -744,13 +867,14 @@ Status SortOp::InitImpl() {
   SELTRIG_RETURN_IF_ERROR(child_->Init());
   rows_.clear();
   cursor_ = 0;
-  RowBatch batch;
+  ColumnBatch batch;
   while (true) {
     Result<bool> has = child_->NextBatch(&batch);
     SELTRIG_RETURN_IF_ERROR(has.status());
     if (!*has) break;
     for (size_t i = 0; i < batch.size(); ++i) {
-      rows_.push_back(std::move(batch.mutable_row(i)));
+      rows_.emplace_back();
+      batch.MoveRowTo(i, &rows_.back());
     }
   }
   // Precompute key values per row to keep the comparator total and cheap.
@@ -758,7 +882,7 @@ Status SortOp::InitImpl() {
   EvalContext ec = MakeEvalContext(nullptr);
   std::vector<std::vector<Value>> keys(rows_.size());
   for (size_t r = 0; r < rows_.size(); ++r) {
-    ec.row = &rows_[r];
+    ec.BindRow(&rows_[r]);
     keys[r].reserve(nkeys);
     for (const SortKey& k : node_.keys) {
       Result<Value> v = EvalExpr(*k.expr, ec);
@@ -782,11 +906,12 @@ Status SortOp::InitImpl() {
   return Status::OK();
 }
 
-Result<bool> SortOp::NextBatchImpl(RowBatch* out) {
+Result<bool> SortOp::NextBatchImpl(ColumnBatch* out) {
   if (cursor_ >= rows_.size()) return false;
+  out->ResetOwned(rows_[cursor_].size());
   size_t end = std::min(rows_.size(), cursor_ + batch_capacity_);
   for (; cursor_ < end; ++cursor_) {
-    out->AppendMove(std::move(rows_[cursor_]));
+    out->AppendRow(std::move(rows_[cursor_]));
   }
   return true;
 }
@@ -807,7 +932,7 @@ Status LimitOp::InitImpl() {
   return child_->Init();
 }
 
-Result<bool> LimitOp::NextBatchImpl(RowBatch* out) {
+Result<bool> LimitOp::NextBatchImpl(ColumnBatch* out) {
   if (node_.limit >= 0 && produced_ >= node_.limit) return false;
   SELTRIG_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
   if (!has) return false;
@@ -842,14 +967,15 @@ Status DistinctOp::InitImpl() {
   return child_->Init();
 }
 
-Result<bool> DistinctOp::NextBatchImpl(RowBatch* out) {
+Result<bool> DistinctOp::NextBatchImpl(ColumnBatch* out) {
   SELTRIG_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
   if (!has) return false;
   size_t n = out->size();
   std::vector<uint32_t> keep;
   keep.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (seen_.insert(out->row(i)).second) {
+    out->MaterializeRow(i, &row_scratch_);
+    if (seen_.insert(row_scratch_).second) {
       keep.push_back(static_cast<uint32_t>(out->PhysicalIndex(i)));
     }
   }
@@ -871,23 +997,78 @@ Status ValuesOp::InitImpl() {
   return Status::OK();
 }
 
-Result<bool> ValuesOp::NextBatchImpl(RowBatch* out) {
+Result<bool> ValuesOp::NextBatchImpl(ColumnBatch* out) {
   if (cursor_ >= node_.rows.size()) return false;
+  out->ResetOwned(node_.rows[cursor_].size());
   size_t end = std::min(node_.rows.size(), cursor_ + batch_capacity_);
   for (; cursor_ < end; ++cursor_) {
     const auto& exprs = node_.rows[cursor_];
-    Row* slot = out->AppendRow();
-    slot->reserve(exprs.size());
-    eval_ctx_.row = nullptr;
+    row_scratch_.clear();
+    row_scratch_.reserve(exprs.size());
+    eval_ctx_.BindRow(nullptr);
     for (const auto& e : exprs) {
       SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, eval_ctx_));
-      slot->push_back(std::move(v));
+      row_scratch_.push_back(std::move(v));
     }
+    out->AppendRow(std::move(row_scratch_));
   }
   return true;
 }
 
 // --- PhysicalAuditOp ---------------------------------------------------------
+
+namespace {
+
+// Bloom pre-screen over the raw key column, hashing typed cells directly —
+// no Value construction per row. The per-type hashes mirror Value::Hash
+// exactly (ints hash through double so Int(2) and Double(2.0) screen
+// identically; dates/bools hash their int64 slot), so the screen's one-sided
+// error is unchanged from the generic path. Strings and degraded columns
+// fall back to per-cell Values.
+bool AnyKeyMaybeInScreen(const ColumnBatch& batch, const ColumnVector& key_col,
+                         const BloomFilter& screen) {
+  const size_t n = batch.size();
+  const TableColumn* view = key_col.view();
+  if (view != nullptr && (view->rep() == TableColumn::Rep::kInt64 ||
+                          view->rep() == TableColumn::Rep::kDouble)) {
+    const NullBits& nulls = view->nulls();
+    const bool has_nulls = nulls.any();
+    if (view->rep() == TableColumn::Rep::kInt64) {
+      const int64_t* data = view->ints();
+      const bool hash_as_double = view->type() == TypeId::kInt;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t phys = batch.PhysicalIndex(i);
+        if (has_nulls && nulls.Test(phys)) continue;
+        const size_t h =
+            hash_as_double
+                ? std::hash<double>{}(static_cast<double>(data[phys]))
+                : std::hash<int64_t>{}(data[phys]);
+        if (screen.MayContain(static_cast<uint64_t>(h))) return true;
+      }
+      return false;
+    }
+    const double* data = view->doubles();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t phys = batch.PhysicalIndex(i);
+      if (has_nulls && nulls.Test(phys)) continue;
+      if (screen.MayContain(
+              static_cast<uint64_t>(std::hash<double>{}(data[phys])))) {
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Value key = key_col.GetValue(batch.PhysicalIndex(i));
+    if (!key.is_null() &&
+        screen.MayContain(static_cast<uint64_t>(key.Hash()))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 PhysicalAuditOp::PhysicalAuditOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
                                  const LogicalAudit& node, OperatorPtr child)
@@ -914,7 +1095,7 @@ Status PhysicalAuditOp::RecordHit(const Value& key) {
   return Status::OK();
 }
 
-Result<bool> PhysicalAuditOp::NextBatchImpl(RowBatch* out) {
+Result<bool> PhysicalAuditOp::NextBatchImpl(ColumnBatch* out) {
   SELTRIG_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
   if (!has) return false;
   size_t n = out->size();
@@ -925,36 +1106,23 @@ Result<bool> PhysicalAuditOp::NextBatchImpl(RowBatch* out) {
     return true;  // pass-through: the audit operator is a no-op for the query
   }
   const int kc = node_.key_column;
+  if (kc >= static_cast<int>(out->num_columns())) return true;
+  const ColumnVector& key_col = out->column(static_cast<size_t>(kc));
 
   // Bloom pre-screen (exact ID-view probes only): one pass over the batch's
-  // keys against the view's summary. A clean batch — the common case for
-  // selective queries — skips the exact probes and the ACCESSED bookkeeping
-  // entirely; the filter's one-sided error keeps ACCESSED exact.
+  // key column against the view's summary. A clean batch — the common case
+  // for selective queries — skips the exact probes and the ACCESSED
+  // bookkeeping entirely; the filter's one-sided error keeps ACCESSED exact.
   if (node_.id_view != nullptr && node_.bloom == nullptr) {
     const BloomFilter* screen = node_.id_view->Screen();
-    if (screen != nullptr) {
-      bool any_maybe = false;
-      for (size_t i = 0; i < n; ++i) {
-        const Row& row = out->row(i);
-        if (kc >= static_cast<int>(row.size())) continue;
-        const Value& key = row[kc];
-        if (!key.is_null() &&
-            screen->MayContain(static_cast<uint64_t>(key.Hash()))) {
-          any_maybe = true;
-          break;
-        }
-      }
-      if (!any_maybe) {
-        ctx_->stats().audit_batches_prescreened++;
-        return true;
-      }
+    if (screen != nullptr && !AnyKeyMaybeInScreen(*out, key_col, *screen)) {
+      ctx_->stats().audit_batches_prescreened++;
+      return true;
     }
   }
 
   for (size_t i = 0; i < n; ++i) {
-    const Row& row = out->row(i);
-    if (kc >= static_cast<int>(row.size())) continue;
-    const Value& key = row[kc];
+    const Value key = key_col.GetValue(out->PhysicalIndex(i));
     if (key.is_null()) continue;
     bool hit;
     if (node_.bloom != nullptr) {
@@ -962,7 +1130,7 @@ Result<bool> PhysicalAuditOp::NextBatchImpl(RowBatch* out) {
     } else if (node_.id_view != nullptr) {
       hit = node_.id_view->Contains(key);
     } else if (node_.fallback_predicate != nullptr) {
-      eval_ctx_.row = &row;
+      eval_ctx_.BindBatch(out, i);
       SELTRIG_ASSIGN_OR_RETURN(hit,
                                EvalPredicate(*node_.fallback_predicate, eval_ctx_));
     } else {

@@ -22,7 +22,8 @@
 
 #include "common/status.h"
 #include "exec/exec_context.h"
-#include "exec/row_batch.h"
+#include "exec/column_batch.h"
+#include "exec/int64_hash_table.h"
 #include "expr/evaluator.h"
 #include "expr/expr.h"
 #include "plan/logical_plan.h"
@@ -57,7 +58,7 @@ class PhysicalOperator {
   Status Init();
   // Produces the next batch into *out (cleared first). Returns false at end
   // of stream; true otherwise, with >= 0 logical rows in *out.
-  Result<bool> NextBatch(RowBatch* out);
+  Result<bool> NextBatch(ColumnBatch* out);
 
   // One-line label for profile trees, e.g. "SeqScan(customer)".
   virtual std::string DebugName() const = 0;
@@ -93,7 +94,7 @@ class PhysicalOperator {
 
  protected:
   virtual Status InitImpl() = 0;
-  virtual Result<bool> NextBatchImpl(RowBatch* out) = 0;
+  virtual Result<bool> NextBatchImpl(ColumnBatch* out) = 0;
 
   // Evaluation context for expressions over `row`. Hot paths construct this
   // once per operator (InitImpl) and repoint `.row` per tuple; the context
@@ -130,7 +131,7 @@ int FindIndexableScanColumn(const Expr& pred);
 
 // Scan over a base table or virtual relation, applying the pushed
 // single-table filter and the context's scan exclusions (offline auditing).
-// Fills batches through Table::ScanBatch (no per-row virtual calls into
+// Fills batches through Table::ScanLiveRange (no per-row virtual calls into
 // storage). When the filter contains an equality conjunct `column =
 // <row-independent expression>` (a constant, or a correlated outer
 // reference), the scan probes a lazily-built secondary hash index instead of
@@ -154,12 +155,20 @@ class SeqScanOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
-  // Applies exclusions + filter to `src` and appends the (projected) row to
-  // `out` when it passes. Sets *emitted accordingly.
-  Result<bool> EmitIfPassing(const Row& src, RowBatch* out);
+  // Row-materializing emit (virtual scans, index probes, and the row-pipeline
+  // escape hatch): applies exclusions + filter to `src` and appends the
+  // (projected) row to `out` when it passes.
+  Result<bool> EmitIfPassing(const Row& src, ColumnBatch* out);
+  // Columnar emit: binds zero-copy views over the table columns, installs the
+  // live-slot selection, then narrows it by exclusions and the fused filter.
+  Result<bool> FillColumnarBatch(ColumnBatch* out);
+  // Owned-batch width for the materializing paths.
+  size_t OutputWidth(size_t src_width) const {
+    return node_.projection.empty() ? src_width : node_.projection.size();
+  }
 
   const LogicalScan& node_;
   Table* table_;  // null for virtual scans
@@ -176,8 +185,13 @@ class SeqScanOp : public PhysicalOperator {
   bool range_mode_ = false;
   size_t slot_begin_ = 0;
   size_t slot_end_ = 0;
-  // Scratch buffer of row pointers filled by Table::ScanBatch.
-  std::vector<const Row*> scan_buffer_;
+  // Scratch buffers: live slot ids from Table::ScanLiveRange (ping-ponged
+  // with the batch's selection via AdoptSelection), exclusion narrowing,
+  // and the reused row-materialization buffers.
+  std::vector<uint32_t> scan_slots_;
+  std::vector<uint32_t> keep_scratch_;
+  Row row_scratch_;
+  Row row_proj_scratch_;
 };
 
 // In-place predicate over the child's batches: rows that fail are dropped
@@ -190,7 +204,7 @@ class FilterOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   const LogicalFilter& node_;
@@ -200,9 +214,9 @@ class FilterOp : public PhysicalOperator {
   std::optional<SimplePredicate> simple_pred_;
 };
 
-// Rewrites each selected row of the child's batch in place with the
-// projection expressions (selection vector preserved; unselected slots are
-// left untouched).
+// Evaluates the projection expressions column-at-a-time over the child's
+// batch (EvalExprBatch) and swaps the results in as the batch's owned
+// columns — one output column per expression, no per-row Row temporaries.
 class ProjectOp : public PhysicalOperator {
  public:
   ProjectOp(ExecContext* ctx, std::vector<const Row*> outer_rows,
@@ -211,14 +225,14 @@ class ProjectOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   const LogicalProject& node_;
   OperatorPtr child_;
   EvalContext eval_ctx_;
-  Row scratch_;
-  // Per-expression output columns for the current batch (EvalExprBatch).
+  // Per-expression output columns for the current batch (EvalExprBatch);
+  // swapped into the output batch via AdoptOwnedColumns and back for reuse.
   std::vector<std::vector<Value>> cols_;
 };
 
@@ -236,11 +250,14 @@ class HashJoinOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   // Advances to the next probe-side row; false at end of the left stream.
   Result<bool> AdvanceLeft();
+  // Migrates the int64 fast-path table into the generic Row-keyed table
+  // (first non-integer build key).
+  void DegradeToGenericTable();
 
   const LogicalJoin& node_;
   OperatorPtr left_;
@@ -249,13 +266,23 @@ class HashJoinOp : public PhysicalOperator {
   std::vector<ExprPtr> right_keys_;  // bound against the right child alone
   ExprPtr residual_;                 // over the concatenated row; nullable
 
+  // Single-int64-key fast path (the common TPC-H shape: one surrogate-key
+  // equi conjunct): raw open-addressing index over the build keys with
+  // per-slot bucket lists. Engaged for one-key joins; degrades to the
+  // generic table the moment a non-kInt build key appears, so mixed-type
+  // equality keeps Value::Compare semantics exactly.
+  bool int64_path_ = false;
+  Int64HashIndex int_index_;
+  std::vector<std::vector<Row>> int_buckets_;
   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> hash_table_;
   size_t right_width_ = 0;
   EvalContext eval_ctx_;
-  RowBatch left_batch_;
+  ColumnBatch left_batch_;
   size_t left_pos_ = 0;
   bool left_done_ = false;
-  const Row* left_row_ = nullptr;
+  // Current probe row: logical index into left_batch_; inactive between rows.
+  bool have_left_ = false;
+  size_t left_li_ = 0;
   const std::vector<Row>* matches_ = nullptr;
   size_t match_idx_ = 0;
   bool left_matched_ = false;
@@ -275,7 +302,7 @@ class NLJoinOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   // Advances to the next probe-side row; false at end of the left stream.
@@ -287,10 +314,12 @@ class NLJoinOp : public PhysicalOperator {
   std::vector<Row> right_rows_;
   size_t right_width_ = 0;
   EvalContext eval_ctx_;
-  RowBatch left_batch_;
+  ColumnBatch left_batch_;
   size_t left_pos_ = 0;
   bool left_done_ = false;
-  const Row* left_row_ = nullptr;
+  // Current probe row: logical index into left_batch_; inactive between rows.
+  bool have_left_ = false;
+  size_t left_li_ = 0;
   size_t right_idx_ = 0;
   bool left_matched_ = false;
 };
@@ -303,7 +332,7 @@ class HashAggregateOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   struct AggState {
@@ -315,8 +344,8 @@ class HashAggregateOp : public PhysicalOperator {
     std::unique_ptr<std::unordered_set<Value, ValueHash, ValueEq>> distinct;
   };
 
-  Status Accumulate(std::vector<AggState>* states, const Row& input,
-                    EvalContext& ec);
+  // Folds the row currently bound in `ec` into `states`.
+  Status Accumulate(std::vector<AggState>* states, EvalContext& ec);
   Value Finalize(const AggregateSpec& spec, const AggState& state) const;
 
   const LogicalAggregate& node_;
@@ -333,7 +362,7 @@ class SortOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   const LogicalSort& node_;
@@ -353,7 +382,7 @@ class LimitOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   const LogicalLimit& node_;
@@ -370,11 +399,12 @@ class DistinctOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   OperatorPtr child_;
   std::unordered_set<Row, RowHash, RowEq> seen_;
+  Row row_scratch_;
 };
 
 class ValuesOp : public PhysicalOperator {
@@ -385,12 +415,13 @@ class ValuesOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   const LogicalValues& node_;
   size_t cursor_ = 0;
   EvalContext eval_ctx_;
+  Row row_scratch_;
 };
 
 // The physical audit operator (Section IV-A2): a pass-through "data viewer"
@@ -409,7 +440,7 @@ class PhysicalAuditOp : public PhysicalOperator {
 
  protected:
   Status InitImpl() override;
-  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Result<bool> NextBatchImpl(ColumnBatch* out) override;
 
  private:
   Status RecordHit(const Value& key);

@@ -12,6 +12,7 @@
 #ifndef SELTRIG_EXEC_ROW_BATCH_H_
 #define SELTRIG_EXEC_ROW_BATCH_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -46,10 +47,15 @@ class RowBatch {
   }
 
   // --- Producer API ---------------------------------------------------------
-  // Appending is only legal while no selection is installed.
+  // Appending is only legal while no selection is installed: an append under
+  // a selection would silently corrupt the logical view (the new physical row
+  // is invisible, and a later PopRow would drop the wrong row), so the
+  // producer API asserts against it in debug builds. ColumnBatch
+  // (exec/column_batch.h) carries the same contract.
 
   // Returns a cleared slot to fill in place, reusing previous storage.
   Row* AppendRow() {
+    assert(!has_selection_ && "AppendRow under an installed selection");
     if (count_ < rows_.size()) {
       rows_[count_].clear();
     } else {
@@ -62,7 +68,11 @@ class RowBatch {
   void AppendMove(Row&& src) { *AppendRow() = std::move(src); }
 
   // Removes the most recently appended row (join residual rejection).
-  void PopRow() { --count_; }
+  void PopRow() {
+    assert(!has_selection_ && "PopRow under an installed selection");
+    assert(count_ > 0);
+    --count_;
+  }
 
   // --- Selection ------------------------------------------------------------
   bool has_selection() const { return has_selection_; }

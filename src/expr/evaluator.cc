@@ -4,7 +4,7 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
-#include "exec/row_batch.h"
+#include "exec/column_batch.h"
 #include "expr/analysis.h"
 #include "types/date.h"
 
@@ -242,9 +242,16 @@ Result<Value> EvalSubquery(const Expr& e, EvalContext& ctx) {
     }
   } else {
     // Correlated: the current row becomes visible to the subquery as the
-    // innermost enclosing scope.
+    // innermost enclosing scope. Under a columnar binding the row is
+    // materialized first — the correlation stack carries Row pointers.
+    Row scratch;
+    const Row* current = ctx.row;
+    if (current == nullptr && ctx.batch != nullptr) {
+      ctx.batch->MaterializeRow(ctx.batch_row, &scratch);
+      current = &scratch;
+    }
     std::vector<const Row*> outer = ctx.outer_rows;
-    outer.push_back(ctx.row);
+    outer.push_back(current);
     SELTRIG_ASSIGN_OR_RETURN(local.rows,
                              exec->subquery_runner()(*e.subquery_plan, outer));
     mat = &local;
@@ -290,11 +297,20 @@ Result<Value> EvalExpr(const Expr& e, EvalContext& ctx) {
     case ExprKind::kLiteral:
       return e.literal;
     case ExprKind::kColumnRef: {
-      if (ctx.row == nullptr ||
-          e.column_index >= static_cast<int>(ctx.row->size())) {
-        return Status::Internal("column reference out of range: " + e.ToString());
+      if (ctx.row != nullptr) {
+        if (e.column_index >= static_cast<int>(ctx.row->size())) {
+          return Status::Internal("column reference out of range: " + e.ToString());
+        }
+        return (*ctx.row)[e.column_index];
       }
-      return (*ctx.row)[e.column_index];
+      if (ctx.batch != nullptr) {
+        if (e.column_index >= static_cast<int>(ctx.batch->num_columns())) {
+          return Status::Internal("column reference out of range: " + e.ToString());
+        }
+        return ctx.batch->GetValue(static_cast<size_t>(e.column_index),
+                                   ctx.batch_row);
+      }
+      return Status::Internal("column reference out of range: " + e.ToString());
     }
     case ExprKind::kOuterColumnRef: {
       int depth = static_cast<int>(ctx.outer_rows.size());
@@ -350,13 +366,13 @@ Result<bool> EvalPredicate(const Expr& e, EvalContext& ctx) {
   return v.AsBool();
 }
 
-Status EvalPredicateBatch(const Expr& pred, EvalContext& ctx, RowBatch* batch) {
+Status EvalPredicateBatch(const Expr& pred, EvalContext& ctx, ColumnBatch* batch) {
   size_t n = batch->size();
   if (n == 0) return Status::OK();
 
   if (ExprIsRowInvariant(pred)) {
     // One evaluation decides the whole batch.
-    ctx.row = nullptr;
+    ctx.BindRow(nullptr);
     SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(pred, ctx));
     if (!pass) batch->TruncateLogical(0);
     return Status::OK();
@@ -365,7 +381,7 @@ Status EvalPredicateBatch(const Expr& pred, EvalContext& ctx, RowBatch* batch) {
   std::vector<uint32_t> keep;
   keep.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    ctx.row = &batch->row(i);
+    ctx.BindBatch(batch, i);
     SELTRIG_ASSIGN_OR_RETURN(bool pass, EvalPredicate(pred, ctx));
     if (pass) keep.push_back(static_cast<uint32_t>(batch->PhysicalIndex(i)));
   }
@@ -411,33 +427,160 @@ std::optional<SimplePredicate> SimplePredicate::Compile(const Expr& pred) {
   return SimplePredicate(col->column_index, op, lit->literal);
 }
 
-void SimplePredicate::FilterBatch(RowBatch* batch) const {
+namespace {
+
+// Typed filter kernels: for each logical row of `batch`, reads column data
+// straight from contiguous table storage and appends the physical index of
+// every passing row to `keep`. Each kernel makes exactly the decisions
+// SimplePredicate::Decide would — NULL rejects, then Value::Compare semantics
+// for the (column type, constant type) pair — without constructing a Value.
+
+template <typename DecideFn, typename CmpFn>
+void FilterTyped(const ColumnBatch& batch, const TableColumn& col,
+                 const DecideFn& decide, const CmpFn& cmp,
+                 std::vector<uint32_t>* keep) {
+  const size_t n = batch.size();
+  const NullBits& nulls = col.nulls();
+  if (nulls.any()) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t phys = batch.PhysicalIndex(i);
+      if (!nulls.Test(phys) && decide(cmp(phys))) {
+        keep->push_back(static_cast<uint32_t>(phys));
+      }
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t phys = batch.PhysicalIndex(i);
+      if (decide(cmp(phys))) keep->push_back(static_cast<uint32_t>(phys));
+    }
+  }
+}
+
+int Sign3(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+int Sign3(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+}  // namespace
+
+void SimplePredicate::FilterBatch(ColumnBatch* batch) const {
   size_t n = batch->size();
   if (n == 0) return;
   std::vector<uint32_t> keep;
   keep.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (Matches(batch->row(i))) {
-      keep.push_back(static_cast<uint32_t>(batch->PhysicalIndex(i)));
+
+  const ColumnVector& cv = batch->column(static_cast<size_t>(column_));
+  const TableColumn* view = cv.view();
+  auto decide = [this](int c) { return DecideCmp(c); };
+  bool typed = false;
+  if (view != nullptr && view->rep() != TableColumn::Rep::kValue) {
+    const TypeId col_type = view->type();
+    const TypeId const_type = constant_.type();
+    typed = true;
+    if (view->rep() == TableColumn::Rep::kInt64 && col_type == TypeId::kInt &&
+        const_type == TypeId::kInt) {
+      // Int vs int: exact 64-bit compare.
+      const int64_t* data = view->ints();
+      const int64_t c = constant_.AsInt();
+      FilterTyped(*batch, *view, decide,
+                  [&](size_t p) { return Sign3(data[p], c); }, &keep);
+    } else if (view->rep() == TableColumn::Rep::kInt64 &&
+               col_type == TypeId::kInt && const_type == TypeId::kDouble) {
+      // Cross-type numeric: both widened to double (Value::Compare).
+      const int64_t* data = view->ints();
+      const double c = constant_.AsDouble();
+      FilterTyped(*batch, *view, decide,
+                  [&](size_t p) { return Sign3(static_cast<double>(data[p]) - c); },
+                  &keep);
+    } else if (view->rep() == TableColumn::Rep::kDouble &&
+               (const_type == TypeId::kDouble || const_type == TypeId::kInt)) {
+      const double* data = view->doubles();
+      const double c = constant_.NumericAsDouble();
+      FilterTyped(*batch, *view, decide,
+                  [&](size_t p) { return Sign3(data[p] - c); }, &keep);
+    } else if (view->rep() == TableColumn::Rep::kInt64 && col_type == const_type) {
+      // Same-type bool/date: raw int64 compare (Value::Compare's same-type
+      // arm for int64-backed types).
+      const int64_t* data = view->ints();
+      const int64_t c = const_type == TypeId::kBool
+                            ? (constant_.AsBool() ? 1 : 0)
+                            : static_cast<int64_t>(constant_.AsDate());
+      FilterTyped(*batch, *view, decide,
+                  [&](size_t p) { return Sign3(data[p], c); }, &keep);
+    } else if (view->rep() == TableColumn::Rep::kString &&
+               const_type == TypeId::kString &&
+               (op_ == CompareOp::kEq || op_ == CompareOp::kNe)) {
+      // Dictionary equality: one string lookup decides via codes. A constant
+      // absent from the dictionary matches no stored string.
+      const uint32_t* codes = view->codes();
+      const int64_t code = view->dict()->Find(constant_.AsString());
+      const bool want_eq = op_ == CompareOp::kEq;
+      FilterTyped(*batch, *view, [](int c) { return c != 0; },
+                  [&](size_t p) {
+                    bool eq = code >= 0 &&
+                              codes[p] == static_cast<uint32_t>(code);
+                    return (eq == want_eq) ? 1 : 0;
+                  },
+                  &keep);
+    } else if (view->rep() == TableColumn::Rep::kString &&
+               const_type == TypeId::kString) {
+      // Ordered string compare against the dictionary entries.
+      const uint32_t* codes = view->codes();
+      const StringDict* dict = view->dict();
+      const std::string& c = constant_.AsString();
+      FilterTyped(*batch, *view, decide,
+                  [&](size_t p) {
+                    int r = dict->At(codes[p]).compare(c);
+                    return r < 0 ? -1 : (r > 0 ? 1 : 0);
+                  },
+                  &keep);
+    } else {
+      // Mixed incomparable types: Value::Compare orders by type id, which is
+      // constant across the column's non-null rows.
+      const int c = static_cast<int>(col_type) < static_cast<int>(const_type)
+                        ? -1
+                        : (static_cast<int>(col_type) >
+                                   static_cast<int>(const_type)
+                               ? 1
+                               : 0);
+      FilterTyped(*batch, *view, decide, [&](size_t) { return c; }, &keep);
+    }
+  }
+  if (!typed) {
+    // Generic path: degraded (Rep::kValue) views and owned columns hold the
+    // exact stored Values inline — decide per cell with no construction.
+    const Value* vals =
+        view != nullptr ? view->values() : cv.owned_values().data();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t phys = batch->PhysicalIndex(i);
+      if (Decide(vals[phys])) keep.push_back(static_cast<uint32_t>(phys));
     }
   }
   if (keep.size() != n) batch->SetSelection(std::move(keep));
 }
 
-Status EvalExprBatch(const Expr& expr, EvalContext& ctx, const RowBatch& batch,
+Status EvalExprBatch(const Expr& expr, EvalContext& ctx, const ColumnBatch& batch,
                      std::vector<Value>* out) {
   size_t n = batch.size();
   if (n == 0) return Status::OK();
   if (ExprIsRowInvariant(expr)) {
-    ctx.row = nullptr;
+    ctx.BindRow(nullptr);
     SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, ctx));
     out->reserve(out->size() + n);
     for (size_t i = 0; i < n; ++i) out->push_back(v);
     return Status::OK();
   }
+  // Bare column ref: a straight gather from the column, no tree walk.
+  if (expr.kind == ExprKind::kColumnRef && expr.column_index >= 0 &&
+      expr.column_index < static_cast<int>(batch.num_columns())) {
+    const ColumnVector& col = batch.column(static_cast<size_t>(expr.column_index));
+    out->reserve(out->size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      col.AppendValueTo(batch.PhysicalIndex(i), out);
+    }
+    return Status::OK();
+  }
   out->reserve(out->size() + n);
   for (size_t i = 0; i < n; ++i) {
-    ctx.row = &batch.row(i);
+    ctx.BindBatch(&batch, i);
     SELTRIG_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, ctx));
     out->push_back(std::move(v));
   }

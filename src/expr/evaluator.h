@@ -14,13 +14,33 @@
 
 namespace seltrig {
 
-// Evaluation context: the current row, the stack of enclosing query rows (for
-// correlated subqueries; back() is the innermost enclosing query), and the
-// statement-wide ExecContext.
+class ColumnBatch;  // exec/column_batch.h
+
+// Evaluation context: the current row binding, the stack of enclosing query
+// rows (for correlated subqueries; back() is the innermost enclosing query),
+// and the statement-wide ExecContext.
+//
+// The current row is bound one of two ways: `row` points at a materialized
+// Row, or (`batch`, `batch_row`) name a logical row of a ColumnBatch — the
+// columnar pipeline's binding, letting column refs read table storage
+// directly with no row materialization. `row` wins when both are set; use
+// BindRow/BindBatch to repoint so the other binding is cleared.
 struct EvalContext {
   const Row* row = nullptr;
+  const ColumnBatch* batch = nullptr;
+  size_t batch_row = 0;
   std::vector<const Row*> outer_rows;
   ExecContext* exec = nullptr;
+
+  void BindRow(const Row* r) {
+    row = r;
+    batch = nullptr;
+  }
+  void BindBatch(const ColumnBatch* b, size_t i) {
+    row = nullptr;
+    batch = b;
+    batch_row = i;
+  }
 };
 
 // Evaluates `expr` under `ctx`. Comparison and logical operators follow SQL
@@ -31,38 +51,52 @@ Result<Value> EvalExpr(const Expr& expr, EvalContext& ctx);
 // Evaluates a predicate: NULL and false both reject the row.
 Result<bool> EvalPredicate(const Expr& expr, EvalContext& ctx);
 
-// --- Batch entry points (exec/row_batch.h) ----------------------------------
+// --- Batch entry points (exec/column_batch.h) --------------------------------
 // Both take a caller-owned EvalContext so the correlation-stack copy happens
-// once per operator, not once per row; `ctx.row` is repointed internally and
-// left dangling on return. Row-invariant expressions (no column refs, no
-// subqueries — see ExprIsRowInvariant) are evaluated once per batch and the
-// result is broadcast, hoisting constant subtrees out of the per-row loop.
-
-class RowBatch;
+// once per operator, not once per row; the context's row binding is repointed
+// internally and left dangling on return. Row-invariant expressions (no
+// column refs, no subqueries — see ExprIsRowInvariant) are evaluated once per
+// batch and the result is broadcast, hoisting constant subtrees out of the
+// per-row loop.
 
 // Narrows `batch`'s selection in place to the rows where `pred` evaluates to
 // non-null true.
-Status EvalPredicateBatch(const Expr& pred, EvalContext& ctx, RowBatch* batch);
+Status EvalPredicateBatch(const Expr& pred, EvalContext& ctx, ColumnBatch* batch);
 
 // Appends one value per selected row of `batch` to `out`, in logical order.
-Status EvalExprBatch(const Expr& expr, EvalContext& ctx, const RowBatch& batch,
+Status EvalExprBatch(const Expr& expr, EvalContext& ctx, const ColumnBatch& batch,
                      std::vector<Value>* out);
 
 // A predicate of the shape `column <cmp> constant` (either operand order),
 // pre-analyzed at operator Init so the per-row test needs no expression-tree
 // walk and no Value temporaries. Matches() is exactly equivalent to
 // EvalPredicate on the original expression: a NULL column value rejects the
-// row, and the comparison goes through the same Value::Compare.
+// row, and the comparison goes through the same Value::Compare. FilterBatch
+// additionally compiles to a tight per-type loop over contiguous table
+// storage when the batch column is a typed view — same decisions, no Value
+// construction.
 class SimplePredicate {
  public:
   // Returns the compiled form when `pred` matches the shape (with a non-NULL
   // literal); nullopt otherwise.
   static std::optional<SimplePredicate> Compile(const Expr& pred);
 
-  bool Matches(const Row& row) const {
-    const Value& v = row[column_];
+  bool Matches(const Row& row) const { return Decide(row[column_]); }
+
+  // Narrows `batch`'s selection in place to the matching rows, like
+  // EvalPredicateBatch.
+  void FilterBatch(ColumnBatch* batch) const;
+
+ private:
+  SimplePredicate(int column, CompareOp op, Value constant)
+      : column_(column), op_(op), constant_(std::move(constant)) {}
+
+  // The per-row decision both paths reduce to.
+  bool Decide(const Value& v) const {
     if (v.is_null()) return false;
-    int c = Value::Compare(v, constant_);
+    return DecideCmp(Value::Compare(v, constant_));
+  }
+  bool DecideCmp(int c) const {
     switch (op_) {
       case CompareOp::kEq:
         return c == 0;
@@ -79,14 +113,6 @@ class SimplePredicate {
     }
     return false;
   }
-
-  // Narrows `batch`'s selection in place to the matching rows, like
-  // EvalPredicateBatch.
-  void FilterBatch(RowBatch* batch) const;
-
- private:
-  SimplePredicate(int column, CompareOp op, Value constant)
-      : column_(column), op_(op), constant_(std::move(constant)) {}
 
   int column_;
   CompareOp op_;  // normalized so the column is the left operand

@@ -104,6 +104,16 @@ Result<PlanPtr> Pruner::PruneScan(PlanPtr node, const std::vector<bool>& require
     if (audit_only[out]) col.hidden = true;
     new_schema.AddColumn(col);
   }
+  // Never prune a scan to zero columns: an empty projection is the
+  // "all columns" sentinel downstream (SeqScanOp emits full table width),
+  // so a zero-keep scan (COUNT(*) over a cross join) would emit wider rows
+  // than its schema claims. Retain one column, hidden, as the row carrier.
+  if (new_projection.empty() && scan.schema.size() > 0) {
+    new_projection.push_back(scan.BaseColumn(0));
+    Column col = scan.schema.column(0);
+    col.hidden = true;
+    new_schema.AddColumn(col);
+  }
   scan.projection = std::move(new_projection);
   scan.schema = std::move(new_schema);
   // The scan filter stays bound to the base schema; only its nested

@@ -9,7 +9,35 @@
 namespace seltrig {
 
 Table::Table(std::string name, Schema schema, int primary_key_column)
-    : name_(std::move(name)), schema_(std::move(schema)), pk_col_(primary_key_column) {}
+    : name_(std::move(name)), schema_(std::move(schema)), pk_col_(primary_key_column) {
+  columns_.reserve(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    columns_.emplace_back(schema_.column(c).type);
+  }
+}
+
+void Table::AppendSlot(const Row& row) {
+  for (size_t c = 0; c < columns_.size(); ++c) columns_[c].Append(row[c]);
+  deleted_.push_back(false);
+  ++slot_count_;
+}
+
+void Table::WriteSlot(size_t row_id, const Row& row) {
+  for (size_t c = 0; c < columns_.size(); ++c) columns_[c].Set(row_id, row[c]);
+}
+
+Row Table::GetRow(size_t row_id) const {
+  Row row;
+  MaterializeRow(row_id, &row);
+  return row;
+}
+
+void Table::MaterializeRow(size_t row_id, Row* out) const {
+  assert(row_id < slot_count_);
+  out->clear();
+  out->reserve(columns_.size());
+  for (const TableColumn& col : columns_) col.AppendTo(row_id, out);
+}
 
 Result<size_t> Table::Insert(Row row) {
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.append"));
@@ -28,22 +56,21 @@ Result<size_t> Table::Insert(Row row) {
                                     ": duplicate primary key " + key.ToString());
     }
   }
-  size_t row_id = rows_.size();
-  rows_.push_back(std::move(row));
-  deleted_.push_back(false);
+  size_t row_id = slot_count_;
+  AppendSlot(row);
   ++live_count_;
   ++version_;
-  if (pk_col_ >= 0) pk_index_[rows_[row_id][pk_col_]] = row_id;
+  if (pk_col_ >= 0) pk_index_[row[pk_col_]] = row_id;
   if (undo_ != nullptr) undo_->PushInsert(this, row_id);
   return row_id;
 }
 
 Status Table::Delete(size_t row_id) {
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.delete"));
-  if (row_id >= rows_.size() || deleted_[row_id]) {
+  if (row_id >= slot_count_ || deleted_[row_id]) {
     return Status::ExecutionError("delete from " + name_ + ": invalid row id");
   }
-  if (pk_col_ >= 0) pk_index_.erase(rows_[row_id][pk_col_]);
+  if (pk_col_ >= 0) pk_index_.erase(columns_[pk_col_].Get(row_id));
   deleted_[row_id] = true;
   --live_count_;
   ++version_;
@@ -53,14 +80,14 @@ Status Table::Delete(size_t row_id) {
 
 Status Table::Update(size_t row_id, Row new_row) {
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.update"));
-  if (row_id >= rows_.size() || deleted_[row_id]) {
+  if (row_id >= slot_count_ || deleted_[row_id]) {
     return Status::ExecutionError("update " + name_ + ": invalid row id");
   }
   if (new_row.size() != schema_.size()) {
     return Status::ExecutionError("update " + name_ + ": arity mismatch");
   }
   if (pk_col_ >= 0) {
-    const Value& old_key = rows_[row_id][pk_col_];
+    const Value old_key = columns_[pk_col_].Get(row_id);
     const Value& new_key = new_row[pk_col_];
     if (new_key.is_null()) {
       return Status::ExecutionError("update " + name_ + ": NULL primary key");
@@ -74,23 +101,24 @@ Status Table::Update(size_t row_id, Row new_row) {
       pk_index_[new_key] = row_id;
     }
   }
-  if (undo_ != nullptr) undo_->PushUpdate(this, row_id, rows_[row_id]);
-  rows_[row_id] = std::move(new_row);
+  if (undo_ != nullptr) undo_->PushUpdate(this, row_id, GetRow(row_id));
+  WriteSlot(row_id, new_row);
   ++version_;
   return Status::OK();
 }
 
 void Table::UndoInsert(size_t row_id) {
-  assert(row_id < rows_.size());
+  assert(row_id < slot_count_);
   if (!deleted_[row_id]) {
-    if (pk_col_ >= 0) pk_index_.erase(rows_[row_id][pk_col_]);
+    if (pk_col_ >= 0) pk_index_.erase(columns_[pk_col_].Get(row_id));
     --live_count_;
   }
-  if (row_id + 1 == rows_.size()) {
+  if (row_id + 1 == slot_count_) {
     // Reverse-order rollback undoes later inserts first, so the slot being
     // reverted is normally the newest and the heap shrinks back.
-    rows_.pop_back();
+    for (TableColumn& col : columns_) col.PopBack();
     deleted_.pop_back();
+    --slot_count_;
   } else {
     deleted_[row_id] = true;  // later slots survive: tombstone instead
   }
@@ -98,20 +126,20 @@ void Table::UndoInsert(size_t row_id) {
 }
 
 void Table::UndoDelete(size_t row_id) {
-  assert(row_id < rows_.size() && deleted_[row_id]);
+  assert(row_id < slot_count_ && deleted_[row_id]);
   deleted_[row_id] = false;
   ++live_count_;
-  if (pk_col_ >= 0) pk_index_[rows_[row_id][pk_col_]] = row_id;
+  if (pk_col_ >= 0) pk_index_[columns_[pk_col_].Get(row_id)] = row_id;
   ++version_;
 }
 
 void Table::UndoUpdate(size_t row_id, Row old_row) {
-  assert(row_id < rows_.size());
+  assert(row_id < slot_count_);
   if (pk_col_ >= 0) {
-    pk_index_.erase(rows_[row_id][pk_col_]);
+    pk_index_.erase(columns_[pk_col_].Get(row_id));
     pk_index_[old_row[pk_col_]] = row_id;
   }
-  rows_[row_id] = std::move(old_row);
+  WriteSlot(row_id, old_row);
   ++version_;
 }
 
@@ -128,26 +156,22 @@ void Table::EnsureSecondaryIndex(int column) {
   if (idx.built_at_version == version_ && !idx.map.empty()) return;
   if (idx.built_at_version == version_ && version_ != 0) return;
   idx.map.clear();
-  for (size_t i = 0; i < rows_.size(); ++i) {
+  const TableColumn& col = columns_[column];
+  for (size_t i = 0; i < slot_count_; ++i) {
     if (deleted_[i]) continue;
-    idx.map[rows_[i][column]].push_back(i);
+    idx.map[col.Get(i)].push_back(i);
   }
   idx.built_at_version = version_;
 }
 
-size_t Table::ScanBatch(size_t* cursor, size_t max_rows,
-                        std::vector<const Row*>* out) const {
-  return ScanBatchRange(cursor, rows_.size(), max_rows, out);
-}
-
-size_t Table::ScanBatchRange(size_t* cursor, size_t end_slot, size_t max_rows,
-                             std::vector<const Row*>* out) const {
+size_t Table::ScanLiveRange(size_t* cursor, size_t end_slot, size_t max_live,
+                            std::vector<uint32_t>* out_slots) const {
   size_t appended = 0;
   size_t pos = *cursor;
-  const size_t slots = std::min(end_slot, rows_.size());
-  while (pos < slots && appended < max_rows) {
+  const size_t slots = std::min(end_slot, slot_count_);
+  while (pos < slots && appended < max_live) {
     if (!deleted_[pos]) {
-      out->push_back(&rows_[pos]);
+      out_slots->push_back(static_cast<uint32_t>(pos));
       ++appended;
     }
     ++pos;
@@ -166,8 +190,9 @@ const std::vector<size_t>& Table::LookupBySecondary(int column, const Value& key
 }
 
 void Table::Clear() {
-  rows_.clear();
+  for (TableColumn& col : columns_) col.Clear();
   deleted_.clear();
+  slot_count_ = 0;
   live_count_ = 0;
   ++version_;
   pk_index_.clear();

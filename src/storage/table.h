@@ -1,4 +1,4 @@
-// In-memory heap table with stable row ids, an optional primary-key hash
+// In-memory columnar table with stable row ids, an optional primary-key hash
 // index, and lazily-built secondary hash indexes.
 
 #ifndef SELTRIG_STORAGE_TABLE_H_
@@ -13,6 +13,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "storage/column_store.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -20,14 +21,18 @@ namespace seltrig {
 
 class UndoLog;
 
-// Rows live in an append-only vector; deletes set a tombstone so row ids stay
-// stable for indexes and triggers.
+// Storage is columnar: one append-only TableColumn per schema column (typed
+// arrays + null bitmaps, see storage/column_store.h). A row id names the same
+// slot in every column; deletes set a tombstone so row ids stay stable for
+// indexes and triggers. Row images for DML, the undo log, WAL, and snapshots
+// are materialized on demand through GetRow / MaterializeRow — the durability
+// formats never see the columnar layout.
 //
-// Concurrency contract (docs/CONCURRENCY.md): reads (ScanBatch, GetRow,
-// lookups) may run from many sessions and parallel scan workers at once;
-// every mutation runs behind the engine's exclusive writer lock, which
-// excludes all readers. The only mutable state reachable from the read path
-// is the lazily-built secondary index, which is serialized internally.
+// Concurrency contract (docs/CONCURRENCY.md): reads (ScanLiveRange, GetRow,
+// column_data, lookups) may run from many sessions and parallel scan workers
+// at once; every mutation runs behind the engine's exclusive writer lock,
+// which excludes all readers. The only mutable state reachable from the read
+// path is the lazily-built secondary index, which is serialized internally.
 class Table {
  public:
   // `primary_key_column` is the index of the PK column in `schema`, or -1 if
@@ -44,24 +49,37 @@ class Table {
   // Number of live (non-deleted) rows.
   size_t live_row_count() const { return live_count_; }
   // Total slots including tombstones; valid row ids are [0, slot_count()).
-  size_t slot_count() const { return rows_.size(); }
+  size_t slot_count() const { return slot_count_; }
 
   bool IsLive(size_t row_id) const { return !deleted_[row_id]; }
-  const Row& GetRow(size_t row_id) const { return rows_[row_id]; }
 
-  // Cursor-based batch scan for the vectorized executor: starting at *cursor,
-  // skips tombstones and appends pointers to up to `max_rows` live rows to
-  // `out`, advancing *cursor past every slot examined. Returns the number of
-  // rows appended; 0 means the scan is exhausted. The pointers stay valid
-  // until the next mutation of the table.
-  size_t ScanBatch(size_t* cursor, size_t max_rows,
-                   std::vector<const Row*>* out) const;
+  // Materializes a full row image by gathering one cell from every column.
+  // The cells are the exact Values that were stored (column_store.h's
+  // exactness contract), so WAL images, undo entries, and snapshot lines are
+  // byte-identical to the row-storage era.
+  Row GetRow(size_t row_id) const;
+  // Same, reusing the caller's buffer (cleared first) to avoid reallocation
+  // in scan loops.
+  void MaterializeRow(size_t row_id, Row* out) const;
+  // Single-cell materialization.
+  Value GetCell(size_t row_id, size_t column) const {
+    return columns_[column].Get(row_id);
+  }
 
-  // Range-bounded variant for morsel-driven parallel scans: identical, but
-  // never examines slots at or past `end_slot`. A worker owning the morsel
-  // [begin, end) starts its cursor at `begin` and scans with this overload.
-  size_t ScanBatchRange(size_t* cursor, size_t end_slot, size_t max_rows,
-                        std::vector<const Row*>* out) const;
+  // Direct columnar access for the vectorized executor: the returned column
+  // (typed array + null bitmap) stays valid until the next mutation of the
+  // table — the same lifetime the old `const Row*` scan pointers had.
+  const TableColumn& column_data(size_t column) const { return columns_[column]; }
+
+  // Cursor-based batch scan: starting at *cursor, skips tombstones and
+  // appends up to `max_live` live slot ids to `out_slots`, advancing *cursor
+  // past every slot examined but never at or past `end_slot`. Returns the
+  // number of slot ids appended; 0 means the range is exhausted. A morsel
+  // worker owning [begin, end) starts its cursor at `begin`. The slot ids
+  // index directly into column_data() arrays and double as the scan's
+  // selection vector.
+  size_t ScanLiveRange(size_t* cursor, size_t end_slot, size_t max_live,
+                       std::vector<uint32_t>* out_slots) const;
 
   // Appends a row. Fails on arity mismatch or duplicate primary key.
   // On success returns the new row id.
@@ -106,13 +124,16 @@ class Table {
   };
 
   void EnsureSecondaryIndex(int column) SELTRIG_REQUIRES(secondary_mutex_);
+  void AppendSlot(const Row& row);
+  void WriteSlot(size_t row_id, const Row& row);
 
   std::string name_;
   Schema schema_;
   int pk_col_;
 
-  std::vector<Row> rows_;
+  std::vector<TableColumn> columns_;  // one per schema column
   std::vector<bool> deleted_;
+  size_t slot_count_ = 0;
   size_t live_count_ = 0;
   uint64_t version_ = 0;  // bumped on every write; invalidates secondaries
 

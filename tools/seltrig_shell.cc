@@ -190,7 +190,8 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
   if (cmd == ".help") {
     std::printf(
         ".tables | .audit | .triggers | .user NAME | .profile on|off | .batch N "
-        "| .threads N | .concurrent N SQL | .tpch SF | .import FILE TABLE "
+        "| .threads N | .columnar on|off | .concurrent N SQL | .tpch SF "
+        "| .import FILE TABLE "
         "| .save DIR | .open DIR | .wal DIR | .replica [DIR] | .quit\n"
         "SET AUDIT_FAILURE_POLICY = FAIL_CLOSED | FAIL_OPEN;\n"
         "SET WAL_SYNC = OFF | COMMIT | BATCH;   CHECKPOINT;\n"
@@ -249,6 +250,16 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
       std::printf("threads: %d\n", n);
     } else {
       std::printf("usage: .threads N (currently %d)\n", sh->options.num_threads);
+    }
+  } else if (cmd == ".columnar") {
+    std::string mode;
+    in >> mode;
+    if (mode == "on" || mode == "off") {
+      sh->options.columnar = mode == "on";
+      std::printf("columnar layout %s\n", mode.c_str());
+    } else {
+      std::printf("usage: .columnar on|off (currently %s)\n",
+                  sh->options.columnar ? "on" : "off");
     }
   } else if (cmd == ".concurrent") {
     // Concurrent-session smoke hook: runs one statement on N sessions at

@@ -241,6 +241,48 @@ void BM_LayoutSweepJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_LayoutSweepJoin)->Arg(0)->Arg(1)->Iterations(20);
 
+// Fixture for the ordered-string-filter sweep: 40k rows over a 200-entry
+// string dictionary, so the dict-aware kernel (one compare per DISTINCT
+// string into a per-code sign table, then byte lookups per row) has ~200
+// string compares to amortize over 40k rows per scan.
+Database* StringSweepDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    Status status =
+        d->Execute("CREATE TABLE str_bench (id INT PRIMARY KEY, s VARCHAR)").status();
+    if (!status.ok()) std::abort();
+    constexpr int kRows = 40000;
+    std::string insert;
+    for (int i = 1; i <= kRows; ++i) {
+      if (insert.empty()) insert = "INSERT INTO str_bench VALUES ";
+      int v = (i * 37) % 200;
+      std::string s = "customer_";
+      s += static_cast<char>('a' + v / 26 % 26);
+      s += static_cast<char>('a' + v % 26);
+      insert += "(" + std::to_string(i) + ", '" + s + "')";
+      if (i % 1000 == 0) {
+        status = d->Execute(insert).status();
+        if (!status.ok()) std::abort();
+        insert.clear();
+      } else {
+        insert += ", ";
+      }
+    }
+    return d;
+  }();
+  return db;
+}
+
+// Ordered string predicate through both layouts. In the columnar layout the
+// dict-aware FilterBatch decides per row from the precomputed sign table;
+// the row layout compares strings per row. The JSON line pair quantifies the
+// dictionary win.
+void BM_LayoutSweepStringFilter(benchmark::State& state) {
+  RunLayoutSweep(state, StringSweepDb(), "string_filter",
+                 "SELECT COUNT(*) FROM str_bench WHERE s < 'customer_dm'", false);
+}
+BENCHMARK(BM_LayoutSweepStringFilter)->Arg(0)->Arg(1)->Iterations(100);
+
 // Fixture for the thread-count sweep: same shape as SweepDb but 4x the rows
 // so the table splits into ~40 morsels (kMorselSlots = 4096) — enough work
 // units to keep 8 workers busy with load balancing left over.

@@ -26,6 +26,7 @@ Status AuditManager::CreateAuditExpression(ast::CreateAuditExpressionStatement s
   Result<int> pcol = (*table)->schema().Resolve("", def->partition_by_);
   SELTRIG_RETURN_IF_ERROR(pcol.status());
   def->partition_column_ = *pcol;
+  def->bound_schema_version_ = (*table)->schema_version();
 
   // Collect referenced tables and detect the single-table case.
   bool sensitive_in_from = false;
@@ -132,6 +133,225 @@ Status AuditManager::RebuildView(AuditExpressionDef* def) {
     if (!row[0].is_null()) def->view_.Add(row[0]);
   }
   return Status::OK();
+}
+
+// --- Online schema change -----------------------------------------------------
+
+namespace {
+
+// One applied column-reference rename, recorded so a failed rebind can put
+// the AST back exactly as it was.
+struct AppliedRename {
+  ast::Expression* expr;
+  std::string old_name;
+};
+
+// Aliases under which `table` is visible in one SELECT scope.
+void CollectTableAliases(const ast::SelectStatement& select, const std::string& table,
+                         std::vector<std::string>* aliases) {
+  for (const ast::FromClause& fc : select.from) {
+    if (fc.base.table == table) {
+      aliases->push_back(fc.base.alias.empty() ? fc.base.table : fc.base.alias);
+    }
+    for (const ast::JoinClause& jc : fc.joins) {
+      if (jc.table.table == table) {
+        aliases->push_back(jc.table.alias.empty() ? jc.table.table : jc.table.alias);
+      }
+    }
+  }
+}
+
+void RewriteSelectRefs(ast::SelectStatement* select, const std::string& table,
+                       const AuditManager::ColumnRenames& renames,
+                       const std::vector<std::string>& outer_aliases,
+                       std::vector<AppliedRename>* applied);
+
+void RewriteExprRefs(ast::Expression* expr, const std::string& table,
+                     const AuditManager::ColumnRenames& renames,
+                     const std::vector<std::string>& aliases,
+                     std::vector<AppliedRename>* applied) {
+  if (expr == nullptr) return;
+  if (expr->type == ast::ExprType::kColumnRef) {
+    bool in_scope = expr->qualifier.empty();
+    for (const std::string& alias : aliases) {
+      in_scope = in_scope || expr->qualifier == alias;
+    }
+    if (in_scope) {
+      for (const auto& [from, to] : renames) {
+        if (expr->name == from) {
+          applied->push_back({expr, expr->name});
+          expr->name = to;
+          break;
+        }
+      }
+    }
+  }
+  for (const ast::ExprNode& child : expr->children) {
+    RewriteExprRefs(child.get(), table, renames, aliases, applied);
+  }
+  if (expr->subquery != nullptr) {
+    RewriteSelectRefs(expr->subquery.get(), table, renames, aliases, applied);
+  }
+}
+
+void RewriteSelectRefs(ast::SelectStatement* select, const std::string& table,
+                       const AuditManager::ColumnRenames& renames,
+                       const std::vector<std::string>& outer_aliases,
+                       std::vector<AppliedRename>* applied) {
+  // A subquery sees the altered table under its own FROM aliases plus any
+  // correlated outer bindings.
+  std::vector<std::string> aliases = outer_aliases;
+  CollectTableAliases(*select, table, &aliases);
+  for (ast::SelectItem& item : select->items) {
+    RewriteExprRefs(item.expr.get(), table, renames, aliases, applied);
+  }
+  for (ast::FromClause& fc : select->from) {
+    if (fc.base.derived != nullptr) {
+      RewriteSelectRefs(fc.base.derived.get(), table, renames, outer_aliases, applied);
+    }
+    for (ast::JoinClause& jc : fc.joins) {
+      if (jc.table.derived != nullptr) {
+        RewriteSelectRefs(jc.table.derived.get(), table, renames, outer_aliases,
+                          applied);
+      }
+      RewriteExprRefs(jc.condition.get(), table, renames, aliases, applied);
+    }
+  }
+  RewriteExprRefs(select->where.get(), table, renames, aliases, applied);
+  for (ast::ExprNode& e : select->group_by) {
+    RewriteExprRefs(e.get(), table, renames, aliases, applied);
+  }
+  RewriteExprRefs(select->having.get(), table, renames, aliases, applied);
+  for (ast::OrderByItem& item : select->order_by) {
+    RewriteExprRefs(item.expr.get(), table, renames, aliases, applied);
+  }
+}
+
+}  // namespace
+
+Status AuditManager::RebindAfterAlter(const std::string& table,
+                                      const ColumnRenames& renames) {
+  const std::string key = ToLower(table);
+
+  // Saved pre-call binding of one definition, for the all-or-nothing revert.
+  struct Saved {
+    AuditExpressionDef* def;
+    std::string partition_by;
+    int partition_column;
+    uint64_t bound_schema_version;
+    ExprPtr predicate;
+    std::vector<AppliedRename> edits;
+  };
+  std::vector<Saved> saved;
+  auto revert_all = [&saved]() {
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      for (auto e = it->edits.rbegin(); e != it->edits.rend(); ++e) {
+        e->expr->name = e->old_name;
+      }
+      it->def->partition_by_ = it->partition_by;
+      it->def->partition_column_ = it->partition_column;
+      it->def->bound_schema_version_ = it->bound_schema_version;
+      it->def->single_table_predicate_ = std::move(it->predicate);
+    }
+  };
+
+  Status failed = Status::OK();
+  std::vector<AuditExpressionDef*> rebound;
+  for (auto& [name, def] : defs_) {
+    bool references = false;
+    for (const std::string& ref : def->referenced_tables_) {
+      references = references || ref == key;
+    }
+    if (!references) continue;
+
+    Saved s;
+    s.def = def.get();
+    s.partition_by = def->partition_by_;
+    s.partition_column = def->partition_column_;
+    s.bound_schema_version = def->bound_schema_version_;
+
+    RewriteSelectRefs(def->id_select_.get(), key, renames, {}, &s.edits);
+
+    if (def->sensitive_table_ == key) {
+      for (const auto& [from, to] : renames) {
+        if (def->partition_by_ == from) def->partition_by_ = to;
+      }
+      Result<Table*> t = catalog_->GetTable(key);
+      if (!t.ok()) {
+        failed = t.status();
+      } else {
+        Result<int> pcol = (*t)->schema().Resolve("", def->partition_by_);
+        if (!pcol.ok()) {
+          failed = Status::FailedPrecondition(
+              "audit expression '" + def->name_ + "': partition key '" +
+              def->partition_by_ + "' no longer resolves after ALTER TABLE " +
+              key + ": " + pcol.status().ToString());
+        } else {
+          def->partition_column_ = *pcol;
+          def->bound_schema_version_ = (*t)->schema_version();
+        }
+      }
+      // Re-bind the single-table maintenance predicate from the (rewritten)
+      // defining WHERE: its column indexes are stale after any add/drop.
+      if (failed.ok() && def->single_table_predicate_ != nullptr) {
+        s.predicate = std::move(def->single_table_predicate_);
+        if (def->id_select_->where == nullptr) {
+          def->single_table_predicate_ = MakeLiteral(Value::Bool(true));
+        } else {
+          Schema schema = (*catalog_->GetTable(key))->schema();
+          const std::string alias = def->id_select_->from[0].base.alias.empty()
+                                        ? def->id_select_->from[0].base.table
+                                        : def->id_select_->from[0].base.alias;
+          for (size_t i = 0; i < schema.size(); ++i) {
+            schema.column(i).qualifier = alias;
+          }
+          Binder binder(catalog_);
+          Result<ExprPtr> pred =
+              binder.BindStandaloneExpr(*def->id_select_->where, schema);
+          if (!pred.ok()) {
+            failed = pred.status();
+          } else {
+            def->single_table_predicate_ = std::move(pred).value();
+          }
+        }
+      }
+    }
+    rebound.push_back(def.get());
+    saved.push_back(std::move(s));
+    if (!failed.ok()) break;
+  }
+
+  if (failed.ok()) {
+    for (AuditExpressionDef* def : rebound) {
+      failed = RebuildView(def);
+      if (!failed.ok()) break;
+    }
+  }
+  if (!failed.ok()) {
+    revert_all();
+    // Views rebuilt before the failure were computed under bindings that are
+    // now reverted; recompute them. The caller is about to roll the storage
+    // change back too and rebuilds views again afterwards, so this is only
+    // needed for callers that mutated nothing (best-effort either way).
+    for (AuditExpressionDef* def : rebound) (void)RebuildView(def);
+    return failed;
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<AuditExpressionDef> AuditManager::DetachForAlter(
+    const std::string& name) {
+  auto it = defs_.find(ToLower(name));
+  if (it == defs_.end()) return nullptr;
+  std::unique_ptr<AuditExpressionDef> def = std::move(it->second);
+  defs_.erase(it);
+  return def;
+}
+
+void AuditManager::RestoreDetached(std::unique_ptr<AuditExpressionDef> def) {
+  if (def == nullptr) return;
+  std::string key = def->name_;
+  defs_.emplace(std::move(key), std::move(def));
 }
 
 Status AuditManager::MaintainRow(AuditExpressionDef* def, const std::string& table,

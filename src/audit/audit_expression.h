@@ -45,6 +45,12 @@ class AuditExpressionDef {
   // this text to restore the definition.
   const std::string& definition_sql() const { return definition_sql_; }
 
+  // schema_version() of the sensitive table this definition is currently
+  // bound against. Set at CREATE and refreshed by a successful
+  // RebindAfterAlter; the shell surfaces it next to each trigger's bound
+  // version.
+  uint64_t bound_schema_version() const { return bound_schema_version_; }
+
  private:
   friend class AuditManager;
 
@@ -52,6 +58,7 @@ class AuditExpressionDef {
   std::string sensitive_table_;
   std::string partition_by_;
   std::string definition_sql_;
+  uint64_t bound_schema_version_ = 0;
   int partition_column_ = -1;
   ExprPtr single_table_predicate_;
   std::vector<std::string> referenced_tables_;
@@ -89,6 +96,29 @@ class AuditManager {
   // Recomputes the view from scratch by executing the defining query.
   // Exposed as the maintenance test oracle.
   Status RebuildView(AuditExpressionDef* def);
+
+  // --- Online schema change (engine/session.cc ExecuteAlterTable) -----------
+
+  // Column renames produced by one ALTER TABLE chain: original name -> final
+  // name, for every surviving column whose name changed.
+  using ColumnRenames = std::vector<std::pair<std::string, std::string>>;
+
+  // Re-binds every audit expression that references `table` against the
+  // table's post-ALTER schema: rewrites renamed column references in the
+  // defining AST, re-resolves the partition key, re-binds the single-table
+  // maintenance predicate, stamps bound_schema_version, and rebuilds the ID
+  // views. All-or-nothing: on any failure (e.g. the definition references a
+  // dropped column) every definition is restored to its pre-call binding and
+  // the error propagates — the session then rolls the storage change back
+  // wholesale, so the ALTER fails closed rather than orphaning a view.
+  Status RebindAfterAlter(const std::string& table, const ColumnRenames& renames);
+
+  // Detaches a definition during ALTER (cascade-drop of an expression whose
+  // partition key the change destroys, allowed only when no live trigger
+  // depends on it). The session keeps the returned definition until the
+  // statement commits so a later failure can RestoreDetached it.
+  std::unique_ptr<AuditExpressionDef> DetachForAlter(const std::string& name);
+  void RestoreDetached(std::unique_ptr<AuditExpressionDef> def);
 
  private:
   Status MaintainRow(AuditExpressionDef* def, const std::string& table,

@@ -50,6 +50,10 @@ Status TriggerManager::Quarantine(const std::string& name) {
 Status TriggerManager::Rearm(const std::string& name) {
   TriggerDef* def = FindMutable(name);
   if (def == nullptr) return Status::NotFound("trigger not found: " + name);
+  // Fail-closed re-validation: a trigger that went stale while quarantined
+  // (its audit expression dropped, possibly cascaded by an ALTER TABLE) must
+  // not silently resume firing against bindings that no longer exist.
+  if (rearm_validator_ != nullptr) SELTRIG_RETURN_IF_ERROR(rearm_validator_(def));
   {
     MutexLock lock(&mutex_);
     def->consecutive_failures = 0;

@@ -8,6 +8,8 @@
 #define SELTRIG_AUDIT_TRIGGER_H_
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -35,6 +37,13 @@ struct TriggerDef {
   // ASTs). Snapshots with include_policy and the journal replay this text to
   // restore the trigger.
   std::string definition_sql;
+  // schema_version() of the table this trigger is bound against (the audit
+  // expression's sensitive table for SELECT triggers, the subject table for
+  // DML triggers). Set at CREATE, refreshed when an ALTER TABLE rebind
+  // succeeds — but only for enabled triggers: a quarantined trigger keeps
+  // its stale version (the shell flags it) until Rearm re-validates it.
+  // Mutated only under the engine's writer lock.
+  uint64_t bound_schema_version = 0;
   // enabled/quarantined are atomic so concurrent reader sessions can check
   // them while another session quarantines or re-arms the trigger (the
   // trigger-firing phase itself runs under the engine's writer lock).
@@ -65,7 +74,16 @@ class TriggerManager {
   Status Quarantine(const std::string& name) SELTRIG_EXCLUDES(mutex_);
 
   // Clears quarantine and the failure counter, re-enabling the trigger.
+  // When a re-arm validator is installed (set_rearm_validator) it runs first;
+  // a non-OK result leaves the trigger quarantined — e.g. its audit
+  // expression was cascade-dropped by an ALTER TABLE while it was offline.
   Status Rearm(const std::string& name) SELTRIG_EXCLUDES(mutex_);
+
+  // Re-validation hook for Rearm, installed by the Database: checks that a
+  // SELECT trigger's audit expression still exists after online schema
+  // changes and refreshes the trigger's bound_schema_version.
+  using RearmValidator = std::function<Status(TriggerDef*)>;
+  void set_rearm_validator(RearmValidator v) { rearm_validator_ = std::move(v); }
 
   // Restores circuit-breaker state verbatim (recovery replaying a journaled
   // quarantine transition or a checkpoint's quarantine list).
@@ -107,6 +125,8 @@ class TriggerManager {
   mutable Mutex mutex_;
   std::unordered_map<std::string, std::unique_ptr<TriggerDef>> triggers_
       SELTRIG_GUARDED_BY(mutex_);
+  // Set once at Database construction, before any concurrent use.
+  RearmValidator rearm_validator_;
 };
 
 }  // namespace seltrig

@@ -86,6 +86,7 @@ Result<PlanPtr> Binder::BindTableRef(const ast::TableRef& ref) {
   } else {
     SELTRIG_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ref.table));
     scan->schema = table->schema();
+    scan->schema_version = table->schema_version();
   }
   for (size_t i = 0; i < scan->schema.size(); ++i) {
     scan->schema.column(i).qualifier = scan->alias;

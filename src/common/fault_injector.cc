@@ -18,6 +18,9 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
   static const auto* kPoints = new std::vector<std::string>{
       "audit.maintain",   // audit/audit_expression.cc: incremental view upkeep
       "audit.record",     // audit/audit_log.cc: access-log row append
+      "catalog.alter.apply",     // engine/session.cc: before mutating storage
+      "catalog.alter.rebind",    // engine/session.cc: before audit view rebind
+      "catalog.alter.validate",  // engine/session.cc: ALTER TABLE prevalidation
       "executor.batch",   // exec/executor.cc: batch pull loop
       "replication.ack",        // replication/applier.cc: before sending an ack
       "replication.apply",      // replication/applier.cc: before applying a commit

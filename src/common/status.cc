@@ -32,6 +32,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "DataLoss";
     case ErrorCode::kFencedOut:
       return "FencedOut";
+    case ErrorCode::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

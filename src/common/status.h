@@ -42,6 +42,10 @@ enum class ErrorCode {
   // serving a newer epoch). Permanent for this node's current epoch; no
   // retry or reconnect can succeed.
   kFencedOut,
+  // The system is in a state the operation refuses to act on until the caller
+  // changes it first — e.g. an ALTER TABLE that would strand a live SELECT
+  // trigger's partition key fails closed until the trigger is dropped.
+  kFailedPrecondition,
 };
 
 // Returns a human-readable name for `code`, e.g. "ParseError".
@@ -99,6 +103,9 @@ class [[nodiscard]] Status {
   }
   static Status FencedOut(std::string msg) {
     return Status(ErrorCode::kFencedOut, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(ErrorCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == ErrorCode::kOk; }

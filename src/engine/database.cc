@@ -10,7 +10,34 @@ namespace seltrig {
 
 Database::Database()
     : default_session_(new Session(this)),
-      audit_(&catalog_, default_session_->context()) {}
+      audit_(&catalog_, default_session_->context()) {
+  // Fail-closed re-arm after online schema changes: a quarantined SELECT
+  // trigger whose audit expression was cascade-dropped by an ALTER TABLE must
+  // not resume firing; one whose expression was successfully rebound picks up
+  // the expression's current bound schema version on re-arm.
+  triggers_.set_rearm_validator([this](TriggerDef* def) -> Status {
+    if (!def->is_select_trigger) {
+      Result<Table*> table = catalog_.GetTable(def->table);
+      if (!table.ok()) {
+        return Status::FailedPrecondition(
+            "cannot re-arm trigger '" + def->name + "': table '" + def->table +
+            "' no longer exists; drop and recreate the trigger");
+      }
+      def->bound_schema_version = (*table)->schema_version();
+      return Status::OK();
+    }
+    const AuditExpressionDef* expr = audit_.Find(def->audit_expression);
+    if (expr == nullptr) {
+      return Status::FailedPrecondition(
+          "cannot re-arm trigger '" + def->name + "': audit expression '" +
+          def->audit_expression +
+          "' no longer exists (dropped or cascade-dropped by ALTER TABLE); "
+          "drop and recreate the trigger");
+    }
+    def->bound_schema_version = expr->bound_schema_version();
+    return Status::OK();
+  });
+}
 
 Database::~Database() = default;
 

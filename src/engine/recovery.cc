@@ -48,6 +48,22 @@ Status ApplyOp(Database* db, const WalOp& op, RecoveryStats* stats) {
       SELTRIG_RETURN_IF_ERROR(result.status());
       return Status::OK();
     }
+    case WalOp::Kind::kDdl: {
+      // ALTER TABLE: logical replay through the statement path, then verify
+      // the catalog landed on the version the record was stamped with —
+      // divergence means the journal and the recovered schema history
+      // disagree, which would silently corrupt every later physical op.
+      Result<QueryResult> result = db->default_session()->Execute(op.sql);
+      SELTRIG_RETURN_IF_ERROR(result.status());
+      SELTRIG_ASSIGN_OR_RETURN(Table * table, db->catalog()->GetTable(op.table));
+      if (table->schema_version() != op.schema_version) {
+        return Status::Internal(
+            "journal replay: table '" + op.table + "' reached schema version " +
+            std::to_string(table->schema_version()) + " but the DDL record is "
+            "stamped with version " + std::to_string(op.schema_version));
+      }
+      return Status::OK();
+    }
     case WalOp::Kind::kInsert: {
       SELTRIG_ASSIGN_OR_RETURN(Table * table, db->catalog()->GetTable(op.table));
       Result<size_t> row_id = table->Insert(op.row);
@@ -90,8 +106,14 @@ Status ApplyWalCommit(Database* db, const std::vector<WalOp>& commit, bool live,
   RecoveryStats local;
   if (stats == nullptr) stats = &local;
   size_t i = 0;
+  auto is_statement_like = [](const WalOp& op) {
+    // kStatement and kDdl both replay through a session, which takes the
+    // writer lock for itself; they must never sit inside a physical run's
+    // lock scope.
+    return op.kind == WalOp::Kind::kStatement || op.kind == WalOp::Kind::kDdl;
+  };
   while (i < commit.size()) {
-    if (commit[i].kind == WalOp::Kind::kStatement) {
+    if (is_statement_like(commit[i])) {
       // The session locks for itself (and, on a follower, has no journal
       // attached — replayed DDL is not re-journaled).
       SELTRIG_RETURN_IF_ERROR(ApplyOp(db, commit[i], stats));
@@ -102,7 +124,7 @@ Status ApplyWalCommit(Database* db, const std::vector<WalOp>& commit, bool live,
     // A run of physical / trigger-state ops: one writer-lock scope in live
     // mode, lock-free during recovery (the database has no sessions yet).
     size_t end = i;
-    while (end < commit.size() && commit[end].kind != WalOp::Kind::kStatement) ++end;
+    while (end < commit.size() && !is_statement_like(commit[end])) ++end;
     auto apply_run = [&]() -> Status {
       std::set<std::string> touched;
       for (; i < end; ++i) {

@@ -1,6 +1,8 @@
 #include "engine/session.h"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 #include <utility>
 
 #include "common/fault_injector.h"
@@ -194,6 +196,12 @@ Result<StatementResult> Session::DispatchStatement(ast::Statement& stmt,
       SELTRIG_RETURN_IF_ERROR(db_->audit_.DropAuditExpression(drop.name));
       JournalDdl(stmt);
       return StatementResult{};
+    }
+    case ast::StatementKind::kAlterTable: {
+      SELTRIG_RETURN_IF_ERROR(CheckDdlJournalable(stmt));
+      // ExecuteAlterTable journals its own WalOp::Ddl record (stamped with the
+      // resulting schema version) instead of the generic JournalDdl path.
+      return ExecuteAlterTable(static_cast<const ast::AlterTableStatement&>(stmt));
     }
     case ast::StatementKind::kIf:
       return ExecuteIf(static_cast<ast::IfStatement&>(stmt), options, depth, action);
@@ -941,6 +949,295 @@ Result<StatementResult> Session::ExecuteCreateTable(
   return StatementResult{};
 }
 
+Result<StatementResult> Session::ExecuteAlterTable(
+    const ast::AlterTableStatement& stmt) {
+  AssertWriterHeld();
+  using Action = ast::AlterTableStatement::Action;
+  Result<Table*> found = db_->catalog_.GetTable(ToLower(stmt.table));
+  SELTRIG_RETURN_IF_ERROR(found.status());
+  Table* table = *found;
+  const std::string table_name = table->name();
+  const std::string what = "alter table " + table_name;
+
+  // --- Phase 1: metadata prevalidation --------------------------------------
+  // The whole chain is simulated against a copy of the schema before anything
+  // mutates, so every error below leaves the engine untouched.
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("catalog.alter.validate"));
+  struct SimColumn {
+    std::string name;
+    TypeId type;
+    std::string original;  // pre-ALTER name; empty for columns the chain adds
+  };
+  std::vector<SimColumn> sim;
+  for (size_t i = 0; i < table->schema().size(); ++i) {
+    const Column& col = table->schema().column(i);
+    sim.push_back({col.name, col.type, col.name});
+  }
+  int pk_sim = table->primary_key_column();
+  auto find_sim = [&sim](const std::string& name) -> int {
+    for (size_t i = 0; i < sim.size(); ++i) {
+      if (sim[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  struct NormalizedAction {
+    Action::Kind kind = Action::Kind::kAdd;
+    std::string name;
+    std::string new_name;
+    TypeId type = TypeId::kNull;
+    Value default_value;  // kAdd: evaluated once, here
+  };
+  std::vector<NormalizedAction> acts;
+  for (const Action& a : stmt.actions) {
+    NormalizedAction act;
+    act.kind = a.kind;
+    act.name = ToLower(a.name);
+    act.new_name = ToLower(a.new_name);
+    act.type = a.type;
+    switch (a.kind) {
+      case Action::Kind::kAdd: {
+        if (find_sim(act.name) >= 0) {
+          return Status::BindError(what + ": column '" + act.name +
+                                   "' already exists");
+        }
+        if (a.default_value != nullptr) {
+          // DEFAULT must be a constant: bind against an empty schema and
+          // evaluate now, before any storage mutation.
+          Binder binder(&db_->catalog_);
+          Schema empty;
+          SELTRIG_ASSIGN_OR_RETURN(
+              ExprPtr bound, binder.BindStandaloneExpr(*a.default_value, empty));
+          ExecContext ctx(&db_->catalog_, &ctx_);
+          Executor executor(&ctx);
+          EvalContext ec;
+          ec.exec = &ctx;
+          SELTRIG_ASSIGN_OR_RETURN(act.default_value, EvalExpr(*bound, ec));
+          if (!act.default_value.is_null() &&
+              act.default_value.type() != act.type) {
+            if (act.default_value.type() == TypeId::kInt &&
+                act.type == TypeId::kDouble) {
+              act.default_value =
+                  Value::Double(static_cast<double>(act.default_value.AsInt()));
+            } else if (act.default_value.type() == TypeId::kDouble &&
+                       act.type == TypeId::kInt) {
+              act.default_value =
+                  Value::Int(static_cast<int64_t>(act.default_value.AsDouble()));
+            } else {
+              return Status::ExecutionError(
+                  what + ": DEFAULT of type " +
+                  std::string(TypeName(act.default_value.type())) +
+                  " cannot initialize column '" + act.name + "' of type " +
+                  TypeName(act.type));
+            }
+          }
+        }
+        sim.push_back({act.name, act.type, ""});
+        break;
+      }
+      case Action::Kind::kDrop: {
+        int idx = find_sim(act.name);
+        if (idx < 0) return Status::BindError(what + ": no such column: " + act.name);
+        if (idx == pk_sim) {
+          return Status::ExecutionError(what + ": cannot drop primary key column '" +
+                                        act.name + "'");
+        }
+        sim.erase(sim.begin() + idx);
+        if (pk_sim > idx) --pk_sim;
+        break;
+      }
+      case Action::Kind::kRename: {
+        int idx = find_sim(act.name);
+        if (idx < 0) return Status::BindError(what + ": no such column: " + act.name);
+        int clash = find_sim(act.new_name);
+        if (clash >= 0 && clash != idx) {
+          return Status::BindError(what + ": column '" + act.new_name +
+                                   "' already exists");
+        }
+        sim[idx].name = act.new_name;
+        break;
+      }
+      case Action::Kind::kRetype: {
+        int idx = find_sim(act.name);
+        if (idx < 0) return Status::BindError(what + ": no such column: " + act.name);
+        sim[idx].type = act.type;
+        break;
+      }
+    }
+    acts.push_back(std::move(act));
+  }
+
+  // Cumulative old-name -> final-name map, for rebinding audit definitions.
+  AuditManager::ColumnRenames renames;
+  for (const SimColumn& col : sim) {
+    if (!col.original.empty() && col.original != col.name) {
+      renames.push_back({col.original, col.name});
+    }
+  }
+
+  // Fail-closed policy (still nothing mutated): an audit expression whose
+  // partition key the chain drops or incompatibly retypes cannot be rebound.
+  // With a live SELECT trigger the ALTER is rejected outright; without one
+  // the expression and its view are cascade-dropped, never orphaned.
+  auto compatible_retype = [](TypeId from, TypeId to) {
+    return from == to || (from == TypeId::kInt && to == TypeId::kDouble) ||
+           (from == TypeId::kDouble && to == TypeId::kInt);
+  };
+  std::vector<std::string> doomed;
+  for (const AuditExpressionDef* def : db_->audit_.All()) {
+    if (def->sensitive_table() != table_name) continue;
+    const SimColumn* survived = nullptr;
+    for (const SimColumn& col : sim) {
+      if (col.original == def->partition_by()) survived = &col;
+    }
+    const TypeId old_type =
+        table->schema().column(static_cast<size_t>(def->partition_column())).type;
+    std::string reason;
+    if (survived == nullptr) {
+      reason = "drops its partition key '" + def->partition_by() + "'";
+    } else if (!compatible_retype(old_type, survived->type)) {
+      reason = "retypes its partition key '" + def->partition_by() + "' from " +
+               std::string(TypeName(old_type)) + " to " + TypeName(survived->type);
+    }
+    if (reason.empty()) continue;
+    if (!db_->triggers_.SelectTriggersFor(def->name()).empty()) {
+      return Status::FailedPrecondition(
+          what + ": " + reason + "; audit expression '" + def->name() +
+          "' has live SELECT triggers bound to it -- drop the triggers (and "
+          "the expression) first");
+    }
+    doomed.push_back(def->name());
+  }
+
+  // --- Phase 2: apply to storage under an inverse stack ----------------------
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("catalog.alter.apply"));
+  std::vector<std::function<void()>> inverses;
+  auto rollback_storage = [&inverses]() {
+    // Inverse application must not hit fault points: a second injected
+    // failure here would corrupt the engine instead of failing the ALTER.
+    fault::ScopedSuspend suspend;
+    for (auto it = inverses.rbegin(); it != inverses.rend(); ++it) (*it)();
+  };
+  Status applied = Status::OK();
+  for (const NormalizedAction& act : acts) {
+    bool ambiguous = false;
+    const int live = table->schema().TryResolve("", act.name, &ambiguous);
+    switch (act.kind) {
+      case Action::Kind::kAdd: {
+        applied = table->AlterAddColumn(act.name, act.type, act.default_value);
+        if (applied.ok()) {
+          inverses.push_back([table]() { table->AlterDropLastColumn(); });
+        }
+        break;
+      }
+      case Action::Kind::kDrop: {
+        Result<Table::DroppedColumn> dropped =
+            table->AlterDropColumn(static_cast<size_t>(live));
+        applied = dropped.status();
+        if (applied.ok()) {
+          // TableColumn is move-only; std::function requires copyable
+          // captures, so the moved payload rides in a shared_ptr holder.
+          auto holder = std::make_shared<Table::DroppedColumn>(std::move(*dropped));
+          inverses.push_back(
+              [table, holder]() { table->AlterRestoreColumn(std::move(*holder)); });
+        }
+        break;
+      }
+      case Action::Kind::kRename: {
+        applied = table->AlterRenameColumn(static_cast<size_t>(live), act.new_name);
+        if (applied.ok()) {
+          const std::string old_name = act.name;
+          const size_t idx = static_cast<size_t>(live);
+          inverses.push_back([table, idx, old_name]() {
+            (void)table->AlterRenameColumn(idx, old_name);
+          });
+        }
+        break;
+      }
+      case Action::Kind::kRetype: {
+        const TypeId old_type =
+            table->schema().column(static_cast<size_t>(live)).type;
+        Result<TableColumn> old_data =
+            table->AlterRetypeColumn(static_cast<size_t>(live), act.type);
+        applied = old_data.status();
+        if (applied.ok()) {
+          auto holder = std::make_shared<TableColumn>(std::move(*old_data));
+          const size_t idx = static_cast<size_t>(live);
+          inverses.push_back([table, idx, holder, old_type]() {
+            table->AlterRestoreColumnData(idx, std::move(*holder), old_type);
+          });
+        }
+        break;
+      }
+    }
+    if (!applied.ok()) {
+      rollback_storage();
+      return applied;
+    }
+  }
+  // One committed ALTER = exactly one schema version step, regardless of how
+  // many actions the chain holds: recovery replay and the replication applier
+  // both rely on the resulting version being old + 1.
+  const uint64_t old_version = table->schema_version();
+  table->set_schema_version(old_version + 1);
+  inverses.push_back(
+      [table, old_version]() { table->set_schema_version(old_version); });
+
+  // --- Phase 3: cascade-drop doomed definitions, rebind the rest -------------
+  Status rebind = fault::Maybe("catalog.alter.rebind");
+  std::vector<std::unique_ptr<AuditExpressionDef>> detached;
+  if (rebind.ok()) {
+    for (const std::string& name : doomed) {
+      std::unique_ptr<AuditExpressionDef> def = db_->audit_.DetachForAlter(name);
+      if (def != nullptr) detached.push_back(std::move(def));
+    }
+    rebind = db_->audit_.RebindAfterAlter(table_name, renames);
+  }
+  if (!rebind.ok()) {
+    fault::ScopedSuspend suspend;
+    for (auto& def : detached) db_->audit_.RestoreDetached(std::move(def));
+    rollback_storage();
+    // Storage is back on the old schema; recompute the views of every
+    // definition referencing the table (partial rebinds already reverted
+    // their own state, but views may have been rebuilt against the new
+    // schema before the failure).
+    for (const AuditExpressionDef* def : db_->audit_.All()) {
+      for (const std::string& ref : def->referenced_tables()) {
+        if (ref == table_name) {
+          (void)db_->audit_.RebuildView(db_->audit_.FindMutable(def->name()));
+          break;
+        }
+      }
+    }
+    return rebind;
+  }
+  // Success: `detached` going out of scope destroys the cascade-dropped
+  // definitions and their views — no orphans survive the statement.
+
+  // --- Phase 4: stamp live trigger bindings, journal --------------------------
+  const uint64_t new_version = table->schema_version();
+  for (const AuditExpressionDef* def : db_->audit_.All()) {
+    if (def->sensitive_table() != table_name) continue;
+    // SelectTriggersFor returns enabled triggers only, so quarantined ones
+    // keep their stale bound version until Rearm re-validates them.
+    for (TriggerDef* t : db_->triggers_.SelectTriggersFor(def->name())) {
+      t->bound_schema_version = def->bound_schema_version();
+    }
+  }
+  for (ast::DmlEvent event :
+       {ast::DmlEvent::kInsert, ast::DmlEvent::kUpdate, ast::DmlEvent::kDelete}) {
+    for (TriggerDef* t : db_->triggers_.DmlTriggersFor(table_name, event)) {
+      t->bound_schema_version = new_version;
+    }
+  }
+  if (WalEnabled()) {
+    // Logical DDL record stamped with the resulting version: replay
+    // re-executes the statement and the replication applier NAKs any gap.
+    wal_buffer_.push_back(WalOp::Ddl(table_name, stmt.source, new_version));
+  }
+  return StatementResult{};
+}
+
 Result<StatementResult> Session::ExecuteCreateTrigger(
     ast::CreateTriggerStatement& stmt) {
   auto def = std::make_unique<TriggerDef>();
@@ -949,15 +1246,19 @@ Result<StatementResult> Session::ExecuteCreateTrigger(
   def->before = stmt.before;
   if (stmt.is_select_trigger) {
     def->audit_expression = ToLower(stmt.audit_expression);
-    if (db_->audit_.Find(def->audit_expression) == nullptr) {
+    const AuditExpressionDef* expr = db_->audit_.Find(def->audit_expression);
+    if (expr == nullptr) {
       return Status::BindError("audit expression not found: " + def->audit_expression);
     }
+    def->bound_schema_version = expr->bound_schema_version();
   } else {
     def->table = ToLower(stmt.table);
-    if (!db_->catalog_.HasTable(def->table)) {
+    Result<Table*> table = db_->catalog_.GetTable(def->table);
+    if (!table.ok()) {
       return Status::BindError("table not found: " + def->table);
     }
     def->event = stmt.event;
+    def->bound_schema_version = (*table)->schema_version();
   }
   def->actions = std::move(stmt.actions);
   def->definition_sql = stmt.source;

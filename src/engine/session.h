@@ -235,6 +235,12 @@ class Session {
                                         const ExecOptions& options, int depth,
                                         const ActionContext* action);
   Result<StatementResult> ExecuteCreateTable(const ast::CreateTableStatement& stmt);
+  // Online schema change (docs/SCHEMA_CHANGE.md). Runs under the writer lock
+  // like all DDL; phases: metadata prevalidation + fail-closed audit policy
+  // check (nothing mutated), storage apply with an inverse stack, audit
+  // rebind + view rebuild, then version stamp + journal. Any failure after
+  // mutation began rolls the whole chain back via the inverses.
+  Result<StatementResult> ExecuteAlterTable(const ast::AlterTableStatement& stmt);
   Result<StatementResult> ExecuteCreateTrigger(ast::CreateTriggerStatement& stmt);
   Result<StatementResult> ExecuteIf(ast::IfStatement& stmt, const ExecOptions& options,
                                     int depth, const ActionContext* action);

@@ -156,6 +156,12 @@ Status WriteSnapshotFiles(Database* db, const std::string& dir,
       manifest.quarantined.push_back({def->name, def->consecutive_failures});
     }
   }
+  for (const std::string& name : tables) {
+    SELTRIG_ASSIGN_OR_RETURN(Table * table, db->catalog()->GetTable(name));
+    if (table->schema_version() > 1) {
+      manifest.schema_versions.push_back({name, table->schema_version()});
+    }
+  }
   SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.write"));
   return WriteSnapshotManifest(dir, manifest);
 }
@@ -245,6 +251,9 @@ Status WriteSnapshotManifest(const std::string& dir,
   for (const SnapshotManifest::QuarantineEntry& entry : manifest.quarantined) {
     out << "quarantined " << entry.trigger << " " << entry.failures << "\n";
   }
+  for (const SnapshotManifest::SchemaVersionEntry& entry : manifest.schema_versions) {
+    out << "schema_version " << entry.table << " " << entry.version << "\n";
+  }
   out.flush();
   if (!out) return Status::InvalidArgument("write failed for " + path);
   return SyncFile(path);
@@ -267,6 +276,29 @@ Status LoadSnapshot(Database* db, const std::string& dir) {
   }
   SELTRIG_RETURN_IF_ERROR(db->ExecuteScript(ddl));
 
+  Result<SnapshotManifest> manifest = ReadSnapshotManifest(dir);
+  if (!manifest.ok() && manifest.status().code() != ErrorCode::kNotFound) {
+    return manifest.status();
+  }
+
+  // schema.sql wrote the final schema as plain CREATE TABLEs, resetting every
+  // version counter to 1; restore the recorded counters before the policy
+  // section runs so CREATE AUDIT EXPRESSION / CREATE TRIGGER bind against the
+  // snapshot's true versions (and post-snapshot DDL records replay from the
+  // right baseline).
+  if (manifest.ok()) {
+    for (const SnapshotManifest::SchemaVersionEntry& entry :
+         manifest->schema_versions) {
+      Result<Table*> table = db->catalog()->GetTable(entry.table);
+      if (!table.ok()) {
+        return Status::InvalidArgument("MANIFEST in " + dir +
+                                       " records a schema version for table '" +
+                                       entry.table + "' absent from schema.sql");
+      }
+      (*table)->set_schema_version(entry.version);
+    }
+  }
+
   std::vector<std::string> tables = db->catalog()->TableNames();
   std::sort(tables.begin(), tables.end());
   for (const std::string& name : tables) {
@@ -280,14 +312,11 @@ Status LoadSnapshot(Database* db, const std::string& dir) {
     SELTRIG_RETURN_IF_ERROR(db->ExecuteScript(policy));
   }
 
-  Result<SnapshotManifest> manifest = ReadSnapshotManifest(dir);
   if (manifest.ok()) {
     for (const SnapshotManifest::QuarantineEntry& entry : manifest->quarantined) {
       SELTRIG_RETURN_IF_ERROR(db->trigger_manager()->RestoreQuarantineState(
           entry.trigger, /*quarantined=*/true, entry.failures));
     }
-  } else if (manifest.status().code() != ErrorCode::kNotFound) {
-    return manifest.status();
   }
   return Status::OK();
 }
@@ -317,6 +346,13 @@ Result<SnapshotManifest> ReadSnapshotManifest(const std::string& dir) {
                                        "/MANIFEST");
       }
       manifest.quarantined.push_back(std::move(entry));
+    } else if (key == "schema_version") {
+      SnapshotManifest::SchemaVersionEntry entry;
+      if (!(fields >> entry.table >> entry.version)) {
+        return Status::InvalidArgument("malformed schema_version entry in " +
+                                       dir + "/MANIFEST");
+      }
+      manifest.schema_versions.push_back(std::move(entry));
     }
     // Unknown keys are ignored: newer writers stay readable.
   }

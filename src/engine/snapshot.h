@@ -51,6 +51,17 @@ struct SnapshotManifest {
     int failures = 0;
   };
   std::vector<QuarantineEntry> quarantined;
+  // Per-table schema version counters. schema.sql writes the FINAL schema as
+  // a plain CREATE TABLE, which resets the counter to 1 on load; these
+  // entries restore the version history cut so post-snapshot DDL records
+  // (stamped old + 1) replay against the right baseline. Only tables that
+  // have been ALTERed (version > 1) are recorded; readers predating this key
+  // ignore it.
+  struct SchemaVersionEntry {
+    std::string table;
+    uint64_t version = 1;
+  };
+  std::vector<SchemaVersionEntry> schema_versions;
 };
 
 // Writes schema.sql plus one CSV per table into `dir` (created if needed).

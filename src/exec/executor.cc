@@ -262,6 +262,7 @@ Status Executor::MaybeValidatePlan(const PhysicalOperator& root,
   PlanExecutionInfo info;
   info.max_rows = max_rows;
   info.correlated = !outer_rows.empty();
+  info.catalog = ctx_->catalog();
   AccessedStateRegistry* registry = ctx_->accessed();
   info.accessed_capacity = registry == nullptr ? 0 : registry->capacity();
   const PlanValidation* validation =

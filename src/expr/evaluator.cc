@@ -1,7 +1,9 @@
 #include "expr/evaluator.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <vector>
 
 #include "common/string_util.h"
 #include "exec/column_batch.h"
@@ -522,15 +524,20 @@ void SimplePredicate::FilterBatch(ColumnBatch* batch) const {
                   &keep);
     } else if (view->rep() == TableColumn::Rep::kString &&
                const_type == TypeId::kString) {
-      // Ordered string compare against the dictionary entries.
+      // Ordered string compare: the dictionary is tiny next to the row count,
+      // so compare each distinct string against the constant ONCE into a
+      // per-code sign table, then the per-row loop is a byte lookup instead
+      // of a string comparison.
       const uint32_t* codes = view->codes();
       const StringDict* dict = view->dict();
       const std::string& c = constant_.AsString();
+      std::vector<int8_t> sign(dict->size());
+      for (size_t code = 0; code < sign.size(); ++code) {
+        const int r = dict->At(static_cast<uint32_t>(code)).compare(c);
+        sign[code] = static_cast<int8_t>(r < 0 ? -1 : (r > 0 ? 1 : 0));
+      }
       FilterTyped(*batch, *view, decide,
-                  [&](size_t p) {
-                    int r = dict->At(codes[p]).compare(c);
-                    return r < 0 ? -1 : (r > 0 ? 1 : 0);
-                  },
+                  [&](size_t p) { return static_cast<int>(sign[codes[p]]); },
                   &keep);
     } else {
       // Mixed incomparable types: Value::Compare orders by type id, which is

@@ -64,6 +64,7 @@ PlanPtr LogicalScan::Clone() const {
   CloneCommonInto(copy.get());
   copy->table_name = table_name;
   copy->alias = alias;
+  copy->schema_version = schema_version;
   copy->filter = filter ? filter->Clone() : nullptr;
   copy->virtual_rows = virtual_rows;
   copy->projection = projection;

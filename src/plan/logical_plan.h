@@ -94,6 +94,11 @@ class LogicalScan : public LogicalOperator {
 
   std::string table_name;  // lower-case catalog name
   std::string alias;       // lower-case binding qualifier
+  // Catalog table's schema_version() at bind time (0 for virtual tables).
+  // The plan validator fails a plan closed when this no longer matches the
+  // live catalog at execute time — a stale plan surviving an ALTER TABLE
+  // would read columns by now-wrong indexes.
+  uint64_t schema_version = 0;
   // Pushed single-table predicate, always bound against the FULL base
   // schema (it is evaluated before the output projection is applied).
   ExprPtr filter;  // nullable

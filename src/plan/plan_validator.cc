@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "catalog/catalog.h"
 #include "exec/gather.h"
+#include "storage/table.h"
 #include "exec/operators.h"
 #include "plan/logical_plan.h"
 
@@ -121,9 +123,28 @@ class Validator {
 
   Status CheckScan(const LogicalScan& scan,
                    const std::vector<ActiveAudit>& actives) const {
-    if (validation_ == nullptr || scan.virtual_rows != nullptr) {
-      return Status::OK();
+    if (scan.virtual_rows != nullptr) return Status::OK();
+    // Invariant 5 (universal): a plan bound before an ALTER TABLE carries
+    // column indexes of the old schema; executing it would read the wrong
+    // columns without any error. Stale plans fail closed.
+    if (info_.catalog != nullptr && scan.schema_version != 0) {
+      Result<Table*> table = info_.catalog->GetTable(scan.table_name);
+      if (!table.ok()) {
+        return Violation("schema-version",
+                         "scan of table '" + scan.table_name +
+                             "' which no longer exists in the catalog");
+      }
+      if ((*table)->schema_version() != scan.schema_version) {
+        return Violation(
+            "schema-version",
+            "scan of table '" + scan.table_name + "' was bound at schema "
+            "version " + std::to_string(scan.schema_version) +
+                " but the catalog is at version " +
+                std::to_string((*table)->schema_version()) +
+                " (plan is stale; re-bind the statement)");
+      }
     }
+    if (validation_ == nullptr) return Status::OK();
     for (const AuditExpectation& expected : validation_->expected) {
       if (expected.sensitive_table != scan.table_name) continue;
       // The innermost (nearest-ancestor) audit for this expression is the one

@@ -41,6 +41,7 @@
 
 namespace seltrig {
 
+class Catalog;
 class PhysicalOperator;
 
 // One audit expression the session instrumented the plan for.
@@ -68,6 +69,11 @@ struct PlanExecutionInfo {
   bool correlated = false;
   // ACCESSED cardinality cap of the attached registry; 0 = uncapped or none.
   size_t accessed_capacity = 0;
+  // Live catalog for the schema-version staleness check (invariant 5): every
+  // catalog scan's bind-time schema_version must still match the table's
+  // current version, or the plan predates an ALTER TABLE and its column
+  // indexes are wrong. Null skips the check (hand-built test plans).
+  const Catalog* catalog = nullptr;
 };
 
 // Validates the built physical tree `root`. `validation` carries the

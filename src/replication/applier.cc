@@ -224,6 +224,28 @@ Status ReplicaApplier::HandleRecord(FrameChannel* channel, const Frame& frame) {
     return SendNak(channel, "record does not verify: " + ops.status().ToString());
   }
 
+  // Schema-version fencing: a DDL record stamped with version V may only be
+  // applied to a table currently at V - 1. A gap means this follower missed a
+  // schema change (or records arrived out of order past the prev-continuity
+  // check, e.g. after a buggy retransmission) — applying anyway would execute
+  // the ALTER against the wrong baseline and silently diverge every later
+  // physical op. NAK so the shipper reseeks instead.
+  for (const WalOp& op : *ops) {
+    if (op.kind != WalOp::Kind::kDdl) continue;
+    std::shared_ptr<Database> db = database();
+    Result<Table*> table = db->catalog()->GetTable(op.table);
+    if (!table.ok()) {
+      return SendNak(channel, "ddl for unknown table '" + op.table + "'");
+    }
+    if ((*table)->schema_version() + 1 != op.schema_version) {
+      return SendNak(channel,
+                     "schema version gap on table '" + op.table + "': local " +
+                         std::to_string((*table)->schema_version()) +
+                         ", record expects " +
+                         std::to_string(op.schema_version - 1));
+    }
+  }
+
   if (frame.seq != seq_ || !segment_.is_open()) {
     SELTRIG_RETURN_IF_ERROR(OpenSegment(frame.seq, frame.epoch));
   }

@@ -120,6 +120,7 @@ enum class StatementKind : uint8_t {
   kNotify,
   kRaise,
   kExplain,
+  kAlterTable,
 };
 
 struct Statement {
@@ -179,6 +180,28 @@ struct CreateTableStatement : Statement {
   CreateTableStatement() : Statement(StatementKind::kCreateTable) {}
   std::string table;
   std::vector<ColumnDef> columns;
+};
+
+// ALTER TABLE <t> <action> [, <action> ...] — chained actions apply left to
+// right as one atomic statement against the evolving schema:
+//   ADD    [COLUMN] <name> <type> [DEFAULT <expr>]
+//   DROP   [COLUMN] <name>
+//   RENAME [COLUMN] <name> TO <new_name>
+//   RETYPE [COLUMN] <name> [TO] <type>
+struct AlterTableStatement : Statement {
+  AlterTableStatement() : Statement(StatementKind::kAlterTable) {}
+
+  struct Action {
+    enum class Kind : uint8_t { kAdd, kDrop, kRename, kRetype };
+    Kind kind = Kind::kAdd;
+    std::string name;          // the column acted on (lower-case)
+    std::string new_name;      // kRename target
+    TypeId type = TypeId::kNull;  // kAdd / kRetype
+    ExprNode default_value;    // kAdd: constant DEFAULT; null = NULL backfill
+  };
+
+  std::string table;
+  std::vector<Action> actions;
 };
 
 // CREATE AUDIT EXPRESSION <name> AS SELECT ... FROM ... [WHERE ...]

@@ -140,6 +140,26 @@ class Parser {
     return Check(TokenType::kIdentifier) ||
            (Check(TokenType::kKeyword) && SoftKeywords().count(Peek().text) > 0);
   }
+  // Statement words that are not reserved keywords (ALTER, ADD, COLUMN,
+  // RENAME, RETYPE, DEFAULT tokenize as plain identifiers): matched by text
+  // regardless of token class, so they stay usable as ordinary identifiers
+  // everywhere else.
+  bool CheckWord(const std::string& w, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return (t.type == TokenType::kIdentifier || t.type == TokenType::kKeyword) &&
+           t.text == w;
+  }
+  bool MatchWord(const std::string& w) {
+    if (CheckWord(w)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectWord(const std::string& w) {
+    if (!MatchWord(w)) return Error("expected '" + w + "'");
+    return Status::OK();
+  }
 
   // --- statements -----------------------------------------------------------
   Result<StatementPtr> ParseStatement() {
@@ -162,6 +182,9 @@ class Parser {
       SELTRIG_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
       return StatementPtr(std::move(stmt));
     }
+    // ALTER is not a reserved keyword; dispatch on the word so that no
+    // existing identifier use changes meaning.
+    if (CheckWord("alter")) return ParseAlterTable();
     return Error("expected a statement");
   }
 
@@ -474,6 +497,51 @@ class Parser {
       return StatementPtr(std::move(stmt));
     }
     return Error("expected TABLE, TRIGGER or AUDIT EXPRESSION after DROP");
+  }
+
+  // ALTER TABLE t <action> [, <action> ...]
+  //   ADD    [COLUMN] name type [DEFAULT expr]
+  //   DROP   [COLUMN] name
+  //   RENAME [COLUMN] name TO new_name
+  //   RETYPE [COLUMN] name [TO] type
+  Result<StatementPtr> ParseAlterTable() {
+    SELTRIG_RETURN_IF_ERROR(ExpectWord("alter"));
+    SELTRIG_RETURN_IF_ERROR(ExpectKeyword("table"));
+    auto stmt = std::make_unique<ast::AlterTableStatement>();
+    SELTRIG_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    while (true) {
+      ast::AlterTableStatement::Action action;
+      if (MatchWord("add")) {
+        action.kind = ast::AlterTableStatement::Action::Kind::kAdd;
+        MatchWord("column");
+        SELTRIG_ASSIGN_OR_RETURN(action.name, ParseIdentifier("column name"));
+        SELTRIG_ASSIGN_OR_RETURN(action.type, ParseColumnType());
+        if (MatchWord("default")) {
+          SELTRIG_ASSIGN_OR_RETURN(action.default_value, ParseExpr());
+        }
+      } else if (MatchKeyword("drop")) {
+        action.kind = ast::AlterTableStatement::Action::Kind::kDrop;
+        MatchWord("column");
+        SELTRIG_ASSIGN_OR_RETURN(action.name, ParseIdentifier("column name"));
+      } else if (MatchWord("rename")) {
+        action.kind = ast::AlterTableStatement::Action::Kind::kRename;
+        MatchWord("column");
+        SELTRIG_ASSIGN_OR_RETURN(action.name, ParseIdentifier("column name"));
+        SELTRIG_RETURN_IF_ERROR(ExpectKeyword("to"));
+        SELTRIG_ASSIGN_OR_RETURN(action.new_name, ParseIdentifier("new column name"));
+      } else if (MatchWord("retype")) {
+        action.kind = ast::AlterTableStatement::Action::Kind::kRetype;
+        MatchWord("column");
+        SELTRIG_ASSIGN_OR_RETURN(action.name, ParseIdentifier("column name"));
+        MatchKeyword("to");
+        SELTRIG_ASSIGN_OR_RETURN(action.type, ParseColumnType());
+      } else {
+        return Error("expected ADD, DROP, RENAME or RETYPE");
+      }
+      stmt->actions.push_back(std::move(action));
+      if (!Match(TokenType::kComma)) break;
+    }
+    return StatementPtr(std::move(stmt));
   }
 
   Result<StatementPtr> ParseIf() {

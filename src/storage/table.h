@@ -46,6 +46,17 @@ class Table {
   const Schema& schema() const { return schema_; }
   int primary_key_column() const { return pk_col_; }
 
+  // Monotonic schema version: 1 at creation, bumped once per committed ALTER
+  // TABLE statement. Plans stamp the version they were bound against and the
+  // validator re-checks it at execute time; audit bindings and replication
+  // DDL records carry it so every replica of a table converges on the same
+  // (version, layout) pair.
+  uint64_t schema_version() const { return schema_version_; }
+  // Used by the ALTER path (commit / rollback) and by snapshot load +
+  // recovery, which must restore the counter a replayed journal continues
+  // from. Never decreases outside an ALTER rollback.
+  void set_schema_version(uint64_t v) { schema_version_ = v; }
+
   // Number of live (non-deleted) rows.
   size_t live_row_count() const { return live_count_; }
   // Total slots including tombstones; valid row ids are [0, slot_count()).
@@ -105,6 +116,48 @@ class Table {
   // Drops all rows (used by tests and dbgen reloads).
   void Clear();
 
+  // --- Online schema change (engine/session.cc ExecuteAlterTable) -----------
+  // All Alter* mutations run behind the engine's exclusive writer lock, like
+  // every other mutation. Each returns the state the caller needs to undo it,
+  // so a failed mid-chain ALTER rolls back wholesale; none of them touches
+  // schema_version() — the session bumps it once per committed statement.
+
+  // A column removed by AlterDropColumn, exactly as it was: the schema entry,
+  // the columnar data (moved, never copied — StringDict pointers stay valid),
+  // and its original index.
+  struct DroppedColumn {
+    Column schema_column;
+    TableColumn data;
+    size_t index = 0;
+  };
+
+  // Appends a new column backfilled with `default_value` in every slot
+  // (tombstoned slots included, so column arity always equals slot_count()).
+  // A default that mismatches the declared type degrades the column to the
+  // generic representation instead of coercing (column_store.h contract).
+  Status AlterAddColumn(const std::string& name, TypeId type,
+                        const Value& default_value);
+  // Inverse of AlterAddColumn: removes the last column.
+  void AlterDropLastColumn();
+
+  // Removes a column. Fails on the primary-key column; shifts pk_col_ left
+  // when a preceding column goes away. The removed column is returned for the
+  // rollback path (AlterRestoreColumn).
+  Result<DroppedColumn> AlterDropColumn(size_t column);
+  // Inverse of AlterDropColumn: splices the column back at its old index.
+  void AlterRestoreColumn(DroppedColumn dropped);
+
+  Status AlterRenameColumn(size_t column, const std::string& new_name);
+
+  // Re-declares a column's type, rebuilding its storage by re-appending every
+  // stored cell: values keep their exact identity (degrade-not-coerce), only
+  // the declared type — and thus the typed fast paths new values take —
+  // changes. Returns the old columnar data for the rollback path.
+  Result<TableColumn> AlterRetypeColumn(size_t column, TypeId new_type);
+  // Inverse of AlterRetypeColumn: restores the old data + declared type.
+  void AlterRestoreColumnData(size_t column, TableColumn old_data,
+                              TypeId old_type);
+
   // --- Transactional trigger execution (engine/database.cc) -----------------
   // While an undo log is attached, every successful mutation records its
   // inverse there so the engine can roll trigger actions back atomically.
@@ -124,6 +177,7 @@ class Table {
   };
 
   void EnsureSecondaryIndex(int column) SELTRIG_REQUIRES(secondary_mutex_);
+  void InvalidateAfterSchemaChange() SELTRIG_EXCLUDES(secondary_mutex_);
   void AppendSlot(const Row& row);
   void WriteSlot(size_t row_id, const Row& row);
 
@@ -136,6 +190,7 @@ class Table {
   size_t slot_count_ = 0;
   size_t live_count_ = 0;
   uint64_t version_ = 0;  // bumped on every write; invalidates secondaries
+  uint64_t schema_version_ = 1;  // bumped once per committed ALTER TABLE
 
   std::unordered_map<Value, size_t, ValueHash, ValueEq> pk_index_;
   // Serializes lazy secondary-index builds between concurrent readers.

@@ -150,6 +150,11 @@ void PutOp(std::string* out, const WalOp& op) {
       out->push_back(op.quarantined ? 1 : 0);
       PutU64(out, static_cast<uint64_t>(op.failures));
       break;
+    case WalOp::Kind::kDdl:
+      PutString(out, op.table);
+      PutString(out, op.sql);
+      PutU64(out, op.schema_version);
+      break;
   }
 }
 
@@ -175,6 +180,10 @@ bool GetOp(std::string_view data, size_t* offset, WalOp* op) {
       op->failures = static_cast<int64_t>(failures);
       return true;
     }
+    case WalOp::Kind::kDdl:
+      return GetString(data, offset, &op->table) &&
+             GetString(data, offset, &op->sql) &&
+             GetU64(data, offset, &op->schema_version);
   }
   return false;
 }
@@ -250,10 +259,20 @@ WalOp WalOp::TriggerState(std::string trigger, bool quarantined, int64_t failure
   return op;
 }
 
+WalOp WalOp::Ddl(std::string table, std::string sql, uint64_t schema_version) {
+  WalOp op;
+  op.kind = Kind::kDdl;
+  op.table = std::move(table);
+  op.sql = std::move(sql);
+  op.schema_version = schema_version;
+  return op;
+}
+
 bool WalOp::operator==(const WalOp& other) const {
   return kind == other.kind && table == other.table && sql == other.sql &&
          row == other.row && row2 == other.row2 &&
-         quarantined == other.quarantined && failures == other.failures;
+         quarantined == other.quarantined && failures == other.failures &&
+         schema_version == other.schema_version;
 }
 
 std::string WalPosition::ToString() const {

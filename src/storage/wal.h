@@ -69,15 +69,20 @@ struct WalOp {
     kUpdate = 3,        // table, row = old image, row2 = new image
     kStatement = 4,     // sql (DDL / CREATE AUDIT EXPRESSION / CREATE TRIGGER)
     kTriggerState = 5,  // table = trigger name, quarantined, failures
+    kDdl = 6,           // table, sql, schema_version — versioned ALTER TABLE
   };
 
   Kind kind = Kind::kInsert;
-  std::string table;  // kInsert/kDelete/kUpdate: table; kTriggerState: trigger
-  std::string sql;    // kStatement
+  std::string table;  // kInsert/kDelete/kUpdate/kDdl: table; kTriggerState: trigger
+  std::string sql;    // kStatement / kDdl
   Row row;
   Row row2;
   bool quarantined = false;
   int64_t failures = 0;
+  // kDdl: the table's schema version AFTER the statement applied. Replay
+  // asserts it lands on the same version; the replication applier NAKs a
+  // record whose version does not directly follow the follower's.
+  uint64_t schema_version = 0;
 
   static WalOp Insert(std::string table, Row row);
   static WalOp Delete(std::string table, Row old_row);
@@ -85,6 +90,7 @@ struct WalOp {
   static WalOp Statement(std::string sql);
   static WalOp TriggerState(std::string trigger, bool quarantined,
                             int64_t failures);
+  static WalOp Ddl(std::string table, std::string sql, uint64_t schema_version);
 
   bool operator==(const WalOp& other) const;
 };

@@ -1,0 +1,186 @@
+// End-to-end ALTER TABLE semantics: one version step per committed
+// statement, wholesale rollback on mid-chain failure, fail-closed rebinding
+// of audit definitions, quarantined-trigger staleness, and the stale-plan
+// guard.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "audit/audit_expression.h"
+#include "audit/trigger.h"
+#include "catalog/catalog.h"
+#include "engine/database.h"
+#include "storage/table.h"
+
+namespace seltrig {
+namespace {
+
+class AlterTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR,
+                             diagnosis VARCHAR);
+      CREATE TABLE log (userid VARCHAR, patientid INT);
+      INSERT INTO patients VALUES (1, 'Alice', 'flu'), (2, 'Bob', 'cold');
+    )sql").ok());
+  }
+
+  void CreatePolicy() {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients
+        WHERE name = 'Alice' FOR SENSITIVE TABLE patients PARTITION BY patientid;
+      CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS INSERT INTO log
+        SELECT user_id(), patientid FROM accessed;
+    )sql").ok());
+  }
+
+  uint64_t Version(const std::string& table) {
+    auto t = db_.catalog()->GetTable(table);
+    EXPECT_TRUE(t.ok());
+    return t.ok() ? (*t)->schema_version() : 0;
+  }
+
+  Database db_;
+};
+
+TEST_F(AlterTableTest, ChainIsOneVersionStep) {
+  EXPECT_EQ(Version("patients"), 1u);
+  ASSERT_TRUE(db_.Execute("ALTER TABLE patients ADD COLUMN a INT DEFAULT 1, "
+                          "RENAME COLUMN a TO b, RETYPE COLUMN b DOUBLE")
+                  .ok());
+  EXPECT_EQ(Version("patients"), 2u);
+  ASSERT_TRUE(db_.Execute("ALTER TABLE patients DROP COLUMN b").ok());
+  EXPECT_EQ(Version("patients"), 3u);
+}
+
+TEST_F(AlterTableTest, FailedChainRollsBackWholesale) {
+  // The last action fails during prevalidation; nothing may stick.
+  EXPECT_FALSE(db_.Execute("ALTER TABLE patients ADD COLUMN a INT DEFAULT 1, "
+                           "DROP COLUMN ghost")
+                   .ok());
+  EXPECT_EQ(Version("patients"), 1u);
+  auto t = db_.catalog()->GetTable("patients");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->schema().size(), 3u);
+  auto r = db_.Execute("SELECT patientid, name, diagnosis FROM patients");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(AlterTableTest, DropOfAuditedKeyFailsClosedWithLiveTrigger) {
+  // Key the policy on a non-PK column so the audit guard, not the
+  // primary-key guard, is what decides.
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE AUDIT EXPRESSION audit_diag AS SELECT * FROM patients
+      WHERE name = 'Alice' FOR SENSITIVE TABLE patients PARTITION BY diagnosis;
+    CREATE TRIGGER log_diag ON ACCESS TO audit_diag AS INSERT INTO log
+      SELECT user_id(), 0 FROM accessed;
+  )sql").ok());
+
+  // Renaming the key is fine (the expression rebinds); dropping it is not.
+  auto r = db_.Execute("ALTER TABLE patients RENAME COLUMN diagnosis TO diag");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(Version("patients"), 2u);
+
+  auto reject = db_.Execute("ALTER TABLE patients DROP COLUMN diag");
+  ASSERT_FALSE(reject.ok());
+  EXPECT_EQ(reject.status().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(Version("patients"), 2u);
+  EXPECT_NE(db_.audit_manager()->Find("audit_diag"), nullptr);
+
+  auto retype = db_.Execute("ALTER TABLE patients RETYPE COLUMN diag INT");
+  ASSERT_FALSE(retype.ok());
+  EXPECT_EQ(retype.status().code(), ErrorCode::kFailedPrecondition);
+
+  // The primary key has its own guard, independent of audit policy.
+  auto pk = db_.Execute("ALTER TABLE patients DROP COLUMN patientid");
+  ASSERT_FALSE(pk.ok());
+  EXPECT_EQ(pk.status().code(), ErrorCode::kExecutionError);
+}
+
+TEST_F(AlterTableTest, CompatibleRetypeOfAuditedKeyRebinds) {
+  CreatePolicy();
+  ASSERT_TRUE(db_.Execute("ALTER TABLE patients RETYPE COLUMN patientid DOUBLE")
+                  .ok());
+  EXPECT_EQ(Version("patients"), 2u);
+  const TriggerDef* def = db_.trigger_manager()->Find("log_alice");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->bound_schema_version, 2u);
+  // The rebuilt view still drives the trigger.
+  ASSERT_TRUE(db_.Execute("SELECT name FROM patients WHERE name = 'Alice'").ok());
+  auto logged = db_.Execute("SELECT COUNT(*) FROM log");
+  ASSERT_TRUE(logged.ok());
+  EXPECT_EQ(logged->rows[0][0].AsInt(), 1);
+}
+
+TEST_F(AlterTableTest, IncompatibleRetypeWithoutTriggerCascadeDrops) {
+  CreatePolicy();
+  ASSERT_TRUE(db_.Execute("DROP TRIGGER log_alice").ok());
+  ASSERT_TRUE(db_.Execute("ALTER TABLE patients RETYPE COLUMN patientid VARCHAR")
+                  .ok());
+  // The expression (and its view) went with the key: no orphans.
+  EXPECT_EQ(db_.audit_manager()->Find("audit_alice"), nullptr);
+  EXPECT_FALSE(db_.Execute("CREATE TRIGGER t2 ON ACCESS TO audit_alice AS "
+                           "INSERT INTO log SELECT user_id(), 0 FROM accessed")
+                   .ok());
+}
+
+TEST_F(AlterTableTest, QuarantinedTriggerKeepsStaleVersionUntilRearm) {
+  CreatePolicy();
+  ASSERT_TRUE(db_.trigger_manager()->Quarantine("log_alice").ok());
+  ASSERT_TRUE(db_.Execute("ALTER TABLE patients ADD COLUMN x INT DEFAULT 0")
+                  .ok());
+  const TriggerDef* def = db_.trigger_manager()->Find("log_alice");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->bound_schema_version, 1u);  // stale: rebind skipped it
+  ASSERT_TRUE(db_.trigger_manager()->Rearm("log_alice").ok());
+  EXPECT_EQ(def->bound_schema_version, 2u);  // re-validated against live catalog
+}
+
+TEST_F(AlterTableTest, RearmFailsClosedWhenExpressionIsGone) {
+  CreatePolicy();
+  ASSERT_TRUE(db_.trigger_manager()->Quarantine("log_alice").ok());
+  // With the only trigger quarantined (SelectTriggersFor returns enabled
+  // triggers), the incompatible retype cascade-drops the expression.
+  ASSERT_TRUE(db_.Execute("ALTER TABLE patients RETYPE COLUMN patientid VARCHAR")
+                  .ok());
+  Status rearm = db_.trigger_manager()->Rearm("log_alice");
+  ASSERT_FALSE(rearm.ok());
+  EXPECT_EQ(rearm.code(), ErrorCode::kFailedPrecondition);
+  const TriggerDef* def = db_.trigger_manager()->Find("log_alice");
+  ASSERT_NE(def, nullptr);
+  EXPECT_TRUE(def->quarantined);
+}
+
+TEST_F(AlterTableTest, AddedColumnDefaultIsEvaluatedOnce) {
+  ASSERT_TRUE(db_.Execute("ALTER TABLE patients ADD COLUMN visits INT "
+                          "DEFAULT 2 + 3")
+                  .ok());
+  auto r = db_.Execute("SELECT visits FROM patients WHERE patientid = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 5);
+  // New inserts must supply the column explicitly (no stored default).
+  ASSERT_TRUE(db_.Execute("INSERT INTO patients (patientid, name) VALUES "
+                          "(3, 'Carol')")
+                  .ok());
+  auto null_visit = db_.Execute("SELECT visits FROM patients WHERE patientid = 3");
+  ASSERT_TRUE(null_visit.ok());
+  EXPECT_TRUE(null_visit->rows[0][0].is_null());
+}
+
+TEST_F(AlterTableTest, DmlTriggerFollowsTableVersion) {
+  ASSERT_TRUE(db_.Execute("CREATE TRIGGER watch ON patients AFTER INSERT AS "
+                          "INSERT INTO log VALUES ('dml', new.patientid)")
+                  .ok());
+  const TriggerDef* def = db_.trigger_manager()->Find("watch");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->bound_schema_version, 1u);
+  ASSERT_TRUE(db_.Execute("ALTER TABLE patients ADD COLUMN y INT DEFAULT 0")
+                  .ok());
+  EXPECT_EQ(def->bound_schema_version, 2u);
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -109,6 +109,71 @@ TEST_F(RecoveryTest, CommittedStatementsAndPolicySurviveReopen) {
   EXPECT_EQ(Count(db, "log"), 2);
 }
 
+TEST_F(RecoveryTest, AlterTableReplaysToTheSameCatalogVersion) {
+  {
+    std::unique_ptr<Database> db = OpenDurable();
+    ASSERT_NE(db, nullptr);
+    SetUpAuditedSchema(db.get());
+    ASSERT_TRUE(db->Execute("ALTER TABLE patients ADD COLUMN severity INT "
+                            "DEFAULT 1, RENAME COLUMN severity TO sev").ok());
+    ASSERT_TRUE(db->Execute("ALTER TABLE patients RETYPE COLUMN sev DOUBLE").ok());
+    ASSERT_TRUE(db->Execute("INSERT INTO patients VALUES (3, 'Carol', 'ok', 7)")
+                    .ok());
+  }
+
+  RecoveryStats stats;
+  Result<std::unique_ptr<Database>> reopened = Database::Recover(dir_, &stats);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  Database* db = reopened->get();
+
+  auto table = db->catalog()->GetTable("patients");
+  ASSERT_TRUE(table.ok());
+  // Two committed ALTER statements = exactly two version steps, chain
+  // length notwithstanding.
+  EXPECT_EQ((*table)->schema_version(), 3u);
+  EXPECT_EQ((*table)->schema().size(), 4u);
+  EXPECT_EQ((*table)->schema().column(3).name, "sev");
+  EXPECT_EQ((*table)->schema().column(3).type, TypeId::kDouble);
+  EXPECT_EQ(Count(db, "patients"), 3);
+
+  // The recovered policy rebinds against the final schema: this audited
+  // SELECT (patient 1 is in the view) fires the trigger.
+  auto backfilled = db->Execute("SELECT sev FROM patients WHERE patientid = 1");
+  ASSERT_TRUE(backfilled.ok());
+  EXPECT_EQ(backfilled->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(Count(db, "log"), 1);
+
+  ASSERT_TRUE(db->Execute("SELECT name FROM patients WHERE patientid = 1").ok());
+  EXPECT_EQ(Count(db, "log"), 2);
+}
+
+TEST_F(RecoveryTest, SchemaVersionSurvivesCheckpointManifest) {
+  {
+    std::unique_ptr<Database> db = OpenDurable();
+    ASSERT_NE(db, nullptr);
+    SetUpAuditedSchema(db.get());
+    ASSERT_TRUE(db->Execute("ALTER TABLE patients ADD COLUMN sev INT "
+                            "DEFAULT 0").ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    // Post-checkpoint journal tail on top of the snapshot's version.
+    ASSERT_TRUE(db->Execute("ALTER TABLE patients DROP COLUMN sev").ok());
+  }
+
+  RecoveryStats stats;
+  Result<std::unique_ptr<Database>> reopened = Database::Recover(dir_, &stats);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  auto table = (*reopened)->catalog()->GetTable("patients");
+  ASSERT_TRUE(table.ok());
+  // Version 2 restored from the snapshot manifest, then the replayed DROP
+  // lands on 3 — not a fresh table's 1 + 1.
+  EXPECT_EQ((*table)->schema_version(), 3u);
+  EXPECT_EQ((*table)->schema().size(), 3u);
+  // Trigger bindings recreated during policy replay carry the live version.
+  const TriggerDef* def = (*reopened)->trigger_manager()->Find("log_alice");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->bound_schema_version, 3u);
+}
+
 TEST_F(RecoveryTest, TornTailIsDroppedAndRepaired) {
   {
     std::unique_ptr<Database> db = OpenDurable();

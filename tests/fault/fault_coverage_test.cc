@@ -63,7 +63,10 @@ class FaultCoverageTest : public ::testing::Test {
 
   // Touches every subsystem with a fault point: DML (storage + view
   // maintenance + journal), an audited SELECT (trigger pipeline + audit
-  // record + executor), and a checkpoint (rotation + snapshot). Statements
+  // record + executor), a checkpoint (rotation + snapshot), and an online
+  // schema change (the catalog.alter.* points). The ALTER chain adds and
+  // drops the same column so the schema is unchanged whether or not the
+  // armed fault aborts it, keeping the other statements valid. Statements
   // are independent and failures are expected while a fault is armed.
   static void DriveWorkload(Database* db) {
     (void)db->Execute("INSERT INTO patients VALUES (3, 'Carol', 'ok')");
@@ -71,6 +74,9 @@ class FaultCoverageTest : public ::testing::Test {
     (void)db->Execute("DELETE FROM patients WHERE patientid = 2");
     (void)db->Execute("SELECT name FROM patients WHERE patientid = 1");
     (void)db->Checkpoint();
+    (void)db->Execute(
+        "ALTER TABLE log ADD COLUMN note VARCHAR DEFAULT '', "
+        "RENAME COLUMN note TO remark, DROP COLUMN remark");
   }
 
   // The `replication.*` points live on the shipper/applier/transport path,

@@ -180,6 +180,45 @@ TEST_F(PlanValidatorTest, RejectsUncappedAuditedLimitSpine) {
   EXPECT_FALSE(ValidatePhysicalPlan(limit_op, nullptr, {}).ok());
 }
 
+// Invariant 5: a plan bound before an ALTER TABLE carries stale column
+// indexes; with the live catalog supplied, the validator fails it closed.
+TEST_F(PlanValidatorTest, RejectsStaleSchemaVersionScan) {
+  LogicalScan* scan = MakeScan();
+  scan->schema_version = table_->schema_version();
+
+  ExecContext ctx(&catalog_, &session_);
+  Executor executor(&ctx);
+  auto root = executor.Build(*scan, {});
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+
+  PlanExecutionInfo info;
+  info.catalog = &catalog_;
+  EXPECT_TRUE(ValidatePhysicalPlan(**root, nullptr, info).ok());
+
+  table_->set_schema_version(table_->schema_version() + 1);
+  Status stale = ValidatePhysicalPlan(**root, nullptr, info);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), ErrorCode::kInternal) << stale.ToString();
+  EXPECT_NE(stale.message().find("schema-version"), std::string::npos)
+      << stale.ToString();
+
+  // Without a catalog (hand-built plans) or at version 0 (virtual tables)
+  // the check is skipped.
+  EXPECT_TRUE(ValidatePhysicalPlan(**root, nullptr, {}).ok());
+  const uint64_t bound = scan->schema_version;
+  scan->schema_version = 0;
+  EXPECT_TRUE(ValidatePhysicalPlan(**root, nullptr, info).ok());
+  scan->schema_version = bound;
+
+  // A DROP TABLE + re-CREATE leaves plans bound to the old entry stale too:
+  // the table disappearing entirely is the degenerate case.
+  ASSERT_TRUE(catalog_.DropTable("patient").ok());
+  Status gone = ValidatePhysicalPlan(**root, nullptr, info);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_NE(gone.message().find("no longer exists"), std::string::npos)
+      << gone.ToString();
+}
+
 // The executor's own lowering of the same audited-LIMIT plan pins the spine
 // to capacity 1 and passes.
 TEST_F(PlanValidatorTest, AcceptsExecutorBuiltAuditedLimitSpine) {

@@ -19,12 +19,14 @@
 #include <thread>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "common/fault_injector.h"
 #include "engine/database.h"
 #include "engine/session.h"
 #include "replication/applier.h"
 #include "replication/shipper.h"
 #include "replication/transport.h"
+#include "storage/table.h"
 #include "types/value.h"
 
 namespace seltrig {
@@ -49,6 +51,30 @@ const std::vector<std::string>& AuditedWorkload() {
       "DELETE FROM patients WHERE patientid = 3",
   };
   return statements;
+}
+
+// The audited workload extended with online schema changes interleaved with
+// rows that depend on them: the INSERT after the ADD carries four values,
+// the UPDATE addresses the renamed column. Apply order is load-bearing — a
+// dependent row arriving before its DDL record cannot bind.
+std::vector<std::string> DdlWorkload() {
+  std::vector<std::string> statements = AuditedWorkload();
+  statements.push_back(
+      "ALTER TABLE patients ADD COLUMN severity INT DEFAULT 0");
+  statements.push_back("INSERT INTO patients VALUES (4, 'Dave', 'flu', 2)");
+  statements.push_back(
+      "ALTER TABLE patients RENAME COLUMN severity TO sev, "
+      "RETYPE COLUMN sev DOUBLE");
+  statements.push_back("UPDATE patients SET sev = 5 WHERE patientid = 4");
+  statements.push_back("ALTER TABLE patients DROP COLUMN sev");
+  statements.push_back("INSERT INTO patients VALUES (5, 'Erin', 'ok')");
+  return statements;
+}
+
+uint64_t SchemaVersion(Database* db, const std::string& table) {
+  auto t = db->catalog()->GetTable(table);
+  EXPECT_TRUE(t.ok());
+  return t.ok() ? (*t)->schema_version() : 0;
 }
 
 // Deterministic projection of logical state (audit timestamps excluded, rows
@@ -246,6 +272,65 @@ TEST_F(ReplicationTest, LossyDuplicatingReorderingChannelSelfHeals) {
   shipper.Stop();
 
   EXPECT_EQ(Projection((*applier)->database().get()), Projection(db.get()));
+  EXPECT_TRUE((*applier)->health().ok()) << (*applier)->health().message();
+  (*applier)->Stop();
+}
+
+TEST_F(ReplicationTest, DdlShipsUnchangedAndCatalogVersionsConverge) {
+  std::unique_ptr<Database> db = OpenPrimary(primary_dir_);
+  ASSERT_NE(db, nullptr);
+  auto applier = ReplicaApplier::Open(follower_dir_);
+  ASSERT_TRUE(applier.ok()) << applier.status().message();
+
+  LogShipper shipper(db.get(), TestOptions(ReplicationAckMode::kAsync));
+  shipper.AddFollower("f0", Connect(applier->get()));
+
+  for (const std::string& sql : DdlWorkload()) {
+    ASSERT_TRUE(db->Execute(sql).ok()) << sql;
+  }
+  ASSERT_TRUE(WaitCaughtUp(shipper));
+  shipper.Stop();
+
+  Database* follower = (*applier)->database().get();
+  EXPECT_EQ(Projection(follower), Projection(db.get()));
+  // Three committed ALTERs on top of version 1 — on both sides.
+  EXPECT_EQ(SchemaVersion(db.get(), "patients"), 4u);
+  EXPECT_EQ(SchemaVersion(follower, "patients"), 4u);
+  EXPECT_TRUE((*applier)->health().ok()) << (*applier)->health().message();
+  (*applier)->Stop();
+}
+
+// Regression: after a drop forces go-back-N retransmission, a DDL record
+// must not be applied out of order relative to the rows that depend on the
+// schema it creates. The version-gap fence NAKs any DDL arriving against
+// the wrong catalog version, so the primary rewinds and replays in order.
+TEST_F(ReplicationTest, DdlOrderingSurvivesGoBackNRetransmission) {
+  std::unique_ptr<Database> db = OpenPrimary(primary_dir_);
+  ASSERT_NE(db, nullptr);
+  auto applier = ReplicaApplier::Open(follower_dir_);
+  ASSERT_TRUE(applier.ok()) << applier.status().message();
+
+  FaultInjector::Instance().Arm("replication.drop", FaultInjector::FailEveryK(3));
+  FaultInjector::Instance().Arm("replication.reorder",
+                                FaultInjector::FailEveryK(5));
+
+  LogShipper shipper(db.get(), TestOptions(ReplicationAckMode::kAsync));
+  shipper.AddFollower("f0", Connect(applier->get()));
+
+  for (const std::string& sql : DdlWorkload()) {
+    ASSERT_TRUE(db->Execute(sql).ok()) << sql;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  FaultInjector::Instance().Reset();
+  ASSERT_TRUE(WaitCaughtUp(shipper));
+  shipper.Stop();
+
+  Database* follower = (*applier)->database().get();
+  EXPECT_EQ(Projection(follower), Projection(db.get()));
+  EXPECT_EQ(SchemaVersion(follower, "patients"),
+            SchemaVersion(db.get(), "patients"));
+  // A follower that survives a damaged channel must end healthy — a DDL
+  // applied against the wrong version would have poisoned health() instead.
   EXPECT_TRUE((*applier)->health().ok()) << (*applier)->health().message();
   (*applier)->Stop();
 }

@@ -1,0 +1,18 @@
+-- Baseline online schema change: each committed ALTER statement is one
+-- schema-version step regardless of chain length, and data survives every
+-- shape change (DEFAULT backfill, rename, widening retype, drop).
+CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR);
+@schema t
+INSERT INTO t VALUES (1, 'a');
+INSERT INTO t VALUES (2, 'b');
+ALTER TABLE t ADD COLUMN score INT DEFAULT 10;
+@schema t
+SELECT id, name, score FROM t;
+ALTER TABLE t RENAME COLUMN score TO points, RETYPE COLUMN points DOUBLE;
+@schema t
+SELECT id, points FROM t;
+ALTER TABLE t DROP COLUMN points;
+@schema t
+SELECT id, name FROM t;
+INSERT INTO t VALUES (3, 'c');
+SELECT id, name FROM t;

@@ -1,0 +1,14 @@
+-- DROP then re-CREATE under the same name: the new table is a fresh
+-- catalog entry whose schema version restarts at 1 — stale plans bound to
+-- the old entry's higher version cannot silently match it.
+CREATE TABLE d (id INT PRIMARY KEY, v VARCHAR);
+INSERT INTO d VALUES (1, 'x');
+ALTER TABLE d ADD COLUMN w INT DEFAULT 0;
+ALTER TABLE d RENAME COLUMN w TO width;
+@schema d
+DROP TABLE d;
+CREATE TABLE d (id INT PRIMARY KEY, v VARCHAR);
+@schema d
+SELECT id, v FROM d;
+INSERT INTO d VALUES (2, 'y');
+SELECT id, v FROM d;

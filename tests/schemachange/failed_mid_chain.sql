@@ -1,0 +1,21 @@
+-- Mid-chain failures: a later action that references a column the chain
+-- already renamed away rejects the whole statement during prevalidation,
+-- leaving schema, data, and version untouched; and inserts written for the
+-- old shape fail cleanly after a committed ADD changes the arity.
+CREATE TABLE f (id INT PRIMARY KEY, a VARCHAR);
+INSERT INTO f VALUES (1, 'one');
+@schema f
+ALTER TABLE f ADD COLUMN b INT DEFAULT 7, RENAME COLUMN a TO c,
+  RENAME COLUMN a TO d;
+@schema f
+SELECT id, a FROM f;
+-- a DEFAULT whose type cannot initialize the column is rejected up front
+ALTER TABLE f ADD COLUMN n INT DEFAULT 'oops';
+@schema f
+-- a committed ADD, then an insert still written for the two-column shape
+ALTER TABLE f ADD COLUMN b INT DEFAULT 7;
+@schema f
+INSERT INTO f VALUES (2, 'two');
+SELECT id, a, b FROM f;
+INSERT INTO f VALUES (2, 'two', 9);
+SELECT id, a, b FROM f;

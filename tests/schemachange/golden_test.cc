@@ -1,0 +1,193 @@
+// Schema-change golden harness (comdb2-style): every tests/schemachange/*.sql
+// file is a statement script run against a fresh in-memory database, and the
+// rendered transcript must match the sibling .expected file byte for byte.
+//
+// Script format:
+//   - statements end with a `;` at the end of a line and may span lines;
+//   - `-- ...` lines are comments (kept out of the transcript);
+//   - `@schema <table>` renders the live catalog entry: schema version,
+//     columns with types, and the primary key — the assertion surface for
+//     version bumps and chain atomicity;
+//   - `@triggers` renders every trigger with its bound schema version and
+//     quarantine flag.
+//
+// Transcript format per statement: a `> <sql>` echo line, then either one
+// line per result row (RowToString, result order), `ok` for a rowless
+// success, or `error: <message>`. Scripts must not select wall-clock
+// columns (the audit log's `ts`); everything else is deterministic.
+//
+// Regenerating after an intended behavior change:
+//   SELTRIG_REGEN=1 ctest -R schemachange_golden
+// then review the .expected diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/trigger.h"
+#include "catalog/catalog.h"
+#include "engine/database.h"
+#include "storage/table.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace seltrig {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Collapses internal whitespace so multi-line statements echo on one line.
+std::string CollapseWhitespace(const std::string& s) {
+  std::string out;
+  bool in_space = false;
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty()) out += ' ';
+    in_space = false;
+    out += c;
+  }
+  return out;
+}
+
+// One script entry: a SQL statement or an `@` directive.
+struct ScriptEntry {
+  std::string text;
+  bool directive = false;
+};
+
+std::vector<ScriptEntry> ParseScript(const std::string& path) {
+  std::vector<ScriptEntry> entries;
+  std::ifstream in(path);
+  std::string line;
+  std::string pending;
+  while (std::getline(in, line)) {
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.rfind("--", 0) == 0) continue;
+    if (trimmed[0] == '@' && pending.empty()) {
+      entries.push_back({trimmed, /*directive=*/true});
+      continue;
+    }
+    if (!pending.empty()) pending += ' ';
+    pending += trimmed;
+    if (!pending.empty() && pending.back() == ';') {
+      pending.pop_back();
+      entries.push_back({Trim(pending), /*directive=*/false});
+      pending.clear();
+    }
+  }
+  EXPECT_TRUE(pending.empty()) << path << ": unterminated statement: " << pending;
+  return entries;
+}
+
+void RenderSchema(Database* db, const std::string& table_name,
+                  std::ostringstream* out) {
+  auto table = db->catalog()->GetTable(table_name);
+  if (!table.ok()) {
+    *out << "schema " << table_name << ": " << table.status().message() << "\n";
+    return;
+  }
+  const Schema& schema = (*table)->schema();
+  *out << "schema " << table_name << " version=" << (*table)->schema_version()
+       << " columns=[";
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (c > 0) *out << ", ";
+    *out << schema.column(c).name << " " << TypeName(schema.column(c).type);
+    if (static_cast<int>(c) == (*table)->primary_key_column()) {
+      *out << " PRIMARY KEY";
+    }
+  }
+  *out << "]\n";
+}
+
+void RenderTriggers(Database* db, std::ostringstream* out) {
+  std::vector<const TriggerDef*> all = db->trigger_manager()->All();
+  if (all.empty()) {
+    *out << "no triggers\n";
+    return;
+  }
+  for (const TriggerDef* def : all) {
+    *out << "trigger " << def->name
+         << " bound_version=" << def->bound_schema_version
+         << (def->quarantined ? " quarantined" : "") << "\n";
+  }
+}
+
+std::string RunScript(const std::string& path) {
+  Database db;
+  std::ostringstream out;
+  for (const ScriptEntry& entry : ParseScript(path)) {
+    if (entry.directive) {
+      std::istringstream words(entry.text);
+      std::string verb, arg;
+      words >> verb >> arg;
+      if (verb == "@schema") {
+        RenderSchema(&db, arg, &out);
+      } else if (verb == "@triggers") {
+        RenderTriggers(&db, &out);
+      } else {
+        out << "unknown directive: " << entry.text << "\n";
+      }
+      continue;
+    }
+    out << "> " << CollapseWhitespace(entry.text) << "\n";
+    Result<QueryResult> r = db.Execute(entry.text);
+    if (!r.ok()) {
+      out << "error: " << r.status().message() << "\n";
+    } else if (!r->rows.empty()) {
+      for (const Row& row : r->rows) out << RowToString(row) << "\n";
+    } else {
+      out << "ok\n";
+    }
+  }
+  return out.str();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(SchemaChangeGolden, ScriptsMatchExpectedTranscripts) {
+  const std::filesystem::path dir = SELTRIG_SCHEMACHANGE_DIR;
+  const bool regen = std::getenv("SELTRIG_REGEN") != nullptr;
+  std::vector<std::filesystem::path> scripts;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".sql") scripts.push_back(entry.path());
+  }
+  std::sort(scripts.begin(), scripts.end());
+  ASSERT_FALSE(scripts.empty()) << "no .sql scripts in " << dir;
+
+  for (const std::filesystem::path& script : scripts) {
+    SCOPED_TRACE(script.filename().string());
+    const std::string actual = RunScript(script.string());
+    std::filesystem::path expected_path = script;
+    expected_path.replace_extension(".expected");
+    if (regen) {
+      std::ofstream out(expected_path);
+      out << actual;
+      continue;
+    }
+    ASSERT_TRUE(std::filesystem::exists(expected_path))
+        << "missing golden file " << expected_path
+        << " (generate with SELTRIG_REGEN=1)";
+    EXPECT_EQ(ReadFile(expected_path.string()), actual);
+  }
+}
+
+}  // namespace
+}  // namespace seltrig

@@ -1,0 +1,21 @@
+-- A column added without DEFAULT backfills NULL into existing rows; an
+-- audit expression partitioned by that half-NULL key must still build its
+-- view and fire triggers for the rows whose key is present.
+CREATE TABLE p (id INT PRIMARY KEY, name VARCHAR);
+CREATE TABLE log (userid VARCHAR, region VARCHAR);
+INSERT INTO p VALUES (1, 'Alice');
+INSERT INTO p VALUES (2, 'Bob');
+ALTER TABLE p ADD COLUMN region VARCHAR;
+@schema p
+INSERT INTO p VALUES (3, 'Carol', 'east');
+SELECT id, region FROM p;
+CREATE AUDIT EXPRESSION by_region AS SELECT * FROM p WHERE region = 'east'
+  FOR SENSITIVE TABLE p PARTITION BY region;
+CREATE TRIGGER t_region ON ACCESS TO by_region AS INSERT INTO log
+  SELECT user_id(), region FROM accessed;
+@triggers
+SELECT name FROM p WHERE id = 3;
+SELECT userid, region FROM log;
+-- rows with a NULL key are outside the view: no extra log rows
+SELECT name FROM p WHERE id = 1;
+SELECT userid, region FROM log;

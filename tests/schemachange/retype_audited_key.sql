@@ -1,0 +1,31 @@
+-- Fail-closed rebinding: incompatibly retyping an audited partition key is
+-- rejected while a live SELECT trigger is bound; compatible widening is
+-- allowed and bumps the trigger's bound version; after the trigger is
+-- dropped the incompatible retype cascade-drops the expression instead of
+-- orphaning it.
+CREATE TABLE p (id INT PRIMARY KEY, name VARCHAR);
+CREATE TABLE log (userid VARCHAR);
+INSERT INTO p VALUES (1, 'Alice');
+CREATE AUDIT EXPRESSION a_alice AS SELECT * FROM p WHERE name = 'Alice'
+  FOR SENSITIVE TABLE p PARTITION BY id;
+CREATE TRIGGER t_alice ON ACCESS TO a_alice AS INSERT INTO log
+  SELECT user_id() FROM accessed;
+SELECT name FROM p WHERE name = 'Alice';
+SELECT userid FROM log;
+@triggers
+-- incompatible retype of the partition key: fail closed
+ALTER TABLE p RETYPE COLUMN id VARCHAR;
+@schema p
+-- int -> double widening is compatible; the trigger rebinds to the new version
+ALTER TABLE p RETYPE COLUMN id DOUBLE;
+@schema p
+@triggers
+SELECT name FROM p WHERE name = 'Alice';
+SELECT userid FROM log;
+DROP TRIGGER t_alice;
+-- no live trigger: the expression is cascade-dropped with the retype
+ALTER TABLE p RETYPE COLUMN id VARCHAR;
+@schema p
+-- recreating a trigger on the dropped expression now fails
+CREATE TRIGGER t2 ON ACCESS TO a_alice AS INSERT INTO log
+  SELECT user_id() FROM accessed;

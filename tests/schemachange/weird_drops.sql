@@ -1,0 +1,20 @@
+-- Drop edge cases: middle-column drops shift later indexes, a dropped name
+-- can be re-added with a new type in the same chain, and illegal drops
+-- reject the whole statement atomically.
+CREATE TABLE w (id INT PRIMARY KEY, a VARCHAR, b INT, c DOUBLE);
+INSERT INTO w VALUES (1, 'x', 10, 1.5);
+ALTER TABLE w DROP COLUMN a;
+@schema w
+SELECT id, b, c FROM w;
+-- drop then re-add the same name with a different type
+ALTER TABLE w DROP COLUMN b, ADD COLUMN b VARCHAR DEFAULT 'fresh';
+@schema w
+SELECT id, c, b FROM w;
+-- dropping the primary key is rejected; the chain is atomic, so the ADD
+-- earlier in the same statement must not survive either
+ALTER TABLE w ADD COLUMN tmp INT, DROP COLUMN id;
+@schema w
+-- dropping a column that never existed
+ALTER TABLE w DROP COLUMN ghost;
+@schema w
+SELECT id, c, b FROM w;

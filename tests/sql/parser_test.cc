@@ -241,6 +241,73 @@ TEST(ParserTest, TriggerWithBeginEndBlock) {
   EXPECT_EQ(create.actions.size(), 2u);
 }
 
+TEST(ParserTest, AlterTableSingleActions) {
+  {
+    auto stmt = MustParse("ALTER TABLE t ADD COLUMN score INT DEFAULT 10");
+    const auto& alter = static_cast<const ast::AlterTableStatement&>(*stmt);
+    EXPECT_EQ(alter.table, "t");
+    ASSERT_EQ(alter.actions.size(), 1u);
+    EXPECT_EQ(alter.actions[0].kind, ast::AlterTableStatement::Action::Kind::kAdd);
+    EXPECT_EQ(alter.actions[0].name, "score");
+    EXPECT_EQ(alter.actions[0].type, TypeId::kInt);
+    EXPECT_NE(alter.actions[0].default_value, nullptr);
+  }
+  {
+    auto stmt = MustParse("ALTER TABLE t ADD bare VARCHAR");
+    const auto& alter = static_cast<const ast::AlterTableStatement&>(*stmt);
+    ASSERT_EQ(alter.actions.size(), 1u);
+    EXPECT_EQ(alter.actions[0].default_value, nullptr);
+  }
+  {
+    auto stmt = MustParse("ALTER TABLE t DROP COLUMN score");
+    const auto& alter = static_cast<const ast::AlterTableStatement&>(*stmt);
+    ASSERT_EQ(alter.actions.size(), 1u);
+    EXPECT_EQ(alter.actions[0].kind, ast::AlterTableStatement::Action::Kind::kDrop);
+  }
+  {
+    auto stmt = MustParse("ALTER TABLE t RENAME COLUMN a TO b");
+    const auto& alter = static_cast<const ast::AlterTableStatement&>(*stmt);
+    ASSERT_EQ(alter.actions.size(), 1u);
+    EXPECT_EQ(alter.actions[0].kind,
+              ast::AlterTableStatement::Action::Kind::kRename);
+    EXPECT_EQ(alter.actions[0].name, "a");
+    EXPECT_EQ(alter.actions[0].new_name, "b");
+  }
+  {
+    auto stmt = MustParse("ALTER TABLE t RETYPE COLUMN a TO DOUBLE");
+    const auto& alter = static_cast<const ast::AlterTableStatement&>(*stmt);
+    ASSERT_EQ(alter.actions.size(), 1u);
+    EXPECT_EQ(alter.actions[0].kind,
+              ast::AlterTableStatement::Action::Kind::kRetype);
+    EXPECT_EQ(alter.actions[0].type, TypeId::kDouble);
+  }
+  // TO is optional in RETYPE, COLUMN is optional everywhere.
+  EXPECT_EQ(MustParse("ALTER TABLE t RETYPE a DOUBLE")->kind,
+            StatementKind::kAlterTable);
+}
+
+TEST(ParserTest, AlterTableChainedActions) {
+  auto stmt = MustParse(
+      "ALTER TABLE t ADD COLUMN s INT DEFAULT 0, RENAME COLUMN s TO v, "
+      "RETYPE COLUMN v DOUBLE, DROP COLUMN v");
+  const auto& alter = static_cast<const ast::AlterTableStatement&>(*stmt);
+  ASSERT_EQ(alter.actions.size(), 4u);
+  EXPECT_EQ(alter.actions[0].kind, ast::AlterTableStatement::Action::Kind::kAdd);
+  EXPECT_EQ(alter.actions[1].kind, ast::AlterTableStatement::Action::Kind::kRename);
+  EXPECT_EQ(alter.actions[2].kind, ast::AlterTableStatement::Action::Kind::kRetype);
+  EXPECT_EQ(alter.actions[3].kind, ast::AlterTableStatement::Action::Kind::kDrop);
+}
+
+TEST(ParserTest, AlterTableRejectsMalformedActions) {
+  EXPECT_FALSE(ParseSql("ALTER TABLE t").ok());
+  EXPECT_FALSE(ParseSql("ALTER TABLE t FROB COLUMN x").ok());
+  EXPECT_FALSE(ParseSql("ALTER TABLE t RENAME COLUMN a b").ok());
+  EXPECT_FALSE(ParseSql("ALTER TABLE t ADD COLUMN x").ok());
+  EXPECT_FALSE(ParseSql("ALTER TABLE t ADD COLUMN x INT,").ok());
+  // `alter` stays usable as an ordinary identifier.
+  EXPECT_EQ(MustParse("SELECT alter FROM t")->kind, StatementKind::kSelect);
+}
+
 TEST(ParserTest, DropStatements) {
   EXPECT_EQ(MustParse("DROP TABLE t")->kind, StatementKind::kDropTable);
   EXPECT_EQ(MustParse("DROP TRIGGER tr")->kind, StatementKind::kDropTrigger);

@@ -115,6 +115,94 @@ TEST(TableTest, SecondaryIndexInvalidatedByWrites) {
   EXPECT_EQ(t.LookupBySecondary(1, Value::String("x")).size(), 1u);
 }
 
+TEST(TableTest, AlterAddColumnBackfillsAndUndoes) {
+  Table t("t", TwoColumnSchema(), 0);
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("b")}).ok());
+  ASSERT_TRUE(t.AlterAddColumn("score", TypeId::kInt, Value::Int(7)).ok());
+  EXPECT_EQ(t.schema().size(), 3u);
+  auto id = t.LookupByPrimaryKey(Value::Int(1));
+  EXPECT_EQ(t.GetRow(*id)[2].AsInt(), 7);
+  // A second column with no default backfills NULL.
+  ASSERT_TRUE(t.AlterAddColumn("note", TypeId::kString, Value::Null()).ok());
+  EXPECT_TRUE(t.GetRow(*id)[3].is_null());
+  t.AlterDropLastColumn();
+  t.AlterDropLastColumn();
+  EXPECT_EQ(t.schema().size(), 2u);
+  EXPECT_EQ(t.GetRow(*id).size(), 2u);
+}
+
+TEST(TableTest, AlterDropAndRestoreColumn) {
+  Table t("t", TwoColumnSchema(), 0);
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  Result<Table::DroppedColumn> dropped = t.AlterDropColumn(1);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->index, 1u);
+  EXPECT_EQ(t.schema().size(), 1u);
+  auto id = t.LookupByPrimaryKey(Value::Int(1));
+  EXPECT_EQ(t.GetRow(*id).size(), 1u);
+  t.AlterRestoreColumn(std::move(*dropped));
+  EXPECT_EQ(t.schema().size(), 2u);
+  EXPECT_EQ(t.GetRow(*id)[1].AsString(), "a");
+}
+
+TEST(TableTest, AlterDropPrimaryKeyRejected) {
+  Table t("t", TwoColumnSchema(), 0);
+  EXPECT_FALSE(t.AlterDropColumn(0).ok());
+}
+
+TEST(TableTest, AlterDropShiftsPrimaryKeyIndex) {
+  Schema schema;
+  Column a;
+  a.name = "a";
+  a.type = TypeId::kString;
+  schema.AddColumn(a);
+  Column key;
+  key.name = "id";
+  key.type = TypeId::kInt;
+  schema.AddColumn(key);
+  Table t("t", std::move(schema), 1);
+  ASSERT_TRUE(t.Insert({Value::String("x"), Value::Int(1)}).ok());
+  Result<Table::DroppedColumn> dropped = t.AlterDropColumn(0);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(t.primary_key_column(), 0);
+  EXPECT_TRUE(t.LookupByPrimaryKey(Value::Int(1)).ok());
+  t.AlterRestoreColumn(std::move(*dropped));
+  EXPECT_EQ(t.primary_key_column(), 1);
+  EXPECT_TRUE(t.LookupByPrimaryKey(Value::Int(1)).ok());
+}
+
+TEST(TableTest, AlterRenameColumn) {
+  Table t("t", TwoColumnSchema(), 0);
+  ASSERT_TRUE(t.AlterRenameColumn(1, "label").ok());
+  EXPECT_EQ(t.schema().column(1).name, "label");
+}
+
+TEST(TableTest, AlterRetypeAndRestoreColumn) {
+  Table t("t", TwoColumnSchema(), 0);
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  Result<TableColumn> old_data = t.AlterRetypeColumn(1, TypeId::kInt);
+  ASSERT_TRUE(old_data.ok());
+  EXPECT_EQ(t.schema().column(1).type, TypeId::kInt);
+  // Degrade-not-coerce: the stored value keeps its identity.
+  auto id = t.LookupByPrimaryKey(Value::Int(1));
+  EXPECT_EQ(t.GetRow(*id)[1].AsString(), "a");
+  t.AlterRestoreColumnData(1, std::move(*old_data), TypeId::kString);
+  EXPECT_EQ(t.schema().column(1).type, TypeId::kString);
+  EXPECT_EQ(t.GetRow(*id)[1].AsString(), "a");
+}
+
+TEST(TableTest, SchemaVersionIsSessionControlled) {
+  Table t("t", TwoColumnSchema(), 0);
+  EXPECT_EQ(t.schema_version(), 1u);
+  // Alter primitives never bump the version; only the session does, once
+  // per committed statement.
+  ASSERT_TRUE(t.AlterAddColumn("x", TypeId::kInt, Value::Null()).ok());
+  EXPECT_EQ(t.schema_version(), 1u);
+  t.set_schema_version(2);
+  EXPECT_EQ(t.schema_version(), 2u);
+}
+
 TEST(TableTest, ClearResets) {
   Table t("t", TwoColumnSchema(), 0);
   ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());

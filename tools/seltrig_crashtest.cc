@@ -1,7 +1,7 @@
 // seltrig_crashtest: kill-point crash-recovery harness for the durable audit
 // journal (storage/wal.h, engine/recovery.h; docs/DURABILITY.md).
 //
-// For every storage/journal fault point and every Nth hit of that point, the
+// For every storage/journal/schema-change fault point and every Nth hit, the
 // harness forks a child that opens a durable database, runs a fixed audited
 // workload, and records an fsynced acknowledgement after each statement the
 // engine reports committed. The armed fault kills the child mid-flight
@@ -69,12 +69,14 @@
 #include <thread>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "common/fault_injector.h"
 #include "engine/database.h"
 #include "engine/recovery.h"
 #include "replication/applier.h"
 #include "replication/shipper.h"
 #include "replication/transport.h"
+#include "storage/table.h"
 #include "types/value.h"
 
 namespace seltrig {
@@ -108,14 +110,27 @@ const std::vector<std::string>& Workload() {
       "SELECT name FROM patients WHERE patientid = 1",
       "UPDATE patients SET diagnosis = 'measles' WHERE patientid = 2",
       "INSERT INTO patients VALUES (3, 'Carol', 'checkup')",
+      // Online schema change on the audited table with its SELECT trigger
+      // live: the ALTER journals as a logical DDL record and bumps the
+      // schema version, which the following checkpoint must persist in the
+      // snapshot manifest. The catalog.alter.* kill points fire inside it.
+      "ALTER TABLE patients ADD COLUMN severity INT DEFAULT 0",
       kCheckpointMarker,
       "SELECT diagnosis FROM patients WHERE name = 'Alice'",
+      // A chained change (rename + int->double retype) is a single version
+      // step; recovery replays it as one statement.
+      "ALTER TABLE patients RENAME COLUMN severity TO sev, "
+      "RETYPE COLUMN sev DOUBLE",
       "DELETE FROM patients WHERE patientid = 3",
       // A second checkpoint replaces the first snapshot, so the kill-point
       // sweep reaches every window of the rename-aside swap (snapshot.swap):
       // crash with only the old snapshot, with only snapshot.old, and with
       // both present. Recovery must resolve each state.
       kCheckpointMarker,
+      // Drop the added column again (leaving only post-snapshot DDL in the
+      // journal tail) before the final insert, which targets the original
+      // three-column shape.
+      "ALTER TABLE patients DROP COLUMN sev",
       "INSERT INTO patients VALUES (4, 'Dave', 'flu')",
   };
   return workload;
@@ -128,6 +143,10 @@ const std::vector<std::string>& SweepPoints() {
   static const std::vector<std::string> points = {
       "wal.append",  "wal.fsync",      "wal.rotate", "wal.torn",
       "storage.append", "trigger.action", "snapshot.write", "snapshot.swap",
+      // Online schema change: a kill inside ALTER TABLE (before its DDL
+      // record commits) must recover to the pre-ALTER state with the old
+      // schema version; a kill after must replay to the bumped version.
+      "catalog.alter.validate", "catalog.alter.apply", "catalog.alter.rebind",
   };
   return points;
 }
@@ -271,6 +290,18 @@ std::vector<std::string> StateProjection(Database* db) {
     std::sort(rows.begin(), rows.end());
     out.push_back(query);
     out.insert(out.end(), rows.begin(), rows.end());
+  }
+  // Schema versions are part of the recovered state: an ALTER that replays
+  // must land the catalog on exactly the version the reference prefix has.
+  // Sorted — catalog enumeration order differs between a freshly built and
+  // a recovered database, and the projection is compared line by line.
+  std::vector<std::string> tables = db->catalog()->TableNames();
+  std::sort(tables.begin(), tables.end());
+  for (const std::string& name : tables) {
+    auto table = db->catalog()->GetTable(name);
+    if (!table.ok()) continue;
+    out.push_back("schema_version " + name + " = " +
+                  std::to_string((*table)->schema_version()));
   }
   return out;
 }

@@ -5,6 +5,8 @@
 //   .help                 this message
 //   .tables               list tables with row counts
 //   .audit                list audit expressions with view sizes
+//   .schema               per-table columns, schema versions, trigger binds
+//   .triggers             list triggers with quarantine/stale-version flags
 //   .user NAME            set the session user (USER_ID())
 //   .profile on|off       per-operator runtime counters after each query
 //   .batch N              set the executor batch size (default 1024)
@@ -189,7 +191,8 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
   if (cmd == ".quit" || cmd == ".exit") return false;
   if (cmd == ".help") {
     std::printf(
-        ".tables | .audit | .triggers | .user NAME | .profile on|off | .batch N "
+        ".tables | .audit | .schema | .triggers | .user NAME | .profile on|off "
+        "| .batch N "
         "| .threads N | .columnar on|off | .concurrent N SQL | .tpch SF "
         "| .import FILE TABLE "
         "| .save DIR | .open DIR | .wal DIR | .replica [DIR] | .quit\n"
@@ -208,9 +211,48 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
                   def->sensitive_table().c_str(), def->partition_by().c_str(),
                   def->view().size());
     }
-  } else if (cmd == ".triggers") {
+  } else if (cmd == ".schema") {
+    for (const std::string& name : db->catalog()->TableNames()) {
+      auto table = db->catalog()->GetTable(name);
+      if (!table.ok()) continue;
+      const seltrig::Schema& schema = (*table)->schema();
+      std::printf("%s (schema version %llu)\n", name.c_str(),
+                  static_cast<unsigned long long>((*table)->schema_version()));
+      for (size_t c = 0; c < schema.size(); ++c) {
+        std::printf("  %-22s %s%s\n", schema.column(c).name.c_str(),
+                    seltrig::TypeName(schema.column(c).type),
+                    static_cast<int>(c) == (*table)->primary_key_column()
+                        ? " PRIMARY KEY"
+                        : "");
+      }
+    }
     for (const seltrig::TriggerDef* def : db->trigger_manager()->All()) {
-      const char* quarantined = def->quarantined ? " [quarantined]" : "";
+      std::printf("trigger %-16s bound to schema version %llu\n",
+                  def->name.c_str(),
+                  static_cast<unsigned long long>(def->bound_schema_version));
+    }
+  } else if (cmd == ".triggers") {
+    // A quarantined trigger whose bound schema version no longer matches the
+    // subject table went stale while offline (an ALTER TABLE rebound only the
+    // live triggers); Rearm re-validates it against the current catalog.
+    auto subject_version = [db](const seltrig::TriggerDef* def) -> uint64_t {
+      std::string table = def->table;
+      if (def->is_select_trigger) {
+        const seltrig::AuditExpressionDef* expr =
+            db->audit_manager()->Find(def->audit_expression);
+        if (expr == nullptr) return 0;  // expression gone: definitely stale
+        table = expr->sensitive_table();
+      }
+      auto t = db->catalog()->GetTable(table);
+      return t.ok() ? (*t)->schema_version() : 0;
+    };
+    for (const seltrig::TriggerDef* def : db->trigger_manager()->All()) {
+      const bool stale =
+          def->quarantined && subject_version(def) != def->bound_schema_version;
+      const char* quarantined = def->quarantined
+                                    ? (stale ? " [quarantined, version-stale]"
+                                             : " [quarantined]")
+                                    : "";
       if (def->is_select_trigger) {
         std::printf("%-24s ON ACCESS TO %s%s%s\n", def->name.c_str(),
                     def->audit_expression.c_str(), def->before ? " BEFORE" : "",

@@ -21,6 +21,10 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       "catalog.alter.apply",     // engine/session.cc: before mutating storage
       "catalog.alter.rebind",    // engine/session.cc: before audit view rebind
       "catalog.alter.validate",  // engine/session.cc: ALTER TABLE prevalidation
+      "election.partition",       // replication/election.cc: drop a bus send (severed link)
+      "election.stale_candidate", // replication/election.cc: campaign with a zeroed position
+      "election.timeout",         // replication/election.cc: force an immediate campaign
+      "election.vote_drop",       // replication/election.cc: drop one outbound vote frame
       "executor.batch",   // exec/executor.cc: batch pull loop
       "replication.ack",        // replication/applier.cc: before sending an ack
       "replication.apply",      // replication/applier.cc: before applying a commit

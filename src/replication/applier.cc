@@ -94,21 +94,34 @@ Status ReplicaApplier::health() const {
   return health_;
 }
 
-Result<std::shared_ptr<Database>> ReplicaApplier::Promote() {
+Result<std::shared_ptr<Database>> ReplicaApplier::Promote(uint64_t epoch) {
   Stop();
   MutexLock lock(&mutex_);
   if (promoted_) {
     return Status::InvalidArgument("replica already promoted");
   }
   SELTRIG_RETURN_IF_ERROR(health_);
+  if (epoch == 0) epoch = epoch_ + 1;
+  if (epoch <= epoch_) {
+    return Status::InvalidArgument(
+        "promotion epoch " + std::to_string(epoch) +
+        " does not exceed the applied epoch " + std::to_string(epoch_));
+  }
   // Everything the applier persisted is applied (that is the acceptance
   // discipline), so there is no prefix to cut: re-arm the journal directly
-  // under the next epoch. Segments a deposed primary keeps writing under
-  // epoch_ are rejected against it from here on.
+  // under the promotion epoch. Segments a deposed primary keeps writing
+  // under epoch_ are rejected against it from here on.
   segment_.Close();
-  SELTRIG_RETURN_IF_ERROR(db_->EnableWal(dir_, epoch_ + 1));
+  SELTRIG_RETURN_IF_ERROR(db_->EnableWal(dir_, epoch));
   promoted_ = true;
   return db_;
+}
+
+void ReplicaApplier::RaiseEpochFloor(uint64_t epoch) {
+  uint64_t current = epoch_floor_.load(std::memory_order_relaxed);
+  while (current < epoch && !epoch_floor_.compare_exchange_weak(
+                                current, epoch, std::memory_order_relaxed)) {
+  }
 }
 
 void ReplicaApplier::Run(std::shared_ptr<FrameChannel> channel) {
@@ -167,15 +180,21 @@ Status ReplicaApplier::HandleRecord(FrameChannel* channel, const Frame& frame) {
   // transit); gap detection and NAK reseek recover.
   if (!fault::Maybe("replication.recv").ok()) return Status::OK();
 
-  if (frame.epoch < epoch_) {
-    // A deposed primary writing under a pre-failover epoch. Never accept —
-    // the failover decided against these commits.
+  const uint64_t epoch_fence =
+      std::max(epoch_, epoch_floor_.load(std::memory_order_relaxed));
+  if (frame.epoch < epoch_fence) {
+    // A deposed primary writing under a pre-failover epoch — or, when the
+    // floor is the binding bound, under an epoch this node already granted a
+    // vote against. Never accept: the failover (or the vote promise) decided
+    // against these commits.
     {
       MutexLock lock(&mutex_);
       ++stats_.epoch_rejected;
     }
-    return SendNak(channel, "stale epoch " + std::to_string(frame.epoch) +
-                                " (follower at " + std::to_string(epoch_) + ")");
+    return SendNak(channel,
+                   "stale epoch " + std::to_string(frame.epoch) +
+                       " (follower at " + std::to_string(epoch_fence) + ")",
+                   epoch_fence);
   }
 
   // The frame names the position it continues from (prev_*); the record is
@@ -358,10 +377,15 @@ Status ReplicaApplier::SendAck(FrameChannel* channel) {
   return channel->Send(ack);
 }
 
-Status ReplicaApplier::SendNak(FrameChannel* channel, const std::string& reason) {
+Status ReplicaApplier::SendNak(FrameChannel* channel, const std::string& reason,
+                               uint64_t fence_epoch) {
   Frame nak;
   nak.type = FrameType::kNak;
-  nak.epoch = epoch_;
+  // A stale-epoch rejection names the fence (applied epoch or a granted
+  // vote's floor, whichever is higher) so the deposed shipper sees a NEWER
+  // epoch and parks terminally; every other NAK names the applied epoch —
+  // its position doubles as an implicit ack and must be the truth.
+  nak.epoch = fence_epoch != 0 ? fence_epoch : epoch_;
   nak.seq = seq_;
   nak.offset = offset_;
   nak.name = reason;

@@ -26,6 +26,7 @@
 #ifndef SELTRIG_REPLICATION_APPLIER_H_
 #define SELTRIG_REPLICATION_APPLIER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -96,10 +97,21 @@ class ReplicaApplier {
   Status health() const SELTRIG_EXCLUDES(mutex_);
 
   // Live failover promotion: stops replication and re-arms the journal on
-  // the follower database under epoch + 1. Returns the database, now a
-  // primary — acknowledged sync-mode statements of the old primary are all
-  // present (the acked-prefix guarantee). The applier is finished afterward.
-  Result<std::shared_ptr<Database>> Promote();
+  // the follower database under `epoch` (0 = the applied epoch + 1; an
+  // election passes its won epoch, which may be further ahead after failed
+  // campaigns bumped the term). Returns the database, now a primary —
+  // acknowledged sync-mode statements of the old primary are all present
+  // (the acked-prefix guarantee). The applier is finished afterward.
+  Result<std::shared_ptr<Database>> Promote(uint64_t epoch = 0);
+
+  // Raises the epoch below which records are rejected. Called by the
+  // election layer when this node durably grants a vote for `epoch`: the
+  // grant is a promise to never again accept records from a leader older
+  // than the candidate, exactly as Raft's currentTerm bump on vote. Without
+  // it, a deposed primary could keep extending this follower's journal
+  // between the vote and the new leader's first frame, forking it away from
+  // the election winner. Only raises; stale calls are ignored.
+  void RaiseEpochFloor(uint64_t epoch);
 
  private:
   ReplicaApplier(std::string dir, ApplierOptions options);
@@ -109,8 +121,10 @@ class ReplicaApplier {
   Status HandleSnapshotFile(const Frame& frame);
   Status InstallSnapshot(uint64_t cut_seq, FrameChannel* channel);
   Status SendAck(FrameChannel* channel) SELTRIG_EXCLUDES(mutex_);
-  Status SendNak(FrameChannel* channel, const std::string& reason)
-      SELTRIG_EXCLUDES(mutex_);
+  // `fence_epoch` != 0 stamps the NAK with that epoch instead of the applied
+  // epoch (stale-epoch rejections name the fence so a deposed shipper parks).
+  Status SendNak(FrameChannel* channel, const std::string& reason,
+                 uint64_t fence_epoch = 0) SELTRIG_EXCLUDES(mutex_);
   // Opens/creates the local segment file for (seq, epoch), writing the
   // header when the file is new.
   Status OpenSegment(uint64_t seq, uint64_t epoch);
@@ -127,6 +141,10 @@ class ReplicaApplier {
   Status health_ SELTRIG_GUARDED_BY(mutex_) = Status::OK();
   bool stopping_ SELTRIG_GUARDED_BY(mutex_) = false;
   bool promoted_ SELTRIG_GUARDED_BY(mutex_) = false;
+
+  // Vote fencing floor (RaiseEpochFloor); read by the apply thread, raised
+  // by the election thread.
+  std::atomic<uint64_t> epoch_floor_{0};
 
   // Apply-thread state (single-threaded; no lock needed).
   uint64_t epoch_ = 0;

@@ -20,6 +20,12 @@ int64_t MsSince(Clock::time_point start) {
       .count();
 }
 
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 LogShipper::LogShipper(Database* db, ShipperOptions options)
@@ -94,10 +100,15 @@ Status LogShipper::WaitReplicated(const WalPosition& pos) {
 }
 
 std::vector<FollowerStatus> LogShipper::Followers() const {
+  const int64_t now = NowMs();
   MutexLock lock(&mutex_);
   std::vector<FollowerStatus> out;
   out.reserve(followers_.size());
-  for (const auto& follower : followers_) out.push_back(follower->status);
+  for (const auto& follower : followers_) {
+    out.push_back(follower->status);
+    out.back().ms_since_last_ack =
+        follower->last_ack_at_ms < 0 ? -1 : now - follower->last_ack_at_ms;
+  }
   return out;
 }
 
@@ -178,6 +189,11 @@ void LogShipper::Run(Follower* follower) {
 Status LogShipper::ServeConnection(Follower* follower, FrameChannel* channel) {
   WalTailReader reader(db_->wal()->wal_dir());
   bool have_cursor = false;  // set by the follower's HELLO
+  // Set whenever a follower-NAMED position moved the cursor: that position
+  // must be validated against the local journal before shipping from it,
+  // because a follower whose journal forked (an un-acked suffix from a
+  // deposed reign) names positions this primary never wrote.
+  bool verify_cursor = false;
   auto last_send = Clock::now();
   // Ack PROGRESS, not ack arrival: a follower that missed the tail of a
   // burst still acks heartbeats at its stale position, so "any ack arrived"
@@ -193,7 +209,8 @@ Status LogShipper::ServeConnection(Follower* follower, FrameChannel* channel) {
 
     // 1. Drain whatever the follower sent (acks, naks, hellos) — without
     // blocking; step 5 blocks when there is nothing to ship.
-    Status drained = DrainInbound(follower, channel, &reader, &have_cursor, 0);
+    Status drained = DrainInbound(follower, channel, &reader, &have_cursor,
+                                  &verify_cursor, 0);
     if (!drained.ok() && drained.code() != ErrorCode::kDeadlineExceeded) {
       return drained;
     }
@@ -205,6 +222,51 @@ Status LogShipper::ServeConnection(Follower* follower, FrameChannel* channel) {
         MutexLock lock(&mutex_);
         if (stopping_) return Status::OK();
         if (follower->in_flight.size() >= options_.max_in_flight_records) break;
+      }
+      if (verify_cursor) {
+        // Fork detection. A follower's named position can exceed this
+        // primary's journal only when the follower's journal diverged: a
+        // deposed leader extended its local segments with records no quorum
+        // acked, then rejoined. (Divergence is always positional — a new
+        // leader's promotion rotates to a fresh segment, so the two
+        // histories never disagree WITHIN a shared byte range; see
+        // docs/REPLICATION.md.) Overwrite the follower with a snapshot of
+        // the canonical history instead of shipping from a position we do
+        // not have — but ONLY a follower at our epoch or below can be the
+        // stale side. A follower naming a NEWER epoch means this shipper is
+        // the deposed one; resyncing it would overwrite canonical history
+        // with ours. Ship from the newest segment instead and let the
+        // applier's persisted epoch judge (the fencing NAK parks us
+        // terminally).
+        verify_cursor = false;
+        const WalPosition tip = db_->wal()->current_position();
+        bool beyond = reader.seq() > tip.seq ||
+                      (reader.seq() == tip.seq && reader.offset() > tip.offset);
+        if (!beyond && reader.seq() < tip.seq) {
+          std::error_code ec;
+          const uint64_t size = std::filesystem::file_size(
+              db_->wal()->wal_dir() + "/" + WalSegmentFileName(reader.seq()),
+              ec);
+          // A missing segment is checkpoint truncation, not a fork; the
+          // kNotFound path below snapshots it anyway.
+          beyond = !ec && reader.offset() > size;
+        }
+        if (beyond) {
+          uint64_t follower_epoch;
+          {
+            MutexLock lock(&mutex_);
+            follower_epoch = follower->status.acked.epoch;
+          }
+          if (follower_epoch > tip.epoch) {
+            reader.Seek(tip.seq, 0);
+            continue;
+          }
+          SELTRIG_RETURN_IF_ERROR(ForceResync(follower, channel, &reader));
+          have_cursor = false;
+          progressed = true;
+          last_send = Clock::now();
+          break;
+        }
       }
       // The cursor before Next is the position this record continues from:
       // the previous record's end, or — across a segment advance — the tail
@@ -220,15 +282,24 @@ Status LogShipper::ServeConnection(Follower* follower, FrameChannel* channel) {
         const WalPosition tip = db_->wal()->current_position();
         if (reader.seq() > tip.seq) {
           // The follower resumed from a segment past anything this primary
-          // ever wrote. In a single-primary world a follower is never ahead
-          // of its primary, so either a failover promoted someone else (we
-          // are deposed) or the histories diverged. The applier's persisted
-          // epoch is the authority, not our guess: resend from our newest
-          // segment and let the follower judge — a stale epoch draws the
-          // fencing NAK (handled terminally below), plain duplicates are
-          // dropped and re-acked.
-          reader.Seek(tip.seq, 0);
-          continue;
+          // ever wrote: its journal forked under a deposed leader. Replace
+          // it with the canonical history (same reasoning and same epoch
+          // gate as the verify_cursor check above; this catches a cursor
+          // that moved without a follower-named reseek).
+          uint64_t follower_epoch;
+          {
+            MutexLock lock(&mutex_);
+            follower_epoch = follower->status.acked.epoch;
+          }
+          if (follower_epoch > tip.epoch) {
+            reader.Seek(tip.seq, 0);
+            continue;
+          }
+          SELTRIG_RETURN_IF_ERROR(ForceResync(follower, channel, &reader));
+          have_cursor = false;
+          progressed = true;
+          last_send = Clock::now();
+          break;
         }
         // A checkpoint truncated the journal behind this follower: catch it
         // up from the snapshot, then wait for its post-install HELLO.
@@ -310,7 +381,7 @@ Status LogShipper::ServeConnection(Follower* follower, FrameChannel* channel) {
     // idle shipper costs a poll, not a spin.
     if (!progressed) {
       Status idle = DrainInbound(follower, channel, &reader, &have_cursor,
-                                 options_.poll_interval_ms);
+                                 &verify_cursor, options_.poll_interval_ms);
       if (!idle.ok() && idle.code() != ErrorCode::kDeadlineExceeded) {
         return idle;
       }
@@ -320,7 +391,7 @@ Status LogShipper::ServeConnection(Follower* follower, FrameChannel* channel) {
 
 Status LogShipper::DrainInbound(Follower* follower, FrameChannel* channel,
                                 WalTailReader* reader, bool* have_cursor,
-                                int64_t timeout_ms) {
+                                bool* reseeked, int64_t timeout_ms) {
   bool got_any = false;
   for (bool first = true;; first = false) {
     Result<Frame> received = channel->Receive(first ? timeout_ms : 0);
@@ -354,11 +425,13 @@ Status LogShipper::DrainInbound(Follower* follower, FrameChannel* channel,
         // rejection left it at. Everything in flight is now meaningless.
         reader->Seek(frame.seq, frame.offset);
         *have_cursor = true;
+        *reseeked = true;
         MutexLock lock(&mutex_);
         follower->in_flight.clear();
         if (frame.type == FrameType::kNak) ++follower->status.naks_received;
         // The follower's own position is an implicit ack.
         if (follower->status.acked < pos) follower->status.acked = pos;
+        follower->last_ack_at_ms = NowMs();
         ack_cv_.notify_all();
         break;
       }
@@ -370,9 +443,11 @@ Status LogShipper::DrainInbound(Follower* follower, FrameChannel* channel,
           // which is exactly the resume point a HELLO would have named.
           reader->Seek(frame.seq, frame.offset);
           *have_cursor = true;
+          *reseeked = true;
         }
         MutexLock lock(&mutex_);
         if (follower->status.acked < pos) follower->status.acked = pos;
+        follower->last_ack_at_ms = NowMs();
         auto& in_flight = follower->in_flight;
         while (!in_flight.empty() && in_flight.front() <= pos) {
           in_flight.erase(in_flight.begin());
@@ -434,6 +509,33 @@ Status LogShipper::SendSnapshot(Follower* follower, FrameChannel* channel,
   ++follower->status.snapshots_sent;
   follower->in_flight.clear();
   return Status::OK();
+}
+
+Status LogShipper::ForceResync(Follower* follower, FrameChannel* channel,
+                               WalTailReader* reader) {
+  {
+    MutexLock lock(&mutex_);
+    ++follower->status.forced_resyncs;
+    // The forked follower's named positions are not positions in THIS
+    // journal; until it re-HELLOs from the snapshot cut its acked position
+    // must not admit it to the sync quorum. (Epoch-major WalPosition
+    // ordering already keeps forked acks below any new-epoch commit; this
+    // resets the bookkeeping for the rebuild.)
+    follower->status.acked = WalPosition{};
+    follower->status.degraded = true;
+    follower->in_flight.clear();
+    ack_cv_.notify_all();
+  }
+  Status sent = SendSnapshot(follower, channel, reader);
+  if (sent.ok()) return sent;
+  if (sent.code() != ErrorCode::kNotFound &&
+      sent.code() != ErrorCode::kUnavailable) {
+    return sent;
+  }
+  // No snapshot yet (a primary that never checkpointed): cut one now — the
+  // checkpoint IS the canonical history up to this moment — then ship it.
+  SELTRIG_RETURN_IF_ERROR(db_->Checkpoint());
+  return SendSnapshot(follower, channel, reader);
 }
 
 }  // namespace seltrig

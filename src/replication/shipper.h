@@ -74,10 +74,17 @@ struct FollowerStatus {
   // torn channel, or ack staleness past ack_timeout_ms).
   bool degraded = false;
   WalPosition acked;
+  // Milliseconds since this follower last acked (or implicitly acked via a
+  // HELLO/NAK position); -1 before the first one. The `.replica` lag view.
+  int64_t ms_since_last_ack = -1;
   uint64_t records_sent = 0;
   uint64_t records_acked = 0;
   uint64_t naks_received = 0;
   uint64_t snapshots_sent = 0;
+  // Forced snapshot resyncs after a positional fork was detected: the
+  // follower resumed from a journal position this primary never wrote (an
+  // un-acked suffix from a deposed reign). Always 0 in healthy clusters.
+  uint64_t forced_resyncs = 0;
   uint64_t reconnects = 0;
   // Non-empty when the shipper hit an unrecoverable condition for this
   // follower (e.g. local journal corruption under the tail reader).
@@ -125,6 +132,8 @@ class LogShipper : public ReplicationWaiter {
     FollowerStatus status;  // guarded by LogShipper::mutex_
     // Positions of sent-but-unacked records (end offsets), oldest first.
     std::vector<WalPosition> in_flight;  // guarded by LogShipper::mutex_
+    // Monotonic ms timestamp of the last (implicit) ack; -1 before any.
+    int64_t last_ack_at_ms = -1;  // guarded by LogShipper::mutex_
   };
 
   // The per-follower thread body: reconnect loop around ServeConnection.
@@ -132,13 +141,22 @@ class LogShipper : public ReplicationWaiter {
   // Ships over one live channel until it dies or Stop(). Returns why.
   Status ServeConnection(Follower* follower, FrameChannel* channel);
   // Drains pending inbound frames (acks, naks, hellos) without blocking
-  // longer than `timeout_ms`. Updates cursor/in-flight via *reader.
+  // longer than `timeout_ms`. Updates cursor/in-flight via *reader; sets
+  // *reseeked when a follower-named position moved the cursor, so the ship
+  // loop re-validates it against the local journal before trusting it.
   Status DrainInbound(Follower* follower, FrameChannel* channel,
                       WalTailReader* reader, bool* have_cursor,
-                      int64_t timeout_ms);
+                      bool* reseeked, int64_t timeout_ms);
   // Streams the snapshot directory and reseeks *reader to its journal cut.
   Status SendSnapshot(Follower* follower, FrameChannel* channel,
                       WalTailReader* reader);
+  // Fork resolution: the follower's journal position does not exist in this
+  // primary's journal (it extends a deposed leader's un-acked suffix).
+  // Overwrite the follower wholesale with a snapshot catch-up — checkpointing
+  // first if no snapshot exists yet — so it rejoins on the canonical history
+  // and the forked suffix is never acked.
+  Status ForceResync(Follower* follower, FrameChannel* channel,
+                     WalTailReader* reader);
 
   void SetConnected(Follower* follower, bool connected) SELTRIG_EXCLUDES(mutex_);
   void NoteError(Follower* follower, const Status& error) SELTRIG_EXCLUDES(mutex_);

@@ -30,6 +30,12 @@ const char* FrameTypeName(FrameType type) {
       return "SNAPSHOT_FILE";
     case FrameType::kSnapshotDone:
       return "SNAPSHOT_DONE";
+    case FrameType::kPreVote:
+      return "PRE_VOTE";
+    case FrameType::kVoteRequest:
+      return "VOTE_REQUEST";
+    case FrameType::kVoteGrant:
+      return "VOTE_GRANT";
   }
   return "UNKNOWN";
 }
@@ -72,7 +78,7 @@ Result<Frame> DecodeFrame(std::string_view bytes) {
   if (body.empty()) return Status::DataLoss("empty replication frame body");
   const uint8_t type = static_cast<uint8_t>(body[pos++]);
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kSnapshotDone)) {
+      type > static_cast<uint8_t>(FrameType::kVoteGrant)) {
     return Status::DataLoss("unknown replication frame type " +
                             std::to_string(type));
   }

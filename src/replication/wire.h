@@ -54,6 +54,19 @@ enum class FrameType : uint8_t {
   kSnapshotStart = 6,
   kSnapshotFile = 7,
   kSnapshotDone = 8,
+  // Election traffic (replication/election.h). A candidate that believes the
+  // leader is gone first polls with kPreVote ("WOULD you vote for me at this
+  // epoch, given my journal position?"), and only on a quorum of pre-grants
+  // campaigns for real with kVoteRequest. Both carry the candidate's proposed
+  // epoch in `epoch`, its journal tail in `seq`/`offset` (prev_seq carries
+  // the tail's epoch, so voters compare full (epoch, seq, offset) positions)
+  // and its node id in `name`. A voter answers either with kVoteGrant —
+  // `payload` is "pre" for a pre-grant, "real" for a durable, persisted vote
+  // — or with silence; elections are retried on a randomized timeout, so a
+  // rejection frame is unnecessary.
+  kPreVote = 9,
+  kVoteRequest = 10,
+  kVoteGrant = 11,
 };
 
 const char* FrameTypeName(FrameType type);

@@ -313,6 +313,60 @@ Result<std::vector<WalOp>> DecodeWalRecord(std::string_view record) {
   return ops;
 }
 
+// --- durable election vote --------------------------------------------------
+
+namespace {
+constexpr char kVoteMagic[8] = {'S', 'L', 'T', 'V', 'O', 'T', 'E', '\n'};
+}  // namespace
+
+Status PersistVote(const std::string& wal_dir, const VoteRecord& vote) {
+  std::error_code ec;
+  std::filesystem::create_directories(wal_dir, ec);
+  if (ec) return Status::ExecutionError("cannot create " + wal_dir);
+
+  std::string body(kVoteMagic, sizeof(kVoteMagic));
+  PutU64(&body, vote.epoch);
+  PutString(&body, vote.candidate);
+  std::string out;
+  PutU32(&out, Crc32c(body));
+  out.append(body);
+
+  const std::string path = wal_dir + "/VOTE";
+  const std::string tmp = path + ".tmp";
+  std::filesystem::remove(tmp, ec);  // AppendFile appends; drop stale bytes
+  {
+    SELTRIG_ASSIGN_OR_RETURN(AppendFile file, AppendFile::Open(tmp));
+    SELTRIG_RETURN_IF_ERROR(file.Append(out.data(), out.size()));
+    SELTRIG_RETURN_IF_ERROR(file.Sync());
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::ExecutionError("cannot install " + path);
+  return SyncDirectory(wal_dir);
+}
+
+Result<VoteRecord> ReadPersistedVote(const std::string& wal_dir) {
+  Result<std::string> raw = ReadFileToString(wal_dir + "/VOTE");
+  if (!raw.ok()) return Status::NotFound("no persisted vote in " + wal_dir);
+  std::string_view bytes = *raw;
+  size_t pos = 0;
+  uint32_t crc = 0;
+  if (!GetU32(bytes, &pos, &crc)) {
+    return Status::NotFound("persisted vote unreadable (torn before grant)");
+  }
+  std::string_view body = bytes.substr(pos);
+  if (Crc32c(body) != crc || body.size() < sizeof(kVoteMagic) ||
+      std::memcmp(body.data(), kVoteMagic, sizeof(kVoteMagic)) != 0) {
+    return Status::NotFound("persisted vote unreadable (torn before grant)");
+  }
+  VoteRecord vote;
+  size_t body_pos = sizeof(kVoteMagic);
+  if (!GetU64(body, &body_pos, &vote.epoch) ||
+      !GetString(body, &body_pos, &vote.candidate) || body_pos != body.size()) {
+    return Status::NotFound("persisted vote unreadable (torn before grant)");
+  }
+  return vote;
+}
+
 std::string WalSegmentFileName(uint64_t seq) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "wal-%08llu.log",

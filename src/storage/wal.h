@@ -133,6 +133,28 @@ struct WalPosition {
   std::string ToString() const;
 };
 
+// Durable election vote (replication/election.h). Raft's rule "at most one
+// vote per term" is only a rule if it survives a crash: a voter must persist
+// the (epoch, candidate) pair BEFORE its grant frame leaves the machine, so
+// a restarted voter re-reads the file and never grants a second candidate
+// the same epoch — the overlap of any two quorums then guarantees at most
+// one leader per epoch.
+struct VoteRecord {
+  uint64_t epoch = 0;
+  std::string candidate;
+};
+
+// Atomically writes <wal_dir>/VOTE (tmp + fsync + rename + dir fsync). The
+// directory is created if needed, so a fresh follower can vote before it has
+// ever received a segment.
+Status PersistVote(const std::string& wal_dir, const VoteRecord& vote);
+
+// Reads the persisted vote. kNotFound when no vote was ever persisted — and
+// for a torn or corrupt file too: persist happens strictly before the grant
+// is sent, so an unreadable VOTE file means the grant never left and
+// forgetting it is safe.
+Result<VoteRecord> ReadPersistedVote(const std::string& wal_dir);
+
 struct WalSegment {
   uint64_t seq = 0;
   std::string path;

@@ -22,6 +22,7 @@
 #include "engine/database.h"
 #include "engine/recovery.h"
 #include "replication/applier.h"
+#include "replication/election.h"
 #include "replication/shipper.h"
 #include "replication/transport.h"
 
@@ -118,6 +119,47 @@ class FaultCoverageTest : public ::testing::Test {
     raw->Stop();
   }
 
+  // The `election.*` points live on the leader-election path (liveness
+  // checks, campaign starts, vote traffic, bus sends), which neither the
+  // storage nor the shipping workload enters. Cold-start a two-node
+  // in-process cluster with aggressive timeouts and keep it campaigning
+  // until the armed point fires. FailAlways may well prevent any leader from
+  // ever emerging (dropped votes, perpetual timeouts) — the sweep only needs
+  // the point reached, not a stable leader.
+  void DriveElectionWorkload(const std::string& point) {
+    ElectionMesh mesh;
+    const std::vector<std::string> ids = {"e0", "e1"};
+    std::vector<std::unique_ptr<ElectionNode>> nodes;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ElectionOptions options;
+      options.id = ids[i];
+      options.dir = base_ + "/" + point + "_" + ids[i];
+      options.peers = {ids[1 - i]};
+      options.heartbeat_interval_ms = 5;
+      options.election_timeout_min_ms = 20;
+      options.election_timeout_max_ms = 40;
+      options.poll_interval_ms = 1;
+      options.seed = 7 + i;
+      Result<std::unique_ptr<ElectionNode>> node = ElectionNode::Start(
+          std::move(options), mesh.Endpoint(ids[i]),
+          [](const std::string&) -> Result<std::shared_ptr<FrameChannel>> {
+            // Coverage only drives the election state machine; a winner's
+            // shipper just retries against this and that is fine.
+            return Status(ErrorCode::kUnavailable, "no replication here");
+          });
+      ASSERT_TRUE(node.ok()) << node.status().message();
+      nodes.push_back(std::move(*node));
+    }
+    FaultInjector& injector = FaultInjector::Instance();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (injector.fires(point) == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (auto& node : nodes) node->Stop();
+  }
+
   std::string base_;
 };
 
@@ -152,6 +194,11 @@ TEST_F(FaultCoverageTest, EveryKnownFaultPointIsArmedAndReachable) {
       DriveReplicationWorkload(db.get(), point);
       EXPECT_GT(injector.fires(point), 0u)
           << "the replication workload never reaches fault point " << point;
+    } else if (point.rfind("election.", 0) == 0) {
+      injector.Arm(point, FaultInjector::FailAlways());
+      DriveElectionWorkload(point);
+      EXPECT_GT(injector.fires(point), 0u)
+          << "the election workload never reaches fault point " << point;
     } else {
       injector.Arm(point, FaultInjector::FailAlways());
       DriveWorkload(db.get());

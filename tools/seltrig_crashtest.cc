@@ -40,8 +40,32 @@
 // bit-for-bit. The primary directory must independently recover to its own
 // locally-acknowledged prefix, as in the single-node sweep.
 //
+// Election mode (--replication --nodes 3) runs a three-node kill matrix over
+// the automatic leader election layer (replication/election.h). Every node is
+// a full ElectionNode — election bus and replication endpoint on unix
+// sockets, sync ack mode — and NO process ever calls Database::Promote: every
+// promotion in the matrix is the election layer's own doing. Whichever node
+// currently leads drives a monotonically keyed audited workload; the armed
+// fault SIGKILLs one node at the Nth hit of each replication/election fault
+// point (or, in the partition trials, silently drops its outbound election
+// traffic for a stretch — a severed link instead of a crash). The parent then
+// asserts the three failover invariants:
+//
+//   (a) a leader emerges within a bounded number of election timeouts, both
+//       at cold start and after the victim dies;
+//   (b) every statement acknowledged while a follower was in the sync quorum
+//       (leader + follower = a majority) survives into the final leader's
+//       state — rows, audit-log rows, and the exact committed values;
+//   (c) the healed victim rejoins as a follower and converges onto the new
+//       history: any forked suffix it committed while deposed (encoded in a
+//       per-(node, epoch) diagnosis tag) must be resynced away, never acked
+//       into the new timeline.
+//
+// Election timeouts and vote-spread jitter are seeded from --seed, so a
+// failing trial sequence replays deterministically.
+//
 // Usage: seltrig_crashtest [--quick] [--keep] [--dir DIR] [--seed N]
-//                          [--replication]
+//                          [--replication] [--nodes N] [--trials N]
 //   --quick        sweep only the first few hits of each point (CI smoke mode)
 //   --keep         keep trial directories, including on failure (default:
 //                  removed; failures print the label so a --keep rerun can
@@ -49,8 +73,11 @@
 //   --dir          parent directory for trial state (default: a fresh temp dir)
 //   --seed         deterministic trial-order seed (default 1; the sweep order
 //                  is a seeded shuffle, so two runs with the same seed execute
-//                  identical trial sequences)
+//                  identical trial sequences; also seeds election timeouts)
 //   --replication  run the two-node replication kill matrix
+//   --nodes        with --replication: cluster size (2 = operator-promoted
+//                  pair, 3 = automatic-election matrix; default 2)
+//   --trials       with --nodes 3: cap the number of trials (0 = full sweep)
 
 #include <fcntl.h>
 #include <signal.h>
@@ -64,6 +91,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -74,9 +103,11 @@
 #include "engine/database.h"
 #include "engine/recovery.h"
 #include "replication/applier.h"
+#include "replication/election.h"
 #include "replication/shipper.h"
 #include "replication/transport.h"
 #include "storage/table.h"
+#include "storage/wal.h"
 #include "types/value.h"
 
 namespace seltrig {
@@ -592,6 +623,11 @@ struct Options {
   bool quick = false;
   bool keep = false;
   bool replication = false;
+  // --replication cluster size: 2 = operator-promoted pair, 3 = the
+  // automatic-election matrix.
+  int nodes = 2;
+  // --nodes 3 only: cap on the number of trials (0 = full sweep).
+  int trials = 0;
   uint64_t seed = 1;
   std::string base_dir;
 };
@@ -751,6 +787,649 @@ int RunReplicationHarness(const Options& options, const std::string& base) {
   return failed ? 1 : 0;
 }
 
+// ---------------------------------------------------------------------------
+// Three-node election matrix (--replication --nodes 3). See the file comment:
+// three ElectionNode processes, a leader-driven workload, a SIGKILL (or a
+// dropped-link window) at every replication/election fault point, and the
+// three failover invariants checked offline. Database::Promote is never
+// called anywhere in this matrix.
+
+// Points swept with a crash-at-Nth-hit schedule in one victim node. The
+// election.* points cover the election layer itself (a candidate dying inside
+// a campaign, a voter dying between persisting and sending a grant, ...); the
+// replication/journal points cover a leader or follower dying mid-shipment.
+const std::vector<std::string>& ElectionSweepPoints() {
+  static const std::vector<std::string> points = {
+      "election.timeout", "election.vote_drop", "election.partition",
+      "election.stale_candidate",
+      "replication.send", "replication.apply", "replication.ack",
+      "wal.append",       "wal.fsync",         "wal.torn",
+  };
+  return points;
+}
+
+// Bounded-convergence budgets. The election timeout range below is
+// [60, 180] ms, so the election bound allows on the order of a hundred
+// back-to-back timed-out elections before the harness calls liveness broken.
+constexpr int64_t kElectionBoundMs = 20000;
+constexpr int64_t kConvergeBoundMs = 15000;
+// How long a crash trial waits for the armed point to fire before declaring
+// the Nth sweep for that configuration exhausted.
+constexpr int64_t kCrashWaitMs = 8000;
+// Partition trials drop this many consecutive outbound election frames in
+// the victim: at a 15 ms heartbeat interval that is a multi-second severed
+// link — long enough for the survivors to depose a partitioned leader.
+constexpr uint64_t kPartitionDrops = 300;
+
+// The idempotent schema setup a node (re)runs once per stint of leadership.
+// After a failover the journal already holds all of it and every statement
+// fails as a duplicate, which is harmless: the workload INSERT below is the
+// real probe of a usable leader.
+const char* const kElectionSetup[] = {
+    "CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, "
+    "diagnosis VARCHAR)",
+    "CREATE TABLE log (ts VARCHAR, userid VARCHAR, sql VARCHAR, patientid INT)",
+    "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients WHERE "
+    "name = 'Alice' FOR SENSITIVE TABLE patients PARTITION BY patientid",
+    "CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS INSERT INTO log "
+    "SELECT now(), user_id(), sql_text(), patientid FROM accessed",
+};
+
+bool AppendAckLine(int fd, const std::string& line) {
+  const std::string out = line + "\n";
+  return ::write(fd, out.data(), out.size()) ==
+             static_cast<ssize_t>(out.size()) &&
+         ::fsync(fd) == 0;
+}
+
+// True when at least one follower is in the sync quorum. A kSync Execute
+// returns only once every non-degraded follower acked, so if one is still
+// non-degraded afterwards, leader + that follower — a majority of three —
+// hold the statement durably, and any future leader must retain it (the
+// voter up-to-dateness gate guarantees every election quorum overlaps it).
+bool AnySyncFollower(ElectionNode* node) {
+  for (const FollowerStatus& f : node->FollowerStatuses()) {
+    if (!f.degraded) return true;
+  }
+  return false;
+}
+
+// Per-node status file, written atomically (tmp + rename) every driver loop
+// so the parent can observe roles and journal positions without a channel to
+// the child.
+void WriteNodeStatus(const std::string& dir, uint64_t beat,
+                     const ElectionInfo& info) {
+  const std::string tmp = dir + "/status.tmp";
+  const std::string line =
+      std::to_string(beat) + " " + ElectionRoleName(info.role) + " " +
+      std::to_string(info.epoch) + " " + std::to_string(info.term) + " " +
+      std::to_string(info.position.epoch) + " " +
+      std::to_string(info.position.seq) + " " +
+      std::to_string(info.position.offset) + "\n";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return;
+  (void)::write(fd, line.data(), line.size());
+  ::close(fd);
+  ::rename(tmp.c_str(), (dir + "/status").c_str());
+}
+
+struct NodeStatus {
+  bool valid = false;
+  uint64_t beat = 0;
+  std::string role;
+  uint64_t epoch = 0;
+  uint64_t term = 0;
+  WalPosition position;
+};
+
+NodeStatus ReadNodeStatus(const std::string& dir) {
+  NodeStatus s;
+  std::ifstream in(dir + "/status");
+  if (in >> s.beat >> s.role >> s.epoch >> s.term >> s.position.epoch >>
+      s.position.seq >> s.position.offset) {
+    s.valid = true;
+  }
+  return s;
+}
+
+// One node of the three-node cluster: a full ElectionNode over unix-socket
+// transports plus a leader-driven workload. Whichever node leads appends
+// monotonically keyed rows (each leader continues at max(key) + 1 over its
+// own recovered state) and reads each one back through the SELECT trigger.
+// The diagnosis column encodes (node, epoch), so a forked row that survived
+// failover shows up as a value mismatch in the offline verification. Two
+// fsynced streams accumulate per node (O_APPEND — a restarted victim keeps
+// its history): "acks" for locally committed statements and "racks" for
+// statements committed while a follower was in the sync quorum.
+int RunElectionNode(const std::vector<std::string>& ids, size_t index,
+                    const std::string& trial_dir, uint64_t seed,
+                    const std::string& point, uint64_t nth, bool arm_here,
+                    bool partition_trial) {
+  const std::string dir = trial_dir + "/" + ids[index];
+  std::map<std::string, std::string> peer_bus;
+  std::map<std::string, std::string> peer_repl;
+  std::vector<std::string> peers;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i == index) continue;
+    peers.push_back(ids[i]);
+    peer_bus[ids[i]] = trial_dir + "/b" + std::to_string(i);
+    peer_repl[ids[i]] = trial_dir + "/r" + std::to_string(i);
+  }
+
+  Result<std::unique_ptr<ElectionBus>> bus = CreateSocketElectionBus(
+      trial_dir + "/b" + std::to_string(index), peer_bus);
+  if (!bus.ok()) {
+    std::fprintf(stderr, "%s: bus listen failed: %s\n", ids[index].c_str(),
+                 bus.status().message().c_str());
+    return kHarnessError;
+  }
+
+  ElectionOptions opts;
+  opts.id = ids[index];
+  opts.dir = dir;
+  opts.peers = peers;
+  opts.heartbeat_interval_ms = 15;
+  opts.election_timeout_min_ms = 60;
+  opts.election_timeout_max_ms = 180;
+  opts.poll_interval_ms = 2;
+  opts.seed = seed;  // --seed drives the timeout and vote-jitter streams
+  opts.replication_listen_path = trial_dir + "/r" + std::to_string(index);
+  opts.shipper.ack_mode = ReplicationAckMode::kSync;
+  opts.shipper.heartbeat_interval_ms = 15;
+  opts.shipper.ack_timeout_ms = 400;
+  opts.shipper.initial_backoff_ms = 2;
+  opts.shipper.max_backoff_ms = 50;
+  opts.shipper.poll_interval_ms = 2;
+
+  Result<std::unique_ptr<ElectionNode>> node = ElectionNode::Start(
+      std::move(opts), std::move(*bus),
+      [peer_repl](
+          const std::string& peer) -> Result<std::shared_ptr<FrameChannel>> {
+        auto it = peer_repl.find(peer);
+        if (it == peer_repl.end()) {
+          return Status(ErrorCode::kNotFound, "unknown peer " + peer);
+        }
+        return ConnectLocalSocket(it->second);
+      });
+  if (!node.ok()) {
+    std::fprintf(stderr, "%s: start failed: %s\n", ids[index].c_str(),
+                 node.status().message().c_str());
+    return kHarnessError;
+  }
+
+  // Arm after Start so recovery/startup I/O cannot trip the fault (same
+  // convention as the single-node sweep). A partition trial arms an error
+  // schedule on election.partition: the bus turns each firing into a silent
+  // drop of one outbound election frame, so for kPartitionDrops consecutive
+  // sends this node is link-severed — if it leads, it keeps committing
+  // un-replicated local records until the survivors depose it, which is
+  // exactly the forked suffix the rejoin verification must prove dies.
+  if (arm_here) {
+    FaultInjector::Schedule schedule;
+    if (partition_trial) {
+      schedule.nth = nth;
+      schedule.every = 1;
+      schedule.times = kPartitionDrops;
+      schedule.code = ErrorCode::kUnavailable;
+    } else if (point == "wal.torn") {
+      schedule = FaultInjector::FailNth(nth);
+    } else {
+      schedule = FaultInjector::CrashNth(nth);
+    }
+    FaultInjector::Instance().Arm(point, schedule);
+  }
+
+  int ack_fd =
+      ::open((dir + "/acks").c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  int rack_fd =
+      ::open((dir + "/racks").c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (ack_fd < 0 || rack_fd < 0) return kHarnessError;
+
+  const std::string pause_path = trial_dir + "/pause";
+  uint64_t beat = 0;
+  uint64_t setup_epoch = 0;
+  for (;;) {
+    ElectionInfo info = (*node)->info();
+    WriteNodeStatus(dir, ++beat, info);
+    std::shared_ptr<Database> db = std::filesystem::exists(pause_path)
+                                       ? nullptr
+                                       : (*node)->leader_database();
+    if (!db) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    if (info.epoch != setup_epoch) {
+      for (const char* stmt : kElectionSetup) (void)db->Execute(stmt);
+      setup_epoch = info.epoch;
+    }
+    // Next key: continue the sequence from this leader's own state. Quiet
+    // scan — the probe must not write audit rows of its own.
+    ExecOptions quiet;
+    quiet.enable_select_triggers = false;
+    Result<StatementResult> keys =
+        db->ExecuteWithOptions("SELECT patientid FROM patients", quiet);
+    if (!keys.ok()) {
+      db.reset();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    int64_t next = 1;
+    for (const Row& row : keys->result.rows) {
+      next = std::max(next, row[0].AsInt() + 1);
+    }
+    const std::string k = std::to_string(next);
+    const std::string tag = ids[index] + "e" + std::to_string(info.epoch);
+    Status ins = db->Execute("INSERT INTO patients VALUES (" + k +
+                             ", 'Alice', '" + tag + "')")
+                     .status();
+    if (ins.ok()) {
+      if (!AppendAckLine(ack_fd, "i " + k + " " + tag)) return kHarnessError;
+      if (AnySyncFollower(node->get()) &&
+          !AppendAckLine(rack_fd, "i " + k + " " + tag)) {
+        return kHarnessError;
+      }
+      // The audited read-back: its SELECT trigger appends the log row in the
+      // same statement, so a racked "s" line obliges the new history to hold
+      // that audit-log row too.
+      Status sel = db->Execute("SELECT diagnosis FROM patients WHERE "
+                               "patientid = " + k)
+                       .status();
+      if (sel.ok()) {
+        if (!AppendAckLine(ack_fd, "s " + k + " " + tag)) return kHarnessError;
+        if (AnySyncFollower(node->get()) &&
+            !AppendAckLine(rack_fd, "s " + k + " " + tag)) {
+          return kHarnessError;
+        }
+      }
+    }
+    db.reset();  // never outlive the statement: step-down drains holders
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// Offline verification of a finished trial: recover every directory with
+// plain Database::Recover (never Promote) and check invariants (b) and (c).
+bool VerifyElectionTrial(const std::string& dir,
+                         const std::vector<std::string>& ids,
+                         const std::string& label, size_t leader) {
+  struct NodeState {
+    std::map<int64_t, std::string> patients;  // key -> "name|diagnosis"
+    std::map<std::string, size_t> log;        // "userid|sql|patientid" -> n
+  };
+  std::vector<NodeState> states(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Result<std::unique_ptr<Database>> db = Database::Recover(dir + "/" + ids[i]);
+    if (!db.ok()) {
+      std::fprintf(stderr, "FAIL %s: %s failed to recover: %s\n",
+                   label.c_str(), ids[i].c_str(),
+                   db.status().message().c_str());
+      return false;
+    }
+    ExecOptions quiet;
+    quiet.enable_select_triggers = false;
+    Result<StatementResult> pr = (*db)->ExecuteWithOptions(
+        "SELECT patientid, name, diagnosis FROM patients", quiet);
+    if (pr.ok()) {
+      for (const Row& row : pr->result.rows) {
+        states[i].patients[row[0].AsInt()] =
+            row[1].AsString() + "|" + row[2].AsString();
+      }
+    }
+    Result<StatementResult> lr = (*db)->ExecuteWithOptions(
+        "SELECT userid, sql, patientid FROM log", quiet);
+    if (lr.ok()) {
+      for (const Row& row : lr->result.rows) {
+        ++states[i].log[row[0].AsString() + "|" + row[1].AsString() + "|" +
+                        std::to_string(row[2].AsInt())];
+      }
+    }
+  }
+  const NodeState& final_leader = states[leader];
+
+  // (b) acked-prefix across the transition: every sync-quorum-acknowledged
+  // statement — recorded by whichever node led at the time — must survive in
+  // the final leader with the exact committed values.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::ifstream racks(dir + "/" + ids[i] + "/racks");
+    std::string kind, tag;
+    int64_t k = 0;
+    while (racks >> kind >> k >> tag) {
+      auto it = final_leader.patients.find(k);
+      if (it == final_leader.patients.end() ||
+          it->second != "Alice|" + tag) {
+        std::fprintf(stderr,
+                     "FAIL %s: sync-acked row %lld (%s, acked on %s) missing "
+                     "or rewritten in the final leader\n",
+                     label.c_str(), static_cast<long long>(k), tag.c_str(),
+                     ids[i].c_str());
+        return false;
+      }
+      if (kind == "s") {
+        // The SELECT's trigger row must have survived with it.
+        const std::string sql =
+            "SELECT diagnosis FROM patients WHERE patientid = " +
+            std::to_string(k);
+        bool found = false;
+        for (const auto& [line, count] : final_leader.log) {
+          (void)count;
+          if (line.find("|" + sql + "|" + std::to_string(k)) !=
+              std::string::npos) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          std::fprintf(stderr,
+                       "FAIL %s: audit-log row of sync-acked SELECT %lld "
+                       "missing in the final leader\n",
+                       label.c_str(), static_cast<long long>(k));
+          return false;
+        }
+      }
+    }
+  }
+
+  // (c) no forked suffix survives: every other directory must be a subset of
+  // the final leader's history. A row a deposed leader committed alone and
+  // the new timeline rewrote would surface here with a mismatched
+  // (node, epoch) tag.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i == leader) continue;
+    for (const auto& [k, row] : states[i].patients) {
+      auto it = final_leader.patients.find(k);
+      if (it == final_leader.patients.end() || it->second != row) {
+        std::fprintf(stderr,
+                     "FAIL %s: %s holds forked patients row %lld (%s)\n",
+                     label.c_str(), ids[i].c_str(),
+                     static_cast<long long>(k), row.c_str());
+        return false;
+      }
+    }
+    for (const auto& [line, count] : states[i].log) {
+      auto it = final_leader.log.find(line);
+      if (it == final_leader.log.end() || it->second < count) {
+        std::fprintf(stderr, "FAIL %s: %s holds forked audit-log row [%s]\n",
+                     label.c_str(), ids[i].c_str(), line.c_str());
+        return false;
+      }
+    }
+  }
+
+  // Every leader continues at max(key) + 1 over its own recovered state, so
+  // a hole in the final key sequence means a promoted leader was missing part
+  // of the history it was elected on.
+  int64_t expect = 1;
+  for (const auto& [k, row] : final_leader.patients) {
+    (void)row;
+    if (k != expect++) {
+      std::fprintf(stderr, "FAIL %s: final leader key sequence has a hole "
+                   "at %lld\n",
+                   label.c_str(), static_cast<long long>(expect - 1));
+      return false;
+    }
+  }
+  return true;
+}
+
+void KillElectionNodes(std::vector<pid_t>* pids) {
+  for (pid_t& pid : *pids) {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+}
+
+bool WaitUntil(int64_t timeout_ms, const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (pred()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return pred();
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+// One three-node trial. Returns false on an invariant violation; *exhausted
+// is set when a crash trial's armed point never fired in the victim.
+bool RunElectionTrial(const std::string& dir, const std::string& label,
+                      const std::string& point, size_t victim, uint64_t nth,
+                      bool partition_trial, uint64_t seed, bool* exhausted,
+                      int* crashes) {
+  const std::vector<std::string> ids = {"n0", "n1", "n2"};
+  std::error_code ec;
+  for (const std::string& id : ids) {
+    std::filesystem::create_directories(dir + "/" + id, ec);
+  }
+
+  auto spawn = [&](size_t i, bool arm) -> pid_t {
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      std::_Exit(
+          RunElectionNode(ids, i, dir, seed, point, nth, arm, partition_trial));
+    }
+    return pid;
+  };
+
+  std::vector<pid_t> pids(ids.size(), -1);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    pids[i] = spawn(i, /*arm=*/i == victim);
+    if (pids[i] < 0) {
+      KillElectionNodes(&pids);
+      return false;
+    }
+  }
+
+  auto leader_index = [&]() -> int {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (pids[i] <= 0) continue;
+      NodeStatus s = ReadNodeStatus(dir + "/" + ids[i]);
+      if (s.valid && s.role == "leader") return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // (a) cold start: a leader within the election bound, no operator in the
+  // loop.
+  if (!WaitUntil(kElectionBoundMs, [&] { return leader_index() >= 0; })) {
+    std::fprintf(stderr, "FAIL %s: no leader within %lld ms of cold start\n",
+                 label.c_str(), static_cast<long long>(kElectionBoundMs));
+    KillElectionNodes(&pids);
+    return false;
+  }
+
+  bool victim_crashed = false;
+  if (partition_trial) {
+    // Let the severed-link window play out: deposition, fork, heal. No
+    // process may die in a partition trial.
+    std::this_thread::sleep_for(std::chrono::milliseconds(3000));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      int status = 0;
+      if (::waitpid(pids[i], &status, WNOHANG) == pids[i]) {
+        std::fprintf(stderr, "FAIL %s: %s died (exit %d) in partition trial\n",
+                     label.c_str(), ids[i].c_str(),
+                     WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+        pids[i] = -1;
+        KillElectionNodes(&pids);
+        return false;
+      }
+    }
+  } else {
+    // Run the workload until the armed point kills the victim (or the wait
+    // budget declares this hit count unreachable).
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(kCrashWaitMs);
+    while (std::chrono::steady_clock::now() < deadline) {
+      int status = 0;
+      if (::waitpid(pids[victim], &status, WNOHANG) == pids[victim]) {
+        pids[victim] = -1;
+        if (!WIFEXITED(status) ||
+            WEXITSTATUS(status) != FaultInjector::kCrashExitCode) {
+          std::fprintf(stderr, "FAIL %s: unexpected victim exit %d\n",
+                       label.c_str(),
+                       WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+          KillElectionNodes(&pids);
+          return false;
+        }
+        victim_crashed = true;
+        break;
+      }
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (i == victim || pids[i] <= 0) continue;
+        if (::waitpid(pids[i], &status, WNOHANG) == pids[i]) {
+          std::fprintf(stderr, "FAIL %s: non-victim %s died (exit %d)\n",
+                       label.c_str(), ids[i].c_str(),
+                       WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+          pids[i] = -1;
+          KillElectionNodes(&pids);
+          return false;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!victim_crashed) *exhausted = true;
+  }
+
+  if (victim_crashed) {
+    ++*crashes;
+    // (a) failover: the survivors must elect among themselves within the
+    // bound — entirely on their own.
+    if (!WaitUntil(kElectionBoundMs, [&] {
+          int li = leader_index();
+          return li >= 0 && li != static_cast<int>(victim);
+        })) {
+      std::fprintf(stderr,
+                   "FAIL %s: no surviving leader within %lld ms of the "
+                   "victim's crash\n",
+                   label.c_str(), static_cast<long long>(kElectionBoundMs));
+      KillElectionNodes(&pids);
+      return false;
+    }
+    // A stretch of post-failover commits the rejoining victim must absorb.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    // Heal: restart the victim unarmed on the same directory. Its stale
+    // status and socket files go first (the old "leader" claim must not
+    // confuse the parent, and the listeners need their paths back).
+    std::filesystem::remove(dir + "/" + ids[victim] + "/status", ec);
+    std::filesystem::remove(dir + "/b" + std::to_string(victim), ec);
+    std::filesystem::remove(dir + "/r" + std::to_string(victim), ec);
+    pids[victim] = spawn(victim, /*arm=*/false);
+    if (pids[victim] < 0) {
+      KillElectionNodes(&pids);
+      return false;
+    }
+  }
+
+  // Quiesce the workload (replication and heartbeats keep running) and wait
+  // for the cluster to settle: exactly one leader, every node converged onto
+  // its journal tip. This is where a rejoined victim must have discarded any
+  // forked suffix — a forked journal can never reach the leader's position.
+  {
+    int fd = ::open((dir + "/pause").c_str(), O_CREAT | O_WRONLY, 0644);
+    if (fd >= 0) ::close(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  int li = leader_index();
+  if (li < 0) {
+    std::fprintf(stderr, "FAIL %s: no leader at quiesce\n", label.c_str());
+    KillElectionNodes(&pids);
+    return false;
+  }
+  const WalPosition tip = ReadNodeStatus(dir + "/" + ids[li]).position;
+  const bool settled = WaitUntil(kConvergeBoundMs, [&] {
+    size_t leaders = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      NodeStatus s = ReadNodeStatus(dir + "/" + ids[i]);
+      if (!s.valid || s.position < tip) return false;
+      if (s.role == "leader") ++leaders;
+    }
+    return leaders == 1;
+  });
+  if (!settled) {
+    std::fprintf(stderr,
+                 "FAIL %s: cluster did not settle on one converged leader "
+                 "within %lld ms (healed node failed to rejoin?)\n",
+                 label.c_str(), static_cast<long long>(kConvergeBoundMs));
+    KillElectionNodes(&pids);
+    return false;
+  }
+  const int final_leader = leader_index();
+  KillElectionNodes(&pids);
+  if (final_leader < 0) {
+    std::fprintf(stderr, "FAIL %s: final leader vanished\n", label.c_str());
+    return false;
+  }
+  return VerifyElectionTrial(dir, ids, label,
+                             static_cast<size_t>(final_leader));
+}
+
+int RunElectionHarness(const Options& options, const std::string& base) {
+  struct Config {
+    std::string point;
+    size_t victim;
+    bool partition;
+  };
+  std::vector<Config> configs;
+  for (const std::string& point : ElectionSweepPoints()) {
+    for (size_t victim = 0; victim < 3; ++victim) {
+      configs.push_back({point, victim, false});
+    }
+  }
+  // Dedicated partition-heal trials: a severed link instead of a crash, so a
+  // deposed-but-alive leader writes the forked suffix invariant (c) targets.
+  for (size_t victim = 0; victim < 3; ++victim) {
+    configs.push_back({"election.partition", victim, true});
+  }
+  SeededShuffle(&configs, options.seed);
+
+  const uint64_t nth_limit = options.quick ? 2 : 4;
+  const int trial_budget =
+      options.trials > 0
+          ? options.trials
+          : (options.quick ? 8 : static_cast<int>(configs.size() * nth_limit));
+  int trials = 0;
+  int crashes = 0;
+  bool failed = false;
+  std::error_code ec;
+
+  for (const Config& config : configs) {
+    if (trials >= trial_budget) break;
+    const uint64_t sweep = config.partition ? 1 : nth_limit;
+    for (uint64_t n = 1; n <= sweep; ++n) {
+      if (trials >= trial_budget) break;
+      // Hits beyond the first land in steady state rather than the first
+      // election; spread them out instead of stepping one by one.
+      const uint64_t hit = config.partition ? n : 1 + (n - 1) * 7;
+      const std::string label = std::string("elect.") + config.point +
+                                (config.partition ? ".part" : "") + ".v" +
+                                std::to_string(config.victim) + "#" +
+                                std::to_string(hit);
+      const std::string dir = base + "/" + label;
+      std::filesystem::remove_all(dir, ec);
+      std::filesystem::create_directories(dir, ec);
+
+      ++trials;
+      bool exhausted = false;
+      bool ok =
+          RunElectionTrial(dir, label, config.point, config.victim, hit,
+                           config.partition, options.seed, &exhausted,
+                           &crashes);
+      if (!ok) failed = true;
+      CleanupTrialDir(dir, options.keep);
+      if (!ok || exhausted) break;
+    }
+  }
+
+  std::printf(
+      "seltrig_crashtest --replication --nodes 3: %d trials, %d injected "
+      "crashes, 0 operator promotions, seed %llu, %s\n",
+      trials, crashes, static_cast<unsigned long long>(options.seed),
+      failed ? "FAILURES (rerun with --keep --seed to inspect)"
+             : "all invariants held");
+  return failed ? 1 : 0;
+}
+
 int RunHarness(const Options& options) {
   std::error_code ec;
   std::string base = options.base_dir;
@@ -766,7 +1445,9 @@ int RunHarness(const Options& options) {
   }
 
   if (options.replication) {
-    const int result = RunReplicationHarness(options, base);
+    const int result = options.nodes >= 3
+                           ? RunElectionHarness(options, base)
+                           : RunReplicationHarness(options, base);
     if (result == 0 && !options.keep && options.base_dir.empty()) {
       std::filesystem::remove_all(base, ec);
     }
@@ -862,6 +1543,10 @@ int main(int argc, char** argv) {
       options.keep = true;
     } else if (arg == "--replication") {
       options.replication = true;
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      options.nodes = std::atoi(argv[++i]);
+    } else if (arg == "--trials" && i + 1 < argc) {
+      options.trials = std::atoi(argv[++i]);
     } else if (arg == "--dir" && i + 1 < argc) {
       options.base_dir = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -869,7 +1554,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--keep] [--dir DIR] [--seed N] "
-                   "[--replication]\n",
+                   "[--replication] [--nodes N] [--trials N]\n",
                    argv[0]);
       return 2;
     }

@@ -16,7 +16,11 @@
 //   .import FILE TABLE    bulk-load a CSV file (with header) into TABLE
 //   .wal DIR              open a durable database at DIR (recover + journal)
 //   .replica DIR          attach an in-process replica at durable dir DIR
-//   .replica              show follower status (position, lag, degraded)
+//   .replica              replication status: this node's role (leader /
+//                         follower / candidate vocabulary of
+//                         replication/election.h), current epoch, and per
+//                         follower the acked position, lag in records, and
+//                         time since its last heartbeat ack
 //   .quit / .exit         leave
 //
 // Session settings (see docs/ROBUSTNESS.md, docs/DURABILITY.md and
@@ -46,6 +50,7 @@
 #include "engine/recovery.h"
 #include "engine/snapshot.h"
 #include "replication/applier.h"
+#include "replication/election.h"
 #include "replication/shipper.h"
 #include "replication/transport.h"
 #include "seltrig/seltrig.h"
@@ -405,16 +410,41 @@ bool HandleDotCommand(Shell* sh, const std::string& line) {
         std::printf("no replicas attached (use .replica DIR)\n");
         return true;
       }
+      // An interactive shell that ships its journal is, definitionally, the
+      // leader of its in-process cluster at its journal's epoch; the
+      // follower and candidate roles from the same vocabulary appear on
+      // elected nodes (replication/election.h, tools/seltrig_crashtest
+      // --nodes 3). Per follower: acked position, lag in records (shipped
+      // but not yet acked), and time since its last heartbeat ack — the
+      // liveness signal an election would act on.
+      seltrig::WalPosition tip;
+      if (db->wal() != nullptr) tip = db->wal()->current_position();
+      std::printf("role=%s epoch=%llu journal=%s (%s ack)\n",
+                  seltrig::ElectionRoleName(seltrig::ElectionRole::kLeader),
+                  static_cast<unsigned long long>(tip.epoch),
+                  tip.ToString().c_str(),
+                  sh->ack_mode == seltrig::ReplicationAckMode::kSync
+                      ? "sync"
+                      : "async");
       for (const seltrig::FollowerStatus& f : sh->shipper->Followers()) {
+        std::string heartbeat = f.ms_since_last_ack < 0
+            ? std::string("never")
+            : std::to_string(f.ms_since_last_ack) + " ms ago";
         std::printf(
-            "%-12s %s%s acked=%s sent=%llu acked_records=%llu naks=%llu "
-            "snapshots=%llu reconnects=%llu%s%s\n",
-            f.name.c_str(), f.connected ? "connected" : "disconnected",
+            "%-12s role=%s %s%s acked=%s lag=%llu records heartbeat=%s "
+            "sent=%llu acked_records=%llu naks=%llu snapshots=%llu "
+            "resyncs=%llu reconnects=%llu%s%s\n",
+            f.name.c_str(),
+            seltrig::ElectionRoleName(seltrig::ElectionRole::kFollower),
+            f.connected ? "connected" : "disconnected",
             f.degraded ? " DEGRADED" : "", f.acked.ToString().c_str(),
+            static_cast<unsigned long long>(f.records_sent - f.records_acked),
+            heartbeat.c_str(),
             static_cast<unsigned long long>(f.records_sent),
             static_cast<unsigned long long>(f.records_acked),
             static_cast<unsigned long long>(f.naks_received),
             static_cast<unsigned long long>(f.snapshots_sent),
+            static_cast<unsigned long long>(f.forced_resyncs),
             static_cast<unsigned long long>(f.reconnects),
             f.last_error.empty() ? "" : " error=", f.last_error.c_str());
       }

@@ -58,6 +58,13 @@ void ReplicaApplier::Start(std::shared_ptr<FrameChannel> channel) {
   Stop();
   {
     MutexLock lock(&mutex_);
+    // A promoted applier is finished: its database is a primary now, and a
+    // stale shipper connection must never restart the receive loop over it
+    // (records at or above the vote floor would pass the epoch fence).
+    if (promoted_) {
+      channel->Close();
+      return;
+    }
     stopping_ = false;
   }
   channel_ = channel;

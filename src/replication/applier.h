@@ -66,7 +66,8 @@ class ReplicaApplier {
 
   // Starts the apply thread over `channel`: says HELLO at the local tail and
   // processes frames until the channel dies or Stop(). One connection at a
-  // time; reconnecting means Stop() + Start(new channel).
+  // time; reconnecting means Stop() + Start(new channel). After Promote()
+  // the applier is finished: Start closes the channel and refuses.
   void Start(std::shared_ptr<FrameChannel> channel);
 
   // Stops the apply thread (idempotent; the destructor calls it).

@@ -1,6 +1,7 @@
 #include "replication/election.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <deque>
 
@@ -132,8 +133,8 @@ class SocketElectionBus : public ElectionBus {
   ~SocketElectionBus() override {
     Close();
     if (accept_thread_.joinable()) accept_thread_.join();
-    for (auto& thread : reader_threads_) {
-      if (thread.joinable()) thread.join();
+    for (Reader& reader : readers_) {
+      if (reader.thread.joinable()) reader.thread.join();
     }
   }
 
@@ -203,23 +204,38 @@ class SocketElectionBus : public ElectionBus {
         MutexLock lock(&mutex_);
         if (closed_) return;
       }
+      // Reap readers whose connections died: reconnect churn (every leader
+      // change and peer restart redials) must not accumulate dead thread
+      // handles for the life of the bus. A reader with `done` set is at most
+      // instants from exiting, so the join never blocks meaningfully.
+      for (auto it = readers_.begin(); it != readers_.end();) {
+        if (it->done->load(std::memory_order_acquire)) {
+          if (it->thread.joinable()) it->thread.join();
+          it = readers_.erase(it);
+        } else {
+          ++it;
+        }
+      }
       Result<std::shared_ptr<FrameChannel>> accepted = server_->Accept(100);
       if (!accepted.ok()) {
         if (accepted.status().code() == ErrorCode::kDeadlineExceeded) continue;
         return;  // server closed
       }
+      auto done = std::make_shared<std::atomic<bool>>(false);
       MutexLock lock(&mutex_);
       if (closed_) {
         (*accepted)->Close();
         return;
       }
       inbound_.push_back(*accepted);
-      reader_threads_.emplace_back(&SocketElectionBus::ReadLoop, this,
-                                   *accepted);
+      readers_.push_back(Reader{
+          std::thread(&SocketElectionBus::ReadLoop, this, *accepted, done),
+          done});
     }
   }
 
-  void ReadLoop(std::shared_ptr<FrameChannel> channel) {
+  void ReadLoop(std::shared_ptr<FrameChannel> channel,
+                std::shared_ptr<std::atomic<bool>> done) {
     for (;;) {
       Result<Frame> frame = channel->Receive(200);
       if (frame.ok()) {
@@ -228,11 +244,22 @@ class SocketElectionBus : public ElectionBus {
       }
       if (frame.status().code() == ErrorCode::kDeadlineExceeded) {
         MutexLock lock(&mutex_);
-        if (closed_) return;
+        if (closed_) break;
         continue;
       }
-      return;  // peer closed or stream died; peer will redial
+      break;  // peer closed or stream died; peer will redial
     }
+    channel->Close();
+    {
+      // Drop our inbound_ entry so closed channels do not accumulate
+      // either. (Close() may have swapped inbound_ out already; then the
+      // entry is gone and this is a no-op.)
+      MutexLock lock(&mutex_);
+      auto it = std::find(inbound_.begin(), inbound_.end(), channel);
+      if (it != inbound_.end()) inbound_.erase(it);
+    }
+    // Last: after this store AcceptLoop may join and destroy the handle.
+    done->store(true, std::memory_order_release);
   }
 
   const std::unique_ptr<LocalSocketServer> server_;
@@ -246,8 +273,14 @@ class SocketElectionBus : public ElectionBus {
   std::vector<std::shared_ptr<FrameChannel>> inbound_
       SELTRIG_GUARDED_BY(mutex_);
 
-  // Joined by the destructor only (mutated under mutex_ by AcceptLoop).
-  std::vector<std::thread> reader_threads_;
+  // One reader per accepted connection; `done` is set by ReadLoop as its
+  // very last action. Touched only by the AcceptLoop thread (spawn + reap)
+  // and the destructor after accept_thread_ is joined.
+  struct Reader {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Reader> readers_;
   std::thread accept_thread_;
 };
 
@@ -410,7 +443,8 @@ std::vector<FollowerStatus> ElectionNode::FollowerStatuses() const {
 
 Result<std::shared_ptr<FrameChannel>> ElectionNode::AcceptReplication() {
   MutexLock lock(&mutex_);
-  if (stopping_ || role_ == ElectionRole::kLeader || applier_ == nullptr) {
+  if (stopping_ || promoting_ || role_ == ElectionRole::kLeader ||
+      applier_ == nullptr) {
     return Status::Unavailable("node " + options_.id +
                                " is not accepting replication");
   }
@@ -540,9 +574,7 @@ void ElectionNode::RunStateMachine() {
           // leader exists and this one just has not heard it on the bus yet.
           if (shipper_ != nullptr) {
             for (const FollowerStatus& status : shipper_->Followers()) {
-              if (status.last_error.find("fenced") != std::string::npos) {
-                fenced_out = true;
-              }
+              if (status.fenced_out) fenced_out = true;
             }
           }
           if (heartbeat_due && !fenced_out) {
@@ -817,11 +849,17 @@ void ElectionNode::WinElection() {
     if (applier_ == nullptr) return;
     applier = applier_;
     epoch = campaign_epoch_;
+    // Promote runs with mutex_ released while role_ is still kCandidate;
+    // without this flag a stale shipper connection arriving in that window
+    // would Stop()/Start() the applier and race its receive loop against
+    // the promotion.
+    promoting_ = true;
   }
   // Zero operator involvement: the quorum IS the promotion authority.
   Result<std::shared_ptr<Database>> promoted = applier->Promote(epoch);
   {
     MutexLock lock(&mutex_);
+    promoting_ = false;
     if (!promoted.ok()) {
       // Promotion failed (e.g. the journal directory went bad); stand down
       // and let another node win. The applier survives a failed Promote and
@@ -836,7 +874,10 @@ void ElectionNode::WinElection() {
     role_ = ElectionRole::kLeader;
     leader_id_ = options_.id;
     term_ = std::max(term_, epoch);
-    last_heartbeat_ms_ = 0;  // first heartbeat broadcasts immediately
+    // First heartbeat is immediately due, without making the reported
+    // heartbeat age (info().ms_since_heartbeat, the `.replica` view) a
+    // bogus NowMs()-since-epoch value until it broadcasts.
+    last_heartbeat_ms_ = NowMs() - options_.heartbeat_interval_ms;
     ShipperOptions shipper_options = options_.shipper;
     shipper_options.jitter_seed =
         options_.seed * 0x9E3779B97F4A7C15ull + epoch;
@@ -918,7 +959,8 @@ void ElectionNode::RunReplicationServer() {
       return;  // server closed
     }
     MutexLock lock(&mutex_);
-    if (stopping_ || role_ == ElectionRole::kLeader || applier_ == nullptr) {
+    if (stopping_ || promoting_ || role_ == ElectionRole::kLeader ||
+        applier_ == nullptr) {
       (*accepted)->Close();  // not a follower right now; the leader retries
       continue;
     }

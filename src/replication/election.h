@@ -273,6 +273,10 @@ class ElectionNode {
   std::unique_ptr<LogShipper> shipper_ SELTRIG_GUARDED_BY(mutex_);
 
   ElectionInfo counters_ SELTRIG_GUARDED_BY(mutex_);  // counter fields only
+  // True while WinElection runs Promote with mutex_ released (role_ still
+  // kCandidate): blocks AcceptReplication/RunReplicationServer from
+  // restarting the receive loop of the applier being promoted.
+  bool promoting_ SELTRIG_GUARDED_BY(mutex_) = false;
   bool stopping_ SELTRIG_GUARDED_BY(mutex_) = false;
 
   uint64_t rng_;  // state-machine thread only

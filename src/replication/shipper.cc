@@ -136,6 +136,9 @@ void LogShipper::SetConnected(Follower* follower, bool connected) {
 void LogShipper::NoteError(Follower* follower, const Status& error) {
   MutexLock lock(&mutex_);
   follower->status.last_error = error.ToString();
+  if (error.code() == ErrorCode::kFencedOut) {
+    follower->status.fenced_out = true;
+  }
 }
 
 void LogShipper::Run(Follower* follower) {

@@ -89,6 +89,10 @@ struct FollowerStatus {
   // Non-empty when the shipper hit an unrecoverable condition for this
   // follower (e.g. local journal corruption under the tail reader).
   std::string last_error;
+  // True once this follower NAKed a record under a NEWER epoch (the shipper
+  // parked with kFencedOut): a failover deposed this primary. Structured so
+  // the election layer's step-down check never parses last_error text.
+  bool fenced_out = false;
 };
 
 class LogShipper : public ReplicationWaiter {

@@ -2,7 +2,9 @@
 // cold-start convergence to exactly one leader, automatic failover with the
 // acked-prefix guarantee, deposed-leader rejoin without forking, the
 // up-to-dateness vote gate (a stale candidate must lose), durable vote
-// persistence, and leader stickiness under a healthy heartbeat stream.
+// persistence, leader stickiness under a healthy heartbeat stream, and
+// step-down of a leader partitioned away from the election bus whose only
+// depose signal is a fenced (kFencedOut) follower status.
 // Promotion is driven exclusively by quorums — no test calls Promote.
 
 #include <gtest/gtest.h>
@@ -10,6 +12,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -80,6 +83,39 @@ struct NodeRegistry {
   std::map<std::string, ElectionNode*> nodes;
 };
 
+// A bus decorator that simulates a per-node election-bus partition: while
+// partitioned, outbound frames are dropped and inbound frames are discarded.
+// Replication channels (the node registry above) are unaffected — exactly
+// the asymmetric failure where a fenced follower status is a leader's only
+// depose signal.
+class PartitionableBus : public ElectionBus {
+ public:
+  explicit PartitionableBus(std::unique_ptr<ElectionBus> inner)
+      : inner_(std::move(inner)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag() { return partitioned_; }
+
+  Status Send(const std::string& peer, const Frame& frame) override {
+    if (partitioned_->load()) return Status::OK();  // dropped on the floor
+    return inner_->Send(peer, frame);
+  }
+
+  Result<Frame> Receive(int64_t timeout_ms) override {
+    Result<Frame> frame = inner_->Receive(timeout_ms);
+    if (frame.ok() && partitioned_->load()) {
+      return Status::DeadlineExceeded("partitioned");
+    }
+    return frame;
+  }
+
+  void Close() override { inner_->Close(); }
+
+ private:
+  std::unique_ptr<ElectionBus> inner_;
+  std::shared_ptr<std::atomic<bool>> partitioned_ =
+      std::make_shared<std::atomic<bool>>(false);
+};
+
 class ElectionTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -123,8 +159,10 @@ class ElectionTest : public ::testing::Test {
       if (peer != id) options.peers.push_back(peer);
     }
     std::shared_ptr<NodeRegistry> registry = registry_;
+    auto bus = std::make_unique<PartitionableBus>(mesh_.Endpoint(id));
+    partition_flags_[id] = bus->flag();
     auto node = ElectionNode::Start(
-        std::move(options), mesh_.Endpoint(id),
+        std::move(options), std::move(bus),
         [registry](const std::string& peer)
             -> Result<std::shared_ptr<FrameChannel>> {
           std::lock_guard<std::mutex> lock(registry->mutex);
@@ -211,6 +249,7 @@ class ElectionTest : public ::testing::Test {
   ElectionMesh mesh_;
   std::shared_ptr<NodeRegistry> registry_;
   std::map<std::string, std::unique_ptr<ElectionNode>> cluster_;
+  std::map<std::string, std::shared_ptr<std::atomic<bool>>> partition_flags_;
 };
 
 TEST_F(ElectionTest, ColdStartElectsExactlyOneLeaderAndReplicates) {
@@ -366,6 +405,60 @@ TEST_F(ElectionTest, HealthyLeaderIsNotDeposedByHeartbeatStream) {
     EXPECT_GE(info.ms_since_heartbeat, 0) << id;
     EXPECT_LT(info.ms_since_heartbeat, 1000) << id;
   }
+}
+
+TEST_F(ElectionTest, PartitionedLeaderStepsDownOnFencedFollowerStatus) {
+  StartCluster({"n0", "n1", "n2"});
+  const std::string first = WaitForLeader();
+  ASSERT_FALSE(first.empty());
+  {
+    std::shared_ptr<Database> db = cluster_[first]->leader_database();
+    ASSERT_NE(db, nullptr);
+    for (const std::string& sql : AuditedWorkload()) {
+      ASSERT_TRUE(db->Execute(sql).ok()) << sql;
+    }
+    ASSERT_TRUE(WaitAllCaughtUp(first));
+  }
+
+  // Cut ONLY the old leader's election bus: it can neither heartbeat nor
+  // hear the election that deposes it, while its replication channels still
+  // reach the other nodes. The majority side elects a new leader.
+  partition_flags_[first]->store(true);
+  std::string second;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (second.empty() && std::chrono::steady_clock::now() < deadline) {
+    for (auto& [id, node] : cluster_) {
+      if (id != first && node->info().role == ElectionRole::kLeader) {
+        second = id;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(second.empty()) << "no new leader on the majority side";
+
+  // New-epoch records reach the shared follower; the old leader's shipper
+  // gets fencing NAKs and parks kFencedOut. That structured follower status
+  // is the old leader's ONLY depose signal here — it must step down on it
+  // despite never hearing the new epoch on the election bus.
+  {
+    std::shared_ptr<Database> db = cluster_[second]->leader_database();
+    ASSERT_NE(db, nullptr);
+    ASSERT_TRUE(
+        db->Execute("INSERT INTO patients VALUES (9, 'Ivan', 'ok')").ok());
+  }
+  ASSERT_TRUE(cluster_[first]->WaitForRole(ElectionRole::kFollower, 15000))
+      << "partitioned leader never stepped down on fenced follower status";
+  EXPECT_GE(cluster_[first]->info().steps_down, 1u);
+
+  // Healing the partition converges it under the new leader.
+  partition_flags_[first]->store(false);
+  ASSERT_TRUE(WaitAllCaughtUp(second));
+  EXPECT_EQ(SoleLeader(), second);
+  std::shared_ptr<Database> rejoined = cluster_[first]->follower_database();
+  ASSERT_NE(rejoined, nullptr);
+  EXPECT_EQ(Projection(rejoined.get()),
+            Projection(cluster_[second]->leader_database().get()));
 }
 
 TEST_F(ElectionTest, PersistedVoteSurvivesAndTornVoteReadsAsAbsent) {

@@ -386,7 +386,7 @@ Status AuditManager::MaintainRow(AuditExpressionDef* def, const std::string& tab
 }
 
 Status AuditManager::OnInsert(const std::string& table, const Row& row) {
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("audit.maintain"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kAuditMaintain));
   for (auto& [name, def] : defs_) {
     SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, row, /*inserted=*/true));
   }
@@ -394,7 +394,7 @@ Status AuditManager::OnInsert(const std::string& table, const Row& row) {
 }
 
 Status AuditManager::OnDelete(const std::string& table, const Row& row) {
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("audit.maintain"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kAuditMaintain));
   for (auto& [name, def] : defs_) {
     SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, row, /*inserted=*/false));
   }
@@ -403,7 +403,7 @@ Status AuditManager::OnDelete(const std::string& table, const Row& row) {
 
 Status AuditManager::OnUpdate(const std::string& table, const Row& old_row,
                               const Row& new_row) {
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("audit.maintain"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kAuditMaintain));
   for (auto& [name, def] : defs_) {
     SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, old_row, /*inserted=*/false));
     SELTRIG_RETURN_IF_ERROR(MaintainRow(def.get(), table, new_row, /*inserted=*/true));

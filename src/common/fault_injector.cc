@@ -13,38 +13,12 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 const std::vector<std::string>& FaultInjector::KnownPoints() {
-  // Every fault::Maybe() call site in the engine, sorted. Keep in sync when
-  // adding points; tests/fault/fault_coverage_test.cc exercises each one.
+  // Generated from common/fault_points.def, which is kept sorted by name so
+  // the registry order IS the sorted order callers rely on.
   static const auto* kPoints = new std::vector<std::string>{
-      "audit.maintain",   // audit/audit_expression.cc: incremental view upkeep
-      "audit.record",     // audit/audit_log.cc: access-log row append
-      "catalog.alter.apply",     // engine/session.cc: before mutating storage
-      "catalog.alter.rebind",    // engine/session.cc: before audit view rebind
-      "catalog.alter.validate",  // engine/session.cc: ALTER TABLE prevalidation
-      "election.partition",       // replication/election.cc: drop a bus send (severed link)
-      "election.stale_candidate", // replication/election.cc: campaign with a zeroed position
-      "election.timeout",         // replication/election.cc: force an immediate campaign
-      "election.vote_drop",       // replication/election.cc: drop one outbound vote frame
-      "executor.batch",   // exec/executor.cc: batch pull loop
-      "replication.ack",        // replication/applier.cc: before sending an ack
-      "replication.apply",      // replication/applier.cc: before applying a commit
-      "replication.delay",      // replication/transport.cc: stall a frame delivery
-      "replication.drop",       // replication/transport.cc: drop a frame
-      "replication.duplicate",  // replication/transport.cc: deliver a frame twice
-      "replication.recv",       // replication/transport.cc: receive-side failure
-      "replication.reorder",    // replication/transport.cc: swap a frame with its successor
-      "replication.send",       // replication/shipper.cc: before shipping a record
-      "replication.torn",       // replication/transport.cc: truncate a frame mid-transfer
-      "snapshot.swap",    // engine/snapshot.cc: rename windows of the swap
-      "snapshot.write",   // engine/snapshot.cc: per-file snapshot writes
-      "storage.append",   // storage/table.cc: Insert
-      "storage.delete",   // storage/table.cc: Delete
-      "storage.update",   // storage/table.cc: Update
-      "trigger.action",   // engine/session.cc: per-action trigger execution
-      "wal.append",       // storage/wal.cc: record append to the segment
-      "wal.fsync",        // storage/wal.cc: group-commit fsync
-      "wal.rotate",       // storage/wal.cc: segment rotation (checkpoint)
-      "wal.torn",         // storage/wal.cc: torn write — partial append + crash
+#define SELTRIG_FAULT_POINT(ident, name, where) name,
+#include "common/fault_points.def"
+#undef SELTRIG_FAULT_POINT
   };
   return *kPoints;
 }

@@ -2,7 +2,7 @@
 //
 // Production code marks failure-prone operations with a named fault point:
 //
-//   SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.append"));
+//   SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kStorageAppend));
 //
 // By default nothing is armed and the injector is disabled, so Maybe() is a
 // single relaxed atomic load. Tests arm deterministic schedules (fail the
@@ -32,6 +32,17 @@
 #include "common/thread_annotations.h"
 
 namespace seltrig {
+
+// Generated registry constants: fault_points::kStorageAppend == the string
+// "storage.append", and so on for every entry in common/fault_points.def.
+// Call sites name points exclusively through these — seltrig_lint rejects a
+// fault-point name spelled as a string literal anywhere but the .def file.
+namespace fault_points {
+#define SELTRIG_FAULT_POINT(ident, name, where) \
+  inline constexpr const char ident[] = name;
+#include "common/fault_points.def"
+#undef SELTRIG_FAULT_POINT
+}  // namespace fault_points
 
 // What a firing schedule does to the process: return an injected error
 // Status, kill the process on the spot (kill-point crash testing; the
@@ -135,10 +146,11 @@ class FaultInjector {
   // Number of times `point` actually fired.
   uint64_t fires(const std::string& point) const SELTRIG_EXCLUDES(mutex_);
 
-  // Every fault point compiled into the engine, sorted. Hand-maintained in
-  // fault_injector.cc next to the list of call sites; the fault-coverage test
-  // fails when a point exists in code but not here (it can never be armed by
-  // name otherwise) or here but not in code (it never records a hit).
+  // Every fault point compiled into the engine, sorted — generated from
+  // common/fault_points.def (the single source of truth). The fault-coverage
+  // test fails when a point exists here but is never reached by its workload
+  // sweep; seltrig_lint fails when a fault::Maybe call site names a point
+  // that is not in the registry, or a registered point has no call site.
   static const std::vector<std::string>& KnownPoints();
 
   // Lifetime per-point bookkeeping for coverage reporting. Unlike hits()/

@@ -39,6 +39,7 @@ Result<size_t> FindRowByImage(Table* table, const Row& image) {
 }
 
 Status ApplyOp(Database* db, const WalOp& op, RecoveryStats* stats) {
+  // seltrig-lint: dispatch(WalOp::Kind)
   switch (op.kind) {
     case WalOp::Kind::kStatement: {
       // DDL and policy replay through the ordinary statement path (the WAL is

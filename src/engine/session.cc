@@ -533,7 +533,7 @@ Session::TriggerTxnScope::~TriggerTxnScope() {
 Status Session::RunTriggerActions(TriggerDef* trigger, const ExecOptions& options,
                                   int depth, const ActionContext* action) {
   for (ast::StatementPtr& stmt : trigger->actions) {
-    SELTRIG_RETURN_IF_ERROR(fault::Maybe("trigger.action"));
+    SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kTriggerAction));
     Result<StatementResult> result = ExecuteStatement(*stmt, options, depth + 1, action);
     SELTRIG_RETURN_IF_ERROR(result.status());
   }
@@ -962,7 +962,7 @@ Result<StatementResult> Session::ExecuteAlterTable(
   // --- Phase 1: metadata prevalidation --------------------------------------
   // The whole chain is simulated against a copy of the schema before anything
   // mutates, so every error below leaves the engine untouched.
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("catalog.alter.validate"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kCatalogAlterValidate));
   struct SimColumn {
     std::string name;
     TypeId type;
@@ -1110,7 +1110,7 @@ Result<StatementResult> Session::ExecuteAlterTable(
   }
 
   // --- Phase 2: apply to storage under an inverse stack ----------------------
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("catalog.alter.apply"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kCatalogAlterApply));
   std::vector<std::function<void()>> inverses;
   auto rollback_storage = [&inverses]() {
     // Inverse application must not hit fault points: a second injected
@@ -1149,6 +1149,8 @@ Result<StatementResult> Session::ExecuteAlterTable(
           const std::string old_name = act.name;
           const size_t idx = static_cast<size_t>(live);
           inverses.push_back([table, idx, old_name]() {
+            // Renaming back to the name just vacated cannot collide, and a
+            // rollback must run every inverse regardless.
             (void)table->AlterRenameColumn(idx, old_name);
           });
         }
@@ -1184,7 +1186,7 @@ Result<StatementResult> Session::ExecuteAlterTable(
       [table, old_version]() { table->set_schema_version(old_version); });
 
   // --- Phase 3: cascade-drop doomed definitions, rebind the rest -------------
-  Status rebind = fault::Maybe("catalog.alter.rebind");
+  Status rebind = fault::Maybe(fault_points::kCatalogAlterRebind);
   std::vector<std::unique_ptr<AuditExpressionDef>> detached;
   if (rebind.ok()) {
     for (const std::string& name : doomed) {
@@ -1204,6 +1206,8 @@ Result<StatementResult> Session::ExecuteAlterTable(
     for (const AuditExpressionDef* def : db_->audit_.All()) {
       for (const std::string& ref : def->referenced_tables()) {
         if (ref == table_name) {
+          // Best-effort during rollback: a rebuild failure leaves the view
+          // quarantined by its own error handling, never silently stale.
           (void)db_->audit_.RebuildView(db_->audit_.FindMutable(def->name()));
           break;
         }

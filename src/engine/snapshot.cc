@@ -79,7 +79,7 @@ Status WriteSnapshotFiles(Database* db, const std::string& dir,
   std::vector<std::string> tables = db->catalog()->TableNames();
   std::sort(tables.begin(), tables.end());
 
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.write"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kSnapshotWrite));
   std::ofstream schema_out(dir + "/schema.sql");
   if (!schema_out) return Status::InvalidArgument("cannot write " + dir + "/schema.sql");
 
@@ -97,7 +97,7 @@ Status WriteSnapshotFiles(Database* db, const std::string& dir,
     }
     schema_out << ");\n";
 
-    SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.write"));
+    SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kSnapshotWrite));
     std::ofstream csv(dir + "/" + name + ".csv");
     if (!csv) return Status::InvalidArgument("cannot write " + dir + "/" + name + ".csv");
     for (size_t c = 0; c < schema.size(); ++c) {
@@ -162,7 +162,7 @@ Status WriteSnapshotFiles(Database* db, const std::string& dir,
       manifest.schema_versions.push_back({name, table->schema_version()});
     }
   }
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.write"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kSnapshotWrite));
   return WriteSnapshotManifest(dir, manifest);
 }
 
@@ -199,7 +199,7 @@ Status SaveSnapshot(Database* db, const std::string& dir,
   // File bytes are fsynced individually as written; sync the directory so
   // their names are durable before any rename makes the snapshot findable.
   if (written.ok()) written = SyncDirectory(tmp);
-  if (written.ok()) written = fault::Maybe("snapshot.swap");
+  if (written.ok()) written = fault::Maybe(fault_points::kSnapshotSwap);
   if (!written.ok()) {
     std::filesystem::remove_all(tmp, ec);
     return written;
@@ -216,7 +216,7 @@ Status SaveSnapshot(Database* db, const std::string& dir,
       return Status::InvalidArgument("cannot move aside snapshot " + dir);
     }
   }
-  Status swapped = fault::Maybe("snapshot.swap");
+  Status swapped = fault::Maybe(fault_points::kSnapshotSwap);
   if (swapped.ok()) {
     std::filesystem::rename(tmp, dir, ec);
     if (ec) swapped = Status::InvalidArgument("cannot move snapshot into " + dir);
@@ -233,9 +233,11 @@ Status SaveSnapshot(Database* db, const std::string& dir,
   // The new snapshot is durably in place; only now may the old one go. An
   // error here leaves <dir>.old behind, which recovery and the next
   // checkpoint both clean up.
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("snapshot.swap"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kSnapshotSwap));
   if (replacing) {
     std::filesystem::remove_all(old, ec);
+    // Advisory: only delays the removal's durability; a resurrected .old
+    // directory is cleaned up by recovery and the next checkpoint anyway.
     (void)SyncDirectory(parent.string());
   }
   return Status::OK();

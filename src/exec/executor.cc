@@ -279,7 +279,7 @@ Result<std::vector<Row>> Executor::ExecutePlan(
   SELTRIG_RETURN_IF_ERROR(
       MaybeValidatePlan(*root, plan, /*max_rows=*/-1, outer_rows));
   SELTRIG_RETURN_IF_ERROR(root->Init());
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kExecutorBatch));
   std::vector<Row> rows;
   ColumnBatch batch;
   while (true) {
@@ -290,7 +290,7 @@ Result<std::vector<Row>> Executor::ExecutePlan(
       rows.emplace_back();
       batch.MoveRowTo(i, &rows.back());
     }
-    SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
+    SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kExecutorBatch));
   }
   return rows;
 }
@@ -311,7 +311,7 @@ Result<QueryResult> Executor::ExecuteQuery(const LogicalOperator& plan,
   SELTRIG_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(plan, {}, spine_cap));
   SELTRIG_RETURN_IF_ERROR(MaybeValidatePlan(*root, plan, max_rows, {}));
   SELTRIG_RETURN_IF_ERROR(root->Init());
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kExecutorBatch));
 
   QueryResult result;
   std::vector<int> visible;
@@ -346,7 +346,7 @@ Result<QueryResult> Executor::ExecuteQuery(const LogicalOperator& plan,
         batch.MoveRowTo(r, &result.rows.back());
       }
     }
-    SELTRIG_RETURN_IF_ERROR(fault::Maybe("executor.batch"));
+    SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kExecutorBatch));
   }
 
   if (ctx_->collect_profile()) {

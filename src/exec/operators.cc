@@ -1084,7 +1084,7 @@ Status PhysicalAuditOp::InitImpl() {
 }
 
 Status PhysicalAuditOp::RecordHit(const Value& key) {
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("audit.record"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kAuditRecord));
   ctx_->stats().audit_probe_hits++;
   if (!ctx_->accessed()->GetOrCreate(node_.audit_name).Record(key) &&
       ctx_->accessed()->overflow_policy() == AccessedOverflowPolicy::kFail) {

@@ -1,0 +1,244 @@
+// dispatch-exhaustiveness check: wire-protocol and WAL record kinds fan out
+// through switch statements in several subsystems. The compiler's
+// -Wswitch-enum only fires when there is no `default`, and a `default`
+// swallows new kinds silently — exactly how a new frame type would slip past
+// the applier unhandled. So:
+//
+//   * A switch registered with a dispatch marker comment — `seltrig-lint:`
+//     followed by `dispatch(EnumName)` on the line above the switch — must
+//     name EVERY enumerator of that enum as a case (explicitly
+//     ignoring a kind is fine — it just has to be spelled out) and must not
+//     have a `default:` label.
+//   * DefaultDispatchSites() pins the minimum number of registered switches
+//     per (file, enum) — deleting a marker to dodge the check is itself a
+//     finding.
+//
+// Enum definitions are parsed from the same token streams (any `enum class`
+// in src/, recorded with its enclosing class qualifier, e.g. WalOp::Kind).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/token_util.h"
+
+namespace seltrig {
+namespace lint {
+namespace {
+
+constexpr char kMarkerPrefix[] = "seltrig-lint: dispatch(";
+
+// qualified enum name -> enumerator names
+using EnumTable = std::map<std::string, std::set<std::string>>;
+
+EnumTable ParseEnums(const std::vector<SourceFile>& files) {
+  EnumTable table;
+  for (const SourceFile& file : files) {
+    if (file.path.rfind("src/", 0) != 0) continue;
+    const TokenStream& toks = file.tokens;
+    std::vector<std::pair<std::string, int>> classes;  // name, open depth
+    int depth = 0;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (IsPunct(t, "{")) ++depth;
+      if (IsPunct(t, "}")) {
+        --depth;
+        while (!classes.empty() && classes.back().second > depth) {
+          classes.pop_back();
+        }
+      }
+      if ((IsIdent(t, "class") || IsIdent(t, "struct")) &&
+          (i == 0 || !IsIdent(toks[i - 1], "enum")) && i + 1 < toks.size() &&
+          IsIdent(toks[i + 1])) {
+        // Track class scopes for qualification; definition = '{' before ';'.
+        for (size_t k = i + 2; k < toks.size(); ++k) {
+          if (IsPunct(toks[k], ";")) break;
+          if (IsPunct(toks[k], "{")) {
+            classes.push_back({toks[i + 1].text, depth + 1});
+            break;
+          }
+        }
+      }
+      if (!IsIdent(t, "enum")) continue;
+      size_t j = i + 1;
+      if (j < toks.size() &&
+          (IsIdent(toks[j], "class") || IsIdent(toks[j], "struct"))) {
+        ++j;
+      }
+      if (j >= toks.size() || !IsIdent(toks[j])) continue;
+      std::string name = toks[j].text;
+      if (!classes.empty()) name = classes.back().first + "::" + name;
+      // Skip an underlying-type clause, then collect enumerators.
+      size_t open = j + 1;
+      while (open < toks.size() && !IsPunct(toks[open], "{") &&
+             !IsPunct(toks[open], ";")) {
+        ++open;
+      }
+      if (open >= toks.size() || !IsPunct(toks[open], "{")) continue;
+      const size_t close = MatchForward(toks, open, "{", "}");
+      std::set<std::string>& members = table[name];
+      bool expect_name = true;
+      int nest = 0;
+      for (size_t k = open + 1; k < close; ++k) {
+        if (IsPunct(toks[k], "(") || IsPunct(toks[k], "{")) ++nest;
+        if (IsPunct(toks[k], ")") || IsPunct(toks[k], "}")) --nest;
+        if (nest == 0 && IsPunct(toks[k], ",")) {
+          expect_name = true;
+          continue;
+        }
+        if (expect_name && IsIdent(toks[k])) {
+          members.insert(toks[k].text);
+          expect_name = false;
+        }
+      }
+      i = close;
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+std::vector<DispatchSite> DefaultDispatchSites() {
+  // Every place a frame or journal record fans out by kind. A new dispatch
+  // switch gets a marker comment AND a row here; the row is what makes the
+  // marker load-bearing.
+  return {
+      {"replication/wire.cc", "FrameType", 1},     // FrameTypeName
+      {"replication/applier.cc", "FrameType", 1},  // follower receive loop
+      {"replication/shipper.cc", "FrameType", 1},  // primary ack drain
+      {"replication/election.cc", "FrameType", 1},  // election bus fan-out
+      {"storage/wal.cc", "WalOp::Kind", 2},        // encode + decode
+      {"engine/recovery.cc", "WalOp::Kind", 1},    // replay apply
+  };
+}
+
+void CheckDispatch(const std::vector<SourceFile>& files,
+                   const std::vector<DispatchSite>& sites,
+                   std::vector<Diagnostic>* out) {
+  const EnumTable enums = ParseEnums(files);
+  // (file suffix, enum) -> markers seen
+  std::map<std::string, std::map<std::string, int>> seen;
+
+  for (const SourceFile& file : files) {
+    if (file.path.rfind("src/", 0) != 0) continue;
+    const TokenStream& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kComment) continue;
+      const size_t at = t.text.find(kMarkerPrefix);
+      if (at == std::string::npos) continue;
+      const size_t name_start = at + sizeof(kMarkerPrefix) - 1;
+      const size_t name_end = t.text.find(')', name_start);
+      if (name_end == std::string::npos) {
+        out->push_back({file.path, t.line, "dispatch",
+                        file.path + ":marker-malformed",
+                        "malformed dispatch marker; expected "
+                        "`seltrig-lint: dispatch(EnumName)`"});
+        continue;
+      }
+      const std::string enum_name =
+          t.text.substr(name_start, name_end - name_start);
+      const auto enum_it = enums.find(enum_name);
+      if (enum_it == enums.end()) {
+        out->push_back({file.path, t.line, "dispatch",
+                        file.path + ":unknown-enum:" + enum_name,
+                        "dispatch marker names unknown enum '" + enum_name +
+                            "' (no `enum class " + enum_name +
+                            "` found in src/)"});
+        continue;
+      }
+      // The marker must be directly followed by a switch statement.
+      size_t j = i + 1;
+      while (j < toks.size() && toks[j].kind == TokenKind::kComment) ++j;
+      if (j >= toks.size() || !IsIdent(toks[j], "switch")) {
+        out->push_back({file.path, t.line, "dispatch",
+                        file.path + ":marker-dangling:" + enum_name,
+                        "dispatch marker is not followed by a switch"});
+        continue;
+      }
+      ++seen[file.path][enum_name];
+      const size_t cond_open = j + 1;
+      const size_t cond_close = MatchForward(toks, cond_open, "(", ")");
+      size_t body_open = cond_close + 1;
+      while (body_open < toks.size() &&
+             toks[body_open].kind == TokenKind::kComment) {
+        ++body_open;
+      }
+      if (body_open >= toks.size() || !IsPunct(toks[body_open], "{")) continue;
+      const size_t body_close = MatchForward(toks, body_open, "{", "}");
+
+      std::set<std::string> cases;
+      bool has_default = false;
+      int default_line = 0;
+      for (size_t k = body_open + 1; k < body_close; ++k) {
+        if (IsIdent(toks[k], "default") && k + 1 < toks.size() &&
+            IsPunct(toks[k + 1], ":")) {
+          has_default = true;
+          default_line = toks[k].line;
+        }
+        if (!IsIdent(toks[k], "case")) continue;
+        // The enumerator is the last identifier before the label's ':'
+        // (skipping over `::` qualifiers).
+        std::string last_ident;
+        size_t m = k + 1;
+        for (; m < body_close; ++m) {
+          if (IsPunct(toks[m], ":")) break;
+          if (IsIdent(toks[m])) last_ident = toks[m].text;
+        }
+        if (!last_ident.empty()) cases.insert(last_ident);
+        k = m;
+      }
+
+      std::string missing;
+      for (const std::string& member : enum_it->second) {
+        if (cases.count(member) == 0) missing += member + " ";
+      }
+      if (!missing.empty()) {
+        out->push_back(
+            {file.path, toks[j].line, "dispatch",
+             file.path + ":missing-case:" + enum_name,
+             "registered " + enum_name + " dispatch is missing case(s): " +
+                 missing +
+                 "— every kind must be named, even if only to ignore it"});
+      }
+      if (has_default) {
+        out->push_back({file.path, default_line, "dispatch",
+                        file.path + ":default:" + enum_name,
+                        "registered " + enum_name +
+                            " dispatch has a `default:` label, which would "
+                            "swallow a future kind silently; name every "
+                            "case instead"});
+      }
+      i = j;
+    }
+  }
+
+  for (const DispatchSite& site : sites) {
+    int count = 0;
+    for (const auto& [path, by_enum] : seen) {
+      if (path.size() < site.file_suffix.size() ||
+          path.compare(path.size() - site.file_suffix.size(),
+                       site.file_suffix.size(), site.file_suffix) != 0) {
+        continue;
+      }
+      auto it = by_enum.find(site.enum_name);
+      if (it != by_enum.end()) count += it->second;
+    }
+    if (count < site.min_markers) {
+      out->push_back(
+          {site.file_suffix, 0, "dispatch",
+           site.file_suffix + ":unregistered:" + site.enum_name,
+           site.file_suffix + " must carry at least " +
+               std::to_string(site.min_markers) + " `seltrig-lint: dispatch(" +
+               site.enum_name + ")` marker(s), found " +
+               std::to_string(count) +
+               " — the registry in DefaultDispatchSites() pins them"});
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace seltrig

@@ -1,0 +1,178 @@
+// fault-registry check: common/fault_points.def is the single source of
+// truth for fault-point names.
+//
+//   * A registered point name spelled as a string literal anywhere outside
+//     the .def file is an error (comments are fine — the tokenizer already
+//     separated them). Call sites must say fault_points::kWhatever.
+//   * fault::Maybe's argument must be exactly one registry constant. A
+//     string literal ("works today, silently never arms after a rename") and
+//     any other expression (un-checkable statically) are both errors.
+//   * Arm / Disarm / ScopedFault with a string-literal point name is an
+//     error for the same reason; identifier arguments are allowed there
+//     because sweep drivers forward registry-derived variables.
+//   * Every registered point must be armed-able AND real: an entry with zero
+//     fault::Maybe call sites under src/ is an error (a typo'd call site
+//     leaves the registered spelling orphaned, which is exactly the bug
+//     class this check exists for).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace seltrig {
+namespace lint {
+namespace {
+
+bool IsStringTok(const Token& t) {
+  return t.kind == TokenKind::kString || t.kind == TokenKind::kRawString;
+}
+
+// True when tokens[i] starts `fault :: Maybe (` — the only call spelling in
+// the tree (the in-class declaration is `Status Maybe(` and never matches).
+bool IsMaybeCall(const TokenStream& toks, size_t i) {
+  return i + 3 < toks.size() && toks[i].kind == TokenKind::kIdentifier &&
+         toks[i].text == "fault" && toks[i + 1].text == "::" &&
+         toks[i + 2].text == "Maybe" && toks[i + 3].text == "(";
+}
+
+}  // namespace
+
+bool ParseFaultRegistry(const SourceFile& def, std::set<std::string>* names,
+                        std::set<std::string>* idents,
+                        std::vector<Diagnostic>* out) {
+  const TokenStream& toks = def.tokens;
+  bool any = false;
+  for (size_t i = 0; i + 4 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        toks[i].text != "SELTRIG_FAULT_POINT" || toks[i + 1].text != "(") {
+      continue;
+    }
+    const Token& ident = toks[i + 2];
+    if (ident.kind != TokenKind::kIdentifier || toks[i + 3].text != "," ||
+        !IsStringTok(toks[i + 4])) {
+      out->push_back({def.path, toks[i].line, "fault-registry",
+                      def.path + ":malformed",
+                      "malformed SELTRIG_FAULT_POINT entry: expected "
+                      "(identifier, \"dotted.name\", \"where\")"});
+      return false;
+    }
+    if (!names->insert(toks[i + 4].text).second) {
+      out->push_back({def.path, toks[i + 4].line, "fault-registry",
+                      def.path + ":duplicate:" + toks[i + 4].text,
+                      "duplicate fault-point name '" + toks[i + 4].text + "'"});
+    }
+    idents->insert(ident.text);
+    any = true;
+  }
+  if (!any) {
+    out->push_back({def.path, 1, "fault-registry", def.path + ":empty",
+                    "no SELTRIG_FAULT_POINT entries found"});
+  }
+  return any;
+}
+
+void CheckFaultRegistry(const std::vector<SourceFile>& files,
+                        const std::set<std::string>& registered_names,
+                        const std::set<std::string>& registered_idents,
+                        std::vector<Diagnostic>* out) {
+  // ident -> number of fault::Maybe(fault_points::ident) sites under src/.
+  std::map<std::string, int> maybe_sites;
+  for (const std::string& ident : registered_idents) maybe_sites[ident] = 0;
+  const bool have_registry = !registered_names.empty();
+
+  for (const SourceFile& file : files) {
+    const bool in_src = file.path.rfind("src/", 0) == 0;
+    const TokenStream& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+
+      // Registered name spelled as a literal anywhere outside the registry.
+      if (have_registry && IsStringTok(t) &&
+          registered_names.count(t.text) > 0) {
+        out->push_back(
+            {file.path, t.line, "fault-registry",
+             file.path + ":literal:" + t.text,
+             "fault-point name \"" + t.text +
+                 "\" spelled as a string literal; the only place a point "
+                 "name may be spelled is common/fault_points.def — use the "
+                 "fault_points:: constant here"});
+        continue;
+      }
+
+      // fault::Maybe(<arg>): the argument must be one registry constant,
+      // written either fault_points::kX or (inside namespace fault_points /
+      // a using-declaration) bare kX.
+      if (IsMaybeCall(toks, i)) {
+        const size_t arg = i + 4;
+        size_t end = arg;  // first token after the argument expression
+        std::string head;
+        if (arg < toks.size()) {
+          if (toks[arg].kind == TokenKind::kIdentifier &&
+              toks[arg].text == "fault_points" && arg + 2 < toks.size() &&
+              toks[arg + 1].text == "::") {
+            head = toks[arg + 2].text;
+            end = arg + 3;
+          } else if (toks[arg].kind == TokenKind::kIdentifier) {
+            head = toks[arg].text;
+            end = arg + 1;
+          }
+        }
+        const bool closes = end < toks.size() && toks[end].text == ")";
+        if (closes && registered_idents.count(head) > 0) {
+          if (in_src) ++maybe_sites[head];
+        } else if (arg < toks.size() && IsStringTok(toks[arg])) {
+          out->push_back({file.path, toks[arg].line, "fault-registry",
+                          file.path + ":maybe-literal:" + toks[arg].text,
+                          "fault::Maybe with a string literal; register the "
+                          "point in common/fault_points.def and pass "
+                          "fault_points::k..."});
+        } else {
+          out->push_back({file.path, toks[i].line, "fault-registry",
+                          file.path + ":maybe-nonliteral",
+                          "fault::Maybe with a non-registry point name; only "
+                          "a single fault_points:: constant is checkable "
+                          "statically"});
+        }
+        i = end;
+        continue;
+      }
+
+      // Arm / Disarm / ScopedFault with a literal point name. For the RAII
+      // form the literal sits after the variable name:
+      //   fault::ScopedFault guard("name", ...).
+      if (t.kind == TokenKind::kIdentifier &&
+          (t.text == "Arm" || t.text == "Disarm" || t.text == "ScopedFault")) {
+        size_t open = i + 1;
+        if (t.text == "ScopedFault" && open < toks.size() &&
+            toks[open].kind == TokenKind::kIdentifier) {
+          ++open;  // declared variable name
+        }
+        if (open + 1 < toks.size() && toks[open].text == "(" &&
+            IsStringTok(toks[open + 1])) {
+          out->push_back({file.path, toks[open + 1].line, "fault-registry",
+                          file.path + ":arm-literal:" + toks[open + 1].text,
+                          t.text + " with a string-literal point name; pass "
+                                   "a fault_points:: constant (or a variable "
+                                   "derived from the registry)"});
+        }
+      }
+    }
+  }
+
+  for (const auto& [ident, sites] : maybe_sites) {
+    if (sites == 0) {
+      out->push_back(
+          {"src/common/fault_points.def", 0, "fault-registry",
+           "src/common/fault_points.def:unused:" + ident,
+           "registered fault point " + ident +
+               " has no fault::Maybe call site under src/ — it can be armed "
+               "but never fires, silently weakening the crash-test matrix"});
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace seltrig

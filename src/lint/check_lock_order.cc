@@ -1,0 +1,252 @@
+// lock-order check: every mutex acquisition in src/ is extracted per
+// function — RAII guards (MutexLock / ReaderMutexLock / WriterMutexLock /
+// std::lock_guard / std::unique_lock / std::shared_lock / std::scoped_lock),
+// explicit .lock()/.lock_shared() calls, and SELTRIG_REQUIRES annotations
+// (locks held on entry) — then composed into one global acquisition graph.
+// A cycle in that graph is a potential deadlock; acquiring a lock already
+// held is one immediately.
+//
+// Lock identity is `<Class>::<expression>` with the enclosing class taken
+// from the function definition. The analysis is intra-procedural: an order
+// established through a call chain (f holds A, calls g which takes B) is
+// visible only where a SELTRIG_REQUIRES annotation names A on g — which the
+// thread-safety analysis build (cmake --preset analyze) independently forces
+// to be present wherever a caller-held lock is accessed. Scope tracking is
+// brace-accurate: a guard dies with its block, an explicit unlock() releases
+// mid-scope (the WAL group-commit leader drops the mutex around fsync), and
+// a relock after that is a fresh acquisition, not a recursion finding.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/function_scan.h"
+#include "lint/lint.h"
+#include "lint/token_util.h"
+
+namespace seltrig {
+namespace lint {
+namespace {
+
+bool IsGuardClass(const std::string& text) {
+  return text == "MutexLock" || text == "ReaderMutexLock" ||
+         text == "WriterMutexLock" || text == "lock_guard" ||
+         text == "unique_lock" || text == "shared_lock" ||
+         text == "scoped_lock";
+}
+
+// Canonical lock id: strip address-of / this->, prefix the owning class.
+std::string NormalizeLock(std::string expr, const std::string& qualifier) {
+  while (!expr.empty() && (expr[0] == '&' || expr[0] == '*')) {
+    expr.erase(0, 1);
+  }
+  if (expr.rfind("this->", 0) == 0) expr.erase(0, 6);
+  const std::string owner = qualifier.empty() ? "<file>" : qualifier;
+  return owner + "::" + expr;
+}
+
+struct Site {
+  std::string file;
+  int line;
+};
+
+struct Edge {
+  Site site;  // where the second lock was taken while the first was held
+};
+
+}  // namespace
+
+void CheckLockOrder(const std::vector<SourceFile>& files,
+                    std::vector<Diagnostic>* out) {
+  // from -> to -> example site
+  std::map<std::string, std::map<std::string, Edge>> graph;
+
+  for (const SourceFile& file : files) {
+    if (file.path.rfind("src/", 0) != 0) continue;
+    const TokenStream& toks = file.tokens;
+    for (const FunctionDef& def : FindFunctionDefs(toks)) {
+      struct Held {
+        std::string id;
+        int release_depth;  // scope depth the guard dies at; 0 = explicit
+      };
+      std::vector<Held> held;
+      for (const std::string& req : def.requires_locks) {
+        held.push_back({NormalizeLock(req, def.qualifier), -1});
+      }
+
+      auto acquire = [&](const std::string& id, int line, int depth) {
+        for (const Held& h : held) {
+          if (h.id == id) {
+            out->push_back({file.path, line, "lock-order",
+                            file.path + ":recursive:" + id,
+                            "acquisition of " + id + " in " + def.name +
+                                " while already held (recursive locking on "
+                                "a non-recursive mutex)"});
+            return;
+          }
+        }
+        for (const Held& h : held) {
+          graph[h.id].emplace(id, Edge{{file.path, line}});
+        }
+        held.push_back({id, depth});
+      };
+      auto release = [&](const std::string& id) {
+        for (size_t k = held.size(); k-- > 0;) {
+          if (held[k].id == id) {
+            held.erase(held.begin() + k);
+            return;
+          }
+        }
+      };
+
+      int depth = 1;  // inside the body brace
+      for (size_t i = def.body_open + 1; i < def.body_close; ++i) {
+        const Token& t = toks[i];
+        if (IsPunct(t, "{")) {
+          ++depth;
+          continue;
+        }
+        if (IsPunct(t, "}")) {
+          --depth;
+          for (size_t k = held.size(); k-- > 0;) {
+            if (held[k].release_depth > depth) {
+              held.erase(held.begin() + k);
+            }
+          }
+          continue;
+        }
+
+        // RAII guard declaration: Guard [<...>] var ( lock-expr [, ...] );
+        if (IsIdent(t) && IsGuardClass(t.text)) {
+          size_t j = i + 1;
+          if (j < toks.size() && IsPunct(toks[j], "<")) {
+            j = MatchForward(toks, j, "<", ">") + 1;
+          }
+          if (j < toks.size() && IsIdent(toks[j]) && j + 1 < toks.size() &&
+              IsPunct(toks[j + 1], "(")) {
+            const size_t close = MatchForward(toks, j + 1, "(", ")");
+            // Each top-level comma-separated argument is a lock expression
+            // (std::scoped_lock takes several; the others take one; extra
+            // args like std::defer_lock are identifiers too but appear only
+            // with unique_lock, which this tree passes a mutex first).
+            std::string arg;
+            std::vector<std::string> args;
+            int nest = 0;
+            for (size_t a = j + 2; a < close; ++a) {
+              if (IsPunct(toks[a], "(") || IsPunct(toks[a], "<")) ++nest;
+              if (IsPunct(toks[a], ")") || IsPunct(toks[a], ">")) --nest;
+              if (nest == 0 && IsPunct(toks[a], ",")) {
+                args.push_back(arg);
+                arg.clear();
+              } else {
+                arg += toks[a].text;
+              }
+            }
+            if (!arg.empty()) args.push_back(arg);
+            for (const std::string& a : args) {
+              if (a == "std::adopt_lock" || a == "std::defer_lock" ||
+                  a == "std::try_to_lock") {
+                continue;
+              }
+              acquire(NormalizeLock(a, def.qualifier), toks[j].line, depth);
+            }
+            i = close;
+            continue;
+          }
+        }
+
+        // Explicit member calls: expr.lock() / expr->unlock() / lock_shared.
+        if (IsIdent(t) &&
+            (t.text == "lock" || t.text == "unlock" ||
+             t.text == "lock_shared" || t.text == "unlock_shared") &&
+            i + 2 < toks.size() && IsPunct(toks[i + 1], "(") &&
+            IsPunct(toks[i + 2], ")") && i >= 2 &&
+            (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+          // Collect the object expression backwards: ident / :: / . / ->
+          size_t b = i - 1;
+          std::vector<std::string> parts;
+          while (b > 0) {
+            const Token& p = toks[b - 1];
+            if (IsIdent(p) || IsPunct(p, "::") || IsPunct(p, ".") ||
+                IsPunct(p, "->")) {
+              parts.push_back(p.text);
+              --b;
+            } else {
+              break;
+            }
+          }
+          std::string expr;
+          for (size_t k = parts.size(); k-- > 0;) expr += parts[k];
+          const std::string id = NormalizeLock(expr, def.qualifier);
+          if (t.text == "lock" || t.text == "lock_shared") {
+            acquire(id, t.line, 0);
+          } else {
+            release(id);
+          }
+          i += 2;
+          continue;
+        }
+      }
+    }
+  }
+
+  // Cycle detection: iterative DFS with an on-stack set; every cycle is
+  // reported once, keyed by its sorted node list so suppressions are stable
+  // under traversal order.
+  std::set<std::string> reported;
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  for (const auto& [start, _] : graph) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::string, bool>> stack = {{start, false}};
+    std::vector<std::string> path;
+    while (!stack.empty()) {
+      auto [node, done] = stack.back();
+      stack.pop_back();
+      if (done) {
+        color[node] = 2;
+        if (!path.empty() && path.back() == node) path.pop_back();
+        continue;
+      }
+      if (color[node] == 2) continue;
+      if (color[node] == 1) continue;
+      color[node] = 1;
+      path.push_back(node);
+      stack.push_back({node, true});
+      auto it = graph.find(node);
+      if (it == graph.end()) continue;
+      for (const auto& [next, edge] : it->second) {
+        if (color[next] == 1) {
+          // Found a back edge: the cycle is the path suffix from `next`.
+          std::vector<std::string> cycle;
+          bool in = false;
+          for (const std::string& p : path) {
+            if (p == next) in = true;
+            if (in) cycle.push_back(p);
+          }
+          std::vector<std::string> key = cycle;
+          std::sort(key.begin(), key.end());
+          std::string detail = "cycle:";
+          for (const std::string& k : key) detail += k + "|";
+          if (reported.insert(detail).second) {
+            std::string order;
+            for (const std::string& c : cycle) order += c + " -> ";
+            order += next;
+            out->push_back(
+                {edge.site.file, edge.site.line, "lock-order", detail,
+                 "lock acquisition cycle: " + order +
+                     " — two threads taking these in opposite order "
+                     "deadlock; fix the order or document the seam in "
+                     ".lint-suppressions"});
+          }
+        } else if (color[next] == 0) {
+          stack.push_back({next, false});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace seltrig

@@ -1,0 +1,184 @@
+// status-discipline check, src/ only (tests drive error paths on purpose):
+//
+//   * `(void)Call(...)` silently drops a result. [[nodiscard]] already makes
+//     the drop explicit; this check makes it *justified* — a why-comment
+//     must sit on the same line or within the two lines above. `(void)name;`
+//     (unused parameter silencing) is exempt.
+//   * Destructors cannot propagate errors, so a call to a fallible function
+//     (any name declared in a src/ header returning Status or Result<...>)
+//     inside a destructor body must be an explicit `(void)` drop — which the
+//     first rule then forces to carry a why-comment. A bare fallible call in
+//     a destructor is an error even though [[nodiscard]] warns, because a
+//     local `Status s = ...` that is never checked would not warn.
+//
+// Fallible names are harvested by declaration shape (`Status Name(` /
+// `Result<...> Name(`), so an unrelated void function sharing a name with a
+// fallible one would be flagged in a destructor; none exist today, and the
+// suppression file handles a future collision explicitly.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/function_scan.h"
+#include "lint/lint.h"
+#include "lint/token_util.h"
+
+namespace seltrig {
+namespace lint {
+namespace {
+
+// Comment lines per file: a drop at line L is justified if a comment touches
+// any of lines [L-2, L].
+std::set<int> CommentLines(const TokenStream& toks) {
+  std::set<int> lines;
+  for (const Token& t : toks) {
+    if (t.kind != TokenKind::kComment) continue;
+    for (int l = t.line; l <= t.end_line; ++l) lines.insert(l);
+  }
+  return lines;
+}
+
+bool HasAdjacentComment(const std::set<int>& comment_lines, int line) {
+  for (int l = line - 2; l <= line; ++l) {
+    if (comment_lines.count(l) > 0) return true;
+  }
+  return false;
+}
+
+// Names of functions declared to return Status or Result<...> in src/
+// headers. common/status.h itself is skipped: Status's named constructors
+// (OK, NotFound, ...) return Status but constructing one is not a fallible
+// operation.
+std::set<std::string> HarvestFallibleNames(
+    const std::vector<SourceFile>& files) {
+  std::set<std::string> names;
+  for (const SourceFile& file : files) {
+    if (file.path.rfind("src/", 0) != 0) continue;
+    if (file.path == "src/common/status.h") continue;
+    if (file.path.size() < 2 ||
+        file.path.compare(file.path.size() - 2, 2, ".h") != 0) {
+      continue;
+    }
+    const TokenStream& toks = file.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!IsIdent(toks[i])) continue;
+      size_t name_idx = 0;
+      if (toks[i].text == "Status" && IsIdent(toks[i + 1])) {
+        name_idx = i + 1;
+      } else if (toks[i].text == "Result" && IsPunct(toks[i + 1], "<")) {
+        const size_t close = MatchForward(toks, i + 1, "<", ">");
+        if (close + 1 < toks.size() && IsIdent(toks[close + 1])) {
+          name_idx = close + 1;
+        }
+      }
+      if (name_idx == 0) continue;
+      if (name_idx + 1 >= toks.size() || !IsPunct(toks[name_idx + 1], "(")) {
+        continue;
+      }
+      if (toks[name_idx].text == "operator") continue;
+      names.insert(toks[name_idx].text);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+void CheckStatusDiscipline(const std::vector<SourceFile>& files,
+                           std::vector<Diagnostic>* out) {
+  const std::set<std::string> fallible = HarvestFallibleNames(files);
+
+  for (const SourceFile& file : files) {
+    if (file.path.rfind("src/", 0) != 0) continue;
+    const TokenStream& toks = file.tokens;
+    const std::set<int> comment_lines = CommentLines(toks);
+
+    // Rule 1: (void)-dropped calls need a why-comment.
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (!IsPunct(toks[i], "(") || !IsIdent(toks[i + 1], "void") ||
+          !IsPunct(toks[i + 2], ")")) {
+        continue;
+      }
+      // `(void)` in a parameter list / cast-to-function-type is followed by
+      // punctuation that can't start an expression statement.
+      const Token& first = toks[i + 3];
+      if (!IsIdent(first) && !IsPunct(first, "*") && !IsPunct(first, "::")) {
+        continue;
+      }
+      // Find the statement end and whether the dropped expression calls
+      // anything. `(void)name;` with no call is unused-value silencing.
+      bool has_call = false;
+      int nest = 0;
+      size_t j = i + 3;
+      for (; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "(")) {
+          has_call = true;
+          ++nest;
+        } else if (IsPunct(toks[j], ")")) {
+          --nest;
+        } else if (nest == 0 && IsPunct(toks[j], ";")) {
+          break;
+        } else if (nest == 0 &&
+                   (IsPunct(toks[j], "{") || IsPunct(toks[j], "}"))) {
+          break;  // malformed/macro context; don't scan across blocks
+        }
+      }
+      if (!has_call) continue;
+      if (HasAdjacentComment(comment_lines, toks[i].line)) continue;
+      out->push_back(
+          {file.path, toks[i].line, "status",
+           file.path + ":void-drop:" + std::to_string(toks[i].line),
+           "(void)-dropped call without an adjacent why-comment; say why "
+           "ignoring this result is sound (same line or the two lines "
+           "above)"});
+    }
+
+    // Rule 2: a fallible call in a destructor whose result is silently
+    // discarded must be an explicit (void) drop (rule 1 then demands the
+    // why-comment). A call whose result is consumed — assigned, compared,
+    // tested in a condition — is fine: handling an error locally is exactly
+    // what a destructor should do.
+    for (const FunctionDef& def : FindFunctionDefs(toks)) {
+      if (!def.is_destructor) continue;
+      for (size_t i = def.body_open + 1; i < def.body_close; ++i) {
+        if (!IsIdent(toks[i]) || fallible.count(toks[i].text) == 0) continue;
+        if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+        // Walk back over the object chain (`file_.` / `writer->` / `Ns::`)
+        // to the start of the call expression.
+        size_t s = i;
+        while (s > def.body_open) {
+          const Token& p = toks[s - 1];
+          if (IsIdent(p) || IsPunct(p, ".") || IsPunct(p, "->") ||
+              IsPunct(p, "::")) {
+            --s;
+          } else {
+            break;
+          }
+        }
+        // Discarded iff the call expression begins the statement; anything
+        // else (`=`, `(`, `return`, `&&`, ...) consumes the result. The
+        // compliant escape `( void ) call()` is recognized explicitly.
+        const Token& before = toks[s - 1];
+        const bool discarded = IsPunct(before, ";") || IsPunct(before, "{") ||
+                               IsPunct(before, "}");
+        const bool dropped = s >= def.body_open + 3 &&
+                             IsPunct(toks[s - 3], "(") &&
+                             IsIdent(toks[s - 2], "void") &&
+                             IsPunct(toks[s - 1], ")");
+        if (!discarded || dropped) continue;
+        out->push_back(
+            {file.path, toks[i].line, "status",
+             file.path + ":dtor-fallible:" + toks[i].text,
+             "call to fallible '" + toks[i].text + "' in " + def.name +
+                 " — a destructor cannot propagate the error; make the "
+                 "drop explicit with (void) and a why-comment, or move the "
+                 "fallible work to a Close()-style member"});
+        i = MatchForward(toks, i + 1, "(", ")");
+      }
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace seltrig

@@ -1,0 +1,210 @@
+#include "lint/function_scan.h"
+
+#include <set>
+
+#include "lint/token_util.h"
+
+namespace seltrig {
+namespace lint {
+namespace {
+
+// Control keywords whose `kw (...)` shape must not be mistaken for a
+// function header.
+const std::set<std::string>& NonFunctionKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",     "for",     "while",         "switch",   "catch",
+      "return", "sizeof",  "alignof",       "decltype", "static_assert",
+      "assert", "defined", "co_await",      "co_return", "co_yield",
+      "throw",  "new",     "delete",        "alignas",  "typeid",
+  };
+  return kSet;
+}
+
+// Tokens that may legally sit between `)` and the body `{` without
+// disqualifying the candidate.
+bool IsTrailingQualifier(const std::string& text) {
+  return text == "const" || text == "noexcept" || text == "override" ||
+         text == "final" || text == "mutable" || text == "try" ||
+         text == "volatile" || text == "&" || text == "&&";
+}
+
+}  // namespace
+
+std::vector<FunctionDef> FindFunctionDefs(const TokenStream& toks) {
+  std::vector<FunctionDef> defs;
+
+  struct ClassScope {
+    std::string name;
+    int open_depth;  // brace depth at which the class body opened
+  };
+  std::vector<ClassScope> classes;
+  int depth = 0;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (IsPunct(t, "{")) {
+      ++depth;
+      continue;
+    }
+    if (IsPunct(t, "}")) {
+      --depth;
+      while (!classes.empty() && classes.back().open_depth > depth) {
+        classes.pop_back();
+      }
+      continue;
+    }
+
+    // class/struct definition: remember the name for method attribution.
+    // `enum class` is skipped; `class X;` (no brace before `;`) is skipped.
+    if (IsIdent(t, "class") || IsIdent(t, "struct")) {
+      if (i > 0 && IsIdent(toks[i - 1], "enum")) continue;
+      size_t j = i + 1;
+      while (j < toks.size() && IsIdent(toks[j]) &&
+             (toks[j].text.rfind("SELTRIG_", 0) == 0 ||
+              toks[j].text == "alignas" || toks[j].text == "final")) {
+        // attribute-like macro between keyword and name (SCOPED_CAPABILITY)
+        if (j + 1 < toks.size() && IsPunct(toks[j + 1], "(")) {
+          j = MatchForward(toks, j + 1, "(", ")") + 1;
+        } else {
+          ++j;
+        }
+      }
+      if (j >= toks.size() || !IsIdent(toks[j])) continue;
+      const std::string name = toks[j].text;
+      // Definition iff a '{' appears before any ';' (base clauses may
+      // contain neither; template args may contain '<...>' commas only).
+      for (size_t k = j + 1; k < toks.size(); ++k) {
+        if (IsPunct(toks[k], ";")) break;
+        if (IsPunct(toks[k], "{")) {
+          classes.push_back({name, depth + 1});
+          i = k;  // the '{' increments depth on the next iteration... no:
+          ++depth;  // consume it here so the scope sees its own depth
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Candidate header: [~] ident ( ... )
+    bool dtor = false;
+    size_t name_idx = i;
+    if (IsPunct(t, "~") && i + 1 < toks.size() && IsIdent(toks[i + 1])) {
+      dtor = true;
+      name_idx = i + 1;
+    }
+    const Token& name_tok = toks[name_idx];
+    if (!IsIdent(name_tok)) continue;
+    if (NonFunctionKeywords().count(name_tok.text) > 0) continue;
+    if (name_idx + 1 >= toks.size() || !IsPunct(toks[name_idx + 1], "(")) {
+      continue;
+    }
+    const size_t params_close = MatchForward(toks, name_idx + 1, "(", ")");
+    if (params_close >= toks.size()) continue;
+
+    // Walk from the parameter list to a body '{', collecting REQUIRES locks.
+    FunctionDef def;
+    def.name = (dtor ? "~" : "") + name_tok.text;
+    def.is_destructor = dtor;
+    if (name_idx >= 2 && IsPunct(toks[name_idx - 1 - (dtor ? 1 : 0)], "::") &&
+        IsIdent(toks[name_idx - 2 - (dtor ? 1 : 0)])) {
+      def.qualifier = toks[name_idx - 2 - (dtor ? 1 : 0)].text;
+    } else if (!classes.empty()) {
+      def.qualifier = classes.back().name;
+    }
+
+    size_t k = params_close + 1;
+    bool is_def = false;
+    while (k < toks.size()) {
+      const Token& tk = toks[k];
+      if (IsPunct(tk, "{")) {
+        is_def = true;
+        break;
+      }
+      if (IsPunct(tk, ";") || IsPunct(tk, "=") || IsPunct(tk, ",") ||
+          IsPunct(tk, ")")) {
+        break;  // declaration, `= default`, argument in a larger expression
+      }
+      if (IsIdent(tk) && IsTrailingQualifier(tk.text)) {
+        ++k;
+        continue;
+      }
+      if (IsPunct(tk, "->")) {
+        // Trailing return type: skip simple type tokens up to '{' or ';'.
+        ++k;
+        while (k < toks.size() && !IsPunct(toks[k], "{") &&
+               !IsPunct(toks[k], ";")) {
+          if (IsPunct(toks[k], "<")) {
+            k = MatchForward(toks, k, "<", ">");
+          }
+          ++k;
+        }
+        continue;
+      }
+      if (IsIdent(tk) && k + 1 < toks.size() && IsPunct(toks[k + 1], "(")) {
+        // Annotation macro between header and body.
+        const size_t close = MatchForward(toks, k + 1, "(", ")");
+        if (tk.text == "SELTRIG_REQUIRES" ||
+            tk.text == "SELTRIG_SHARED_REQUIRES") {
+          std::string arg;
+          for (size_t a = k + 2; a < close; ++a) {
+            if (IsPunct(toks[a], ",")) {
+              if (!arg.empty()) def.requires_locks.push_back(arg);
+              arg.clear();
+            } else {
+              arg += toks[a].text;
+            }
+          }
+          if (!arg.empty()) def.requires_locks.push_back(arg);
+        }
+        k = close + 1;
+        continue;
+      }
+      if (IsPunct(tk, ":")) {
+        // Constructor init list: groups of `member (args)` / `member {args}`
+        // separated by commas, ending at the body '{'.
+        ++k;
+        while (k < toks.size()) {
+          if (IsPunct(toks[k], "(")) {
+            k = MatchForward(toks, k, "(", ")") + 1;
+          } else if (IsPunct(toks[k], "{")) {
+            // A brace directly after an identifier or '>' is a brace-init
+            // group; otherwise it is the body.
+            const Token& prev = toks[k - 1];
+            if (IsIdent(prev) || IsPunct(prev, ">")) {
+              k = MatchForward(toks, k, "{", "}") + 1;
+            } else {
+              break;
+            }
+          } else if (IsIdent(toks[k]) || IsPunct(toks[k], ",") ||
+                     IsPunct(toks[k], "::") || IsPunct(toks[k], "<") ||
+                     IsPunct(toks[k], ">") || IsPunct(toks[k], "...")) {
+            ++k;
+          } else {
+            break;
+          }
+        }
+        continue;
+      }
+      if (IsIdent(tk)) {
+        ++k;  // unknown annotation-ish identifier; tolerate
+        continue;
+      }
+      break;
+    }
+    if (!is_def || k >= toks.size()) continue;
+
+    def.body_open = k;
+    def.body_close = MatchForward(toks, k, "{", "}");
+    defs.push_back(def);
+
+    // Continue scanning INSIDE the body for nested/local definitions is not
+    // useful here (lambdas attribute to the enclosing function), so skip the
+    // whole body. The '{'/'}' bookkeeping above never sees these tokens,
+    // which is fine: class scopes only matter outside function bodies.
+    i = def.body_close;
+  }
+  return defs;
+}
+
+}  // namespace lint
+}  // namespace seltrig

@@ -1,0 +1,42 @@
+// Function-definition discovery over the token stream, shared by the
+// lock-order and status-discipline checks.
+//
+// This is deliberately not a parser: it recognizes the shapes this codebase
+// actually writes (out-of-line `Ret Class::Method(...) ... {`, in-class
+// definitions, constructors with init lists, destructors, trailing
+// qualifiers and SELTRIG_* capability macros between the parameter list and
+// the body) and attributes each body to its enclosing class where one is
+// known. Lambdas inside a body belong to the enclosing function — for lock
+// analysis that is the conservative choice (a lambda acquiring a lock is
+// almost always invoked while the captured locks' owner is live).
+
+#ifndef SELTRIG_LINT_FUNCTION_SCAN_H_
+#define SELTRIG_LINT_FUNCTION_SCAN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace seltrig {
+namespace lint {
+
+struct FunctionDef {
+  std::string name;        // "Append", "~WalWriter", "operator=" is skipped
+  std::string qualifier;   // enclosing/explicit class, "" for free functions
+  bool is_destructor = false;
+  size_t body_open = 0;    // index of the body's "{"
+  size_t body_close = 0;   // index of the matching "}"
+  // Expressions from SELTRIG_REQUIRES / SELTRIG_SHARED_REQUIRES between the
+  // parameter list and the body: locks held on entry, verbatim token text.
+  std::vector<std::string> requires_locks;
+};
+
+// Scans one file's tokens for function definitions.
+std::vector<FunctionDef> FindFunctionDefs(const TokenStream& toks);
+
+}  // namespace lint
+}  // namespace seltrig
+
+#endif  // SELTRIG_LINT_FUNCTION_SCAN_H_

@@ -1,0 +1,142 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint/tokenizer.h"
+
+namespace seltrig {
+namespace lint {
+namespace {
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string ReadFile(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+Suppressions Suppressions::Parse(const std::string& text) {
+  Suppressions result;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string rule, pattern;
+    if (!(fields >> rule >> pattern)) continue;  // blank or comment-only
+    result.entries.push_back({rule, pattern, lineno, 0});
+  }
+  return result;
+}
+
+bool Suppressions::Matches(const Diagnostic& d) const {
+  for (const Entry& e : entries) {
+    if (e.rule != d.rule) continue;
+    bool match;
+    if (!e.pattern.empty() && e.pattern.back() == '*') {
+      match = d.detail.rfind(e.pattern.substr(0, e.pattern.size() - 1), 0) == 0;
+    } else {
+      match = d.detail == e.pattern;
+    }
+    if (match) {
+      ++e.used;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+         d.message;
+}
+
+std::vector<Diagnostic> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<Diagnostic> diags;
+
+  std::vector<SourceFile> files;
+  const SourceFile* registry_def = nullptr;
+  for (const char* top : {"src", "tests", "tools"}) {
+    const fs::path base = fs::path(root) / top;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string path =
+          fs::relative(entry.path(), root).generic_string();
+      // Fixture corpus: deliberately-violating snippets that the lint's own
+      // tests feed through the checks one by one. Never part of a tree run.
+      if (path.rfind("tests/lint/fixtures/", 0) == 0) continue;
+      if (!HasSuffix(path, ".h") && !HasSuffix(path, ".cc") &&
+          !HasSuffix(path, ".def")) {
+        continue;
+      }
+      files.push_back({path, Tokenize(ReadFile(entry.path()))});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  for (const SourceFile& f : files) {
+    if (f.path == "src/common/fault_points.def") registry_def = &f;
+  }
+
+  std::set<std::string> names;
+  std::set<std::string> idents;
+  if (registry_def == nullptr) {
+    diags.push_back({"src/common/fault_points.def", 0, "fault-registry",
+                     "src/common/fault_points.def:missing",
+                     "fault-point registry file not found"});
+  } else {
+    ParseFaultRegistry(*registry_def, &names, &idents, &diags);
+  }
+  // The registry itself is exempt from the literal scan; everything else is
+  // in scope for its check's own path filter.
+  std::vector<SourceFile> non_registry;
+  for (const SourceFile& f : files) {
+    if (!HasSuffix(f.path, ".def")) non_registry.push_back(f);
+  }
+
+  CheckFaultRegistry(non_registry, names, idents, &diags);
+  CheckLayering(non_registry, DefaultLayerTable(), &diags);
+  CheckLockOrder(non_registry, &diags);
+  CheckStatusDiscipline(non_registry, &diags);
+  CheckDispatch(non_registry, DefaultDispatchSites(), &diags);
+
+  // Apply suppressions; a suppression that matched nothing is stale and is
+  // itself a finding (it documents a seam that no longer exists).
+  const fs::path supp_path = fs::path(root) / ".lint-suppressions";
+  Suppressions supp;
+  if (fs::exists(supp_path)) supp = Suppressions::Parse(ReadFile(supp_path));
+  std::vector<Diagnostic> kept;
+  for (const Diagnostic& d : diags) {
+    if (!supp.Matches(d)) kept.push_back(d);
+  }
+  for (const Suppressions::Entry& e : supp.entries) {
+    if (e.used == 0) {
+      kept.push_back({".lint-suppressions", e.line, "suppressions",
+                      ".lint-suppressions:stale:" + e.pattern,
+                      "suppression `" + e.rule + " " + e.pattern +
+                          "` matched no diagnostic; delete it (the seam it "
+                          "documented is gone)"});
+    }
+  }
+  return kept;
+}
+
+}  // namespace lint
+}  // namespace seltrig

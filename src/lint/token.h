@@ -1,0 +1,48 @@
+// Token model for seltrig-lint's minimal C++ tokenizer.
+//
+// The lint checks (src/lint/checks.h) work purely on this token stream —
+// there is no AST. The tokenizer's one hard job is to be *correct about what
+// is code and what is not*: string literals, char literals, raw strings, and
+// both comment forms must never be mistaken for code (a fault-point name in a
+// comment is fine; the same name in a string literal is a finding). Comments
+// are kept as tokens because two checks need them: status discipline (a
+// `(void)` drop must carry an adjacent why-comment) and dispatch
+// exhaustiveness (switches are registered via a marker comment).
+
+#ifndef SELTRIG_LINT_TOKEN_H_
+#define SELTRIG_LINT_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seltrig {
+namespace lint {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,   // identifiers and keywords (no keyword table needed)
+  kNumber,       // numeric literal, including ' separators and suffixes
+  kString,       // "..." — text holds the *uninterpreted* contents, no quotes
+  kRawString,    // R"delim(...)delim" — text holds the contents
+  kCharLiteral,  // '...' — text holds the contents
+  kPunct,        // one operator/punctuator, maximal-munch for :: -> etc.
+  kComment       // // or /* */ — text holds the contents without delimiters
+};
+
+// Preprocessor directives are tokenized like ordinary code (`#`, `include`,
+// then a string or punctuation): the layering check reads `#include "..."`
+// straight off the stream, and macro bodies are scanned like any other code.
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;      // 1-based line of the token's first character
+  int end_line = 0;  // last line (differs for block comments / raw strings)
+};
+
+using TokenStream = std::vector<Token>;
+
+}  // namespace lint
+}  // namespace seltrig
+
+#endif  // SELTRIG_LINT_TOKEN_H_

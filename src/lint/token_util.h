@@ -1,0 +1,42 @@
+// Small token-stream helpers shared by the seltrig-lint checks.
+
+#ifndef SELTRIG_LINT_TOKEN_UTIL_H_
+#define SELTRIG_LINT_TOKEN_UTIL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "lint/token.h"
+
+namespace seltrig {
+namespace lint {
+
+// Index of the token matching the opener at `open` ("(" or "{" or "<"),
+// counting nesting of that same pair only. Returns the stream size when
+// unbalanced (callers treat that as "to end of file").
+inline size_t MatchForward(const TokenStream& toks, size_t open,
+                           const std::string& opener,
+                           const std::string& closer) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    if (toks[i].text == opener) ++depth;
+    if (toks[i].text == closer && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+inline bool IsIdent(const Token& t) {
+  return t.kind == TokenKind::kIdentifier;
+}
+inline bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+inline bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+}  // namespace lint
+}  // namespace seltrig
+
+#endif  // SELTRIG_LINT_TOKEN_UTIL_H_

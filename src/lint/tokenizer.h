@@ -1,0 +1,26 @@
+// Minimal C++ tokenizer for seltrig-lint. Standalone: no dependency on the
+// engine library, exceptions, or anything beyond the standard library.
+
+#ifndef SELTRIG_LINT_TOKENIZER_H_
+#define SELTRIG_LINT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "lint/token.h"
+
+namespace seltrig {
+namespace lint {
+
+// Tokenizes C++ source. Never fails: an unterminated literal or comment is
+// tokenized to end-of-file (the compiler will reject the file anyway; the
+// lint must not crash on it). Handles //, /* */, "..." with escapes,
+// '...' with escapes, raw strings R"delim(...)delim" (any delimiter),
+// line continuations inside literals, digit separators, and maximal-munch
+// multi-character punctuators (::, ->, <<=, ...).
+TokenStream Tokenize(std::string_view source);
+
+}  // namespace lint
+}  // namespace seltrig
+
+#endif  // SELTRIG_LINT_TOKENIZER_H_

@@ -149,6 +149,7 @@ void ReplicaApplier::Run(std::shared_ptr<FrameChannel> channel) {
     if (received.status().code() == ErrorCode::kDeadlineExceeded) continue;
     if (!received.ok()) return;  // channel died; owner reconnects via Start
     Status handled = Status::OK();
+    // seltrig-lint: dispatch(FrameType)
     switch (received->type) {
       case FrameType::kRecord:
         handled = HandleRecord(channel.get(), *received);
@@ -169,12 +170,30 @@ void ReplicaApplier::Run(std::shared_ptr<FrameChannel> channel) {
         handled = HandleSnapshotFile(*received);
         break;
       case FrameType::kSnapshotDone:
-        handled = InstallSnapshot(received->seq, channel.get());
+        handled = InstallSnapshot(received->seq, received->epoch, channel.get());
         break;
-      default:
-        break;  // primaries do not send other frame types; ignore
+      case FrameType::kSegmentSeal:
+        handled = HandleSegmentSeal(channel.get(), *received);
+        break;
+      case FrameType::kHello:
+      case FrameType::kAck:
+      case FrameType::kNak:
+        break;  // follower-to-primary frames; a primary never sends these
+      case FrameType::kPreVote:
+      case FrameType::kVoteRequest:
+      case FrameType::kVoteGrant:
+        break;  // election traffic travels on the election bus, not here
     }
     if (!handled.ok()) {
+      // kUnavailable out of a handler is the channel dying under us — an ack
+      // or nak hitting a socket the crashed primary abandoned, or a torn
+      // snapshot stream — a reconnection event, exactly like the
+      // receive-side death above. health_ is reserved for unrecoverable
+      // local conditions (apply divergence): poisoning it with a transport
+      // error would make Promote() refuse forever, and a cluster that keeps
+      // electing this otherwise-intact follower livelocks on its failed
+      // promotions instead of failing over.
+      if (handled.code() == ErrorCode::kUnavailable) return;
       MutexLock lock(&mutex_);
       health_ = handled;
       return;
@@ -185,11 +204,17 @@ void ReplicaApplier::Run(std::shared_ptr<FrameChannel> channel) {
 Status ReplicaApplier::HandleRecord(FrameChannel* channel, const Frame& frame) {
   // Receive-side fault: the frame is lost after arrival (as if dropped in
   // transit); gap detection and NAK reseek recover.
-  if (!fault::Maybe("replication.recv").ok()) return Status::OK();
+  if (!fault::Maybe(fault_points::kReplicationRecv).ok()) return Status::OK();
 
   const uint64_t epoch_fence =
       std::max(epoch_, epoch_floor_.load(std::memory_order_relaxed));
-  if (frame.epoch < epoch_fence) {
+  // Judge the SENDER, not the record: frame.epoch is the record's origin
+  // epoch, and a post-failover leader legitimately relays committed records
+  // written under earlier epochs (the tail of a pre-failover segment this
+  // follower still needs). Its frame.authority carries its live epoch and
+  // passes the fence; a deposed primary resending its fork claims only its
+  // own stale epoch in both fields and stays fenced out.
+  if (std::max(frame.epoch, frame.authority) < epoch_fence) {
     // A deposed primary writing under a pre-failover epoch — or, when the
     // floor is the binding bound, under an epoch this node already granted a
     // vote against. Never accept: the failover (or the vote promise) decided
@@ -239,7 +264,7 @@ Status ReplicaApplier::HandleRecord(FrameChannel* channel, const Frame& frame) {
   }
 
   // Apply-side fault: refuse the record before it has any effect.
-  if (!fault::Maybe("replication.apply").ok()) {
+  if (!fault::Maybe(fault_points::kReplicationApply).ok()) {
     return SendNak(channel, "apply refused by fault injection");
   }
 
@@ -303,6 +328,77 @@ Status ReplicaApplier::HandleRecord(FrameChannel* channel, const Frame& frame) {
   return SendAck(channel);
 }
 
+Status ReplicaApplier::HandleSegmentSeal(FrameChannel* channel,
+                                         const Frame& frame) {
+  // Same arrival fault as records: the seal is lost after arrival and the
+  // shipper's ack-staleness retransmission recovers.
+  if (!fault::Maybe(fault_points::kReplicationRecv).ok()) return Status::OK();
+
+  const uint64_t epoch_fence =
+      std::max(epoch_, epoch_floor_.load(std::memory_order_relaxed));
+  if (std::max(frame.epoch, frame.authority) < epoch_fence) {
+    {
+      MutexLock lock(&mutex_);
+      ++stats_.epoch_rejected;
+    }
+    return SendNak(channel,
+                   "stale epoch " + std::to_string(frame.epoch) +
+                       " (follower at " + std::to_string(epoch_fence) + ")",
+                   epoch_fence);
+  }
+
+  // The seal names the position it continues from; accept only at our exact
+  // tail — the same continuity rule as kRecord. A seal for a boundary we
+  // already crossed is a duplicate (re-ack); one past our tail is a gap
+  // (NAK reseeks the shipper, which then ships the missing records — or a
+  // snapshot, if a checkpoint already truncated them).
+  auto norm = [](uint64_t off) {
+    return off == 0 ? kWalSegmentHeaderSize : off;
+  };
+  const uint64_t local_offset = norm(offset_);
+  const uint64_t prev_offset = norm(frame.prev_offset);
+  const bool prev_below =
+      frame.prev_seq < seq_ ||
+      (frame.prev_seq == seq_ && prev_offset < local_offset);
+  if (frame.prev_seq == seq_ && prev_offset == local_offset) {
+    // continue below
+  } else if (prev_below) {
+    {
+      MutexLock lock(&mutex_);
+      ++stats_.duplicates_dropped;
+    }
+    return SendAck(channel);
+  } else {
+    {
+      MutexLock lock(&mutex_);
+      ++stats_.gaps_nakked;
+    }
+    return SendNak(channel, "gap: seal continues from segment " +
+                                std::to_string(frame.prev_seq) + " offset " +
+                                std::to_string(frame.prev_offset));
+  }
+
+  // Materialize the named segment, byte-identical to the primary's (the
+  // frame carries its header epoch), and move the tail onto it.
+  SELTRIG_RETURN_IF_ERROR(OpenSegment(frame.seq, frame.epoch));
+  if (offset_ != frame.offset) {
+    // A preexisting local segment of a different length: the layouts
+    // diverged — refuse loudly, exactly as the record path does.
+    return Status::DataLoss("sealed segment " + std::to_string(frame.seq) +
+                            " opens at offset " + std::to_string(offset_) +
+                            ", seal names " + std::to_string(frame.offset));
+  }
+  if (options_.fsync_before_ack) {
+    SELTRIG_RETURN_IF_ERROR(segment_.Sync());
+  }
+  epoch_ = std::max(epoch_, frame.epoch);
+  {
+    MutexLock lock(&mutex_);
+    applied_ = WalPosition{epoch_, seq_, offset_};
+  }
+  return SendAck(channel);
+}
+
 Status ReplicaApplier::HandleSnapshotFile(const Frame& frame) {
   if (!in_snapshot_) return Status::OK();  // stray frame; Start/Done bracket it
   if (frame.name.empty() || frame.name.find('/') != std::string::npos ||
@@ -319,7 +415,8 @@ Status ReplicaApplier::HandleSnapshotFile(const Frame& frame) {
   return SyncFile(path);
 }
 
-Status ReplicaApplier::InstallSnapshot(uint64_t cut_seq, FrameChannel* channel) {
+Status ReplicaApplier::InstallSnapshot(uint64_t cut_seq, uint64_t cut_epoch,
+                                       FrameChannel* channel) {
   if (!in_snapshot_) return Status::OK();
   in_snapshot_ = false;
   SELTRIG_RETURN_IF_ERROR(SyncDirectory(staging_dir_));
@@ -341,6 +438,9 @@ Status ReplicaApplier::InstallSnapshot(uint64_t cut_seq, FrameChannel* channel) 
   for (const WalSegment& segment : segments) {
     std::filesystem::remove(segment.path, ec);
   }
+  // Advisory: recovery tolerates resurrected pre-snapshot segments (they
+  // are behind the snapshot cut and are skipped), so this sync is not load-
+  // bearing for correctness.
   (void)SyncDirectory(dir_ + "/wal");
 
   // Rebuild the follower database from the installed snapshot.
@@ -352,6 +452,14 @@ Status ReplicaApplier::InstallSnapshot(uint64_t cut_seq, FrameChannel* channel) 
   seq_ = std::max<uint64_t>(cut_seq, 1);
   offset_ = 0;
   epoch_ = std::max(epoch_, rstats.max_epoch);
+  // Materialize the cut segment now, byte-identical to the primary's (the
+  // done frame names the cut segment's header epoch). The snapshot's cut
+  // may BE the primary's tip — a checkpoint-fresh segment holding no
+  // records — and waiting for a first record to open the segment would
+  // strand this follower one segment header short of the primary's
+  // position for as long as the workload stays quiet.
+  SELTRIG_RETURN_IF_ERROR(OpenSegment(seq_, cut_epoch));
+  epoch_ = std::max(epoch_, cut_epoch);
   {
     MutexLock lock(&mutex_);
     db_ = std::shared_ptr<Database>(std::move(rebuilt));
@@ -371,7 +479,7 @@ Status ReplicaApplier::InstallSnapshot(uint64_t cut_seq, FrameChannel* channel) 
 Status ReplicaApplier::SendAck(FrameChannel* channel) {
   // A fired ack fault models a lost ack: the shipper resends, and the
   // duplicate path re-acks.
-  if (!fault::Maybe("replication.ack").ok()) return Status::OK();
+  if (!fault::Maybe(fault_points::kReplicationAck).ok()) return Status::OK();
   Frame ack;
   ack.type = FrameType::kAck;
   ack.epoch = epoch_;

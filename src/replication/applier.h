@@ -119,8 +119,12 @@ class ReplicaApplier {
 
   void Run(std::shared_ptr<FrameChannel> channel);
   Status HandleRecord(FrameChannel* channel, const Frame& frame);
+  // Crosses the local tail onto a sealed segment boundary (kSegmentSeal):
+  // materializes the named record-free segment with the primary's header.
+  Status HandleSegmentSeal(FrameChannel* channel, const Frame& frame);
   Status HandleSnapshotFile(const Frame& frame);
-  Status InstallSnapshot(uint64_t cut_seq, FrameChannel* channel);
+  Status InstallSnapshot(uint64_t cut_seq, uint64_t cut_epoch,
+                         FrameChannel* channel);
   Status SendAck(FrameChannel* channel) SELTRIG_EXCLUDES(mutex_);
   // `fence_epoch` != 0 stamps the NAK with that epoch instead of the applied
   // epoch (stale-epoch rejections name the fence so a deposed shipper parks).

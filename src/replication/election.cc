@@ -89,7 +89,7 @@ class InProcessBusEndpoint : public ElectionBus {
   ~InProcessBusEndpoint() override { Close(); }
 
   Status Send(const std::string& peer, const Frame& frame) override {
-    if (!fault::Maybe("election.partition").ok()) return Status::OK();  // cut
+    if (!fault::Maybe(fault_points::kElectionPartition).ok()) return Status::OK();  // cut
     std::shared_ptr<Inbox> target;
     {
       MutexLock lock(&mesh_->mutex);
@@ -139,7 +139,7 @@ class SocketElectionBus : public ElectionBus {
   }
 
   Status Send(const std::string& peer, const Frame& frame) override {
-    if (!fault::Maybe("election.partition").ok()) return Status::OK();  // cut
+    if (!fault::Maybe(fault_points::kElectionPartition).ok()) return Status::OK();  // cut
     auto it = peer_paths_.find(peer);
     if (it == peer_paths_.end()) {
       return Status::Unavailable("no such election peer: " + peer);
@@ -486,7 +486,7 @@ int64_t ElectionNode::RandomElectionTimeout() {
 void ElectionNode::SendElectionFrame(const std::string& peer,
                                      const Frame& frame,
                                      bool is_vote_traffic) {
-  if (is_vote_traffic && !fault::Maybe("election.vote_drop").ok()) {
+  if (is_vote_traffic && !fault::Maybe(fault_points::kElectionVoteDrop).ok()) {
     return;  // the frame is lost; the campaign retries on its timeout
   }
   (void)bus_->Send(peer, frame);
@@ -557,7 +557,7 @@ void ElectionNode::RunStateMachine() {
         // The liveness check is the `election.timeout` fault point: firing
         // forces an immediate campaign regardless of the timer — the
         // injected form of "this follower believes the leader is gone".
-        if (!fault::Maybe("election.timeout").ok()) liveness_expired = true;
+        if (!fault::Maybe(fault_points::kElectionTimeout).ok()) liveness_expired = true;
         if (liveness_expired) StartCampaign();
         break;
       }
@@ -598,6 +598,7 @@ void ElectionNode::RunStateMachine() {
 }
 
 void ElectionNode::HandleFrame(const Frame& frame) {
+  // seltrig-lint: dispatch(FrameType)
   switch (frame.type) {
     case FrameType::kHeartbeat:
       HandleHeartbeat(frame);
@@ -611,7 +612,14 @@ void ElectionNode::HandleFrame(const Frame& frame) {
     case FrameType::kVoteGrant:
       HandleVoteGrant(frame);
       break;
-    default:
+    case FrameType::kHello:
+    case FrameType::kRecord:
+    case FrameType::kAck:
+    case FrameType::kNak:
+    case FrameType::kSnapshotStart:
+    case FrameType::kSnapshotFile:
+    case FrameType::kSnapshotDone:
+    case FrameType::kSegmentSeal:
       break;  // replication frames do not travel on the election bus
   }
 }
@@ -772,7 +780,7 @@ void ElectionNode::StartCampaign() {
     // `election.stale_candidate`: campaign while claiming an empty journal —
     // a healthy cluster must reject this candidate at the up-to-dateness
     // gate, or the fault-matrix run fails its acked-prefix assertion.
-    if (!fault::Maybe("election.stale_candidate").ok()) {
+    if (!fault::Maybe(fault_points::kElectionStaleCandidate).ok()) {
       campaign_position_ = WalPosition{};
     }
     grants_.assign(1, options_.id);  // self pre-grant

@@ -280,7 +280,33 @@ Status LogShipper::ServeConnection(Follower* follower, FrameChannel* channel) {
       const uint64_t prev_offset = reader.offset();
       WalTailReader::RecordRef record;
       Status next = reader.Next(&record);
-      if (next.code() == ErrorCode::kUnavailable) break;  // at the tail
+      if (next.code() == ErrorCode::kUnavailable) {
+        // At the tail — but the reader may have crossed a clean segment end
+        // into a record-free tip segment on the way (a checkpoint rotates to
+        // a fresh segment before it deletes the history below it). A record
+        // would carry the boundary in its prev position; with no record ever
+        // coming, seal it explicitly, or a fully caught-up follower parks at
+        // the old segment's end for as long as the workload stays quiet.
+        if (reader.seq() != prev_seq && reader.header_read()) {
+          Frame seal;
+          seal.type = FrameType::kSegmentSeal;
+          seal.epoch = reader.epoch();
+          seal.seq = reader.seq();
+          seal.offset = reader.offset();
+          seal.prev_seq = prev_seq;
+          seal.prev_offset = prev_offset;
+          seal.authority = db_->wal()->current_position().epoch;
+          SELTRIG_RETURN_IF_ERROR(channel->Send(seal));
+          progressed = true;
+          last_send = Clock::now();
+          // Tracked in flight like a record: if the seal is lost, the ack
+          // staleness path reseeks and resends it.
+          MutexLock lock(&mutex_);
+          follower->in_flight.push_back(
+              WalPosition{reader.epoch(), reader.seq(), reader.offset()});
+        }
+        break;  // at the tail
+      }
       if (next.code() == ErrorCode::kNotFound) {
         const WalPosition tip = db_->wal()->current_position();
         if (reader.seq() > tip.seq) {
@@ -313,7 +339,7 @@ Status LogShipper::ServeConnection(Follower* follower, FrameChannel* channel) {
         break;
       }
       SELTRIG_RETURN_IF_ERROR(next);  // kDataLoss: fatal, handled by Run
-      SELTRIG_RETURN_IF_ERROR(fault::Maybe("replication.send"));
+      SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kReplicationSend));
       Frame frame;
       frame.type = FrameType::kRecord;
       frame.epoch = record.epoch;
@@ -321,6 +347,9 @@ Status LogShipper::ServeConnection(Follower* follower, FrameChannel* channel) {
       frame.offset = record.offset;
       frame.prev_seq = prev_seq;
       frame.prev_offset = prev_offset;
+      // Origin epoch above; the fence judges us by our live epoch, so a
+      // post-failover leader can relay pre-failover committed records.
+      frame.authority = db_->wal()->current_position().epoch;
       frame.payload = std::move(record.bytes);
       SELTRIG_RETURN_IF_ERROR(channel->Send(frame));
       progressed = true;
@@ -341,6 +370,7 @@ Status LogShipper::ServeConnection(Follower* follower, FrameChannel* channel) {
       heartbeat.epoch = tip.epoch;
       heartbeat.seq = tip.seq;
       heartbeat.offset = tip.offset;
+      heartbeat.authority = tip.epoch;
       SELTRIG_RETURN_IF_ERROR(channel->Send(heartbeat));
       last_send = Clock::now();
     }
@@ -405,6 +435,7 @@ Status LogShipper::DrainInbound(Follower* follower, FrameChannel* channel,
     SELTRIG_RETURN_IF_ERROR(received.status());
     const Frame& frame = *received;
     const WalPosition pos{frame.epoch, frame.seq, frame.offset};
+    // seltrig-lint: dispatch(FrameType)
     switch (frame.type) {
       case FrameType::kHello:
       case FrameType::kNak: {
@@ -465,8 +496,17 @@ Status LogShipper::DrainInbound(Follower* follower, FrameChannel* channel,
         ack_cv_.notify_all();
         break;
       }
-      default:
-        break;  // followers do not send other frame types; ignore
+      case FrameType::kRecord:
+      case FrameType::kHeartbeat:
+      case FrameType::kSnapshotStart:
+      case FrameType::kSnapshotFile:
+      case FrameType::kSnapshotDone:
+      case FrameType::kSegmentSeal:
+        break;  // primary-to-follower frames; a follower never sends these
+      case FrameType::kPreVote:
+      case FrameType::kVoteRequest:
+      case FrameType::kVoteGrant:
+        break;  // election traffic travels on the election bus, not here
     }
     got_any = true;
   }
@@ -481,8 +521,10 @@ Status LogShipper::SendSnapshot(Follower* follower, FrameChannel* channel,
     return Status::Unavailable("snapshot at " + snapshot_dir +
                                " records no journal cut");
   }
+  const uint64_t authority = db_->wal()->current_position().epoch;
   Frame start;
   start.type = FrameType::kSnapshotStart;
+  start.authority = authority;
   SELTRIG_RETURN_IF_ERROR(channel->Send(start));
 
   std::error_code ec;
@@ -495,6 +537,7 @@ Status LogShipper::SendSnapshot(Follower* follower, FrameChannel* channel,
                              ReadFileToString(entry.path().string()));
     Frame file;
     file.type = FrameType::kSnapshotFile;
+    file.authority = authority;
     file.name = entry.path().filename().string();
     file.payload = std::move(contents);
     SELTRIG_RETURN_IF_ERROR(channel->Send(file));
@@ -505,6 +548,19 @@ Status LogShipper::SendSnapshot(Follower* follower, FrameChannel* channel,
   Frame done;
   done.type = FrameType::kSnapshotDone;
   done.seq = manifest.wal_seq;
+  // The cut segment's header epoch rides on the done frame so the follower
+  // can materialize that segment at install time. Without it the follower
+  // parks at (old epoch, cut, 0) waiting for a first record to open the
+  // segment — and when the cut is a checkpoint-fresh tip under a quiet
+  // workload, no record ever comes and the rejoiner never reaches the
+  // leader's position. (If a concurrent checkpoint swapped the segment out
+  // underneath this read, the error tears down the connection and the
+  // reconnect retries against the new snapshot, same as the file reads
+  // above.)
+  SELTRIG_ASSIGN_OR_RETURN(
+      done.epoch, ReadWalSegmentEpoch(db_->wal()->wal_dir() + "/" +
+                                      WalSegmentFileName(manifest.wal_seq)));
+  done.authority = authority;
   SELTRIG_RETURN_IF_ERROR(channel->Send(done));
 
   reader->Seek(manifest.wal_seq, 0);

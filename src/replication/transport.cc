@@ -35,11 +35,11 @@ SendPlan PlanSendFaults() {
   SendPlan plan;
   // A kDelay schedule sleeps inside Maybe; an error schedule on this point
   // is a no-op by design (the point only models latency).
-  (void)fault::Maybe("replication.delay");
-  if (!fault::Maybe("replication.drop").ok()) plan.drop = true;
-  if (!fault::Maybe("replication.duplicate").ok()) plan.duplicate = true;
-  if (!fault::Maybe("replication.reorder").ok()) plan.reorder = true;
-  if (!fault::Maybe("replication.torn").ok()) plan.torn = true;
+  (void)fault::Maybe(fault_points::kReplicationDelay);
+  if (!fault::Maybe(fault_points::kReplicationDrop).ok()) plan.drop = true;
+  if (!fault::Maybe(fault_points::kReplicationDuplicate).ok()) plan.duplicate = true;
+  if (!fault::Maybe(fault_points::kReplicationReorder).ok()) plan.reorder = true;
+  if (!fault::Maybe(fault_points::kReplicationTorn).ok()) plan.torn = true;
   return plan;
 }
 

@@ -13,6 +13,7 @@ using codec::PutU32;
 using codec::PutU64;
 
 const char* FrameTypeName(FrameType type) {
+  // seltrig-lint: dispatch(FrameType)
   switch (type) {
     case FrameType::kHello:
       return "HELLO";
@@ -36,6 +37,8 @@ const char* FrameTypeName(FrameType type) {
       return "VOTE_REQUEST";
     case FrameType::kVoteGrant:
       return "VOTE_GRANT";
+    case FrameType::kSegmentSeal:
+      return "SEGMENT_SEAL";
   }
   return "UNKNOWN";
 }
@@ -48,6 +51,7 @@ std::string EncodeFrame(const Frame& frame) {
   PutU64(&body, frame.offset);
   PutU64(&body, frame.prev_seq);
   PutU64(&body, frame.prev_offset);
+  PutU64(&body, frame.authority);
   PutString(&body, frame.name);
   PutString(&body, frame.payload);
 
@@ -78,7 +82,7 @@ Result<Frame> DecodeFrame(std::string_view bytes) {
   if (body.empty()) return Status::DataLoss("empty replication frame body");
   const uint8_t type = static_cast<uint8_t>(body[pos++]);
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kVoteGrant)) {
+      type > static_cast<uint8_t>(FrameType::kSegmentSeal)) {
     return Status::DataLoss("unknown replication frame type " +
                             std::to_string(type));
   }
@@ -87,6 +91,7 @@ Result<Frame> DecodeFrame(std::string_view bytes) {
       !GetU64(body, &pos, &frame.offset) ||
       !GetU64(body, &pos, &frame.prev_seq) ||
       !GetU64(body, &pos, &frame.prev_offset) ||
+      !GetU64(body, &pos, &frame.authority) ||
       !GetString(body, &pos, &frame.name) ||
       !GetString(body, &pos, &frame.payload) || pos != body.size()) {
     return Status::DataLoss("replication frame body does not decode");

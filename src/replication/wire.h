@@ -4,7 +4,7 @@
 // Frame layout on byte transports:
 //   u32 LE body length | u32 LE CRC32C(body) | body
 //   body: type (u8) | epoch (u64 LE) | seq (u64 LE) | offset (u64 LE) |
-//         prev_seq (u64 LE) | prev_offset (u64 LE) |
+//         prev_seq (u64 LE) | prev_offset (u64 LE) | authority (u64 LE) |
 //         name (u32-length-prefixed bytes) | payload (u32-length-prefixed)
 //
 // The protocol is deliberately position-driven rather than windowed: every
@@ -67,6 +67,15 @@ enum class FrameType : uint8_t {
   kPreVote = 9,
   kVoteRequest = 10,
   kVoteGrant = 11,
+  // Primary -> follower: "segment prev_seq is complete at prev_offset; the
+  // journal continues in segment `seq` (header epoch `epoch`) at `offset`,
+  // just past its header". Sent when the shipper's reader crosses a clean
+  // segment boundary with no record to carry it — a checkpoint cuts to a
+  // fresh, record-free tip segment, and under a quiet workload no record
+  // would ever tell the follower to open it; without the seal a fully
+  // caught-up follower parks at the old segment's end forever. The follower
+  // validates prev_* against its exact tail, the same rule as kRecord.
+  kSegmentSeal = 12,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -81,6 +90,15 @@ struct Frame {
   // reader advanced past (segment boundary). Zero for other frame types.
   uint64_t prev_seq = 0;
   uint64_t prev_offset = 0;
+  // The sender's own current epoch — its claim to be acting for a live
+  // leadership. For kRecord this is distinct from `epoch`, which is the
+  // record's ORIGIN epoch (a new leader legitimately relays committed
+  // records written under earlier epochs, and the follower needs the origin
+  // epoch to reproduce byte-identical segment headers). The follower's
+  // stale-epoch fence judges the sender by max(epoch, authority), so a
+  // deposed leader resending its fork is still rejected while a current
+  // leader relaying history is not.
+  uint64_t authority = 0;
   std::string name;
   std::string payload;
 };

@@ -40,7 +40,7 @@ void Table::MaterializeRow(size_t row_id, Row* out) const {
 }
 
 Result<size_t> Table::Insert(Row row) {
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.append"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kStorageAppend));
   if (row.size() != schema_.size()) {
     return Status::ExecutionError("insert into " + name_ + ": expected " +
                                   std::to_string(schema_.size()) + " values, got " +
@@ -66,7 +66,7 @@ Result<size_t> Table::Insert(Row row) {
 }
 
 Status Table::Delete(size_t row_id) {
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.delete"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kStorageDelete));
   if (row_id >= slot_count_ || deleted_[row_id]) {
     return Status::ExecutionError("delete from " + name_ + ": invalid row id");
   }
@@ -79,7 +79,7 @@ Status Table::Delete(size_t row_id) {
 }
 
 Status Table::Update(size_t row_id, Row new_row) {
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("storage.update"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kStorageUpdate));
   if (row_id >= slot_count_ || deleted_[row_id]) {
     return Status::ExecutionError("update " + name_ + ": invalid row id");
   }

@@ -128,6 +128,7 @@ bool GetRow(std::string_view data, size_t* offset, Row* row) {
 
 void PutOp(std::string* out, const WalOp& op) {
   out->push_back(static_cast<char>(op.kind));
+  // seltrig-lint: dispatch(WalOp::Kind)
   switch (op.kind) {
     case WalOp::Kind::kInsert:
       PutString(out, op.table);
@@ -162,6 +163,7 @@ bool GetOp(std::string_view data, size_t* offset, WalOp* op) {
   if (*offset >= data.size()) return false;
   auto kind = static_cast<WalOp::Kind>(data[(*offset)++]);
   op->kind = kind;
+  // seltrig-lint: dispatch(WalOp::Kind)
   switch (kind) {
     case WalOp::Kind::kInsert:
     case WalOp::Kind::kDelete:
@@ -407,6 +409,24 @@ Result<std::vector<WalSegment>> ListWalSegments(const std::string& wal_dir) {
   return segments;
 }
 
+Result<uint64_t> ReadWalSegmentEpoch(const std::string& path) {
+  SELTRIG_ASSIGN_OR_RETURN(std::string header,
+                           ReadFileRange(path, 0, kSegmentHeaderSize));
+  if (header.size() >= kSegmentHeaderSize &&
+      std::memcmp(header.data(), kSegmentMagic, sizeof(kSegmentMagic)) == 0) {
+    size_t off = sizeof(kSegmentMagic) + sizeof(uint64_t);
+    uint64_t epoch = 0;
+    GetU64(header, &off, &epoch);
+    return epoch;
+  }
+  if (header.size() >= kSegmentHeaderV1Size &&
+      std::memcmp(header.data(), kSegmentMagicV1,
+                  sizeof(kSegmentMagicV1)) == 0) {
+    return uint64_t{0};
+  }
+  return Status::Unavailable(path + ": segment header incomplete");
+}
+
 Result<WalSegmentContents> ReadWalSegment(const std::string& path) {
   SELTRIG_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
   WalSegmentContents contents;
@@ -515,14 +535,15 @@ Status WalWriter::Append(const std::vector<WalOp>& ops, uint64_t* commit_seq,
         "journal segment " + WalSegmentFileName(seq_) +
         " has an unrepaired partial record; rotate or recover before writing");
   }
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("wal.append"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kWalAppend));
 
   // Torn-write crash mode: persist a prefix of the record, then die. The
   // prefix is fsynced first so recovery deterministically sees a torn tail
   // (otherwise the page cache would usually hide the tear).
-  Status torn = fault::Maybe("wal.torn");
+  Status torn = fault::Maybe(fault_points::kWalTorn);
   if (!torn.ok()) {
     size_t prefix = record.size() / 2;
+    // About to _Exit below — errors here only make the tear shorter.
     (void)file_.AppendPrefix(record.data(), prefix);
     (void)file_.Sync();
     std::_Exit(FaultInjector::kCrashExitCode);
@@ -605,7 +626,7 @@ Status WalWriter::SyncUpToLocked(uint64_t target, int64_t timeout_ms) {
     // the thread-safety analysis.
     AppendFile& file = file_;
     mutex_.unlock();
-    Status synced = fault::Maybe("wal.fsync");
+    Status synced = fault::Maybe(fault_points::kWalFsync);
     if (synced.ok()) synced = file.Sync();
     mutex_.lock();
     sync_in_flight_ = false;
@@ -622,7 +643,7 @@ Status WalWriter::SyncUpToLocked(uint64_t target, int64_t timeout_ms) {
 
 Status WalWriter::Rotate(uint64_t* new_seq) {
   MutexLock lock(&mutex_);
-  SELTRIG_RETURN_IF_ERROR(fault::Maybe("wal.rotate"));
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kWalRotate));
   // Everything in the finished segment must be durable before the checkpoint
   // that follows the rotation can claim to cover it.
   SELTRIG_RETURN_IF_ERROR(SyncUpToLocked(appended_, /*timeout_ms=*/0));

@@ -177,6 +177,13 @@ struct WalSegmentContents {
 
 Result<WalSegmentContents> ReadWalSegment(const std::string& path);
 
+// The epoch recorded in a segment's header, read without touching the
+// records (v1 headers carry no epoch and read as 0). kUnavailable when the
+// header has not fully landed on disk. The snapshot catch-up stream uses
+// this to name the cut segment's epoch so the follower can materialize the
+// segment at install time.
+Result<uint64_t> ReadWalSegmentEpoch(const std::string& path);
+
 // Appender with group commit. One writer per database; sessions serialize
 // Append() behind the engine's storage writer lock and this class's own
 // mutex, and may WaitDurable() concurrently.
@@ -353,6 +360,11 @@ class WalTailReader {
 
   uint64_t seq() const { return seq_; }
   uint64_t offset() const { return offset_; }
+  // True once the cursor segment's header has been read; epoch() is the
+  // header epoch and is meaningful only then. The shipper uses these to
+  // name a crossed-into tip segment in a kSegmentSeal frame.
+  bool header_read() const { return header_size_ != 0; }
+  uint64_t epoch() const { return epoch_; }
 
  private:
   // Loads the segment header at the cursor's segment, resolving epoch and

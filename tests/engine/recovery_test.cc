@@ -275,7 +275,7 @@ TEST_F(RecoveryTest, QuarantineStateSurvivesJournalReplayAndCheckpoint) {
     std::unique_ptr<Database> db = OpenDurable();
     ASSERT_NE(db, nullptr);
     SetUpAuditedSchema(db.get());
-    fault::ScopedFault fail("trigger.action", FaultInjector::FailAlways());
+    fault::ScopedFault fail(fault_points::kTriggerAction, FaultInjector::FailAlways());
     FaultInjector::Instance().Enable(true);
     auto r = db->ExecuteWithOptions("SELECT name FROM patients WHERE patientid = 1",
                                     fail_open);
@@ -403,7 +403,7 @@ TEST_F(RecoveryTest, FailedStatementLeavesNoTraceInMemoryOrJournal) {
   {
     // Fail-closed journaling: if the commit record cannot be appended, the
     // statement must fail and roll back wholesale.
-    fault::ScopedFault fail("wal.append", FaultInjector::FailOnce());
+    fault::ScopedFault fail(fault_points::kWalAppend, FaultInjector::FailOnce());
     FaultInjector::Instance().Enable(true);
     auto r = db->Execute("INSERT INTO patients VALUES (3, 'Carol', 'ok')");
     EXPECT_FALSE(r.ok());

@@ -170,7 +170,7 @@ TEST_F(FaultCoverageTest, EveryKnownFaultPointIsArmedAndReachable) {
     std::unique_ptr<Database> db = MakeAuditedDb(point);
     ASSERT_NE(db, nullptr);
 
-    if (point == "wal.torn") {
+    if (point == fault_points::kWalTorn) {
       // Firing the torn-write mode kills the process by design; exercise it
       // in a fork and verify the injected-crash exit code. The parent arms
       // the point with an unreachable hit count so the sweep still records

@@ -69,7 +69,7 @@ class FaultMatrixTest : public ::testing::Test {
 };
 
 TEST_F(FaultMatrixTest, NoResultWithoutAuditRecordMatrix) {
-  const char* points[] = {"trigger.action", "storage.append", "audit.maintain"};
+  const char* points[] = {fault_points::kTriggerAction, fault_points::kStorageAppend, fault_points::kAuditMaintain};
   struct Named {
     const char* name;
     Schedule schedule;
@@ -135,7 +135,7 @@ TEST_F(FaultMatrixTest, FailedSecondActionRollsBackFirst) {
       "FROM accessed; "
       "INSERT INTO log VALUES ('sentinel', '', '', 0); END").ok());
   // storage.append hit #1 = first action's row, hit #2 = sentinel row.
-  FaultInjector::Instance().Arm("storage.append", FaultInjector::FailNth(2));
+  FaultInjector::Instance().Arm(fault_points::kStorageAppend, FaultInjector::FailNth(2));
 
   auto r = db.Execute("SELECT * FROM patients WHERE patientid = 1");
   EXPECT_FALSE(r.ok());
@@ -152,7 +152,7 @@ TEST_F(FaultMatrixTest, RolledBackViewMaintenanceIsRebuilt) {
       "CREATE TRIGGER clone ON ACCESS TO audit_alice AS BEGIN "
       "INSERT INTO patients VALUES (4, 'Alice', 1); "
       "INSERT INTO log VALUES ('sentinel', '', '', 0); END").ok());
-  FaultInjector::Instance().Arm("storage.append", FaultInjector::FailNth(2));
+  FaultInjector::Instance().Arm(fault_points::kStorageAppend, FaultInjector::FailNth(2));
   EXPECT_FALSE(db.Execute("SELECT * FROM patients WHERE patientid = 1").ok());
   FaultInjector::Instance().Reset();
 
@@ -169,7 +169,7 @@ TEST_F(FaultMatrixTest, RolledBackViewMaintenanceIsRebuilt) {
 TEST_F(FaultMatrixTest, FailOpenRetrySucceedsWithoutLoss) {
   Database db;
   Setup(&db);
-  FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailOnce());
+  FaultInjector::Instance().Arm(fault_points::kTriggerAction, FaultInjector::FailOnce());
 
   ExecOptions options;
   options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
@@ -185,7 +185,7 @@ TEST_F(FaultMatrixTest, FailOpenRetrySucceedsWithoutLoss) {
 TEST_F(FaultMatrixTest, FailOpenExhaustedRetriesRecordsLoss) {
   Database db;
   Setup(&db);
-  FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailAlways());
+  FaultInjector::Instance().Arm(fault_points::kTriggerAction, FaultInjector::FailAlways());
 
   ExecOptions options;
   options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
@@ -209,7 +209,7 @@ TEST_F(FaultMatrixTest, FailOpenExhaustedRetriesRecordsLoss) {
 TEST_F(FaultMatrixTest, CircuitBreakerQuarantinesAfterConsecutiveFailures) {
   Database db;
   Setup(&db);
-  FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailAlways());
+  FaultInjector::Instance().Arm(fault_points::kTriggerAction, FaultInjector::FailAlways());
 
   ExecOptions options;
   options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
@@ -231,9 +231,9 @@ TEST_F(FaultMatrixTest, CircuitBreakerQuarantinesAfterConsecutiveFailures) {
 
   // A quarantined trigger no longer fires (nor advances its schedule): the
   // fault point sees no further hits.
-  uint64_t hits = FaultInjector::Instance().hits("trigger.action");
+  uint64_t hits = FaultInjector::Instance().hits(fault_points::kTriggerAction);
   ASSERT_TRUE(db.ExecuteWithOptions(query, options).ok());
-  EXPECT_EQ(FaultInjector::Instance().hits("trigger.action"), hits);
+  EXPECT_EQ(FaultInjector::Instance().hits(fault_points::kTriggerAction), hits);
 
   // Re-arming restores it.
   FaultInjector::Instance().Reset();
@@ -247,7 +247,7 @@ TEST_F(FaultMatrixTest, QuarantineNeverTripsUnderFailClosed) {
   // hole: the breaker only arms under fail-open.
   Database db;
   Setup(&db);
-  FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailAlways());
+  FaultInjector::Instance().Arm(fault_points::kTriggerAction, FaultInjector::FailAlways());
 
   ExecOptions options;
   options.guards.quarantine_after = 1;
@@ -298,7 +298,7 @@ TEST_F(FaultMatrixTest, AccessedCapTruncatePolicyRecordsOverflow) {
 TEST_F(FaultMatrixTest, ExecutorFaultAbortsQueryWithoutTrail) {
   Database db;
   Setup(&db);
-  FaultInjector::Instance().Arm("executor.batch", FaultInjector::FailOnce());
+  FaultInjector::Instance().Arm(fault_points::kExecutorBatch, FaultInjector::FailOnce());
   EXPECT_FALSE(db.Execute("SELECT * FROM patients WHERE patientid = 1").ok());
   EXPECT_EQ(LogCount(&db), 0) << "no result, so no audit record either";
 }
@@ -320,7 +320,7 @@ TEST_F(FaultMatrixTest, SnapshotSwapFaultKeepsThePreviousSnapshotLoadable) {
   // the previous (3-patient) snapshot where a load can find it, and no
   // .inprogress or .old debris.
   for (uint64_t nth = 1; nth <= 2; ++nth) {
-    FaultInjector::Instance().Arm("snapshot.swap", FaultInjector::FailNth(nth));
+    FaultInjector::Instance().Arm(fault_points::kSnapshotSwap, FaultInjector::FailNth(nth));
     EXPECT_FALSE(SaveSnapshot(&db, dir.string()).ok()) << "nth=" << nth;
     FaultInjector::Instance().Reset();
     EXPECT_FALSE(fs::exists(dir.string() + ".inprogress")) << "nth=" << nth;
@@ -332,7 +332,7 @@ TEST_F(FaultMatrixTest, SnapshotSwapFaultKeepsThePreviousSnapshotLoadable) {
 
   // The third window fires after the new snapshot is durably in place: the
   // save reports the error, but the NEW snapshot is what a load now sees.
-  FaultInjector::Instance().Arm("snapshot.swap", FaultInjector::FailNth(3));
+  FaultInjector::Instance().Arm(fault_points::kSnapshotSwap, FaultInjector::FailNth(3));
   EXPECT_FALSE(SaveSnapshot(&db, dir.string()).ok());
   FaultInjector::Instance().Reset();
   Database restored;
@@ -353,7 +353,7 @@ TEST_F(FaultMatrixTest, SnapshotWriteFaultLeavesNoPartialSnapshot) {
   Setup(&db);
   ASSERT_TRUE(db.Execute("SELECT * FROM patients WHERE patientid = 1").ok());
 
-  FaultInjector::Instance().Arm("snapshot.write", FaultInjector::FailNth(2));
+  FaultInjector::Instance().Arm(fault_points::kSnapshotWrite, FaultInjector::FailNth(2));
   EXPECT_FALSE(SaveSnapshot(&db, dir.string()).ok());
   EXPECT_FALSE(fs::exists(dir)) << "partial snapshot left behind";
   EXPECT_FALSE(fs::exists(dir.string() + ".inprogress")) << "temp dir leaked";
@@ -436,7 +436,7 @@ TEST_F(WalFaultTest, JournalAppendFaultFailsTheStatementWithoutTrace) {
   Database* db = opened->get();
   Setup(db);
 
-  FaultInjector::Instance().Arm("wal.append", FaultInjector::FailOnce());
+  FaultInjector::Instance().Arm(fault_points::kWalAppend, FaultInjector::FailOnce());
   // DML: the insert must roll back wholesale when its commit record cannot
   // be appended -- no trace in memory, none in the journal.
   auto dml = db->Execute("INSERT INTO patients VALUES (9, 'Zed', 1)");
@@ -445,7 +445,7 @@ TEST_F(WalFaultTest, JournalAppendFaultFailsTheStatementWithoutTrace) {
 
   // Audited SELECT: no result may be released if the audit-log row's
   // commit record cannot be appended.
-  FaultInjector::Instance().Arm("wal.append", FaultInjector::FailOnce());
+  FaultInjector::Instance().Arm(fault_points::kWalAppend, FaultInjector::FailOnce());
   auto select = db->Execute("SELECT * FROM patients WHERE patientid = 1");
   EXPECT_FALSE(select.ok());
   EXPECT_EQ(LogCount(db), 0);
@@ -469,7 +469,7 @@ TEST_F(WalFaultTest, FsyncFaultWithholdsTheAckButKeepsMemoryAndJournalAligned) {
     Database* db = opened->get();
     Setup(db);
 
-    FaultInjector::Instance().Arm("wal.fsync", FaultInjector::FailOnce());
+    FaultInjector::Instance().Arm(fault_points::kWalFsync, FaultInjector::FailOnce());
     auto dml = db->Execute("INSERT INTO patients VALUES (9, 'Zed', 1)");
     EXPECT_FALSE(dml.ok()) << "durability failure must not be acknowledged";
     FaultInjector::Instance().Reset();
@@ -502,8 +502,8 @@ TEST_F(WalFaultTest, LossRecordSurvivesStatementFailureAfterRetryExhaustion) {
     // own commit append fails once; the retained-op append that follows
     // succeeds, so the ledger row is durable even though the statement
     // errored.
-    FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailTimes(2));
-    FaultInjector::Instance().Arm("wal.append", FaultInjector::FailOnce());
+    FaultInjector::Instance().Arm(fault_points::kTriggerAction, FaultInjector::FailTimes(2));
+    FaultInjector::Instance().Arm(fault_points::kWalAppend, FaultInjector::FailOnce());
     auto r = db->ExecuteWithOptions("SELECT * FROM patients WHERE patientid = 1",
                                     options);
     EXPECT_FALSE(r.ok());

@@ -1,0 +1,37 @@
+// Lint fixture: negative control. Exercises the shapes the checks scan for
+// in their compliant forms; every check must return zero findings. Also a
+// tokenizer workout: raw strings, escapes, char literals, nested comments'
+// lookalikes inside literals.
+#include "common/status.h"
+
+namespace seltrig {
+
+enum class Shade { kLight, kDark };
+
+const char* ShadeName(Shade s) {
+  // seltrig-lint: dispatch(Shade)
+  // (a second comment between marker and switch is fine)
+  switch (s) {
+    case Shade::kLight:
+      return "light";
+    case Shade::kDark:
+      return "dark";
+  }
+  return "unreachable";
+}
+
+void Orderly() {
+  MutexLock a(&mu1_);
+  {
+    MutexLock b(&mu2_);
+  }
+  const char* tricky = "not /* a comment */ and not \"fix.good";
+  const char* raw = R"x(Maybe("fix.good") inside a raw string)x";
+  char c = '"';
+  // fault::Maybe("fix.good") in a comment is fine.
+  (void)tricky;
+  (void)raw;
+  (void)c;
+}
+
+}  // namespace seltrig

@@ -1,0 +1,31 @@
+// Lint fixture: fed to CheckDispatch as src/fix/dispatch_bad.cc.
+namespace seltrig {
+
+enum class Color { kRed, kGreen, kBlue };
+
+const char* Name(Color c) {
+  // seltrig-lint: dispatch(Color)
+  switch (c) {
+    case Color::kRed:
+      return "red";
+    case Color::kGreen:
+      return "green";
+    default:
+      return "other";
+  }
+}
+
+void Dangling() {
+  // seltrig-lint: dispatch(Color)
+  int x = 0;
+}
+
+void Unknown() {
+  // seltrig-lint: dispatch(Ghost)
+  switch (0) {
+    case 0:
+      break;
+  }
+}
+
+}  // namespace seltrig

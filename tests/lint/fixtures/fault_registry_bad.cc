@@ -1,0 +1,22 @@
+// Lint fixture: every fault-registry violation, one per line group. Fed to
+// CheckFaultRegistry as src/fix/fault_registry_bad.cc with the fixture
+// registry (kFixGood, kFixOrphan) parsed first.
+namespace seltrig {
+
+Status Touch(FaultInjector* injector) {
+  // Compliant call site; counts as kFixGood's one Maybe site.
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(fault_points::kFixGood));
+  // Violation: registered name spelled as a literal inside Maybe.
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe("fix.good"));
+  // Violation: a non-registry expression is not statically checkable.
+  const char* dynamic_point = nullptr;
+  SELTRIG_RETURN_IF_ERROR(fault::Maybe(dynamic_point));
+  // Violation: registered name as a literal outside any call.
+  const char* spelled = "fix.good";
+  // Violation: Arm with a string literal (even an unregistered one).
+  injector->Arm("fix.unregistered", FaultKind::kError, 1);
+  (void)spelled;
+  return Status::OK();
+}
+
+}  // namespace seltrig

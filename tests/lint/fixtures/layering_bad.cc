@@ -1,0 +1,5 @@
+// Lint fixture: fed to CheckLayering as src/storage/layering_bad.cc.
+// storage (rank 30) including exec (rank 90) is an upward edge.
+#include "exec/operators.h"
+
+#include "common/status.h"

@@ -1,0 +1,29 @@
+// Lint fixture: fed to CheckLockOrder as src/fix/lock_cycle.cc. First() and
+// Second() take mu1_/mu2_ in opposite orders (cycle); Recursive() reacquires
+// a held mutex; Handoff() shows the legal unlock-then-relock shape that must
+// NOT be reported.
+namespace seltrig {
+
+void Pair::First() {
+  MutexLock l1(&mu1_);
+  MutexLock l2(&mu2_);
+}
+
+void Pair::Second() {
+  MutexLock l2(&mu2_);
+  MutexLock l1(&mu1_);
+}
+
+void Pair::Recursive() {
+  MutexLock a(&mu1_);
+  MutexLock b(&mu1_);
+}
+
+void Pair::Handoff() {
+  mu1_.lock();
+  mu1_.unlock();
+  mu1_.lock();
+  mu1_.unlock();
+}
+
+}  // namespace seltrig

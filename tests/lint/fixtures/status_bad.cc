@@ -1,0 +1,17 @@
+// Lint fixture: fed to CheckStatusDiscipline as src/fix/status_bad.cc.
+namespace seltrig {
+
+void Use() {
+  (void)DoThing();
+}
+
+void Commented() {
+  // Result deliberately ignored: fixture's compliant shape.
+  (void)DoThing();
+}
+
+Closer::~Closer() {
+  Flush();
+}
+
+}  // namespace seltrig

@@ -1,0 +1,13 @@
+// Lint fixture: fed to CheckStatusDiscipline as src/fix/status_bad.h so the
+// fallible-name harvest sees Flush and DoThing.
+namespace seltrig {
+
+class Closer {
+ public:
+  ~Closer();
+  Status Flush();
+};
+
+Status DoThing();
+
+}  // namespace seltrig

@@ -1,0 +1,15 @@
+// Lint fixture: the two compliant destructor shapes — consuming the result,
+// and an explicit commented (void) drop. Must produce no findings.
+namespace seltrig {
+
+Closer::~Closer() {
+  Status s = Flush();
+  if (!s.ok()) {
+    // Best-effort close; fixture handles the error locally.
+    log(s);
+  }
+  // Second flush result is advisory by fixture fiat.
+  (void)Flush();
+}
+
+}  // namespace seltrig

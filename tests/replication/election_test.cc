@@ -368,7 +368,7 @@ TEST_F(ElectionTest, StaleCandidateLosesTheUpToDatenessGate) {
   // Every campaign now claims an empty journal: candidates must be rejected
   // at the up-to-dateness gate, so NO leader can emerge while the fault is
   // armed — electing one could lose sync-acked audit rows.
-  FaultInjector::Instance().Arm("election.stale_candidate",
+  FaultInjector::Instance().Arm(fault_points::kElectionStaleCandidate,
                                 FaultInjector::FailAlways());
   std::this_thread::sleep_for(std::chrono::milliseconds(1500));
   EXPECT_EQ(SoleLeader(), "");
@@ -379,7 +379,7 @@ TEST_F(ElectionTest, StaleCandidateLosesTheUpToDatenessGate) {
   EXPECT_GT(rejected, 0u);
 
   // Disarming lets an up-to-date candidate win.
-  FaultInjector::Instance().Disarm("election.stale_candidate");
+  FaultInjector::Instance().Disarm(fault_points::kElectionStaleCandidate);
   EXPECT_FALSE(WaitForLeader().empty());
 }
 

@@ -234,10 +234,10 @@ TEST_F(ReplicationTest, LossyDuplicatingReorderingChannelSelfHeals) {
 
   // Persistent misbehavior on every channel in both directions: records,
   // acks, and heartbeats all take the damage.
-  FaultInjector::Instance().Arm("replication.drop", FaultInjector::FailEveryK(3));
-  FaultInjector::Instance().Arm("replication.duplicate",
+  FaultInjector::Instance().Arm(fault_points::kReplicationDrop, FaultInjector::FailEveryK(3));
+  FaultInjector::Instance().Arm(fault_points::kReplicationDuplicate,
                                 FaultInjector::FailEveryK(5));
-  FaultInjector::Instance().Arm("replication.reorder",
+  FaultInjector::Instance().Arm(fault_points::kReplicationReorder,
                                 FaultInjector::FailEveryK(7));
 
   LogShipper shipper(db.get(), TestOptions(ReplicationAckMode::kAsync));
@@ -310,8 +310,8 @@ TEST_F(ReplicationTest, DdlOrderingSurvivesGoBackNRetransmission) {
   auto applier = ReplicaApplier::Open(follower_dir_);
   ASSERT_TRUE(applier.ok()) << applier.status().message();
 
-  FaultInjector::Instance().Arm("replication.drop", FaultInjector::FailEveryK(3));
-  FaultInjector::Instance().Arm("replication.reorder",
+  FaultInjector::Instance().Arm(fault_points::kReplicationDrop, FaultInjector::FailEveryK(3));
+  FaultInjector::Instance().Arm(fault_points::kReplicationReorder,
                                 FaultInjector::FailEveryK(5));
 
   LogShipper shipper(db.get(), TestOptions(ReplicationAckMode::kAsync));
@@ -359,6 +359,116 @@ TEST_F(ReplicationTest, CheckpointTruncatedPrimaryShipsSnapshotCatchUp) {
   // The database pointer was replaced by the snapshot install; fetch it now.
   EXPECT_EQ(Projection((*applier)->database().get()), Projection(db.get()));
   (*applier)->Stop();
+}
+
+TEST_F(ReplicationTest, QuiescentCheckpointCutCatchesUpToTheExactTip) {
+  std::unique_ptr<Database> db = OpenPrimary(primary_dir_);
+  ASSERT_NE(db, nullptr);
+  for (const std::string& sql : AuditedWorkload()) {
+    ASSERT_TRUE(db->Execute(sql).ok()) << sql;
+  }
+  // Checkpoint truncates to one fresh, record-free segment and NOTHING is
+  // written afterwards: the snapshot cut IS the primary's tip. The follower
+  // must still reach that exact position — the done frame names the cut
+  // segment's header epoch and the applier materializes the segment at
+  // install time, because no record will ever arrive to open it. (Pre-fix,
+  // the follower parked one segment header short of the tip forever; the
+  // three-node kill matrix hit this as a rejoiner that never settled.)
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  auto applier = ReplicaApplier::Open(follower_dir_);
+  ASSERT_TRUE(applier.ok()) << applier.status().message();
+  LogShipper shipper(db.get(), TestOptions(ReplicationAckMode::kAsync));
+  shipper.AddFollower("f0", Connect(applier->get()));
+
+  ASSERT_TRUE(WaitCaughtUp(shipper));
+  EXPECT_GE(shipper.Followers()[0].snapshots_sent, 1u);
+  shipper.Stop();
+
+  EXPECT_EQ((*applier)->stats().snapshots_installed, 1u);
+  EXPECT_EQ((*applier)->applied(), db->wal()->current_position());
+  EXPECT_EQ(Projection((*applier)->database().get()), Projection(db.get()));
+  (*applier)->Stop();
+}
+
+TEST_F(ReplicationTest, LiveCheckpointSealsTheBoundaryToACaughtUpFollower) {
+  std::unique_ptr<Database> db = OpenPrimary(primary_dir_);
+  ASSERT_NE(db, nullptr);
+  for (const std::string& sql : AuditedWorkload()) {
+    ASSERT_TRUE(db->Execute(sql).ok()) << sql;
+  }
+  auto applier = ReplicaApplier::Open(follower_dir_);
+  ASSERT_TRUE(applier.ok()) << applier.status().message();
+  LogShipper shipper(db.get(), TestOptions(ReplicationAckMode::kAsync));
+  shipper.AddFollower("f0", Connect(applier->get()));
+  ASSERT_TRUE(WaitCaughtUp(shipper));
+
+  // Checkpoint while the stream is live and fully drained: the journal
+  // rotates to a fresh, record-free tip segment, and nothing is written
+  // afterwards. No record will ever carry the boundary, so the shipper must
+  // seal it explicitly or the follower stays parked at the old segment's
+  // end. Stalling the snapshot save holds the checkpoint in the window
+  // where the old segment still exists next to the new one — the exact
+  // interleaving where the reader silently crosses the boundary (once the
+  // old segment is deleted, the kNotFound path would snapshot instead and
+  // mask the wedge).
+  FaultInjector::Instance().Arm(fault_points::kSnapshotWrite,
+                                FaultInjector::DelayNth(1, 400));
+  ASSERT_TRUE(db->Checkpoint().ok());
+  FaultInjector::Instance().Reset();
+
+  const WalPosition tip = db->wal()->current_position();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((*applier)->applied() < tip &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  shipper.Stop();
+  EXPECT_EQ((*applier)->applied(), tip);
+  // The seal carried the boundary — not a snapshot resync.
+  EXPECT_EQ((*applier)->stats().snapshots_installed, 0u);
+  EXPECT_EQ(Projection((*applier)->database().get()), Projection(db.get()));
+  (*applier)->Stop();
+}
+
+TEST_F(ReplicationTest, AckSendFailureLeavesApplierHealthyAndPromotable) {
+  auto applier = ReplicaApplier::Open(follower_dir_);
+  ASSERT_TRUE(applier.ok()) << applier.status().message();
+  ChannelPair pair = CreateInProcessChannelPair();
+  (*applier)->Start(pair.follower_end);
+
+  // Drain the applier's HELLO, then arrange for its NEXT send — the ack to
+  // our heartbeat — to tear the channel: hit 1 is our heartbeat going out,
+  // hit 2 is the applier's ack. This is the shape of a primary crashing
+  // mid-stream: the follower's ack lands on a dead socket.
+  Result<Frame> hello = pair.primary_end->Receive(5000);
+  ASSERT_TRUE(hello.ok()) << hello.status().message();
+  ASSERT_EQ(hello->type, FrameType::kHello);
+  FaultInjector::Instance().Arm(fault_points::kReplicationTorn,
+                                FaultInjector::FailNth(2));
+  Frame heartbeat;
+  heartbeat.type = FrameType::kHeartbeat;
+  ASSERT_TRUE(pair.primary_end->Send(heartbeat).ok());
+
+  // The torn ack closes the channel; observe the death from our end.
+  for (;;) {
+    Result<Frame> got = pair.primary_end->Receive(50);
+    if (!got.ok() && got.status().code() == ErrorCode::kUnavailable) break;
+    ASSERT_NE(got.status().code(), ErrorCode::kInternal);
+  }
+  FaultInjector::Instance().Reset();
+  (*applier)->Stop();
+
+  // The channel dying under an ack is a reconnection event, not applier
+  // damage: health stays OK and the node stays promotable. (Pre-fix the
+  // transport error poisoned health_, Promote refused forever, and the
+  // three-node crashtest livelocked re-electing this node — term 150+ with
+  // every promotion failing.)
+  EXPECT_TRUE((*applier)->health().ok()) << (*applier)->health().message();
+  auto promoted = (*applier)->Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().message();
+  ASSERT_NE(*promoted, nullptr);
 }
 
 TEST_F(ReplicationTest, DeposedPrimaryIsRejectedByNewEpoch) {
@@ -422,6 +532,63 @@ TEST_F(ReplicationTest, DeposedPrimaryIsRejectedByNewEpoch) {
   }
   EXPECT_GT((*applier2)->stats().epoch_rejected, 0u);
   EXPECT_EQ(Projection((*applier2)->database().get()), before);
+  (*applier2)->Stop();
+
+  std::filesystem::remove_all(second_follower_dir);
+}
+
+// Regression for the post-failover shipping livelock (crashtest
+// elect.election.partition.v1#8, seed 42): a follower that granted its vote
+// to the new leader has its epoch floor raised before the first record
+// arrives. The pre-failover records the new leader relays carry origin
+// epochs below that floor; judging them by the record epoch alone NAKs every
+// one forever (the shipper reseeks and resends the same record). The fence
+// must judge the sender's authority epoch instead.
+TEST_F(ReplicationTest, NewLeaderRelaysOldEpochRecordsThroughVoteFence) {
+  const std::string second_follower_dir = follower_dir_ + "2";
+  std::filesystem::remove_all(second_follower_dir);
+
+  std::unique_ptr<Database> old_primary = OpenPrimary(primary_dir_);
+  ASSERT_NE(old_primary, nullptr);
+  auto applier = ReplicaApplier::Open(follower_dir_);
+  ASSERT_TRUE(applier.ok()) << applier.status().message();
+  {
+    LogShipper shipper(old_primary.get(),
+                       TestOptions(ReplicationAckMode::kAsync));
+    shipper.AddFollower("f0", Connect(applier->get()));
+    for (const std::string& sql : AuditedWorkload()) {
+      ASSERT_TRUE(old_primary->Execute(sql).ok()) << sql;
+    }
+    ASSERT_TRUE(WaitCaughtUp(shipper));
+    shipper.Stop();
+  }
+
+  // Failover: the follower becomes the new leader one epoch up, with the
+  // old epoch's records still forming the bulk of its journal.
+  auto promoted = (*applier)->Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().message();
+  std::shared_ptr<Database> new_primary = *promoted;
+  ASSERT_TRUE(
+      new_primary->Execute("INSERT INTO patients VALUES (8, 'Eve', 'xray')")
+          .ok());
+  const uint64_t new_epoch = new_primary->wal()->current_position().epoch;
+
+  // A follower that has just granted its vote for new_epoch: the vote
+  // promise raises the floor before any record arrives — exactly a
+  // survivor's state after a real election.
+  auto applier2 = ReplicaApplier::Open(second_follower_dir);
+  ASSERT_TRUE(applier2.ok()) << applier2.status().message();
+  (*applier2)->RaiseEpochFloor(new_epoch);
+  {
+    LogShipper shipper(new_primary.get(),
+                       TestOptions(ReplicationAckMode::kAsync));
+    shipper.AddFollower("f1", Connect(applier2->get()));
+    ASSERT_TRUE(WaitCaughtUp(shipper));
+    shipper.Stop();
+  }
+  EXPECT_EQ((*applier2)->stats().epoch_rejected, 0u);
+  EXPECT_EQ(Projection((*applier2)->database().get()),
+            Projection(new_primary.get()));
   (*applier2)->Stop();
 
   std::filesystem::remove_all(second_follower_dir);

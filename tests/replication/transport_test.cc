@@ -107,7 +107,7 @@ TEST_F(TransportTest, InProcessPairCarriesFramesBothWays) {
 
 TEST_F(TransportTest, DropFaultDiscardsExactlyTheScheduledSend) {
   ChannelPair pair = CreateInProcessChannelPair();
-  fault::ScopedFault drop("replication.drop", FaultInjector::FailOnce());
+  fault::ScopedFault drop(fault_points::kReplicationDrop, FaultInjector::FailOnce());
   ASSERT_TRUE(pair.primary_end->Send(RecordFrame(1, 24, "dropped")).ok());
   ASSERT_TRUE(pair.primary_end->Send(RecordFrame(1, 60, "kept")).ok());
   Result<Frame> received = pair.follower_end->Receive(1000);
@@ -119,7 +119,7 @@ TEST_F(TransportTest, DropFaultDiscardsExactlyTheScheduledSend) {
 
 TEST_F(TransportTest, DuplicateFaultDeliversTheFrameTwice) {
   ChannelPair pair = CreateInProcessChannelPair();
-  fault::ScopedFault dup("replication.duplicate", FaultInjector::FailOnce());
+  fault::ScopedFault dup(fault_points::kReplicationDuplicate, FaultInjector::FailOnce());
   ASSERT_TRUE(pair.primary_end->Send(RecordFrame(1, 24, "twin")).ok());
   Result<Frame> first = pair.follower_end->Receive(1000);
   Result<Frame> second = pair.follower_end->Receive(1000);
@@ -131,7 +131,7 @@ TEST_F(TransportTest, DuplicateFaultDeliversTheFrameTwice) {
 
 TEST_F(TransportTest, ReorderFaultSwapsTheHeldFrameWithTheNextSend) {
   ChannelPair pair = CreateInProcessChannelPair();
-  fault::ScopedFault reorder("replication.reorder", FaultInjector::FailOnce());
+  fault::ScopedFault reorder(fault_points::kReplicationReorder, FaultInjector::FailOnce());
   ASSERT_TRUE(pair.primary_end->Send(RecordFrame(1, 24, "first")).ok());
   ASSERT_TRUE(pair.primary_end->Send(RecordFrame(1, 60, "second")).ok());
   Result<Frame> a = pair.follower_end->Receive(1000);
@@ -144,7 +144,7 @@ TEST_F(TransportTest, ReorderFaultSwapsTheHeldFrameWithTheNextSend) {
 
 TEST_F(TransportTest, TornFaultFailsTheChannelForBothEnds) {
   ChannelPair pair = CreateInProcessChannelPair();
-  fault::ScopedFault torn("replication.torn", FaultInjector::FailOnce());
+  fault::ScopedFault torn(fault_points::kReplicationTorn, FaultInjector::FailOnce());
   Status sent = pair.primary_end->Send(RecordFrame(1, 24, "torn"));
   EXPECT_FALSE(sent.ok());
   EXPECT_EQ(pair.follower_end->Receive(1000).status().code(),
@@ -154,10 +154,10 @@ TEST_F(TransportTest, TornFaultFailsTheChannelForBothEnds) {
 
 TEST_F(TransportTest, DelayFaultStallsTheSendButDeliversIt) {
   ChannelPair pair = CreateInProcessChannelPair();
-  fault::ScopedFault delay("replication.delay",
+  fault::ScopedFault delay(fault_points::kReplicationDelay,
                            FaultInjector::DelayNth(1, 30));
   ASSERT_TRUE(pair.primary_end->Send(RecordFrame(1, 24, "late")).ok());
-  EXPECT_EQ(FaultInjector::Instance().fires("replication.delay"), 1u);
+  EXPECT_EQ(FaultInjector::Instance().fires(fault_points::kReplicationDelay), 1u);
   Result<Frame> received = pair.follower_end->Receive(1000);
   ASSERT_TRUE(received.ok());
   EXPECT_EQ(received->payload, "late");
@@ -218,7 +218,7 @@ TEST_F(SocketTransportTest, TornFaultTearsTheStreamMidFrame) {
   auto accepted = (*server)->Accept(1000);
   ASSERT_TRUE(accepted.ok());
 
-  fault::ScopedFault torn("replication.torn", FaultInjector::FailOnce());
+  fault::ScopedFault torn(fault_points::kReplicationTorn, FaultInjector::FailOnce());
   EXPECT_FALSE((*client)->Send(RecordFrame(1, 24, "half of this arrives")).ok());
   // The peer sees a dead stream (possibly after a partial frame): never a
   // successfully decoded frame.

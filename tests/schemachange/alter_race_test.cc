@@ -68,7 +68,7 @@ TEST_F(AlterRaceTest, AlterSerializesBehindInFlightScanThenFreshBindSeesNewVersi
   // Stall every executor batch a little so the reader's scan is reliably
   // in flight when the ALTER is issued against it.
   FaultInjector& injector = FaultInjector::Instance();
-  injector.Arm("executor.batch", FaultInjector::DelayAlways(3));
+  injector.Arm(fault_points::kExecutorBatch, FaultInjector::DelayAlways(3));
 
   ExecOptions slow;
   slow.batch_size = 1;   // one batch per row: >= kRows delayed batches
@@ -81,14 +81,14 @@ TEST_F(AlterRaceTest, AlterSerializesBehindInFlightScanThenFreshBindSeesNewVersi
 
   // Wait until the scan is demonstrably mid-flight (batches consumed but
   // nowhere near done), then race the ALTER into it from the other session.
-  while (injector.hits("executor.batch") < 5) {
+  while (injector.hits(fault_points::kExecutorBatch) < 5) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   Result<QueryResult> altered =
       alterer->Execute("ALTER TABLE patients ADD COLUMN severity INT DEFAULT 0");
-  const uint64_t hits_when_alter_returned = injector.hits("executor.batch");
+  const uint64_t hits_when_alter_returned = injector.hits(fault_points::kExecutorBatch);
   scan_thread.join();
-  injector.Disarm("executor.batch");
+  injector.Disarm(fault_points::kExecutorBatch);
 
   // The ALTER committed, but only after the reader's whole scan: by the time
   // the writer lock let it through, every one of the reader's row-batches

@@ -330,7 +330,7 @@ TEST_F(WalTailTest, WaitDurableTimesOutBehindAStalledFsyncLeader) {
 
   // Stall every fsync: the first committer becomes the group-commit leader
   // and sits in the (injected) fsync delay.
-  FaultInjector::Instance().Arm("wal.fsync",
+  FaultInjector::Instance().Arm(fault_points::kWalFsync,
                                 FaultInjector::DelayAlways(400));
   std::thread leader([&writer] {
     EXPECT_TRUE(writer->Commit(WalTailTest::SampleCommit(1)).ok());
@@ -339,11 +339,11 @@ TEST_F(WalTailTest, WaitDurableTimesOutBehindAStalledFsyncLeader) {
   // has fired it is committed to the stalled fsync.
   const auto arm_deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  while (FaultInjector::Instance().fires("wal.fsync") == 0 &&
+  while (FaultInjector::Instance().fires(fault_points::kWalFsync) == 0 &&
          std::chrono::steady_clock::now() < arm_deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  ASSERT_GE(FaultInjector::Instance().fires("wal.fsync"), 1u);
+  ASSERT_GE(FaultInjector::Instance().fires(fault_points::kWalFsync), 1u);
 
   // A second committer with a bounded durable wait must give up with
   // kDeadlineExceeded instead of blocking behind the leader — the statement

@@ -225,7 +225,7 @@ TEST_F(WalTest, InjectedAppendFaultFailsTheCommit) {
   ASSERT_TRUE(opened.ok()) << opened.status().message();
   std::unique_ptr<WalWriter> writer = std::move(*opened);
   {
-    fault::ScopedFault fail("wal.append", FaultInjector::FailOnce());
+    fault::ScopedFault fail(fault_points::kWalAppend, FaultInjector::FailOnce());
     FaultInjector::Instance().Enable(true);
     EXPECT_FALSE(writer->Commit(SampleCommit(1)).ok());
   }
@@ -299,7 +299,7 @@ TEST_F(WalTest, BatchThresholdFsyncRunsInWaitDurableNotAppend) {
   std::unique_ptr<WalWriter> writer = std::move(*opened);
   writer->set_sync_mode(WalSyncMode::kBatch);
 
-  fault::ScopedFault fail("wal.fsync", FaultInjector::FailAlways());
+  fault::ScopedFault fail(fault_points::kWalFsync, FaultInjector::FailAlways());
   FaultInjector::Instance().Enable(true);
   uint64_t seq = 0;
   for (uint64_t i = 0; i < WalWriter::kBatchSyncEvery; ++i) {
@@ -315,7 +315,7 @@ TEST_F(WalTest, InjectedFsyncFaultFailsTheCommitUnderCommitMode) {
   ASSERT_TRUE(opened.ok()) << opened.status().message();
   std::unique_ptr<WalWriter> writer = std::move(*opened);
   {
-    fault::ScopedFault fail("wal.fsync", FaultInjector::FailOnce());
+    fault::ScopedFault fail(fault_points::kWalFsync, FaultInjector::FailOnce());
     FaultInjector::Instance().Enable(true);
     EXPECT_FALSE(writer->Commit(SampleCommit(1)).ok());
   }

@@ -167,17 +167,17 @@ const std::vector<std::string>& Workload() {
   return workload;
 }
 
-// Fault points swept with a crash-at-Nth-hit schedule. "wal.torn" is special:
+// Fault points swept with a crash-at-Nth-hit schedule. wal.torn is special:
 // it is armed with an error schedule and the journal writer itself turns the
 // firing into a half-written record followed by _Exit (see WalWriter::Append).
 const std::vector<std::string>& SweepPoints() {
   static const std::vector<std::string> points = {
-      "wal.append",  "wal.fsync",      "wal.rotate", "wal.torn",
-      "storage.append", "trigger.action", "snapshot.write", "snapshot.swap",
+      fault_points::kWalAppend,  fault_points::kWalFsync,      fault_points::kWalRotate, fault_points::kWalTorn,
+      fault_points::kStorageAppend, fault_points::kTriggerAction, fault_points::kSnapshotWrite, fault_points::kSnapshotSwap,
       // Online schema change: a kill inside ALTER TABLE (before its DDL
       // record commits) must recover to the pre-ALTER state with the old
       // schema version; a kill after must replay to the bumped version.
-      "catalog.alter.validate", "catalog.alter.apply", "catalog.alter.rebind",
+      fault_points::kCatalogAlterValidate, fault_points::kCatalogAlterApply, fault_points::kCatalogAlterRebind,
   };
   return points;
 }
@@ -188,11 +188,11 @@ const std::vector<std::string>& SweepPoints() {
 // cost one trial.
 const std::vector<std::string>& ReplicationSweepPoints() {
   static const std::vector<std::string> points = {
-      "replication.send",      "replication.recv",  "replication.apply",
-      "replication.ack",       "replication.drop",  "replication.delay",
-      "replication.duplicate", "replication.reorder", "replication.torn",
-      "wal.append",            "wal.fsync",         "wal.rotate",
-      "wal.torn",
+      fault_points::kReplicationSend,      fault_points::kReplicationRecv,  fault_points::kReplicationApply,
+      fault_points::kReplicationAck,       fault_points::kReplicationDrop,  fault_points::kReplicationDelay,
+      fault_points::kReplicationDuplicate, fault_points::kReplicationReorder, fault_points::kReplicationTorn,
+      fault_points::kWalAppend,            fault_points::kWalFsync,         fault_points::kWalRotate,
+      fault_points::kWalTorn,
   };
   return points;
 }
@@ -231,7 +231,7 @@ int RunWorkloadChild(const std::string& dir, const std::string& point,
   if (ack_fd < 0) return kHarnessError;
 
   // Arm after the (journal-writing) open so setup I/O cannot trip the fault.
-  FaultInjector::Schedule schedule = point == "wal.torn"
+  FaultInjector::Schedule schedule = point == fault_points::kWalTorn
                                          ? FaultInjector::FailNth(nth)
                                          : FaultInjector::CrashNth(nth);
   FaultInjector::Instance().Arm(point, schedule);
@@ -273,11 +273,11 @@ int RunLossChild(const std::string& dir) {
   options.audit_failure_policy = AuditFailurePolicy::kFailOpen;
   options.guards.fail_open_retries = 1;
   options.guards.quarantine_after = 1;
-  FaultInjector::Instance().Arm("trigger.action", FaultInjector::FailAlways());
+  FaultInjector::Instance().Arm(fault_points::kTriggerAction, FaultInjector::FailAlways());
   Result<StatementResult> r =
       db->ExecuteWithOptions("SELECT name FROM patients WHERE patientid = 1",
                              options);
-  FaultInjector::Instance().Disarm("trigger.action");
+  FaultInjector::Instance().Disarm(fault_points::kTriggerAction);
   if (!r.ok()) {
     std::fprintf(stderr, "child: fail-open select failed: %s\n",
                  r.status().message().c_str());
@@ -290,7 +290,7 @@ int RunLossChild(const std::string& dir) {
   if (ack_fd < 0 || ::write(ack_fd, "loss\n", 5) != 5 || ::fsync(ack_fd) != 0) {
     return kHarnessError;
   }
-  FaultInjector::Instance().Arm("wal.append", FaultInjector::CrashNth(1));
+  FaultInjector::Instance().Arm(fault_points::kWalAppend, FaultInjector::CrashNth(1));
   (void)db->Execute("INSERT INTO patients VALUES (9, 'Zed', 'checkup')");
   return kHarnessError;  // the append above must have crashed the process
 }
@@ -491,7 +491,7 @@ int RunReplicationPrimary(const std::string& dir, const std::string& socket_path
   if (ack_fd < 0 || rack_fd < 0) return kHarnessError;
 
   if (arm_here) {
-    FaultInjector::Schedule schedule = point == "wal.torn"
+    FaultInjector::Schedule schedule = point == fault_points::kWalTorn
                                            ? FaultInjector::FailNth(nth)
                                            : FaultInjector::CrashNth(nth);
     FaultInjector::Instance().Arm(point, schedule);
@@ -628,6 +628,9 @@ struct Options {
   int nodes = 2;
   // --nodes 3 only: cap on the number of trials (0 = full sweep).
   int trials = 0;
+  // --nodes 3 only: run only trials whose label starts with this prefix
+  // (e.g. `--only elect.election.partition.v1#8` reruns one failing trial).
+  std::string only;
   uint64_t seed = 1;
   std::string base_dir;
 };
@@ -800,10 +803,10 @@ int RunReplicationHarness(const Options& options, const std::string& base) {
 // replication/journal points cover a leader or follower dying mid-shipment.
 const std::vector<std::string>& ElectionSweepPoints() {
   static const std::vector<std::string> points = {
-      "election.timeout", "election.vote_drop", "election.partition",
-      "election.stale_candidate",
-      "replication.send", "replication.apply", "replication.ack",
-      "wal.append",       "wal.fsync",         "wal.torn",
+      fault_points::kElectionTimeout, fault_points::kElectionVoteDrop, fault_points::kElectionPartition,
+      fault_points::kElectionStaleCandidate,
+      fault_points::kReplicationSend, fault_points::kReplicationApply, fault_points::kReplicationAck,
+      fault_points::kWalAppend,       fault_points::kWalFsync,         fault_points::kWalTorn,
   };
   return points;
 }
@@ -860,12 +863,21 @@ bool AnySyncFollower(ElectionNode* node) {
 void WriteNodeStatus(const std::string& dir, uint64_t beat,
                      const ElectionInfo& info) {
   const std::string tmp = dir + "/status.tmp";
+  // Counters + health ride at the end so older readers (and the parser
+  // below, which stops at the position) stay compatible; health last since
+  // its message may contain spaces.
   const std::string line =
       std::to_string(beat) + " " + ElectionRoleName(info.role) + " " +
       std::to_string(info.epoch) + " " + std::to_string(info.term) + " " +
       std::to_string(info.position.epoch) + " " +
       std::to_string(info.position.seq) + " " +
-      std::to_string(info.position.offset) + "\n";
+      std::to_string(info.position.offset) + " " +
+      std::to_string(info.elections_started) + " " +
+      std::to_string(info.pre_votes_granted) + " " +
+      std::to_string(info.votes_granted) + " " +
+      std::to_string(info.stale_candidates_rejected) + " " +
+      std::to_string(info.steps_down) + " " +
+      (info.health.ok() ? "ok" : info.health.message()) + "\n";
   int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
   if (fd < 0) return;
   (void)::write(fd, line.data(), line.size());
@@ -971,7 +983,7 @@ int RunElectionNode(const std::vector<std::string>& ids, size_t index,
       schedule.every = 1;
       schedule.times = kPartitionDrops;
       schedule.code = ErrorCode::kUnavailable;
-    } else if (point == "wal.torn") {
+    } else if (point == fault_points::kWalTorn) {
       schedule = FaultInjector::FailNth(nth);
     } else {
       schedule = FaultInjector::CrashNth(nth);
@@ -1379,7 +1391,7 @@ int RunElectionHarness(const Options& options, const std::string& base) {
   // Dedicated partition-heal trials: a severed link instead of a crash, so a
   // deposed-but-alive leader writes the forked suffix invariant (c) targets.
   for (size_t victim = 0; victim < 3; ++victim) {
-    configs.push_back({"election.partition", victim, true});
+    configs.push_back({fault_points::kElectionPartition, victim, true});
   }
   SeededShuffle(&configs, options.seed);
 
@@ -1405,6 +1417,9 @@ int RunElectionHarness(const Options& options, const std::string& base) {
                                 (config.partition ? ".part" : "") + ".v" +
                                 std::to_string(config.victim) + "#" +
                                 std::to_string(hit);
+      if (!options.only.empty() && label.rfind(options.only, 0) != 0) {
+        continue;
+      }
       const std::string dir = base + "/" + label;
       std::filesystem::remove_all(dir, ec);
       std::filesystem::create_directories(dir, ec);
@@ -1551,10 +1566,13 @@ int main(int argc, char** argv) {
       options.base_dir = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--only" && i + 1 < argc) {
+      options.only = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--keep] [--dir DIR] [--seed N] "
-                   "[--replication] [--nodes N] [--trials N]\n",
+                   "[--replication] [--nodes N] [--trials N] "
+                   "[--only LABEL-PREFIX]\n",
                    argv[0]);
       return 2;
     }

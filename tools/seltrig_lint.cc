@@ -1,0 +1,43 @@
+// seltrig-lint: repo-specific static analyzer. Walks src/, tests/, and
+// tools/ under --root and enforces the five invariant families described in
+// docs/STATIC_ANALYSIS.md (fault-registry, layering, lock-order, status
+// discipline, dispatch exhaustiveness). Warnings are errors: any finding
+// not matched by <root>/.lint-suppressions exits nonzero, and a suppression
+// that matches nothing is itself a finding.
+//
+//   seltrig_lint --root /path/to/repo
+//
+// Runs in CI's analyze job and as `ctest -L lint`.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: seltrig_lint [--root DIR]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+
+  const std::vector<seltrig::lint::Diagnostic> diags =
+      seltrig::lint::LintTree(root);
+  for (const auto& d : diags) {
+    std::cerr << seltrig::lint::FormatDiagnostic(d) << "\n";
+  }
+  if (!diags.empty()) {
+    std::cerr << diags.size() << " lint finding(s)\n";
+    return 1;
+  }
+  std::cout << "seltrig_lint: clean\n";
+  return 0;
+}
